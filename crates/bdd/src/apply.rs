@@ -1,0 +1,494 @@
+//! The operator core: negation, binary Boolean connectives and ITE.
+
+use crate::cache::Op;
+use crate::manager::{Bdd, BddManager, BddVar, TERMINAL_LEVEL};
+
+impl BddManager {
+    /// Logical negation `¬f`.
+    pub fn not(&mut self, f: Bdd) -> Bdd {
+        if f.is_const() {
+            return self.constant(f.0 == 0);
+        }
+        if let Some(r) = self.cache.get(Op::Not, f.0, 0, 0) {
+            return Bdd(r);
+        }
+        let (level, lo, hi) = self.triple(f);
+        let nlo = self.not(Bdd(lo));
+        let nhi = self.not(Bdd(hi));
+        let r = self.mk(level, nlo.0, nhi.0);
+        self.cache.put(Op::Not, f.0, 0, 0, r.0);
+        r
+    }
+
+    /// Conjunction `f ∧ g`.
+    pub fn and(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        // Terminal rules.
+        if f == g {
+            return f;
+        }
+        if f.0 == 0 || g.0 == 0 {
+            return self.constant(false);
+        }
+        if f.0 == 1 {
+            return g;
+        }
+        if g.0 == 1 {
+            return f;
+        }
+        // Commutative: canonicalise the key order.
+        let (a, b) = if f.0 < g.0 { (f, g) } else { (g, f) };
+        if let Some(r) = self.cache.get(Op::And, a.0, b.0, 0) {
+            return Bdd(r);
+        }
+        let (level, fa, fb, ga, gb) = self.cofactor_pair(a, b);
+        let lo = self.and(fa, ga);
+        let hi = self.and(fb, gb);
+        let r = self.mk(level, lo.0, hi.0);
+        self.cache.put(Op::And, a.0, b.0, 0, r.0);
+        r
+    }
+
+    /// Disjunction `f ∨ g`.
+    pub fn or(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        if f == g {
+            return f;
+        }
+        if f.0 == 1 || g.0 == 1 {
+            return self.constant(true);
+        }
+        if f.0 == 0 {
+            return g;
+        }
+        if g.0 == 0 {
+            return f;
+        }
+        let (a, b) = if f.0 < g.0 { (f, g) } else { (g, f) };
+        if let Some(r) = self.cache.get(Op::Or, a.0, b.0, 0) {
+            return Bdd(r);
+        }
+        let (level, fa, fb, ga, gb) = self.cofactor_pair(a, b);
+        let lo = self.or(fa, ga);
+        let hi = self.or(fb, gb);
+        let r = self.mk(level, lo.0, hi.0);
+        self.cache.put(Op::Or, a.0, b.0, 0, r.0);
+        r
+    }
+
+    /// Exclusive or `f ⊕ g`.
+    pub fn xor(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        if f == g {
+            return self.constant(false);
+        }
+        if f.0 == 0 {
+            return g;
+        }
+        if g.0 == 0 {
+            return f;
+        }
+        if f.0 == 1 {
+            return self.not(g);
+        }
+        if g.0 == 1 {
+            return self.not(f);
+        }
+        let (a, b) = if f.0 < g.0 { (f, g) } else { (g, f) };
+        if let Some(r) = self.cache.get(Op::Xor, a.0, b.0, 0) {
+            return Bdd(r);
+        }
+        let (level, fa, fb, ga, gb) = self.cofactor_pair(a, b);
+        let lo = self.xor(fa, ga);
+        let hi = self.xor(fb, gb);
+        let r = self.mk(level, lo.0, hi.0);
+        self.cache.put(Op::Xor, a.0, b.0, 0, r.0);
+        r
+    }
+
+    /// Equivalence (exclusive nor) `f ↔ g`.
+    pub fn xnor(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        let x = self.xor(f, g);
+        self.not(x)
+    }
+
+    /// Negated conjunction `¬(f ∧ g)`.
+    pub fn nand(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        let x = self.and(f, g);
+        self.not(x)
+    }
+
+    /// Negated disjunction `¬(f ∨ g)`.
+    pub fn nor(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        let x = self.or(f, g);
+        self.not(x)
+    }
+
+    /// Implication `f → g`.
+    pub fn implies(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        let nf = self.not(f);
+        self.or(nf, g)
+    }
+
+    /// If-then-else `ite(f, g, h) = (f ∧ g) ∨ (¬f ∧ h)`.
+    pub fn ite(&mut self, f: Bdd, g: Bdd, h: Bdd) -> Bdd {
+        // Terminal rules.
+        if f.0 == 1 {
+            return g;
+        }
+        if f.0 == 0 {
+            return h;
+        }
+        if g == h {
+            return g;
+        }
+        if g.0 == 1 && h.0 == 0 {
+            return f;
+        }
+        if g.0 == 0 && h.0 == 1 {
+            return self.not(f);
+        }
+        if let Some(r) = self.cache.get(Op::Ite, f.0, g.0, h.0) {
+            return Bdd(r);
+        }
+        let lf = self.level(f.0);
+        let lg = self.level(g.0);
+        let lh = self.level(h.0);
+        let level = lf.min(lg).min(lh);
+        let (f0, f1) = self.cofactors_at(f, level);
+        let (g0, g1) = self.cofactors_at(g, level);
+        let (h0, h1) = self.cofactors_at(h, level);
+        let lo = self.ite(f0, g0, h0);
+        let hi = self.ite(f1, g1, h1);
+        let r = self.mk(level, lo.0, hi.0);
+        self.cache.put(Op::Ite, f.0, g.0, h.0, r.0);
+        r
+    }
+
+    /// Conjunction of many functions; returns `true` for an empty slice.
+    pub fn and_many(&mut self, fs: &[Bdd]) -> Bdd {
+        let mut acc = self.constant(true);
+        for &f in fs {
+            acc = self.and(acc, f);
+            if acc.0 == 0 {
+                break;
+            }
+        }
+        acc
+    }
+
+    /// Disjunction of many functions; returns `false` for an empty slice.
+    pub fn or_many(&mut self, fs: &[Bdd]) -> Bdd {
+        let mut acc = self.constant(false);
+        for &f in fs {
+            acc = self.or(acc, f);
+            if acc.0 == 1 {
+                break;
+            }
+        }
+        acc
+    }
+
+    /// Exclusive-or of many functions; returns `false` for an empty slice.
+    pub fn xor_many(&mut self, fs: &[Bdd]) -> Bdd {
+        let mut acc = self.constant(false);
+        for &f in fs {
+            acc = self.xor(acc, f);
+        }
+        acc
+    }
+
+    /// The cofactor of `f` with respect to `var = value`.
+    pub fn restrict(&mut self, f: Bdd, var: BddVar, value: bool) -> Bdd {
+        if f.is_const() {
+            return f;
+        }
+        let target = self.level_of(var);
+        let flevel = self.level(f.0);
+        if flevel > target {
+            return f;
+        }
+        // Key includes the literal: encode value in the low bit of the slot.
+        let key = (var.0 << 1) | u32::from(value);
+        if let Some(r) = self.cache.get(Op::Restrict, f.0, key, 0) {
+            return Bdd(r);
+        }
+        let (level, lo, hi) = self.triple(f);
+        let r = if flevel == target {
+            if value {
+                Bdd(hi)
+            } else {
+                Bdd(lo)
+            }
+        } else {
+            let rlo = self.restrict(Bdd(lo), var, value);
+            let rhi = self.restrict(Bdd(hi), var, value);
+            self.mk(level, rlo.0, rhi.0)
+        };
+        self.cache.put(Op::Restrict, f.0, key, 0, r.0);
+        r
+    }
+
+    /// Coudert/Madre generalised cofactor (`constrain`): a function that
+    /// agrees with `f` wherever `c` holds, chosen to be small by mapping
+    /// off-`c` points to their nearest on-`c` neighbour.
+    ///
+    /// The classic don't-care minimiser: `constrain(f, c) ∧ c ≡ f ∧ c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is the constant false (no care set).
+    pub fn constrain(&mut self, f: Bdd, c: Bdd) -> Bdd {
+        assert_ne!(c, self.constant(false), "care set must be satisfiable");
+        if c.0 == 1 || f.is_const() {
+            return f;
+        }
+        if f == c {
+            return self.constant(true);
+        }
+        if let Some(r) = self.cache.get(Op::Restrict, f.0, c.0, 1) {
+            return Bdd(r);
+        }
+        let level = self.level(f.0).min(self.level(c.0));
+        let (c0, c1) = self.cofactors_at(c, level);
+        let r = if c0.0 == 0 {
+            let (_, f1) = self.cofactors_at(f, level);
+            self.constrain(f1, c1)
+        } else if c1.0 == 0 {
+            let (f0, _) = self.cofactors_at(f, level);
+            self.constrain(f0, c0)
+        } else {
+            let (f0, f1) = self.cofactors_at(f, level);
+            let r0 = self.constrain(f0, c0);
+            let r1 = self.constrain(f1, c1);
+            self.mk(level, r0.0, r1.0)
+        };
+        self.cache.put(Op::Restrict, f.0, c.0, 1, r.0);
+        r
+    }
+
+    /// Substitutes the function `g` for variable `var` inside `f`.
+    pub fn compose(&mut self, f: Bdd, var: BddVar, g: Bdd) -> Bdd {
+        let target = self.level_of(var);
+        if f.is_const() || self.level(f.0) > target {
+            return f;
+        }
+        if let Some(r) = self.cache.get(Op::Compose, f.0, g.0, var.0) {
+            return Bdd(r);
+        }
+        let (level, lo, hi) = self.triple(f);
+        let r = if level == target {
+            // Children contain no `var` occurrences (order!), so a plain ITE
+            // on the replacement function finishes the substitution.
+            self.ite(g, Bdd(hi), Bdd(lo))
+        } else {
+            let rlo = self.compose(Bdd(lo), var, g);
+            let rhi = self.compose(Bdd(hi), var, g);
+            // `g` may depend on variables above `level`, so recombine with
+            // ITE on the projection rather than `mk`.
+            let proj = Bdd(self.projections[self.level_to_var[level as usize] as usize]);
+            self.ite(proj, rhi, rlo)
+        };
+        self.cache.put(Op::Compose, f.0, g.0, var.0, r.0);
+        r
+    }
+
+    /// Evaluates `f` under a total assignment indexed by variable index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assignment is shorter than the largest variable index
+    /// occurring in `f`.
+    pub fn eval(&self, f: Bdd, assignment: &[bool]) -> bool {
+        let mut cur = f.0;
+        loop {
+            let node = &self.nodes[cur as usize];
+            if node.level == TERMINAL_LEVEL {
+                return cur == 1;
+            }
+            let var = self.level_to_var[node.level as usize] as usize;
+            cur = if assignment[var] { node.hi } else { node.lo };
+        }
+    }
+
+    #[inline]
+    fn triple(&self, f: Bdd) -> (u32, u32, u32) {
+        let n = &self.nodes[f.0 as usize];
+        (n.level, n.lo, n.hi)
+    }
+
+    /// Cofactors of `f` with respect to the variable at `level` (identity if
+    /// `f` starts below).
+    #[inline]
+    pub(crate) fn cofactors_at(&self, f: Bdd, level: u32) -> (Bdd, Bdd) {
+        let n = &self.nodes[f.0 as usize];
+        if n.level == level {
+            (Bdd(n.lo), Bdd(n.hi))
+        } else {
+            (f, f)
+        }
+    }
+
+    /// Top level of `{a, b}` plus both cofactor pairs at that level.
+    #[inline]
+    fn cofactor_pair(&self, a: Bdd, b: Bdd) -> (u32, Bdd, Bdd, Bdd, Bdd) {
+        let la = self.level(a.0);
+        let lb = self.level(b.0);
+        let level = la.min(lb);
+        let (a0, a1) = self.cofactors_at(a, level);
+        let (b0, b1) = self.cofactors_at(b, level);
+        (level, a0, a1, b0, b1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (BddManager, Vec<Bdd>) {
+        let mut m = BddManager::new();
+        let vars = m.new_vars(4);
+        let lits = vars.iter().map(|&v| m.var(v)).collect();
+        (m, lits)
+    }
+
+    #[test]
+    fn boolean_identities() {
+        let (mut m, l) = setup();
+        let t = m.constant(true);
+        let f = m.constant(false);
+        assert_eq!(m.and(l[0], t), l[0]);
+        assert_eq!(m.and(l[0], f), f);
+        assert_eq!(m.or(l[0], f), l[0]);
+        assert_eq!(m.or(l[0], t), t);
+        assert_eq!(m.xor(l[0], l[0]), f);
+        let n = m.not(l[0]);
+        assert_eq!(m.and(l[0], n), f);
+        assert_eq!(m.or(l[0], n), t);
+        let nn = m.not(n);
+        assert_eq!(nn, l[0]);
+    }
+
+    #[test]
+    fn de_morgan() {
+        let (mut m, l) = setup();
+        let and = m.and(l[0], l[1]);
+        let lhs = m.not(and);
+        let n0 = m.not(l[0]);
+        let n1 = m.not(l[1]);
+        let rhs = m.or(n0, n1);
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn ite_matches_definition() {
+        let (mut m, l) = setup();
+        let ite = m.ite(l[0], l[1], l[2]);
+        let a = m.and(l[0], l[1]);
+        let n = m.not(l[0]);
+        let b = m.and(n, l[2]);
+        let expect = m.or(a, b);
+        assert_eq!(ite, expect);
+    }
+
+    #[test]
+    fn eval_truth_table() {
+        let (mut m, l) = setup();
+        let f = m.xor(l[0], l[1]);
+        for a in [false, true] {
+            for b in [false, true] {
+                assert_eq!(m.eval(f, &[a, b, false, false]), a ^ b);
+            }
+        }
+    }
+
+    #[test]
+    fn restrict_cofactors() {
+        let (mut m, l) = setup();
+        let f = m.ite(l[0], l[1], l[2]);
+        let v0 = m.root_var(l[0]).unwrap();
+        assert_eq!(m.restrict(f, v0, true), l[1]);
+        assert_eq!(m.restrict(f, v0, false), l[2]);
+        // Restricting an absent variable is the identity.
+        let v3 = m.root_var(l[3]).unwrap();
+        assert_eq!(m.restrict(f, v3, true), f);
+    }
+
+    #[test]
+    fn compose_substitutes() {
+        let (mut m, l) = setup();
+        // f = x0 AND x1; replace x1 by (x2 OR x3).
+        let f = m.and(l[0], l[1]);
+        let g = m.or(l[2], l[3]);
+        let v1 = m.root_var(l[1]).unwrap();
+        let composed = m.compose(f, v1, g);
+        let expect = m.and(l[0], g);
+        assert_eq!(composed, expect);
+    }
+
+    #[test]
+    fn compose_with_variable_above() {
+        let (mut m, l) = setup();
+        // f = x2 AND x3 (low in the order); substitute x3 := x0 (above).
+        let f = m.and(l[2], l[3]);
+        let v3 = m.root_var(l[3]).unwrap();
+        let composed = m.compose(f, v3, l[0]);
+        let expect = m.and(l[2], l[0]);
+        assert_eq!(composed, expect);
+    }
+
+    #[test]
+    fn many_variants_fold() {
+        let (mut m, l) = setup();
+        let all = m.and_many(&l);
+        for bits in 0..16u32 {
+            let assign: Vec<bool> = (0..4).map(|i| bits >> i & 1 == 1).collect();
+            assert_eq!(m.eval(all, &assign), bits == 15);
+        }
+        let any = m.or_many(&l);
+        assert_eq!(m.eval(any, &[false; 4]), false);
+        assert_eq!(m.eval(any, &[false, false, true, false]), true);
+        let parity = m.xor_many(&l);
+        assert_eq!(m.eval(parity, &[true, true, true, false]), true);
+        assert_eq!(m.eval(parity, &[true, true, false, false]), false);
+    }
+
+    #[test]
+    fn constrain_agrees_on_care_set() {
+        let (mut m, l) = setup();
+        // Structured f and c over 4 variables.
+        let p = m.and(l[0], l[1]);
+        let f = m.xor(p, l[2]);
+        let q = m.or(l[1], l[3]);
+        let nf = m.not(l[0]);
+        let c = m.or(q, nf);
+        let g = m.constrain(f, c);
+        let lhs = m.and(g, c);
+        let rhs = m.and(f, c);
+        assert_eq!(lhs, rhs, "constrain must agree with f on the care set");
+        // Identities.
+        assert_eq!(m.constrain(f, m.constant(true)), f);
+        assert_eq!(m.constrain(f, f), m.constant(true));
+    }
+
+    #[test]
+    #[should_panic(expected = "care set must be satisfiable")]
+    fn constrain_rejects_empty_care_set() {
+        let (mut m, l) = setup();
+        let zero = m.constant(false);
+        let _ = m.constrain(l[0], zero);
+    }
+
+    #[test]
+    fn nand_nor_implies() {
+        let (mut m, l) = setup();
+        let nand = m.nand(l[0], l[1]);
+        let nor = m.nor(l[0], l[1]);
+        let imp = m.implies(l[0], l[1]);
+        for a in [false, true] {
+            for b in [false, true] {
+                let assign = [a, b, false, false];
+                assert_eq!(m.eval(nand, &assign), !(a && b));
+                assert_eq!(m.eval(nor, &assign), !(a || b));
+                assert_eq!(m.eval(imp, &assign), !a || b);
+            }
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! The computed table: memoisation for the recursive operator core.
+
+use crate::hasher::FxBuildHasher;
+use std::collections::HashMap;
+
+/// Operation tags for computed-table keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) enum Op {
+    Not,
+    And,
+    Or,
+    Xor,
+    Ite,
+    Exists,
+    Forall,
+    /// Functional composition; the substituted variable is the third key slot.
+    Compose,
+    /// Generalised cofactor / restrict against a cube.
+    Restrict,
+    /// Relational product: existential quantification of a conjunction.
+    AndExists,
+}
+
+/// Memo table shared by all recursive operations.
+///
+/// Entries hold *unprotected* node indices, so the cache must be cleared
+/// whenever nodes may be reclaimed (garbage collection, reordering).
+#[derive(Debug, Default)]
+pub(crate) struct OpCache {
+    map: HashMap<(Op, u32, u32, u32), u32, FxBuildHasher>,
+    hits: u64,
+    misses: u64,
+}
+
+impl OpCache {
+    pub(crate) fn new() -> Self {
+        OpCache::default()
+    }
+
+    #[inline]
+    pub(crate) fn get(&mut self, op: Op, a: u32, b: u32, c: u32) -> Option<u32> {
+        let r = self.map.get(&(op, a, b, c)).copied();
+        if r.is_some() {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+        }
+        r
+    }
+
+    #[inline]
+    pub(crate) fn put(&mut self, op: Op, a: u32, b: u32, c: u32, result: u32) {
+        self.map.insert((op, a, b, c), result);
+    }
+
+    pub(crate) fn clear(&mut self) {
+        self.map.clear();
+    }
+
+    #[allow(dead_code)]
+    pub(crate) fn hit_rate(&self) -> f64 {
+        if self.hits + self.misses == 0 {
+            0.0
+        } else {
+            self.hits as f64 / (self.hits + self.misses) as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_entries() {
+        let mut c = OpCache::new();
+        assert_eq!(c.get(Op::And, 2, 3, 0), None);
+        c.put(Op::And, 2, 3, 0, 7);
+        assert_eq!(c.get(Op::And, 2, 3, 0), Some(7));
+        assert_eq!(c.get(Op::Or, 2, 3, 0), None);
+        c.clear();
+        assert_eq!(c.get(Op::And, 2, 3, 0), None);
+    }
+}

@@ -1,0 +1,117 @@
+//! Variable cubes: positive conjunctions used to direct quantification.
+
+use crate::manager::{Bdd, BddManager, BddVar, TERMINAL_LEVEL};
+
+/// A set of variables represented as the BDD of their conjunction.
+///
+/// Cubes are the argument form taken by [`BddManager::exists`] and
+/// [`BddManager::forall`]; building one once and reusing it keeps the
+/// quantification cache effective across calls.
+///
+/// # Example
+///
+/// ```rust
+/// use bbec_bdd::{BddManager, Cube};
+///
+/// let mut m = BddManager::new();
+/// let x = m.new_var();
+/// let y = m.new_var();
+/// let cube = Cube::from_vars(&mut m, &[x, y]);
+/// assert_eq!(cube.vars(&m), vec![x, y]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cube {
+    pub(crate) bdd: Bdd,
+}
+
+impl Cube {
+    /// Builds the cube of the given variables (duplicates are harmless).
+    pub fn from_vars(manager: &mut BddManager, vars: &[BddVar]) -> Self {
+        let mut acc = manager.constant(true);
+        for &v in vars {
+            let lit = manager.var(v);
+            acc = manager.and(acc, lit);
+        }
+        // A cube of projections can never collapse to false.
+        debug_assert_ne!(acc, manager.constant(false));
+        Cube { bdd: acc }
+    }
+
+    /// The empty cube (quantifying over it is the identity).
+    pub fn empty(manager: &BddManager) -> Self {
+        Cube { bdd: manager.constant(true) }
+    }
+
+    /// The underlying conjunction BDD.
+    pub fn as_bdd(self) -> Bdd {
+        self.bdd
+    }
+
+    /// Returns `true` if the cube mentions no variable.
+    pub fn is_empty(self) -> bool {
+        self.bdd.0 == 1
+    }
+
+    /// The variables of the cube, in current level order (top first).
+    pub fn vars(self, manager: &BddManager) -> Vec<BddVar> {
+        let mut out = Vec::new();
+        let mut cur = self.bdd.0;
+        loop {
+            let node = &manager.nodes[cur as usize];
+            if node.level == TERMINAL_LEVEL {
+                break;
+            }
+            out.push(BddVar(manager.level_to_var[node.level as usize]));
+            cur = node.hi;
+        }
+        out
+    }
+
+    /// Number of variables in the cube.
+    pub fn len(self, manager: &BddManager) -> usize {
+        self.vars(manager).len()
+    }
+
+    /// Protects the underlying BDD (needed if the cube outlives a GC).
+    pub fn protect(self, manager: &mut BddManager) -> Self {
+        manager.protect(self.bdd);
+        self
+    }
+
+    /// Releases a protection taken with [`Cube::protect`].
+    pub fn release(self, manager: &mut BddManager) {
+        manager.release(self.bdd);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cube_round_trips_vars() {
+        let mut m = BddManager::new();
+        let vars = m.new_vars(5);
+        let cube = Cube::from_vars(&mut m, &[vars[3], vars[0], vars[4]]);
+        assert_eq!(cube.vars(&m), vec![vars[0], vars[3], vars[4]]);
+        assert_eq!(cube.len(&m), 3);
+        assert!(!cube.is_empty());
+    }
+
+    #[test]
+    fn empty_cube() {
+        let mut m = BddManager::new();
+        let _ = m.new_vars(2);
+        let cube = Cube::empty(&m);
+        assert!(cube.is_empty());
+        assert_eq!(cube.vars(&m), Vec::new());
+    }
+
+    #[test]
+    fn duplicates_collapse() {
+        let mut m = BddManager::new();
+        let v = m.new_var();
+        let cube = Cube::from_vars(&mut m, &[v, v, v]);
+        assert_eq!(cube.len(&m), 1);
+    }
+}

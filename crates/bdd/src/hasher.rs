@@ -1,0 +1,91 @@
+//! A small, fast, non-cryptographic hasher for cache and table keys.
+//!
+//! The standard library's SipHash is measurably slow for the tiny fixed-size
+//! keys BDD packages hash billions of times; this is the classic
+//! Fx/FNV-style multiply-rotate mix used by rustc.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiply-rotate hasher specialised for small integer keys.
+#[derive(Default)]
+pub(crate) struct FxHasher {
+    hash: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.add(u64::from(b));
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+pub(crate) type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// Mixes a `(lo, hi)` child pair into a bucket index for the unique tables.
+#[inline]
+pub(crate) fn pair_hash(lo: u32, hi: u32) -> u64 {
+    let x = (u64::from(lo) << 32) | u64::from(hi);
+    // splitmix64 finaliser: good avalanche for sequential node ids.
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_hash_spreads_sequential_ids() {
+        let h1 = pair_hash(2, 3);
+        let h2 = pair_hash(3, 2);
+        let h3 = pair_hash(2, 4);
+        assert_ne!(h1, h2);
+        assert_ne!(h1, h3);
+        assert_ne!(h2, h3);
+    }
+
+    #[test]
+    fn fx_hasher_differs_on_order() {
+        use std::hash::Hasher;
+        let mut a = FxHasher::default();
+        a.write_u32(1);
+        a.write_u32(2);
+        let mut b = FxHasher::default();
+        b.write_u32(2);
+        b.write_u32(1);
+        assert_ne!(a.finish(), b.finish());
+    }
+}

@@ -1,0 +1,222 @@
+//! Textual serialisation of shared BDD forests.
+//!
+//! The format is a line-oriented node list (children before parents), so
+//! forests can be checkpointed, diffed in tests and shipped between
+//! processes:
+//!
+//! ```text
+//! bdd <vars> <nodes> <roots>
+//! <id> <var> <lo-id> <hi-id>      # one line per internal node
+//! roots <id> <id> …
+//! ```
+//!
+//! Node ids are local to the file; `0` and `1` denote the terminals.
+//! Loading uses ITE to rebuild nodes, so a forest can be read into a
+//! manager with a *different* variable order (the semantics, not the
+//! shape, is what round-trips).
+
+use crate::manager::{Bdd, BddManager, BddVar, TERMINAL_LEVEL};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use std::fmt::Write as _;
+
+/// Error parsing a serialised forest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseForestError(String);
+
+impl fmt::Display for ParseForestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid bdd forest: {}", self.0)
+    }
+}
+
+impl Error for ParseForestError {}
+
+impl BddManager {
+    /// Serialises the shared graph of `roots`.
+    pub fn write_forest(&self, roots: &[Bdd]) -> String {
+        // Collect the shared nodes bottom-up (children first).
+        let mut order: Vec<u32> = Vec::new();
+        let mut seen: HashMap<u32, ()> = HashMap::new();
+        fn visit(
+            m: &BddManager,
+            idx: u32,
+            seen: &mut HashMap<u32, ()>,
+            order: &mut Vec<u32>,
+        ) {
+            if idx <= 1 || seen.contains_key(&idx) {
+                return;
+            }
+            seen.insert(idx, ());
+            let n = &m.nodes[idx as usize];
+            visit(m, n.lo, seen, order);
+            visit(m, n.hi, seen, order);
+            order.push(idx);
+        }
+        for r in roots {
+            visit(self, r.0, &mut seen, &mut order);
+        }
+        // Local ids: 0/1 reserved for terminals, internal nodes from 2.
+        let mut local: HashMap<u32, usize> = HashMap::new();
+        local.insert(0, 0);
+        local.insert(1, 1);
+        for (k, &idx) in order.iter().enumerate() {
+            local.insert(idx, k + 2);
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "bdd {} {} {}", self.var_count(), order.len(), roots.len());
+        for &idx in &order {
+            let n = &self.nodes[idx as usize];
+            debug_assert_ne!(n.level, TERMINAL_LEVEL);
+            let var = self.level_to_var[n.level as usize];
+            let _ = writeln!(
+                out,
+                "{} {} {} {}",
+                local[&idx], var, local[&n.lo], local[&n.hi]
+            );
+        }
+        out.push_str("roots");
+        for r in roots {
+            let _ = write!(out, " {}", local[&r.0]);
+        }
+        out.push('\n');
+        out
+    }
+
+    /// Loads a forest previously written with [`BddManager::write_forest`].
+    ///
+    /// Missing variables are created; the current variable order may differ
+    /// from the writer's (nodes are rebuilt with ITE). Returned roots are
+    /// *not* protected.
+    ///
+    /// # Errors
+    ///
+    /// [`ParseForestError`] on malformed text or dangling references.
+    pub fn read_forest(&mut self, text: &str) -> Result<Vec<Bdd>, ParseForestError> {
+        let mut lines = text.lines();
+        let header = lines.next().ok_or_else(|| ParseForestError("empty input".into()))?;
+        let mut h = header.split_whitespace();
+        if h.next() != Some("bdd") {
+            return Err(ParseForestError("missing `bdd` header".into()));
+        }
+        let nums: Vec<usize> = h
+            .map(|t| t.parse().map_err(|_| ParseForestError(format!("bad header `{header}`"))))
+            .collect::<Result<_, _>>()?;
+        let [vars, nodes, roots_n] = nums[..] else {
+            return Err(ParseForestError(format!("bad header `{header}`")));
+        };
+        while self.var_count() < vars {
+            self.new_var();
+        }
+        let mut local: Vec<Bdd> = vec![self.constant(false), self.constant(true)];
+        for _ in 0..nodes {
+            let line = lines.next().ok_or_else(|| ParseForestError("truncated".into()))?;
+            let fields: Vec<usize> = line
+                .split_whitespace()
+                .map(|t| t.parse().map_err(|_| ParseForestError(format!("bad line `{line}`"))))
+                .collect::<Result<_, _>>()?;
+            let [id, var, lo, hi] = fields[..] else {
+                return Err(ParseForestError(format!("bad line `{line}`")));
+            };
+            if id != local.len() || var >= self.var_count() || lo >= local.len() || hi >= local.len()
+            {
+                return Err(ParseForestError(format!("dangling reference in `{line}`")));
+            }
+            let v = self.var(BddVar(var as u32));
+            let node = self.ite(v, local[hi], local[lo]);
+            local.push(node);
+        }
+        let roots_line =
+            lines.next().ok_or_else(|| ParseForestError("missing roots line".into()))?;
+        let mut r = roots_line.split_whitespace();
+        if r.next() != Some("roots") {
+            return Err(ParseForestError("missing `roots` keyword".into()));
+        }
+        let roots: Vec<Bdd> = r
+            .map(|t| {
+                t.parse::<usize>()
+                    .ok()
+                    .and_then(|i| local.get(i).copied())
+                    .ok_or_else(|| ParseForestError(format!("bad root `{t}`")))
+            })
+            .collect::<Result<_, _>>()?;
+        if roots.len() != roots_n {
+            return Err(ParseForestError(format!(
+                "header promised {roots_n} roots, found {}",
+                roots.len()
+            )));
+        }
+        Ok(roots)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_forest() -> (BddManager, Vec<Bdd>) {
+        let mut m = BddManager::new();
+        let vars = m.new_vars(5);
+        let lits: Vec<Bdd> = vars.iter().map(|&v| m.var(v)).collect();
+        let a = m.and(lits[0], lits[1]);
+        let x = m.xor(lits[2], lits[3]);
+        let f = m.or(a, x);
+        let g = m.ite(lits[4], f, a);
+        (m, vec![f, g, a])
+    }
+
+    #[test]
+    fn round_trip_same_manager_order() {
+        let (m, roots) = sample_forest();
+        let text = m.write_forest(&roots);
+        let mut m2 = BddManager::new();
+        let loaded = m2.read_forest(&text).unwrap();
+        assert_eq!(loaded.len(), roots.len());
+        for bits in 0..32u32 {
+            let assign: Vec<bool> = (0..5).map(|i| bits >> i & 1 == 1).collect();
+            for (a, b) in roots.iter().zip(&loaded) {
+                assert_eq!(m.eval(*a, &assign), m2.eval(*b, &assign), "at {bits:05b}");
+            }
+        }
+    }
+
+    #[test]
+    fn round_trip_into_reordered_manager() {
+        let (m, roots) = sample_forest();
+        let text = m.write_forest(&roots);
+        let mut m2 = BddManager::new();
+        let vars = m2.new_vars(5);
+        m2.set_var_order(&[vars[4], vars[2], vars[0], vars[3], vars[1]]);
+        let loaded = m2.read_forest(&text).unwrap();
+        for bits in 0..32u32 {
+            let assign: Vec<bool> = (0..5).map(|i| bits >> i & 1 == 1).collect();
+            for (a, b) in roots.iter().zip(&loaded) {
+                assert_eq!(m.eval(*a, &assign), m2.eval(*b, &assign), "at {bits:05b}");
+            }
+        }
+    }
+
+    #[test]
+    fn constants_and_sharing_survive() {
+        let mut m = BddManager::new();
+        let v = m.new_vars(2);
+        let a = m.var(v[0]);
+        let t = m.constant(true);
+        let text = m.write_forest(&[t, a, a]);
+        let mut m2 = BddManager::new();
+        let loaded = m2.read_forest(&text).unwrap();
+        assert_eq!(loaded[0], m2.constant(true));
+        assert_eq!(loaded[1], loaded[2], "shared roots stay shared");
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        let mut m = BddManager::new();
+        assert!(m.read_forest("").is_err());
+        assert!(m.read_forest("nope 1 2 3\n").is_err());
+        assert!(m.read_forest("bdd 1 1 1\n2 0 5 1\nroots 2\n").is_err()); // dangling lo
+        assert!(m.read_forest("bdd 1 0 1\nroots 7\n").is_err()); // bad root
+        assert!(m.read_forest("bdd x y z\n").is_err());
+    }
+}

@@ -1,0 +1,701 @@
+//! The node store: per-level unique tables, reference counting and garbage
+//! collection.
+
+use crate::cache::OpCache;
+use crate::hasher::pair_hash;
+
+/// A handle to a BDD node owned by a [`BddManager`].
+///
+/// Handles are plain indices: copying one is free and does not affect
+/// reference counts. A handle obtained from a manager stays valid until the
+/// node is reclaimed by garbage collection; protect handles you keep across
+/// [`BddManager::collect_garbage`] or [`BddManager::reorder`] with
+/// [`BddManager::protect`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Bdd(pub(crate) u32);
+
+impl Bdd {
+    /// Index of this node inside its manager, mainly useful for debugging.
+    pub fn index(self) -> u32 {
+        self.0
+    }
+
+    /// Returns `true` if this handle is one of the two constants.
+    pub fn is_const(self) -> bool {
+        self.0 <= 1
+    }
+}
+
+/// A BDD variable, identified independently of its current level.
+///
+/// Variables keep their identity when the manager reorders levels; use
+/// [`BddManager::level_of`] to find where a variable currently sits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BddVar(pub(crate) u32);
+
+impl BddVar {
+    /// The creation index of this variable (0 for the first `new_var`).
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+pub(crate) const NIL: u32 = u32::MAX;
+pub(crate) const TERMINAL_LEVEL: u32 = u32::MAX;
+/// Reference count value treated as "pinned forever" (constants, projections).
+const STICKY_REFS: u32 = u32::MAX / 2;
+
+#[derive(Debug, Clone)]
+pub(crate) struct Node {
+    pub(crate) level: u32,
+    pub(crate) lo: u32,
+    pub(crate) hi: u32,
+    pub(crate) refs: u32,
+    /// Next node in the unique-table bucket chain, or `NIL`.
+    pub(crate) next: u32,
+}
+
+/// One unique table per level, chained through `Node::next`.
+#[derive(Debug, Default)]
+pub(crate) struct SubTable {
+    pub(crate) buckets: Vec<u32>,
+    pub(crate) count: usize,
+}
+
+impl SubTable {
+    fn new() -> Self {
+        SubTable { buckets: vec![NIL; 16], count: 0 }
+    }
+
+    #[inline]
+    fn bucket_of(&self, lo: u32, hi: u32) -> usize {
+        (pair_hash(lo, hi) as usize) & (self.buckets.len() - 1)
+    }
+}
+
+/// Settings steering automatic sifting inside [`BddManager::maybe_reorder`].
+#[derive(Debug, Clone)]
+pub struct ReorderSettings {
+    /// Reordering is considered once the live node count exceeds this value.
+    pub threshold: usize,
+    /// After a reordering pass the threshold is set to `live * growth`.
+    pub growth: f64,
+    /// A variable stops sifting in one direction once the total size exceeds
+    /// `max_growth` times the size at the start of its sift.
+    pub max_growth: f64,
+    /// Whether `maybe_reorder` does anything at all.
+    pub enabled: bool,
+}
+
+impl Default for ReorderSettings {
+    fn default() -> Self {
+        ReorderSettings { threshold: 4096, growth: 2.0, max_growth: 1.2, enabled: true }
+    }
+}
+
+/// Usage statistics of a manager, in the units the paper reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BddStats {
+    /// Currently live (externally or internally referenced) nodes, excluding
+    /// the two constants.
+    pub live_nodes: usize,
+    /// High-water mark of `live_nodes` since creation or the last
+    /// [`BddManager::reset_peak`].
+    pub peak_live_nodes: usize,
+    /// Total nodes ever allocated (excluding reuse from the free list).
+    pub allocated_nodes: usize,
+    /// Number of completed reordering passes.
+    pub reorderings: usize,
+    /// Nodes reclaimed by garbage collection so far.
+    pub collected_nodes: usize,
+}
+
+/// Panic payload thrown when a manager exceeds its configured node limit.
+///
+/// Callers running untrusted workloads catch this with
+/// `std::panic::catch_unwind` and translate it into an error; the manager
+/// must be discarded afterwards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExceedNodeLimitError {
+    /// The limit that was exceeded.
+    pub limit: usize,
+}
+
+impl std::fmt::Display for ExceedNodeLimitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BDD node limit of {} exceeded", self.limit)
+    }
+}
+
+impl std::error::Error for ExceedNodeLimitError {}
+
+/// Owner of all BDD nodes; every operation is a method on the manager.
+///
+/// # Example
+///
+/// ```rust
+/// use bbec_bdd::BddManager;
+///
+/// let mut m = BddManager::new();
+/// let v = m.new_var();
+/// let f = m.var(v);
+/// let g = m.not(f);
+/// let h = m.or(f, g);           // x ∨ ¬x ≡ 1
+/// assert_eq!(h, m.constant(true));
+/// ```
+#[derive(Debug)]
+pub struct BddManager {
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) free: Vec<u32>,
+    pub(crate) tables: Vec<SubTable>,
+    pub(crate) level_to_var: Vec<u32>,
+    pub(crate) var_to_level: Vec<u32>,
+    /// Projection node for each variable (always protected).
+    pub(crate) projections: Vec<u32>,
+    pub(crate) cache: OpCache,
+    pub(crate) dead: usize,
+    live: usize,
+    peak: usize,
+    allocated: usize,
+    reorderings: usize,
+    collected: usize,
+    pub(crate) reorder_settings: ReorderSettings,
+    node_limit: Option<usize>,
+}
+
+impl Default for BddManager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BddManager {
+    /// Creates an empty manager containing only the two constants.
+    pub fn new() -> Self {
+        let f = Node { level: TERMINAL_LEVEL, lo: 0, hi: 0, refs: STICKY_REFS, next: NIL };
+        let t = Node { level: TERMINAL_LEVEL, lo: 1, hi: 1, refs: STICKY_REFS, next: NIL };
+        BddManager {
+            nodes: vec![f, t],
+            free: Vec::new(),
+            tables: Vec::new(),
+            level_to_var: Vec::new(),
+            var_to_level: Vec::new(),
+            projections: Vec::new(),
+            cache: OpCache::new(),
+            dead: 0,
+            live: 0,
+            peak: 0,
+            allocated: 0,
+            reorderings: 0,
+            collected: 0,
+            reorder_settings: ReorderSettings { enabled: false, ..ReorderSettings::default() },
+            node_limit: None,
+        }
+    }
+
+    /// Caps the number of live nodes. When an operation would grow past the
+    /// cap, the manager first garbage-collects; if still above, it panics
+    /// with an [`ExceedNodeLimitError`] payload, to be caught with
+    /// `std::panic::catch_unwind` by budgeted callers.
+    ///
+    /// The manager is unusable after such a panic and must be dropped.
+    pub fn set_node_limit(&mut self, limit: Option<usize>) {
+        self.node_limit = limit;
+    }
+
+    /// Creates a manager with automatic reordering enabled, mirroring the
+    /// paper's "dynamic reordering was activated during all experiments".
+    pub fn with_reordering(settings: ReorderSettings) -> Self {
+        let mut m = Self::new();
+        m.reorder_settings = settings;
+        m
+    }
+
+    /// The constant `true` or `false` function.
+    pub fn constant(&self, value: bool) -> Bdd {
+        Bdd(u32::from(value))
+    }
+
+    /// Number of variables created so far.
+    pub fn var_count(&self) -> usize {
+        self.var_to_level.len()
+    }
+
+    /// Creates a fresh variable at the bottom of the current order.
+    pub fn new_var(&mut self) -> BddVar {
+        let var = self.var_to_level.len() as u32;
+        let level = self.level_to_var.len() as u32;
+        self.var_to_level.push(level);
+        self.level_to_var.push(var);
+        self.tables.push(SubTable::new());
+        let node = self.mk(level, 0, 1);
+        // Projections are pinned so `var()` handles never dangle. The fresh
+        // node was counted as dead by `mk`; un-count it.
+        self.nodes[node.0 as usize].refs = STICKY_REFS;
+        self.dead -= 1;
+        self.projections.push(node.0);
+        BddVar(var)
+    }
+
+    /// Creates `n` fresh variables.
+    pub fn new_vars(&mut self, n: usize) -> Vec<BddVar> {
+        (0..n).map(|_| self.new_var()).collect()
+    }
+
+    /// The projection function of `var` (the BDD for the literal `var`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` does not belong to this manager.
+    pub fn var(&self, var: BddVar) -> Bdd {
+        Bdd(self.projections[var.0 as usize])
+    }
+
+    /// The negative literal `¬var` — built lazily, so it needs `&mut self`.
+    pub fn nvar(&mut self, var: BddVar) -> Bdd {
+        let v = self.var(var);
+        self.not(v)
+    }
+
+    /// Current level of a variable (0 is the topmost level).
+    pub fn level_of(&self, var: BddVar) -> u32 {
+        self.var_to_level[var.0 as usize]
+    }
+
+    /// Variable currently sitting at `level`.
+    pub fn var_at_level(&self, level: u32) -> BddVar {
+        BddVar(self.level_to_var[level as usize])
+    }
+
+    /// The variable labelling the root node of `f`.
+    ///
+    /// Returns `None` for the constants.
+    pub fn root_var(&self, f: Bdd) -> Option<BddVar> {
+        let level = self.nodes[f.0 as usize].level;
+        if level == TERMINAL_LEVEL {
+            None
+        } else {
+            Some(BddVar(self.level_to_var[level as usize]))
+        }
+    }
+
+    /// The `else` (low, `var = 0`) cofactor of the root node of `f`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is a constant.
+    pub fn low(&self, f: Bdd) -> Bdd {
+        assert!(!f.is_const(), "constants have no cofactors");
+        Bdd(self.nodes[f.0 as usize].lo)
+    }
+
+    /// The `then` (high, `var = 1`) cofactor of the root node of `f`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is a constant.
+    pub fn high(&self, f: Bdd) -> Bdd {
+        assert!(!f.is_const(), "constants have no cofactors");
+        Bdd(self.nodes[f.0 as usize].hi)
+    }
+
+    #[inline]
+    pub(crate) fn level(&self, idx: u32) -> u32 {
+        self.nodes[idx as usize].level
+    }
+
+    /// Finds or creates the node `(level, lo, hi)`.
+    ///
+    /// Maintains the two ROBDD invariants: no node with equal children, no
+    /// two nodes with the same `(level, lo, hi)` triple.
+    pub(crate) fn mk(&mut self, level: u32, lo: u32, hi: u32) -> Bdd {
+        if lo == hi {
+            return Bdd(lo);
+        }
+        debug_assert!(self.level(lo) > level && self.level(hi) > level, "children must be below");
+        let table = &self.tables[level as usize];
+        let bucket = table.bucket_of(lo, hi);
+        let mut cursor = table.buckets[bucket];
+        while cursor != NIL {
+            let n = &self.nodes[cursor as usize];
+            if n.lo == lo && n.hi == hi {
+                // A dead hit is implicitly resurrected: its children were
+                // never decremented, so nothing needs fixing up here.
+                return Bdd(cursor);
+            }
+            cursor = n.next;
+        }
+        // Allocate. (Garbage collection mid-operation would free the
+        // unprotected intermediates held on the recursion stack, so the
+        // limit can only abort, never rescue.)
+        if let Some(limit) = self.node_limit {
+            if self.live >= limit {
+                std::panic::panic_any(ExceedNodeLimitError { limit });
+            }
+        }
+        let idx = if let Some(idx) = self.free.pop() {
+            self.nodes[idx as usize] = Node { level, lo, hi, refs: 0, next: NIL };
+            idx
+        } else {
+            let idx = self.nodes.len() as u32;
+            self.nodes.push(Node { level, lo, hi, refs: 0, next: NIL });
+            self.allocated += 1;
+            idx
+        };
+        self.inc_node(lo);
+        self.inc_node(hi);
+        self.live += 1;
+        // Fresh nodes start unreferenced; they count as dead until a parent
+        // or an external protection claims them.
+        self.dead += 1;
+        if self.live > self.peak {
+            self.peak = self.live;
+        }
+        self.table_insert(level, idx);
+        Bdd(idx)
+    }
+
+    pub(crate) fn table_insert(&mut self, level: u32, idx: u32) {
+        if self.tables[level as usize].count + 1 > self.tables[level as usize].buckets.len() {
+            // Grow and rehash the chains.
+            let new_len = self.tables[level as usize].buckets.len() * 2;
+            let old = std::mem::replace(
+                &mut self.tables[level as usize].buckets,
+                vec![NIL; new_len],
+            );
+            for mut cursor in old {
+                while cursor != NIL {
+                    let next = self.nodes[cursor as usize].next;
+                    let (lo, hi) = {
+                        let n = &self.nodes[cursor as usize];
+                        (n.lo, n.hi)
+                    };
+                    let b = (pair_hash(lo, hi) as usize) & (new_len - 1);
+                    self.nodes[cursor as usize].next = self.tables[level as usize].buckets[b];
+                    self.tables[level as usize].buckets[b] = cursor;
+                    cursor = next;
+                }
+            }
+        }
+        let (lo, hi) = {
+            let n = &self.nodes[idx as usize];
+            (n.lo, n.hi)
+        };
+        let table = &mut self.tables[level as usize];
+        let bucket = table.bucket_of(lo, hi);
+        self.nodes[idx as usize].next = table.buckets[bucket];
+        table.buckets[bucket] = idx;
+        table.count += 1;
+    }
+
+    /// Unlinks `idx` from its unique table (it must be present).
+    pub(crate) fn table_remove(&mut self, level: u32, idx: u32) {
+        let (lo, hi) = {
+            let n = &self.nodes[idx as usize];
+            (n.lo, n.hi)
+        };
+        let table = &self.tables[level as usize];
+        let bucket = table.bucket_of(lo, hi);
+        let mut cursor = self.tables[level as usize].buckets[bucket];
+        if cursor == idx {
+            self.tables[level as usize].buckets[bucket] = self.nodes[idx as usize].next;
+        } else {
+            loop {
+                let next = self.nodes[cursor as usize].next;
+                assert_ne!(next, NIL, "node missing from its unique table");
+                if next == idx {
+                    self.nodes[cursor as usize].next = self.nodes[idx as usize].next;
+                    break;
+                }
+                cursor = next;
+            }
+        }
+        self.tables[level as usize].count -= 1;
+        self.nodes[idx as usize].next = NIL;
+    }
+
+    #[inline]
+    pub(crate) fn inc_node(&mut self, idx: u32) {
+        let node = &mut self.nodes[idx as usize];
+        if node.refs < STICKY_REFS {
+            let was_dead = node.refs == 0 && node.level != TERMINAL_LEVEL;
+            node.refs += 1;
+            if was_dead {
+                self.dead -= 1;
+            }
+        }
+    }
+
+    #[inline]
+    pub(crate) fn dec_node(&mut self, idx: u32) {
+        let node = &mut self.nodes[idx as usize];
+        if node.refs >= STICKY_REFS || node.level == TERMINAL_LEVEL {
+            return;
+        }
+        debug_assert!(node.refs > 0, "reference count underflow");
+        node.refs -= 1;
+        if node.refs == 0 {
+            self.dead += 1;
+        }
+    }
+
+    /// Protects `f` from garbage collection (increments its reference count).
+    ///
+    /// Returns `f` for convenient chaining.
+    pub fn protect(&mut self, f: Bdd) -> Bdd {
+        self.inc_node(f.0);
+        f
+    }
+
+    /// Releases a protection previously taken with [`BddManager::protect`].
+    ///
+    /// The node is not freed immediately; it becomes reclaimable by the next
+    /// [`BddManager::collect_garbage`].
+    pub fn release(&mut self, f: Bdd) {
+        self.dec_node(f.0);
+    }
+
+    /// Number of dead (unreferenced, reclaimable) nodes.
+    pub fn dead_nodes(&self) -> usize {
+        self.dead
+    }
+
+    /// Reclaims every dead node and clears the operation caches.
+    ///
+    /// Returns the number of nodes freed.
+    pub fn collect_garbage(&mut self) -> usize {
+        if self.dead == 0 {
+            return 0;
+        }
+        self.cache.clear();
+        let mut freed = 0;
+        // Top-down: freeing a parent may kill children at lower levels only.
+        for level in 0..self.tables.len() as u32 {
+            let bucket_count = self.tables[level as usize].buckets.len();
+            for b in 0..bucket_count {
+                let mut prev = NIL;
+                let mut cursor = self.tables[level as usize].buckets[b];
+                while cursor != NIL {
+                    let next = self.nodes[cursor as usize].next;
+                    if self.nodes[cursor as usize].refs == 0 {
+                        if prev == NIL {
+                            self.tables[level as usize].buckets[b] = next;
+                        } else {
+                            self.nodes[prev as usize].next = next;
+                        }
+                        self.tables[level as usize].count -= 1;
+                        let (lo, hi) = {
+                            let n = &self.nodes[cursor as usize];
+                            (n.lo, n.hi)
+                        };
+                        self.dec_node(lo);
+                        self.dec_node(hi);
+                        self.nodes[cursor as usize] =
+                            Node { level: 0, lo: NIL, hi: NIL, refs: 0, next: NIL };
+                        self.free.push(cursor);
+                        self.dead -= 1;
+                        self.live -= 1;
+                        freed += 1;
+                    } else {
+                        prev = cursor;
+                    }
+                    cursor = next;
+                }
+            }
+        }
+        debug_assert_eq!(self.dead, 0);
+        self.collected += freed;
+        freed
+    }
+
+    /// Current statistics snapshot.
+    pub fn stats(&self) -> BddStats {
+        BddStats {
+            live_nodes: self.live,
+            peak_live_nodes: self.peak,
+            allocated_nodes: self.allocated,
+            reorderings: self.reorderings,
+            collected_nodes: self.collected,
+        }
+    }
+
+    /// Resets the peak-live-nodes high-water mark to the current live count.
+    pub fn reset_peak(&mut self) {
+        self.peak = self.live;
+    }
+
+    pub(crate) fn note_reordering(&mut self) {
+        self.reorderings += 1;
+    }
+
+    pub(crate) fn live_count(&self) -> usize {
+        self.live
+    }
+
+    pub(crate) fn adjust_live(&mut self, delta: isize) {
+        self.live = (self.live as isize + delta) as usize;
+        if self.live > self.peak {
+            self.peak = self.live;
+        }
+    }
+
+    /// Exhaustive structural self-check used by the test-suite.
+    ///
+    /// Verifies the ROBDD invariants (ordered, reduced, hash-consed) and that
+    /// stored reference counts match the actual parent counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a description of the first violated invariant.
+    pub fn check_invariants(&self) {
+        let mut seen = vec![false; self.nodes.len()];
+        let mut parents = vec![0u64; self.nodes.len()];
+        for (level, table) in self.tables.iter().enumerate() {
+            let mut chained = 0;
+            for &head in &table.buckets {
+                let mut cursor = head;
+                while cursor != NIL {
+                    let n = &self.nodes[cursor as usize];
+                    assert_eq!(n.level as usize, level, "node in wrong table");
+                    assert!(!seen[cursor as usize], "node chained twice");
+                    seen[cursor as usize] = true;
+                    assert_ne!(n.lo, n.hi, "unreduced node");
+                    assert!(
+                        self.level(n.lo) > n.level && self.level(n.hi) > n.level,
+                        "order violated"
+                    );
+                    parents[n.lo as usize] += 1;
+                    parents[n.hi as usize] += 1;
+                    chained += 1;
+                    cursor = n.next;
+                }
+            }
+            assert_eq!(chained, table.count, "table count out of sync");
+        }
+        let mut free_set = vec![false; self.nodes.len()];
+        for &f in &self.free {
+            free_set[f as usize] = true;
+        }
+        for idx in 2..self.nodes.len() {
+            if free_set[idx] {
+                continue;
+            }
+            assert!(seen[idx], "live node missing from unique table");
+            let n = &self.nodes[idx];
+            if n.refs < STICKY_REFS {
+                assert!(
+                    u64::from(n.refs) >= parents[idx],
+                    "refcount {} below parent count {} at node {}",
+                    n.refs,
+                    parents[idx],
+                    idx
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_are_distinct() {
+        let m = BddManager::new();
+        assert_ne!(m.constant(false), m.constant(true));
+        assert!(m.constant(true).is_const());
+    }
+
+    #[test]
+    fn mk_is_hash_consed() {
+        let mut m = BddManager::new();
+        let v = m.new_var();
+        let a = m.var(v);
+        let b = m.var(v);
+        assert_eq!(a, b);
+        let n1 = m.mk(0, 1, 0);
+        let n2 = m.mk(0, 1, 0);
+        assert_eq!(n1, n2);
+        m.check_invariants();
+    }
+
+    #[test]
+    fn mk_reduces_equal_children() {
+        let mut m = BddManager::new();
+        let _v = m.new_var();
+        let n = m.mk(0, 1, 1);
+        assert_eq!(n, m.constant(true));
+    }
+
+    #[test]
+    fn projection_shape() {
+        let mut m = BddManager::new();
+        let v = m.new_var();
+        let f = m.var(v);
+        assert_eq!(m.low(f), m.constant(false));
+        assert_eq!(m.high(f), m.constant(true));
+        assert_eq!(m.root_var(f), Some(v));
+    }
+
+    #[test]
+    fn gc_reclaims_unprotected_nodes() {
+        let mut m = BddManager::new();
+        let v = m.new_var();
+        let w = m.new_var();
+        let (a, b) = (m.var(v), m.var(w));
+        let f = m.and(a, b);
+        let live_before = m.stats().live_nodes;
+        // f is unprotected: one AND node dies.
+        assert_eq!(m.dead_nodes(), 1);
+        let freed = m.collect_garbage();
+        assert_eq!(freed, 1);
+        assert_eq!(m.stats().live_nodes, live_before - 1);
+        // Rebuilding works fine afterwards.
+        let f2 = m.and(a, b);
+        assert!(!f2.is_const());
+        let _ = f;
+        m.check_invariants();
+    }
+
+    #[test]
+    fn protect_prevents_collection() {
+        let mut m = BddManager::new();
+        let v = m.new_var();
+        let w = m.new_var();
+        let (a, b) = (m.var(v), m.var(w));
+        let f = m.and(a, b);
+        m.protect(f);
+        assert_eq!(m.collect_garbage(), 0);
+        m.release(f);
+        assert_eq!(m.collect_garbage(), 1);
+        m.check_invariants();
+    }
+
+    #[test]
+    fn resurrection_via_mk() {
+        let mut m = BddManager::new();
+        let v = m.new_var();
+        let w = m.new_var();
+        let (a, b) = (m.var(v), m.var(w));
+        let f = m.and(a, b);
+        assert_eq!(m.dead_nodes(), 1);
+        let g = m.and(a, b); // cache or unique-table hit resurrects
+        assert_eq!(f, g);
+        m.check_invariants();
+    }
+
+    #[test]
+    fn peak_tracks_high_water() {
+        let mut m = BddManager::new();
+        let vars = m.new_vars(8);
+        let lits: Vec<Bdd> = vars.iter().map(|&v| m.var(v)).collect();
+        let mut f = m.constant(true);
+        for &l in &lits {
+            f = m.and(f, l);
+        }
+        let peak = m.stats().peak_live_nodes;
+        assert!(peak >= 8 + 7, "peak {peak} too small");
+        m.collect_garbage();
+        assert_eq!(m.stats().peak_live_nodes, peak);
+    }
+}

@@ -1,0 +1,286 @@
+//! Existential and universal quantification.
+
+use crate::cache::Op;
+use crate::cube::Cube;
+use crate::manager::{Bdd, BddManager, BddVar, TERMINAL_LEVEL};
+
+impl BddManager {
+    /// Existential quantification `∃ cube. f`.
+    pub fn exists(&mut self, f: Bdd, cube: Cube) -> Bdd {
+        self.exists_rec(f, cube.bdd)
+    }
+
+    /// Universal quantification `∀ cube. f`.
+    pub fn forall(&mut self, f: Bdd, cube: Cube) -> Bdd {
+        self.forall_rec(f, cube.bdd)
+    }
+
+    /// Convenience: `∃ vars. f` without building a [`Cube`] first.
+    pub fn exists_vars(&mut self, f: Bdd, vars: &[BddVar]) -> Bdd {
+        let cube = Cube::from_vars(self, vars);
+        self.exists(f, cube)
+    }
+
+    /// Convenience: `∀ vars. f` without building a [`Cube`] first.
+    pub fn forall_vars(&mut self, f: Bdd, vars: &[BddVar]) -> Bdd {
+        let cube = Cube::from_vars(self, vars);
+        self.forall(f, cube)
+    }
+
+    /// The relational product `∃ cube. f ∧ g`, computed without
+    /// materialising the conjunction — the workhorse of image computation
+    /// and of the input-exact check's `∀X (¬H ∨ cond)` step (via duality).
+    pub fn and_exists(&mut self, f: Bdd, g: Bdd, cube: Cube) -> Bdd {
+        self.and_exists_rec(f, g, cube.bdd)
+    }
+
+    /// Dual form `∀ cube. f ∨ g = ¬∃ cube. ¬f ∧ ¬g`.
+    pub fn or_forall(&mut self, f: Bdd, g: Bdd, cube: Cube) -> Bdd {
+        let nf = self.not(f);
+        let ng = self.not(g);
+        let e = self.and_exists(nf, ng, cube);
+        self.not(e)
+    }
+
+    fn and_exists_rec(&mut self, f: Bdd, g: Bdd, cube: Bdd) -> Bdd {
+        if f.0 == 0 || g.0 == 0 {
+            return self.constant(false);
+        }
+        if cube.0 == 1 {
+            return self.and(f, g);
+        }
+        if f.0 == 1 && g.0 == 1 {
+            return self.constant(true);
+        }
+        // Order the operands for the commutative cache key.
+        let (f, g) = if f.0 <= g.0 { (f, g) } else { (g, f) };
+        let top = self.level(f.0).min(self.level(g.0));
+        // Skip quantified variables above both operands.
+        let mut c = cube.0;
+        while self.level(c) < top {
+            c = self.nodes[c as usize].hi;
+        }
+        if self.nodes[c as usize].level == crate::manager::TERMINAL_LEVEL {
+            return self.and(f, g);
+        }
+        let cube = Bdd(c);
+        if let Some(r) = self.cache.get(Op::AndExists, f.0, g.0, cube.0) {
+            return Bdd(r);
+        }
+        let (f0, f1) = self.cofactors_at(f, top);
+        let (g0, g1) = self.cofactors_at(g, top);
+        let r = if self.level(cube.0) == top {
+            let rest = Bdd(self.nodes[cube.0 as usize].hi);
+            let a = self.and_exists_rec(f0, g0, rest);
+            if a.0 == 1 {
+                a
+            } else {
+                let b = self.and_exists_rec(f1, g1, rest);
+                self.or(a, b)
+            }
+        } else {
+            let a = self.and_exists_rec(f0, g0, cube);
+            let b = self.and_exists_rec(f1, g1, cube);
+            self.mk(top, a.0, b.0)
+        };
+        self.cache.put(Op::AndExists, f.0, g.0, cube.0, r.0);
+        r
+    }
+
+    fn exists_rec(&mut self, f: Bdd, cube: Bdd) -> Bdd {
+        if f.is_const() || cube.0 == 1 {
+            return f;
+        }
+        // Skip quantified variables above the top variable of f.
+        let flevel = self.level(f.0);
+        let mut c = cube.0;
+        while self.level(c) < flevel {
+            c = self.nodes[c as usize].hi;
+        }
+        if self.nodes[c as usize].level == TERMINAL_LEVEL {
+            return f;
+        }
+        let cube = Bdd(c);
+        if let Some(r) = self.cache.get(Op::Exists, f.0, cube.0, 0) {
+            return Bdd(r);
+        }
+        let (lo, hi) = {
+            let n = &self.nodes[f.0 as usize];
+            (Bdd(n.lo), Bdd(n.hi))
+        };
+        let clevel = self.level(cube.0);
+        let r = if clevel == flevel {
+            let rest = Bdd(self.nodes[cube.0 as usize].hi);
+            let a = self.exists_rec(lo, rest);
+            if a.0 == 1 {
+                // Short-circuit: ∨ with true.
+                a
+            } else {
+                let b = self.exists_rec(hi, rest);
+                self.or(a, b)
+            }
+        } else {
+            let a = self.exists_rec(lo, cube);
+            let b = self.exists_rec(hi, cube);
+            self.mk(flevel, a.0, b.0)
+        };
+        self.cache.put(Op::Exists, f.0, cube.0, 0, r.0);
+        r
+    }
+
+    fn forall_rec(&mut self, f: Bdd, cube: Bdd) -> Bdd {
+        if f.is_const() || cube.0 == 1 {
+            return f;
+        }
+        let flevel = self.level(f.0);
+        let mut c = cube.0;
+        while self.level(c) < flevel {
+            c = self.nodes[c as usize].hi;
+        }
+        if self.nodes[c as usize].level == TERMINAL_LEVEL {
+            return f;
+        }
+        let cube = Bdd(c);
+        if let Some(r) = self.cache.get(Op::Forall, f.0, cube.0, 0) {
+            return Bdd(r);
+        }
+        let (lo, hi) = {
+            let n = &self.nodes[f.0 as usize];
+            (Bdd(n.lo), Bdd(n.hi))
+        };
+        let clevel = self.level(cube.0);
+        let r = if clevel == flevel {
+            let rest = Bdd(self.nodes[cube.0 as usize].hi);
+            let a = self.forall_rec(lo, rest);
+            if a.0 == 0 {
+                a
+            } else {
+                let b = self.forall_rec(hi, rest);
+                self.and(a, b)
+            }
+        } else {
+            let a = self.forall_rec(lo, cube);
+            let b = self.forall_rec(hi, cube);
+            self.mk(flevel, a.0, b.0)
+        };
+        self.cache.put(Op::Forall, f.0, cube.0, 0, r.0);
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exists_removes_variable() {
+        let mut m = BddManager::new();
+        let vars = m.new_vars(3);
+        let (a, b) = (m.var(vars[0]), m.var(vars[1]));
+        let f = m.and(a, b);
+        // ∃b. a∧b = a
+        let r = m.exists_vars(f, &[vars[1]]);
+        assert_eq!(r, a);
+        // ∃a∃b. a∧b = true
+        let r = m.exists_vars(f, &[vars[0], vars[1]]);
+        assert_eq!(r, m.constant(true));
+    }
+
+    #[test]
+    fn forall_demands_both_branches() {
+        let mut m = BddManager::new();
+        let vars = m.new_vars(2);
+        let (a, b) = (m.var(vars[0]), m.var(vars[1]));
+        let f = m.or(a, b);
+        // ∀b. a∨b = a
+        let r = m.forall_vars(f, &[vars[1]]);
+        assert_eq!(r, a);
+        // ∀a. a∧b = false
+        let g = m.and(a, b);
+        let r = m.forall_vars(g, &[vars[0]]);
+        assert_eq!(r, m.constant(false));
+    }
+
+    #[test]
+    fn quantifying_absent_variable_is_identity() {
+        let mut m = BddManager::new();
+        let vars = m.new_vars(3);
+        let (a, b) = (m.var(vars[0]), m.var(vars[1]));
+        let f = m.xor(a, b);
+        assert_eq!(m.exists_vars(f, &[vars[2]]), f);
+        assert_eq!(m.forall_vars(f, &[vars[2]]), f);
+    }
+
+    #[test]
+    fn duality_exists_forall() {
+        let mut m = BddManager::new();
+        let vars = m.new_vars(4);
+        let lits: Vec<Bdd> = vars.iter().map(|&v| m.var(v)).collect();
+        // f = (x0 ∧ x1) ∨ (x2 ⊕ x3)
+        let p = m.and(lits[0], lits[1]);
+        let q = m.xor(lits[2], lits[3]);
+        let f = m.or(p, q);
+        let qs = [vars[1], vars[2]];
+        let lhs = m.forall_vars(f, &qs);
+        let nf = m.not(f);
+        let e = m.exists_vars(nf, &qs);
+        let rhs = m.not(e);
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn and_exists_matches_two_step_computation() {
+        let mut m = BddManager::new();
+        let vars = m.new_vars(6);
+        let lits: Vec<Bdd> = vars.iter().map(|&v| m.var(v)).collect();
+        // f = (x0 ∧ x2) ∨ x4, g = x2 ⊕ x5, quantify {x2, x4}.
+        let p = m.and(lits[0], lits[2]);
+        let f = m.or(p, lits[4]);
+        let g = m.xor(lits[2], lits[5]);
+        let cube = Cube::from_vars(&mut m, &[vars[2], vars[4]]);
+        let direct = m.and_exists(f, g, cube);
+        let conj = m.and(f, g);
+        let two_step = m.exists(conj, cube);
+        assert_eq!(direct, two_step);
+        // Dual check.
+        let dual = m.or_forall(f, g, cube);
+        let disj = m.or(f, g);
+        let expect = m.forall(disj, cube);
+        assert_eq!(dual, expect);
+    }
+
+    #[test]
+    fn and_exists_randomised_against_reference() {
+        use crate::BddManager;
+        let mut m = BddManager::new();
+        let vars = m.new_vars(5);
+        let lits: Vec<Bdd> = vars.iter().map(|&v| m.var(v)).collect();
+        // A small pile of structured operands.
+        let mut pool = lits.clone();
+        for i in 0..lits.len() - 1 {
+            let a = m.and(lits[i], lits[i + 1]);
+            let o = m.or(lits[i], lits[(i + 2) % 5]);
+            let x = m.xor(a, o);
+            pool.push(x);
+        }
+        for (i, &f) in pool.iter().enumerate() {
+            for (j, &g) in pool.iter().enumerate() {
+                let cube = Cube::from_vars(&mut m, &[vars[i % 5], vars[j % 5], vars[2]]);
+                let direct = m.and_exists(f, g, cube);
+                let conj = m.and(f, g);
+                let expect = m.exists(conj, cube);
+                assert_eq!(direct, expect, "operands {i},{j}");
+            }
+        }
+    }
+
+    #[test]
+    fn quantify_over_empty_cube_is_identity() {
+        let mut m = BddManager::new();
+        let vars = m.new_vars(2);
+        let (a, b) = (m.var(vars[0]), m.var(vars[1]));
+        let f = m.and(a, b);
+        assert_eq!(m.exists_vars(f, &[]), f);
+        assert_eq!(m.forall_vars(f, &[]), f);
+    }
+}

@@ -1,0 +1,497 @@
+//! Dynamic variable reordering by Rudell sifting (ICCAD 1993), as CUDD's
+//! `CUDD_REORDER_SIFT` used in the reproduced paper.
+//!
+//! The primitive is an in-place swap of two adjacent levels: nodes at the
+//! upper level are rewritten so every live node keeps denoting the same
+//! Boolean function afterwards. Protected handles therefore survive
+//! reordering unchanged.
+
+use crate::manager::{BddManager, BddVar, Node, NIL};
+#[cfg(test)]
+use crate::manager::Bdd;
+
+impl BddManager {
+    /// Swaps the variables at `level` and `level + 1` in place.
+    ///
+    /// All live nodes keep their identity and meaning; dead nodes at the two
+    /// levels (and anything they exclusively referenced) are reclaimed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level + 1` is not a valid level.
+    pub fn swap_adjacent(&mut self, level: u32) {
+        let lev_u = level;
+        let lev_v = level + 1;
+        assert!((lev_v as usize) < self.tables.len(), "level out of range");
+        // Stale cache entries would reference nodes this swap may free.
+        self.cache.clear();
+
+        let u_nodes = self.drain_level(lev_u);
+        let v_nodes = self.drain_level(lev_v);
+
+        // Pass 1: u-nodes independent of v keep their children and simply
+        // move down one level. They must be inserted before pass 2 so the
+        // rebuild below finds them instead of creating duplicates.
+        let mut dependent = Vec::new();
+        for idx in u_nodes {
+            let (lo, hi) = {
+                let n = &self.nodes[idx as usize];
+                (n.lo, n.hi)
+            };
+            if self.level(lo) != lev_v && self.level(hi) != lev_v {
+                self.nodes[idx as usize].level = lev_v;
+                self.table_insert(lev_v, idx);
+            } else {
+                dependent.push(idx);
+            }
+        }
+
+        // Pass 2: rebuild the dependent u-nodes in place. A node
+        // `ite(u, F0, F1)` becomes `ite(v, G0, G1)` with
+        // `G0 = ite(u, F00, F10)` and `G1 = ite(u, F01, F11)`.
+        for idx in dependent {
+            let (f0, f1) = {
+                let n = &self.nodes[idx as usize];
+                (n.lo, n.hi)
+            };
+            let (f00, f01) = if self.level(f0) == lev_v {
+                let n = &self.nodes[f0 as usize];
+                (n.lo, n.hi)
+            } else {
+                (f0, f0)
+            };
+            let (f10, f11) = if self.level(f1) == lev_v {
+                let n = &self.nodes[f1 as usize];
+                (n.lo, n.hi)
+            } else {
+                (f1, f1)
+            };
+            let g0 = self.mk(lev_v, f00, f10);
+            let g1 = self.mk(lev_v, f01, f11);
+            debug_assert_ne!(g0, g1, "rebuilt node would be redundant");
+            self.inc_node(g0.0);
+            self.inc_node(g1.0);
+            self.dec_node(f0);
+            self.dec_node(f1);
+            let n = &mut self.nodes[idx as usize];
+            n.lo = g0.0;
+            n.hi = g1.0;
+            // Level stays `lev_u`: the node now branches on v, which is
+            // about to move to the upper level.
+            self.table_insert(lev_u, idx);
+        }
+
+        // Pass 3: surviving v-nodes move up; dead ones are reclaimed.
+        for idx in v_nodes {
+            if self.nodes[idx as usize].refs > 0 {
+                self.nodes[idx as usize].level = lev_u;
+                self.table_insert(lev_u, idx);
+            } else {
+                self.free_detached(idx);
+            }
+        }
+
+        // Finally exchange the variable labels of the two levels.
+        let u_var = self.level_to_var[lev_u as usize];
+        let v_var = self.level_to_var[lev_v as usize];
+        self.level_to_var[lev_u as usize] = v_var;
+        self.level_to_var[lev_v as usize] = u_var;
+        self.var_to_level[u_var as usize] = lev_v;
+        self.var_to_level[v_var as usize] = lev_u;
+    }
+
+    /// Unlinks every node of `level`'s unique table and returns their ids.
+    fn drain_level(&mut self, level: u32) -> Vec<u32> {
+        let bucket_count = self.tables[level as usize].buckets.len();
+        let mut out = Vec::with_capacity(self.tables[level as usize].count);
+        for b in 0..bucket_count {
+            let mut cursor = self.tables[level as usize].buckets[b];
+            self.tables[level as usize].buckets[b] = NIL;
+            while cursor != NIL {
+                let next = self.nodes[cursor as usize].next;
+                self.nodes[cursor as usize].next = NIL;
+                out.push(cursor);
+                cursor = next;
+            }
+        }
+        self.tables[level as usize].count = 0;
+        out
+    }
+
+    /// Frees a dead node that is already detached from its unique table,
+    /// cascading to children that die with it.
+    fn free_detached(&mut self, idx: u32) {
+        debug_assert_eq!(self.nodes[idx as usize].refs, 0);
+        let (lo, hi) = {
+            let n = &self.nodes[idx as usize];
+            (n.lo, n.hi)
+        };
+        self.nodes[idx as usize] = Node { level: 0, lo: NIL, hi: NIL, refs: 0, next: NIL };
+        self.free.push(idx);
+        self.dead -= 1;
+        self.adjust_live(-1);
+        self.cascade_release(lo);
+        self.cascade_release(hi);
+    }
+
+    fn cascade_release(&mut self, idx: u32) {
+        self.dec_node(idx);
+        if idx > 1 && self.nodes[idx as usize].refs == 0 {
+            let level = self.nodes[idx as usize].level;
+            self.table_remove(level, idx);
+            self.free_detached(idx);
+        }
+    }
+
+    /// Moves `var` through the order to its locally best position.
+    ///
+    /// Returns the live node count after the sift.
+    fn sift_var(&mut self, var: BddVar, max_growth: f64) -> usize {
+        let levels = self.tables.len() as u32;
+        if levels < 2 {
+            return self.live_count();
+        }
+        let start = self.level_of(var);
+        let start_size = self.live_count();
+        let limit = (start_size as f64 * max_growth) as usize + 2;
+        let mut best_size = start_size;
+        let mut best_level = start;
+
+        // Phase 1: sift toward the nearer end first to cut swap volume.
+        let down_first = (levels - 1 - start) <= start;
+        let order: [i8; 2] = if down_first { [1, -1] } else { [-1, 1] };
+        let mut pos = start;
+        for (phase, &dir) in order.iter().enumerate() {
+            if phase == 1 {
+                // Return to the best point seen so far before exploring the
+                // other direction.
+                while pos < best_level {
+                    self.swap_adjacent(pos);
+                    pos += 1;
+                }
+                while pos > best_level {
+                    self.swap_adjacent(pos - 1);
+                    pos -= 1;
+                }
+            }
+            loop {
+                if dir > 0 {
+                    if pos + 1 >= levels {
+                        break;
+                    }
+                    self.swap_adjacent(pos);
+                    pos += 1;
+                } else {
+                    if pos == 0 {
+                        break;
+                    }
+                    self.swap_adjacent(pos - 1);
+                    pos -= 1;
+                }
+                let size = self.live_count();
+                if size < best_size {
+                    best_size = size;
+                    best_level = pos;
+                }
+                if size > limit {
+                    break;
+                }
+            }
+        }
+        // Phase 2: settle at the best position.
+        while pos < best_level {
+            self.swap_adjacent(pos);
+            pos += 1;
+        }
+        while pos > best_level {
+            self.swap_adjacent(pos - 1);
+            pos -= 1;
+        }
+        self.live_count()
+    }
+
+    /// One full sifting pass: every variable is sifted once, most populous
+    /// level first (Rudell's ordering).
+    ///
+    /// Dead nodes are collected first; protected handles survive unchanged.
+    /// Returns the live node count after the pass.
+    pub fn reorder(&mut self) -> usize {
+        self.collect_garbage();
+        self.cache.clear();
+        let max_growth = self.reorder_settings.max_growth;
+        let mut vars: Vec<(usize, u32)> = (0..self.tables.len())
+            .map(|l| (self.tables[l].count, self.level_to_var[l]))
+            .collect();
+        vars.sort_by(|a, b| b.0.cmp(&a.0));
+        for (_, var) in vars {
+            self.sift_var(BddVar(var), max_growth);
+        }
+        self.note_reordering();
+        self.live_count()
+    }
+
+    /// One pass of **window-3 permutation** reordering: for every window of
+    /// three adjacent levels, all six permutations are tried (via adjacent
+    /// swaps) and the best is kept. Cheaper but weaker than sifting; kept
+    /// as an ablation point and a fast clean-up pass.
+    ///
+    /// Returns the live node count after the pass.
+    pub fn reorder_window3(&mut self) -> usize {
+        self.collect_garbage();
+        self.cache.clear();
+        let levels = self.tables.len();
+        if levels < 3 {
+            return self.live_count();
+        }
+        for top in 0..levels - 2 {
+            let i = top as u32;
+            // Enumerate the 6 permutations of levels (i, i+1, i+2) by a
+            // fixed swap schedule; track the best prefix.
+            // Swap sequence: s0 s1 s0 s1 s0 cycles through all 6 states.
+            let mut best_size = self.live_count();
+            let mut best_state = 0usize;
+            let schedule = [i, i + 1, i, i + 1, i];
+            for (state, &level) in schedule.iter().enumerate() {
+                self.swap_adjacent(level);
+                let size = self.live_count();
+                if size < best_size {
+                    best_size = size;
+                    best_state = state + 1;
+                }
+            }
+            // Rewind from state 5 back to the best state.
+            for state in (best_state..5).rev() {
+                self.swap_adjacent(schedule[state]);
+            }
+        }
+        self.note_reordering();
+        self.live_count()
+    }
+
+    /// Repeats [`BddManager::reorder`] until a pass stops shrinking the
+    /// graph (or `max_passes` is hit).
+    pub fn sift_to_fixpoint(&mut self, max_passes: usize) -> usize {
+        let mut size = self.live_count();
+        for _ in 0..max_passes {
+            let new_size = self.reorder();
+            if new_size >= size {
+                return new_size;
+            }
+            size = new_size;
+        }
+        size
+    }
+
+    /// Triggers [`BddManager::reorder`] if automatic reordering is enabled
+    /// and the live node count exceeds the configured threshold.
+    ///
+    /// Returns `true` if a reordering pass ran. Call this between
+    /// operations only — never while unprotected intermediate results are
+    /// held.
+    pub fn maybe_reorder(&mut self) -> bool {
+        if !self.reorder_settings.enabled
+            || self.live_count() <= self.reorder_settings.threshold
+        {
+            return false;
+        }
+        self.reorder();
+        let next = (self.live_count() as f64 * self.reorder_settings.growth) as usize;
+        self.reorder_settings.threshold = self.reorder_settings.threshold.max(next);
+        true
+    }
+
+    /// Rearranges the levels to match `order` exactly (top to bottom).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` is not a permutation of all declared variables.
+    pub fn set_var_order(&mut self, order: &[BddVar]) {
+        assert_eq!(order.len(), self.var_count(), "order must mention every variable");
+        let mut seen = vec![false; self.var_count()];
+        for v in order {
+            assert!(!std::mem::replace(&mut seen[v.0 as usize], true), "duplicate variable");
+        }
+        self.collect_garbage();
+        for (target, &var) in order.iter().enumerate() {
+            // Bubble `var` up to `target`; everything above `target` is done.
+            let mut pos = self.level_of(var);
+            debug_assert!(pos >= target as u32);
+            while pos > target as u32 {
+                self.swap_adjacent(pos - 1);
+                pos -= 1;
+            }
+        }
+    }
+
+    /// The current order as a top-to-bottom list of variables.
+    pub fn var_order(&self) -> Vec<BddVar> {
+        self.level_to_var.iter().map(|&v| BddVar(v)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds f = (x0 ∧ x1) ∨ (x2 ∧ x3) ∨ (x4 ∧ x5) and returns (manager, f).
+    fn two_level_example() -> (BddManager, Bdd, Vec<BddVar>) {
+        let mut m = BddManager::new();
+        let vars = m.new_vars(6);
+        let mut f = m.constant(false);
+        for pair in vars.chunks(2) {
+            let a = m.var(pair[0]);
+            let b = m.var(pair[1]);
+            let t = m.and(a, b);
+            f = m.or(f, t);
+        }
+        m.protect(f);
+        (m, f, vars)
+    }
+
+    fn truth_table(m: &BddManager, f: Bdd, n: usize) -> Vec<bool> {
+        (0..1u32 << n)
+            .map(|bits| {
+                let assign: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
+                m.eval(f, &assign)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn swap_preserves_semantics() {
+        let (mut m, f, _) = two_level_example();
+        let before = truth_table(&m, f, 6);
+        for level in 0..5 {
+            m.swap_adjacent(level);
+            m.check_invariants();
+            assert_eq!(truth_table(&m, f, 6), before, "swap at level {level} broke f");
+        }
+    }
+
+    #[test]
+    fn swap_twice_is_identity_order() {
+        let (mut m, f, vars) = two_level_example();
+        let order_before = m.var_order();
+        let size_before = m.node_count(f);
+        m.swap_adjacent(2);
+        m.swap_adjacent(2);
+        assert_eq!(m.var_order(), order_before);
+        assert_eq!(m.node_count(f), size_before);
+        let _ = vars;
+    }
+
+    #[test]
+    fn interleaved_order_shrinks_disjoint_conjunctions() {
+        // With order x0 x2 x4 x1 x3 x5 the function needs exponentially many
+        // nodes; sifting must recover (close to) the interleaved order.
+        let mut m = BddManager::new();
+        let vars = m.new_vars(6);
+        let bad = [vars[0], vars[2], vars[4], vars[1], vars[3], vars[5]];
+        m.set_var_order(&bad);
+        let mut f = m.constant(false);
+        for pair in [(0, 1), (2, 3), (4, 5)] {
+            let a = m.var(vars[pair.0]);
+            let b = m.var(vars[pair.1]);
+            let t = m.and(a, b);
+            f = m.or(f, t);
+        }
+        m.protect(f);
+        let before = m.node_count(f);
+        let tt = truth_table(&m, f, 6);
+        m.reorder();
+        m.check_invariants();
+        let after = m.node_count(f);
+        assert!(after < before, "sifting failed to shrink: {before} -> {after}");
+        assert_eq!(truth_table(&m, f, 6), tt);
+    }
+
+    #[test]
+    fn set_var_order_applies_permutation() {
+        let (mut m, f, vars) = two_level_example();
+        let tt = truth_table(&m, f, 6);
+        let target = vec![vars[5], vars[3], vars[1], vars[0], vars[2], vars[4]];
+        m.set_var_order(&target);
+        assert_eq!(m.var_order(), target);
+        m.check_invariants();
+        assert_eq!(truth_table(&m, f, 6), tt);
+    }
+
+    #[test]
+    fn window3_preserves_semantics_and_shrinks() {
+        let mut m = BddManager::new();
+        let vars = m.new_vars(6);
+        let bad = [vars[0], vars[2], vars[4], vars[1], vars[3], vars[5]];
+        m.set_var_order(&bad);
+        let mut f = m.constant(false);
+        for pair in [(0, 1), (2, 3), (4, 5)] {
+            let a = m.var(vars[pair.0]);
+            let b = m.var(vars[pair.1]);
+            let t = m.and(a, b);
+            f = m.or(f, t);
+        }
+        m.protect(f);
+        let tt = truth_table(&m, f, 6);
+        let before = m.node_count(f);
+        // A few passes: window-3 is local, so iterate.
+        for _ in 0..4 {
+            m.reorder_window3();
+        }
+        m.check_invariants();
+        assert_eq!(truth_table(&m, f, 6), tt);
+        assert!(m.node_count(f) <= before);
+    }
+
+    #[test]
+    fn window3_on_tiny_managers_is_noop() {
+        let mut m = BddManager::new();
+        let v = m.new_vars(2);
+        let a = m.var(v[0]);
+        let b = m.var(v[1]);
+        let f = m.and(a, b);
+        m.protect(f);
+        let size = m.reorder_window3();
+        assert_eq!(size, m.stats().live_nodes);
+    }
+
+    #[test]
+    fn maybe_reorder_respects_threshold() {
+        let mut m = BddManager::with_reordering(crate::ReorderSettings {
+            threshold: 1_000_000,
+            ..Default::default()
+        });
+        let vars = m.new_vars(4);
+        let a = m.var(vars[0]);
+        let b = m.var(vars[1]);
+        let f = m.and(a, b);
+        m.protect(f);
+        assert!(!m.maybe_reorder(), "below threshold must not reorder");
+    }
+
+    #[test]
+    fn reorder_reclaims_dead_nodes() {
+        let (mut m, f, _) = two_level_example();
+        // Create garbage.
+        for _ in 0..4 {
+            let g = m.not(f);
+            let _ = m.not(g);
+        }
+        let tt = truth_table(&m, f, 6);
+        m.reorder();
+        m.check_invariants();
+        assert_eq!(truth_table(&m, f, 6), tt);
+        assert_eq!(m.dead_nodes(), 0);
+    }
+
+    #[test]
+    fn projections_survive_reordering() {
+        let (mut m, _, vars) = two_level_example();
+        m.reorder();
+        for (i, &v) in vars.iter().enumerate() {
+            let lit = m.var(v);
+            let mut assign = vec![false; 6];
+            assert!(!m.eval(lit, &assign));
+            assign[i] = true;
+            assert!(m.eval(lit, &assign));
+        }
+    }
+}

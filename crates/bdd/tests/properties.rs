@@ -1,0 +1,218 @@
+//! Property-based tests: random Boolean expressions are built as BDDs and
+//! compared against direct evaluation, across garbage collection and
+//! reordering.
+
+use bbec_bdd::{BddManager, BddVar, Cube};
+use proptest::prelude::*;
+
+/// A tiny expression AST mirrored into both a BDD and a direct evaluator.
+#[derive(Debug, Clone)]
+enum Expr {
+    Var(usize),
+    Not(Box<Expr>),
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+    Xor(Box<Expr>, Box<Expr>),
+    Ite(Box<Expr>, Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    fn eval(&self, assign: &[bool]) -> bool {
+        match self {
+            Expr::Var(i) => assign[*i],
+            Expr::Not(a) => !a.eval(assign),
+            Expr::And(a, b) => a.eval(assign) && b.eval(assign),
+            Expr::Or(a, b) => a.eval(assign) || b.eval(assign),
+            Expr::Xor(a, b) => a.eval(assign) ^ b.eval(assign),
+            Expr::Ite(c, t, e) => {
+                if c.eval(assign) {
+                    t.eval(assign)
+                } else {
+                    e.eval(assign)
+                }
+            }
+        }
+    }
+
+    fn build(&self, m: &mut BddManager, vars: &[BddVar]) -> bbec_bdd::Bdd {
+        match self {
+            Expr::Var(i) => m.var(vars[*i]),
+            Expr::Not(a) => {
+                let x = a.build(m, vars);
+                m.not(x)
+            }
+            Expr::And(a, b) => {
+                let (x, y) = (a.build(m, vars), b.build(m, vars));
+                m.and(x, y)
+            }
+            Expr::Or(a, b) => {
+                let (x, y) = (a.build(m, vars), b.build(m, vars));
+                m.or(x, y)
+            }
+            Expr::Xor(a, b) => {
+                let (x, y) = (a.build(m, vars), b.build(m, vars));
+                m.xor(x, y)
+            }
+            Expr::Ite(c, t, e) => {
+                let (x, y, z) = (c.build(m, vars), t.build(m, vars), e.build(m, vars));
+                m.ite(x, y, z)
+            }
+        }
+    }
+}
+
+const NVARS: usize = 6;
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = (0..NVARS).prop_map(Expr::Var);
+    leaf.prop_recursive(5, 48, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|a| Expr::Not(Box::new(a))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Xor(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone(), inner)
+                .prop_map(|(a, b, c)| Expr::Ite(Box::new(a), Box::new(b), Box::new(c))),
+        ]
+    })
+}
+
+fn all_assignments() -> impl Iterator<Item = Vec<bool>> {
+    (0..1u32 << NVARS).map(|bits| (0..NVARS).map(|i| bits >> i & 1 == 1).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn bdd_matches_direct_evaluation(e in arb_expr()) {
+        let mut m = BddManager::new();
+        let vars = m.new_vars(NVARS);
+        let f = e.build(&mut m, &vars);
+        for assign in all_assignments() {
+            prop_assert_eq!(m.eval(f, &assign), e.eval(&assign));
+        }
+        m.check_invariants();
+    }
+
+    #[test]
+    fn semantics_survive_gc_and_reorder(e in arb_expr()) {
+        let mut m = BddManager::new();
+        let vars = m.new_vars(NVARS);
+        let f = e.build(&mut m, &vars);
+        m.protect(f);
+        let before: Vec<bool> = all_assignments().map(|a| m.eval(f, &a)).collect();
+        m.collect_garbage();
+        m.check_invariants();
+        let after_gc: Vec<bool> = all_assignments().map(|a| m.eval(f, &a)).collect();
+        prop_assert_eq!(&before, &after_gc);
+        m.reorder();
+        m.check_invariants();
+        let after_reorder: Vec<bool> = all_assignments().map(|a| m.eval(f, &a)).collect();
+        prop_assert_eq!(&before, &after_reorder);
+    }
+
+    #[test]
+    fn quantification_matches_expansion(e in arb_expr(), which in 0..NVARS) {
+        let mut m = BddManager::new();
+        let vars = m.new_vars(NVARS);
+        let f = e.build(&mut m, &vars);
+        let v = vars[which];
+        let f0 = m.restrict(f, v, false);
+        let f1 = m.restrict(f, v, true);
+        let ex = m.exists_vars(f, &[v]);
+        let expect_ex = m.or(f0, f1);
+        prop_assert_eq!(ex, expect_ex);
+        let fa = m.forall_vars(f, &[v]);
+        let expect_fa = m.and(f0, f1);
+        prop_assert_eq!(fa, expect_fa);
+    }
+
+    #[test]
+    fn compose_matches_shannon(e in arb_expr(), g in arb_expr(), which in 0..NVARS) {
+        let mut m = BddManager::new();
+        let vars = m.new_vars(NVARS);
+        let f = e.build(&mut m, &vars);
+        let rep = g.build(&mut m, &vars);
+        let v = vars[which];
+        let composed = m.compose(f, v, rep);
+        // compose(f, v, g) == ite(g, f|v=1, f|v=0)
+        let f1 = m.restrict(f, v, true);
+        let f0 = m.restrict(f, v, false);
+        let expect = m.ite(rep, f1, f0);
+        prop_assert_eq!(composed, expect);
+    }
+
+    #[test]
+    fn constrain_agrees_with_f_on_care_set(e in arb_expr(), c in arb_expr()) {
+        let mut m = BddManager::new();
+        let vars = m.new_vars(NVARS);
+        let f = e.build(&mut m, &vars);
+        let care = c.build(&mut m, &vars);
+        if care == m.constant(false) {
+            return Ok(()); // empty care set is rejected by contract
+        }
+        let g = m.constrain(f, care);
+        let lhs = m.and(g, care);
+        let rhs = m.and(f, care);
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn sat_count_matches_truth_table(e in arb_expr()) {
+        let mut m = BddManager::new();
+        let vars = m.new_vars(NVARS);
+        let f = e.build(&mut m, &vars);
+        let expect = all_assignments().filter(|a| e.eval(a)).count();
+        prop_assert_eq!(m.sat_count(f), expect as f64);
+    }
+
+    #[test]
+    fn any_sat_agrees_with_satisfiability(e in arb_expr()) {
+        let mut m = BddManager::new();
+        let vars = m.new_vars(NVARS);
+        let f = e.build(&mut m, &vars);
+        match m.any_sat(f) {
+            None => prop_assert!(all_assignments().all(|a| !e.eval(&a))),
+            Some(witness) => prop_assert!(e.eval(&witness.to_total(NVARS))),
+        }
+    }
+
+    #[test]
+    fn set_var_order_preserves_function(e in arb_expr(), seed in 0u64..1000) {
+        let mut m = BddManager::new();
+        let vars = m.new_vars(NVARS);
+        let f = e.build(&mut m, &vars);
+        m.protect(f);
+        let before: Vec<bool> = all_assignments().map(|a| m.eval(f, &a)).collect();
+        // A deterministic pseudo-random permutation from the seed.
+        let mut order: Vec<_> = vars.clone();
+        let mut s = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+        for i in (1..order.len()).rev() {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            order.swap(i, (s as usize) % (i + 1));
+        }
+        m.set_var_order(&order);
+        m.check_invariants();
+        let after: Vec<bool> = all_assignments().map(|a| m.eval(f, &a)).collect();
+        prop_assert_eq!(before, after);
+    }
+}
+
+#[test]
+fn quantify_multiple_vars_via_cube() {
+    let mut m = BddManager::new();
+    let vars = m.new_vars(4);
+    let lits: Vec<_> = vars.iter().map(|&v| m.var(v)).collect();
+    // f = (x0 ∧ x1) ∨ (x2 ∧ x3): ∃x1,x3. f = x0 ∨ x2.
+    let p = m.and(lits[0], lits[1]);
+    let q = m.and(lits[2], lits[3]);
+    let f = m.or(p, q);
+    let cube = Cube::from_vars(&mut m, &[vars[1], vars[3]]);
+    let ex = m.exists(f, cube);
+    let expect = m.or(lits[0], lits[2]);
+    assert_eq!(ex, expect);
+}

@@ -1,0 +1,125 @@
+//! Stress tests for automatic reordering interleaved with operations —
+//! the usage pattern of the symbolic simulator, where `maybe_reorder` runs
+//! between gate evaluations while all live signals are protected.
+
+use bbec_bdd::{Bdd, BddManager, BddVar, ReorderSettings};
+use proptest::prelude::*;
+
+const NVARS: usize = 10;
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    And(usize, usize),
+    Or(usize, usize),
+    Xor(usize, usize),
+    Not(usize),
+    ExistsVar(usize, usize),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..64usize, 0..64usize).prop_map(|(a, b)| Op::And(a, b)),
+        (0..64usize, 0..64usize).prop_map(|(a, b)| Op::Or(a, b)),
+        (0..64usize, 0..64usize).prop_map(|(a, b)| Op::Xor(a, b)),
+        (0..64usize).prop_map(Op::Not),
+        (0..64usize, 0..NVARS).prop_map(|(a, v)| Op::ExistsVar(a, v)),
+    ]
+}
+
+/// Evaluates a node pool entry under an assignment, by construction log.
+fn eval_log(log: &[(Op, usize)], leaves: usize, idx: usize, assign: &[bool]) -> bool {
+    if idx < leaves {
+        return assign[idx % NVARS];
+    }
+    let (op, _) = log[idx - leaves];
+    match op {
+        Op::And(a, b) => {
+            eval_log(log, leaves, a, assign) && eval_log(log, leaves, b, assign)
+        }
+        Op::Or(a, b) => eval_log(log, leaves, a, assign) || eval_log(log, leaves, b, assign),
+        Op::Xor(a, b) => eval_log(log, leaves, a, assign) ^ eval_log(log, leaves, b, assign),
+        Op::Not(a) => !eval_log(log, leaves, a, assign),
+        Op::ExistsVar(a, v) => {
+            let mut lo = assign.to_vec();
+            lo[v] = false;
+            let mut hi = assign.to_vec();
+            hi[v] = true;
+            eval_log(log, leaves, a, &lo) || eval_log(log, leaves, a, &hi)
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// A random operation sequence with a hair-trigger reorder threshold:
+    /// every protected pool entry must keep its meaning through dozens of
+    /// garbage-collecting sifting passes.
+    #[test]
+    fn random_ops_survive_aggressive_reordering(ops in proptest::collection::vec(arb_op(), 1..40)) {
+        let mut m = BddManager::with_reordering(ReorderSettings {
+            threshold: 48, // absurdly low: reorder almost every step
+            ..ReorderSettings::default()
+        });
+        let vars: Vec<BddVar> = m.new_vars(NVARS);
+        let mut pool: Vec<Bdd> = vars.iter().map(|&v| m.var(v)).collect();
+        let leaves = pool.len();
+        let mut log: Vec<(Op, usize)> = Vec::new();
+        for &op in &ops {
+            let pick = |i: usize| -> usize { i % (leaves + log.len()) };
+            let result = match op {
+                Op::And(a, b) => {
+                    let (x, y) = (pool[pick(a)], pool[pick(b)]);
+                    m.and(x, y)
+                }
+                Op::Or(a, b) => {
+                    let (x, y) = (pool[pick(a)], pool[pick(b)]);
+                    m.or(x, y)
+                }
+                Op::Xor(a, b) => {
+                    let (x, y) = (pool[pick(a)], pool[pick(b)]);
+                    m.xor(x, y)
+                }
+                Op::Not(a) => {
+                    let x = pool[pick(a)];
+                    m.not(x)
+                }
+                Op::ExistsVar(a, v) => {
+                    let x = pool[pick(a)];
+                    m.exists_vars(x, &[vars[v]])
+                }
+            };
+            m.protect(result);
+            // Renormalise the op's operand indices for the evaluator log.
+            let fixed = match op {
+                Op::And(a, b) => Op::And(pick(a), pick(b)),
+                Op::Or(a, b) => Op::Or(pick(a), pick(b)),
+                Op::Xor(a, b) => Op::Xor(pick(a), pick(b)),
+                Op::Not(a) => Op::Not(pick(a)),
+                Op::ExistsVar(a, v) => Op::ExistsVar(pick(a), v),
+            };
+            log.push((fixed, 0));
+            pool.push(result);
+            m.maybe_reorder();
+        }
+        // Large runs must actually have exercised reordering; tiny shrunken
+        // cases may legitimately stay under the threshold.
+        if m.stats().live_nodes > 48 {
+            prop_assert!(m.stats().reorderings > 0, "threshold must have triggered");
+        }
+        m.check_invariants();
+        // Spot-check every pool entry on a deterministic assignment sample.
+        for bits in (0..1u32 << NVARS).step_by(37) {
+            let assign: Vec<bool> = (0..NVARS).map(|i| bits >> i & 1 == 1).collect();
+            for (i, &f) in pool.iter().enumerate() {
+                prop_assert_eq!(
+                    m.eval(f, &assign),
+                    eval_log(&log, leaves, i, &assign),
+                    "pool entry {} diverged at {:b}",
+                    i,
+                    bits
+                );
+            }
+        }
+    }
+}

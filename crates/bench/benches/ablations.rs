@@ -1,0 +1,141 @@
+//! Ablation benchmarks for the design choices called out in DESIGN.md:
+//! dynamic reordering on/off, static input ordering, and the netlist
+//! optimiser's effect on check cost.
+
+use bbec_core::{checks, CheckSettings, PartialCircuit};
+use bbec_netlist::{benchmarks, generators};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn instance(name: &str) -> (bbec_netlist::Circuit, PartialCircuit) {
+    let spec = benchmarks::by_name(name).expect("known benchmark").circuit;
+    let mut rng = StdRng::seed_from_u64(7);
+    let partial =
+        PartialCircuit::random_black_boxes(&spec, 0.1, 1, &mut rng).expect("valid selection");
+    (spec, partial)
+}
+
+fn settings(reorder: bool) -> CheckSettings {
+    CheckSettings {
+        dynamic_reordering: reorder,
+        random_patterns: 500,
+        ..CheckSettings::default()
+    }
+}
+
+/// Dynamic reordering on vs off, for the cheapest and the joint check.
+/// (The paper ran everything with reordering on; this quantifies why.)
+fn ablate_reordering(c: &mut Criterion) {
+    let (spec, partial) = instance("C432");
+    let mut group = c.benchmark_group("ablation/reordering_C432");
+    group.sample_size(10);
+    for (label, reorder) in [("on", true), ("off", false)] {
+        let s = settings(reorder);
+        group.bench_function(format!("symbolic_01x/{label}"), |b| {
+            b.iter(|| black_box(checks::symbolic_01x(&spec, &partial, &s).expect("check runs")))
+        });
+        group.bench_function(format!("output_exact/{label}"), |b| {
+            b.iter(|| black_box(checks::output_exact(&spec, &partial, &s).expect("check runs")))
+        });
+    }
+    group.finish();
+}
+
+/// The input-exact check with and without reordering on a box whose
+/// H-relation depends on sifting to stay small.
+fn ablate_reordering_input_exact(c: &mut Criterion) {
+    let (spec, partial) = instance("alu4");
+    let mut group = c.benchmark_group("ablation/reordering_ie_alu4");
+    group.sample_size(10);
+    for (label, reorder) in [("on", true), ("off", false)] {
+        let s = settings(reorder);
+        group.bench_function(format!("input_exact/{label}"), |b| {
+            b.iter(|| black_box(checks::input_exact(&spec, &partial, &s).expect("check runs")))
+        });
+    }
+    group.finish();
+}
+
+/// Netlist optimisation as a pre-pass: does shrinking the spec first pay
+/// for itself in the symbolic checks?
+fn ablate_optimizer_prepass(c: &mut Criterion) {
+    let raw = generators::random_logic("abl", 12, 300, 6, 5);
+    let opt = bbec_netlist::opt::optimize(&raw).expect("optimises cleanly");
+    let mut rng = StdRng::seed_from_u64(3);
+    let partial_raw =
+        PartialCircuit::random_black_boxes(&raw, 0.1, 1, &mut rng).expect("valid selection");
+    let mut rng = StdRng::seed_from_u64(3);
+    let partial_opt =
+        PartialCircuit::random_black_boxes(&opt, 0.1, 1, &mut rng).expect("valid selection");
+    let s = settings(true);
+    let mut group = c.benchmark_group("ablation/optimizer_prepass");
+    group.sample_size(10);
+    group.bench_function("raw_netlist", |b| {
+        b.iter(|| black_box(checks::output_exact(&raw, &partial_raw, &s).expect("check runs")))
+    });
+    group.bench_function("optimized_netlist", |b| {
+        b.iter(|| black_box(checks::output_exact(&opt, &partial_opt, &s).expect("check runs")))
+    });
+    group.finish();
+}
+
+/// Sifting vs window-3 permutation on a pessimal variable order.
+fn ablate_reorder_algorithm(c: &mut Criterion) {
+    use bbec_bdd::BddManager;
+    let build_bad = || {
+        let mut m = BddManager::new();
+        let n = 14;
+        let vars = m.new_vars(n);
+        let mut shuffled = vars.clone();
+        shuffled.sort_by_key(|v| (v.index() % 2, v.index()));
+        m.set_var_order(&shuffled);
+        let mut f = m.constant(false);
+        for i in (0..n).step_by(2) {
+            let a = m.var(vars[i]);
+            let bb = m.var(vars[i + 1]);
+            let t = m.and(a, bb);
+            f = m.or(f, t);
+        }
+        m.protect(f);
+        (m, f)
+    };
+    let mut group = c.benchmark_group("ablation/reorder_algorithm");
+    group.sample_size(10);
+    group.bench_function("sifting", |b| {
+        b.iter(|| {
+            let (mut m, f) = build_bad();
+            m.reorder();
+            black_box(m.node_count(f))
+        })
+    });
+    group.bench_function("window3_x4", |b| {
+        b.iter(|| {
+            let (mut m, f) = build_bad();
+            for _ in 0..4 {
+                m.reorder_window3();
+            }
+            black_box(m.node_count(f))
+        })
+    });
+    group.finish();
+}
+
+/// Cost of the optimiser itself on a mid-sized netlist.
+fn bench_optimizer(c: &mut Criterion) {
+    let raw = generators::random_logic("opt", 12, 400, 6, 11);
+    c.bench_function("netlist/optimize_400_gates", |b| {
+        b.iter(|| black_box(bbec_netlist::opt::optimize(&raw).expect("optimises cleanly")))
+    });
+}
+
+criterion_group!(
+    benches,
+    ablate_reordering,
+    ablate_reordering_input_exact,
+    ablate_optimizer_prepass,
+    ablate_reorder_algorithm,
+    bench_optimizer
+);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! One Criterion benchmark per table column: the five checking methods of
+//! the paper plus the two SAT-based variants, each on a fixed
+//! black-box instance of the `comp` and `alu4` benchmark substitutes.
+
+use bbec_core::{checks, sat_checks, CheckSettings, PartialCircuit};
+use bbec_netlist::benchmarks;
+use bbec_netlist::Circuit;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn instance(name: &str) -> (Circuit, PartialCircuit) {
+    let spec = benchmarks::by_name(name).expect("known benchmark").circuit;
+    let mut rng = StdRng::seed_from_u64(7);
+    let partial =
+        PartialCircuit::random_black_boxes(&spec, 0.1, 1, &mut rng).expect("valid selection");
+    (spec, partial)
+}
+
+fn settings() -> CheckSettings {
+    CheckSettings {
+        dynamic_reordering: true,
+        random_patterns: 1000,
+        ..CheckSettings::default()
+    }
+}
+
+fn bench_circuit(c: &mut Criterion, name: &str) {
+    let (spec, partial) = instance(name);
+    let s = settings();
+    let mut group = c.benchmark_group(format!("checks/{name}"));
+    group.sample_size(10);
+    group.bench_function("random_patterns", |b| {
+        b.iter(|| black_box(checks::random_patterns(&spec, &partial, &s).expect("check runs")))
+    });
+    group.bench_function("symbolic_01x", |b| {
+        b.iter(|| black_box(checks::symbolic_01x(&spec, &partial, &s).expect("check runs")))
+    });
+    group.bench_function("local", |b| {
+        b.iter(|| black_box(checks::local_check(&spec, &partial, &s).expect("check runs")))
+    });
+    group.bench_function("output_exact", |b| {
+        b.iter(|| black_box(checks::output_exact(&spec, &partial, &s).expect("check runs")))
+    });
+    group.bench_function("input_exact", |b| {
+        b.iter(|| black_box(checks::input_exact(&spec, &partial, &s).expect("check runs")))
+    });
+    group.bench_function("sat_dual_rail", |b| {
+        b.iter(|| black_box(sat_checks::sat_dual_rail(&spec, &partial, &s).expect("check runs")))
+    });
+    group.bench_function("sat_output_exact", |b| {
+        b.iter(|| {
+            black_box(
+                sat_checks::sat_output_exact(&spec, &partial, &s, 1_000_000)
+                    .expect("check runs"),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_comp(c: &mut Criterion) {
+    bench_circuit(c, "comp");
+}
+
+fn bench_alu4(c: &mut Criterion) {
+    bench_circuit(c, "alu4");
+}
+
+criterion_group!(benches, bench_comp, bench_alu4);
+criterion_main!(benches);

@@ -1,0 +1,118 @@
+//! Regenerates the paper's evaluation tables.
+//!
+//! ```text
+//! experiments table1 [options]   # 10% of gates, one black box  (Table 1)
+//! experiments table2 [options]   # 10% of gates, five black boxes (Table 2)
+//! experiments table40 [options]  # 40% variant (Section 3 / TR [16])
+//! experiments all [options]
+//!
+//! options:
+//!   --selections N   random box selections per circuit   (default 3; paper 5)
+//!   --errors N       error insertions per selection      (default 25; paper 100)
+//!   --patterns N     random patterns for the r.p. column (default 5000)
+//!   --circuits a,b   only these benchmark circuits
+//!   --seed N         master seed (default 2001)
+//!   --sat            add the SAT-based columns (dual-rail 0,1,X and CEGAR oe)
+//!   --no-reorder     disable dynamic BDD reordering
+//!   --paper          paper-scale run (5 selections × 100 errors)
+//! ```
+
+use bbec_bench::{
+    render_sequential_table, render_table, run_experiment, run_sequential_experiment,
+    ExperimentConfig, SeqExperimentConfig,
+};
+use bbec_core::Method;
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!("usage: experiments <table1|table2|table40|all|sequential> [options]  (see source header)");
+    exit(2)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let command = args[0].clone();
+    let mut base = ExperimentConfig {
+        selections: 3,
+        errors_per_selection: 25,
+        ..ExperimentConfig::default()
+    };
+    let mut i = 1;
+    let parse_n = |args: &[String], i: &mut usize| -> usize {
+        *i += 1;
+        args.get(*i)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| usage())
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--selections" => base.selections = parse_n(&args, &mut i),
+            "--errors" => base.errors_per_selection = parse_n(&args, &mut i),
+            "--patterns" => base.random_patterns = parse_n(&args, &mut i),
+            "--seed" => base.seed = parse_n(&args, &mut i) as u64,
+            "--circuits" => {
+                i += 1;
+                let list = args.get(i).unwrap_or_else(|| usage());
+                base.circuits = list.split(',').map(str::to_string).collect();
+            }
+            "--sat" => {
+                base.methods.push(Method::SatDualRail);
+                base.methods.push(Method::SatOutputExact);
+            }
+            "--no-reorder" => base.dynamic_reordering = false,
+            "--paper" => {
+                base.selections = 5;
+                base.errors_per_selection = 100;
+            }
+            other => {
+                eprintln!("unknown option `{other}`");
+                usage();
+            }
+        }
+        i += 1;
+    }
+
+    if command == "sequential" {
+        println!(
+            "# bbec sequential extension — {} error insertions per design, seed {}",
+            base.errors_per_selection, base.seed
+        );
+        let config = SeqExperimentConfig {
+            errors: base.errors_per_selection,
+            seed: base.seed,
+            ..SeqExperimentConfig::default()
+        };
+        let results = run_sequential_experiment(&config);
+        print!("{}", render_sequential_table(&results));
+        return;
+    }
+    let tables: Vec<(&str, f64, usize)> = match command.as_str() {
+        "table1" => vec![("Table 1: 10% of the gates included in one Black Box", 0.1, 1)],
+        "table2" => vec![("Table 2: 10% of the gates included in five Black Boxes", 0.1, 5)],
+        "table40" => vec![
+            ("Table 3 (TR variant): 40% of the gates included in one Black Box", 0.4, 1),
+            ("Table 4 (TR variant): 40% of the gates included in five Black Boxes", 0.4, 5),
+        ],
+        "all" => vec![
+            ("Table 1: 10% of the gates included in one Black Box", 0.1, 1),
+            ("Table 2: 10% of the gates included in five Black Boxes", 0.1, 5),
+            ("Table 3 (TR variant): 40% of the gates included in one Black Box", 0.4, 1),
+            ("Table 4 (TR variant): 40% of the gates included in five Black Boxes", 0.4, 5),
+        ],
+        _ => usage(),
+    };
+    println!(
+        "# bbec experiments — {} selections × {} error insertions per circuit, seed {}",
+        base.selections, base.errors_per_selection, base.seed
+    );
+    for (title, fraction, boxes) in tables {
+        let config = ExperimentConfig { fraction, boxes, ..base.clone() };
+        eprintln!("running: {title}");
+        let results = run_experiment(&config);
+        println!();
+        print!("{}", render_table(title, &results));
+    }
+}

@@ -1,0 +1,34 @@
+//! A quick per-circuit timing probe: runs every check method once on each
+//! benchmark substitute with a fixed 10%/one-box selection and prints a
+//! cost row per circuit. Useful for sizing experiment configurations.
+//!
+//! `cargo run --release -p bbec-bench --bin timing`
+use bbec_core::{checks, CheckSettings, PartialCircuit};
+use bbec_netlist::benchmarks;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn main() {
+    let s = CheckSettings { random_patterns: 5000, ..CheckSettings::default() };
+    for bench in benchmarks::suite() {
+        let spec = &bench.circuit;
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = PartialCircuit::random_black_boxes(spec, 0.1, 1, &mut rng).unwrap();
+        let bx = &p.boxes()[0];
+        print!("{:<7} ({:>3} gates boxed, {:>2} in {:>2} out)", bench.name,
+            spec.gates().len() - p.circuit().gates().len(), bx.inputs.len(), bx.outputs.len());
+        for (name, f) in [
+            ("rp", checks::random_patterns as fn(_, _, _) -> _),
+            ("01x", checks::symbolic_01x),
+            ("loc", checks::local_check),
+            ("oe", checks::output_exact),
+            ("ie", checks::input_exact),
+        ] {
+            let t = Instant::now();
+            let out = match f(spec, &p, &s) { Ok(o) => o, Err(e) => { print!("  {name}:ABORT({e})"); continue; } };
+            { use std::io::Write as _; print!("  {name}:{:>7.2?}({})", t.elapsed(), if out.is_error() {"E"} else {"-"}); std::io::stdout().flush().ok(); }
+        }
+        println!();
+    }
+}

@@ -1,0 +1,296 @@
+//! The experiment runner: black-box selection, error insertion, checking.
+
+use bbec_core::{checks, sat_checks, CheckSettings, Method, PartialCircuit, Verdict};
+use bbec_netlist::benchmarks::{self, Benchmark};
+use bbec_netlist::mutate::Mutation;
+use bbec_netlist::Circuit;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+
+/// Parameters of one table run.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// Fraction of the gates moved into black boxes (paper: 0.1 or 0.4).
+    pub fraction: f64,
+    /// Number of black boxes (paper: 1 or 5).
+    pub boxes: usize,
+    /// Independent random box selections per circuit (paper: 5).
+    pub selections: usize,
+    /// Error insertions per selection (paper: 100).
+    pub errors_per_selection: usize,
+    /// Patterns for the `r.p.` column (paper: 5000).
+    pub random_patterns: usize,
+    /// Master seed; every drawn object derives from it deterministically.
+    pub seed: u64,
+    /// Benchmark names to run (empty = the full nine-circuit suite).
+    pub circuits: Vec<String>,
+    /// The methods (columns) to evaluate.
+    pub methods: Vec<Method>,
+    /// Enable dynamic BDD reordering (paper: on).
+    pub dynamic_reordering: bool,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            fraction: 0.1,
+            boxes: 1,
+            selections: 5,
+            errors_per_selection: 100,
+            random_patterns: 5_000,
+            seed: 2001,
+            circuits: Vec::new(),
+            methods: vec![
+                Method::RandomPatterns,
+                Method::Symbolic01X,
+                Method::Local,
+                Method::OutputExact,
+                Method::InputExact,
+            ],
+            dynamic_reordering: true,
+        }
+    }
+}
+
+/// Aggregated results for one method on one circuit.
+#[derive(Debug, Clone, Default)]
+pub struct MethodAgg {
+    pub detected: usize,
+    pub trials: usize,
+    /// Checks aborted by the BDD node budget (counted as "not detected").
+    pub aborted: usize,
+    /// Maximum "implementation nodes" seen (paper columns 10–13).
+    pub impl_nodes: usize,
+    /// Maximum peak-nodes-during-check seen (paper columns 14–16).
+    pub peak_nodes: usize,
+    pub total_time: Duration,
+}
+
+impl MethodAgg {
+    /// Detection ratio in percent.
+    pub fn ratio(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            100.0 * self.detected as f64 / self.trials as f64
+        }
+    }
+}
+
+/// All results for one benchmark circuit.
+#[derive(Debug, Clone)]
+pub struct CircuitResult {
+    pub name: String,
+    pub inputs: usize,
+    pub outputs: usize,
+    /// BDD nodes of the specification (paper column 4).
+    pub spec_nodes: usize,
+    pub per_method: Vec<(Method, MethodAgg)>,
+}
+
+/// One method invocation's reduced result.
+struct MethodRun {
+    found: bool,
+    aborted: bool,
+    impl_nodes: usize,
+    peak_nodes: usize,
+    time: Duration,
+}
+
+/// Runs one check method; a budget abort counts as "no error found".
+fn run_method(
+    method: Method,
+    spec: &Circuit,
+    partial: &PartialCircuit,
+    settings: &CheckSettings,
+) -> MethodRun {
+    let start = Instant::now();
+    let outcome = match method {
+        Method::RandomPatterns => checks::random_patterns(spec, partial, settings),
+        Method::Symbolic01X => checks::symbolic_01x(spec, partial, settings),
+        Method::Local => checks::local_check(spec, partial, settings),
+        Method::OutputExact => checks::output_exact(spec, partial, settings),
+        Method::InputExact => checks::input_exact(spec, partial, settings),
+        Method::SatDualRail => sat_checks::sat_dual_rail(spec, partial, settings),
+        Method::SatOutputExact => {
+            sat_checks::sat_output_exact(spec, partial, settings, 1_000_000)
+        }
+        Method::ExactDecomposition => {
+            panic!("exact decomposition is not an experiment column")
+        }
+    };
+    match outcome {
+        Ok(o) => MethodRun {
+            found: o.verdict == Verdict::ErrorFound,
+            aborted: false,
+            impl_nodes: o.stats.impl_nodes,
+            peak_nodes: o.stats.peak_check_nodes,
+            time: o.stats.duration,
+        },
+        Err(bbec_core::CheckError::BudgetExceeded(_)) => MethodRun {
+            found: false,
+            aborted: true,
+            impl_nodes: 0,
+            peak_nodes: 0,
+            time: start.elapsed(),
+        },
+        Err(e) => panic!("check {method} failed: {e}"),
+    }
+}
+
+/// Number of BDD nodes representing the specification alone.
+fn spec_node_count(spec: &Circuit, settings: &CheckSettings) -> usize {
+    let mut ctx = bbec_core::SymbolicContext::new(spec, settings);
+    let outs = ctx.build_outputs(spec).expect("benchmark circuits are complete");
+    ctx.manager.node_count_many(&outs)
+}
+
+/// Runs the experiment over the configured circuits; deterministic in
+/// `config.seed`.
+///
+/// Progress lines are written to stderr so stdout stays a clean table.
+pub fn run_experiment(config: &ExperimentConfig) -> Vec<CircuitResult> {
+    let suite: Vec<Benchmark> = if config.circuits.is_empty() {
+        benchmarks::suite()
+    } else {
+        config
+            .circuits
+            .iter()
+            .map(|n| benchmarks::by_name(n).unwrap_or_else(|| panic!("unknown circuit `{n}`")))
+            .collect()
+    };
+    let settings = CheckSettings {
+        dynamic_reordering: config.dynamic_reordering,
+        random_patterns: config.random_patterns,
+        ..CheckSettings::default()
+    };
+    let mut results = Vec::new();
+    for bench in suite {
+        let start = Instant::now();
+        let spec = &bench.circuit;
+        let spec_nodes = spec_node_count(spec, &settings);
+        let mut aggs: Vec<(Method, MethodAgg)> =
+            config.methods.iter().map(|&m| (m, MethodAgg::default())).collect();
+        for sel in 0..config.selections {
+            let mut rng = StdRng::seed_from_u64(
+                config.seed ^ (sel as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    ^ hash_name(bench.name),
+            );
+            let sets =
+                PartialCircuit::random_convex_partition(spec, config.fraction, config.boxes, &mut rng);
+            let boxed: HashSet<u32> = sets.iter().flatten().copied().collect();
+            let allowed: Vec<u32> =
+                (0..spec.gates().len() as u32).filter(|g| !boxed.contains(g)).collect();
+            for _err in 0..config.errors_per_selection {
+                let Some(mutation) = Mutation::random(spec, &allowed, &mut rng) else {
+                    continue;
+                };
+                let faulty = mutation.apply(spec).expect("mutation fits by construction");
+                let partial = PartialCircuit::black_box_partition(&faulty, &sets)
+                    .expect("selection stays valid after a non-box mutation");
+                for (method, agg) in &mut aggs {
+                    let run = run_method(*method, spec, &partial, &settings);
+                    agg.trials += 1;
+                    agg.detected += usize::from(run.found);
+                    agg.aborted += usize::from(run.aborted);
+                    agg.impl_nodes = agg.impl_nodes.max(run.impl_nodes);
+                    agg.peak_nodes = agg.peak_nodes.max(run.peak_nodes);
+                    agg.total_time += run.time;
+                }
+            }
+            eprintln!(
+                "  {}: selection {}/{} done ({:.1}s)",
+                bench.name,
+                sel + 1,
+                config.selections,
+                start.elapsed().as_secs_f64()
+            );
+        }
+        results.push(CircuitResult {
+            name: bench.name.to_string(),
+            inputs: spec.inputs().len(),
+            outputs: spec.outputs().len(),
+            spec_nodes,
+            per_method: aggs,
+        });
+    }
+    results
+}
+
+fn hash_name(name: &str) -> u64 {
+    name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> ExperimentConfig {
+        ExperimentConfig {
+            selections: 1,
+            errors_per_selection: 3,
+            random_patterns: 200,
+            // A small box (3% of alu4) keeps the H-relation of the
+            // input-exact check cheap enough for debug-build tests;
+            // reordering stays on, as in the paper.
+            fraction: 0.03,
+            circuits: vec!["alu4".to_string()],
+            ..ExperimentConfig::default()
+        }
+    }
+
+    #[test]
+    fn tiny_run_produces_monotone_columns() {
+        let results = run_experiment(&tiny_config());
+        assert_eq!(results.len(), 1);
+        let r = &results[0];
+        assert_eq!(r.name, "alu4");
+        assert_eq!(r.inputs, 14);
+        assert!(r.spec_nodes > 0);
+        // Detection counts must be monotone along the ladder (columns 5–9).
+        let counts: Vec<usize> = r.per_method.iter().map(|(_, a)| a.detected).collect();
+        for w in counts.windows(2) {
+            assert!(w[0] <= w[1], "ladder monotonicity violated: {counts:?}");
+        }
+        for (_, a) in &r.per_method {
+            assert_eq!(a.trials, 3);
+        }
+    }
+
+    #[test]
+    fn experiment_is_deterministic() {
+        let a = run_experiment(&tiny_config());
+        let b = run_experiment(&tiny_config());
+        let da: Vec<usize> = a[0].per_method.iter().map(|(_, x)| x.detected).collect();
+        let db: Vec<usize> = b[0].per_method.iter().map(|(_, x)| x.detected).collect();
+        assert_eq!(da, db);
+    }
+
+    #[test]
+    fn five_box_variant_runs() {
+        let config = ExperimentConfig { boxes: 5, ..tiny_config() };
+        let results = run_experiment(&config);
+        assert_eq!(results[0].per_method.len(), 5);
+    }
+
+    #[test]
+    fn sat_columns_agree_with_bdd_columns() {
+        use bbec_core::Method;
+        let mut config = tiny_config();
+        config.methods = vec![
+            Method::Symbolic01X,
+            Method::SatDualRail,
+            Method::OutputExact,
+            Method::SatOutputExact,
+        ];
+        let results = run_experiment(&config);
+        let r = &results[0];
+        let detected: Vec<usize> = r.per_method.iter().map(|(_, a)| a.detected).collect();
+        assert_eq!(detected[0], detected[1], "0,1,X: BDD vs SAT dual-rail");
+        assert_eq!(detected[2], detected[3], "output-exact: BDD vs CEGAR");
+    }
+}

@@ -1,0 +1,24 @@
+//! # bbec-bench — the experiment harness
+//!
+//! Regenerates the evaluation of Scholl & Becker (DAC 2001):
+//!
+//! * **Table 1** — 10% of the gates in **one** black box,
+//! * **Table 2** — 10% of the gates in **five** black boxes,
+//! * the **40% variant** mentioned in Section 3 (details in the TR [16]),
+//!
+//! each over the nine benchmark substitutes, reporting per method the error
+//! detection ratio, implementation BDD nodes, peak BDD nodes during the
+//! check and run time — the same columns as the paper's tables.
+//!
+//! The binary `experiments` drives [`run_experiment`]; Criterion
+//! micro-benches live under `benches/`.
+
+pub mod experiment;
+pub mod seq_experiment;
+pub mod table;
+
+pub use experiment::{run_experiment, CircuitResult, ExperimentConfig, MethodAgg};
+pub use seq_experiment::{
+    render_sequential_table, run_sequential_experiment, SeqExperimentConfig, SeqResult,
+};
+pub use table::render_table;

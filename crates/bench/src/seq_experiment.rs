@@ -1,0 +1,189 @@
+//! Extension experiment: bounded *sequential* black-box checking.
+//!
+//! For each sequential benchmark, an error is inserted into the finished
+//! transition logic, part of the logic is black-boxed, and the
+//! specification and partial implementation are time-frame expanded for
+//! increasing bounds `k`. The detection ratio as a function of `k` shows
+//! how many clock cycles of behaviour are needed before a sequential error
+//! becomes provable — the bounded analogue of the paper's tables for its
+//! sequential future-work item.
+
+use bbec_core::unroll::{unroll, unroll_partial, SequentialCircuit};
+use bbec_core::{checks, CheckSettings, PartialCircuit, Verdict};
+use bbec_netlist::mutate::Mutation;
+use bbec_netlist::seqgen::{self, SequentialDesign};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashSet;
+use std::fmt::Write as _;
+
+/// Parameters of the sequential sweep.
+#[derive(Debug, Clone)]
+pub struct SeqExperimentConfig {
+    /// Unroll depths to evaluate.
+    pub frames: Vec<usize>,
+    /// Error insertions per design.
+    pub errors: usize,
+    /// Fraction of transition-logic gates per black box.
+    pub fraction: f64,
+    pub seed: u64,
+}
+
+impl Default for SeqExperimentConfig {
+    fn default() -> Self {
+        SeqExperimentConfig {
+            frames: vec![1, 2, 3, 4, 6],
+            errors: 12,
+            fraction: 0.15,
+            seed: 1971,
+        }
+    }
+}
+
+/// Detection counts per unroll depth for one design.
+#[derive(Debug, Clone)]
+pub struct SeqResult {
+    pub name: String,
+    pub registers: usize,
+    pub trials: usize,
+    /// `(frames, detected)` per configured depth.
+    pub per_frame: Vec<(usize, usize)>,
+}
+
+fn designs() -> Vec<SequentialDesign> {
+    vec![
+        seqgen::counter(3),
+        seqgen::lfsr(4),
+        seqgen::sequence_detector(),
+        seqgen::traffic_light(),
+        seqgen::tapped_shift_register(4),
+    ]
+}
+
+/// Runs the sweep; deterministic in the seed.
+pub fn run_sequential_experiment(config: &SeqExperimentConfig) -> Vec<SeqResult> {
+    let settings = CheckSettings {
+        dynamic_reordering: true,
+        random_patterns: 500,
+        ..CheckSettings::default()
+    };
+    let mut results = Vec::new();
+    for design in designs() {
+        let tc = &design.circuit;
+        let seq = SequentialCircuit::new(
+            tc.clone(),
+            design.state.clone(),
+            design.initial.clone(),
+        )
+        .expect("generator designs are valid");
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut per_frame: Vec<(usize, usize)> =
+            config.frames.iter().map(|&k| (k, 0)).collect();
+        let mut trials = 0;
+        for _ in 0..config.errors {
+            let sets =
+                PartialCircuit::random_convex_partition(tc, config.fraction, 1, &mut rng);
+            let boxed: HashSet<u32> = sets.iter().flatten().copied().collect();
+            let allowed: Vec<u32> =
+                (0..tc.gates().len() as u32).filter(|g| !boxed.contains(g)).collect();
+            let Some(mutation) = Mutation::random(tc, &allowed, &mut rng) else {
+                continue;
+            };
+            let Ok(faulty) = mutation.apply(tc) else { continue };
+            let Ok(partial) = PartialCircuit::black_box_partition(&faulty, &sets) else {
+                continue;
+            };
+            trials += 1;
+            for (k, detected) in per_frame.iter_mut() {
+                let spec_k = unroll(&seq, *k).expect("valid unrolling");
+                let partial_k =
+                    unroll_partial(&partial, &design.state, &design.initial, *k)
+                        .expect("valid partial unrolling");
+                let verdict = checks::output_exact(&spec_k, &partial_k, &settings)
+                    .expect("check runs")
+                    .verdict;
+                if verdict == Verdict::ErrorFound {
+                    *detected += 1;
+                }
+            }
+        }
+        results.push(SeqResult {
+            name: tc.name().to_string(),
+            registers: design.state.len(),
+            trials,
+            per_frame,
+        });
+    }
+    results
+}
+
+/// Renders the sweep as a "detection vs unroll depth" table.
+pub fn render_sequential_table(results: &[SeqResult]) -> String {
+    let mut out = String::new();
+    out.push_str("Sequential extension: output-exact detection ratio vs unroll depth k\n");
+    if results.is_empty() {
+        return out;
+    }
+    let _ = write!(out, "{:<10} {:>4} {:>6} |", "design", "regs", "trials");
+    for &(k, _) in &results[0].per_frame {
+        let _ = write!(out, " {:>6}", format!("k={k}"));
+    }
+    out.push('\n');
+    for r in results {
+        let _ = write!(out, "{:<10} {:>4} {:>6} |", r.name, r.registers, r.trials);
+        for &(_, d) in &r.per_frame {
+            let pct = if r.trials == 0 { 0.0 } else { 100.0 * d as f64 / r.trials as f64 };
+            let _ = write!(out, " {pct:>5.0}%");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detection_is_monotone_in_unroll_depth() {
+        let config = SeqExperimentConfig {
+            frames: vec![1, 2, 4],
+            errors: 6,
+            ..SeqExperimentConfig::default()
+        };
+        let results = run_sequential_experiment(&config);
+        assert_eq!(results.len(), 5);
+        for r in &results {
+            assert!(r.trials > 0, "{}", r.name);
+            // A longer unrolling sees everything a shorter one sees.
+            for w in r.per_frame.windows(2) {
+                assert!(
+                    w[0].1 <= w[1].1,
+                    "{}: detection dropped from k={} to k={}",
+                    r.name,
+                    w[0].0,
+                    w[1].0
+                );
+            }
+        }
+        // Across the suite, deeper unrolling must catch strictly more
+        // errors than single-frame checking.
+        let first: usize = results.iter().map(|r| r.per_frame.first().unwrap().1).sum();
+        let last: usize = results.iter().map(|r| r.per_frame.last().unwrap().1).sum();
+        assert!(last >= first, "deeper bounds cannot do worse");
+    }
+
+    #[test]
+    fn table_renders() {
+        let r = SeqResult {
+            name: "cnt3".to_string(),
+            registers: 3,
+            trials: 10,
+            per_frame: vec![(1, 2), (4, 7)],
+        };
+        let t = render_sequential_table(&[r]);
+        assert!(t.contains("cnt3"));
+        assert!(t.contains("k=4"));
+        assert!(t.contains("70%"));
+    }
+}

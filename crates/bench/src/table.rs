@@ -1,0 +1,131 @@
+//! Rendering results in the layout of the paper's tables.
+
+use crate::experiment::CircuitResult;
+use std::fmt::Write as _;
+
+/// Renders results as an aligned text table with the paper's column groups:
+/// circuit vitals, detection ratios per method, implementation node counts,
+/// peak node counts during the check, and run times.
+pub fn render_table(title: &str, results: &[CircuitResult]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    if results.is_empty() {
+        out.push_str("(no results)\n");
+        return out;
+    }
+    let methods: Vec<String> =
+        results[0].per_method.iter().map(|(m, _)| m.label().to_string()).collect();
+    // Header.
+    let _ = write!(out, "{:<8} {:>3} {:>3} {:>7} |", "circuit", "in", "out", "#nodes");
+    for m in &methods {
+        let _ = write!(out, " {m:>7}");
+    }
+    let _ = write!(out, " |");
+    for m in &methods {
+        if m != "r.p." {
+            let _ = write!(out, " {:>8}", format!("im:{m}"));
+        }
+    }
+    let _ = write!(out, " |");
+    for m in &methods {
+        if m != "r.p." {
+            let _ = write!(out, " {:>8}", format!("pk:{m}"));
+        }
+    }
+    let _ = write!(out, " |");
+    for m in &methods {
+        let _ = write!(out, " {:>8}", format!("t:{m}"));
+    }
+    out.push('\n');
+
+    // Rows.
+    let mut ratio_sums = vec![0.0f64; methods.len()];
+    let mut any_aborts = false;
+    for r in results {
+        let _ = write!(out, "{:<8} {:>3} {:>3} {:>7} |", r.name, r.inputs, r.outputs, r.spec_nodes);
+        for (i, (_, a)) in r.per_method.iter().enumerate() {
+            ratio_sums[i] += a.ratio();
+            let marker = if a.aborted > 0 {
+                any_aborts = true;
+                "*"
+            } else {
+                ""
+            };
+            let _ = write!(out, " {:>5.0}%{marker:<1}", a.ratio());
+        }
+        let _ = write!(out, " |");
+        for (m, a) in &r.per_method {
+            if *m != bbec_core::Method::RandomPatterns {
+                let _ = write!(out, " {:>8}", a.impl_nodes);
+            }
+        }
+        let _ = write!(out, " |");
+        for (m, a) in &r.per_method {
+            if *m != bbec_core::Method::RandomPatterns {
+                let _ = write!(out, " {:>8}", a.peak_nodes);
+            }
+        }
+        let _ = write!(out, " |");
+        for (_, a) in &r.per_method {
+            let _ = write!(out, " {:>7.2}s", a.total_time.as_secs_f64());
+        }
+        out.push('\n');
+    }
+    // Average line, as in the paper.
+    let _ = write!(out, "{:<8} {:>3} {:>3} {:>7} |", "average", "", "", "");
+    for sum in &ratio_sums {
+        let _ = write!(out, " {:>5.0}% ", sum / results.len() as f64);
+    }
+    out.push('\n');
+    if any_aborts {
+        out.push_str("(* some checks hit the BDD node budget and count as 'no error')\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::MethodAgg;
+    use bbec_core::Method;
+    use std::time::Duration;
+
+    #[test]
+    fn renders_all_column_groups() {
+        let agg = |d: usize| MethodAgg {
+            detected: d,
+            trials: 10,
+            impl_nodes: 123,
+            peak_nodes: 456,
+            total_time: Duration::from_millis(1500),
+            ..MethodAgg::default()
+        };
+        let r = CircuitResult {
+            name: "alu4".to_string(),
+            inputs: 14,
+            outputs: 8,
+            spec_nodes: 1000,
+            per_method: vec![
+                (Method::RandomPatterns, agg(4)),
+                (Method::Symbolic01X, agg(8)),
+                (Method::InputExact, agg(9)),
+            ],
+        };
+        let t = render_table("Table 1", &[r]);
+        assert!(t.contains("Table 1"));
+        assert!(t.contains("alu4"));
+        assert!(t.contains("40%") || t.contains(" 40%"));
+        assert!(t.contains("80%"));
+        assert!(t.contains("90%"));
+        assert!(t.contains("average"));
+        assert!(t.contains("123"));
+        assert!(t.contains("456"));
+        assert!(t.contains("1.50s"));
+    }
+
+    #[test]
+    fn empty_results_do_not_panic() {
+        let t = render_table("empty", &[]);
+        assert!(t.contains("no results"));
+    }
+}

@@ -1,0 +1,43 @@
+//! Dev probe: search for a two-box instance where equation (1) is strictly
+//! weaker than Theorem 2.1 (reports "no error" although no completion
+//! exists). Used once to pin a witness into `samples`/tests.
+
+use bbec_core::{checks, CheckSettings, PartialCircuit, Verdict};
+use bbec_netlist::{generators, mutate::Mutation};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let s = CheckSettings { dynamic_reordering: false, ..Default::default() };
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut tried = 0;
+    for seed in 0..4000u64 {
+        let c = generators::random_logic("gap", 4, 14, 2, seed);
+        let roots: Vec<_> = c.outputs().iter().map(|&(_, s)| s).collect();
+        let cone = c.fanin_cone_gates(&roots);
+        if cone.len() < 2 {
+            continue;
+        }
+        let Some(m) = Mutation::random(&c, &cone, &mut rng) else { continue };
+        let Ok(faulty) = m.apply(&c) else { continue };
+        for _ in 0..4 {
+            let g1 = cone[rng.random_range(0..cone.len())];
+            let g2 = cone[rng.random_range(0..cone.len())];
+            if g1 == g2 {
+                continue;
+            }
+            let Ok(p) = PartialCircuit::black_box_partition(&faulty, &[vec![g1], vec![g2]])
+            else {
+                continue;
+            };
+            let Ok(exact) = checks::exact_decomposition(&c, &p, &s, 16) else { continue };
+            tried += 1;
+            let ie = checks::input_exact(&c, &p, &s).unwrap().verdict;
+            if ie == Verdict::NoErrorFound && !exact.is_completable() {
+                println!("GAP FOUND: seed {seed}, mutation {}, boxes [{g1}],[{g2}]", m.describe(&c));
+                return;
+            }
+        }
+    }
+    println!("no gap found in {tried} instances");
+}

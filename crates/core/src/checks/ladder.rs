@@ -1,0 +1,170 @@
+//! The escalation strategy of the paper's conclusion: run the checks
+//! cheapest-first and stop at the first error.
+
+use crate::checks::{input_exact, local_check, output_exact, random_patterns, symbolic_01x};
+use crate::partial::PartialCircuit;
+use crate::report::{CheckError, CheckOutcome, CheckSettings, Method, Verdict};
+use bbec_netlist::Circuit;
+
+/// Runs a configurable sequence of checks, stopping at the first error.
+///
+/// The default sequence is the paper's recommendation: "first use 0,1,X
+/// based simulation with only a few random patterns, then symbolic 0,1,X
+/// simulation, Z_i simulation with local check, with output exact check and
+/// finally with input exact check." The SAT-based stages
+/// ([`Method::SatDualRail`], [`Method::SatOutputExact`]) may be mixed in;
+/// only [`Method::ExactDecomposition`] is excluded (it has its own entry
+/// point with a table-size budget).
+#[derive(Debug, Clone)]
+pub struct CheckLadder {
+    /// Shared settings for all stages.
+    pub settings: CheckSettings,
+    /// The stages, in execution order.
+    pub stages: Vec<Method>,
+    /// CEGAR refinement budget for [`Method::SatOutputExact`] stages.
+    pub sat_refinement_budget: usize,
+}
+
+impl Default for CheckLadder {
+    fn default() -> Self {
+        CheckLadder {
+            settings: CheckSettings::default(),
+            stages: vec![
+                Method::RandomPatterns,
+                Method::Symbolic01X,
+                Method::Local,
+                Method::OutputExact,
+                Method::InputExact,
+            ],
+            sat_refinement_budget: 100_000,
+        }
+    }
+}
+
+/// The trace of a ladder run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LadderReport {
+    /// Outcome of each executed stage (stops after the first error).
+    pub outcomes: Vec<CheckOutcome>,
+}
+
+impl LadderReport {
+    /// The overall verdict.
+    pub fn verdict(&self) -> Verdict {
+        self.outcomes
+            .last()
+            .map(|o| o.verdict)
+            .unwrap_or(Verdict::NoErrorFound)
+    }
+
+    /// The method that found the error, if any.
+    pub fn deciding_method(&self) -> Option<Method> {
+        self.outcomes.iter().find(|o| o.is_error()).map(|o| o.method)
+    }
+
+    /// The counterexample of the deciding stage, if one was produced.
+    pub fn counterexample(&self) -> Option<&crate::report::Counterexample> {
+        self.outcomes.iter().find(|o| o.is_error()).and_then(|o| o.counterexample.as_ref())
+    }
+}
+
+impl CheckLadder {
+    /// A ladder with default stages and the given settings.
+    pub fn with_settings(settings: CheckSettings) -> Self {
+        CheckLadder { settings, ..CheckLadder::default() }
+    }
+
+    /// Runs the stages in order, stopping at the first error.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first stage failure ([`CheckError`]); a stage asking
+    /// for [`Method::ExactDecomposition`] or the SAT methods is rejected —
+    /// those have their own entry points with extra parameters.
+    pub fn run(
+        &self,
+        spec: &Circuit,
+        partial: &PartialCircuit,
+    ) -> Result<LadderReport, CheckError> {
+        let mut outcomes = Vec::new();
+        for &stage in &self.stages {
+            let outcome = match stage {
+                Method::RandomPatterns => random_patterns(spec, partial, &self.settings)?,
+                Method::Symbolic01X => symbolic_01x(spec, partial, &self.settings)?,
+                Method::Local => local_check(spec, partial, &self.settings)?,
+                Method::OutputExact => output_exact(spec, partial, &self.settings)?,
+                Method::InputExact => input_exact(spec, partial, &self.settings)?,
+                Method::SatDualRail => {
+                    crate::sat_checks::sat_dual_rail(spec, partial, &self.settings)?
+                }
+                Method::SatOutputExact => crate::sat_checks::sat_output_exact(
+                    spec,
+                    partial,
+                    &self.settings,
+                    self.sat_refinement_budget,
+                )?,
+                other => {
+                    return Err(CheckError::InvalidPartial(format!(
+                        "method {other} cannot run inside a ladder"
+                    )))
+                }
+            };
+            let stop = outcome.is_error();
+            outcomes.push(outcome);
+            if stop {
+                break;
+            }
+        }
+        Ok(LadderReport { outcomes })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::samples;
+
+    fn ladder() -> CheckLadder {
+        let settings = CheckSettings {
+            dynamic_reordering: false,
+            random_patterns: 200,
+            ..CheckSettings::default()
+        };
+        CheckLadder::with_settings(settings)
+    }
+
+    #[test]
+    fn clean_design_runs_all_stages() {
+        let (spec, partial) = samples::completable_pair();
+        let report = ladder().run(&spec, &partial).unwrap();
+        assert_eq!(report.verdict(), Verdict::NoErrorFound);
+        assert_eq!(report.outcomes.len(), 5);
+        assert_eq!(report.deciding_method(), None);
+    }
+
+    #[test]
+    fn stops_at_the_cheapest_sufficient_stage() {
+        let (spec, partial) = samples::detected_only_by_local();
+        let report = ladder().run(&spec, &partial).unwrap();
+        assert_eq!(report.verdict(), Verdict::ErrorFound);
+        assert_eq!(report.deciding_method(), Some(Method::Local));
+        // 0,1,X ran and passed; nothing after the deciding stage ran.
+        assert_eq!(report.outcomes.len(), 3);
+    }
+
+    #[test]
+    fn escalates_to_input_exact_when_needed() {
+        let (spec, partial) = samples::detected_only_by_input_exact();
+        let report = ladder().run(&spec, &partial).unwrap();
+        assert_eq!(report.deciding_method(), Some(Method::InputExact));
+        assert_eq!(report.outcomes.len(), 5);
+    }
+
+    #[test]
+    fn rejects_foreign_stages() {
+        let (spec, partial) = samples::completable_pair();
+        let mut l = ladder();
+        l.stages = vec![Method::ExactDecomposition];
+        assert!(l.run(&spec, &partial).is_err());
+    }
+}

@@ -1,0 +1,110 @@
+//! The paper's ladder of black-box equivalence checks.
+//!
+//! All checks share the same contract: **sound** (an error is reported only
+//! if no black-box implementation can repair the design) but differently
+//! **complete**. From weakest to strongest:
+//!
+//! 1. [`random_patterns`] — plain 0,1,X simulation on random vectors,
+//! 2. [`symbolic_01x`] — symbolic 0,1,X simulation (Section 2.1),
+//! 3. [`local_check`] — Z_i simulation, per-output check (Lemma 2.1),
+//! 4. [`output_exact`] — joint condition over all outputs (Lemma 2.2),
+//! 5. [`input_exact`] — respects the boxes' actual input pins
+//!    (equation (1)); exact when there is a single black box
+//!    (Theorem 2.2).
+//!
+//! [`exact_decomposition`] implements the NP-complete criterion of
+//! Theorem 2.1 by brute force for tiny boxes; [`CheckLadder`] runs the
+//! methods cheapest-first as the paper's conclusion recommends.
+
+mod exact;
+mod ladder;
+mod random;
+mod ternary;
+mod zi;
+
+pub use exact::{exact_decomposition, BoxTable, ExactOutcome};
+pub use ladder::{CheckLadder, LadderReport};
+pub use random::random_patterns;
+pub use ternary::symbolic_01x;
+pub(crate) use ternary::symbolic_01x_with;
+pub(crate) use zi::{input_exact_with, local_check_with, output_exact_with};
+pub use zi::{input_exact, local_check, output_exact};
+
+use crate::partial::PartialCircuit;
+use crate::report::CheckError;
+use bbec_bdd::ExceedNodeLimitError;
+use bbec_netlist::Circuit;
+
+/// Runs a BDD-based check under the node budget: an
+/// [`ExceedNodeLimitError`] panic from the manager becomes a
+/// [`CheckError::BudgetExceeded`] instead of aborting the process.
+pub(crate) fn with_node_budget<T>(
+    f: impl FnOnce() -> Result<T, CheckError>,
+) -> Result<T, CheckError> {
+    install_quiet_hook();
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+        Ok(result) => result,
+        Err(payload) => match payload.downcast_ref::<ExceedNodeLimitError>() {
+            Some(e) => Err(CheckError::BudgetExceeded(e.to_string())),
+            None => std::panic::resume_unwind(payload),
+        },
+    }
+}
+
+/// Silences the default panic-hook chatter for the expected
+/// budget-exceeded control-flow panic; all other panics print as usual.
+fn install_quiet_hook() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<ExceedNodeLimitError>().is_none() {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// Validates that spec and partial implementation share an interface.
+pub(crate) fn validate_interface(
+    spec: &Circuit,
+    partial: &PartialCircuit,
+) -> Result<(), CheckError> {
+    let imp = partial.circuit();
+    if spec.inputs().len() != imp.inputs().len() {
+        return Err(CheckError::InterfaceMismatch {
+            detail: format!(
+                "{} spec inputs vs {} implementation inputs",
+                spec.inputs().len(),
+                imp.inputs().len()
+            ),
+        });
+    }
+    if spec.outputs().len() != imp.outputs().len() {
+        return Err(CheckError::InterfaceMismatch {
+            detail: format!(
+                "{} spec outputs vs {} implementation outputs",
+                spec.outputs().len(),
+                imp.outputs().len()
+            ),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bbec_netlist::generators;
+
+    #[test]
+    fn interface_mismatch_detected() {
+        let spec = generators::ripple_carry_adder(3);
+        let other = generators::ripple_carry_adder(4);
+        let p = crate::PartialCircuit::black_box_gates(&other, &[0]).unwrap();
+        assert!(matches!(
+            validate_interface(&spec, &p),
+            Err(CheckError::InterfaceMismatch { .. })
+        ));
+    }
+}

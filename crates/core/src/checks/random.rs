@@ -1,0 +1,134 @@
+//! The non-symbolic baseline: 0,1,X simulation with random patterns
+//! (column `r.p.` of the paper's tables).
+
+use crate::checks::validate_interface;
+use crate::partial::PartialCircuit;
+use crate::report::{
+    CheckError, CheckOutcome, CheckSettings, Counterexample, Method, ResourceStats, Verdict,
+};
+use bbec_netlist::{Circuit, Tv};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+/// Simulates `settings.random_patterns` random vectors through the partial
+/// implementation in 0,1,X logic and compares definite outputs against the
+/// specification.
+///
+/// An error is reported when some output is *definitely* wrong — i.e. wrong
+/// no matter how the black boxes behave. This is the weakest (and with
+/// large pattern counts, often the slowest) method of the paper.
+///
+/// # Errors
+///
+/// [`CheckError::InterfaceMismatch`] if spec and implementation interfaces
+/// differ; [`CheckError::Netlist`] on simulation failures.
+pub fn random_patterns(
+    spec: &Circuit,
+    partial: &PartialCircuit,
+    settings: &CheckSettings,
+) -> Result<CheckOutcome, CheckError> {
+    validate_interface(spec, partial)?;
+    let start = Instant::now();
+    let mut rng = StdRng::seed_from_u64(settings.seed);
+    let n = spec.inputs().len();
+    let outcome = |verdict, counterexample| CheckOutcome {
+        method: Method::RandomPatterns,
+        verdict,
+        counterexample,
+        stats: ResourceStats {
+            impl_nodes: 0,
+            peak_check_nodes: 0,
+            duration: start.elapsed(),
+        },
+    };
+    for _ in 0..settings.random_patterns {
+        let inputs: Vec<bool> = (0..n).map(|_| rng.random_bool(0.5)).collect();
+        let tv: Vec<Tv> = inputs.iter().map(|&b| Tv::from(b)).collect();
+        let got = partial.circuit().eval_ternary(&tv)?;
+        let expect = spec.eval(&inputs)?;
+        for (j, (g, &e)) in got.iter().zip(&expect).enumerate() {
+            if let Some(v) = g.to_bool() {
+                if v != e {
+                    return Ok(outcome(
+                        Verdict::ErrorFound,
+                        Some(Counterexample { inputs, output: Some(j) }),
+                    ));
+                }
+            }
+        }
+    }
+    Ok(outcome(Verdict::NoErrorFound, None))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PartialCircuit;
+    use bbec_netlist::generators;
+    use bbec_netlist::mutate::{Mutation, MutationKind};
+
+    fn fast_settings() -> CheckSettings {
+        CheckSettings { random_patterns: 500, ..CheckSettings::default() }
+    }
+
+    #[test]
+    fn clean_partial_passes() {
+        let c = generators::ripple_carry_adder(4);
+        let p = PartialCircuit::black_box_gates(&c, &[3, 4]).unwrap();
+        let out = random_patterns(&c, &p, &fast_settings()).unwrap();
+        assert_eq!(out.verdict, Verdict::NoErrorFound);
+        assert_eq!(out.method, Method::RandomPatterns);
+    }
+
+    #[test]
+    fn gross_error_outside_box_is_caught() {
+        let c = generators::ripple_carry_adder(4);
+        // Invert the final carry output (gate far from the box).
+        let last = (c.gates().len() - 1) as u32;
+        let faulty = Mutation { gate: last, kind: MutationKind::ToggleOutputInverter }
+            .apply(&c)
+            .unwrap();
+        let p = PartialCircuit::black_box_gates(&faulty, &[0]).unwrap();
+        let out = random_patterns(&c, &p, &fast_settings()).unwrap();
+        assert_eq!(out.verdict, Verdict::ErrorFound);
+        let cex = out.counterexample.expect("witness");
+        // Verify the witness: the partial implementation's definite output
+        // disagrees with the spec.
+        let tv: Vec<bbec_netlist::Tv> =
+            cex.inputs.iter().map(|&b| bbec_netlist::Tv::from(b)).collect();
+        let got = p.circuit().eval_ternary(&tv).unwrap();
+        let expect = c.eval(&cex.inputs).unwrap();
+        let j = cex.output.unwrap();
+        assert_eq!(got[j].to_bool(), Some(!expect[j]));
+    }
+
+    #[test]
+    fn error_hidden_behind_x_is_missed() {
+        // An error whose effect always passes through the black box is
+        // invisible to 0,1,X-based methods: outputs read X, never "wrong".
+        let mut b = bbec_netlist::Circuit::builder("spec");
+        let x = b.input("x");
+        let y = b.input("y");
+        let g = b.and2(x, y);
+        let f = b.or2(g, x);
+        b.output("f", f);
+        let spec = b.build().unwrap();
+        // Faulty copy: the AND became OR — but we black-box the OR gate
+        // downstream, so every disagreement is masked by the box.
+        let faulty =
+            Mutation { gate: 0, kind: MutationKind::TypeChange }.apply(&spec).unwrap();
+        let p = PartialCircuit::black_box_gates(&faulty, &[1]).unwrap();
+        let out = random_patterns(&spec, &p, &fast_settings()).unwrap();
+        assert_eq!(out.verdict, Verdict::NoErrorFound);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let c = generators::magnitude_comparator(4);
+        let p = PartialCircuit::black_box_gates(&c, &[0]).unwrap();
+        let a = random_patterns(&c, &p, &fast_settings()).unwrap();
+        let b = random_patterns(&c, &p, &fast_settings()).unwrap();
+        assert_eq!(a.verdict, b.verdict);
+    }
+}

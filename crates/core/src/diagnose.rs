@@ -1,0 +1,172 @@
+//! Fault localisation by black-box equivalence checking — the paper's
+//! third application, packaged as an API: "If there is some assumption on
+//! the location of errors […] then these regions of the design are cut off
+//! and put into Black Boxes."
+//!
+//! Because the input-exact check is *exact* for a single black box
+//! (Theorem 2.2), "the check passes after boxing region R" is a proof that
+//! a drop-in replacement for R repairs the design — R is a genuine repair
+//! site, not merely a heuristic suspect.
+
+use crate::checks::input_exact;
+use crate::partial::{convex_closure, PartialCircuit};
+use crate::report::{CheckError, CheckSettings, Verdict};
+use bbec_netlist::Circuit;
+
+/// One confirmed repair site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RepairSite {
+    /// The boxed gate region (a convex set of gate indices in `faulty`).
+    pub gates: Vec<u32>,
+    /// Pins of the would-be replacement block.
+    pub box_inputs: usize,
+    pub box_outputs: usize,
+}
+
+/// Finds all single-gate repair sites: gates `g` of `faulty` such that
+/// replacing just `g` (by *some* single-output function of its current
+/// inputs) makes the implementation equivalent to `spec`.
+///
+/// `candidates` restricts the scan (pass all gate indices for a full scan —
+/// cost is one input-exact check per candidate).
+///
+/// # Errors
+///
+/// Propagates check errors; budget aborts ([`CheckError::BudgetExceeded`])
+/// on individual candidates are treated as "not confirmed" rather than
+/// failing the scan.
+pub fn locate_single_gate_repairs(
+    spec: &Circuit,
+    faulty: &Circuit,
+    candidates: &[u32],
+    settings: &CheckSettings,
+) -> Result<Vec<RepairSite>, CheckError> {
+    let mut sites = Vec::new();
+    for &g in candidates {
+        let Ok(partial) = PartialCircuit::black_box_gates(faulty, &[g]) else {
+            continue; // unobservable gate: boxing it cannot repair anything
+        };
+        match input_exact(spec, &partial, settings) {
+            Ok(outcome) if outcome.verdict == Verdict::NoErrorFound => {
+                let b = &partial.boxes()[0];
+                sites.push(RepairSite {
+                    gates: vec![g],
+                    box_inputs: b.inputs.len(),
+                    box_outputs: b.outputs.len(),
+                });
+            }
+            Ok(_) => {}
+            Err(CheckError::BudgetExceeded(_)) => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(sites)
+}
+
+/// Tests one hypothesised region: returns `Some(site)` if boxing the convex
+/// closure of `region` makes the design completable.
+///
+/// # Errors
+///
+/// Propagates check errors (including budget aborts — a hypothesis that
+/// cannot be decided within budget is an error here, unlike in the scan).
+pub fn confirm_region(
+    spec: &Circuit,
+    faulty: &Circuit,
+    region: &[u32],
+    settings: &CheckSettings,
+) -> Result<Option<RepairSite>, CheckError> {
+    let closed = convex_closure(faulty, region);
+    let partial = PartialCircuit::black_box_gates(faulty, &closed)?;
+    let outcome = input_exact(spec, &partial, settings)?;
+    Ok((outcome.verdict == Verdict::NoErrorFound).then(|| {
+        let b = &partial.boxes()[0];
+        RepairSite {
+            gates: closed,
+            box_inputs: b.inputs.len(),
+            box_outputs: b.outputs.len(),
+        }
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bbec_netlist::generators;
+    use bbec_netlist::mutate::{Mutation, MutationKind};
+
+    fn settings() -> CheckSettings {
+        CheckSettings { dynamic_reordering: false, ..CheckSettings::default() }
+    }
+
+    #[test]
+    fn single_fault_site_is_found() {
+        let spec = generators::magnitude_comparator(4);
+        // First AND gate in an output cone: a type change there is a bug.
+        let bug = spec
+            .gates()
+            .iter()
+            .position(|g| g.kind == bbec_netlist::GateKind::And)
+            .expect("comparator has ANDs") as u32;
+        let faulty = Mutation { gate: bug, kind: MutationKind::TypeChange }.apply(&spec).unwrap();
+        let all: Vec<u32> = (0..faulty.gates().len() as u32).collect();
+        let sites = locate_single_gate_repairs(&spec, &faulty, &all, &settings()).unwrap();
+        assert!(
+            sites.iter().any(|s| s.gates == vec![bug]),
+            "true fault site missing from {sites:?}"
+        );
+    }
+
+    #[test]
+    fn sites_are_genuine_repairs() {
+        // Every reported site must truly admit a completion: cross-check
+        // with the brute-force oracle where the box is small enough.
+        let spec = generators::ripple_carry_adder(3);
+        let bug = 4u32;
+        let faulty =
+            Mutation { gate: bug, kind: MutationKind::ToggleOutputInverter }.apply(&spec).unwrap();
+        let all: Vec<u32> = (0..faulty.gates().len() as u32).collect();
+        let sites = locate_single_gate_repairs(&spec, &faulty, &all, &settings()).unwrap();
+        assert!(!sites.is_empty());
+        for site in &sites {
+            let partial = PartialCircuit::black_box_gates(&faulty, &site.gates).unwrap();
+            if let Ok(exact) =
+                crate::checks::exact_decomposition(&spec, &partial, &settings(), 20)
+            {
+                assert!(exact.is_completable(), "site {site:?} is not a real repair");
+            }
+        }
+    }
+
+    #[test]
+    fn unrelated_gates_are_rejected() {
+        // A fault in the carry chain cannot be repaired by replacing a gate
+        // whose cone does not reach the failing outputs.
+        let spec = generators::ripple_carry_adder(4);
+        let last_or = spec
+            .gates()
+            .iter()
+            .rposition(|g| g.kind == bbec_netlist::GateKind::Or)
+            .unwrap() as u32;
+        let faulty =
+            Mutation { gate: last_or, kind: MutationKind::TypeChange }.apply(&spec).unwrap();
+        // Gate 0 (the first sum XOR) cannot repair the final carry.
+        let sites =
+            locate_single_gate_repairs(&spec, &faulty, &[0], &settings()).unwrap();
+        assert!(sites.is_empty());
+    }
+
+    #[test]
+    fn confirm_region_accepts_closure_of_true_site() {
+        let spec = generators::magnitude_comparator(4);
+        let bug = 9u32;
+        let faulty = Mutation { gate: bug, kind: MutationKind::TypeChange }.apply(&spec).unwrap();
+        let hit = confirm_region(&spec, &faulty, &[bug], &settings()).unwrap();
+        assert!(hit.is_some());
+        let site = hit.unwrap();
+        assert!(site.gates.contains(&bug));
+        // A wrong hypothesis fails (unless it happens to contain the bug).
+        let miss = confirm_region(&spec, &faulty, &[0], &settings()).unwrap();
+        assert!(miss.is_none() || convex_closure(&faulty, &[0]).contains(&bug));
+    }
+}

@@ -1,0 +1,191 @@
+//! Check outcomes, resource accounting and configuration.
+
+use std::error::Error;
+use std::fmt;
+use std::time::Duration;
+
+/// The checking methods of the paper (plus the SAT future-work arm).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// Non-symbolic 0,1,X simulation with random patterns (column `r.p.`).
+    RandomPatterns,
+    /// Symbolic 0,1,X simulation (Section 2.1).
+    Symbolic01X,
+    /// Symbolic Z_i simulation with the local check (Lemma 2.1).
+    Local,
+    /// The output-exact check (Lemma 2.2).
+    OutputExact,
+    /// The input-exact check (equation (1)).
+    InputExact,
+    /// Brute-force decomposition check (Theorem 2.1, tiny boxes only).
+    ExactDecomposition,
+    /// SAT-based dual-rail 0,1,X check.
+    SatDualRail,
+    /// SAT/CEGAR-based output-exact check.
+    SatOutputExact,
+}
+
+impl Method {
+    /// Short column label as used in the paper's tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Method::RandomPatterns => "r.p.",
+            Method::Symbolic01X => "0,1,X",
+            Method::Local => "loc.",
+            Method::OutputExact => "oe",
+            Method::InputExact => "ie",
+            Method::ExactDecomposition => "exact",
+            Method::SatDualRail => "sat-01x",
+            Method::SatOutputExact => "sat-oe",
+        }
+    }
+}
+
+impl fmt::Display for Method {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The answer of a check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// The partial implementation cannot be extended to a correct design.
+    ErrorFound,
+    /// No error found at this check's accuracy (only the input-exact check
+    /// with a single black box turns this into "definitely completable").
+    NoErrorFound,
+}
+
+/// A distinguishing primary-input assignment, when a check produces one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Counterexample {
+    /// Primary input values in declaration order.
+    pub inputs: Vec<bool>,
+    /// The output observed to be wrong, if attributable to a single output.
+    pub output: Option<usize>,
+}
+
+/// Resource usage of one check, in the units of the paper's tables.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResourceStats {
+    /// BDD nodes representing the partial implementation (columns 10–13).
+    pub impl_nodes: usize,
+    /// Additional peak BDD nodes during the check itself (columns 14–16).
+    pub peak_check_nodes: usize,
+    /// Wall-clock time of the check.
+    pub duration: Duration,
+}
+
+/// The complete result of one check invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckOutcome {
+    pub method: Method,
+    pub verdict: Verdict,
+    /// A witness input vector, when the method can produce one.
+    pub counterexample: Option<Counterexample>,
+    pub stats: ResourceStats,
+}
+
+impl CheckOutcome {
+    /// Whether an error was found.
+    pub fn is_error(&self) -> bool {
+        self.verdict == Verdict::ErrorFound
+    }
+}
+
+/// Tunables shared by the BDD-based checks.
+#[derive(Debug, Clone)]
+pub struct CheckSettings {
+    /// Enable dynamic (sifting) reordering, as the paper's experiments do.
+    pub dynamic_reordering: bool,
+    /// Live-node threshold that first triggers automatic reordering.
+    pub reorder_threshold: usize,
+    /// Patterns for [`crate::checks::random_patterns`] (paper: 5000).
+    pub random_patterns: usize,
+    /// Seed for the random-pattern check.
+    pub seed: u64,
+    /// Abort a BDD-based check with [`CheckError::BudgetExceeded`] once its
+    /// manager holds this many live nodes (`None` = unbounded).
+    pub node_limit: Option<usize>,
+}
+
+impl Default for CheckSettings {
+    fn default() -> Self {
+        CheckSettings {
+            dynamic_reordering: true,
+            reorder_threshold: 65_536,
+            random_patterns: 5_000,
+            seed: 0xB1AC_B0C5,
+            node_limit: Some(4_000_000),
+        }
+    }
+}
+
+/// Errors raised by the checks.
+#[derive(Debug)]
+pub enum CheckError {
+    /// Specification and implementation interfaces differ.
+    InterfaceMismatch { detail: String },
+    /// An underlying netlist operation failed.
+    Netlist(bbec_netlist::NetlistError),
+    /// A partial-circuit structural invariant is violated.
+    InvalidPartial(String),
+    /// A resource budget was exceeded (exact decomposition, CEGAR).
+    BudgetExceeded(String),
+}
+
+impl fmt::Display for CheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckError::InterfaceMismatch { detail } => {
+                write!(f, "interface mismatch: {detail}")
+            }
+            CheckError::Netlist(e) => write!(f, "netlist error: {e}"),
+            CheckError::InvalidPartial(msg) => write!(f, "invalid partial circuit: {msg}"),
+            CheckError::BudgetExceeded(msg) => write!(f, "budget exceeded: {msg}"),
+        }
+    }
+}
+
+impl Error for CheckError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CheckError::Netlist(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<bbec_netlist::NetlistError> for CheckError {
+    fn from(e: bbec_netlist::NetlistError) -> Self {
+        CheckError::Netlist(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper_columns() {
+        assert_eq!(Method::RandomPatterns.label(), "r.p.");
+        assert_eq!(Method::Symbolic01X.label(), "0,1,X");
+        assert_eq!(Method::Local.label(), "loc.");
+        assert_eq!(Method::OutputExact.label(), "oe");
+        assert_eq!(Method::InputExact.label(), "ie");
+    }
+
+    #[test]
+    fn default_settings_mirror_paper() {
+        let s = CheckSettings::default();
+        assert!(s.dynamic_reordering);
+        assert_eq!(s.random_patterns, 5_000);
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = CheckError::InvalidPartial("box output driven".to_string());
+        assert!(e.to_string().contains("box output driven"));
+    }
+}

@@ -1,0 +1,305 @@
+//! Engineered specimen circuits mirroring the paper's running examples.
+//!
+//! The netlists of Figures 1–3 are drawn in the paper rather than listed,
+//! so these samples reproduce the *phenomena* the figures demonstrate — one
+//! specimen per separation in the check ladder:
+//!
+//! * [`completable_pair`] — a two-box partial implementation that can still
+//!   be completed (Figure 1),
+//! * [`detected_by_01x`] — an error visible to plain 0,1,X simulation
+//!   (Figure 2(a)),
+//! * [`detected_only_by_local`] — a `Z ⊕ Z` reconvergence invisible to
+//!   0,1,X but caught by the local check (Figure 2(b)),
+//! * [`detected_only_by_output_exact`] — two outputs demanding
+//!   contradictory box functions (Figure 3(a)),
+//! * [`detected_only_by_input_exact`] — a box whose input cone lacks a
+//!   needed primary input (Figure 3(b)).
+
+use crate::partial::{BlackBox, PartialCircuit};
+use bbec_netlist::Circuit;
+
+/// Figure 1 analogue: a specification and a two-black-box partial
+/// implementation that *can* be completed — every check must pass.
+///
+/// Spec: `f1 = x1 ∨ (x2 ∧ x3)`, `f2 = x4 ∨ x5`.
+/// Partial: `f1 = x1 ∨ Z1` with `BB1(x2, x3)`, `f2 = Z2` with `BB2(x4, x5)`.
+pub fn completable_pair() -> (Circuit, PartialCircuit) {
+    let spec = {
+        let mut b = Circuit::builder("fig1_spec");
+        let x1 = b.input("x1");
+        let x2 = b.input("x2");
+        let x3 = b.input("x3");
+        let x4 = b.input("x4");
+        let x5 = b.input("x5");
+        let t = b.and2(x2, x3);
+        let f1 = b.or2(x1, t);
+        let f2 = b.or2(x4, x5);
+        b.output("f1", f1);
+        b.output("f2", f2);
+        b.build().expect("valid spec")
+    };
+    let (host, boxes) = {
+        let mut b = Circuit::builder("fig1_partial");
+        let x1 = b.input("x1");
+        let x2 = b.input("x2");
+        let x3 = b.input("x3");
+        let x4 = b.input("x4");
+        let x5 = b.input("x5");
+        let z1 = b.signal("z1");
+        let z2 = b.signal("z2");
+        let f1 = b.or2(x1, z1);
+        b.output("f1", f1);
+        b.output("f2", z2);
+        let host = b.build_allow_undriven().expect("valid partial host");
+        let boxes = vec![
+            BlackBox { name: "BB1".to_string(), inputs: vec![x2, x3], outputs: vec![z1] },
+            BlackBox { name: "BB2".to_string(), inputs: vec![x4, x5], outputs: vec![z2] },
+        ];
+        (host, boxes)
+    };
+    let partial = PartialCircuit::new(host, boxes).expect("valid partial");
+    (spec, partial)
+}
+
+/// Figure 2(a) analogue: a definite wrong value reaches an output, so even
+/// 0,1,X simulation (and usually random patterns) finds the error.
+///
+/// Same spec as [`completable_pair`]; the OR feeding `f1` degenerated to an
+/// AND: `f1 = x1 ∧ Z1`. For `x1 = 0` the implementation emits a definite 0
+/// while the spec may demand 1.
+pub fn detected_by_01x() -> (Circuit, PartialCircuit) {
+    let (spec, _) = completable_pair();
+    let (host, boxes) = {
+        let mut b = Circuit::builder("fig2a_partial");
+        let x1 = b.input("x1");
+        let x2 = b.input("x2");
+        let x3 = b.input("x3");
+        let x4 = b.input("x4");
+        let x5 = b.input("x5");
+        let z1 = b.signal("z1");
+        let z2 = b.signal("z2");
+        let f1 = b.and2(x1, z1); // faulty: OR became AND
+        b.output("f1", f1);
+        b.output("f2", z2);
+        let host = b.build_allow_undriven().expect("valid partial host");
+        let boxes = vec![
+            BlackBox { name: "BB1".to_string(), inputs: vec![x2, x3], outputs: vec![z1] },
+            BlackBox { name: "BB2".to_string(), inputs: vec![x4, x5], outputs: vec![z2] },
+        ];
+        (host, boxes)
+    };
+    (spec, PartialCircuit::new(host, boxes).expect("valid partial"))
+}
+
+/// Figure 2(b) analogue: the faulty logic computes `x1 ∨ (Z ⊕ Z)`.
+///
+/// 0,1,X simulation sees `X ⊕ X = X` and stays blind; Z_i simulation knows
+/// both XOR inputs carry the *same* unknown, simplifies `Z ⊕ Z` to 0 and
+/// the local check convicts the design.
+pub fn detected_only_by_local() -> (Circuit, PartialCircuit) {
+    let spec = {
+        let mut b = Circuit::builder("fig2b_spec");
+        let x1 = b.input("x1");
+        let x2 = b.input("x2");
+        let x3 = b.input("x3");
+        let t = b.and2(x2, x3);
+        let f1 = b.or2(x1, t);
+        b.output("f1", f1);
+        b.output("f2", t);
+        b.build().expect("valid spec")
+    };
+    let (host, boxes) = {
+        let mut b = Circuit::builder("fig2b_partial");
+        let x1 = b.input("x1");
+        let x2 = b.input("x2");
+        let x3 = b.input("x3");
+        let z = b.signal("z");
+        let zz = b.xor2(z, z); // the reconvergent unknown
+        let f1 = b.or2(x1, zz);
+        b.output("f1", f1);
+        b.output("f2", z);
+        let host = b.build_allow_undriven().expect("valid partial host");
+        let boxes =
+            vec![BlackBox { name: "BB1".to_string(), inputs: vec![x2, x3], outputs: vec![z] }];
+        (host, boxes)
+    };
+    (spec, PartialCircuit::new(host, boxes).expect("valid partial"))
+}
+
+/// Figure 3(a) analogue: output 1 needs the box to compute `x1 ∧ x2`,
+/// output 2 needs `x1 ⊕ x2` — individually fine (local check passes), but
+/// no single box function satisfies both (output-exact convicts).
+pub fn detected_only_by_output_exact() -> (Circuit, PartialCircuit) {
+    let spec = {
+        let mut b = Circuit::builder("fig3a_spec");
+        let x1 = b.input("x1");
+        let x2 = b.input("x2");
+        let f1 = b.and2(x1, x2);
+        let f2 = b.xor2(x1, x2);
+        b.output("f1", f1);
+        b.output("f2", f2);
+        b.build().expect("valid spec")
+    };
+    let (host, boxes) = {
+        let mut b = Circuit::builder("fig3a_partial");
+        let x1 = b.input("x1");
+        let x2 = b.input("x2");
+        let z = b.signal("z");
+        b.output("f1", z);
+        b.output("f2", z);
+        let host = b.build_allow_undriven().expect("valid partial host");
+        let boxes =
+            vec![BlackBox { name: "BB1".to_string(), inputs: vec![x1, x2], outputs: vec![z] }];
+        (host, boxes)
+    };
+    (spec, PartialCircuit::new(host, boxes).expect("valid partial"))
+}
+
+/// Figure 3(b) analogue: the spec output depends on `c`, but the box sees
+/// only `a` and `b`. Per input vector a good box value always exists
+/// (output-exact passes), yet no *function of (a, b)* works (input-exact
+/// convicts).
+pub fn detected_only_by_input_exact() -> (Circuit, PartialCircuit) {
+    let spec = {
+        let mut b = Circuit::builder("fig3b_spec");
+        let a = b.input("a");
+        let bb = b.input("b");
+        let c = b.input("c");
+        let t = b.or2(a, bb);
+        let f = b.and2(c, t);
+        b.output("f", f);
+        b.build().expect("valid spec")
+    };
+    let (host, boxes) = {
+        let mut b = Circuit::builder("fig3b_partial");
+        let a = b.input("a");
+        let bb = b.input("b");
+        let c = b.input("c");
+        let _ = c;
+        let z = b.signal("z");
+        b.output("f", z);
+        let host = b.build_allow_undriven().expect("valid partial host");
+        let boxes =
+            vec![BlackBox { name: "BB1".to_string(), inputs: vec![a, bb], outputs: vec![z] }];
+        (host, boxes)
+    };
+    (spec, PartialCircuit::new(host, boxes).expect("valid partial"))
+}
+
+/// Evaluates a partial circuit with every black-box output forced to a
+/// constant (`z_values` in [`PartialCircuit::box_outputs`] order) — a
+/// counterexample-verification helper for tests and examples.
+///
+/// # Panics
+///
+/// Panics if `z_values` does not match the number of box outputs.
+pub fn eval_with_fixed_boxes(
+    partial: &PartialCircuit,
+    inputs: &[bool],
+    z_values: &[bool],
+) -> Vec<bool> {
+    let circuit = partial.circuit();
+    let box_outputs = partial.box_outputs();
+    assert_eq!(box_outputs.len(), z_values.len(), "one value per box output");
+    let mut values: Vec<Option<bool>> = vec![None; circuit.signal_count()];
+    for (pos, &s) in circuit.inputs().iter().enumerate() {
+        values[s.index()] = Some(inputs[pos]);
+    }
+    for (&s, &v) in box_outputs.iter().zip(z_values) {
+        values[s.index()] = Some(v);
+    }
+    for &g in circuit.topo_order() {
+        let gate = &circuit.gates()[g as usize];
+        let ins: Vec<bool> =
+            gate.inputs.iter().map(|s| values[s.index()].expect("sources set")).collect();
+        values[gate.output.index()] = Some(gate.kind.eval(&ins));
+    }
+    circuit.outputs().iter().map(|&(_, s)| values[s.index()].expect("driven")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checks;
+    use crate::report::{CheckSettings, Verdict};
+
+    fn settings() -> CheckSettings {
+        CheckSettings {
+            dynamic_reordering: false,
+            random_patterns: 300,
+            ..CheckSettings::default()
+        }
+    }
+
+    /// The ladder position each sample is engineered to occupy.
+    #[test]
+    fn samples_realise_the_exact_separations() {
+        let s = settings();
+        type CheckFn = fn(
+            &Circuit,
+            &PartialCircuit,
+            &CheckSettings,
+        ) -> Result<crate::CheckOutcome, crate::CheckError>;
+        let methods: [(&str, CheckFn); 4] = [
+            ("01x", checks::symbolic_01x as CheckFn),
+            ("local", checks::local_check as CheckFn),
+            ("oe", checks::output_exact as CheckFn),
+            ("ie", checks::input_exact as CheckFn),
+        ];
+        // Each row: (sample, index of the first method that must convict).
+        let table: Vec<((Circuit, PartialCircuit), Option<usize>)> = vec![
+            (completable_pair(), None),
+            (detected_by_01x(), Some(0)),
+            (detected_only_by_local(), Some(1)),
+            (detected_only_by_output_exact(), Some(2)),
+            (detected_only_by_input_exact(), Some(3)),
+        ];
+        for (row, ((spec, partial), first_detecting)) in table.into_iter().enumerate() {
+            for (mi, (name, check)) in methods.iter().enumerate() {
+                let verdict = check(&spec, &partial, &s).unwrap().verdict;
+                let expect = match first_detecting {
+                    Some(first) if mi >= first => Verdict::ErrorFound,
+                    _ => Verdict::NoErrorFound,
+                };
+                assert_eq!(verdict, expect, "sample {row}, method {name}");
+            }
+        }
+    }
+
+    #[test]
+    fn completable_pair_has_a_real_completion() {
+        let (spec, partial) = completable_pair();
+        // BB1 := x2∧x3, BB2 := x4∨x5 completes the design: check by
+        // exhaustive table-based evaluation.
+        for bits in 0..32u32 {
+            let inputs: Vec<bool> = (0..5).map(|i| bits >> i & 1 == 1).collect();
+            let z1 = inputs[1] && inputs[2];
+            let z2 = inputs[3] || inputs[4];
+            let got = eval_with_fixed_boxes(&partial, &inputs, &[z1, z2]);
+            assert_eq!(got, spec.eval(&inputs).unwrap(), "bits {bits:05b}");
+        }
+    }
+
+    #[test]
+    fn random_patterns_catch_the_01x_sample() {
+        let (spec, partial) = detected_by_01x();
+        let out = checks::random_patterns(&spec, &partial, &settings()).unwrap();
+        assert_eq!(out.verdict, Verdict::ErrorFound);
+    }
+
+    #[test]
+    fn fixed_box_evaluation_matches_ternary_on_definite_outputs() {
+        let (_, partial) = completable_pair();
+        let inputs = [true, false, true, false, false];
+        let tv: Vec<bbec_netlist::Tv> = inputs.iter().map(|&b| b.into()).collect();
+        let ternary = partial.circuit().eval_ternary(&tv).unwrap();
+        for z in [[false, false], [true, false], [false, true], [true, true]] {
+            let concrete = eval_with_fixed_boxes(&partial, &inputs, &z);
+            for (t, c) in ternary.iter().zip(&concrete) {
+                if let Some(v) = t.to_bool() {
+                    assert_eq!(v, *c);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,334 @@
+//! SAT-based check variants — the paper's future-work arm ("we plan to
+//! compare our BDD based implementation of the different checks to a
+//! version using SAT engines").
+//!
+//! * [`sat_dual_rail`] re-implements the symbolic 0,1,X check through the
+//!   two-bit signal encoding of Jain et al. [10] and a single SAT call.
+//! * [`sat_output_exact`] re-implements the output-exact check (Lemma 2.2)
+//!   as the 2QBF query `∃X ∀Z. ⋁_j ¬cond_j`, solved by the CEGAR engine in
+//!   [`bbec_sat::qbf`].
+
+use crate::checks::validate_interface;
+use crate::partial::PartialCircuit;
+use crate::report::{
+    CheckError, CheckOutcome, CheckSettings, Counterexample, Method, ResourceStats, Verdict,
+};
+use bbec_netlist::{Circuit, CircuitBuilder, GateKind, SignalId};
+use bbec_sat::qbf::{exists_forall, ExistsForallResult};
+use bbec_sat::tseitin::encode;
+use bbec_sat::Solver;
+use std::time::Instant;
+
+/// Replays `circuit`'s gates into `builder`; `map` must pre-seed every
+/// primary input and undriven signal and receives all internal signals.
+fn append_circuit(
+    builder: &mut CircuitBuilder,
+    circuit: &Circuit,
+    map: &mut [Option<SignalId>],
+) {
+    for &g in circuit.topo_order() {
+        let gate = &circuit.gates()[g as usize];
+        let ins: Vec<SignalId> =
+            gate.inputs.iter().map(|s| map[s.index()].expect("sources seeded")).collect();
+        map[gate.output.index()] = Some(builder.gate(gate.kind, &ins));
+    }
+}
+
+/// SAT-based symbolic 0,1,X check using the dual-rail (two-bit) encoding.
+///
+/// Builds one miter netlist — spec in plain logic, partial implementation
+/// in dual-rail `(is0, is1)` logic with black-box outputs pinned to `X` —
+/// and asks a single SAT query for an input where some implementation
+/// output is definite and wrong. Detects exactly the same errors as
+/// [`crate::checks::symbolic_01x`].
+///
+/// # Errors
+///
+/// [`CheckError::InterfaceMismatch`] on interface mismatches.
+pub fn sat_dual_rail(
+    spec: &Circuit,
+    partial: &PartialCircuit,
+    _settings: &CheckSettings,
+) -> Result<CheckOutcome, CheckError> {
+    validate_interface(spec, partial)?;
+    let start = Instant::now();
+    let host = partial.circuit();
+    let mut b = Circuit::builder("dual_rail_miter");
+    let xs: Vec<SignalId> =
+        (0..spec.inputs().len()).map(|i| b.input(&format!("x{i}"))).collect();
+
+    // Plain replay of the specification.
+    let mut spec_map: Vec<Option<SignalId>> = vec![None; spec.signal_count()];
+    for (pos, &s) in spec.inputs().iter().enumerate() {
+        spec_map[s.index()] = Some(xs[pos]);
+    }
+    append_circuit(&mut b, spec, &mut spec_map);
+    let f: Vec<SignalId> =
+        spec.outputs().iter().map(|&(_, s)| spec_map[s.index()].expect("driven")).collect();
+
+    // Dual-rail replay of the partial implementation.
+    let zero = b.constant(false);
+    let mut rail0: Vec<Option<SignalId>> = vec![None; host.signal_count()];
+    let mut rail1: Vec<Option<SignalId>> = vec![None; host.signal_count()];
+    for (pos, &s) in host.inputs().iter().enumerate() {
+        rail1[s.index()] = Some(xs[pos]);
+        rail0[s.index()] = Some(b.not(xs[pos]));
+    }
+    for s in host.undriven_signals() {
+        rail0[s.index()] = Some(zero); // X: neither definitely 0 …
+        rail1[s.index()] = Some(zero); // … nor definitely 1
+    }
+    for &g in host.topo_order() {
+        let gate = &host.gates()[g as usize];
+        let in0: Vec<SignalId> =
+            gate.inputs.iter().map(|s| rail0[s.index()].expect("seeded")).collect();
+        let in1: Vec<SignalId> =
+            gate.inputs.iter().map(|s| rail1[s.index()].expect("seeded")).collect();
+        let (o0, o1) = dual_rail_gate(&mut b, gate.kind, &in0, &in1);
+        rail0[gate.output.index()] = Some(o0);
+        rail1[gate.output.index()] = Some(o1);
+    }
+
+    // err = ⋁_j (is1_j ∧ ¬f_j) ∨ (is0_j ∧ f_j).
+    let mut errs = Vec::new();
+    for (j, &(_, s)) in host.outputs().iter().enumerate() {
+        let o0 = rail0[s.index()].expect("seeded");
+        let o1 = rail1[s.index()].expect("seeded");
+        let nf = b.not(f[j]);
+        let w1 = b.and2(o1, nf);
+        let w0 = b.and2(o0, f[j]);
+        errs.push(b.or2(w1, w0));
+    }
+    let err = b.tree(GateKind::Or, &errs);
+    b.output("err", err);
+    let miter = b.build().map_err(CheckError::Netlist)?;
+
+    let mut solver = Solver::new();
+    let cnf = encode(&mut solver, &miter, &[]);
+    solver.add_clause(&[cnf.output_lits[0]]);
+    let outcome = if solver.solve().is_sat() {
+        let inputs: Vec<bool> = cnf
+            .input_lits
+            .iter()
+            .map(|l| solver.value(l.var()).unwrap_or(false) != l.is_neg())
+            .collect();
+        CheckOutcome {
+            method: Method::SatDualRail,
+            verdict: Verdict::ErrorFound,
+            counterexample: Some(Counterexample { inputs, output: None }),
+            stats: ResourceStats { duration: start.elapsed(), ..Default::default() },
+        }
+    } else {
+        CheckOutcome {
+            method: Method::SatDualRail,
+            verdict: Verdict::NoErrorFound,
+            counterexample: None,
+            stats: ResourceStats { duration: start.elapsed(), ..Default::default() },
+        }
+    };
+    Ok(outcome)
+}
+
+/// Dual-rail expansion of one gate: returns the `(is0, is1)` signals.
+fn dual_rail_gate(
+    b: &mut CircuitBuilder,
+    kind: GateKind,
+    in0: &[SignalId],
+    in1: &[SignalId],
+) -> (SignalId, SignalId) {
+    match kind {
+        GateKind::And => (b.tree(GateKind::Or, in0), b.tree(GateKind::And, in1)),
+        GateKind::Nand => {
+            let (o0, o1) = dual_rail_gate(b, GateKind::And, in0, in1);
+            (o1, o0)
+        }
+        GateKind::Or => (b.tree(GateKind::And, in0), b.tree(GateKind::Or, in1)),
+        GateKind::Nor => {
+            let (o0, o1) = dual_rail_gate(b, GateKind::Or, in0, in1);
+            (o1, o0)
+        }
+        GateKind::Xor | GateKind::Xnor => {
+            let (mut a0, mut a1) = (in0[0], in1[0]);
+            for k in 1..in0.len() {
+                let (b0, b1) = (in0[k], in1[k]);
+                let p = b.and2(a1, b0);
+                let q = b.and2(a0, b1);
+                let one = b.or2(p, q);
+                let r = b.and2(a0, b0);
+                let s = b.and2(a1, b1);
+                let zero = b.or2(r, s);
+                a0 = zero;
+                a1 = one;
+            }
+            if kind == GateKind::Xnor {
+                (a1, a0)
+            } else {
+                (a0, a1)
+            }
+        }
+        GateKind::Not => (in1[0], in0[0]),
+        GateKind::Buf => (in0[0], in1[0]),
+        GateKind::Const0 => {
+            let one = b.constant(true);
+            let zero = b.constant(false);
+            (one, zero)
+        }
+        GateKind::Const1 => {
+            let one = b.constant(true);
+            let zero = b.constant(false);
+            (zero, one)
+        }
+    }
+}
+
+/// SAT/CEGAR-based output-exact check: decides `∃X ∀Z. ⋁_j (g_j ⊕ f_j)` —
+/// the negation of Lemma 2.2's "no error" criterion — with the ∃∀ engine.
+///
+/// Detects exactly the same errors as [`crate::checks::output_exact`].
+///
+/// `max_refinements` bounds the CEGAR loop (each refinement adds one
+/// cofactor copy of the miter to the abstraction).
+///
+/// # Errors
+///
+/// [`CheckError::BudgetExceeded`] if CEGAR does not converge;
+/// [`CheckError::InterfaceMismatch`] on interface mismatches.
+pub fn sat_output_exact(
+    spec: &Circuit,
+    partial: &PartialCircuit,
+    _settings: &CheckSettings,
+    max_refinements: usize,
+) -> Result<CheckOutcome, CheckError> {
+    validate_interface(spec, partial)?;
+    let start = Instant::now();
+    let host = partial.circuit();
+    let mut b = Circuit::builder("oe_phi");
+    let n = spec.inputs().len();
+    let xs: Vec<SignalId> = (0..n).map(|i| b.input(&format!("x{i}"))).collect();
+    let box_outputs = partial.box_outputs();
+    let zs: Vec<SignalId> =
+        (0..box_outputs.len()).map(|k| b.input(&format!("z{k}"))).collect();
+
+    let mut spec_map: Vec<Option<SignalId>> = vec![None; spec.signal_count()];
+    for (pos, &s) in spec.inputs().iter().enumerate() {
+        spec_map[s.index()] = Some(xs[pos]);
+    }
+    append_circuit(&mut b, spec, &mut spec_map);
+
+    let mut host_map: Vec<Option<SignalId>> = vec![None; host.signal_count()];
+    for (pos, &s) in host.inputs().iter().enumerate() {
+        host_map[s.index()] = Some(xs[pos]);
+    }
+    for (k, &s) in box_outputs.iter().enumerate() {
+        host_map[s.index()] = Some(zs[k]);
+    }
+    append_circuit(&mut b, host, &mut host_map);
+
+    let mut diffs = Vec::new();
+    for (&(_, fs), &(_, gs)) in spec.outputs().iter().zip(host.outputs()) {
+        let f = spec_map[fs.index()].expect("driven");
+        let g = host_map[gs.index()].expect("driven or boxed");
+        diffs.push(b.xor2(f, g));
+    }
+    let phi = b.tree(GateKind::Or, &diffs);
+    b.output("phi", phi);
+    let circuit = b.build().map_err(CheckError::Netlist)?;
+
+    let existential: Vec<usize> = (0..n).collect();
+    match exists_forall(&circuit, &existential, max_refinements) {
+        Ok(ExistsForallResult::Witness(inputs)) => Ok(CheckOutcome {
+            method: Method::SatOutputExact,
+            verdict: Verdict::ErrorFound,
+            counterexample: Some(Counterexample { inputs, output: None }),
+            stats: ResourceStats { duration: start.elapsed(), ..Default::default() },
+        }),
+        Ok(ExistsForallResult::NoWitness) => Ok(CheckOutcome {
+            method: Method::SatOutputExact,
+            verdict: Verdict::NoErrorFound,
+            counterexample: None,
+            stats: ResourceStats { duration: start.elapsed(), ..Default::default() },
+        }),
+        Err(e) => Err(CheckError::BudgetExceeded(e.to_string())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checks::{output_exact, symbolic_01x};
+    use crate::samples;
+    use crate::PartialCircuit;
+    use bbec_netlist::generators;
+    use bbec_netlist::mutate::Mutation;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn settings() -> CheckSettings {
+        CheckSettings { dynamic_reordering: false, ..CheckSettings::default() }
+    }
+
+    #[test]
+    fn dual_rail_matches_bdd_01x_on_samples() {
+        for (spec, partial) in [
+            samples::completable_pair(),
+            samples::detected_by_01x(),
+            samples::detected_only_by_local(),
+            samples::detected_only_by_output_exact(),
+        ] {
+            let bdd = symbolic_01x(&spec, &partial, &settings()).unwrap();
+            let sat = sat_dual_rail(&spec, &partial, &settings()).unwrap();
+            assert_eq!(bdd.verdict, sat.verdict, "{}", partial.circuit().name());
+        }
+    }
+
+    #[test]
+    fn cegar_matches_bdd_output_exact_on_samples() {
+        for (spec, partial) in [
+            samples::completable_pair(),
+            samples::detected_by_01x(),
+            samples::detected_only_by_local(),
+            samples::detected_only_by_output_exact(),
+            samples::detected_only_by_input_exact(),
+        ] {
+            let bdd = output_exact(&spec, &partial, &settings()).unwrap();
+            let sat = sat_output_exact(&spec, &partial, &settings(), 10_000).unwrap();
+            assert_eq!(bdd.verdict, sat.verdict, "{}", partial.circuit().name());
+        }
+    }
+
+    #[test]
+    fn agreement_on_random_mutated_instances() {
+        let mut rng = StdRng::seed_from_u64(77);
+        let c = generators::magnitude_comparator(4);
+        let roots: Vec<_> = c.outputs().iter().map(|&(_, s)| s).collect();
+        let cone = c.fanin_cone_gates(&roots);
+        for _ in 0..8 {
+            let m = Mutation::random(&c, &cone, &mut rng).unwrap();
+            let faulty = m.apply(&c).unwrap();
+            let Ok(p) = PartialCircuit::random_black_boxes(&faulty, 0.15, 1, &mut rng) else {
+                continue;
+            };
+            let bdd01x = symbolic_01x(&c, &p, &settings()).unwrap();
+            let sat01x = sat_dual_rail(&c, &p, &settings()).unwrap();
+            assert_eq!(bdd01x.verdict, sat01x.verdict, "01x: {}", m.describe(&c));
+            let bddoe = output_exact(&c, &p, &settings()).unwrap();
+            let satoe = sat_output_exact(&c, &p, &settings(), 10_000).unwrap();
+            assert_eq!(bddoe.verdict, satoe.verdict, "oe: {}", m.describe(&c));
+        }
+    }
+
+    #[test]
+    fn dual_rail_witness_is_definite_mismatch() {
+        let (spec, partial) = samples::detected_by_01x();
+        let out = sat_dual_rail(&spec, &partial, &settings()).unwrap();
+        let cex = out.counterexample.expect("witness");
+        let tv: Vec<bbec_netlist::Tv> =
+            cex.inputs.iter().map(|&v| bbec_netlist::Tv::from(v)).collect();
+        let got = partial.circuit().eval_ternary(&tv).unwrap();
+        let expect = spec.eval(&cex.inputs).unwrap();
+        assert!(got
+            .iter()
+            .zip(&expect)
+            .any(|(g, &e)| g.to_bool().is_some_and(|v| v != e)));
+    }
+}

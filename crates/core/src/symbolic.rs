@@ -1,0 +1,434 @@
+//! Symbolic simulation: from netlists to BDDs.
+//!
+//! Three flavours, mirroring the paper:
+//!
+//! * plain simulation of complete circuits (the specification's `f_j`),
+//! * **Z_i simulation** of partial circuits — every black-box output becomes
+//!   a fresh BDD variable `Z_i` (Section 2.2),
+//! * **0,1,X simulation** — each signal is a pair `(is0, is1)` of BDDs over
+//!   the primary inputs; `X` is the state where both are false
+//!   (Section 2.1; equivalent to an MTBDD with terminals {0,1,X}).
+
+use crate::partial::PartialCircuit;
+use crate::report::{CheckError, CheckSettings};
+use bbec_bdd::{Bdd, BddManager, BddVar, ReorderSettings, SatAssignment};
+use bbec_netlist::{Circuit, GateKind, SignalId};
+
+/// A ternary signal value encoded as two BDDs over the primary inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TernaryBdd {
+    /// Characteristic function of "this signal is definitely 0".
+    pub is0: Bdd,
+    /// Characteristic function of "this signal is definitely 1".
+    pub is1: Bdd,
+}
+
+/// The result of Z_i simulation of a partial circuit.
+#[derive(Debug, Clone)]
+pub struct PartialSymbolic {
+    /// `g_j`: one BDD per primary output, over input and Z variables.
+    pub outputs: Vec<Bdd>,
+    /// The Z variables, grouped per box (paper's `O_j`), boxes in
+    /// topological order.
+    pub z_vars_by_box: Vec<Vec<BddVar>>,
+    /// All Z variables flattened.
+    pub all_z_vars: Vec<BddVar>,
+    /// BDD of every host-circuit signal (the `h` functions of the
+    /// input-exact check are the entries for box-input signals).
+    pub signal_bdds: Vec<Option<Bdd>>,
+}
+
+/// A BDD manager wired to a circuit interface: one variable per primary
+/// input, allocated in a fanin-first (DFS) static order.
+#[derive(Debug)]
+pub struct SymbolicContext {
+    /// The underlying manager; exposed so checks can run further operations.
+    pub manager: BddManager,
+    input_vars: Vec<BddVar>,
+}
+
+impl SymbolicContext {
+    /// Creates a context for circuits with `reference`'s input interface.
+    ///
+    /// The static variable order interleaves inputs by a depth-first walk
+    /// from the outputs (a standard netlist ordering heuristic); dynamic
+    /// reordering is enabled according to `settings`.
+    pub fn new(reference: &Circuit, settings: &CheckSettings) -> SymbolicContext {
+        let mut manager = if settings.dynamic_reordering {
+            BddManager::with_reordering(ReorderSettings {
+                threshold: settings.reorder_threshold,
+                ..ReorderSettings::default()
+            })
+        } else {
+            BddManager::new()
+        };
+        manager.set_node_limit(settings.node_limit);
+        let order = dfs_input_order(reference);
+        let mut input_vars = vec![None; reference.inputs().len()];
+        for pos in order {
+            input_vars[pos] = Some(manager.new_var());
+        }
+        let input_vars = input_vars.into_iter().map(|v| v.expect("all inputs ordered")).collect();
+        SymbolicContext { manager, input_vars }
+    }
+
+    /// The BDD variable of each primary input, in declaration order.
+    pub fn input_vars(&self) -> &[BddVar] {
+        &self.input_vars
+    }
+
+    /// Builds the output BDDs of a complete circuit (the spec's `f_j`).
+    ///
+    /// # Errors
+    ///
+    /// [`CheckError::Netlist`] if an output cone contains undriven signals —
+    /// use [`SymbolicContext::build_partial`] for partial circuits.
+    pub fn build_outputs(&mut self, circuit: &Circuit) -> Result<Vec<Bdd>, CheckError> {
+        let signals = self.simulate(circuit, |_, _| None)?;
+        circuit
+            .outputs()
+            .iter()
+            .map(|&(ref name, s)| {
+                signals[s.index()].ok_or_else(|| {
+                    CheckError::Netlist(bbec_netlist::NetlistError::Undriven(name.clone()))
+                })
+            })
+            .collect()
+    }
+
+    /// Z_i simulation: builds the partial implementation's `g_j` with one
+    /// fresh variable per black-box output.
+    pub fn build_partial(&mut self, partial: &PartialCircuit) -> PartialSymbolic {
+        // Allocate Z variables per box, in topological box order.
+        let mut z_vars_by_box = Vec::new();
+        let mut all_z_vars = Vec::new();
+        let mut z_of_signal: Vec<Option<BddVar>> =
+            vec![None; partial.circuit().signal_count()];
+        for b in partial.boxes() {
+            let vars: Vec<BddVar> = b
+                .outputs
+                .iter()
+                .map(|&o| {
+                    let v = self.manager.new_var();
+                    z_of_signal[o.index()] = Some(v);
+                    v
+                })
+                .collect();
+            all_z_vars.extend(&vars);
+            z_vars_by_box.push(vars);
+        }
+        let signals = self
+            .simulate(partial.circuit(), |m, s| z_of_signal[s.index()].map(|v| m.var(v)))
+            .expect("undriven signals are mapped to Z variables");
+        let outputs = partial
+            .circuit()
+            .outputs()
+            .iter()
+            .map(|&(_, s)| signals[s.index()].expect("outputs driven or boxed"))
+            .collect();
+        PartialSymbolic { outputs, z_vars_by_box, all_z_vars, signal_bdds: signals }
+    }
+
+    /// Symbolic 0,1,X simulation of a partial circuit: black-box outputs
+    /// start as `X`, and every signal's `(is0, is1)` pair is computed over
+    /// the primary input variables only.
+    pub fn build_ternary(&mut self, circuit: &Circuit) -> Vec<TernaryBdd> {
+        let false_ = self.manager.constant(false);
+        let x_value = TernaryBdd { is0: false_, is1: false_ };
+        let mut signals: Vec<TernaryBdd> = vec![x_value; circuit.signal_count()];
+        for (pos, &s) in circuit.inputs().iter().enumerate() {
+            let v = self.manager.var(self.input_vars[pos]);
+            // Protect the negated rail: reordering garbage-collects.
+            let nv = self.manager.not(v);
+            self.manager.protect(nv);
+            signals[s.index()] = TernaryBdd { is0: nv, is1: v };
+        }
+        let mut inputs_buf: Vec<TernaryBdd> = Vec::new();
+        for &g in circuit.topo_order() {
+            let gate = &circuit.gates()[g as usize];
+            inputs_buf.clear();
+            inputs_buf.extend(gate.inputs.iter().map(|&s| signals[s.index()]));
+            let out = self.eval_ternary_gate(gate.kind, &inputs_buf);
+            self.manager.protect(out.is0);
+            self.manager.protect(out.is1);
+            signals[gate.output.index()] = out;
+            self.manager.maybe_reorder();
+        }
+        circuit.outputs().iter().map(|&(_, s)| signals[s.index()]).collect()
+    }
+
+    /// Maps a BDD satisfying assignment back to a primary-input vector.
+    pub fn witness_inputs(&self, assignment: &SatAssignment) -> Vec<bool> {
+        self.input_vars.iter().map(|&v| assignment.value(v).unwrap_or(false)).collect()
+    }
+
+    /// Core simulation loop; `leaf` supplies BDDs for undriven signals.
+    fn simulate(
+        &mut self,
+        circuit: &Circuit,
+        leaf: impl Fn(&mut BddManager, SignalId) -> Option<Bdd>,
+    ) -> Result<Vec<Option<Bdd>>, CheckError> {
+        let mut signals: Vec<Option<Bdd>> = vec![None; circuit.signal_count()];
+        for (pos, &s) in circuit.inputs().iter().enumerate() {
+            signals[s.index()] = Some(self.manager.var(self.input_vars[pos]));
+        }
+        for s in circuit.undriven_signals() {
+            signals[s.index()] = leaf(&mut self.manager, s);
+        }
+        let mut buf: Vec<Bdd> = Vec::new();
+        for &g in circuit.topo_order() {
+            let gate = &circuit.gates()[g as usize];
+            buf.clear();
+            for &inp in &gate.inputs {
+                match signals[inp.index()] {
+                    Some(b) => buf.push(b),
+                    None => {
+                        return Err(CheckError::Netlist(bbec_netlist::NetlistError::Undriven(
+                            circuit.signal_name(inp).to_string(),
+                        )))
+                    }
+                }
+            }
+            let out = self.eval_gate(gate.kind, &buf);
+            // Keep every signal protected: h functions and outputs must
+            // survive the garbage collections that reordering performs.
+            self.manager.protect(out);
+            signals[gate.output.index()] = Some(out);
+            self.manager.maybe_reorder();
+        }
+        Ok(signals)
+    }
+
+    fn eval_gate(&mut self, kind: GateKind, inputs: &[Bdd]) -> Bdd {
+        let m = &mut self.manager;
+        match kind {
+            GateKind::And => m.and_many(inputs),
+            GateKind::Or => m.or_many(inputs),
+            GateKind::Nand => {
+                let a = m.and_many(inputs);
+                m.not(a)
+            }
+            GateKind::Nor => {
+                let a = m.or_many(inputs);
+                m.not(a)
+            }
+            GateKind::Xor => m.xor_many(inputs),
+            GateKind::Xnor => {
+                let a = m.xor_many(inputs);
+                m.not(a)
+            }
+            GateKind::Not => m.not(inputs[0]),
+            GateKind::Buf => inputs[0],
+            GateKind::Const0 => m.constant(false),
+            GateKind::Const1 => m.constant(true),
+        }
+    }
+
+    fn eval_ternary_gate(&mut self, kind: GateKind, inputs: &[TernaryBdd]) -> TernaryBdd {
+        let m = &mut self.manager;
+        let and_fold = |m: &mut BddManager, inputs: &[TernaryBdd]| {
+            let is1s: Vec<Bdd> = inputs.iter().map(|t| t.is1).collect();
+            let is0s: Vec<Bdd> = inputs.iter().map(|t| t.is0).collect();
+            TernaryBdd { is1: m.and_many(&is1s), is0: m.or_many(&is0s) }
+        };
+        let or_fold = |m: &mut BddManager, inputs: &[TernaryBdd]| {
+            let is1s: Vec<Bdd> = inputs.iter().map(|t| t.is1).collect();
+            let is0s: Vec<Bdd> = inputs.iter().map(|t| t.is0).collect();
+            TernaryBdd { is1: m.or_many(&is1s), is0: m.and_many(&is0s) }
+        };
+        let xor_fold = |m: &mut BddManager, inputs: &[TernaryBdd]| {
+            let mut acc = inputs[0];
+            for t in &inputs[1..] {
+                let a = m.and(acc.is1, t.is0);
+                let b = m.and(acc.is0, t.is1);
+                let c = m.and(acc.is0, t.is0);
+                let d = m.and(acc.is1, t.is1);
+                acc = TernaryBdd { is1: m.or(a, b), is0: m.or(c, d) };
+            }
+            acc
+        };
+        let negate = |t: TernaryBdd| TernaryBdd { is0: t.is1, is1: t.is0 };
+        match kind {
+            GateKind::And => and_fold(m, inputs),
+            GateKind::Or => or_fold(m, inputs),
+            GateKind::Nand => negate(and_fold(m, inputs)),
+            GateKind::Nor => negate(or_fold(m, inputs)),
+            GateKind::Xor => xor_fold(m, inputs),
+            GateKind::Xnor => negate(xor_fold(m, inputs)),
+            GateKind::Not => negate(inputs[0]),
+            GateKind::Buf => inputs[0],
+            GateKind::Const0 => {
+                TernaryBdd { is0: m.constant(true), is1: m.constant(false) }
+            }
+            GateKind::Const1 => {
+                TernaryBdd { is0: m.constant(false), is1: m.constant(true) }
+            }
+        }
+    }
+}
+
+/// Orders input positions by a depth-first, fanin-first walk from the
+/// outputs; inputs never reached are appended in declaration order.
+fn dfs_input_order(circuit: &Circuit) -> Vec<usize> {
+    let mut pos_of_signal = vec![usize::MAX; circuit.signal_count()];
+    for (pos, &s) in circuit.inputs().iter().enumerate() {
+        pos_of_signal[s.index()] = pos;
+    }
+    let mut order = Vec::new();
+    let mut seen_input = vec![false; circuit.inputs().len()];
+    let mut seen_sig = vec![false; circuit.signal_count()];
+    let mut stack: Vec<SignalId> = circuit.outputs().iter().rev().map(|&(_, s)| s).collect();
+    while let Some(s) = stack.pop() {
+        if std::mem::replace(&mut seen_sig[s.index()], true) {
+            continue;
+        }
+        let pos = pos_of_signal[s.index()];
+        if pos != usize::MAX && !seen_input[pos] {
+            seen_input[pos] = true;
+            order.push(pos);
+        }
+        if let Some(gate) = circuit.driver_of(s) {
+            for &inp in gate.inputs.iter().rev() {
+                stack.push(inp);
+            }
+        }
+    }
+    for (pos, seen) in seen_input.iter().enumerate() {
+        if !seen {
+            order.push(pos);
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bbec_netlist::generators;
+
+    fn settings() -> CheckSettings {
+        CheckSettings { dynamic_reordering: false, ..CheckSettings::default() }
+    }
+
+    #[test]
+    fn spec_bdds_match_simulation() {
+        let c = generators::ripple_carry_adder(3);
+        let mut ctx = SymbolicContext::new(&c, &settings());
+        let outs = ctx.build_outputs(&c).unwrap();
+        for bits in 0..128u32 {
+            let inputs: Vec<bool> = (0..7).map(|i| bits >> i & 1 == 1).collect();
+            let expect = c.eval(&inputs).unwrap();
+            // Map input values onto BDD variables.
+            let mut assign = vec![false; ctx.manager.var_count()];
+            for (pos, &v) in ctx.input_vars().iter().enumerate() {
+                assign[v.index() as usize] = inputs[pos];
+            }
+            for (o, &e) in outs.iter().zip(&expect) {
+                assert_eq!(ctx.manager.eval(*o, &assign), e, "bits {bits:07b}");
+            }
+        }
+    }
+
+    #[test]
+    fn partial_bdds_depend_on_z() {
+        let c = generators::ripple_carry_adder(2);
+        let p = crate::PartialCircuit::black_box_gates(&c, &[0]).unwrap();
+        let mut ctx = SymbolicContext::new(&c, &settings());
+        let sym = ctx.build_partial(&p);
+        assert_eq!(sym.all_z_vars.len(), 1);
+        let z = sym.all_z_vars[0];
+        // Some output must depend on Z (gate 0 feeds sum0).
+        let depends = sym.outputs.iter().any(|&o| ctx.manager.support(o).contains(&z));
+        assert!(depends);
+    }
+
+    #[test]
+    fn zi_simulation_restores_function_when_z_composed() {
+        // Substituting the removed gate's true function for Z must give back
+        // the specification exactly.
+        let c = generators::magnitude_comparator(3);
+        let gate = 2u32;
+        let p = crate::PartialCircuit::black_box_gates(&c, &[gate]).unwrap();
+        let mut ctx = SymbolicContext::new(&c, &settings());
+        let spec = ctx.build_outputs(&c).unwrap();
+        let sym = ctx.build_partial(&p);
+        // Rebuild the removed gate's true function from the host's signal
+        // BDDs (its inputs are still driven in the host).
+        let removed = &c.gates()[gate as usize];
+        let ins: Vec<Bdd> = removed
+            .inputs
+            .iter()
+            .map(|&s| sym.signal_bdds[s.index()].expect("driven"))
+            .collect();
+        let true_fn = ctx.eval_gate(removed.kind, &ins);
+        let z = sym.all_z_vars[0];
+        for (g, f) in sym.outputs.iter().zip(&spec) {
+            let composed = ctx.manager.compose(*g, z, true_fn);
+            assert_eq!(composed, *f);
+        }
+    }
+
+    #[test]
+    fn ternary_pairs_are_disjoint_and_sound() {
+        let c = generators::ripple_carry_adder(2);
+        let p = crate::PartialCircuit::black_box_gates(&c, &[1, 2]).unwrap();
+        let mut ctx = SymbolicContext::new(&c, &settings());
+        let pairs = ctx.build_ternary(p.circuit());
+        for t in &pairs {
+            // is0 ∧ is1 must be unsatisfiable.
+            let both = ctx.manager.and(t.is0, t.is1);
+            assert!(ctx.manager.is_contradiction(both));
+        }
+        // Cross-check against the netlist's ternary simulator.
+        for bits in 0..32u32 {
+            let inputs: Vec<bool> = (0..5).map(|i| bits >> i & 1 == 1).collect();
+            let tv: Vec<bbec_netlist::Tv> =
+                inputs.iter().map(|&b| bbec_netlist::Tv::from(b)).collect();
+            let expect = p.circuit().eval_ternary(&tv).unwrap();
+            let mut assign = vec![false; ctx.manager.var_count()];
+            for (pos, &v) in ctx.input_vars().iter().enumerate() {
+                assign[v.index() as usize] = inputs[pos];
+            }
+            for (t, e) in pairs.iter().zip(&expect) {
+                let is0 = ctx.manager.eval(t.is0, &assign);
+                let is1 = ctx.manager.eval(t.is1, &assign);
+                match e {
+                    bbec_netlist::Tv::Zero => assert!(is0 && !is1),
+                    bbec_netlist::Tv::One => assert!(is1 && !is0),
+                    bbec_netlist::Tv::X => assert!(!is0 && !is1),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dfs_order_touches_every_input() {
+        let c = generators::masked_alu14();
+        let order = dfs_input_order(&c);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..60).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn reordering_during_simulation_is_safe() {
+        let mut s = CheckSettings::default();
+        s.dynamic_reordering = true;
+        s.reorder_threshold = 64; // force frequent reordering
+        let c = generators::magnitude_comparator(6);
+        let mut ctx = SymbolicContext::new(&c, &s);
+        let outs = ctx.build_outputs(&c).unwrap();
+        assert!(ctx.manager.stats().reorderings > 0, "threshold should have triggered");
+        for bits in (0..4096u32).step_by(97) {
+            let inputs: Vec<bool> = (0..12).map(|i| bits >> i & 1 == 1).collect();
+            let expect = c.eval(&inputs).unwrap();
+            let mut assign = vec![false; ctx.manager.var_count()];
+            for (pos, &v) in ctx.input_vars().iter().enumerate() {
+                assign[v.index() as usize] = inputs[pos];
+            }
+            for (o, &e) in outs.iter().zip(&expect) {
+                assert_eq!(ctx.manager.eval(*o, &assign), e);
+            }
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! Property-based tests of the paper's central claims, driven by random
+//! circuits, random mutations and random black-box selections.
+
+use bbec_core::{checks, samples, CheckSettings, PartialCircuit, Verdict};
+use bbec_netlist::mutate::Mutation;
+use bbec_netlist::{generators, Circuit};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn settings() -> CheckSettings {
+    CheckSettings {
+        dynamic_reordering: false,
+        random_patterns: 250,
+        ..CheckSettings::default()
+    }
+}
+
+fn random_instance(
+    seed: u64,
+    boxes: usize,
+    mutate: bool,
+) -> Option<(Circuit, PartialCircuit, String)> {
+    let spec = generators::random_logic("prop", 7, 40, 3, seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD);
+    let (faulty, label) = if mutate {
+        let roots: Vec<_> = spec.outputs().iter().map(|&(_, s)| s).collect();
+        let cone = spec.fanin_cone_gates(&roots);
+        let m = Mutation::random(&spec, &cone, &mut rng)?;
+        (m.apply(&spec).ok()?, m.describe(&spec))
+    } else {
+        (spec.clone(), "unmodified".to_string())
+    };
+    let partial = PartialCircuit::random_black_boxes(&faulty, 0.2, boxes, &mut rng).ok()?;
+    Some((spec, partial, label))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Soundness: black-boxing an unmodified specification is always
+    /// completable — no check may report an error, with 1, 2 or 3 boxes.
+    #[test]
+    fn no_check_false_alarms(seed in 0u64..10_000, boxes in 1usize..4) {
+        let Some((spec, partial, _)) = random_instance(seed, boxes, false) else {
+            return Ok(());
+        };
+        let s = settings();
+        prop_assert_eq!(
+            checks::random_patterns(&spec, &partial, &s).unwrap().verdict,
+            Verdict::NoErrorFound
+        );
+        prop_assert_eq!(
+            checks::symbolic_01x(&spec, &partial, &s).unwrap().verdict,
+            Verdict::NoErrorFound
+        );
+        prop_assert_eq!(
+            checks::local_check(&spec, &partial, &s).unwrap().verdict,
+            Verdict::NoErrorFound
+        );
+        prop_assert_eq!(
+            checks::output_exact(&spec, &partial, &s).unwrap().verdict,
+            Verdict::NoErrorFound
+        );
+        prop_assert_eq!(
+            checks::input_exact(&spec, &partial, &s).unwrap().verdict,
+            Verdict::NoErrorFound
+        );
+    }
+
+    /// Ladder monotonicity: a weaker check convicting implies every
+    /// stronger check convicts (r.p. ⊆ 0,1,X ⊆ local ⊆ oe ⊆ ie).
+    #[test]
+    fn ladder_is_monotone(seed in 0u64..10_000, boxes in 1usize..4) {
+        let Some((spec, partial, label)) = random_instance(seed, boxes, true) else {
+            return Ok(());
+        };
+        let s = settings();
+        let rp = checks::random_patterns(&spec, &partial, &s).unwrap().verdict;
+        let x01 = checks::symbolic_01x(&spec, &partial, &s).unwrap().verdict;
+        let loc = checks::local_check(&spec, &partial, &s).unwrap().verdict;
+        let oe = checks::output_exact(&spec, &partial, &s).unwrap().verdict;
+        let ie = checks::input_exact(&spec, &partial, &s).unwrap().verdict;
+        let rank = |v: Verdict| u8::from(v == Verdict::ErrorFound);
+        prop_assert!(rank(rp) <= rank(x01), "r.p. > 01x on {label}");
+        prop_assert!(rank(x01) <= rank(loc), "01x > local on {label}");
+        prop_assert!(rank(loc) <= rank(oe), "local > oe on {label}");
+        prop_assert!(rank(oe) <= rank(ie), "oe > ie on {label}");
+    }
+
+    /// Witness validity: whenever a check hands back a counterexample, the
+    /// implementation output it names is definite and wrong at that input.
+    #[test]
+    fn counterexamples_are_genuine(seed in 0u64..10_000) {
+        let Some((spec, partial, label)) = random_instance(seed, 1, true) else {
+            return Ok(());
+        };
+        let s = settings();
+        for outcome in [
+            checks::random_patterns(&spec, &partial, &s).unwrap(),
+            checks::symbolic_01x(&spec, &partial, &s).unwrap(),
+        ] {
+            if let Some(cex) = &outcome.counterexample {
+                let tv: Vec<bbec_netlist::Tv> =
+                    cex.inputs.iter().map(|&b| bbec_netlist::Tv::from(b)).collect();
+                let got = partial.circuit().eval_ternary(&tv).unwrap();
+                let expect = spec.eval(&cex.inputs).unwrap();
+                let j = cex.output.expect("these checks name the output");
+                prop_assert_eq!(
+                    got[j].to_bool(),
+                    Some(!expect[j]),
+                    "{} witness bogus on {}",
+                    outcome.method,
+                    &label
+                );
+            }
+        }
+    }
+
+    /// Theorem 2.2 at property scale: for single tiny boxes the input-exact
+    /// verdict coincides with brute-force completability.
+    #[test]
+    fn input_exact_is_exact_for_one_box(seed in 0u64..10_000) {
+        let spec = generators::random_logic("ex", 5, 22, 2, seed);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let roots: Vec<_> = spec.outputs().iter().map(|&(_, s)| s).collect();
+        let cone = spec.fanin_cone_gates(&roots);
+        let Some(m) = Mutation::random(&spec, &cone, &mut rng) else {
+            return Ok(());
+        };
+        let faulty = m.apply(&spec).unwrap();
+        use rand::Rng as _;
+        let g = cone[rng.random_range(0..cone.len())];
+        let Ok(partial) = PartialCircuit::black_box_gates(&faulty, &[g]) else {
+            return Ok(());
+        };
+        let s = settings();
+        let Ok(exact) = checks::exact_decomposition(&spec, &partial, &s, 20) else {
+            return Ok(()); // over budget: skip
+        };
+        let ie = checks::input_exact(&spec, &partial, &s).unwrap().verdict;
+        prop_assert_eq!(
+            ie == Verdict::NoErrorFound,
+            exact.is_completable(),
+            "Theorem 2.2 violated on {}",
+            m.describe(&spec)
+        );
+    }
+
+    /// Structural invariants of random box selections: convex, disjoint,
+    /// topologically ordered, correct totals.
+    #[test]
+    fn random_boxes_are_well_formed(seed in 0u64..10_000, boxes in 1usize..6) {
+        let spec = generators::random_logic("shape", 8, 60, 4, seed);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sets = PartialCircuit::random_convex_partition(&spec, 0.25, boxes, &mut rng);
+        // Disjoint and within range.
+        let mut seen = std::collections::HashSet::new();
+        for set in &sets {
+            for &g in set {
+                prop_assert!((g as usize) < spec.gates().len());
+                prop_assert!(seen.insert(g), "gate {g} in two boxes");
+            }
+        }
+        // The partition must always produce a valid PartialCircuit (all
+        // structural checks inside `new` pass) unless a box is unobservable.
+        match PartialCircuit::black_box_partition(&spec, &sets) {
+            Ok(p) => prop_assert_eq!(p.boxes().len(), sets.len()),
+            Err(e) => prop_assert!(
+                e.to_string().contains("no observable output"),
+                "unexpected rejection: {e}"
+            ),
+        }
+    }
+}
+
+/// Deterministic regression: the five specimen circuits keep their exact
+/// ladder positions (the paper's Figures 1–3) — also covered in unit tests,
+/// repeated here as an integration-level canary.
+#[test]
+fn figure_separations_regression() {
+    let s = settings();
+    let (spec, partial) = samples::detected_only_by_input_exact();
+    assert_eq!(checks::output_exact(&spec, &partial, &s).unwrap().verdict, {
+        Verdict::NoErrorFound
+    });
+    assert_eq!(checks::input_exact(&spec, &partial, &s).unwrap().verdict, Verdict::ErrorFound);
+}

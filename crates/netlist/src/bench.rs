@@ -1,0 +1,327 @@
+//! ISCAS-85/89 style `.bench` reader and writer (combinational subset).
+//!
+//! The format the paper's benchmark circuits (C432, C499, …) are usually
+//! distributed in:
+//!
+//! ```text
+//! # comment
+//! INPUT(a)
+//! OUTPUT(f)
+//! w = AND(a, b)
+//! f = NOT(w)
+//! ```
+
+use crate::circuit::{Circuit, NetlistError};
+use crate::gate::GateKind;
+use std::fmt::Write as _;
+
+/// Parses a `.bench` netlist.
+///
+/// # Errors
+///
+/// [`NetlistError::Parse`] on malformed lines or sequential elements (DFF),
+/// plus any structural error from circuit validation.
+pub fn parse(name: &str, text: &str) -> Result<Circuit, NetlistError> {
+    parse_with(name, text, false)
+}
+
+/// Parses a `.bench` netlist, allowing undriven signals (black-box outputs
+/// of a partial implementation).
+///
+/// # Errors
+///
+/// As [`parse`], minus the undriven-cone check.
+pub fn parse_allow_undriven(name: &str, text: &str) -> Result<Circuit, NetlistError> {
+    parse_with(name, text, true)
+}
+
+fn parse_with(name: &str, text: &str, allow_undriven: bool) -> Result<Circuit, NetlistError> {
+    let mut b = Circuit::builder(name);
+    let mut outputs: Vec<String> = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |msg: &str| NetlistError::Parse(format!("line {}: {msg}", lineno + 1));
+        if let Some(rest) = line.strip_prefix("INPUT") {
+            let sig = parse_parens(rest).ok_or_else(|| err("malformed INPUT"))?;
+            let id = b.signal_or_new(sig);
+            b.mark_input(id);
+        } else if let Some(rest) = line.strip_prefix("OUTPUT") {
+            let sig = parse_parens(rest).ok_or_else(|| err("malformed OUTPUT"))?;
+            b.signal_or_new(sig);
+            outputs.push(sig.to_string());
+        } else if let Some((lhs, rhs)) = line.split_once('=') {
+            let out_name = lhs.trim();
+            let rhs = rhs.trim();
+            let open = rhs.find('(').ok_or_else(|| err("missing '('"))?;
+            let func = rhs[..open].trim().to_ascii_uppercase();
+            let args_text = rhs[open..].trim();
+            let args = parse_parens(args_text).ok_or_else(|| err("missing ')'"))?;
+            let kind = match func.as_str() {
+                "AND" => GateKind::And,
+                "OR" => GateKind::Or,
+                "NAND" => GateKind::Nand,
+                "NOR" => GateKind::Nor,
+                "XOR" => GateKind::Xor,
+                "XNOR" => GateKind::Xnor,
+                "NOT" => GateKind::Not,
+                "BUF" | "BUFF" => GateKind::Buf,
+                "DFF" => return Err(err("sequential element DFF not supported")),
+                other => return Err(err(&format!("unknown gate `{other}`"))),
+            };
+            let inputs: Vec<_> = args
+                .split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .map(|s| b.signal_or_new(s))
+                .collect();
+            if !kind.arity_ok(inputs.len()) {
+                return Err(NetlistError::BadArity { gate: kind, arity: inputs.len() });
+            }
+            let out = b.signal_or_new(out_name);
+            b.gate_into(kind, &inputs, out);
+        } else {
+            return Err(err("unrecognised statement"));
+        }
+    }
+    for out in outputs {
+        let id = b.signal_or_new(&out);
+        b.output(&out, id);
+    }
+    if allow_undriven {
+        b.build_allow_undriven()
+    } else {
+        b.build()
+    }
+}
+
+fn parse_parens(text: &str) -> Option<&str> {
+    let text = text.trim();
+    let inner = text.strip_prefix('(')?.strip_suffix(')')?;
+    Some(inner.trim())
+}
+
+/// A sequential `.bench` netlist lowered to a combinational transition
+/// circuit (ISCAS-89 style, `q = DFF(d)`).
+///
+/// `circuit` carries each flip-flop's `q` as an extra primary *input* and
+/// its `d` as an extra primary *output* (named `<q>_next`); `state` pairs
+/// the positions, ready for `SequentialCircuit`-style time-frame expansion.
+#[derive(Debug, Clone)]
+pub struct SequentialBench {
+    pub circuit: Circuit,
+    /// `(input position, output position)` per flip-flop, in file order.
+    pub state: Vec<(usize, usize)>,
+    /// Flip-flop output names, in the same order as `state`.
+    pub registers: Vec<String>,
+}
+
+/// Parses a `.bench` netlist that may contain `DFF` elements.
+///
+/// # Errors
+///
+/// As [`parse`]; additionally rejects flip-flops whose `q` is also a
+/// primary input.
+pub fn parse_sequential(name: &str, text: &str) -> Result<SequentialBench, NetlistError> {
+    // Pre-scan for DFF lines, rewrite them away, and collect the pairing.
+    let mut registers: Vec<(String, String)> = Vec::new(); // (q, d)
+    let mut combinational = String::new();
+    for raw in text.lines() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if let Some((lhs, rhs)) = line.split_once('=') {
+            let rhs_trim = rhs.trim();
+            if rhs_trim.to_ascii_uppercase().starts_with("DFF") {
+                let d = parse_parens(&rhs_trim[3..])
+                    .ok_or_else(|| NetlistError::Parse(format!("malformed DFF `{line}`")))?;
+                registers.push((lhs.trim().to_string(), d.to_string()));
+                continue;
+            }
+        }
+        combinational.push_str(raw);
+        combinational.push('\n');
+    }
+    // Each register's q becomes an INPUT; its d is exposed as an OUTPUT.
+    use std::fmt::Write as _;
+    let mut extra = String::new();
+    for (q, d) in &registers {
+        let _ = writeln!(extra, "INPUT({q})");
+        let _ = writeln!(extra, "OUTPUT({q}_next)");
+        let _ = writeln!(extra, "{q}_next = BUF({d})");
+    }
+    combinational.push_str(&extra);
+    let circuit = parse(name, &combinational)?;
+    let state = registers
+        .iter()
+        .map(|(q, _)| {
+            let in_pos = circuit
+                .inputs()
+                .iter()
+                .position(|&s| circuit.signal_name(s) == q)
+                .ok_or_else(|| NetlistError::Parse(format!("register `{q}` shadowed")))?;
+            let next_name = format!("{q}_next");
+            let out_pos = circuit
+                .outputs()
+                .iter()
+                .position(|(n, _)| *n == next_name)
+                .expect("next-state output was just added");
+            Ok((in_pos, out_pos))
+        })
+        .collect::<Result<Vec<_>, NetlistError>>()?;
+    Ok(SequentialBench {
+        circuit,
+        state,
+        registers: registers.into_iter().map(|(q, _)| q).collect(),
+    })
+}
+
+/// Serialises a circuit to `.bench` text.
+///
+/// # Errors
+///
+/// [`NetlistError::Parse`] if the circuit contains constant gates, which the
+/// format cannot express.
+pub fn write(circuit: &Circuit) -> Result<String, NetlistError> {
+    let mut out = String::new();
+    let _ = writeln!(out, "# {}", circuit.name());
+    for &i in circuit.inputs() {
+        let _ = writeln!(out, "INPUT({})", circuit.signal_name(i));
+    }
+    for (name, _) in circuit.outputs() {
+        let _ = writeln!(out, "OUTPUT({name})");
+    }
+    // Port-name buffers where output port and signal names differ.
+    for (name, sig) in circuit.outputs() {
+        if name != circuit.signal_name(*sig) {
+            let _ = writeln!(out, "{name} = BUF({})", circuit.signal_name(*sig));
+        }
+    }
+    for &g in circuit.topo_order() {
+        let gate = &circuit.gates()[g as usize];
+        let func = match gate.kind {
+            GateKind::And => "AND",
+            GateKind::Or => "OR",
+            GateKind::Nand => "NAND",
+            GateKind::Nor => "NOR",
+            GateKind::Xor => "XOR",
+            GateKind::Xnor => "XNOR",
+            GateKind::Not => "NOT",
+            GateKind::Buf => "BUF",
+            GateKind::Const0 | GateKind::Const1 => {
+                return Err(NetlistError::Parse(
+                    "`.bench` cannot express constant gates".to_string(),
+                ))
+            }
+        };
+        let args: Vec<&str> =
+            gate.inputs.iter().map(|&s| circuit.signal_name(s)).collect();
+        let _ = writeln!(
+            out,
+            "{} = {func}({})",
+            circuit.signal_name(gate.output),
+            args.join(", ")
+        );
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# toy circuit
+INPUT(a)
+INPUT(b)
+INPUT(c)
+OUTPUT(f)
+OUTPUT(g)
+w1 = AND(a, b)
+w2 = XOR(w1, c)
+f = NOT(w2)
+g = NOR(a, b, c)
+";
+
+    #[test]
+    fn parse_evaluates_correctly() {
+        let c = parse("toy", SAMPLE).unwrap();
+        assert_eq!(c.inputs().len(), 3);
+        assert_eq!(c.outputs().len(), 2);
+        for bits in 0..8u32 {
+            let v: Vec<bool> = (0..3).map(|i| bits >> i & 1 == 1).collect();
+            let out = c.eval(&v).unwrap();
+            assert_eq!(out[0], !((v[0] && v[1]) ^ v[2]));
+            assert_eq!(out[1], !(v[0] || v[1] || v[2]));
+        }
+    }
+
+    #[test]
+    fn round_trip_through_writer() {
+        let c = parse("toy", SAMPLE).unwrap();
+        let text = write(&c).unwrap();
+        let c2 = parse("toy2", &text).unwrap();
+        assert_eq!(c.inputs().len(), c2.inputs().len());
+        for bits in 0..8u32 {
+            let v: Vec<bool> = (0..3).map(|i| bits >> i & 1 == 1).collect();
+            assert_eq!(c.eval(&v).unwrap(), c2.eval(&v).unwrap());
+        }
+    }
+
+    #[test]
+    fn rejects_sequential_and_garbage() {
+        assert!(parse("x", "q = DFF(d)").is_err());
+        assert!(parse("x", "this is not bench").is_err());
+        assert!(parse("x", "f = FROB(a)").is_err());
+        assert!(parse("x", "INPUT a").is_err());
+    }
+
+    /// A tiny s27-style sequential circuit.
+    const SEQ_SAMPLE: &str = "\
+# toggle with enable
+INPUT(en)
+OUTPUT(out)
+q = DFF(d)
+d = XOR(q, en)
+out = BUF(q)
+";
+
+    #[test]
+    fn sequential_parse_extracts_registers() {
+        let sb = parse_sequential("tgl", SEQ_SAMPLE).unwrap();
+        assert_eq!(sb.registers, vec!["q".to_string()]);
+        assert_eq!(sb.state.len(), 1);
+        let (ipos, opos) = sb.state[0];
+        // State input is q; next-state output is q_next = d.
+        assert_eq!(sb.circuit.signal_name(sb.circuit.inputs()[ipos]), "q");
+        assert_eq!(sb.circuit.outputs()[opos].0, "q_next");
+        // Transition semantics: q_next = q XOR en.
+        for (en, q) in [(false, false), (false, true), (true, false), (true, true)] {
+            // Input order: en (declared first), then q (register).
+            let out = sb.circuit.eval(&[en, q]).unwrap();
+            let q_next = out[opos];
+            assert_eq!(q_next, q ^ en, "en={en} q={q}");
+            // The observable output mirrors the current state.
+            let out_pos = sb.circuit.outputs().iter().position(|(n, _)| n == "out").unwrap();
+            assert_eq!(out[out_pos], q);
+        }
+    }
+
+    #[test]
+    fn sequential_parse_rejects_malformed_dff() {
+        assert!(parse_sequential("x", "q = DFF d\n").is_err());
+    }
+
+    #[test]
+    fn purely_combinational_files_have_no_state() {
+        let sb = parse_sequential("toy", SAMPLE).unwrap();
+        assert!(sb.state.is_empty());
+        assert!(sb.registers.is_empty());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let c = parse("c", "# nothing\n\nINPUT(a)\nOUTPUT(f)\nf = BUF(a) # trailing\n").unwrap();
+        assert_eq!(c.eval(&[true]).unwrap(), vec![true]);
+    }
+}

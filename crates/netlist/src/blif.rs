@@ -1,0 +1,380 @@
+//! Berkeley Logic Interchange Format (BLIF) reader and writer.
+//!
+//! Supports the combinational subset: `.model`, `.inputs`, `.outputs`,
+//! `.names` with a sum-of-products cover, `.end`. Each `.names` block is
+//! lowered into AND/OR/NOT gates; the writer emits one `.names` block per
+//! gate.
+
+use crate::circuit::{Circuit, CircuitBuilder, NetlistError, SignalId};
+use crate::gate::GateKind;
+use std::fmt::Write as _;
+
+/// Parses a BLIF model (the first `.model` in the text).
+///
+/// # Errors
+///
+/// [`NetlistError::Parse`] on unsupported constructs (latches, subcircuits)
+/// or malformed covers, plus structural validation errors.
+pub fn parse(text: &str) -> Result<Circuit, NetlistError> {
+    parse_with(text, false)
+}
+
+/// Parses a BLIF model, allowing undriven signals (black-box outputs of a
+/// partial implementation).
+///
+/// # Errors
+///
+/// As [`parse`], minus the undriven-cone check.
+pub fn parse_allow_undriven(text: &str) -> Result<Circuit, NetlistError> {
+    parse_with(text, true)
+}
+
+fn parse_with(text: &str, allow_undriven: bool) -> Result<Circuit, NetlistError> {
+    // Join continuation lines first.
+    let mut logical_lines: Vec<String> = Vec::new();
+    let mut pending = String::new();
+    for raw in text.lines() {
+        let line = raw.split('#').next().unwrap_or("");
+        if let Some(stripped) = line.trim_end().strip_suffix('\\') {
+            pending.push_str(stripped);
+            pending.push(' ');
+        } else {
+            pending.push_str(line);
+            logical_lines.push(std::mem::take(&mut pending));
+        }
+    }
+    if !pending.is_empty() {
+        logical_lines.push(pending);
+    }
+
+    let mut name = String::from("blif");
+    let mut b: Option<CircuitBuilder> = None;
+    let mut outputs: Vec<String> = Vec::new();
+
+    // Pre-declare every named signal so the fresh names minted while
+    // lowering covers can never collide with signals named later in the
+    // file.
+    {
+        let mut names: Vec<&str> = Vec::new();
+        for line in &logical_lines {
+            let mut tokens = line.split_whitespace();
+            match tokens.next() {
+                Some(".inputs" | ".outputs" | ".names") => names.extend(tokens),
+                Some(".model") => {
+                    if b.is_none() {
+                        name = tokens.next().unwrap_or("blif").to_string();
+                        b = Some(Circuit::builder(&name));
+                    }
+                }
+                _ => {}
+            }
+        }
+        if let Some(builder) = b.as_mut() {
+            for n in names {
+                builder.signal_or_new(n);
+            }
+        }
+    }
+
+    let mut seen_model = false;
+    let mut i = 0;
+    while i < logical_lines.len() {
+        let line = logical_lines[i].trim().to_string();
+        i += 1;
+        if line.is_empty() {
+            continue;
+        }
+        let mut tokens = line.split_whitespace();
+        let head = tokens.next().unwrap_or("");
+        match head {
+            ".model" => {
+                if seen_model {
+                    // Only the first model is read.
+                    break;
+                }
+                seen_model = true;
+                if b.is_none() {
+                    name = tokens.next().unwrap_or("blif").to_string();
+                    b = Some(Circuit::builder(&name));
+                }
+            }
+            ".inputs" => {
+                let builder = b.get_or_insert_with(|| Circuit::builder(&name));
+                for t in tokens {
+                    let id = builder.signal_or_new(t);
+                    builder.mark_input(id);
+                }
+            }
+            ".outputs" => {
+                let builder = b.get_or_insert_with(|| Circuit::builder(&name));
+                for t in tokens {
+                    builder.signal_or_new(t);
+                    outputs.push(t.to_string());
+                }
+            }
+            ".names" => {
+                let builder = b.get_or_insert_with(|| Circuit::builder(&name));
+                let signals: Vec<String> = tokens.map(str::to_string).collect();
+                if signals.is_empty() {
+                    return Err(NetlistError::Parse(".names with no signals".to_string()));
+                }
+                // Collect the cover rows that follow.
+                let mut rows: Vec<(String, char)> = Vec::new();
+                while i < logical_lines.len() {
+                    let row = logical_lines[i].trim();
+                    if row.is_empty() || row.starts_with('.') {
+                        break;
+                    }
+                    i += 1;
+                    let mut parts = row.split_whitespace();
+                    let (mask, val) = if signals.len() == 1 {
+                        // Constant: a bare `1` (or `0`, meaning empty cover).
+                        (String::new(), parts.next().unwrap_or("0"))
+                    } else {
+                        let mask = parts.next().unwrap_or("");
+                        let val = parts.next().unwrap_or("");
+                        (mask.to_string(), val)
+                    };
+                    let val_char = val.chars().next().unwrap_or('0');
+                    if val_char != '0' && val_char != '1' {
+                        return Err(NetlistError::Parse(format!("bad cover row `{row}`")));
+                    }
+                    rows.push((mask, val_char));
+                }
+                lower_names(builder, &signals, &rows)?;
+            }
+            ".end" => break,
+            ".latch" | ".subckt" | ".gate" => {
+                return Err(NetlistError::Parse(format!("unsupported construct `{head}`")))
+            }
+            other if other.starts_with('.') => {
+                // Unknown dot-directives are skipped (e.g. .default_input_arrival).
+            }
+            _ => {
+                return Err(NetlistError::Parse(format!("stray tokens `{line}`")));
+            }
+        }
+    }
+    let mut builder = b.ok_or_else(|| NetlistError::Parse("no .model found".to_string()))?;
+    for out in outputs {
+        let id = builder.signal_or_new(&out);
+        builder.output(&out, id);
+    }
+    if allow_undriven {
+        builder.build_allow_undriven()
+    } else {
+        builder.build()
+    }
+}
+
+/// Lowers one `.names` cover to gates driving the block's output signal.
+fn lower_names(
+    b: &mut CircuitBuilder,
+    signals: &[String],
+    rows: &[(String, char)],
+) -> Result<(), NetlistError> {
+    let out = b.signal_or_new(signals.last().expect("nonempty"));
+    let input_ids: Vec<SignalId> =
+        signals[..signals.len() - 1].iter().map(|s| b.signal_or_new(s)).collect();
+    if input_ids.is_empty() {
+        // Constant function.
+        let value = rows.iter().any(|&(_, v)| v == '1');
+        b.gate_into(if value { GateKind::Const1 } else { GateKind::Const0 }, &[], out);
+        return Ok(());
+    }
+    // BLIF requires all rows to share the output phase.
+    let on_set = rows.iter().all(|&(_, v)| v == '1');
+    let off_set = rows.iter().all(|&(_, v)| v == '0');
+    if !(on_set || off_set) {
+        return Err(NetlistError::Parse("mixed-phase cover".to_string()));
+    }
+    let mut products: Vec<SignalId> = Vec::new();
+    for (mask, _) in rows {
+        if mask.len() != input_ids.len() {
+            return Err(NetlistError::Parse(format!(
+                "cover row `{mask}` does not match {} inputs",
+                input_ids.len()
+            )));
+        }
+        let mut literals: Vec<SignalId> = Vec::new();
+        for (ch, &sig) in mask.chars().zip(&input_ids) {
+            match ch {
+                '1' => literals.push(sig),
+                '0' => literals.push(b.not(sig)),
+                '-' => {}
+                _ => return Err(NetlistError::Parse(format!("bad cover char `{ch}`"))),
+            }
+        }
+        let product = match literals.len() {
+            0 => b.constant(true),
+            1 => literals[0],
+            _ => b.tree(GateKind::And, &literals),
+        };
+        products.push(product);
+    }
+    let sum = match products.len() {
+        0 => b.constant(false),
+        1 => products[0],
+        _ => b.tree(GateKind::Or, &products),
+    };
+    if on_set {
+        b.gate_into(GateKind::Buf, &[sum], out);
+    } else {
+        b.gate_into(GateKind::Not, &[sum], out);
+    }
+    Ok(())
+}
+
+/// Serialises a circuit to BLIF, one `.names` block per gate.
+pub fn write(circuit: &Circuit) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, ".model {}", circuit.name());
+    let input_names: Vec<&str> =
+        circuit.inputs().iter().map(|&s| circuit.signal_name(s)).collect();
+    let _ = writeln!(out, ".inputs {}", input_names.join(" "));
+    let output_names: Vec<&str> = circuit.outputs().iter().map(|(n, _)| n.as_str()).collect();
+    let _ = writeln!(out, ".outputs {}", output_names.join(" "));
+    // Port-name buffers where output ports alias internal signal names.
+    for (name, sig) in circuit.outputs() {
+        if name != circuit.signal_name(*sig) {
+            let _ = writeln!(out, ".names {} {name}\n1 1", circuit.signal_name(*sig));
+        }
+    }
+    for &g in circuit.topo_order() {
+        let gate = &circuit.gates()[g as usize];
+        let ins: Vec<&str> = gate.inputs.iter().map(|&s| circuit.signal_name(s)).collect();
+        let o = circuit.signal_name(gate.output);
+        let _ = writeln!(out, ".names {} {o}", ins.join(" "));
+        let n = ins.len();
+        match gate.kind {
+            GateKind::And => {
+                let _ = writeln!(out, "{} 1", "1".repeat(n));
+            }
+            GateKind::Nand => {
+                let _ = writeln!(out, "{} 0", "1".repeat(n));
+            }
+            GateKind::Or => {
+                for i in 0..n {
+                    let mut row = vec!['-'; n];
+                    row[i] = '1';
+                    let _ = writeln!(out, "{} 1", row.iter().collect::<String>());
+                }
+            }
+            GateKind::Nor => {
+                let _ = writeln!(out, "{} 1", "0".repeat(n));
+            }
+            GateKind::Xor | GateKind::Xnor => {
+                let odd = gate.kind == GateKind::Xor;
+                for bits in 0..1u32 << n {
+                    let ones = bits.count_ones();
+                    if (ones % 2 == 1) == odd {
+                        let row: String =
+                            (0..n).map(|i| if bits >> i & 1 == 1 { '1' } else { '0' }).collect();
+                        let _ = writeln!(out, "{row} 1");
+                    }
+                }
+            }
+            GateKind::Not => {
+                let _ = writeln!(out, "0 1");
+            }
+            GateKind::Buf => {
+                let _ = writeln!(out, "1 1");
+            }
+            GateKind::Const0 => {}
+            GateKind::Const1 => {
+                let _ = writeln!(out, "1");
+            }
+        }
+    }
+    out.push_str(".end\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+.model toy
+.inputs a b c
+.outputs f g
+.names a b w
+11 1
+.names w c f
+10 1
+01 1
+.names a b c g
+000 1
+.end
+";
+
+    #[test]
+    fn parse_sop_semantics() {
+        let c = parse(SAMPLE).unwrap();
+        assert_eq!(c.name(), "toy");
+        for bits in 0..8u32 {
+            let v: Vec<bool> = (0..3).map(|i| bits >> i & 1 == 1).collect();
+            let out = c.eval(&v).unwrap();
+            let w = v[0] && v[1];
+            assert_eq!(out[0], w ^ v[2], "f at {bits:03b}");
+            assert_eq!(out[1], !v[0] && !v[1] && !v[2], "g at {bits:03b}");
+        }
+    }
+
+    #[test]
+    fn off_set_cover() {
+        let text = ".model m\n.inputs a b\n.outputs f\n.names a b f\n11 0\n.end\n";
+        let c = parse(text).unwrap();
+        // cover of the OFF-set: f = NAND(a,b)
+        assert_eq!(c.eval(&[true, true]).unwrap(), vec![false]);
+        assert_eq!(c.eval(&[true, false]).unwrap(), vec![true]);
+    }
+
+    #[test]
+    fn constant_names_block() {
+        let text = ".model m\n.inputs a\n.outputs one zero\n.names one\n1\n.names zero\n.end\n";
+        let c = parse(text).unwrap();
+        assert_eq!(c.eval(&[false]).unwrap(), vec![true, false]);
+    }
+
+    #[test]
+    fn round_trip_all_gate_kinds() {
+        let mut b = Circuit::builder("kinds");
+        let x = b.input("x");
+        let y = b.input("y");
+        let z = b.input("z");
+        let g1 = b.gate(GateKind::And, &[x, y, z]);
+        let g2 = b.gate(GateKind::Or, &[x, y, z]);
+        let g3 = b.gate(GateKind::Nand, &[x, y]);
+        let g4 = b.xor2(x, z);
+        let g5 = b.xnor2(y, z);
+        let g6 = b.not(x);
+        b.output("g1", g1);
+        b.output("g2", g2);
+        b.output("g3", g3);
+        b.output("g4", g4);
+        b.output("g5", g5);
+        b.output("g6", g6);
+        let c = b.build().unwrap();
+        let text = write(&c);
+        let c2 = parse(&text).unwrap();
+        for bits in 0..8u32 {
+            let v: Vec<bool> = (0..3).map(|i| bits >> i & 1 == 1).collect();
+            assert_eq!(c.eval(&v).unwrap(), c2.eval(&v).unwrap(), "at {bits:03b}");
+        }
+    }
+
+    #[test]
+    fn rejects_latches_and_missing_model() {
+        assert!(parse(".model m\n.latch a b\n.end").is_err());
+        assert!(parse("").is_err());
+    }
+
+    #[test]
+    fn continuation_lines() {
+        let text = ".model m\n.inputs a \\\nb\n.outputs f\n.names a b f\n11 1\n.end\n";
+        let c = parse(text).unwrap();
+        assert_eq!(c.inputs().len(), 2);
+        assert_eq!(c.eval(&[true, true]).unwrap(), vec![true]);
+    }
+}

@@ -1,0 +1,801 @@
+//! The netlist IR: signals, gates and the validating circuit builder.
+
+use crate::gate::GateKind;
+use crate::ternary::Tv;
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Identifies a signal (net) within one [`Circuit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SignalId(pub(crate) u32);
+
+impl SignalId {
+    /// The raw index of this signal.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A gate instance: a kind, input signals and the single output it drives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Gate {
+    pub kind: GateKind,
+    pub inputs: Vec<SignalId>,
+    pub output: SignalId,
+}
+
+/// Errors produced while building, parsing or simulating circuits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetlistError {
+    /// A signal name was declared twice.
+    DuplicateName(String),
+    /// A referenced signal does not exist.
+    UnknownSignal(String),
+    /// A signal has two drivers (two gates or gate + primary input).
+    MultipleDrivers(String),
+    /// A gate was given an illegal number of inputs.
+    BadArity { gate: GateKind, arity: usize },
+    /// The netlist contains a combinational cycle through the named signal.
+    Cycle(String),
+    /// A signal in the logic cone is neither an input nor driven by a gate.
+    Undriven(String),
+    /// An evaluation was called with the wrong number of input values.
+    WrongInputCount { expected: usize, got: usize },
+    /// A parser failed; the message carries line and reason.
+    Parse(String),
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::DuplicateName(n) => write!(f, "duplicate signal name `{n}`"),
+            NetlistError::UnknownSignal(n) => write!(f, "unknown signal `{n}`"),
+            NetlistError::MultipleDrivers(n) => write!(f, "signal `{n}` has multiple drivers"),
+            NetlistError::BadArity { gate, arity } => {
+                write!(f, "gate `{gate}` cannot take {arity} inputs")
+            }
+            NetlistError::Cycle(n) => write!(f, "combinational cycle through `{n}`"),
+            NetlistError::Undriven(n) => write!(f, "signal `{n}` is undriven"),
+            NetlistError::WrongInputCount { expected, got } => {
+                write!(f, "expected {expected} input values, got {got}")
+            }
+            NetlistError::Parse(msg) => write!(f, "parse error: {msg}"),
+        }
+    }
+}
+
+impl Error for NetlistError {}
+
+/// Aggregate size and shape numbers for a circuit.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CircuitStats {
+    pub inputs: usize,
+    pub outputs: usize,
+    pub gates: usize,
+    pub signals: usize,
+    /// Longest input→output path measured in gates.
+    pub depth: usize,
+    /// Gate count per kind, ordered as `GateKind`'s variants.
+    pub by_kind: Vec<(GateKind, usize)>,
+}
+
+/// An immutable combinational circuit.
+///
+/// Create one through [`Circuit::builder`], a parser ([`crate::blif`],
+/// [`crate::bench`]) or a generator ([`crate::generators`]). Undriven
+/// non-input signals are allowed only via
+/// [`CircuitBuilder::build_allow_undriven`]; they evaluate to `X` in ternary
+/// simulation and are how partial implementations model black-box outputs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Circuit {
+    name: String,
+    signal_names: Vec<String>,
+    inputs: Vec<SignalId>,
+    outputs: Vec<(String, SignalId)>,
+    gates: Vec<Gate>,
+    /// Driving gate per signal; `None` = primary input or undriven.
+    driver: Vec<Option<u32>>,
+    is_input: Vec<bool>,
+    /// Gate indices in topological (fanin-first) order.
+    topo: Vec<u32>,
+}
+
+impl Circuit {
+    /// Starts building a circuit with the given name.
+    pub fn builder(name: &str) -> CircuitBuilder {
+        CircuitBuilder {
+            name: name.to_string(),
+            signal_names: Vec::new(),
+            by_name: HashMap::new(),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            gates: Vec::new(),
+            driver: Vec::new(),
+            is_input: Vec::new(),
+            fresh: 0,
+        }
+    }
+
+    /// The circuit's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Primary inputs, in declaration order.
+    pub fn inputs(&self) -> &[SignalId] {
+        &self.inputs
+    }
+
+    /// Primary outputs as `(port name, signal)` pairs, in declaration order.
+    pub fn outputs(&self) -> &[(String, SignalId)] {
+        &self.outputs
+    }
+
+    /// All gates. Indices into this slice are stable and used by
+    /// [`crate::mutate`] and black-box extraction.
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// Number of declared signals (nets).
+    pub fn signal_count(&self) -> usize {
+        self.signal_names.len()
+    }
+
+    /// The name of a signal.
+    pub fn signal_name(&self, s: SignalId) -> &str {
+        &self.signal_names[s.index()]
+    }
+
+    /// Looks a signal up by name.
+    pub fn find_signal(&self, name: &str) -> Option<SignalId> {
+        self.signal_names.iter().position(|n| n == name).map(|i| SignalId(i as u32))
+    }
+
+    /// The gate driving `s`, if any.
+    pub fn driver_of(&self, s: SignalId) -> Option<&Gate> {
+        self.driver[s.index()].map(|g| &self.gates[g as usize])
+    }
+
+    /// Index (into [`Circuit::gates`]) of the gate driving `s`, if any.
+    pub fn driver_index_of(&self, s: SignalId) -> Option<u32> {
+        self.driver[s.index()]
+    }
+
+    /// Whether `s` is a primary input.
+    pub fn is_input(&self, s: SignalId) -> bool {
+        self.is_input[s.index()]
+    }
+
+    /// Signals that are neither primary inputs nor driven by any gate.
+    ///
+    /// In a partial implementation these are exactly the black-box outputs.
+    pub fn undriven_signals(&self) -> Vec<SignalId> {
+        (0..self.signal_count() as u32)
+            .map(SignalId)
+            .filter(|&s| !self.is_input[s.index()] && self.driver[s.index()].is_none())
+            .collect()
+    }
+
+    /// Gate indices in topological (fanin-first) order.
+    pub fn topo_order(&self) -> &[u32] {
+        &self.topo
+    }
+
+    /// Evaluates the circuit over Boolean inputs (in input declaration
+    /// order), returning output values in output declaration order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::WrongInputCount`] on an input-length mismatch
+    /// and [`NetlistError::Undriven`] if the cone contains an undriven
+    /// signal (use [`Circuit::eval_ternary`] for partial circuits).
+    pub fn eval(&self, inputs: &[bool]) -> Result<Vec<bool>, NetlistError> {
+        if inputs.len() != self.inputs.len() {
+            return Err(NetlistError::WrongInputCount {
+                expected: self.inputs.len(),
+                got: inputs.len(),
+            });
+        }
+        let mut values: Vec<Option<bool>> = vec![None; self.signal_count()];
+        for (i, &s) in self.inputs.iter().enumerate() {
+            values[s.index()] = Some(inputs[i]);
+        }
+        let mut buf = Vec::new();
+        for &g in &self.topo {
+            let gate = &self.gates[g as usize];
+            buf.clear();
+            for &inp in &gate.inputs {
+                match values[inp.index()] {
+                    Some(v) => buf.push(v),
+                    None => {
+                        return Err(NetlistError::Undriven(self.signal_name(inp).to_string()))
+                    }
+                }
+            }
+            values[gate.output.index()] = Some(gate.kind.eval(&buf));
+        }
+        self.outputs
+            .iter()
+            .map(|&(ref n, s)| {
+                values[s.index()].ok_or_else(|| NetlistError::Undriven(n.clone()))
+            })
+            .collect()
+    }
+
+    /// Evaluates the circuit over ternary inputs; undriven signals read `X`.
+    ///
+    /// This is the simulation primitive behind the paper's random-pattern
+    /// 0,1,X check: black-box outputs are undriven, so unknowns propagate
+    /// from them through the rest of the logic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::WrongInputCount`] on an input-length mismatch.
+    pub fn eval_ternary(&self, inputs: &[Tv]) -> Result<Vec<Tv>, NetlistError> {
+        if inputs.len() != self.inputs.len() {
+            return Err(NetlistError::WrongInputCount {
+                expected: self.inputs.len(),
+                got: inputs.len(),
+            });
+        }
+        let mut values: Vec<Tv> = vec![Tv::X; self.signal_count()];
+        for (i, &s) in self.inputs.iter().enumerate() {
+            values[s.index()] = inputs[i];
+        }
+        let mut buf = Vec::new();
+        for &g in &self.topo {
+            let gate = &self.gates[g as usize];
+            buf.clear();
+            buf.extend(gate.inputs.iter().map(|&inp| values[inp.index()]));
+            values[gate.output.index()] = gate.kind.eval_ternary(&buf);
+        }
+        Ok(self.outputs.iter().map(|&(_, s)| values[s.index()]).collect())
+    }
+
+    /// The set of gate indices in the transitive fanin of `roots`.
+    pub fn fanin_cone_gates(&self, roots: &[SignalId]) -> Vec<u32> {
+        let mut seen_sig = vec![false; self.signal_count()];
+        let mut seen_gate = vec![false; self.gates.len()];
+        let mut stack: Vec<SignalId> = roots.to_vec();
+        while let Some(s) = stack.pop() {
+            if std::mem::replace(&mut seen_sig[s.index()], true) {
+                continue;
+            }
+            if let Some(g) = self.driver[s.index()] {
+                if !std::mem::replace(&mut seen_gate[g as usize], true) {
+                    stack.extend(self.gates[g as usize].inputs.iter().copied());
+                }
+            }
+        }
+        (0..self.gates.len() as u32).filter(|&g| seen_gate[g as usize]).collect()
+    }
+
+    /// Number of gates reading each signal (primary outputs not counted).
+    pub fn fanout_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.signal_count()];
+        for gate in &self.gates {
+            for &inp in &gate.inputs {
+                counts[inp.index()] += 1;
+            }
+        }
+        counts
+    }
+
+    /// Size and shape statistics.
+    pub fn stats(&self) -> CircuitStats {
+        let mut level = vec![0usize; self.signal_count()];
+        let mut depth = 0;
+        for &g in &self.topo {
+            let gate = &self.gates[g as usize];
+            let l = gate.inputs.iter().map(|&s| level[s.index()]).max().unwrap_or(0) + 1;
+            level[gate.output.index()] = l;
+            depth = depth.max(l);
+        }
+        let mut kinds: HashMap<GateKind, usize> = HashMap::new();
+        for gate in &self.gates {
+            *kinds.entry(gate.kind).or_default() += 1;
+        }
+        let mut by_kind: Vec<(GateKind, usize)> = kinds.into_iter().collect();
+        by_kind.sort_by_key(|&(k, _)| k.name());
+        CircuitStats {
+            inputs: self.inputs.len(),
+            outputs: self.outputs.len(),
+            gates: self.gates.len(),
+            signals: self.signal_count(),
+            depth,
+            by_kind,
+        }
+    }
+
+    /// Returns a copy with the given gates deleted; their output signals
+    /// become undriven (the black-box extraction primitive).
+    ///
+    /// Gate indices in the result are renumbered; signals keep their ids.
+    pub fn without_gates(&self, removed: &[u32]) -> Circuit {
+        let mut drop = vec![false; self.gates.len()];
+        for &g in removed {
+            drop[g as usize] = true;
+        }
+        let gates: Vec<Gate> =
+            self.gates.iter().enumerate().filter(|&(i, _)| !drop[i]).map(|(_, g)| g.clone()).collect();
+        let mut driver = vec![None; self.signal_count()];
+        for (i, gate) in gates.iter().enumerate() {
+            driver[gate.output.index()] = Some(i as u32);
+        }
+        let topo = toposort(&gates, self.signal_count(), &driver)
+            .expect("removing gates cannot create a cycle");
+        Circuit {
+            name: self.name.clone(),
+            signal_names: self.signal_names.clone(),
+            inputs: self.inputs.clone(),
+            outputs: self.outputs.clone(),
+            gates,
+            driver,
+            is_input: self.is_input.clone(),
+            topo,
+        }
+    }
+
+    pub(crate) fn from_parts(
+        name: String,
+        signal_names: Vec<String>,
+        inputs: Vec<SignalId>,
+        outputs: Vec<(String, SignalId)>,
+        gates: Vec<Gate>,
+        allow_undriven: bool,
+    ) -> Result<Circuit, NetlistError> {
+        let n = signal_names.len();
+        let mut driver = vec![None; n];
+        let mut is_input = vec![false; n];
+        for &s in &inputs {
+            is_input[s.index()] = true;
+        }
+        for (i, gate) in gates.iter().enumerate() {
+            if !gate.kind.arity_ok(gate.inputs.len()) {
+                return Err(NetlistError::BadArity { gate: gate.kind, arity: gate.inputs.len() });
+            }
+            if is_input[gate.output.index()] || driver[gate.output.index()].is_some() {
+                return Err(NetlistError::MultipleDrivers(
+                    signal_names[gate.output.index()].clone(),
+                ));
+            }
+            driver[gate.output.index()] = Some(i as u32);
+        }
+        let topo = toposort(&gates, n, &driver).map_err(|s| {
+            NetlistError::Cycle(signal_names[s.index()].clone())
+        })?;
+        let circuit = Circuit {
+            name,
+            signal_names,
+            inputs,
+            outputs,
+            gates,
+            driver,
+            is_input,
+            topo,
+        };
+        if !allow_undriven {
+            // Every signal in the cone of an output must be driven.
+            let roots: Vec<SignalId> = circuit.outputs.iter().map(|&(_, s)| s).collect();
+            let mut stack = roots;
+            let mut seen = vec![false; n];
+            while let Some(s) = stack.pop() {
+                if std::mem::replace(&mut seen[s.index()], true) {
+                    continue;
+                }
+                if circuit.is_input[s.index()] {
+                    continue;
+                }
+                match circuit.driver[s.index()] {
+                    Some(g) => stack.extend(circuit.gates[g as usize].inputs.iter().copied()),
+                    None => {
+                        return Err(NetlistError::Undriven(
+                            circuit.signal_names[s.index()].clone(),
+                        ))
+                    }
+                }
+            }
+        }
+        Ok(circuit)
+    }
+}
+
+/// Kahn topological sort of the gates; returns the blocking signal on cycles.
+fn toposort(
+    gates: &[Gate],
+    signal_count: usize,
+    driver: &[Option<u32>],
+) -> Result<Vec<u32>, SignalId> {
+    let mut ready = vec![false; signal_count];
+    for (s, d) in driver.iter().enumerate() {
+        if d.is_none() {
+            ready[s] = true; // inputs and undriven signals are sources
+        }
+    }
+    let mut order = Vec::with_capacity(gates.len());
+    let mut pending: Vec<u32> = (0..gates.len() as u32).collect();
+    // Iteratively emit gates whose inputs are all ready. Worst case O(n²) on
+    // pathological orders, linear on builder-produced ones.
+    while !pending.is_empty() {
+        let before = order.len();
+        pending.retain(|&g| {
+            let gate = &gates[g as usize];
+            if gate.inputs.iter().all(|&s| ready[s.index()]) {
+                ready[gate.output.index()] = true;
+                order.push(g);
+                false
+            } else {
+                true
+            }
+        });
+        if order.len() == before {
+            let g = pending[0];
+            let blocked = gates[g as usize]
+                .inputs
+                .iter()
+                .copied()
+                .find(|&s| !ready[s.index()])
+                .expect("a stuck gate has an unready input");
+            return Err(blocked);
+        }
+    }
+    Ok(order)
+}
+
+/// Incrementally assembles a [`Circuit`]; see [`Circuit::builder`].
+#[derive(Debug)]
+pub struct CircuitBuilder {
+    name: String,
+    signal_names: Vec<String>,
+    by_name: HashMap<String, SignalId>,
+    inputs: Vec<SignalId>,
+    outputs: Vec<(String, SignalId)>,
+    gates: Vec<Gate>,
+    driver: Vec<Option<u32>>,
+    is_input: Vec<bool>,
+    fresh: u64,
+}
+
+impl CircuitBuilder {
+    /// Declares a named signal without a driver (used by parsers and for
+    /// black-box outputs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already taken.
+    pub fn signal(&mut self, name: &str) -> SignalId {
+        assert!(!self.by_name.contains_key(name), "duplicate signal `{name}`");
+        let id = SignalId(self.signal_names.len() as u32);
+        self.signal_names.push(name.to_string());
+        self.by_name.insert(name.to_string(), id);
+        self.driver.push(None);
+        self.is_input.push(false);
+        id
+    }
+
+    /// Returns the named signal, declaring it if needed.
+    pub fn signal_or_new(&mut self, name: &str) -> SignalId {
+        match self.by_name.get(name) {
+            Some(&id) => id,
+            None => self.signal(name),
+        }
+    }
+
+    /// Declares a primary input.
+    pub fn input(&mut self, name: &str) -> SignalId {
+        let id = self.signal(name);
+        self.inputs.push(id);
+        self.is_input[id.index()] = true;
+        id
+    }
+
+    /// Marks an existing signal as a primary input (parser use).
+    pub fn mark_input(&mut self, s: SignalId) {
+        if !self.is_input[s.index()] {
+            self.is_input[s.index()] = true;
+            self.inputs.push(s);
+        }
+    }
+
+    /// Declares a primary output driven by `s`.
+    pub fn output(&mut self, name: &str, s: SignalId) {
+        self.outputs.push((name.to_string(), s));
+    }
+
+    /// Adds a gate with a freshly named output signal and returns it.
+    pub fn gate(&mut self, kind: GateKind, inputs: &[SignalId]) -> SignalId {
+        self.fresh += 1;
+        let name = format!("n{}", self.fresh);
+        let out = self.signal_or_fresh_name(&name);
+        self.gate_into(kind, inputs, out);
+        out
+    }
+
+    fn signal_or_fresh_name(&mut self, base: &str) -> SignalId {
+        if !self.by_name.contains_key(base) {
+            return self.signal(base);
+        }
+        loop {
+            self.fresh += 1;
+            let name = format!("n{}", self.fresh);
+            if !self.by_name.contains_key(&name) {
+                return self.signal(&name);
+            }
+        }
+    }
+
+    /// Adds a gate driving the existing signal `output` (parser use).
+    pub fn gate_into(&mut self, kind: GateKind, inputs: &[SignalId], output: SignalId) {
+        self.gates.push(Gate { kind, inputs: inputs.to_vec(), output });
+    }
+
+    /// Two-input AND convenience; the other `*2` helpers are analogous.
+    pub fn and2(&mut self, a: SignalId, b: SignalId) -> SignalId {
+        self.gate(GateKind::And, &[a, b])
+    }
+
+    pub fn or2(&mut self, a: SignalId, b: SignalId) -> SignalId {
+        self.gate(GateKind::Or, &[a, b])
+    }
+
+    pub fn nand2(&mut self, a: SignalId, b: SignalId) -> SignalId {
+        self.gate(GateKind::Nand, &[a, b])
+    }
+
+    pub fn nor2(&mut self, a: SignalId, b: SignalId) -> SignalId {
+        self.gate(GateKind::Nor, &[a, b])
+    }
+
+    pub fn xor2(&mut self, a: SignalId, b: SignalId) -> SignalId {
+        self.gate(GateKind::Xor, &[a, b])
+    }
+
+    pub fn xnor2(&mut self, a: SignalId, b: SignalId) -> SignalId {
+        self.gate(GateKind::Xnor, &[a, b])
+    }
+
+    /// Logical negation.
+    pub fn not(&mut self, a: SignalId) -> SignalId {
+        self.gate(GateKind::Not, &[a])
+    }
+
+    /// Buffer (identity) gate.
+    pub fn buf(&mut self, a: SignalId) -> SignalId {
+        self.gate(GateKind::Buf, &[a])
+    }
+
+    /// Constant signal.
+    pub fn constant(&mut self, value: bool) -> SignalId {
+        self.gate(if value { GateKind::Const1 } else { GateKind::Const0 }, &[])
+    }
+
+    /// Multi-input AND/OR/XOR built as a balanced tree of 2-input gates.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty input list.
+    pub fn tree(&mut self, kind: GateKind, inputs: &[SignalId]) -> SignalId {
+        assert!(!inputs.is_empty(), "tree of zero inputs");
+        let mut layer: Vec<SignalId> = inputs.to_vec();
+        while layer.len() > 1 {
+            let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+            for pair in layer.chunks(2) {
+                if pair.len() == 2 {
+                    next.push(self.gate(kind, &[pair[0], pair[1]]));
+                } else {
+                    next.push(pair[0]);
+                }
+            }
+            layer = next;
+        }
+        layer[0]
+    }
+
+    /// 2:1 multiplexer: `sel ? a1 : a0`.
+    pub fn mux(&mut self, sel: SignalId, a0: SignalId, a1: SignalId) -> SignalId {
+        let ns = self.not(sel);
+        let p = self.and2(ns, a0);
+        let q = self.and2(sel, a1);
+        self.or2(p, q)
+    }
+
+    /// Number of gates added so far.
+    pub fn gate_count(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Finalises the circuit, requiring every output cone to be fully driven.
+    ///
+    /// # Errors
+    ///
+    /// Any [`NetlistError`] structural violation: bad arity, multiple
+    /// drivers, combinational cycles, undriven cone signals.
+    pub fn build(self) -> Result<Circuit, NetlistError> {
+        Circuit::from_parts(
+            self.name,
+            self.signal_names,
+            self.inputs,
+            self.outputs,
+            self.gates,
+            false,
+        )
+    }
+
+    /// Finalises a circuit that may contain undriven signals (black-box
+    /// outputs in partial implementations).
+    ///
+    /// # Errors
+    ///
+    /// As [`CircuitBuilder::build`], minus the undriven-cone check.
+    pub fn build_allow_undriven(self) -> Result<Circuit, NetlistError> {
+        Circuit::from_parts(
+            self.name,
+            self.signal_names,
+            self.inputs,
+            self.outputs,
+            self.gates,
+            true,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full_adder() -> Circuit {
+        let mut b = Circuit::builder("fa");
+        let x = b.input("x");
+        let y = b.input("y");
+        let cin = b.input("cin");
+        let s1 = b.xor2(x, y);
+        let sum = b.xor2(s1, cin);
+        let c1 = b.and2(x, y);
+        let c2 = b.and2(s1, cin);
+        let cout = b.or2(c1, c2);
+        b.output("sum", sum);
+        b.output("cout", cout);
+        b.build().expect("valid adder")
+    }
+
+    #[test]
+    fn full_adder_truth_table() {
+        let c = full_adder();
+        for bits in 0..8u32 {
+            let inputs: Vec<bool> = (0..3).map(|i| bits >> i & 1 == 1).collect();
+            let expect_sum = (bits.count_ones() % 2) == 1;
+            let expect_carry = bits.count_ones() >= 2;
+            let out = c.eval(&inputs).unwrap();
+            assert_eq!(out, vec![expect_sum, expect_carry], "bits {bits:03b}");
+        }
+    }
+
+    #[test]
+    fn eval_rejects_wrong_input_count() {
+        let c = full_adder();
+        assert!(matches!(
+            c.eval(&[true]),
+            Err(NetlistError::WrongInputCount { expected: 3, got: 1 })
+        ));
+    }
+
+    #[test]
+    fn ternary_eval_propagates_x() {
+        let c = full_adder();
+        // cin = X: sum must be X; carry is X unless x,y decide it.
+        let out = c.eval_ternary(&[Tv::One, Tv::One, Tv::X]).unwrap();
+        assert_eq!(out[0], Tv::X);
+        assert_eq!(out[1], Tv::One); // 1+1 always carries
+        let out = c.eval_ternary(&[Tv::Zero, Tv::Zero, Tv::X]).unwrap();
+        assert_eq!(out[1], Tv::Zero); // 0+0 never carries
+    }
+
+    #[test]
+    fn undriven_cone_rejected_by_strict_build() {
+        let mut b = Circuit::builder("bad");
+        let x = b.input("x");
+        let dangling = b.signal("bb_out");
+        let f = b.and2(x, dangling);
+        b.output("f", f);
+        assert!(matches!(b.build(), Err(NetlistError::Undriven(ref n)) if n == "bb_out"));
+    }
+
+    #[test]
+    fn undriven_allowed_in_partial_build_and_reads_x() {
+        let mut b = Circuit::builder("partial");
+        let x = b.input("x");
+        let bb = b.signal("bb_out");
+        let f = b.and2(x, bb);
+        b.output("f", f);
+        let c = b.build_allow_undriven().unwrap();
+        assert_eq!(c.undriven_signals().len(), 1);
+        assert_eq!(c.eval_ternary(&[Tv::One]).unwrap(), vec![Tv::X]);
+        assert_eq!(c.eval_ternary(&[Tv::Zero]).unwrap(), vec![Tv::Zero]);
+        assert!(c.eval(&[true]).is_err());
+    }
+
+    #[test]
+    fn multiple_drivers_rejected() {
+        let mut b = Circuit::builder("dup");
+        let x = b.input("x");
+        let y = b.input("y");
+        let s = b.signal("s");
+        b.gate_into(GateKind::Buf, &[x], s);
+        b.gate_into(GateKind::Buf, &[y], s);
+        b.output("f", s);
+        assert!(matches!(b.build(), Err(NetlistError::MultipleDrivers(_))));
+    }
+
+    #[test]
+    fn cycle_rejected() {
+        let mut b = Circuit::builder("cyc");
+        let x = b.input("x");
+        let a = b.signal("a");
+        let bsig = b.signal("b");
+        b.gate_into(GateKind::And, &[x, bsig], a);
+        b.gate_into(GateKind::Buf, &[a], bsig);
+        b.output("f", a);
+        assert!(matches!(b.build(), Err(NetlistError::Cycle(_))));
+    }
+
+    #[test]
+    fn without_gates_leaves_undriven_outputs() {
+        let c = full_adder();
+        // Remove the gate driving `cout`'s OR.
+        let or_gate = c
+            .gates()
+            .iter()
+            .position(|g| g.kind == GateKind::Or)
+            .expect("adder has an OR") as u32;
+        let partial = c.without_gates(&[or_gate]);
+        assert_eq!(partial.gates().len(), c.gates().len() - 1);
+        assert_eq!(partial.undriven_signals().len(), 1);
+        // The sum output still evaluates; carry is X.
+        let out = partial.eval_ternary(&[Tv::One, Tv::Zero, Tv::One]).unwrap();
+        assert_eq!(out[0], Tv::Zero);
+        assert_eq!(out[1], Tv::X);
+    }
+
+    #[test]
+    fn stats_and_fanout() {
+        let c = full_adder();
+        let st = c.stats();
+        assert_eq!(st.inputs, 3);
+        assert_eq!(st.outputs, 2);
+        assert_eq!(st.gates, 5);
+        assert_eq!(st.depth, 3);
+        let fanouts = c.fanout_counts();
+        let x = c.inputs()[0];
+        assert_eq!(fanouts[x.index()], 2);
+    }
+
+    #[test]
+    fn fanin_cone_is_transitive() {
+        let c = full_adder();
+        let sum = c.outputs()[0].1;
+        let cone = c.fanin_cone_gates(&[sum]);
+        // sum's cone: two XORs only.
+        assert_eq!(cone.len(), 2);
+        let all = c.fanin_cone_gates(&[sum, c.outputs()[1].1]);
+        assert_eq!(all.len(), 5);
+    }
+
+    #[test]
+    fn tree_and_mux_helpers() {
+        let mut b = Circuit::builder("helpers");
+        let ins: Vec<SignalId> = (0..5).map(|i| b.input(&format!("i{i}"))).collect();
+        let big_and = b.tree(GateKind::And, &ins);
+        let m = b.mux(ins[0], ins[1], ins[2]);
+        b.output("and", big_and);
+        b.output("mux", m);
+        let c = b.build().unwrap();
+        for bits in 0..32u32 {
+            let v: Vec<bool> = (0..5).map(|i| bits >> i & 1 == 1).collect();
+            let out = c.eval(&v).unwrap();
+            assert_eq!(out[0], v.iter().all(|&x| x));
+            assert_eq!(out[1], if v[0] { v[2] } else { v[1] });
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! Gate primitives and their Boolean / ternary semantics.
+
+use crate::ternary::Tv;
+use std::fmt;
+
+/// The primitive gate functions of the netlist IR.
+///
+/// `And`, `Or`, `Nand`, `Nor`, `Xor` and `Xnor` accept any arity ≥ 1 (a
+/// 1-input And/Or behaves as a buffer, matching the paper's "remove an input
+/// line" mutation which can leave such gates behind). `Not` and `Buf` are
+/// strictly unary; the constants take no inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GateKind {
+    And,
+    Or,
+    Nand,
+    Nor,
+    Xor,
+    Xnor,
+    Not,
+    Buf,
+    Const0,
+    Const1,
+}
+
+impl GateKind {
+    /// Whether `n` inputs are a legal arity for this gate kind.
+    pub fn arity_ok(self, n: usize) -> bool {
+        match self {
+            GateKind::And | GateKind::Or | GateKind::Nand | GateKind::Nor | GateKind::Xor
+            | GateKind::Xnor => n >= 1,
+            GateKind::Not | GateKind::Buf => n == 1,
+            GateKind::Const0 | GateKind::Const1 => n == 0,
+        }
+    }
+
+    /// Evaluates the gate over Boolean inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) on an illegal arity; the builder rejects
+    /// those before a circuit can exist.
+    pub fn eval(self, inputs: &[bool]) -> bool {
+        debug_assert!(self.arity_ok(inputs.len()));
+        match self {
+            GateKind::And => inputs.iter().all(|&b| b),
+            GateKind::Or => inputs.iter().any(|&b| b),
+            GateKind::Nand => !inputs.iter().all(|&b| b),
+            GateKind::Nor => !inputs.iter().any(|&b| b),
+            GateKind::Xor => inputs.iter().fold(false, |acc, &b| acc ^ b),
+            GateKind::Xnor => !inputs.iter().fold(false, |acc, &b| acc ^ b),
+            GateKind::Not => !inputs[0],
+            GateKind::Buf => inputs[0],
+            GateKind::Const0 => false,
+            GateKind::Const1 => true,
+        }
+    }
+
+    /// Evaluates the gate over ternary inputs (Kleene semantics).
+    pub fn eval_ternary(self, inputs: &[Tv]) -> Tv {
+        debug_assert!(self.arity_ok(inputs.len()));
+        match self {
+            GateKind::And => inputs.iter().fold(Tv::One, |acc, &v| acc.and(v)),
+            GateKind::Or => inputs.iter().fold(Tv::Zero, |acc, &v| acc.or(v)),
+            GateKind::Nand => inputs.iter().fold(Tv::One, |acc, &v| acc.and(v)).not(),
+            GateKind::Nor => inputs.iter().fold(Tv::Zero, |acc, &v| acc.or(v)).not(),
+            GateKind::Xor => inputs.iter().fold(Tv::Zero, |acc, &v| acc.xor(v)),
+            GateKind::Xnor => inputs.iter().fold(Tv::Zero, |acc, &v| acc.xor(v)).not(),
+            GateKind::Not => inputs[0].not(),
+            GateKind::Buf => inputs[0],
+            GateKind::Const0 => Tv::Zero,
+            GateKind::Const1 => Tv::One,
+        }
+    }
+
+    /// The dual gate used by the paper's gate-type-change mutation
+    /// (And↔Or, Nand↔Nor); other kinds have no counterpart here.
+    pub fn type_change(self) -> Option<GateKind> {
+        match self {
+            GateKind::And => Some(GateKind::Or),
+            GateKind::Or => Some(GateKind::And),
+            GateKind::Nand => Some(GateKind::Nor),
+            GateKind::Nor => Some(GateKind::Nand),
+            _ => None,
+        }
+    }
+
+    /// Canonical lower-case name (matches the `.bench` keywords, lowered).
+    pub fn name(self) -> &'static str {
+        match self {
+            GateKind::And => "and",
+            GateKind::Or => "or",
+            GateKind::Nand => "nand",
+            GateKind::Nor => "nor",
+            GateKind::Xor => "xor",
+            GateKind::Xnor => "xnor",
+            GateKind::Not => "not",
+            GateKind::Buf => "buf",
+            GateKind::Const0 => "const0",
+            GateKind::Const1 => "const1",
+        }
+    }
+}
+
+impl fmt::Display for GateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boolean_semantics() {
+        use GateKind::*;
+        assert!(And.eval(&[true, true, true]));
+        assert!(!And.eval(&[true, false, true]));
+        assert!(Or.eval(&[false, true]));
+        assert!(!Or.eval(&[false, false]));
+        assert!(Nand.eval(&[true, false]));
+        assert!(!Nor.eval(&[false, true]));
+        assert!(Xor.eval(&[true, true, true]));
+        assert!(!Xor.eval(&[true, true]));
+        assert!(Xnor.eval(&[true, true]));
+        assert!(Not.eval(&[false]));
+        assert!(Buf.eval(&[true]));
+        assert!(!Const0.eval(&[]));
+        assert!(Const1.eval(&[]));
+    }
+
+    #[test]
+    fn ternary_agrees_with_boolean_on_definite_inputs() {
+        use GateKind::*;
+        for kind in [And, Or, Nand, Nor, Xor, Xnor] {
+            for bits in 0..8u32 {
+                let bools: Vec<bool> = (0..3).map(|i| bits >> i & 1 == 1).collect();
+                let tvs: Vec<Tv> = bools.iter().map(|&b| Tv::from(b)).collect();
+                assert_eq!(kind.eval_ternary(&tvs), Tv::from(kind.eval(&bools)), "{kind}");
+            }
+        }
+    }
+
+    #[test]
+    fn ternary_controlling_values_beat_x() {
+        use GateKind::*;
+        assert_eq!(And.eval_ternary(&[Tv::Zero, Tv::X]), Tv::Zero);
+        assert_eq!(Or.eval_ternary(&[Tv::One, Tv::X]), Tv::One);
+        assert_eq!(Nand.eval_ternary(&[Tv::Zero, Tv::X]), Tv::One);
+        assert_eq!(Nor.eval_ternary(&[Tv::One, Tv::X]), Tv::Zero);
+        assert_eq!(Xor.eval_ternary(&[Tv::One, Tv::X]), Tv::X);
+    }
+
+    #[test]
+    fn arity_validation() {
+        use GateKind::*;
+        assert!(And.arity_ok(1));
+        assert!(And.arity_ok(5));
+        assert!(!And.arity_ok(0));
+        assert!(Not.arity_ok(1));
+        assert!(!Not.arity_ok(2));
+        assert!(Const0.arity_ok(0));
+        assert!(!Const1.arity_ok(1));
+    }
+
+    #[test]
+    fn type_change_pairs() {
+        use GateKind::*;
+        assert_eq!(And.type_change(), Some(Or));
+        assert_eq!(Or.type_change(), Some(And));
+        assert_eq!(Nand.type_change(), Some(Nor));
+        assert_eq!(Xor.type_change(), None);
+    }
+}

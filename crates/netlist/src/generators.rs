@@ -1,0 +1,1002 @@
+//! Structured circuit generators.
+//!
+//! The paper evaluates on MCNC/ISCAS-85 netlists that are not redistributable
+//! here, so each benchmark is substituted by a generator producing a circuit
+//! of the same function class and (where natural) the same input/output
+//! footprint — see `DESIGN.md` for the substitution table. The generators
+//! are also reusable building blocks for tests and examples.
+
+use crate::circuit::{Circuit, CircuitBuilder, Gate, SignalId};
+use crate::gate::GateKind;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// An `n`-bit ripple-carry adder: inputs `a[n] b[n] cin`, outputs
+/// `sum[n] cout`.
+///
+/// # Panics
+///
+/// Panics if `bits == 0`.
+pub fn ripple_carry_adder(bits: usize) -> Circuit {
+    assert!(bits > 0);
+    let mut b = Circuit::builder(&format!("add{bits}"));
+    let a: Vec<_> = (0..bits).map(|i| b.input(&format!("a{i}"))).collect();
+    let bb: Vec<_> = (0..bits).map(|i| b.input(&format!("b{i}"))).collect();
+    let cin = b.input("cin");
+    let mut carry = cin;
+    for i in 0..bits {
+        let (sum, cout) = full_adder(&mut b, a[i], bb[i], carry);
+        b.output(&format!("sum{i}"), sum);
+        carry = cout;
+    }
+    b.output("cout", carry);
+    b.build().expect("generator produces a valid adder")
+}
+
+fn full_adder(
+    b: &mut CircuitBuilder,
+    x: SignalId,
+    y: SignalId,
+    cin: SignalId,
+) -> (SignalId, SignalId) {
+    let t = b.xor2(x, y);
+    let sum = b.xor2(t, cin);
+    let g = b.and2(x, y);
+    let p = b.and2(t, cin);
+    let cout = b.or2(g, p);
+    (sum, cout)
+}
+
+/// An `n`-bit magnitude comparator (the `comp` benchmark class): inputs
+/// `a[n] b[n]`, outputs `lt eq gt`.
+///
+/// # Panics
+///
+/// Panics if `bits == 0`.
+pub fn magnitude_comparator(bits: usize) -> Circuit {
+    assert!(bits > 0);
+    let mut b = Circuit::builder(&format!("comp{bits}"));
+    let a: Vec<_> = (0..bits).map(|i| b.input(&format!("a{i}"))).collect();
+    let bv: Vec<_> = (0..bits).map(|i| b.input(&format!("b{i}"))).collect();
+    // Bit 0 is the LSB; compare from the MSB down.
+    let eq_bits: Vec<_> = (0..bits).map(|i| b.xnor2(a[i], bv[i])).collect();
+    let mut lt = b.constant(false);
+    let mut gt = b.constant(false);
+    let mut prefix_eq = b.constant(true); // all bits above current are equal
+    for i in (0..bits).rev() {
+        let nb = b.not(bv[i]);
+        let na = b.not(a[i]);
+        let a_gt = b.and2(a[i], nb);
+        let a_lt = b.and2(na, bv[i]);
+        let gt_here = b.and2(prefix_eq, a_gt);
+        let lt_here = b.and2(prefix_eq, a_lt);
+        gt = b.or2(gt, gt_here);
+        lt = b.or2(lt, lt_here);
+        prefix_eq = b.and2(prefix_eq, eq_bits[i]);
+    }
+    b.output("lt", lt);
+    b.output("eq", prefix_eq);
+    b.output("gt", gt);
+    b.build().expect("generator produces a valid comparator")
+}
+
+/// An `n`-input parity (XOR) tree.
+///
+/// # Panics
+///
+/// Panics if `bits == 0`.
+pub fn parity_tree(bits: usize) -> Circuit {
+    assert!(bits > 0);
+    let mut b = Circuit::builder(&format!("parity{bits}"));
+    let ins: Vec<_> = (0..bits).map(|i| b.input(&format!("x{i}"))).collect();
+    let p = b.tree(GateKind::Xor, &ins);
+    b.output("parity", p);
+    b.build().expect("generator produces a valid parity tree")
+}
+
+/// An `n`-bit carry-lookahead adder: same interface as
+/// [`ripple_carry_adder`], logarithmic carry depth (Kogge-Stone prefix).
+///
+/// # Panics
+///
+/// Panics if `bits == 0`.
+pub fn carry_lookahead_adder(bits: usize) -> Circuit {
+    assert!(bits > 0);
+    let mut b = Circuit::builder(&format!("cla{bits}"));
+    let a: Vec<_> = (0..bits).map(|i| b.input(&format!("a{i}"))).collect();
+    let bv: Vec<_> = (0..bits).map(|i| b.input(&format!("b{i}"))).collect();
+    let cin = b.input("cin");
+    // Generate/propagate per bit.
+    let g0: Vec<_> = (0..bits).map(|i| b.and2(a[i], bv[i])).collect();
+    let p0: Vec<_> = (0..bits).map(|i| b.xor2(a[i], bv[i])).collect();
+    // Kogge-Stone prefix over (g, p): (g2,p2)∘(g1,p1) = (g2 ∨ p2 g1, p2 p1).
+    let mut g = g0.clone();
+    let mut p = p0.clone();
+    let mut stride = 1;
+    while stride < bits {
+        let (mut ng, mut np) = (g.clone(), p.clone());
+        for i in stride..bits {
+            let t = b.and2(p[i], g[i - stride]);
+            ng[i] = b.or2(g[i], t);
+            np[i] = b.and2(p[i], p[i - stride]);
+        }
+        g = ng;
+        p = np;
+        stride *= 2;
+    }
+    // carry into bit i = G(i-1..0) ∨ P(i-1..0)·cin.
+    let mut carry_in = vec![cin];
+    for i in 0..bits {
+        let t = b.and2(p[i], cin);
+        carry_in.push(b.or2(g[i], t));
+    }
+    for i in 0..bits {
+        let s = b.xor2(p0[i], carry_in[i]);
+        b.output(&format!("sum{i}"), s);
+    }
+    b.output("cout", carry_in[bits]);
+    b.build().expect("generator produces a valid CLA adder")
+}
+
+/// An `n`×`n` array multiplier: inputs `a[n] b[n]`, outputs `p[2n]`.
+///
+/// The classic BDD-hard circuit (the function class of ISCAS-85 C6288).
+///
+/// # Panics
+///
+/// Panics if `bits == 0`.
+pub fn array_multiplier(bits: usize) -> Circuit {
+    assert!(bits > 0);
+    let mut b = Circuit::builder(&format!("mul{bits}"));
+    let a: Vec<_> = (0..bits).map(|i| b.input(&format!("a{i}"))).collect();
+    let bv: Vec<_> = (0..bits).map(|i| b.input(&format!("b{i}"))).collect();
+    // Shift-add over partial-product rows. Invariant entering iteration
+    // `j`: `row[k]` carries weight `k + j`.
+    let mut row: Vec<SignalId> = (0..bits).map(|i| b.and2(a[i], bv[0])).collect();
+    let mut products = vec![row.remove(0)]; // p0; row[k] now has weight k+1
+    for j in 1..bits {
+        let pp: Vec<SignalId> = (0..bits).map(|i| b.and2(a[i], bv[j])).collect();
+        let mut next_row = Vec::with_capacity(bits + 1);
+        let mut carry: Option<SignalId> = None;
+        for i in 0..bits {
+            // Sum pp[i] (weight i + j) with the aligned running-row bit.
+            let upper = row.get(i).copied();
+            let (s, c) = match (upper, carry) {
+                (None, None) => (pp[i], None),
+                (Some(x), None) | (None, Some(x)) => {
+                    (b.xor2(pp[i], x), Some(b.and2(pp[i], x)))
+                }
+                (Some(x), Some(y)) => {
+                    let (s, c) = full_adder(&mut b, pp[i], x, y);
+                    (s, Some(c))
+                }
+            };
+            next_row.push(s);
+            carry = c;
+        }
+        // Final carry of this row becomes the row's top bit.
+        if let Some(c) = carry {
+            next_row.push(c);
+        }
+        products.push(next_row.remove(0)); // weight j
+        row = next_row; // row[k] weight k + j + 1
+    }
+    products.extend(row);
+    while products.len() < 2 * bits {
+        products.push(b.constant(false));
+    }
+    for (k, &s) in products.iter().take(2 * bits).enumerate() {
+        b.output(&format!("p{k}"), s);
+    }
+    b.build().expect("generator produces a valid multiplier")
+}
+
+/// An `n`-bit logical barrel shifter: inputs `x[n] s[log2 n]`, outputs the
+/// left-shifted word (zero fill).
+///
+/// # Panics
+///
+/// Panics if `bits` is not a power of two greater than 1.
+pub fn barrel_shifter(bits: usize) -> Circuit {
+    assert!(bits > 1 && bits.is_power_of_two(), "bits must be a power of two > 1");
+    let stages = bits.trailing_zeros() as usize;
+    let mut b = Circuit::builder(&format!("bshift{bits}"));
+    let x: Vec<_> = (0..bits).map(|i| b.input(&format!("x{i}"))).collect();
+    let s: Vec<_> = (0..stages).map(|i| b.input(&format!("s{i}"))).collect();
+    let zero = b.constant(false);
+    let mut word = x;
+    for (stage, &sel) in s.iter().enumerate() {
+        let shift = 1usize << stage;
+        let mut next = Vec::with_capacity(bits);
+        for i in 0..bits {
+            let shifted = if i >= shift { word[i - shift] } else { zero };
+            next.push(b.mux(sel, word[i], shifted));
+        }
+        word = next;
+    }
+    for (i, &w) in word.iter().enumerate() {
+        b.output(&format!("y{i}"), w);
+    }
+    b.build().expect("generator produces a valid shifter")
+}
+
+/// A 74181-class 4-bit ALU with the `alu4` footprint (14 inputs, 8 outputs).
+///
+/// Inputs: `a[4] b[4] s[4] m cn`; outputs: `f[4] cout p g aeqb`.
+/// `m = 1` selects one of eight logic functions via `s`, `m = 0` selects
+/// arithmetic `a + y + cn` where `s` picks `y ∈ {b, ¬b, 0, 1…1}`.
+pub fn alu_181() -> Circuit {
+    let mut b = Circuit::builder("alu4");
+    let a: Vec<_> = (0..4).map(|i| b.input(&format!("a{i}"))).collect();
+    let bv: Vec<_> = (0..4).map(|i| b.input(&format!("b{i}"))).collect();
+    let s: Vec<_> = (0..4).map(|i| b.input(&format!("s{i}"))).collect();
+    let m = b.input("m");
+    let cn = b.input("cn");
+
+    // Arithmetic operand y_i selected by s1:s0.
+    let zero = b.constant(false);
+    let one = b.constant(true);
+    let mut sum = Vec::new();
+    let mut carry = cn;
+    let mut props = Vec::new();
+    let mut gens = Vec::new();
+    let mut y_bits = Vec::new();
+    for i in 0..4 {
+        let nb = b.not(bv[i]);
+        let y01 = b.mux(s[0], bv[i], nb);
+        let y23 = b.mux(s[0], zero, one);
+        let y = b.mux(s[1], y01, y23);
+        y_bits.push(y);
+        let (sm, co) = full_adder(&mut b, a[i], y, carry);
+        sum.push(sm);
+        carry = co;
+        props.push(b.or2(a[i], y));
+        gens.push(b.and2(a[i], y));
+    }
+    // Logic functions, two banks of four selected by s3, inverted by s2.
+    let mut f_bits = Vec::new();
+    for i in 0..4 {
+        let and_ = b.and2(a[i], bv[i]);
+        let or_ = b.or2(a[i], bv[i]);
+        let xor_ = b.xor2(a[i], bv[i]);
+        let nota = b.not(a[i]);
+        let nand_ = b.nand2(a[i], bv[i]);
+        let nor_ = b.nor2(a[i], bv[i]);
+        let xnor_ = b.xnor2(a[i], bv[i]);
+        let notb = b.not(bv[i]);
+        let bank0 = {
+            let t0 = b.mux(s[0], and_, or_);
+            let t1 = b.mux(s[0], xor_, nota);
+            b.mux(s[1], t0, t1)
+        };
+        let bank1 = {
+            let t0 = b.mux(s[0], nand_, nor_);
+            let t1 = b.mux(s[0], xnor_, notb);
+            b.mux(s[1], t0, t1)
+        };
+        let lsel = b.mux(s[3], bank0, bank1);
+        let logic = b.xor2(lsel, s[2]);
+        let f = b.mux(m, sum[i], logic);
+        f_bits.push(f);
+        b.output(&format!("f{i}"), f);
+    }
+    b.output("cout", carry);
+    let p = b.tree(GateKind::And, &props);
+    b.output("p", p);
+    // Carry-lookahead generate: g3 + p3 g2 + p3 p2 g1 + p3 p2 p1 g0.
+    let mut g = gens[3];
+    let mut prefix = one;
+    for i in (0..3).rev() {
+        prefix = b.and2(prefix, props[i + 1]);
+        let term = b.and2(prefix, gens[i]);
+        g = b.or2(g, term);
+    }
+    b.output("g", g);
+    let aeqb = b.tree(GateKind::And, &f_bits);
+    b.output("aeqb", aeqb);
+    b.build().expect("generator produces a valid ALU")
+}
+
+/// Hamming-style code word for data bit `j` of the 32-bit SEC circuit:
+/// the 6-bit position number, an even-parity bit and an always-set bit.
+/// Consecutive position codes keep the parity groups regular, which is what
+/// keeps the real C499's BDDs tractable.
+pub fn sec32_code(j: usize) -> usize {
+    let pos = j + 1; // 6 bits, distinct, non-zero
+    let parity = (pos.count_ones() % 2) as usize;
+    pos | (parity << 6) | (1 << 7)
+}
+
+/// Code word for data bit `j` of the 16-bit SEC/DED circuit.
+pub fn secded16_code(j: usize) -> usize {
+    (j + 1) | (1 << 5)
+}
+
+/// A 32-bit single-error-correcting circuit with the `C499` footprint
+/// (41 inputs, 32 outputs).
+///
+/// Inputs: `d[32]` data, `c[8]` received check bits, `en` correction enable.
+/// Each output is `d[j]` XOR-corrected when the syndrome matches bit `j`'s
+/// code word — the XOR-dominated structure that makes C499 hard for 0,1,X
+/// simulation.
+pub fn sec32() -> Circuit {
+    let mut b = Circuit::builder("c499");
+    let d: Vec<_> = (0..32).map(|i| b.input(&format!("d{i}"))).collect();
+    let c: Vec<_> = (0..8).map(|i| b.input(&format!("c{i}"))).collect();
+    let en = b.input("en");
+    let codes: Vec<usize> = (0..32).map(sec32_code).collect();
+    // Syndrome: s_k = c_k XOR parity(group_k).
+    let mut syndrome = Vec::new();
+    for k in 0..8 {
+        let members: Vec<SignalId> =
+            (0..32).filter(|&j| codes[j] >> k & 1 == 1).map(|j| d[j]).collect();
+        let group = if members.is_empty() {
+            c[k] // empty group: syndrome bit is the raw check bit
+        } else {
+            let parity = b.tree(GateKind::Xor, &members);
+            b.xor2(c[k], parity)
+        };
+        syndrome.push(group);
+    }
+    let nsyn: Vec<_> = syndrome.iter().map(|&s| b.not(s)).collect();
+    for j in 0..32 {
+        let literals: Vec<SignalId> = (0..8)
+            .map(|k| if codes[j] >> k & 1 == 1 { syndrome[k] } else { nsyn[k] })
+            .collect();
+        let matches = b.tree(GateKind::And, &literals);
+        let flip = b.and2(en, matches);
+        let corrected = b.xor2(d[j], flip);
+        b.output(&format!("o{j}"), corrected);
+    }
+    b.build().expect("generator produces a valid SEC circuit")
+}
+
+/// A 16-bit SEC/DED corrector in the spirit of `C1908` (23 inputs,
+/// 25 outputs; the real C1908 has extra bus-control pins we do not model).
+///
+/// Inputs: `d[16]`, `c[6]` check bits, `pa` overall parity. Outputs: the 16
+/// corrected data bits, the 6 syndrome bits, and `single`, `double`,
+/// `uncorrectable` flags.
+pub fn secded16() -> Circuit {
+    let mut b = Circuit::builder("c1908");
+    let d: Vec<_> = (0..16).map(|i| b.input(&format!("d{i}"))).collect();
+    let c: Vec<_> = (0..6).map(|i| b.input(&format!("c{i}"))).collect();
+    let pa = b.input("pa");
+    let codes: Vec<usize> = (0..16).map(secded16_code).collect();
+    let mut syndrome = Vec::new();
+    for k in 0..6 {
+        let members: Vec<SignalId> =
+            (0..16).filter(|&j| codes[j] >> k & 1 == 1).map(|j| d[j]).collect();
+        let s = if members.is_empty() {
+            c[k]
+        } else {
+            let parity = b.tree(GateKind::Xor, &members);
+            b.xor2(c[k], parity)
+        };
+        syndrome.push(s);
+    }
+    // Overall parity check covers data, checks and the parity bit itself.
+    let mut everything: Vec<SignalId> = d.clone();
+    everything.extend(&c);
+    everything.push(pa);
+    let overall = b.tree(GateKind::Xor, &everything);
+    let any_syndrome = b.tree(GateKind::Or, &syndrome);
+    let noverall = b.not(overall);
+    let single = b.and2(any_syndrome, overall);
+    let double = b.and2(any_syndrome, noverall);
+    let nsyn: Vec<_> = syndrome.iter().map(|&s| b.not(s)).collect();
+    let mut any_match = b.constant(false);
+    for j in 0..16 {
+        let literals: Vec<SignalId> = (0..6)
+            .map(|k| if codes[j] >> k & 1 == 1 { syndrome[k] } else { nsyn[k] })
+            .collect();
+        let matches = b.tree(GateKind::And, &literals);
+        any_match = b.or2(any_match, matches);
+        let flip = b.and2(single, matches);
+        let corrected = b.xor2(d[j], flip);
+        b.output(&format!("o{j}"), corrected);
+    }
+    for (k, &s) in syndrome.iter().enumerate() {
+        b.output(&format!("s{k}"), s);
+    }
+    b.output("single", single);
+    b.output("double", double);
+    let no_match = b.not(any_match);
+    let bad_single = b.and2(single, no_match);
+    let uncorrectable = b.or2(double, bad_single);
+    b.output("uncorrectable", uncorrectable);
+    b.build().expect("generator produces a valid SEC/DED circuit")
+}
+
+/// A 27-channel priority interrupt controller with the `C432` footprint
+/// (36 inputs, 7 outputs) — the function class of the real C432.
+///
+/// Inputs: `e[9]` channel enables and three request buses `pa[9] pb[9]
+/// pc[9]` with bus priority A > B > C. Outputs: three bus-grant lines and a
+/// 4-bit one-hot-encoded index of the granted channel (highest channel
+/// wins).
+pub fn interrupt_controller() -> Circuit {
+    let mut b = Circuit::builder("c432");
+    let e: Vec<_> = (0..9).map(|i| b.input(&format!("e{i}"))).collect();
+    let pa: Vec<_> = (0..9).map(|i| b.input(&format!("pa{i}"))).collect();
+    let pb: Vec<_> = (0..9).map(|i| b.input(&format!("pb{i}"))).collect();
+    let pc: Vec<_> = (0..9).map(|i| b.input(&format!("pc{i}"))).collect();
+    let req = |b: &mut CircuitBuilder, bus: &[SignalId], e: &[SignalId]| -> Vec<SignalId> {
+        bus.iter().zip(e).map(|(&r, &en)| b.and2(r, en)).collect()
+    };
+    let ra = req(&mut b, &pa, &e);
+    let rb = req(&mut b, &pb, &e);
+    let rc = req(&mut b, &pc, &e);
+    let any_a = b.tree(GateKind::Or, &ra);
+    let any_b = b.tree(GateKind::Or, &rb);
+    let any_c = b.tree(GateKind::Or, &rc);
+    let na = b.not(any_a);
+    let nb = b.not(any_b);
+    let grant_a = any_a;
+    let grant_b = b.and2(any_b, na);
+    let gc0 = b.and2(na, nb);
+    let grant_c = b.and2(any_c, gc0);
+    // Requests of the winning bus.
+    let mut sel = Vec::new();
+    for i in 0..9 {
+        let ta = b.and2(grant_a, ra[i]);
+        let tb = b.and2(grant_b, rb[i]);
+        let tc = b.and2(grant_c, rc[i]);
+        let t = b.or2(ta, tb);
+        sel.push(b.or2(t, tc));
+    }
+    // Highest channel index wins: strip[i] = sel[i] & !(sel above i).
+    let mut strip = vec![sel[8]];
+    let mut above = sel[8];
+    for i in (0..8).rev() {
+        let nabove = b.not(above);
+        strip.push(b.and2(sel[i], nabove));
+        above = b.or2(above, sel[i]);
+    }
+    strip.reverse(); // strip[i] corresponds to channel i again
+    b.output("grant_a", grant_a);
+    b.output("grant_b", grant_b);
+    b.output("grant_c", grant_c);
+    for bit in 0..4 {
+        let members: Vec<SignalId> =
+            (0..9).filter(|&i| (i + 1) >> bit & 1 == 1).map(|i| strip[i]).collect();
+        let idx = b.tree(GateKind::Or, &members);
+        b.output(&format!("idx{bit}"), idx);
+    }
+    b.build().expect("generator produces a valid controller")
+}
+
+/// A 14-bit masked ALU with the `C880` footprint (60 inputs, 26 outputs) —
+/// the real C880 is an 8-bit ALU with comparable control overhead.
+///
+/// Inputs: operands `a[14] b[14]`, per-bit masks `am[14] bm[14]`, op select
+/// `s[3]`, `cin`. Outputs: `f[14]`, `cout`, `zero`, `parity`, `neg`,
+/// `overflow`, and 7 group-propagate bits.
+pub fn masked_alu14() -> Circuit {
+    const N: usize = 14;
+    let mut b = Circuit::builder("c880");
+    let a: Vec<_> = (0..N).map(|i| b.input(&format!("a{i}"))).collect();
+    let bv: Vec<_> = (0..N).map(|i| b.input(&format!("b{i}"))).collect();
+    let am: Vec<_> = (0..N).map(|i| b.input(&format!("am{i}"))).collect();
+    let bm: Vec<_> = (0..N).map(|i| b.input(&format!("bm{i}"))).collect();
+    let s: Vec<_> = (0..3).map(|i| b.input(&format!("s{i}"))).collect();
+    let cin = b.input("cin");
+    let x: Vec<_> = (0..N).map(|i| b.and2(a[i], am[i])).collect();
+    let y0: Vec<_> = (0..N).map(|i| b.and2(bv[i], bm[i])).collect();
+    // Arithmetic: x + (y0 ^ s0) + cin (s0 = subtract-style invert).
+    let mut carry = cin;
+    let mut carries = Vec::new();
+    let mut arith = Vec::new();
+    for i in 0..N {
+        let y = b.xor2(y0[i], s[0]);
+        let (sm, co) = full_adder(&mut b, x[i], y, carry);
+        arith.push(sm);
+        carries.push(co);
+        carry = co;
+    }
+    // Logic bank selected by s1:s0.
+    let mut f_bits = Vec::new();
+    for i in 0..N {
+        let and_ = b.and2(x[i], y0[i]);
+        let or_ = b.or2(x[i], y0[i]);
+        let xor_ = b.xor2(x[i], y0[i]);
+        let notx = b.not(x[i]);
+        let l0 = b.mux(s[0], and_, or_);
+        let l1 = b.mux(s[0], xor_, notx);
+        let logic = b.mux(s[1], l0, l1);
+        let f = b.mux(s[2], logic, arith[i]);
+        f_bits.push(f);
+        b.output(&format!("f{i}"), f);
+    }
+    b.output("cout", carry);
+    let any = b.tree(GateKind::Or, &f_bits);
+    let zero = b.not(any);
+    b.output("zero", zero);
+    let parity = b.tree(GateKind::Xor, &f_bits);
+    b.output("parity", parity);
+    b.output("neg", f_bits[N - 1]);
+    let overflow = b.xor2(carries[N - 1], carries[N - 2]);
+    b.output("overflow", overflow);
+    for k in 0..7 {
+        let p0 = b.or2(x[2 * k], y0[2 * k]);
+        let p1 = b.or2(x[2 * k + 1], y0[2 * k + 1]);
+        let gp = b.and2(p0, p1);
+        b.output(&format!("gp{k}"), gp);
+    }
+    b.build().expect("generator produces a valid masked ALU")
+}
+
+/// A seeded random two-level PLA (the `apex3`/`term1` benchmark class).
+///
+/// Real PLA benchmarks have strong column locality, which is what keeps
+/// their BDDs small; each product term here therefore ANDs 2–5 literals
+/// drawn from a sliding window of 8 adjacent inputs, and each output ORs
+/// products from a window of adjacent terms. Deterministic in `seed`.
+///
+/// # Panics
+///
+/// Panics if any dimension is zero.
+pub fn random_pla(name: &str, inputs: usize, outputs: usize, products: usize, seed: u64) -> Circuit {
+    assert!(inputs > 0 && outputs > 0 && products > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = Circuit::builder(name);
+    let ins: Vec<_> = (0..inputs).map(|i| b.input(&format!("x{i}"))).collect();
+    let window = 8.min(inputs);
+    let mut terms = Vec::new();
+    for t in 0..products {
+        // Slide the literal window across the inputs as terms progress, so
+        // every input is used but each term stays local.
+        let base = (t * inputs) / products;
+        let width = rng.random_range(2..=5usize.min(window));
+        let mut chosen: Vec<usize> =
+            (0..window).map(|k| (base + k) % inputs).collect();
+        chosen.shuffle(&mut rng);
+        chosen.truncate(width);
+        let literals: Vec<SignalId> = chosen
+            .iter()
+            .map(|&i| if rng.random_bool(0.5) { ins[i] } else { b.not(ins[i]) })
+            .collect();
+        terms.push(b.tree(GateKind::And, &literals));
+    }
+    for o in 0..outputs {
+        // Each output sums terms from a window of adjacent products.
+        let base = (o * products) / outputs;
+        let span = 12.min(products);
+        let width = rng.random_range(2..=8usize.min(span));
+        let mut chosen: Vec<usize> = (0..span).map(|k| (base + k) % products).collect();
+        chosen.shuffle(&mut rng);
+        chosen.truncate(width);
+        let sum: Vec<SignalId> = chosen.iter().map(|&i| terms[i]).collect();
+        let f = b.tree(GateKind::Or, &sum);
+        b.output(&format!("y{o}"), f);
+    }
+    b.build().expect("generator produces a valid PLA")
+}
+
+/// A seeded random multi-level circuit (AND/OR-heavy, a little XOR).
+///
+/// Used as the `term1` substitute and as a fuzzing workload. Deterministic
+/// in `seed`.
+///
+/// # Panics
+///
+/// Panics if `inputs == 0`, `outputs == 0` or `gates < outputs`.
+pub fn random_logic(name: &str, inputs: usize, gates: usize, outputs: usize, seed: u64) -> Circuit {
+    assert!(inputs > 0 && outputs > 0 && gates >= outputs);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = Circuit::builder(name);
+    let mut pool: Vec<SignalId> = (0..inputs).map(|i| b.input(&format!("x{i}"))).collect();
+    for _ in 0..gates {
+        let kind = match rng.random_range(0..10u32) {
+            0..=1 => GateKind::And,
+            2..=3 => GateKind::Or,
+            4 => GateKind::Nand,
+            5 => GateKind::Nor,
+            // A healthy XOR share keeps internal errors observable, like
+            // the real MCNC random-logic benchmarks.
+            6..=8 => GateKind::Xor,
+            _ => GateKind::Not,
+        };
+        let pick = |rng: &mut StdRng, pool: &[SignalId]| {
+            // Mild recency bias keeps the circuit deep rather than flat.
+            let n = pool.len();
+            let i = if rng.random_bool(0.5) {
+                rng.random_range(n.saturating_sub(8)..n)
+            } else {
+                rng.random_range(0..n)
+            };
+            pool[i]
+        };
+        let out = if kind == GateKind::Not {
+            let a = pick(&mut rng, &pool);
+            b.not(a)
+        } else {
+            let a = pick(&mut rng, &pool);
+            let mut c = pick(&mut rng, &pool);
+            if c == a {
+                c = pool[rng.random_range(0..pool.len())];
+            }
+            b.gate(kind, &[a, c])
+        };
+        pool.push(out);
+    }
+    // Outputs from the deepest signals so the whole circuit stays in a cone.
+    let tail = &pool[pool.len() - outputs..];
+    for (i, &s) in tail.iter().enumerate() {
+        b.output(&format!("y{i}"), s);
+    }
+    let built = b.build().expect("generator produces a valid random circuit");
+    // Prune logic outside every output cone so each remaining gate is live —
+    // real benchmark netlists contain no dead logic, and error-insertion
+    // experiments rely on mutations being observable in principle.
+    let roots: Vec<SignalId> = built.outputs().iter().map(|&(_, s)| s).collect();
+    let live = built.fanin_cone_gates(&roots);
+    let dead: Vec<u32> =
+        (0..built.gates().len() as u32).filter(|g| live.binary_search(g).is_err()).collect();
+    built.without_gates(&dead)
+}
+
+/// Rewrites every XOR/XNOR gate into four/five NAND gates (how the real
+/// C1355 relates to C499).
+pub fn expand_xor_to_nand(circuit: &Circuit) -> Circuit {
+    let mut b = Circuit::builder(&format!("{}x", circuit.name()));
+    // Recreate all signals by name so ids line up.
+    for i in 0..circuit.signal_count() {
+        let name = circuit.signal_name(SignalId(i as u32));
+        let id = b.signal(name);
+        debug_assert_eq!(id.index(), i);
+    }
+    for &inp in circuit.inputs() {
+        b.mark_input(inp);
+    }
+    for &g in circuit.topo_order() {
+        let gate: &Gate = &circuit.gates()[g as usize];
+        match gate.kind {
+            GateKind::Xor | GateKind::Xnor => {
+                // Fold multi-input XOR pairwise.
+                let mut acc = gate.inputs[0];
+                for (n, &next) in gate.inputs.iter().enumerate().skip(1) {
+                    let last = n + 1 == gate.inputs.len() && gate.kind == GateKind::Xor;
+                    let t = nand_xor(&mut b, acc, next, if last { Some(gate.output) } else { None });
+                    acc = t;
+                }
+                if gate.kind == GateKind::Xnor {
+                    b.gate_into(GateKind::Not, &[acc], gate.output);
+                } else if gate.inputs.len() == 1 {
+                    b.gate_into(GateKind::Buf, &[acc], gate.output);
+                }
+            }
+            kind => b.gate_into(kind, &gate.inputs, gate.output),
+        }
+    }
+    for (name, sig) in circuit.outputs() {
+        b.output(name, *sig);
+    }
+    b.build_allow_undriven().expect("expansion preserves validity")
+}
+
+/// Builds `a XOR b` out of four NANDs, optionally into an existing signal.
+fn nand_xor(
+    b: &mut CircuitBuilder,
+    a: SignalId,
+    c: SignalId,
+    into: Option<SignalId>,
+) -> SignalId {
+    let t = b.nand2(a, c);
+    let u = b.nand2(a, t);
+    let v = b.nand2(t, c);
+    match into {
+        Some(out) => {
+            b.gate_into(GateKind::Nand, &[u, v], out);
+            out
+        }
+        None => b.nand2(u, v),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adder_adds() {
+        let c = ripple_carry_adder(4);
+        for a in 0..16u32 {
+            for b in 0..16u32 {
+                for cin in 0..2u32 {
+                    let mut inputs = Vec::new();
+                    inputs.extend((0..4).map(|i| a >> i & 1 == 1));
+                    inputs.extend((0..4).map(|i| b >> i & 1 == 1));
+                    inputs.push(cin == 1);
+                    let out = c.eval(&inputs).unwrap();
+                    let expect = a + b + cin;
+                    for i in 0..4 {
+                        assert_eq!(out[i], expect >> i & 1 == 1);
+                    }
+                    assert_eq!(out[4], expect >= 16);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn carry_lookahead_matches_ripple() {
+        let cla = carry_lookahead_adder(5);
+        let rca = ripple_carry_adder(5);
+        assert_eq!(cla.inputs().len(), rca.inputs().len());
+        for bits in 0..1u32 << 11 {
+            let v: Vec<bool> = (0..11).map(|i| bits >> i & 1 == 1).collect();
+            assert_eq!(cla.eval(&v).unwrap(), rca.eval(&v).unwrap(), "at {bits:011b}");
+        }
+        // Depth advantage: the lookahead carry chain is shallower.
+        assert!(cla.stats().depth <= rca.stats().depth);
+    }
+
+    #[test]
+    fn multiplier_multiplies() {
+        for bits in [1usize, 2, 3, 4] {
+            let c = array_multiplier(bits);
+            assert_eq!(c.outputs().len(), 2 * bits);
+            for a in 0..1u32 << bits {
+                for bb in 0..1u32 << bits {
+                    let mut v: Vec<bool> = (0..bits).map(|i| a >> i & 1 == 1).collect();
+                    v.extend((0..bits).map(|i| bb >> i & 1 == 1));
+                    let out = c.eval(&v).unwrap();
+                    let expect = a * bb;
+                    for k in 0..2 * bits {
+                        assert_eq!(
+                            out[k],
+                            expect >> k & 1 == 1,
+                            "{bits}-bit {a}*{bb} bit {k}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn barrel_shifter_shifts() {
+        let c = barrel_shifter(8);
+        assert_eq!(c.inputs().len(), 8 + 3);
+        for x in [0b1u32, 0b1011_0010, 0xFF] {
+            for sh in 0..8u32 {
+                let mut v: Vec<bool> = (0..8).map(|i| x >> i & 1 == 1).collect();
+                v.extend((0..3).map(|i| sh >> i & 1 == 1));
+                let out = c.eval(&v).unwrap();
+                let expect = (x << sh) & 0xFF;
+                for k in 0..8 {
+                    assert_eq!(out[k], expect >> k & 1 == 1, "x={x:08b} sh={sh} bit {k}");
+                }
+            }
+        }
+        // Power-of-two precondition.
+        let r = std::panic::catch_unwind(|| barrel_shifter(6));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn comparator_compares() {
+        let c = magnitude_comparator(4);
+        for a in 0..16u32 {
+            for b in 0..16u32 {
+                let mut inputs = Vec::new();
+                inputs.extend((0..4).map(|i| a >> i & 1 == 1));
+                inputs.extend((0..4).map(|i| b >> i & 1 == 1));
+                let out = c.eval(&inputs).unwrap();
+                assert_eq!(out, vec![a < b, a == b, a > b], "a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn parity_counts_ones() {
+        let c = parity_tree(7);
+        for bits in 0..128u32 {
+            let inputs: Vec<bool> = (0..7).map(|i| bits >> i & 1 == 1).collect();
+            let out = c.eval(&inputs).unwrap();
+            assert_eq!(out[0], bits.count_ones() % 2 == 1);
+        }
+    }
+
+    #[test]
+    fn alu_footprint_and_arithmetic() {
+        let c = alu_181();
+        assert_eq!(c.inputs().len(), 14);
+        assert_eq!(c.outputs().len(), 8);
+        // Arithmetic mode (m=0), s=00 selects y=b: check a+b+cn on samples.
+        for (a, b, cn) in [(3u32, 5u32, 0u32), (9, 9, 1), (15, 1, 0), (0, 0, 1)] {
+            let mut inputs = Vec::new();
+            inputs.extend((0..4).map(|i| a >> i & 1 == 1)); // a
+            inputs.extend((0..4).map(|i| b >> i & 1 == 1)); // b
+            inputs.extend([false, false, false, false]); // s = 0000
+            inputs.push(false); // m = 0 arithmetic
+            inputs.push(cn == 1);
+            let out = c.eval(&inputs).unwrap();
+            let expect = a + b + cn;
+            for i in 0..4 {
+                assert_eq!(out[i], expect >> i & 1 == 1, "bit {i} of {a}+{b}+{cn}");
+            }
+            assert_eq!(out[4], expect >= 16, "carry of {a}+{b}+{cn}");
+        }
+        // Logic mode (m=1), s=0000 selects AND.
+        let mut inputs = vec![true, false, true, true]; // a = 1101
+        inputs.extend([true, true, false, true]); // b = 1011
+        inputs.extend([false, false, false, false]);
+        inputs.push(true); // m = 1 logic
+        inputs.push(false);
+        let out = c.eval(&inputs).unwrap();
+        assert_eq!(&out[..4], &[true, false, false, true]); // a & b
+    }
+
+    #[test]
+    fn sec32_corrects_single_bit_errors() {
+        let c = sec32();
+        assert_eq!(c.inputs().len(), 41);
+        assert_eq!(c.outputs().len(), 32);
+        let data: Vec<bool> = (0..32).map(|i| i % 3 == 0).collect();
+        // Compute matching check bits by simulating with en=0 and zero
+        // checks: the syndrome must then equal the data parity groups, and
+        // since en=0 outputs echo the data.
+        let codes: Vec<usize> = (0..32).map(sec32_code).collect();
+        let checks: Vec<bool> = (0..8)
+            .map(|k| {
+                (0..32).filter(|&j| codes[j] >> k & 1 == 1).fold(false, |acc, j| acc ^ data[j])
+            })
+            .collect();
+        // No error: outputs echo data.
+        let mut inputs = data.clone();
+        inputs.extend(&checks);
+        inputs.push(true);
+        assert_eq!(c.eval(&inputs).unwrap(), data);
+        // Flip data bit 7: the corrector must restore it.
+        let mut corrupted = data.clone();
+        corrupted[7] = !corrupted[7];
+        let mut inputs = corrupted;
+        inputs.extend(&checks);
+        inputs.push(true);
+        assert_eq!(c.eval(&inputs).unwrap(), data);
+        // With correction disabled the error passes through.
+        let mut corrupted = data.clone();
+        corrupted[7] = !corrupted[7];
+        let mut inputs = corrupted.clone();
+        inputs.extend(&checks);
+        inputs.push(false);
+        assert_eq!(c.eval(&inputs).unwrap(), corrupted);
+    }
+
+    #[test]
+    fn secded16_flags_double_errors() {
+        let c = secded16();
+        assert_eq!(c.inputs().len(), 23);
+        assert_eq!(c.outputs().len(), 25);
+        let data: Vec<bool> = (0..16).map(|i| i % 2 == 0).collect();
+        let codes: Vec<usize> = (0..16).map(secded16_code).collect();
+        let checks: Vec<bool> = (0..6)
+            .map(|k| {
+                (0..16).filter(|&j| codes[j] >> k & 1 == 1).fold(false, |acc, j| acc ^ data[j])
+            })
+            .collect();
+        let pall = data.iter().chain(&checks).fold(false, |acc, &b| acc ^ b);
+        let run = |d: &[bool]| {
+            let mut inputs = d.to_vec();
+            inputs.extend(&checks);
+            inputs.push(pall);
+            c.eval(&inputs).unwrap()
+        };
+        // Clean word: no flags, data echoed.
+        let out = run(&data);
+        assert_eq!(&out[..16], &data[..]);
+        assert!(!out[22] && !out[23] && !out[24], "clean word must raise no flags");
+        // Single error: corrected, `single` raised.
+        let mut one = data.clone();
+        one[3] = !one[3];
+        let out = run(&one);
+        assert_eq!(&out[..16], &data[..]);
+        assert!(out[22], "single flag");
+        // Double error: `double` and `uncorrectable` raised.
+        let mut two = data.clone();
+        two[3] = !two[3];
+        two[9] = !two[9];
+        let out = run(&two);
+        assert!(out[23], "double flag");
+        assert!(out[24], "uncorrectable flag");
+    }
+
+    #[test]
+    fn interrupt_controller_prioritises() {
+        let c = interrupt_controller();
+        assert_eq!(c.inputs().len(), 36);
+        assert_eq!(c.outputs().len(), 7);
+        // Enable all channels; request channel 4 on bus B and 2 on bus C.
+        let mut inputs = vec![true; 9]; // e
+        inputs.extend(vec![false; 9]); // pa
+        let mut pb = vec![false; 9];
+        pb[4] = true;
+        inputs.extend(&pb);
+        let mut pc = vec![false; 9];
+        pc[2] = true;
+        inputs.extend(&pc);
+        let out = c.eval(&inputs).unwrap();
+        assert_eq!(&out[..3], &[false, true, false], "bus B wins over C");
+        // Index = channel 4 → one-hot code 5 (i+1) in 4 bits: 0101.
+        assert_eq!(&out[3..], &[true, false, true, false]);
+        // Disabled channels never win.
+        let mut inputs = vec![false; 9];
+        inputs.extend(vec![true; 27]);
+        let out = c.eval(&inputs).unwrap();
+        assert_eq!(&out[..3], &[false, false, false]);
+    }
+
+    #[test]
+    fn masked_alu_footprint_and_masking() {
+        let c = masked_alu14();
+        assert_eq!(c.inputs().len(), 60);
+        assert_eq!(c.outputs().len(), 26);
+        // s=100 (s2=0? s indices: s0,s1,s2) — choose arithmetic: s2=1.
+        let a = 0b0000_0000_0101_0u32;
+        let bop = 0b0000_0000_0011_0u32;
+        let mut inputs = Vec::new();
+        inputs.extend((0..14).map(|i| a >> i & 1 == 1));
+        inputs.extend((0..14).map(|i| bop >> i & 1 == 1));
+        inputs.extend(vec![true; 14]); // am: unmasked
+        inputs.extend(vec![true; 14]); // bm: unmasked
+        inputs.extend([false, false, true]); // s = add, arithmetic
+        inputs.push(false); // cin
+        let out = c.eval(&inputs).unwrap();
+        let expect = a + bop;
+        for i in 0..14 {
+            assert_eq!(out[i], expect >> i & 1 == 1, "sum bit {i}");
+        }
+        // Masking a to zero makes f = b.
+        let mut inputs2 = inputs.clone();
+        for i in 28..42 {
+            inputs2[i] = false; // am = 0
+        }
+        let out = c.eval(&inputs2).unwrap();
+        for i in 0..14 {
+            assert_eq!(out[i], bop >> i & 1 == 1, "masked sum bit {i}");
+        }
+    }
+
+    #[test]
+    fn random_generators_are_deterministic() {
+        let a = random_pla("p", 10, 5, 20, 42);
+        let b = random_pla("p", 10, 5, 20, 42);
+        assert_eq!(a, b);
+        let c = random_pla("p", 10, 5, 20, 43);
+        assert_ne!(a, c);
+        let d = random_logic("r", 8, 30, 4, 1);
+        let e = random_logic("r", 8, 30, 4, 1);
+        assert_eq!(d, e);
+        assert_eq!(d.inputs().len(), 8);
+        assert_eq!(d.outputs().len(), 4);
+    }
+
+    #[test]
+    fn xor_expansion_preserves_function() {
+        let c = sec32();
+        let expanded = expand_xor_to_nand(&c);
+        assert!(expanded
+            .gates()
+            .iter()
+            .all(|g| !matches!(g.kind, GateKind::Xor | GateKind::Xnor)));
+        assert!(expanded.gates().len() > c.gates().len());
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..50 {
+            let inputs: Vec<bool> = (0..41).map(|_| rng.random_bool(0.5)).collect();
+            assert_eq!(c.eval(&inputs).unwrap(), expanded.eval(&inputs).unwrap());
+        }
+    }
+
+    #[test]
+    fn xor_expansion_on_small_parity() {
+        let c = parity_tree(5);
+        let e = expand_xor_to_nand(&c);
+        for bits in 0..32u32 {
+            let inputs: Vec<bool> = (0..5).map(|i| bits >> i & 1 == 1).collect();
+            assert_eq!(c.eval(&inputs).unwrap(), e.eval(&inputs).unwrap());
+        }
+    }
+}

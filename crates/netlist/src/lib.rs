@@ -1,0 +1,51 @@
+//! # bbec-netlist — gate-level combinational circuits
+//!
+//! The structural substrate of the black-box equivalence checker: a compact
+//! netlist IR for combinational circuits with
+//!
+//! * a validating [`CircuitBuilder`] and immutable [`Circuit`],
+//! * Boolean and ternary (0,1,X) simulation ([`Circuit::eval`],
+//!   [`Circuit::eval_ternary`]),
+//! * BLIF and ISCAS-style `.bench` parsers and writers ([`blif`], [`bench`]),
+//! * structured benchmark generators substituting the MCNC/ISCAS circuits of
+//!   the reproduced paper ([`generators`], [`benchmarks`]),
+//! * the paper's error-insertion mutations ([`mutate`]).
+//!
+//! ## Example
+//!
+//! ```rust
+//! use bbec_netlist::{Circuit, Tv};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = Circuit::builder("half_adder");
+//! let x = b.input("x");
+//! let y = b.input("y");
+//! let sum = b.xor2(x, y);
+//! let carry = b.and2(x, y);
+//! b.output("sum", sum);
+//! b.output("carry", carry);
+//! let c = b.build()?;
+//!
+//! assert_eq!(c.eval(&[true, true])?, vec![false, true]);
+//! // Ternary simulation propagates unknowns.
+//! assert_eq!(c.eval_ternary(&[Tv::X, Tv::Zero])?, vec![Tv::X, Tv::Zero]);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod bench;
+pub mod benchmarks;
+pub mod blif;
+mod circuit;
+mod gate;
+pub mod generators;
+pub mod mutate;
+pub mod opt;
+pub mod seqgen;
+mod ternary;
+pub mod verilog;
+
+pub use circuit::{Circuit, CircuitBuilder, CircuitStats, NetlistError, SignalId};
+pub use gate::GateKind;
+pub use mutate::{Mutation, MutationKind};
+pub use ternary::Tv;

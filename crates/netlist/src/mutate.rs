@@ -1,0 +1,294 @@
+//! Error insertion: the random circuit mutations of the paper's evaluation
+//! (Section 3).
+//!
+//! > "We randomly selected a gate […] and inserted an error. The error type
+//! > was also selected randomly between several choices: We added/removed an
+//! > inverter for an input or output signal of the gate, changed the type of
+//! > the gate (and2 to or2 or or2 to and2) or removed an input line from an
+//! > and or or gate."
+
+use crate::circuit::{Circuit, Gate, NetlistError, SignalId};
+use crate::gate::GateKind;
+use rand::Rng;
+
+/// The mutation flavours of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MutationKind {
+    /// Toggle an inverter on input pin `pin` of the gate (insert a NOT, or
+    /// bypass an existing NOT feeding that pin).
+    ToggleInputInverter { pin: usize },
+    /// Toggle an inverter on the gate's output.
+    ToggleOutputInverter,
+    /// Swap the gate kind with its dual (And↔Or, Nand↔Nor).
+    TypeChange,
+    /// Drop input pin `pin` from an And/Or/Nand/Nor gate with ≥ 2 inputs.
+    RemoveInput { pin: usize },
+}
+
+/// A mutation bound to a concrete gate of a concrete circuit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mutation {
+    /// Index into [`Circuit::gates`].
+    pub gate: u32,
+    pub kind: MutationKind,
+}
+
+impl Mutation {
+    /// Applies the mutation, returning the faulty circuit.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the mutation does not fit the gate (wrong pin,
+    /// non-dual kind for [`MutationKind::TypeChange`], arity underflow) or
+    /// if the mutated netlist fails validation.
+    pub fn apply(&self, circuit: &Circuit) -> Result<Circuit, NetlistError> {
+        let mut gates: Vec<Gate> = circuit.gates().to_vec();
+        let mut signal_names: Vec<String> = (0..circuit.signal_count())
+            .map(|i| circuit.signal_name(SignalId(i as u32)).to_string())
+            .collect();
+        let g = self.gate as usize;
+        let bad = |msg: &str| NetlistError::Parse(format!("mutation does not fit: {msg}"));
+        if g >= gates.len() {
+            return Err(bad("gate index out of range"));
+        }
+        match self.kind {
+            MutationKind::ToggleInputInverter { pin } => {
+                let src = *gates[g].inputs.get(pin).ok_or_else(|| bad("pin out of range"))?;
+                // "Remove" if the pin is fed by an inverter: bypass it.
+                let feeding_not = circuit
+                    .driver_of(src)
+                    .filter(|d| d.kind == GateKind::Not)
+                    .map(|d| d.inputs[0]);
+                if let Some(original) = feeding_not {
+                    gates[g].inputs[pin] = original;
+                } else {
+                    let fresh = SignalId(signal_names.len() as u32);
+                    signal_names.push(fresh_name(&signal_names, "err_inv"));
+                    gates.push(Gate { kind: GateKind::Not, inputs: vec![src], output: fresh });
+                    gates[g].inputs[pin] = fresh;
+                }
+            }
+            MutationKind::ToggleOutputInverter => {
+                gates[g].kind = output_toggled(gates[g].kind);
+            }
+            MutationKind::TypeChange => {
+                let new = gates[g].kind.type_change().ok_or_else(|| bad("kind has no dual"))?;
+                gates[g].kind = new;
+            }
+            MutationKind::RemoveInput { pin } => {
+                let kind = gates[g].kind;
+                let removable = matches!(
+                    kind,
+                    GateKind::And | GateKind::Or | GateKind::Nand | GateKind::Nor
+                );
+                if !removable {
+                    return Err(bad("inputs can only be removed from and/or gates"));
+                }
+                if gates[g].inputs.len() < 2 {
+                    return Err(bad("gate has a single input"));
+                }
+                if pin >= gates[g].inputs.len() {
+                    return Err(bad("pin out of range"));
+                }
+                gates[g].inputs.remove(pin);
+            }
+        }
+        Circuit::from_parts(
+            format!("{}+fault", circuit.name()),
+            signal_names,
+            circuit.inputs().to_vec(),
+            circuit.outputs().to_vec(),
+            gates,
+            !circuit.undriven_signals().is_empty(),
+        )
+    }
+
+    /// Draws a random paper-style mutation on one of `allowed_gates`.
+    ///
+    /// Returns `None` if `allowed_gates` is empty.
+    pub fn random<R: Rng + ?Sized>(
+        circuit: &Circuit,
+        allowed_gates: &[u32],
+        rng: &mut R,
+    ) -> Option<Mutation> {
+        if allowed_gates.is_empty() {
+            return None;
+        }
+        let gate = allowed_gates[rng.random_range(0..allowed_gates.len())];
+        let kind = Self::random_kind(circuit, gate, rng);
+        kind.map(|kind| Mutation { gate, kind })
+    }
+
+    fn random_kind<R: Rng + ?Sized>(
+        circuit: &Circuit,
+        gate: u32,
+        rng: &mut R,
+    ) -> Option<MutationKind> {
+        let g = &circuit.gates()[gate as usize];
+        let mut options: Vec<MutationKind> = Vec::new();
+        for pin in 0..g.inputs.len() {
+            options.push(MutationKind::ToggleInputInverter { pin });
+        }
+        options.push(MutationKind::ToggleOutputInverter);
+        if g.kind.type_change().is_some() {
+            options.push(MutationKind::TypeChange);
+        }
+        if matches!(g.kind, GateKind::And | GateKind::Or | GateKind::Nand | GateKind::Nor)
+            && g.inputs.len() >= 2
+        {
+            for pin in 0..g.inputs.len() {
+                options.push(MutationKind::RemoveInput { pin });
+            }
+        }
+        Some(options[rng.random_range(0..options.len())])
+    }
+
+    /// A human-readable description ("gate 17 (and): type change").
+    pub fn describe(&self, circuit: &Circuit) -> String {
+        let g = &circuit.gates()[self.gate as usize];
+        let what = match self.kind {
+            MutationKind::ToggleInputInverter { pin } => format!("toggle inverter on input {pin}"),
+            MutationKind::ToggleOutputInverter => "toggle inverter on output".to_string(),
+            MutationKind::TypeChange => "gate type change".to_string(),
+            MutationKind::RemoveInput { pin } => format!("remove input line {pin}"),
+        };
+        format!("gate {} ({}): {}", self.gate, g.kind, what)
+    }
+}
+
+/// The kind that computes the negated function of `kind` (output inverter).
+fn output_toggled(kind: GateKind) -> GateKind {
+    match kind {
+        GateKind::And => GateKind::Nand,
+        GateKind::Nand => GateKind::And,
+        GateKind::Or => GateKind::Nor,
+        GateKind::Nor => GateKind::Or,
+        GateKind::Xor => GateKind::Xnor,
+        GateKind::Xnor => GateKind::Xor,
+        GateKind::Not => GateKind::Buf,
+        GateKind::Buf => GateKind::Not,
+        GateKind::Const0 => GateKind::Const1,
+        GateKind::Const1 => GateKind::Const0,
+    }
+}
+
+fn fresh_name(taken: &[String], base: &str) -> String {
+    let mut i = taken.len();
+    loop {
+        let candidate = format!("{base}{i}");
+        if !taken.contains(&candidate) {
+            return candidate;
+        }
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample() -> Circuit {
+        let mut b = Circuit::builder("sample");
+        let x = b.input("x");
+        let y = b.input("y");
+        let z = b.input("z");
+        let a = b.and2(x, y);
+        let o = b.or2(a, z);
+        b.output("f", o);
+        b.build().unwrap()
+    }
+
+    fn outputs_over_all_inputs(c: &Circuit) -> Vec<Vec<bool>> {
+        (0..8u32)
+            .map(|bits| {
+                let v: Vec<bool> = (0..3).map(|i| bits >> i & 1 == 1).collect();
+                c.eval(&v).unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn type_change_swaps_and_for_or() {
+        let c = sample();
+        let m = Mutation { gate: 0, kind: MutationKind::TypeChange };
+        let faulty = m.apply(&c).unwrap();
+        assert_eq!(faulty.gates()[0].kind, GateKind::Or);
+        // (x|y)|z differs from (x&y)|z at x=1,y=0,z=0.
+        assert_eq!(faulty.eval(&[true, false, false]).unwrap(), vec![true]);
+        assert_eq!(c.eval(&[true, false, false]).unwrap(), vec![false]);
+    }
+
+    #[test]
+    fn input_inverter_toggles_back() {
+        let c = sample();
+        let m = Mutation { gate: 0, kind: MutationKind::ToggleInputInverter { pin: 0 } };
+        let once = m.apply(&c).unwrap();
+        assert_ne!(outputs_over_all_inputs(&c), outputs_over_all_inputs(&once));
+        // Toggling the same pin again bypasses the inserted inverter.
+        let twice = m.apply(&once).unwrap();
+        assert_eq!(outputs_over_all_inputs(&c), outputs_over_all_inputs(&twice));
+    }
+
+    #[test]
+    fn output_inverter_changes_function() {
+        let c = sample();
+        let m = Mutation { gate: 1, kind: MutationKind::ToggleOutputInverter };
+        let faulty = m.apply(&c).unwrap();
+        let orig = outputs_over_all_inputs(&c);
+        let muts = outputs_over_all_inputs(&faulty);
+        for (a, b) in orig.iter().zip(&muts) {
+            assert_eq!(a[0], !b[0]);
+        }
+    }
+
+    #[test]
+    fn remove_input_line() {
+        let c = sample();
+        let m = Mutation { gate: 0, kind: MutationKind::RemoveInput { pin: 1 } };
+        let faulty = m.apply(&c).unwrap();
+        assert_eq!(faulty.gates()[0].inputs.len(), 1);
+        // and(x) == x, so f = x | z.
+        assert_eq!(faulty.eval(&[true, false, false]).unwrap(), vec![true]);
+    }
+
+    #[test]
+    fn misfit_mutations_are_rejected() {
+        let c = sample();
+        assert!(Mutation { gate: 9, kind: MutationKind::TypeChange }.apply(&c).is_err());
+        assert!(Mutation { gate: 0, kind: MutationKind::RemoveInput { pin: 7 } }
+            .apply(&c)
+            .is_err());
+        let mut b = Circuit::builder("x");
+        let x = b.input("x");
+        let n = b.not(x);
+        b.output("f", n);
+        let c2 = b.build().unwrap();
+        assert!(Mutation { gate: 0, kind: MutationKind::TypeChange }.apply(&c2).is_err());
+    }
+
+    #[test]
+    fn random_mutation_yields_valid_netlists() {
+        let c = sample();
+        let mut rng = StdRng::seed_from_u64(7);
+        let all: Vec<u32> = (0..c.gates().len() as u32).collect();
+        for _ in 0..50 {
+            let m = Mutation::random(&c, &all, &mut rng).expect("mutable circuit");
+            let faulty = m.apply(&c).expect("mutation fits by construction");
+            assert_eq!(faulty.inputs().len(), 3);
+            let _ = outputs_over_all_inputs(&faulty);
+        }
+    }
+
+    #[test]
+    fn random_respects_allowed_set() {
+        let c = sample();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..20 {
+            let m = Mutation::random(&c, &[1], &mut rng).unwrap();
+            assert_eq!(m.gate, 1);
+        }
+        assert!(Mutation::random(&c, &[], &mut rng).is_none());
+    }
+}

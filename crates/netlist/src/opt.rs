@@ -1,0 +1,369 @@
+//! Netlist clean-up: constant folding, identity simplification, structural
+//! hashing (common-subexpression sharing) and dead-logic removal.
+//!
+//! [`optimize`] preserves the circuit's interface (input and output ports,
+//! in order) and its function; black-box output signals of partial circuits
+//! are kept as undriven leaves. Typical uses: shrinking generated or
+//! mutated netlists before checking, and normalising parser output.
+
+use crate::circuit::{Circuit, CircuitBuilder, NetlistError, SignalId};
+use crate::gate::GateKind;
+use std::collections::HashMap;
+
+/// What a signal reduces to after simplification.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum Node {
+    Const(bool),
+    /// A signal of the *new* circuit.
+    Wire(SignalId),
+}
+
+/// Rewrites the circuit into an equivalent, usually smaller one.
+///
+/// Applied rules: constant propagation through every gate kind, identity
+/// and annihilator elimination (`x∧1 = x`, `x∧0 = 0`, …), duplicate-input
+/// collapsing (`x∧x = x`, `x⊕x = 0`), complement detection through NOT
+/// gates (`x∧¬x = 0`, `x∨¬x = 1`), double-negation elimination, buffer
+/// collapsing, structural hashing of identical gates, and removal of logic
+/// outside every output cone.
+///
+/// # Errors
+///
+/// Propagates [`NetlistError`] from rebuilding (cannot normally happen for
+/// circuits that validated once).
+pub fn optimize(circuit: &Circuit) -> Result<Circuit, NetlistError> {
+    let mut b = Circuit::builder(circuit.name());
+    // Interface first: inputs in order, undriven leaves (black-box outputs).
+    let mut repr: Vec<Option<Node>> = vec![None; circuit.signal_count()];
+    for &s in circuit.inputs() {
+        let id = b.signal(circuit.signal_name(s));
+        b.mark_input(id);
+        repr[s.index()] = Some(Node::Wire(id));
+    }
+    for s in circuit.undriven_signals() {
+        let id = b.signal(circuit.signal_name(s));
+        repr[s.index()] = Some(Node::Wire(id));
+    }
+    // Structural hashing and inverter tracking over the new circuit.
+    let mut hash: HashMap<(GateKind, Vec<SignalId>), SignalId> = HashMap::new();
+    let mut inverse: HashMap<SignalId, SignalId> = HashMap::new(); // wire -> ¬wire source
+    let mut constants: (Option<SignalId>, Option<SignalId>) = (None, None);
+
+    let mk_const = |b: &mut CircuitBuilder,
+                        constants: &mut (Option<SignalId>, Option<SignalId>),
+                        value: bool| {
+        let slot = if value { &mut constants.1 } else { &mut constants.0 };
+        *slot.get_or_insert_with(|| b.constant(value))
+    };
+    let mut mk_gate = |b: &mut CircuitBuilder,
+                       hash: &mut HashMap<(GateKind, Vec<SignalId>), SignalId>,
+                       inverse: &mut HashMap<SignalId, SignalId>,
+                       kind: GateKind,
+                       inputs: Vec<SignalId>| {
+        if let Some(&existing) = hash.get(&(kind, inputs.clone())) {
+            return existing;
+        }
+        let out = b.gate(kind, &inputs);
+        hash.insert((kind, inputs.clone()), out);
+        if kind == GateKind::Not {
+            inverse.insert(out, inputs[0]);
+            inverse.insert(inputs[0], out);
+        }
+        out
+    };
+
+    for &g in circuit.topo_order() {
+        let gate = &circuit.gates()[g as usize];
+        let ins: Vec<Node> = gate
+            .inputs
+            .iter()
+            .map(|s| repr[s.index()].clone().expect("topological order"))
+            .collect();
+        let node = simplify(gate.kind, &ins, &mut b, &mut hash, &mut inverse, &mut mk_gate);
+        repr[gate.output.index()] = Some(node);
+    }
+
+    for (name, s) in circuit.outputs() {
+        let node = repr[s.index()].clone().expect("outputs resolved");
+        let wire = match node {
+            Node::Wire(w) => w,
+            Node::Const(v) => mk_const(&mut b, &mut constants, v),
+        };
+        b.output(name, wire);
+    }
+    let built = b.build_allow_undriven()?;
+    // Dead-logic removal: keep only gates in some output cone.
+    let roots: Vec<SignalId> = built.outputs().iter().map(|&(_, s)| s).collect();
+    let live = built.fanin_cone_gates(&roots);
+    let all: Vec<u32> = (0..built.gates().len() as u32).collect();
+    let dead: Vec<u32> =
+        all.into_iter().filter(|g| live.binary_search(g).is_err()).collect();
+    Ok(built.without_gates(&dead))
+}
+
+/// Simplifies one gate application over already-reduced operands.
+fn simplify(
+    kind: GateKind,
+    ins: &[Node],
+    b: &mut CircuitBuilder,
+    hash: &mut HashMap<(GateKind, Vec<SignalId>), SignalId>,
+    inverse: &mut HashMap<SignalId, SignalId>,
+    mk_gate: &mut impl FnMut(
+        &mut CircuitBuilder,
+        &mut HashMap<(GateKind, Vec<SignalId>), SignalId>,
+        &mut HashMap<SignalId, SignalId>,
+        GateKind,
+        Vec<SignalId>,
+    ) -> SignalId,
+) -> Node {
+    let negate = |node: Node,
+                  b: &mut CircuitBuilder,
+                  hash: &mut HashMap<(GateKind, Vec<SignalId>), SignalId>,
+                  inverse: &mut HashMap<SignalId, SignalId>,
+                  mk_gate: &mut dyn FnMut(
+        &mut CircuitBuilder,
+        &mut HashMap<(GateKind, Vec<SignalId>), SignalId>,
+        &mut HashMap<SignalId, SignalId>,
+        GateKind,
+        Vec<SignalId>,
+    ) -> SignalId| match node {
+        Node::Const(v) => Node::Const(!v),
+        Node::Wire(w) => match inverse.get(&w) {
+            Some(&nw) => Node::Wire(nw),
+            None => Node::Wire(mk_gate(b, hash, inverse, GateKind::Not, vec![w])),
+        },
+    };
+
+    match kind {
+        GateKind::Const0 => Node::Const(false),
+        GateKind::Const1 => Node::Const(true),
+        GateKind::Buf => ins[0].clone(),
+        GateKind::Not => negate(ins[0].clone(), b, hash, inverse, mk_gate),
+        GateKind::And | GateKind::Nand | GateKind::Or | GateKind::Nor => {
+            // Normalise Or/Nor through De Morgan-free duality: treat Or as
+            // And with roles of the constants/absorbers swapped.
+            let is_or = matches!(kind, GateKind::Or | GateKind::Nor);
+            let inverted_out = matches!(kind, GateKind::Nand | GateKind::Nor);
+            let absorber = is_or; // Or: 1 absorbs; And: 0 absorbs
+            let mut wires: Vec<SignalId> = Vec::new();
+            let mut absorbed = false;
+            for n in ins {
+                match n {
+                    Node::Const(v) if *v == absorber => absorbed = true,
+                    Node::Const(_) => {} // identity element: drop
+                    Node::Wire(w) => wires.push(*w),
+                }
+            }
+            wires.sort_unstable();
+            wires.dedup();
+            // x ∧ ¬x (or x ∨ ¬x) detection via the inverter table.
+            let complementary = wires
+                .iter()
+                .any(|w| inverse.get(w).is_some_and(|nw| wires.binary_search(nw).is_ok()));
+            if absorbed || complementary || wires.len() <= 1 {
+                let raw = if absorbed || complementary {
+                    Node::Const(absorber)
+                } else if wires.is_empty() {
+                    Node::Const(!absorber)
+                } else {
+                    Node::Wire(wires[0])
+                };
+                return if inverted_out {
+                    negate(raw, b, hash, inverse, mk_gate)
+                } else {
+                    raw
+                };
+            }
+            // Emit the fused kind directly so Nand/Nor stay one gate.
+            let out_kind = match (is_or, inverted_out) {
+                (false, false) => GateKind::And,
+                (false, true) => GateKind::Nand,
+                (true, false) => GateKind::Or,
+                (true, true) => GateKind::Nor,
+            };
+            Node::Wire(mk_gate(b, hash, inverse, out_kind, wires))
+        }
+        GateKind::Xor | GateKind::Xnor => {
+            let mut invert = kind == GateKind::Xnor;
+            let mut counts: HashMap<SignalId, usize> = HashMap::new();
+            let mut order: Vec<SignalId> = Vec::new();
+            for n in ins {
+                match n {
+                    Node::Const(v) => invert ^= v,
+                    Node::Wire(w) => {
+                        let c = counts.entry(*w).or_insert(0);
+                        if *c == 0 {
+                            order.push(*w);
+                        }
+                        *c += 1;
+                    }
+                }
+            }
+            // x ⊕ x = 0: keep wires with odd multiplicity only.
+            let mut wires: Vec<SignalId> =
+                order.into_iter().filter(|w| counts[w] % 2 == 1).collect();
+            wires.sort_unstable();
+            if wires.len() <= 1 {
+                let raw = if wires.is_empty() {
+                    Node::Const(false)
+                } else {
+                    Node::Wire(wires[0])
+                };
+                return if invert {
+                    negate(raw, b, hash, inverse, mk_gate)
+                } else {
+                    raw
+                };
+            }
+            let out_kind = if invert { GateKind::Xnor } else { GateKind::Xor };
+            Node::Wire(mk_gate(b, hash, inverse, out_kind, wires))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn assert_equivalent(a: &Circuit, b: &Circuit, exhaustive_up_to: usize) {
+        assert_eq!(a.inputs().len(), b.inputs().len());
+        assert_eq!(a.outputs().len(), b.outputs().len());
+        let n = a.inputs().len();
+        if n <= exhaustive_up_to {
+            for bits in 0..1u64 << n {
+                let v: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
+                assert_eq!(a.eval(&v).unwrap(), b.eval(&v).unwrap(), "at {bits:b}");
+            }
+        } else {
+            let mut rng = StdRng::seed_from_u64(1);
+            for _ in 0..200 {
+                let v: Vec<bool> = (0..n).map(|_| rng.random_bool(0.5)).collect();
+                assert_eq!(a.eval(&v).unwrap(), b.eval(&v).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn constants_fold_through() {
+        let mut b = Circuit::builder("c");
+        let x = b.input("x");
+        let one = b.constant(true);
+        let zero = b.constant(false);
+        let a = b.and2(x, one); // = x
+        let o = b.or2(a, zero); // = x
+        let n = b.not(o);
+        let nn = b.not(n); // = x
+        let dead = b.xor2(x, one); // unused
+        let _ = dead;
+        b.output("f", nn);
+        let c = b.build().unwrap();
+        let opt = optimize(&c).unwrap();
+        assert_equivalent(&c, &opt, 8);
+        // Everything folds: f = x, zero gates remain.
+        assert_eq!(opt.gates().len(), 0, "{:?}", opt.gates());
+    }
+
+    #[test]
+    fn complements_annihilate() {
+        let mut b = Circuit::builder("c");
+        let x = b.input("x");
+        let y = b.input("y");
+        let nx = b.not(x);
+        let f = b.and2(x, nx); // 0
+        let g = b.or2(y, f); // y
+        b.output("g", g);
+        let c = b.build().unwrap();
+        let opt = optimize(&c).unwrap();
+        assert_equivalent(&c, &opt, 8);
+        assert!(opt.gates().len() <= 1);
+    }
+
+    #[test]
+    fn xor_duplicates_cancel() {
+        let mut b = Circuit::builder("c");
+        let x = b.input("x");
+        let y = b.input("y");
+        let t = b.gate(GateKind::Xor, &[x, y, x]); // = y
+        b.output("t", t);
+        let c = b.build().unwrap();
+        let opt = optimize(&c).unwrap();
+        assert_equivalent(&c, &opt, 8);
+        assert_eq!(opt.gates().len(), 0);
+    }
+
+    #[test]
+    fn structural_hashing_shares_gates() {
+        let mut b = Circuit::builder("c");
+        let x = b.input("x");
+        let y = b.input("y");
+        let a1 = b.and2(x, y);
+        let a2 = b.and2(y, x); // same gate, commuted
+        let f = b.xor2(a1, a2); // = 0
+        let g = b.or2(a1, a2); // = a1
+        b.output("f", f);
+        b.output("g", g);
+        let c = b.build().unwrap();
+        let opt = optimize(&c).unwrap();
+        assert_equivalent(&c, &opt, 8);
+        // f collapses to constant 0, g to one shared AND.
+        assert!(opt.gates().len() <= 2, "{:?}", opt.gates());
+    }
+
+    #[test]
+    fn generators_survive_optimisation() {
+        for c in [
+            generators::ripple_carry_adder(4),
+            generators::magnitude_comparator(4),
+            generators::alu_181(),
+            generators::random_logic("r", 7, 50, 3, 3),
+        ] {
+            let opt = optimize(&c).unwrap();
+            assert_equivalent(&c, &opt, 14);
+            assert!(opt.gates().len() <= c.gates().len());
+        }
+    }
+
+    #[test]
+    fn optimisation_is_idempotent() {
+        let c = generators::random_logic("r", 6, 60, 3, 9);
+        let once = optimize(&c).unwrap();
+        let twice = optimize(&once).unwrap();
+        assert_eq!(once.gates().len(), twice.gates().len());
+        assert_equivalent(&once, &twice, 6);
+    }
+
+    #[test]
+    fn partial_circuits_keep_undriven_leaves() {
+        let mut b = Circuit::builder("p");
+        let x = b.input("x");
+        let z = b.signal("bb");
+        let one = b.constant(true);
+        let t = b.and2(z, one); // = z
+        let f = b.or2(x, t);
+        b.output("f", f);
+        let c = b.build_allow_undriven().unwrap();
+        let opt = optimize(&c).unwrap();
+        assert_eq!(opt.undriven_signals().len(), 1);
+        // Simplified to a single OR reading the box output directly.
+        assert_eq!(opt.gates().len(), 1);
+        use crate::ternary::Tv;
+        assert_eq!(opt.eval_ternary(&[Tv::Zero]).unwrap(), vec![Tv::X]);
+        assert_eq!(opt.eval_ternary(&[Tv::One]).unwrap(), vec![Tv::One]);
+    }
+
+    #[test]
+    fn bigger_random_circuits_shrink() {
+        let c = generators::random_logic("big", 10, 200, 5, 77);
+        let opt = optimize(&c).unwrap();
+        assert_equivalent(&c, &opt, 10);
+        assert!(
+            opt.gates().len() < c.gates().len(),
+            "no shrink: {} -> {}",
+            c.gates().len(),
+            opt.gates().len()
+        );
+    }
+}

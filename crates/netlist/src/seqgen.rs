@@ -1,0 +1,283 @@
+//! Sequential benchmark generators.
+//!
+//! Each generator returns a *transition circuit* plus state bookkeeping in
+//! the convention of `bbec-core`'s time-frame expansion: the circuit is
+//! combinational, some inputs are current-state bits and some outputs are
+//! next-state bits, paired by position.
+
+use crate::circuit::{Circuit, SignalId};
+use crate::gate::GateKind;
+
+/// A sequential design description: transition circuit, state pairing
+/// `(input position, output position)` and reset values.
+#[derive(Debug, Clone)]
+pub struct SequentialDesign {
+    pub circuit: Circuit,
+    pub state: Vec<(usize, usize)>,
+    pub initial: Vec<bool>,
+}
+
+/// An `n`-bit binary counter with enable and synchronous clear.
+///
+/// Free inputs: `en clr`; observable output: `carry`; state: `s0..s<n>`.
+///
+/// # Panics
+///
+/// Panics if `bits == 0`.
+pub fn counter(bits: usize) -> SequentialDesign {
+    assert!(bits > 0);
+    let mut b = Circuit::builder(&format!("cnt{bits}"));
+    let en = b.input("en");
+    let clr = b.input("clr");
+    let s: Vec<SignalId> = (0..bits).map(|i| b.input(&format!("s{i}"))).collect();
+    let nclr = b.not(clr);
+    let mut carry = en;
+    let mut next = Vec::new();
+    for &bit in &s {
+        let sum = b.xor2(bit, carry);
+        let gated = b.and2(sum, nclr);
+        next.push(gated);
+        carry = b.and2(bit, carry);
+    }
+    b.output("carry", carry);
+    for (i, &n) in next.iter().enumerate() {
+        b.output(&format!("n{i}"), n);
+    }
+    let circuit = b.build().expect("valid counter");
+    SequentialDesign {
+        circuit,
+        state: (0..bits).map(|i| (2 + i, 1 + i)).collect(),
+        initial: vec![false; bits],
+    }
+}
+
+/// An `n`-bit linear-feedback shift register (Fibonacci form) with a
+/// parallel-load input and an observable serial output.
+///
+/// Free inputs: `load din`; observable output: `dout`; state: `r0..r<n>`.
+/// Taps at the two highest bits (maximal for n = 3, 4, 6, 7, …).
+///
+/// # Panics
+///
+/// Panics if `bits < 2`.
+pub fn lfsr(bits: usize) -> SequentialDesign {
+    assert!(bits >= 2);
+    let mut b = Circuit::builder(&format!("lfsr{bits}"));
+    let load = b.input("load");
+    let din = b.input("din");
+    let r: Vec<SignalId> = (0..bits).map(|i| b.input(&format!("r{i}"))).collect();
+    let feedback = b.xor2(r[bits - 1], r[bits - 2]);
+    let mut next = Vec::new();
+    for i in 0..bits {
+        let shifted = if i == 0 { feedback } else { r[i - 1] };
+        // Parallel load overrides the shift (bit 0 gets din, others clear).
+        let loaded = if i == 0 { din } else { b.constant(false) };
+        next.push(b.mux(load, shifted, loaded));
+    }
+    b.output("dout", r[bits - 1]);
+    for (i, &n) in next.iter().enumerate() {
+        b.output(&format!("n{i}"), n);
+    }
+    let circuit = b.build().expect("valid LFSR");
+    SequentialDesign {
+        circuit,
+        state: (0..bits).map(|i| (2 + i, 1 + i)).collect(),
+        // Non-zero seed so the register cycles from reset.
+        initial: (0..bits).map(|i| i == 0).collect(),
+    }
+}
+
+/// A "101"-sequence detector (Mealy) over a serial input.
+///
+/// Free input: `x`; observable output: `hit`; 2 state bits one-hot-ish
+/// encoding of {seen ∅, seen 1, seen 10}.
+pub fn sequence_detector() -> SequentialDesign {
+    let mut b = Circuit::builder("seq101");
+    let x = b.input("x");
+    let s1 = b.input("s1"); // "last was 1"
+    let s10 = b.input("s10"); // "last two were 10"
+    let nx = b.not(x);
+    // hit = in state 10 and reading 1.
+    let hit = b.and2(s10, x);
+    // next s1: reading a 1 (from anywhere).
+    let n1 = b.buf(x);
+    // next s10: was in s1 and read a 0.
+    let n10 = b.and2(s1, nx);
+    b.output("hit", hit);
+    b.output("n1", n1);
+    b.output("n10", n10);
+    let circuit = b.build().expect("valid detector");
+    SequentialDesign {
+        circuit,
+        state: vec![(1, 1), (2, 2)],
+        initial: vec![false, false],
+    }
+}
+
+/// A simple traffic-light controller (2-bit state machine with a request
+/// input and one-hot light outputs).
+///
+/// Free input: `req`; observable outputs: `red yellow green`; state: 2 bits
+/// cycling Red → Green (on request) → Yellow → Red.
+pub fn traffic_light() -> SequentialDesign {
+    let mut b = Circuit::builder("traffic");
+    let req = b.input("req");
+    let s0 = b.input("s0");
+    let s1 = b.input("s1");
+    // States: 00 = red, 01 = green, 10 = yellow (11 unused -> red).
+    let ns0_unused = b.not(s1);
+    let red = {
+        let n0 = b.not(s0);
+        b.and2(ns0_unused, n0)
+    };
+    let green = {
+        let n1 = b.not(s1);
+        b.and2(n1, s0)
+    };
+    let yellow = {
+        let n0 = b.not(s0);
+        b.and2(s1, n0)
+    };
+    // Transitions: red+req -> green; green -> yellow; yellow -> red.
+    let n_s0 = b.and2(red, req); // to green
+    let n_s1 = b.buf(green); // to yellow
+    b.output("red", red);
+    b.output("yellow", yellow);
+    b.output("green", green);
+    b.output("n0", n_s0);
+    b.output("n1", n_s1);
+    let circuit = b.build().expect("valid controller");
+    SequentialDesign {
+        circuit,
+        state: vec![(1, 3), (2, 4)],
+        initial: vec![false, false],
+    }
+}
+
+/// A shift register with taps XOR-ed into a parity output — a pipeline-like
+/// workload whose errors need several frames to surface.
+///
+/// # Panics
+///
+/// Panics if `bits == 0`.
+pub fn tapped_shift_register(bits: usize) -> SequentialDesign {
+    assert!(bits > 0);
+    let mut b = Circuit::builder(&format!("shift{bits}"));
+    let din = b.input("din");
+    let r: Vec<SignalId> = (0..bits).map(|i| b.input(&format!("r{i}"))).collect();
+    let taps: Vec<SignalId> = r.iter().copied().step_by(2).collect();
+    let parity = b.tree(GateKind::Xor, &taps);
+    b.output("parity", parity);
+    for i in 0..bits {
+        let v = if i == 0 { din } else { r[i - 1] };
+        let buffered = b.buf(v);
+        b.output(&format!("n{i}"), buffered);
+    }
+    let circuit = b.build().expect("valid shift register");
+    SequentialDesign {
+        circuit,
+        state: (0..bits).map(|i| (1 + i, 1 + i)).collect(),
+        initial: vec![false; bits],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Steps a design's transition circuit `k` times in software.
+    fn simulate(design: &SequentialDesign, free_inputs: &[Vec<bool>]) -> Vec<Vec<bool>> {
+        let mut state: Vec<bool> = design.initial.clone();
+        let n_in = design.circuit.inputs().len();
+        let state_in: Vec<usize> = design.state.iter().map(|&(i, _)| i).collect();
+        let mut observations = Vec::new();
+        for frame_inputs in free_inputs {
+            let mut inputs = vec![false; n_in];
+            let mut fi = frame_inputs.iter();
+            for pos in 0..n_in {
+                if let Some(k) = state_in.iter().position(|&p| p == pos) {
+                    inputs[pos] = state[k];
+                } else {
+                    inputs[pos] = *fi.next().expect("enough free inputs");
+                }
+            }
+            let out = design.circuit.eval(&inputs).unwrap();
+            let state_out: Vec<usize> = design.state.iter().map(|&(_, o)| o).collect();
+            observations.push(
+                out.iter()
+                    .enumerate()
+                    .filter(|(i, _)| !state_out.contains(i))
+                    .map(|(_, &v)| v)
+                    .collect(),
+            );
+            state = design.state.iter().map(|&(_, o)| out[o]).collect();
+        }
+        observations
+    }
+
+    #[test]
+    fn counter_carries_on_overflow() {
+        let d = counter(2);
+        // Enable 5 steps, never clear: carry fires stepping 3 -> 0.
+        let steps: Vec<Vec<bool>> = (0..5).map(|_| vec![true, false]).collect();
+        let obs = simulate(&d, &steps);
+        let carries: Vec<bool> = obs.iter().map(|o| o[0]).collect();
+        assert_eq!(carries, vec![false, false, false, true, false]);
+        // Clear forces the state back to zero.
+        let steps = vec![vec![true, false], vec![true, true], vec![true, false]];
+        let obs = simulate(&d, &steps);
+        assert!(!obs[2][0], "cleared counter cannot carry immediately");
+    }
+
+    #[test]
+    fn lfsr_cycles_with_max_period_for_4_bits() {
+        let d = lfsr(4);
+        // Taps 3,2 are maximal for 4 bits: period 15 from any nonzero seed.
+        let steps: Vec<Vec<bool>> = (0..15).map(|_| vec![false, false]).collect();
+        let obs = simulate(&d, &steps);
+        let stream: Vec<bool> = obs.iter().map(|o| o[0]).collect();
+        // The output stream over one period contains both values.
+        assert!(stream.iter().any(|&v| v));
+        assert!(stream.iter().any(|&v| !v));
+    }
+
+    #[test]
+    fn detector_fires_on_101() {
+        let d = sequence_detector();
+        let steps: Vec<Vec<bool>> =
+            [true, false, true, false, true].iter().map(|&x| vec![x]).collect();
+        let obs = simulate(&d, &steps);
+        let hits: Vec<bool> = obs.iter().map(|o| o[0]).collect();
+        // 1,0,1 -> hit at step 2; 0,1 after 10 -> hit at step 4.
+        assert_eq!(hits, vec![false, false, true, false, true]);
+    }
+
+    #[test]
+    fn traffic_light_cycles_on_request() {
+        let d = traffic_light();
+        let steps: Vec<Vec<bool>> = (0..4).map(|i| vec![i == 0]).collect();
+        let obs = simulate(&d, &steps);
+        // Frame 0: red; frame 1: green; frame 2: yellow; frame 3: red.
+        let labels = ["red", "green", "yellow", "red"];
+        for (frame, label) in labels.iter().enumerate() {
+            let (r, y, g) = (obs[frame][0], obs[frame][1], obs[frame][2]);
+            match *label {
+                "red" => assert!(r && !y && !g, "frame {frame}"),
+                "yellow" => assert!(!r && y && !g, "frame {frame}"),
+                "green" => assert!(!r && !y && g, "frame {frame}"),
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    #[test]
+    fn shift_register_delays_input() {
+        let d = tapped_shift_register(4);
+        // Push a single 1 through; parity tracks taps r0, r2.
+        let steps: Vec<Vec<bool>> = (0..6).map(|i| vec![i == 0]).collect();
+        let obs = simulate(&d, &steps);
+        let parity: Vec<bool> = obs.iter().map(|o| o[0]).collect();
+        // The 1 sits at r0 in frame 1 and r2 in frame 3.
+        assert_eq!(parity, vec![false, true, false, true, false, false]);
+    }
+}

@@ -1,0 +1,176 @@
+//! Three-valued (0, 1, X) logic, as used in test-pattern simulation and the
+//! paper's 0,1,X check (Section 2.1).
+
+use std::fmt;
+
+/// A ternary signal value: definite `0`, definite `1`, or unknown `X`.
+///
+/// `X` models the unknown output of a black box; the propagation rules are
+/// Kleene's strong three-valued logic, which is exactly the gate-wise rule
+/// the paper states: a gate output is `X` iff two different replacements of
+/// the `X` inputs by constants produce different outputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Tv {
+    /// Definitely 0 regardless of black-box behaviour.
+    Zero,
+    /// Definitely 1 regardless of black-box behaviour.
+    One,
+    /// Unknown: depends on signals outside the simulated fragment.
+    #[default]
+    X,
+}
+
+impl Tv {
+    /// Ternary conjunction: 0 dominates, X otherwise infects.
+    #[must_use]
+    pub fn and(self, other: Tv) -> Tv {
+        match (self, other) {
+            (Tv::Zero, _) | (_, Tv::Zero) => Tv::Zero,
+            (Tv::One, Tv::One) => Tv::One,
+            _ => Tv::X,
+        }
+    }
+
+    /// Ternary disjunction: 1 dominates, X otherwise infects.
+    #[must_use]
+    pub fn or(self, other: Tv) -> Tv {
+        match (self, other) {
+            (Tv::One, _) | (_, Tv::One) => Tv::One,
+            (Tv::Zero, Tv::Zero) => Tv::Zero,
+            _ => Tv::X,
+        }
+    }
+
+    /// Ternary exclusive or: any X makes the result X.
+    #[must_use]
+    pub fn xor(self, other: Tv) -> Tv {
+        match (self, other) {
+            (Tv::X, _) | (_, Tv::X) => Tv::X,
+            (a, b) if a == b => Tv::Zero,
+            _ => Tv::One,
+        }
+    }
+
+    /// Ternary negation; X stays X.
+    #[must_use]
+    pub fn not(self) -> Tv {
+        match self {
+            Tv::Zero => Tv::One,
+            Tv::One => Tv::Zero,
+            Tv::X => Tv::X,
+        }
+    }
+
+    /// Whether the value is definite (not X).
+    pub fn is_definite(self) -> bool {
+        self != Tv::X
+    }
+
+    /// The definite Boolean value, if any.
+    pub fn to_bool(self) -> Option<bool> {
+        match self {
+            Tv::Zero => Some(false),
+            Tv::One => Some(true),
+            Tv::X => None,
+        }
+    }
+}
+
+impl From<bool> for Tv {
+    fn from(b: bool) -> Self {
+        if b {
+            Tv::One
+        } else {
+            Tv::Zero
+        }
+    }
+}
+
+impl fmt::Display for Tv {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Tv::Zero => "0",
+            Tv::One => "1",
+            Tv::X => "X",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: [Tv; 3] = [Tv::Zero, Tv::One, Tv::X];
+
+    #[test]
+    fn and_or_match_kleene_tables() {
+        use Tv::*;
+        assert_eq!(Zero.and(X), Zero);
+        assert_eq!(X.and(One), X);
+        assert_eq!(One.and(One), One);
+        assert_eq!(One.or(X), One);
+        assert_eq!(X.or(Zero), X);
+        assert_eq!(Zero.or(Zero), Zero);
+    }
+
+    #[test]
+    fn xor_is_x_infectious() {
+        use Tv::*;
+        assert_eq!(X.xor(X), X);
+        assert_eq!(X.xor(One), X);
+        assert_eq!(One.xor(One), Zero);
+        assert_eq!(One.xor(Zero), One);
+    }
+
+    #[test]
+    fn operations_agree_with_boolean_logic_on_definite_values() {
+        for a in [false, true] {
+            for b in [false, true] {
+                let (ta, tb) = (Tv::from(a), Tv::from(b));
+                assert_eq!(ta.and(tb), Tv::from(a && b));
+                assert_eq!(ta.or(tb), Tv::from(a || b));
+                assert_eq!(ta.xor(tb), Tv::from(a ^ b));
+                assert_eq!(ta.not(), Tv::from(!a));
+            }
+        }
+    }
+
+    #[test]
+    fn x_abstraction_is_sound() {
+        // Whenever an operand is X, the result must cover both possible
+        // concrete refinements: if the two refinements differ, the result
+        // must be X; if they agree, it must be that definite value.
+        for a in ALL {
+            for b in ALL {
+                for (op, bop) in [
+                    (Tv::and as fn(Tv, Tv) -> Tv, (|x, y| x && y) as fn(bool, bool) -> bool),
+                    (Tv::or, |x, y| x || y),
+                    (Tv::xor, |x, y| x ^ y),
+                ] {
+                    let refinements_a: Vec<bool> = match a.to_bool() {
+                        Some(v) => vec![v],
+                        None => vec![false, true],
+                    };
+                    let refinements_b: Vec<bool> = match b.to_bool() {
+                        Some(v) => vec![v],
+                        None => vec![false, true],
+                    };
+                    let mut results = Vec::new();
+                    for &ra in &refinements_a {
+                        for &rb in &refinements_b {
+                            results.push(bop(ra, rb));
+                        }
+                    }
+                    let ternary = op(a, b);
+                    if results.iter().all(|&r| r) {
+                        assert_eq!(ternary, Tv::One, "{a}?{b}");
+                    } else if results.iter().all(|&r| !r) {
+                        assert_eq!(ternary, Tv::Zero, "{a}?{b}");
+                    } else {
+                        assert_eq!(ternary, Tv::X, "{a}?{b}");
+                    }
+                }
+            }
+        }
+    }
+}

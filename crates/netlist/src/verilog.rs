@@ -1,0 +1,137 @@
+//! Structural Verilog netlist writer.
+//!
+//! Emits a synthesisable gate-level module using Verilog primitive gates
+//! (`and`, `or`, `nand`, `nor`, `xor`, `xnor`, `not`, `buf`) — the usual
+//! hand-off format towards commercial EDA flows. Writing only; parsing
+//! Verilog is out of scope for this crate.
+
+use crate::circuit::{Circuit, SignalId};
+use crate::gate::GateKind;
+use std::fmt::Write as _;
+
+/// Renders the circuit as a structural Verilog module.
+///
+/// Signal names are sanitised into Verilog identifiers (non-alphanumeric
+/// characters become `_`; a leading digit gains an `n` prefix). Output
+/// ports whose name differs from the driving signal get a `buf`.
+pub fn write(circuit: &Circuit) -> String {
+    let ident = |name: &str| -> String {
+        let mut out = String::with_capacity(name.len() + 1);
+        for (i, ch) in name.chars().enumerate() {
+            if ch.is_ascii_alphanumeric() || ch == '_' {
+                if i == 0 && ch.is_ascii_digit() {
+                    out.push('n');
+                }
+                out.push(ch);
+            } else {
+                out.push('_');
+            }
+        }
+        if out.is_empty() {
+            out.push('n');
+        }
+        out
+    };
+    let sig = |s: SignalId| ident(circuit.signal_name(s));
+
+    let mut out = String::new();
+    let inputs: Vec<String> = circuit.inputs().iter().map(|&s| sig(s)).collect();
+    let outputs: Vec<String> = circuit.outputs().iter().map(|(n, _)| ident(n)).collect();
+    let mut ports = inputs.clone();
+    ports.extend(outputs.iter().cloned());
+    let _ = writeln!(out, "module {} ({});", ident(circuit.name()), ports.join(", "));
+    for i in &inputs {
+        let _ = writeln!(out, "  input {i};");
+    }
+    for o in &outputs {
+        let _ = writeln!(out, "  output {o};");
+    }
+    // Internal wires: every driven signal that is not a port name.
+    let port_names: std::collections::HashSet<&String> = ports.iter().collect();
+    for gate in circuit.gates() {
+        let w = sig(gate.output);
+        if !port_names.contains(&w) {
+            let _ = writeln!(out, "  wire {w};");
+        }
+    }
+    let mut instance = 0usize;
+    for &g in circuit.topo_order() {
+        let gate = &circuit.gates()[g as usize];
+        instance += 1;
+        let o = sig(gate.output);
+        let ins: Vec<String> = gate.inputs.iter().map(|&s| sig(s)).collect();
+        match gate.kind {
+            GateKind::Const0 => {
+                let _ = writeln!(out, "  assign {o} = 1'b0;");
+            }
+            GateKind::Const1 => {
+                let _ = writeln!(out, "  assign {o} = 1'b1;");
+            }
+            kind => {
+                let prim = kind.name(); // and/or/nand/nor/xor/xnor/not/buf
+                let _ = writeln!(out, "  {prim} g{instance} ({o}, {});", ins.join(", "));
+            }
+        }
+    }
+    // Port-name buffers where output ports alias internal signals.
+    for (name, s) in circuit.outputs() {
+        let port = ident(name);
+        let from = sig(*s);
+        if port != from {
+            instance += 1;
+            let _ = writeln!(out, "  buf g{instance} ({port}, {from});");
+        }
+    }
+    out.push_str("endmodule\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn adder_module_shape() {
+        let c = generators::ripple_carry_adder(2);
+        let v = write(&c);
+        assert!(v.starts_with("module add2 ("));
+        assert!(v.contains("input a0;"));
+        assert!(v.contains("output cout;"));
+        assert!(v.contains("xor "));
+        assert!(v.trim_end().ends_with("endmodule"));
+        // One gate instance per gate (plus port buffers).
+        let instances = v.matches("\n  xor").count()
+            + v.matches("\n  and").count()
+            + v.matches("\n  or").count()
+            + v.matches("\n  buf").count()
+            + v.matches("\n  not").count();
+        assert!(instances >= c.gates().len());
+    }
+
+    #[test]
+    fn constants_become_assigns() {
+        let mut b = crate::Circuit::builder("k");
+        let x = b.input("x");
+        let one = b.constant(true);
+        let f = b.and2(x, one);
+        b.output("f", f);
+        let c = b.build().unwrap();
+        let v = write(&c);
+        assert!(v.contains("assign"));
+        assert!(v.contains("1'b1"));
+    }
+
+    #[test]
+    fn identifiers_are_sanitised() {
+        let mut b = crate::Circuit::builder("weird.name");
+        let x = b.input("3bad-name");
+        b.output("out[0]", x);
+        let c = b.build().unwrap();
+        let v = write(&c);
+        assert!(v.contains("module weird_name"));
+        assert!(v.contains("n3bad_name"));
+        assert!(v.contains("out_0_"));
+        assert!(!v.contains('['));
+    }
+}

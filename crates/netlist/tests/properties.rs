@@ -1,0 +1,151 @@
+//! Cross-module property tests for the netlist crate.
+
+use bbec_netlist::{benchmarks, generators, mutate::Mutation, Circuit, Tv};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_inputs(rng: &mut StdRng, n: usize) -> Vec<bool> {
+    (0..n).map(|_| rng.random_bool(0.5)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Ternary simulation with definite inputs agrees with Boolean
+    /// simulation on every generated random circuit.
+    #[test]
+    fn ternary_refines_boolean(seed in 0u64..500, gates in 10usize..60) {
+        let c = generators::random_logic("r", 6, gates, 3, seed);
+        for bits in 0..64u32 {
+            let inputs: Vec<bool> = (0..6).map(|i| bits >> i & 1 == 1).collect();
+            let tv: Vec<Tv> = inputs.iter().map(|&b| Tv::from(b)).collect();
+            let bool_out = c.eval(&inputs).unwrap();
+            let tv_out = c.eval_ternary(&tv).unwrap();
+            for (b, t) in bool_out.iter().zip(&tv_out) {
+                prop_assert_eq!(Tv::from(*b), *t);
+            }
+        }
+    }
+
+    /// An X injected at one input only ever *widens* outputs: definite
+    /// ternary outputs must match the Boolean outputs for both refinements.
+    #[test]
+    fn x_outputs_cover_both_refinements(seed in 0u64..200, which in 0usize..6) {
+        let c = generators::random_logic("r", 6, 40, 3, seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xdead);
+        let base = random_inputs(&mut rng, 6);
+        let mut tv: Vec<Tv> = base.iter().map(|&b| Tv::from(b)).collect();
+        tv[which] = Tv::X;
+        let tv_out = c.eval_ternary(&tv).unwrap();
+        let mut lo = base.clone();
+        lo[which] = false;
+        let mut hi = base;
+        hi[which] = true;
+        let out_lo = c.eval(&lo).unwrap();
+        let out_hi = c.eval(&hi).unwrap();
+        for ((t, a), b) in tv_out.iter().zip(&out_lo).zip(&out_hi) {
+            if let Some(v) = t.to_bool() {
+                prop_assert_eq!(v, *a);
+                prop_assert_eq!(v, *b);
+            }
+        }
+    }
+
+    /// `.bench` and BLIF round-trips preserve the function of random
+    /// circuits.
+    #[test]
+    fn format_round_trips(seed in 0u64..200) {
+        let c = generators::random_logic("rt", 5, 30, 3, seed);
+        let bench_text = bbec_netlist::bench::write(&c).unwrap();
+        let from_bench = bbec_netlist::bench::parse("rt2", &bench_text).unwrap();
+        let blif_text = bbec_netlist::blif::write(&c);
+        let from_blif = bbec_netlist::blif::parse(&blif_text).unwrap();
+        for bits in 0..32u32 {
+            let inputs: Vec<bool> = (0..5).map(|i| bits >> i & 1 == 1).collect();
+            let expect = c.eval(&inputs).unwrap();
+            prop_assert_eq!(&from_bench.eval(&inputs).unwrap(), &expect);
+            prop_assert_eq!(&from_blif.eval(&inputs).unwrap(), &expect);
+        }
+    }
+
+    /// Mutations always yield valid, evaluable netlists with the same
+    /// interface.
+    #[test]
+    fn mutations_keep_interface(seed in 0u64..300) {
+        let c = generators::random_logic("m", 6, 50, 4, seed);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let all: Vec<u32> = (0..c.gates().len() as u32).collect();
+        let m = Mutation::random(&c, &all, &mut rng).unwrap();
+        let faulty = m.apply(&c).unwrap();
+        prop_assert_eq!(faulty.inputs().len(), c.inputs().len());
+        prop_assert_eq!(faulty.outputs().len(), c.outputs().len());
+        let inputs = random_inputs(&mut rng, 6);
+        let _ = faulty.eval(&inputs).unwrap();
+    }
+
+    /// Removing gates never breaks validity and turns exactly the removed
+    /// drivers into undriven signals.
+    #[test]
+    fn gate_removal_creates_undriven(seed in 0u64..200, frac in 1usize..5) {
+        let c = generators::random_logic("g", 6, 40, 3, seed);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let removed: Vec<u32> = (0..c.gates().len() as u32)
+            .filter(|_| rng.random_range(0..10) < frac)
+            .collect();
+        let partial = c.without_gates(&removed);
+        prop_assert_eq!(partial.gates().len(), c.gates().len() - removed.len());
+        // The generator prunes dead logic but leaves their (unreferenced)
+        // output signals undriven, so count relative to the base circuit.
+        prop_assert_eq!(
+            partial.undriven_signals().len(),
+            c.undriven_signals().len() + removed.len()
+        );
+        // Ternary simulation still works with Xs at the holes.
+        let tv: Vec<Tv> = random_inputs(&mut rng, 6).into_iter().map(Tv::from).collect();
+        let _ = partial.eval_ternary(&tv).unwrap();
+    }
+}
+
+/// The benchmark suite round-trips through `.bench` except where constants
+/// appear (alu4 uses constant gates, which `.bench` cannot express).
+#[test]
+fn benchmark_suite_serialises() {
+    let mut rng = StdRng::seed_from_u64(17);
+    for b in benchmarks::suite() {
+        let blif = bbec_netlist::blif::write(&b.circuit);
+        let parsed: Circuit = bbec_netlist::blif::parse(&blif).unwrap();
+        for _ in 0..10 {
+            let inputs = random_inputs(&mut rng, b.circuit.inputs().len());
+            assert_eq!(
+                b.circuit.eval(&inputs).unwrap(),
+                parsed.eval(&inputs).unwrap(),
+                "{} blif round-trip",
+                b.name
+            );
+        }
+    }
+}
+
+/// Inserted errors are usually behaviour-changing on at least one random
+/// vector — sanity for the experiment harness' error insertion.
+#[test]
+fn mutations_usually_change_behaviour() {
+    let c = generators::alu_181();
+    let mut rng = StdRng::seed_from_u64(5);
+    let all: Vec<u32> = (0..c.gates().len() as u32).collect();
+    let mut changed = 0;
+    let trials = 40;
+    for _ in 0..trials {
+        let m = Mutation::random(&c, &all, &mut rng).unwrap();
+        let faulty = m.apply(&c).unwrap();
+        let differs = (0..200).any(|_| {
+            let inputs: Vec<bool> = (0..14).map(|_| rng.random_bool(0.5)).collect();
+            c.eval(&inputs).unwrap() != faulty.eval(&inputs).unwrap()
+        });
+        if differs {
+            changed += 1;
+        }
+    }
+    assert!(changed >= trials / 2, "only {changed}/{trials} mutations changed behaviour");
+}

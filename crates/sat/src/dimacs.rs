@@ -1,0 +1,134 @@
+//! DIMACS CNF reading and writing.
+
+use crate::lit::{Lit, Var};
+use std::error::Error;
+use std::fmt;
+
+/// A plain CNF container, convertible to and from DIMACS text.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Cnf {
+    /// Number of variables (variables are `0..num_vars`).
+    pub num_vars: usize,
+    /// The clauses.
+    pub clauses: Vec<Vec<Lit>>,
+}
+
+/// Error parsing DIMACS text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseDimacsError(String);
+
+impl fmt::Display for ParseDimacsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid DIMACS: {}", self.0)
+    }
+}
+
+impl Error for ParseDimacsError {}
+
+impl Cnf {
+    /// Parses DIMACS CNF text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseDimacsError`] on malformed headers, non-integer
+    /// tokens, or variable indices above the header's bound.
+    pub fn parse(text: &str) -> Result<Cnf, ParseDimacsError> {
+        let mut num_vars: Option<usize> = None;
+        let mut clauses = Vec::new();
+        let mut current: Vec<Lit> = Vec::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('c') {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix('p') {
+                let mut parts = rest.split_whitespace();
+                if parts.next() != Some("cnf") {
+                    return Err(ParseDimacsError("expected `p cnf`".to_string()));
+                }
+                let nv = parts
+                    .next()
+                    .and_then(|t| t.parse::<usize>().ok())
+                    .ok_or_else(|| ParseDimacsError("bad variable count".to_string()))?;
+                num_vars = Some(nv);
+                continue;
+            }
+            for tok in line.split_whitespace() {
+                let n: i64 = tok
+                    .parse()
+                    .map_err(|_| ParseDimacsError(format!("bad literal `{tok}`")))?;
+                if n == 0 {
+                    clauses.push(std::mem::take(&mut current));
+                } else {
+                    let v = n.unsigned_abs() as usize - 1;
+                    let bound =
+                        num_vars.ok_or_else(|| ParseDimacsError("clause before header".into()))?;
+                    if v >= bound {
+                        return Err(ParseDimacsError(format!("variable {} out of range", v + 1)));
+                    }
+                    let var = Var(v as u32);
+                    current.push(if n > 0 { Lit::pos(var) } else { Lit::neg(var) });
+                }
+            }
+        }
+        if !current.is_empty() {
+            clauses.push(current);
+        }
+        Ok(Cnf { num_vars: num_vars.unwrap_or(0), clauses })
+    }
+
+    /// Renders the formula as DIMACS text.
+    pub fn to_dimacs(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = format!("p cnf {} {}\n", self.num_vars, self.clauses.len());
+        for clause in &self.clauses {
+            for &l in clause {
+                let n = l.var().index() as i64 + 1;
+                let _ = write!(out, "{} ", if l.is_neg() { -n } else { n });
+            }
+            out.push_str("0\n");
+        }
+        out
+    }
+
+    /// Loads the formula into a fresh [`crate::Solver`].
+    pub fn to_solver(&self) -> crate::Solver {
+        let mut s = crate::Solver::new();
+        s.new_vars(self.num_vars);
+        for clause in &self.clauses {
+            s.add_clause(clause);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_solve() {
+        let text = "c a comment\np cnf 3 3\n1 2 0\n-1 3 0\n-2 -3 0\n";
+        let cnf = Cnf::parse(text).unwrap();
+        assert_eq!(cnf.num_vars, 3);
+        assert_eq!(cnf.clauses.len(), 3);
+        let mut s = cnf.to_solver();
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn round_trip() {
+        let text = "p cnf 2 2\n1 -2 0\n2 0\n";
+        let cnf = Cnf::parse(text).unwrap();
+        let again = Cnf::parse(&cnf.to_dimacs()).unwrap();
+        assert_eq!(cnf, again);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Cnf::parse("p dnf 1 1\n1 0").is_err());
+        assert!(Cnf::parse("p cnf 1 1\nx 0").is_err());
+        assert!(Cnf::parse("1 0\n").is_err());
+        assert!(Cnf::parse("p cnf 1 1\n5 0\n").is_err());
+    }
+}

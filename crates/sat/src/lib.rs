@@ -1,0 +1,38 @@
+//! # bbec-sat — a CDCL SAT solver with circuit encodings
+//!
+//! The SAT substrate the reproduced paper names as future work ("we plan to
+//! compare our BDD based implementation of the different checks to a version
+//! using SAT engines"): a from-scratch conflict-driven clause-learning
+//! solver in the GRASP/MiniSat lineage, plus
+//!
+//! * a Tseitin encoder from [`bbec_netlist::Circuit`] netlists to CNF
+//!   ([`tseitin`]),
+//! * DIMACS reading and writing ([`dimacs`]),
+//! * a CEGAR ∃∀ (2QBF) engine ([`qbf`]) used for the SAT-based output-exact
+//!   check.
+//!
+//! ## Example
+//!
+//! ```rust
+//! use bbec_sat::{Solver, Lit};
+//!
+//! let mut s = Solver::new();
+//! let a = s.new_var();
+//! let b = s.new_var();
+//! // (a ∨ b) ∧ (¬a ∨ b) ∧ (¬b ∨ a) — forces a = b = true.
+//! s.add_clause(&[Lit::pos(a), Lit::pos(b)]);
+//! s.add_clause(&[Lit::neg(a), Lit::pos(b)]);
+//! s.add_clause(&[Lit::neg(b), Lit::pos(a)]);
+//! assert!(s.solve().is_sat());
+//! assert_eq!(s.value(a), Some(true));
+//! assert_eq!(s.value(b), Some(true));
+//! ```
+
+pub mod dimacs;
+mod lit;
+pub mod qbf;
+mod solver;
+pub mod tseitin;
+
+pub use lit::{Lit, Var};
+pub use solver::{SolveResult, Solver};

@@ -1,0 +1,124 @@
+//! Variables and literals.
+
+use std::fmt;
+use std::ops::Not;
+
+/// A propositional variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(pub(crate) u32);
+
+impl Var {
+    /// A variable with the given zero-based index.
+    ///
+    /// Only meaningful for indices the target solver has actually created
+    /// (e.g. when rebuilding literals for a parsed DIMACS formula).
+    pub fn new(index: u32) -> Var {
+        Var(index)
+    }
+
+    /// Zero-based index of the variable.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A literal: a variable with a sign.
+///
+/// Encoded as `2·var + sign` so literals index watch lists directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit(pub(crate) u32);
+
+impl Lit {
+    /// The positive literal of `var`.
+    pub fn pos(var: Var) -> Lit {
+        Lit(var.0 << 1)
+    }
+
+    /// The negative literal of `var`.
+    pub fn neg(var: Var) -> Lit {
+        Lit(var.0 << 1 | 1)
+    }
+
+    /// `var` if `value` else `¬var` — the literal satisfied by the
+    /// assignment `var := value`.
+    pub fn with_value(var: Var, value: bool) -> Lit {
+        if value {
+            Lit::pos(var)
+        } else {
+            Lit::neg(var)
+        }
+    }
+
+    /// The underlying variable.
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// `true` for a negated literal.
+    pub fn is_neg(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// Dense index (`2·var + sign`), used for watch lists.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The Boolean this literal asserts for its variable.
+    pub fn asserted_value(self) -> bool {
+        !self.is_neg()
+    }
+}
+
+impl Not for Lit {
+    type Output = Lit;
+
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_neg() {
+            write!(f, "¬x{}", self.var().0)
+        } else {
+            write!(f, "x{}", self.var().0)
+        }
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_encoding_round_trips() {
+        let v = Var(7);
+        let p = Lit::pos(v);
+        let n = Lit::neg(v);
+        assert_eq!(p.var(), v);
+        assert_eq!(n.var(), v);
+        assert!(!p.is_neg());
+        assert!(n.is_neg());
+        assert_eq!(!p, n);
+        assert_eq!(!n, p);
+        assert_eq!(Lit::with_value(v, true), p);
+        assert_eq!(Lit::with_value(v, false), n);
+        assert!(p.asserted_value());
+        assert!(!n.asserted_value());
+    }
+
+    #[test]
+    fn indices_are_dense() {
+        assert_eq!(Lit::pos(Var(0)).index(), 0);
+        assert_eq!(Lit::neg(Var(0)).index(), 1);
+        assert_eq!(Lit::pos(Var(3)).index(), 6);
+    }
+}

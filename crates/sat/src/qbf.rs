@@ -1,0 +1,284 @@
+//! A CEGAR engine for 2QBF (`∃X ∀Y. φ`) over circuit predicates.
+//!
+//! This is the counterexample-guided abstraction refinement loop of
+//! Janota/Marques-Silva-style 2QBF solvers: an *abstraction* solver proposes
+//! candidate `X` assignments, a *verification* SAT call searches a `Y`
+//! refuting the candidate, and every refuting `Y` is folded back into the
+//! abstraction as a fresh cofactor copy of `φ`.
+//!
+//! The black-box output-exact check (Lemma 2.2 of the reproduced paper) is
+//! exactly such a query — `∃ inputs ∀ black-box outputs. some output
+//! differs` — which makes this module the paper's "SAT engines" future-work
+//! arm.
+
+use crate::lit::Lit;
+use crate::solver::Solver;
+use crate::tseitin::encode;
+use bbec_netlist::Circuit;
+use std::error::Error;
+use std::fmt;
+
+/// Outcome of an [`exists_forall`] query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExistsForallResult {
+    /// `∃X ∀Y. φ` holds; the witness assigns the existential inputs (in the
+    /// order given to [`exists_forall`]).
+    Witness(Vec<bool>),
+    /// No existential assignment works.
+    NoWitness,
+}
+
+/// The CEGAR loop exceeded its iteration budget.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BudgetExceededError {
+    /// Iterations performed before giving up.
+    pub iterations: usize,
+}
+
+impl fmt::Display for BudgetExceededError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "2QBF refinement budget exceeded after {} iterations", self.iterations)
+    }
+}
+
+impl Error for BudgetExceededError {}
+
+/// Decides `∃X ∀Y. φ(X, Y)` where `φ` is the single output of `circuit`,
+/// `X` is the set of primary inputs listed in `existential` (as indices
+/// into [`Circuit::inputs`]) and `Y` is every other primary input.
+///
+/// `max_iterations` bounds the refinement loop; each iteration adds one
+/// cofactor copy of the circuit to the abstraction, so the bound also caps
+/// memory.
+///
+/// # Errors
+///
+/// [`BudgetExceededError`] if the loop does not converge within the budget.
+///
+/// # Panics
+///
+/// Panics if `circuit` does not have exactly one output or an index in
+/// `existential` is out of range.
+pub fn exists_forall(
+    circuit: &Circuit,
+    existential: &[usize],
+    max_iterations: usize,
+) -> Result<ExistsForallResult, BudgetExceededError> {
+    assert_eq!(circuit.outputs().len(), 1, "φ must be a single-output circuit");
+    let n = circuit.inputs().len();
+    for &i in existential {
+        assert!(i < n, "existential index {i} out of range");
+    }
+    let is_existential: Vec<bool> = {
+        let mut v = vec![false; n];
+        for &i in existential {
+            v[i] = true;
+        }
+        v
+    };
+
+    // The abstraction solver owns one variable per existential input, plus a
+    // pinned constant for binding cofactor copies.
+    let mut abs = Solver::new();
+    let x_lits: Vec<Lit> = existential.iter().map(|_| Lit::pos(abs.new_var())).collect();
+    let abs_true = Lit::pos(abs.new_var());
+    abs.add_clause(&[abs_true]);
+
+    for iteration in 0..max_iterations {
+        if !abs.solve().is_sat() {
+            return Ok(ExistsForallResult::NoWitness);
+        }
+        let candidate: Vec<bool> =
+            x_lits.iter().map(|l| abs.value(l.var()).unwrap_or(false)).collect();
+
+        // Verify: is there a Y with ¬φ(candidate, Y)?
+        let mut ver = Solver::new();
+        let ver_true = Lit::pos(ver.new_var());
+        ver.add_clause(&[ver_true]);
+        let mut bindings: Vec<Option<Lit>> = vec![None; circuit.signal_count()];
+        let mut xi = 0;
+        for (i, &s) in circuit.inputs().iter().enumerate() {
+            if is_existential[i] {
+                let pos = existential.iter().position(|&e| e == i).expect("listed");
+                bindings[s.index()] = Some(if candidate[pos] { ver_true } else { !ver_true });
+                xi += 1;
+            }
+        }
+        let _ = xi;
+        let cnf = encode(&mut ver, circuit, &bindings);
+        ver.add_clause(&[!cnf.output_lits[0]]);
+        if !ver.solve().is_sat() {
+            return Ok(ExistsForallResult::Witness(candidate));
+        }
+        // Refute: fold φ(X, y*) into the abstraction.
+        let y_star: Vec<bool> = circuit
+            .inputs()
+            .iter()
+            .map(|&s| {
+                let l = cnf.lit(s);
+                ver.value(l.var()).unwrap_or(false) != l.is_neg()
+            })
+            .collect();
+        let mut abs_bindings: Vec<Option<Lit>> = vec![None; circuit.signal_count()];
+        for (i, &s) in circuit.inputs().iter().enumerate() {
+            abs_bindings[s.index()] = Some(if is_existential[i] {
+                let pos = existential.iter().position(|&e| e == i).expect("listed");
+                x_lits[pos]
+            } else if y_star[i] {
+                abs_true
+            } else {
+                !abs_true
+            });
+        }
+        let abs_cnf = encode(&mut abs, circuit, &abs_bindings);
+        abs.add_clause(&[abs_cnf.output_lits[0]]);
+        let _ = iteration;
+    }
+    Err(BudgetExceededError { iterations: max_iterations })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bbec_netlist::generators;
+
+    /// Brute-force reference: ∃X ∀Y φ by enumeration.
+    fn brute(circuit: &Circuit, existential: &[usize]) -> Option<Vec<bool>> {
+        let n = circuit.inputs().len();
+        let universal: Vec<usize> = (0..n).filter(|i| !existential.contains(i)).collect();
+        'xs: for xbits in 0..1u32 << existential.len() {
+            for ybits in 0..1u32 << universal.len() {
+                let mut inputs = vec![false; n];
+                for (k, &i) in existential.iter().enumerate() {
+                    inputs[i] = xbits >> k & 1 == 1;
+                }
+                for (k, &i) in universal.iter().enumerate() {
+                    inputs[i] = ybits >> k & 1 == 1;
+                }
+                if !circuit.eval(&inputs).unwrap()[0] {
+                    continue 'xs;
+                }
+            }
+            return Some((0..existential.len()).map(|k| xbits >> k & 1 == 1).collect());
+        }
+        None
+    }
+
+    fn check_against_brute(circuit: &Circuit, existential: &[usize]) {
+        let got = exists_forall(circuit, existential, 10_000).expect("budget");
+        match (brute(circuit, existential), got) {
+            (Some(_), ExistsForallResult::Witness(w)) => {
+                // Verify the returned witness independently.
+                let n = circuit.inputs().len();
+                let universal: Vec<usize> =
+                    (0..n).filter(|i| !existential.contains(i)).collect();
+                for ybits in 0..1u32 << universal.len() {
+                    let mut inputs = vec![false; n];
+                    for (k, &i) in existential.iter().enumerate() {
+                        inputs[i] = w[k];
+                    }
+                    for (k, &i) in universal.iter().enumerate() {
+                        inputs[i] = ybits >> k & 1 == 1;
+                    }
+                    assert!(circuit.eval(&inputs).unwrap()[0], "witness fails at y={ybits:b}");
+                }
+            }
+            (None, ExistsForallResult::NoWitness) => {}
+            (expected, got) => panic!("mismatch: brute={expected:?} cegar={got:?}"),
+        }
+    }
+
+    fn single_output(build: impl FnOnce(&mut bbec_netlist::CircuitBuilder)) -> Circuit {
+        let mut b = Circuit::builder("phi");
+        build(&mut b);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn tautology_in_x() {
+        // φ = x: ∃x ∀(nothing else matters). Witness x = 1.
+        let c = single_output(|b| {
+            let x = b.input("x");
+            let y = b.input("y");
+            let t = b.or2(y, x); // φ = x ∨ y — not ∀y true for any x? x=1 works.
+            b.output("phi", t);
+        });
+        match exists_forall(&c, &[0], 100).unwrap() {
+            ExistsForallResult::Witness(w) => assert_eq!(w, vec![true]),
+            other => panic!("expected witness, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn xor_has_no_witness() {
+        let c = single_output(|b| {
+            let x = b.input("x");
+            let y = b.input("y");
+            let t = b.xor2(x, y);
+            b.output("phi", t);
+        });
+        assert_eq!(exists_forall(&c, &[0], 100).unwrap(), ExistsForallResult::NoWitness);
+    }
+
+    #[test]
+    fn two_existentials_cover_y() {
+        // φ = (x1 ∨ y) ∧ (x2 ∨ ¬y): x1 = x2 = 1 is the only witness.
+        let c = single_output(|b| {
+            let x1 = b.input("x1");
+            let x2 = b.input("x2");
+            let y = b.input("y");
+            let ny = b.not(y);
+            let p = b.or2(x1, y);
+            let q = b.or2(x2, ny);
+            let f = b.and2(p, q);
+            b.output("phi", f);
+        });
+        match exists_forall(&c, &[0, 1], 100).unwrap() {
+            ExistsForallResult::Witness(w) => assert_eq!(w, vec![true, true]),
+            other => panic!("expected witness, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn agrees_with_brute_force_on_random_circuits() {
+        for seed in 0..25 {
+            let mut c = generators::random_logic("q", 6, 25, 1, seed);
+            // random_logic yields 1 output already.
+            assert_eq!(c.outputs().len(), 1);
+            check_against_brute(&mut c, &[0, 2, 4]);
+        }
+    }
+
+    #[test]
+    fn all_inputs_existential_degenerates_to_sat() {
+        let c = single_output(|b| {
+            let x = b.input("x");
+            let y = b.input("y");
+            let f = b.and2(x, y);
+            b.output("phi", f);
+        });
+        match exists_forall(&c, &[0, 1], 100).unwrap() {
+            ExistsForallResult::Witness(w) => assert_eq!(w, vec![true, true]),
+            other => panic!("expected witness, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn all_inputs_universal_degenerates_to_validity() {
+        let c = single_output(|b| {
+            let x = b.input("x");
+            let nx = b.not(x);
+            let f = b.or2(x, nx); // tautology
+            b.output("phi", f);
+        });
+        match exists_forall(&c, &[], 100).unwrap() {
+            ExistsForallResult::Witness(w) => assert!(w.is_empty()),
+            other => panic!("expected empty witness, got {other:?}"),
+        }
+        let c2 = single_output(|b| {
+            let x = b.input("x");
+            b.output("phi", x);
+        });
+        assert_eq!(exists_forall(&c2, &[], 100).unwrap(), ExistsForallResult::NoWitness);
+    }
+}

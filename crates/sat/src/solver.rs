@@ -1,0 +1,877 @@
+//! The CDCL core: two-watched-literal propagation, 1UIP conflict analysis,
+//! VSIDS branching, phase saving and Luby restarts.
+
+use crate::lit::{Lit, Var};
+
+/// Outcome of a [`Solver::solve`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveResult {
+    /// A model was found; read it with [`Solver::value`].
+    Sat,
+    /// The formula (under the given assumptions) is unsatisfiable.
+    Unsat,
+}
+
+impl SolveResult {
+    /// Convenience predicate.
+    pub fn is_sat(self) -> bool {
+        self == SolveResult::Sat
+    }
+}
+
+const UNASSIGNED: u8 = 2;
+
+#[derive(Debug, Clone, Copy)]
+struct Watch {
+    clause: u32,
+    blocker: Lit,
+}
+
+/// Search statistics, exposed for the experiment harness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    pub conflicts: u64,
+    pub decisions: u64,
+    pub propagations: u64,
+    pub restarts: u64,
+    pub learnt_clauses: u64,
+    /// Learnt clauses deleted by database reduction.
+    pub deleted_clauses: u64,
+}
+
+/// A conflict-driven clause-learning SAT solver.
+///
+/// Single-threaded, incremental through assumptions: clauses persist across
+/// [`Solver::solve_with_assumptions`] calls, which is what the CEGAR ∃∀
+/// engine builds on.
+///
+/// # Example
+///
+/// ```rust
+/// use bbec_sat::{Solver, Lit};
+///
+/// let mut s = Solver::new();
+/// let x = s.new_var();
+/// s.add_clause(&[Lit::pos(x)]);
+/// assert!(s.solve().is_sat());
+/// assert!(!s.solve_with_assumptions(&[Lit::neg(x)]).is_sat());
+/// // The permanent clauses are untouched by failed assumptions.
+/// assert!(s.solve().is_sat());
+/// ```
+#[derive(Debug, Default)]
+pub struct Solver {
+    clauses: Vec<Vec<Lit>>,
+    /// Literal-block-distance of learnt clauses (0 for problem clauses);
+    /// drives periodic clause-database reduction.
+    lbd: Vec<u32>,
+    /// Conflicts until the next clause-database reduction.
+    reduce_countdown: u64,
+    reduce_interval: u64,
+    watches: Vec<Vec<Watch>>,
+    /// Assignment per variable: 0 = false, 1 = true, 2 = unassigned.
+    assign: Vec<u8>,
+    level: Vec<u32>,
+    reason: Vec<Option<u32>>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    activity: Vec<f64>,
+    var_inc: f64,
+    /// Binary-heap of variables ordered by activity.
+    heap: Vec<Var>,
+    heap_pos: Vec<Option<u32>>,
+    polarity: Vec<bool>,
+    /// `false` once the clause set is trivially unsatisfiable.
+    ok: bool,
+    stats: SolverStats,
+    seen: Vec<bool>,
+}
+
+impl Solver {
+    /// Creates an empty solver.
+    pub fn new() -> Self {
+        Solver {
+            var_inc: 1.0,
+            ok: true,
+            reduce_countdown: 2_000,
+            reduce_interval: 2_000,
+            ..Default::default()
+        }
+    }
+
+    /// Number of variables created.
+    pub fn num_vars(&self) -> usize {
+        self.assign.len()
+    }
+
+    /// Search statistics so far.
+    pub fn stats(&self) -> SolverStats {
+        self.stats
+    }
+
+    /// Creates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var(self.assign.len() as u32);
+        self.assign.push(UNASSIGNED);
+        self.level.push(0);
+        self.reason.push(None);
+        self.activity.push(0.0);
+        self.polarity.push(false);
+        self.heap_pos.push(None);
+        self.seen.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.heap_insert(v);
+        v
+    }
+
+    /// Sets how many conflicts pass between clause-database reductions
+    /// (default 2000). Mainly a testing hook; smaller values delete learnt
+    /// clauses more eagerly.
+    pub fn set_clause_reduction_interval(&mut self, conflicts: u64) {
+        self.reduce_interval = conflicts;
+        self.reduce_countdown = self.stats.conflicts + conflicts;
+    }
+
+    /// Creates `n` fresh variables.
+    pub fn new_vars(&mut self, n: usize) -> Vec<Var> {
+        (0..n).map(|_| self.new_var()).collect()
+    }
+
+    /// Adds a clause. Returns `false` if the solver is now in an
+    /// unsatisfiable state (empty clause or conflicting units).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a literal mentions a variable that was never created.
+    pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        self.cancel_until(0);
+        if !self.ok {
+            return false;
+        }
+        // Simplify: drop duplicate/false literals, detect tautologies.
+        let mut clause: Vec<Lit> = Vec::with_capacity(lits.len());
+        for &l in lits {
+            assert!(l.var().index() < self.num_vars(), "unknown variable in clause");
+            match self.lit_value(l) {
+                Some(true) => return true, // already satisfied at level 0
+                Some(false) => continue,
+                None => {}
+            }
+            if clause.contains(&!l) {
+                return true; // tautology
+            }
+            if !clause.contains(&l) {
+                clause.push(l);
+            }
+        }
+        match clause.len() {
+            0 => {
+                self.ok = false;
+                false
+            }
+            1 => {
+                if !self.enqueue(clause[0], None) {
+                    self.ok = false;
+                    return false;
+                }
+                self.ok = self.propagate().is_none();
+                self.ok
+            }
+            _ => {
+                self.attach(clause);
+                true
+            }
+        }
+    }
+
+    fn attach(&mut self, clause: Vec<Lit>) {
+        self.attach_with_lbd(clause, 0)
+    }
+
+    fn attach_with_lbd(&mut self, clause: Vec<Lit>, lbd: u32) {
+        let idx = self.clauses.len() as u32;
+        self.watches[(!clause[0]).index()].push(Watch { clause: idx, blocker: clause[1] });
+        self.watches[(!clause[1]).index()].push(Watch { clause: idx, blocker: clause[0] });
+        self.clauses.push(clause);
+        self.lbd.push(lbd);
+    }
+
+    /// Number of distinct decision levels among a clause's literals — the
+    /// standard quality measure for learnt clauses (Glucose).
+    fn clause_lbd(&self, clause: &[Lit]) -> u32 {
+        let mut levels: Vec<u32> =
+            clause.iter().map(|l| self.level[l.var().index()]).collect();
+        levels.sort_unstable();
+        levels.dedup();
+        levels.len() as u32
+    }
+
+    /// Deletes the worst half of the learnt clauses (highest LBD, longest
+    /// first) and rebuilds the watch lists. Reason clauses are kept.
+    fn reduce_db(&mut self) {
+        debug_assert_eq!(self.decision_level(), 0);
+        let locked: std::collections::HashSet<u32> =
+            self.reason.iter().flatten().copied().collect();
+        let mut learnt: Vec<u32> = (0..self.clauses.len() as u32)
+            .filter(|&c| self.lbd[c as usize] > 2 && !locked.contains(&c))
+            .collect();
+        if learnt.len() < 64 {
+            return;
+        }
+        learnt.sort_by_key(|&c| {
+            (std::cmp::Reverse(self.lbd[c as usize]), std::cmp::Reverse(self.clauses[c as usize].len()))
+        });
+        let drop: std::collections::HashSet<u32> =
+            learnt[..learnt.len() / 2].iter().copied().collect();
+        self.stats.deleted_clauses += drop.len() as u64;
+        // Compact the clause database and remap indices.
+        let mut remap: Vec<u32> = vec![u32::MAX; self.clauses.len()];
+        let mut new_clauses = Vec::with_capacity(self.clauses.len() - drop.len());
+        let mut new_lbd = Vec::with_capacity(new_clauses.capacity());
+        for (i, clause) in std::mem::take(&mut self.clauses).into_iter().enumerate() {
+            if drop.contains(&(i as u32)) {
+                continue;
+            }
+            remap[i] = new_clauses.len() as u32;
+            new_clauses.push(clause);
+            new_lbd.push(self.lbd[i]);
+        }
+        self.clauses = new_clauses;
+        self.lbd = new_lbd;
+        for r in self.reason.iter_mut() {
+            if let Some(c) = r {
+                *c = remap[*c as usize];
+                debug_assert_ne!(*c, u32::MAX, "reason clause deleted");
+            }
+        }
+        // Rebuild all watch lists from scratch.
+        for w in &mut self.watches {
+            w.clear();
+        }
+        for (i, clause) in self.clauses.iter().enumerate() {
+            let idx = i as u32;
+            self.watches[(!clause[0]).index()].push(Watch { clause: idx, blocker: clause[1] });
+            self.watches[(!clause[1]).index()].push(Watch { clause: idx, blocker: clause[0] });
+        }
+    }
+
+    /// Solves the current clause set.
+    pub fn solve(&mut self) -> SolveResult {
+        self.solve_with_assumptions(&[])
+    }
+
+    /// Solves under temporary assumptions (removed again afterwards).
+    ///
+    /// On [`SolveResult::Sat`], the model (including the assumptions) can be
+    /// read with [`Solver::value`] until the next mutation.
+    pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SolveResult {
+        self.cancel_until(0);
+        if !self.ok {
+            return SolveResult::Unsat;
+        }
+        let mut restarts = 0u64;
+        let mut conflict_budget = luby(restarts) * 128;
+        let mut conflicts_here = 0u64;
+        let result = 'outer: loop {
+            match self.propagate() {
+                Some(conflict) => {
+                    self.stats.conflicts += 1;
+                    conflicts_here += 1;
+                    if self.decision_level() == 0 {
+                        self.ok = false;
+                        break SolveResult::Unsat;
+                    }
+                    let (learnt, backtrack) = self.analyze(conflict);
+                    if learnt.len() == 1 {
+                        // Learnt units are entailed by the clause set alone
+                        // (independent of assumptions): pin them at level 0.
+                        self.cancel_until(0);
+                        if !self.enqueue(learnt[0], None) {
+                            self.ok = false;
+                            break SolveResult::Unsat;
+                        }
+                    } else {
+                        self.cancel_until(backtrack);
+                        self.learn(learnt);
+                    }
+                    self.decay_activities();
+                }
+                None => {
+                    if conflicts_here >= conflict_budget {
+                        // Restart; the assumption prefix is re-applied below.
+                        restarts += 1;
+                        self.stats.restarts += 1;
+                        conflicts_here = 0;
+                        conflict_budget = luby(restarts) * 128;
+                        self.cancel_until(0);
+                        if self.stats.conflicts >= self.reduce_countdown {
+                            self.reduce_db();
+                            self.reduce_countdown = self.stats.conflicts + self.reduce_interval;
+                        }
+                        continue;
+                    }
+                    // (Re-)apply missing assumptions as pseudo-decisions,
+                    // one decision level per assumption so backjumps keep
+                    // the prefix aligned.
+                    let mut advanced = false;
+                    while self.decision_level() < assumptions.len() as u32 {
+                        let a = assumptions[self.decision_level() as usize];
+                        match self.lit_value(a) {
+                            Some(true) => {
+                                // Already implied: open an empty level so
+                                // the prefix bookkeeping stays aligned.
+                                self.trail_lim.push(self.trail.len());
+                            }
+                            Some(false) => break 'outer SolveResult::Unsat,
+                            None => {
+                                self.trail_lim.push(self.trail.len());
+                                self.enqueue(a, None);
+                                advanced = true;
+                                break;
+                            }
+                        }
+                    }
+                    if advanced {
+                        continue;
+                    }
+                    match self.pick_branch_var() {
+                        None => break SolveResult::Sat,
+                        Some(v) => {
+                            self.stats.decisions += 1;
+                            self.trail_lim.push(self.trail.len());
+                            let lit = Lit::with_value(v, self.polarity[v.index()]);
+                            self.enqueue(lit, None);
+                        }
+                    }
+                }
+            }
+        };
+        // On Sat the trail *is* the model; it stays readable until the next
+        // solve or add_clause, which cancel back to level 0 themselves.
+        result
+    }
+
+    /// Shrinks a failing assumption set to a locally minimal core.
+    ///
+    /// Given assumptions under which the formula is unsatisfiable, returns
+    /// a subset that is still unsatisfiable and from which no single
+    /// assumption can be dropped (destructive minimisation: one solver call
+    /// per assumption, so use on small assumption sets).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the formula is satisfiable under `assumptions`.
+    pub fn minimize_failing_assumptions(&mut self, assumptions: &[Lit]) -> Vec<Lit> {
+        assert!(
+            !self.solve_with_assumptions(assumptions).is_sat(),
+            "assumptions must be failing"
+        );
+        let mut core: Vec<Lit> = assumptions.to_vec();
+        let mut i = 0;
+        while i < core.len() {
+            let mut candidate = core.clone();
+            candidate.remove(i);
+            if self.solve_with_assumptions(&candidate).is_sat() {
+                i += 1; // needed: keep it
+            } else {
+                core = candidate; // redundant: drop it
+            }
+        }
+        core
+    }
+
+    /// The value of `v` in the most recent model.
+    ///
+    /// `None` if `v` was irrelevant (never assigned) or no model is current.
+    pub fn value(&self, v: Var) -> Option<bool> {
+        match self.assign[v.index()] {
+            0 => Some(false),
+            1 => Some(true),
+            _ => None,
+        }
+    }
+
+    /// The full model as a vector indexed by variable (unassigned → false).
+    pub fn model(&self) -> Vec<bool> {
+        (0..self.num_vars()).map(|i| self.assign[i] == 1).collect()
+    }
+
+    fn lit_value(&self, l: Lit) -> Option<bool> {
+        match self.assign[l.var().index()] {
+            UNASSIGNED => None,
+            v => Some((v == 1) != l.is_neg()),
+        }
+    }
+
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    fn enqueue(&mut self, l: Lit, reason: Option<u32>) -> bool {
+        match self.lit_value(l) {
+            Some(v) => v,
+            None => {
+                let idx = l.var().index();
+                self.assign[idx] = u8::from(!l.is_neg());
+                self.level[idx] = self.decision_level();
+                self.reason[idx] = reason;
+                self.polarity[idx] = !l.is_neg();
+                self.trail.push(l);
+                true
+            }
+        }
+    }
+
+    /// Unit propagation; returns the index of a conflicting clause, if any.
+    fn propagate(&mut self) -> Option<u32> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+            let mut i = 0;
+            let false_lit = !p;
+            'watches: while i < self.watches[p.index()].len() {
+                let Watch { clause, blocker } = self.watches[p.index()][i];
+                if self.lit_value(blocker) == Some(true) {
+                    i += 1;
+                    continue;
+                }
+                // Normalise: the false literal goes to slot 1.
+                let ci = clause as usize;
+                if self.clauses[ci][0] == false_lit {
+                    self.clauses[ci].swap(0, 1);
+                }
+                debug_assert_eq!(self.clauses[ci][1], false_lit);
+                let first = self.clauses[ci][0];
+                if first != blocker && self.lit_value(first) == Some(true) {
+                    self.watches[p.index()][i] =
+                        Watch { clause, blocker: first };
+                    i += 1;
+                    continue;
+                }
+                // Look for a new literal to watch.
+                for k in 2..self.clauses[ci].len() {
+                    let cand = self.clauses[ci][k];
+                    if self.lit_value(cand) != Some(false) {
+                        self.clauses[ci].swap(1, k);
+                        self.watches[p.index()].swap_remove(i);
+                        self.watches[(!cand).index()].push(Watch { clause, blocker: first });
+                        continue 'watches;
+                    }
+                }
+                // Clause is unit or conflicting.
+                self.watches[p.index()][i] = Watch { clause, blocker: first };
+                i += 1;
+                if !self.enqueue(first, Some(clause)) {
+                    self.qhead = self.trail.len();
+                    return Some(clause);
+                }
+            }
+        }
+        None
+    }
+
+    /// First-UIP conflict analysis; returns the learnt clause (asserting
+    /// literal first) and the backjump level.
+    fn analyze(&mut self, conflict: u32) -> (Vec<Lit>, u32) {
+        let mut learnt: Vec<Lit> = vec![Lit(0)]; // slot for the asserting literal
+        let mut counter = 0usize;
+        let mut p: Option<Lit> = None;
+        let mut clause = conflict;
+        let mut trail_idx = self.trail.len();
+        loop {
+            // For reason clauses the propagated literal sits at slot 0 (the
+            // watch scheme never moves it while the clause is a reason) —
+            // skip it; for the initial conflict clause take every literal.
+            let start = usize::from(p.is_some());
+            for offset in start..self.clauses[clause as usize].len() {
+                let q = self.clauses[clause as usize][offset];
+                let v = q.var().index();
+                if !self.seen[v] && self.level[v] > 0 {
+                    self.seen[v] = true;
+                    self.bump_activity(q.var());
+                    if self.level[v] >= self.decision_level() {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Pick the next literal on the current level to resolve.
+            loop {
+                trail_idx -= 1;
+                let lit = self.trail[trail_idx];
+                if self.seen[lit.var().index()] {
+                    p = Some(lit);
+                    break;
+                }
+            }
+            let v = p.expect("resolution literal").var();
+            self.seen[v.index()] = false;
+            counter -= 1;
+            if counter == 0 {
+                learnt[0] = !p.expect("asserting literal");
+                break;
+            }
+            clause = self.reason[v.index()].expect("non-decision has a reason");
+        }
+        for l in &learnt[1..] {
+            self.seen[l.var().index()] = false;
+        }
+        // Backjump to the second-highest level in the clause.
+        let backtrack = learnt[1..]
+            .iter()
+            .map(|l| self.level[l.var().index()])
+            .max()
+            .unwrap_or(0);
+        (learnt, backtrack)
+    }
+
+    fn learn(&mut self, learnt: Vec<Lit>) {
+        self.stats.learnt_clauses += 1;
+        let assert_lit = learnt[0];
+        if learnt.len() == 1 {
+            self.enqueue(assert_lit, None);
+        } else {
+            // Watch the asserting literal and one literal of the backjump
+            // level (slot 1 after sorting by level).
+            let mut learnt = learnt;
+            let mut best = 1;
+            for k in 2..learnt.len() {
+                if self.level[learnt[k].var().index()] > self.level[learnt[best].var().index()] {
+                    best = k;
+                }
+            }
+            learnt.swap(1, best);
+            let idx = self.clauses.len() as u32;
+            // LBD over the still-assigned tail, plus the asserting level.
+            let lbd = self.clause_lbd(&learnt[1..]) + 1;
+            self.attach_with_lbd(learnt, lbd.max(3));
+            self.enqueue(assert_lit, Some(idx));
+        }
+    }
+
+    fn cancel_until(&mut self, level: u32) {
+        if self.decision_level() <= level {
+            return;
+        }
+        let bound = self.trail_lim[level as usize];
+        for i in (bound..self.trail.len()).rev() {
+            let v = self.trail[i].var();
+            self.assign[v.index()] = UNASSIGNED;
+            self.reason[v.index()] = None;
+            self.heap_insert(v);
+        }
+        self.trail.truncate(bound);
+        self.trail_lim.truncate(level as usize);
+        self.qhead = bound;
+    }
+
+    fn pick_branch_var(&mut self) -> Option<Var> {
+        while let Some(v) = self.heap_pop() {
+            if self.assign[v.index()] == UNASSIGNED {
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    fn bump_activity(&mut self, v: Var) {
+        self.activity[v.index()] += self.var_inc;
+        if self.activity[v.index()] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        self.heap_update(v);
+    }
+
+    fn decay_activities(&mut self) {
+        self.var_inc /= 0.95;
+    }
+
+    // --- activity-ordered binary heap ---------------------------------
+
+    fn heap_less(&self, a: Var, b: Var) -> bool {
+        self.activity[a.index()] > self.activity[b.index()]
+    }
+
+    fn heap_insert(&mut self, v: Var) {
+        if self.heap_pos[v.index()].is_some() {
+            return;
+        }
+        self.heap.push(v);
+        self.heap_pos[v.index()] = Some((self.heap.len() - 1) as u32);
+        self.heap_up(self.heap.len() - 1);
+    }
+
+    fn heap_pop(&mut self) -> Option<Var> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let top = self.heap[0];
+        self.heap_pos[top.index()] = None;
+        let last = self.heap.pop().expect("nonempty");
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.heap_pos[last.index()] = Some(0);
+            self.heap_down(0);
+        }
+        Some(top)
+    }
+
+    fn heap_update(&mut self, v: Var) {
+        if let Some(pos) = self.heap_pos[v.index()] {
+            self.heap_up(pos as usize);
+        }
+    }
+
+    fn heap_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.heap_less(self.heap[i], self.heap[parent]) {
+                self.heap_swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn heap_down(&mut self, mut i: usize) {
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut smallest = i;
+            if l < self.heap.len() && self.heap_less(self.heap[l], self.heap[smallest]) {
+                smallest = l;
+            }
+            if r < self.heap.len() && self.heap_less(self.heap[r], self.heap[smallest]) {
+                smallest = r;
+            }
+            if smallest == i {
+                break;
+            }
+            self.heap_swap(i, smallest);
+            i = smallest;
+        }
+    }
+
+    fn heap_swap(&mut self, a: usize, b: usize) {
+        self.heap.swap(a, b);
+        self.heap_pos[self.heap[a].index()] = Some(a as u32);
+        self.heap_pos[self.heap[b].index()] = Some(b as u32);
+    }
+}
+
+/// The Luby restart sequence (1,1,2,1,1,2,4,…).
+fn luby(i: u64) -> u64 {
+    let mut k = 1u32;
+    loop {
+        if i + 1 == (1 << k) - 1 {
+            return 1 << (k - 1);
+        }
+        if i + 1 < (1 << k) - 1 {
+            return luby(i + 1 - (1 << (k - 1)));
+        }
+        k += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lits(s: &mut Solver, n: usize) -> Vec<Lit> {
+        s.new_vars(n).into_iter().map(Lit::pos).collect()
+    }
+
+    #[test]
+    fn trivial_sat_and_unsat() {
+        let mut s = Solver::new();
+        let l = lits(&mut s, 1);
+        assert!(s.solve().is_sat());
+        s.add_clause(&[l[0]]);
+        assert!(s.solve().is_sat());
+        assert_eq!(s.value(l[0].var()), Some(true));
+        assert!(!s.add_clause(&[!l[0]]));
+        assert!(!s.solve().is_sat());
+    }
+
+    #[test]
+    fn three_var_forcing_chain() {
+        let mut s = Solver::new();
+        let l = lits(&mut s, 3);
+        s.add_clause(&[l[0]]);
+        s.add_clause(&[!l[0], l[1]]);
+        s.add_clause(&[!l[1], l[2]]);
+        assert!(s.solve().is_sat());
+        assert_eq!(s.value(l[2].var()), Some(true));
+    }
+
+    #[test]
+    fn unsat_requires_learning() {
+        // (a∨b)(a∨¬b)(¬a∨b)(¬a∨¬b) is unsatisfiable.
+        let mut s = Solver::new();
+        let l = lits(&mut s, 2);
+        s.add_clause(&[l[0], l[1]]);
+        s.add_clause(&[l[0], !l[1]]);
+        s.add_clause(&[!l[0], l[1]]);
+        s.add_clause(&[!l[0], !l[1]]);
+        assert!(!s.solve().is_sat());
+    }
+
+    fn pigeonhole(pigeons: usize, holes: usize) -> Solver {
+        let mut s = Solver::new();
+        let v: Vec<Vec<Lit>> = (0..pigeons)
+            .map(|_| s.new_vars(holes).into_iter().map(Lit::pos).collect())
+            .collect();
+        for p in &v {
+            s.add_clause(p);
+        }
+        for j in 0..holes {
+            for a in 0..pigeons {
+                for b in a + 1..pigeons {
+                    s.add_clause(&[!v[a][j], !v[b][j]]);
+                }
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn clause_database_reduction_keeps_answers_correct() {
+        // An eager reduction interval forces reduce_db to run repeatedly on
+        // a conflict-heavy unsatisfiable instance.
+        let mut s = pigeonhole(6, 5);
+        s.set_clause_reduction_interval(8);
+        assert!(!s.solve().is_sat());
+        assert!(
+            s.stats().deleted_clauses > 0 || s.stats().learnt_clauses < 128,
+            "reduction should have triggered: {:?}",
+            s.stats()
+        );
+        // The solver stays usable after reductions.
+        let extra = s.new_var();
+        s.add_clause(&[Lit::pos(extra)]);
+        assert!(!s.solve().is_sat(), "unsat formulas stay unsat");
+        // And satisfiable instances still produce valid models.
+        let mut s2 = pigeonhole(5, 5);
+        s2.set_clause_reduction_interval(8);
+        assert!(s2.solve().is_sat());
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_is_unsat() {
+        // p_{ij}: pigeon i in hole j; 3 pigeons, 2 holes.
+        let mut s = Solver::new();
+        let v: Vec<Vec<Lit>> =
+            (0..3).map(|_| s.new_vars(2).into_iter().map(Lit::pos).collect()).collect();
+        for p in &v {
+            s.add_clause(p); // every pigeon somewhere
+        }
+        for j in 0..2 {
+            for a in 0..3 {
+                for b in a + 1..3 {
+                    s.add_clause(&[!v[a][j], !v[b][j]]);
+                }
+            }
+        }
+        assert!(!s.solve().is_sat());
+    }
+
+    #[test]
+    fn assumptions_are_temporary() {
+        let mut s = Solver::new();
+        let l = lits(&mut s, 2);
+        s.add_clause(&[l[0], l[1]]);
+        assert!(!s.solve_with_assumptions(&[!l[0], !l[1]]).is_sat());
+        assert!(s.solve_with_assumptions(&[!l[0]]).is_sat());
+        assert_eq!(s.value(l[1].var()), Some(true));
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn assumption_core_is_minimal() {
+        // x0 ∧ x1 → x2, and we assume ¬x2 plus irrelevant x3, x4.
+        let mut s = Solver::new();
+        let l = lits(&mut s, 5);
+        s.add_clause(&[!l[0], !l[1], l[2]]);
+        s.add_clause(&[l[0]]);
+        s.add_clause(&[l[1]]);
+        let core = s.minimize_failing_assumptions(&[l[3], !l[2], l[4]]);
+        assert_eq!(core, vec![!l[2]]);
+        // The solver remains usable afterwards.
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    #[should_panic(expected = "assumptions must be failing")]
+    fn core_of_satisfiable_assumptions_panics() {
+        let mut s = Solver::new();
+        let l = lits(&mut s, 2);
+        s.add_clause(&[l[0], l[1]]);
+        let _ = s.minimize_failing_assumptions(&[l[0]]);
+    }
+
+    #[test]
+    fn model_respects_all_clauses() {
+        // Random-ish structured instance with a known solution.
+        let mut s = Solver::new();
+        let l = lits(&mut s, 6);
+        let clauses: Vec<Vec<Lit>> = vec![
+            vec![l[0], l[1], l[2]],
+            vec![!l[0], l[3]],
+            vec![!l[1], l[4]],
+            vec![!l[2], l[5]],
+            vec![!l[3], !l[4]],
+            vec![!l[4], !l[5]],
+            vec![l[1], !l[5]],
+        ];
+        for c in &clauses {
+            s.add_clause(c);
+        }
+        assert!(s.solve().is_sat());
+        let model = s.model();
+        for c in &clauses {
+            assert!(
+                c.iter().any(|lit| model[lit.var().index()] != lit.is_neg()),
+                "clause {c:?} violated"
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_and_tautological_clauses() {
+        let mut s = Solver::new();
+        let l = lits(&mut s, 2);
+        assert!(s.add_clause(&[l[0], l[0], l[1]]));
+        assert!(s.add_clause(&[l[0], !l[0]])); // tautology: ignored
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn xor_chain_parity() {
+        // x0 ⊕ x1 ⊕ x2 = 1 encoded in CNF, plus x0 = x1 = 0 forces x2 = 1.
+        let mut s = Solver::new();
+        let l = lits(&mut s, 3);
+        // CNF of odd parity over three variables.
+        s.add_clause(&[l[0], l[1], l[2]]);
+        s.add_clause(&[l[0], !l[1], !l[2]]);
+        s.add_clause(&[!l[0], l[1], !l[2]]);
+        s.add_clause(&[!l[0], !l[1], l[2]]);
+        s.add_clause(&[!l[0]]);
+        s.add_clause(&[!l[1]]);
+        assert!(s.solve().is_sat());
+        assert_eq!(s.value(l[2].var()), Some(true));
+    }
+
+    #[test]
+    fn luby_prefix() {
+        let expect = [1u64, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
+        for (i, &e) in expect.iter().enumerate() {
+            assert_eq!(luby(i as u64), e, "luby({i})");
+        }
+    }
+}

@@ -1,0 +1,272 @@
+//! Tseitin encoding of gate-level circuits into CNF.
+
+use crate::lit::Lit;
+use crate::solver::Solver;
+use bbec_netlist::{Circuit, GateKind, SignalId};
+
+/// Per-signal literal assignment produced by [`encode`].
+#[derive(Debug, Clone)]
+pub struct CircuitCnf {
+    /// Literal for every signal of the circuit (indexed by signal id).
+    pub signal_lits: Vec<Lit>,
+    /// Literals of the primary inputs, in declaration order.
+    pub input_lits: Vec<Lit>,
+    /// Literals of the primary outputs, in declaration order.
+    pub output_lits: Vec<Lit>,
+}
+
+impl CircuitCnf {
+    /// The literal encoding `signal`.
+    pub fn lit(&self, signal: SignalId) -> Lit {
+        self.signal_lits[signal.index()]
+    }
+}
+
+/// Encodes `circuit` into `solver`, creating one variable per signal unless
+/// a binding is supplied.
+///
+/// `bindings[i]` (indexed by signal id) can pre-bind a signal to an existing
+/// literal — used to share primary inputs between circuit copies or to fix
+/// signals to constants (bind to a unit-asserted literal). Undriven
+/// non-input signals simply get a free variable, which models an
+/// unconstrained black-box output.
+pub fn encode(solver: &mut Solver, circuit: &Circuit, bindings: &[Option<Lit>]) -> CircuitCnf {
+    let mut signal_lits: Vec<Lit> = Vec::with_capacity(circuit.signal_count());
+    for i in 0..circuit.signal_count() {
+        let lit = match bindings.get(i).copied().flatten() {
+            Some(l) => l,
+            None => Lit::pos(solver.new_var()),
+        };
+        signal_lits.push(lit);
+    }
+    for gate in circuit.gates() {
+        let out = signal_lits[gate.output.index()];
+        let ins: Vec<Lit> = gate.inputs.iter().map(|&s| signal_lits[s.index()]).collect();
+        encode_gate(solver, gate.kind, out, &ins);
+    }
+    CircuitCnf {
+        input_lits: circuit.inputs().iter().map(|&s| signal_lits[s.index()]).collect(),
+        output_lits: circuit.outputs().iter().map(|&(_, s)| signal_lits[s.index()]).collect(),
+        signal_lits,
+    }
+}
+
+/// Emits the CNF constraints `out ↔ kind(ins)`.
+fn encode_gate(solver: &mut Solver, kind: GateKind, out: Lit, ins: &[Lit]) {
+    match kind {
+        GateKind::And | GateKind::Nand => {
+            let o = if kind == GateKind::Nand { !out } else { out };
+            // o → every input; all inputs → o.
+            let mut big: Vec<Lit> = ins.iter().map(|&l| !l).collect();
+            big.push(o);
+            solver.add_clause(&big);
+            for &l in ins {
+                solver.add_clause(&[!o, l]);
+            }
+        }
+        GateKind::Or | GateKind::Nor => {
+            let o = if kind == GateKind::Nor { !out } else { out };
+            let mut big: Vec<Lit> = ins.to_vec();
+            big.push(!o);
+            solver.add_clause(&big);
+            for &l in ins {
+                solver.add_clause(&[o, !l]);
+            }
+        }
+        GateKind::Xor | GateKind::Xnor => {
+            // Fold pairwise through fresh variables.
+            let target = if kind == GateKind::Xnor { !out } else { out };
+            let mut acc = ins[0];
+            for (i, &next) in ins.iter().enumerate().skip(1) {
+                let result = if i + 1 == ins.len() {
+                    target
+                } else {
+                    Lit::pos(solver.new_var())
+                };
+                encode_xor2(solver, result, acc, next);
+                acc = result;
+            }
+            if ins.len() == 1 {
+                // Degenerate single-input XOR: identity.
+                solver.add_clause(&[!target, acc]);
+                solver.add_clause(&[target, !acc]);
+            }
+        }
+        GateKind::Not => {
+            solver.add_clause(&[!out, !ins[0]]);
+            solver.add_clause(&[out, ins[0]]);
+        }
+        GateKind::Buf => {
+            solver.add_clause(&[!out, ins[0]]);
+            solver.add_clause(&[out, !ins[0]]);
+        }
+        GateKind::Const0 => {
+            solver.add_clause(&[!out]);
+        }
+        GateKind::Const1 => {
+            solver.add_clause(&[out]);
+        }
+    }
+}
+
+fn encode_xor2(solver: &mut Solver, o: Lit, a: Lit, b: Lit) {
+    solver.add_clause(&[!o, a, b]);
+    solver.add_clause(&[!o, !a, !b]);
+    solver.add_clause(&[o, !a, b]);
+    solver.add_clause(&[o, a, !b]);
+}
+
+/// Builds a miter asserting "some output differs" between two circuits with
+/// identical interfaces, sharing the primary inputs.
+///
+/// Returns `(shared input literals, difference literal)`; asserting the
+/// difference literal and solving decides (in)equivalence.
+///
+/// # Panics
+///
+/// Panics if the circuits' input or output counts differ.
+pub fn miter(solver: &mut Solver, left: &Circuit, right: &Circuit) -> (Vec<Lit>, Lit) {
+    assert_eq!(left.inputs().len(), right.inputs().len(), "input mismatch");
+    assert_eq!(left.outputs().len(), right.outputs().len(), "output mismatch");
+    let left_cnf = encode(solver, left, &[]);
+    // Bind the right circuit's inputs to the left's literals.
+    let mut bindings: Vec<Option<Lit>> = vec![None; right.signal_count()];
+    for (i, &s) in right.inputs().iter().enumerate() {
+        bindings[s.index()] = Some(left_cnf.input_lits[i]);
+    }
+    let right_cnf = encode(solver, right, &bindings);
+    let mut diffs = Vec::new();
+    for (l, r) in left_cnf.output_lits.iter().zip(&right_cnf.output_lits) {
+        let d = Lit::pos(solver.new_var());
+        encode_xor2(solver, d, *l, *r);
+        diffs.push(d);
+    }
+    let any = Lit::pos(solver.new_var());
+    encode_gate(solver, GateKind::Or, any, &diffs);
+    (left_cnf.input_lits, any)
+}
+
+/// Checks combinational equivalence of two circuits by SAT.
+///
+/// Returns `None` if equivalent, or a distinguishing input assignment.
+///
+/// # Panics
+///
+/// Panics if the interfaces differ (see [`miter`]).
+pub fn check_equivalence(left: &Circuit, right: &Circuit) -> Option<Vec<bool>> {
+    let mut solver = Solver::new();
+    let (inputs, diff) = miter(&mut solver, left, right);
+    solver.add_clause(&[diff]);
+    if solver.solve().is_sat() {
+        Some(inputs.iter().map(|l| solver.value(l.var()).unwrap_or(false) != l.is_neg()).collect())
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bbec_netlist::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Exhaustively compare circuit evaluation against the CNF encoding.
+    fn assert_encoding_matches(circuit: &Circuit) {
+        let n = circuit.inputs().len();
+        assert!(n <= 10, "exhaustive check only for small circuits");
+        for bits in 0..1u32 << n {
+            let inputs: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
+            let expect = circuit.eval(&inputs).unwrap();
+            let mut solver = Solver::new();
+            let cnf = encode(&mut solver, circuit, &[]);
+            let assumptions: Vec<Lit> = cnf
+                .input_lits
+                .iter()
+                .zip(&inputs)
+                .map(|(&l, &v)| if v { l } else { !l })
+                .collect();
+            assert!(solver.solve_with_assumptions(&assumptions).is_sat());
+            for (o, &e) in cnf.output_lits.iter().zip(&expect) {
+                let got = solver.value(o.var()).unwrap_or(false) != o.is_neg();
+                assert_eq!(got, e, "output mismatch at {bits:b}");
+            }
+        }
+    }
+
+    #[test]
+    fn adder_encoding_is_exact() {
+        assert_encoding_matches(&generators::ripple_carry_adder(3));
+    }
+
+    #[test]
+    fn comparator_encoding_is_exact() {
+        assert_encoding_matches(&generators::magnitude_comparator(4));
+    }
+
+    #[test]
+    fn parity_and_random_logic_encodings() {
+        assert_encoding_matches(&generators::parity_tree(6));
+        for seed in 0..5 {
+            assert_encoding_matches(&generators::random_logic("r", 6, 40, 3, seed));
+        }
+    }
+
+    #[test]
+    fn equivalence_of_xor_expansion() {
+        let c = generators::parity_tree(8);
+        let e = generators::expand_xor_to_nand(&c);
+        assert_eq!(check_equivalence(&c, &e), None);
+    }
+
+    #[test]
+    fn inequivalence_yields_witness() {
+        let adder = generators::ripple_carry_adder(3);
+        // Compare against a "sum without carries" impostor: inequivalent.
+        let mut b = Circuit::builder("wrong");
+        let n = 3;
+        let a: Vec<_> = (0..n).map(|i| b.input(&format!("a{i}"))).collect();
+        let bb: Vec<_> = (0..n).map(|i| b.input(&format!("b{i}"))).collect();
+        let cin = b.input("cin");
+        // sum = a XOR b only (drops carries).
+        for i in 0..n {
+            let s = b.xor2(a[i], bb[i]);
+            b.output(&format!("sum{i}"), s);
+        }
+        b.output("cout", cin);
+        let wrong = b.build().unwrap();
+        let witness = check_equivalence(&adder, &wrong).expect("circuits differ");
+        let l = adder.eval(&witness).unwrap();
+        let r = wrong.eval(&witness).unwrap();
+        assert_ne!(l, r, "witness must distinguish the circuits");
+    }
+
+    #[test]
+    fn miter_with_random_mutations() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let c = generators::random_logic("m", 8, 60, 4, 3);
+        // Only gates in an output cone can change behaviour at all.
+        let roots: Vec<_> = c.outputs().iter().map(|&(_, s)| s).collect();
+        let all = c.fanin_cone_gates(&roots);
+        let mut found_diff = 0;
+        for _ in 0..10 {
+            let m = bbec_netlist::mutate::Mutation::random(&c, &all, &mut rng).unwrap();
+            let faulty = m.apply(&c).unwrap();
+            // Exhaustive ground truth over the 2⁸ input vectors.
+            let truly_differs = (0..256u32).any(|bits| {
+                let v: Vec<bool> = (0..8).map(|i| bits >> i & 1 == 1).collect();
+                c.eval(&v).unwrap() != faulty.eval(&v).unwrap()
+            });
+            match check_equivalence(&c, &faulty) {
+                None => assert!(!truly_differs, "SAT missed a difference: {}", m.describe(&c)),
+                Some(witness) => {
+                    assert!(truly_differs, "SAT invented a difference: {}", m.describe(&c));
+                    found_diff += 1;
+                    assert_ne!(c.eval(&witness).unwrap(), faulty.eval(&witness).unwrap());
+                }
+            }
+        }
+        assert!(found_diff >= 3, "too few behaviour-changing mutations to be meaningful");
+        let _ = &mut rng;
+    }
+}

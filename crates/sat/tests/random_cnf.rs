@@ -1,0 +1,119 @@
+//! Fuzzing the CDCL solver against brute-force enumeration on random CNFs,
+//! including the incremental (assumptions) interface.
+
+use bbec_sat::{dimacs::Cnf, Lit, Solver, Var};
+use proptest::prelude::*;
+
+const NVARS: usize = 8;
+
+fn arb_clause() -> impl Strategy<Value = Vec<(usize, bool)>> {
+    proptest::collection::vec((0..NVARS, any::<bool>()), 1..4)
+}
+
+fn arb_cnf() -> impl Strategy<Value = Vec<Vec<(usize, bool)>>> {
+    proptest::collection::vec(arb_clause(), 1..30)
+}
+
+fn brute_force_sat(clauses: &[Vec<(usize, bool)>], fixed: &[(usize, bool)]) -> bool {
+    'assignments: for bits in 0..1u32 << NVARS {
+        let assign: Vec<bool> = (0..NVARS).map(|i| bits >> i & 1 == 1).collect();
+        for &(v, val) in fixed {
+            if assign[v] != val {
+                continue 'assignments;
+            }
+        }
+        if clauses
+            .iter()
+            .all(|c| c.iter().any(|&(v, pos)| assign[v] == pos))
+        {
+            return true;
+        }
+    }
+    false
+}
+
+fn load(clauses: &[Vec<(usize, bool)>]) -> (Solver, Vec<Var>) {
+    let mut s = Solver::new();
+    let vars = s.new_vars(NVARS);
+    for c in clauses {
+        let lits: Vec<Lit> =
+            c.iter().map(|&(v, pos)| Lit::with_value(vars[v], pos)).collect();
+        s.add_clause(&lits);
+    }
+    (s, vars)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn solver_agrees_with_brute_force(clauses in arb_cnf()) {
+        let (mut s, vars) = load(&clauses);
+        let sat = s.solve().is_sat();
+        prop_assert_eq!(sat, brute_force_sat(&clauses, &[]));
+        if sat {
+            // The model must satisfy every clause.
+            let model: Vec<bool> =
+                vars.iter().map(|&v| s.value(v).unwrap_or(false)).collect();
+            for c in &clauses {
+                prop_assert!(c.iter().any(|&(v, pos)| model[v] == pos));
+            }
+        }
+    }
+
+    #[test]
+    fn assumptions_agree_with_brute_force(
+        clauses in arb_cnf(),
+        fixed in proptest::collection::vec((0..NVARS, any::<bool>()), 0..4),
+    ) {
+        // Deduplicate contradictory fixings toward the first occurrence.
+        let mut seen = std::collections::HashMap::new();
+        let fixed: Vec<(usize, bool)> = fixed
+            .into_iter()
+            .filter(|&(v, val)| *seen.entry(v).or_insert(val) == val)
+            .collect();
+        let (mut s, vars) = load(&clauses);
+        let assumptions: Vec<Lit> =
+            fixed.iter().map(|&(v, val)| Lit::with_value(vars[v], val)).collect();
+        let sat = s.solve_with_assumptions(&assumptions).is_sat();
+        prop_assert_eq!(sat, brute_force_sat(&clauses, &fixed));
+        // Solving again without assumptions matches the unconstrained truth.
+        let sat_free = s.solve().is_sat();
+        prop_assert_eq!(sat_free, brute_force_sat(&clauses, &[]));
+    }
+
+    #[test]
+    fn incremental_clause_addition_is_consistent(
+        first in arb_cnf(),
+        second in arb_cnf(),
+    ) {
+        let (mut s, vars) = load(&first);
+        let _ = s.solve();
+        for c in &second {
+            let lits: Vec<Lit> =
+                c.iter().map(|&(v, pos)| Lit::with_value(vars[v], pos)).collect();
+            s.add_clause(&lits);
+        }
+        let combined: Vec<Vec<(usize, bool)>> =
+            first.iter().chain(&second).cloned().collect();
+        prop_assert_eq!(s.solve().is_sat(), brute_force_sat(&combined, &[]));
+    }
+
+    #[test]
+    fn dimacs_round_trip_preserves_satisfiability(clauses in arb_cnf()) {
+        let cnf = Cnf {
+            num_vars: NVARS,
+            clauses: clauses
+                .iter()
+                .map(|c| {
+                    c.iter().map(|&(v, pos)| Lit::with_value(Var::new(v as u32), pos)).collect()
+                })
+                .collect(),
+        };
+        let text = cnf.to_dimacs();
+        let parsed = Cnf::parse(&text).unwrap();
+        prop_assert_eq!(&cnf, &parsed);
+        let mut s = parsed.to_solver();
+        prop_assert_eq!(s.solve().is_sat(), brute_force_sat(&clauses, &[]));
+    }
+}

