@@ -20,17 +20,12 @@ impl SatAssignment {
 
     /// A total assignment, with don't-cares filled in as `false`.
     pub fn to_total(&self, var_count: usize) -> Vec<bool> {
-        (0..var_count)
-            .map(|i| self.values.get(i).copied().flatten().unwrap_or(false))
-            .collect()
+        (0..var_count).map(|i| self.values.get(i).copied().flatten().unwrap_or(false)).collect()
     }
 
     /// Iterates over the variables that were actually assigned.
     pub fn iter(&self) -> impl Iterator<Item = (BddVar, bool)> + '_ {
-        self.values
-            .iter()
-            .enumerate()
-            .filter_map(|(i, v)| v.map(|b| (BddVar(i as u32), b)))
+        self.values.iter().enumerate().filter_map(|(i, v)| v.map(|b| (BddVar(i as u32), b)))
     }
 }
 

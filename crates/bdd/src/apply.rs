@@ -1,153 +1,210 @@
 //! The operator core: negation, binary Boolean connectives and ITE.
+//!
+//! Every recursive operation comes in two flavours: a budgeted `try_*`
+//! method returning `Result<Bdd, BudgetExceeded>` that charges apply steps
+//! and node allocations against the manager's [`crate::Budget`], and a thin
+//! infallible wrapper under the classic name that runs with the budget
+//! temporarily removed (for callers that set no limit).
 
+use crate::budget::BudgetExceeded;
 use crate::cache::Op;
 use crate::manager::{Bdd, BddManager, BddVar, TERMINAL_LEVEL};
 
 impl BddManager {
     /// Logical negation `¬f`.
     pub fn not(&mut self, f: Bdd) -> Bdd {
+        self.run_unbudgeted(|m| m.try_not(f))
+    }
+
+    /// Budgeted [`BddManager::not`].
+    pub fn try_not(&mut self, f: Bdd) -> Result<Bdd, BudgetExceeded> {
         if f.is_const() {
-            return self.constant(f.0 == 0);
+            return Ok(self.constant(f.0 == 0));
         }
         if let Some(r) = self.cache.get(Op::Not, f.0, 0, 0) {
-            return Bdd(r);
+            return Ok(Bdd(r));
         }
+        self.charge_step()?;
         let (level, lo, hi) = self.triple(f);
-        let nlo = self.not(Bdd(lo));
-        let nhi = self.not(Bdd(hi));
-        let r = self.mk(level, nlo.0, nhi.0);
+        let nlo = self.try_not(Bdd(lo))?;
+        let nhi = self.try_not(Bdd(hi))?;
+        let r = self.try_mk(level, nlo.0, nhi.0)?;
         self.cache.put(Op::Not, f.0, 0, 0, r.0);
-        r
+        Ok(r)
     }
 
     /// Conjunction `f ∧ g`.
     pub fn and(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        self.run_unbudgeted(|m| m.try_and(f, g))
+    }
+
+    /// Budgeted [`BddManager::and`].
+    pub fn try_and(&mut self, f: Bdd, g: Bdd) -> Result<Bdd, BudgetExceeded> {
         // Terminal rules.
         if f == g {
-            return f;
+            return Ok(f);
         }
         if f.0 == 0 || g.0 == 0 {
-            return self.constant(false);
+            return Ok(self.constant(false));
         }
         if f.0 == 1 {
-            return g;
+            return Ok(g);
         }
         if g.0 == 1 {
-            return f;
+            return Ok(f);
         }
         // Commutative: canonicalise the key order.
         let (a, b) = if f.0 < g.0 { (f, g) } else { (g, f) };
         if let Some(r) = self.cache.get(Op::And, a.0, b.0, 0) {
-            return Bdd(r);
+            return Ok(Bdd(r));
         }
+        self.charge_step()?;
         let (level, fa, fb, ga, gb) = self.cofactor_pair(a, b);
-        let lo = self.and(fa, ga);
-        let hi = self.and(fb, gb);
-        let r = self.mk(level, lo.0, hi.0);
+        let lo = self.try_and(fa, ga)?;
+        let hi = self.try_and(fb, gb)?;
+        let r = self.try_mk(level, lo.0, hi.0)?;
         self.cache.put(Op::And, a.0, b.0, 0, r.0);
-        r
+        Ok(r)
     }
 
     /// Disjunction `f ∨ g`.
     pub fn or(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        self.run_unbudgeted(|m| m.try_or(f, g))
+    }
+
+    /// Budgeted [`BddManager::or`].
+    pub fn try_or(&mut self, f: Bdd, g: Bdd) -> Result<Bdd, BudgetExceeded> {
         if f == g {
-            return f;
+            return Ok(f);
         }
         if f.0 == 1 || g.0 == 1 {
-            return self.constant(true);
+            return Ok(self.constant(true));
         }
         if f.0 == 0 {
-            return g;
+            return Ok(g);
         }
         if g.0 == 0 {
-            return f;
+            return Ok(f);
         }
         let (a, b) = if f.0 < g.0 { (f, g) } else { (g, f) };
         if let Some(r) = self.cache.get(Op::Or, a.0, b.0, 0) {
-            return Bdd(r);
+            return Ok(Bdd(r));
         }
+        self.charge_step()?;
         let (level, fa, fb, ga, gb) = self.cofactor_pair(a, b);
-        let lo = self.or(fa, ga);
-        let hi = self.or(fb, gb);
-        let r = self.mk(level, lo.0, hi.0);
+        let lo = self.try_or(fa, ga)?;
+        let hi = self.try_or(fb, gb)?;
+        let r = self.try_mk(level, lo.0, hi.0)?;
         self.cache.put(Op::Or, a.0, b.0, 0, r.0);
-        r
+        Ok(r)
     }
 
     /// Exclusive or `f ⊕ g`.
     pub fn xor(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        self.run_unbudgeted(|m| m.try_xor(f, g))
+    }
+
+    /// Budgeted [`BddManager::xor`].
+    pub fn try_xor(&mut self, f: Bdd, g: Bdd) -> Result<Bdd, BudgetExceeded> {
         if f == g {
-            return self.constant(false);
+            return Ok(self.constant(false));
         }
         if f.0 == 0 {
-            return g;
+            return Ok(g);
         }
         if g.0 == 0 {
-            return f;
+            return Ok(f);
         }
         if f.0 == 1 {
-            return self.not(g);
+            return self.try_not(g);
         }
         if g.0 == 1 {
-            return self.not(f);
+            return self.try_not(f);
         }
         let (a, b) = if f.0 < g.0 { (f, g) } else { (g, f) };
         if let Some(r) = self.cache.get(Op::Xor, a.0, b.0, 0) {
-            return Bdd(r);
+            return Ok(Bdd(r));
         }
+        self.charge_step()?;
         let (level, fa, fb, ga, gb) = self.cofactor_pair(a, b);
-        let lo = self.xor(fa, ga);
-        let hi = self.xor(fb, gb);
-        let r = self.mk(level, lo.0, hi.0);
+        let lo = self.try_xor(fa, ga)?;
+        let hi = self.try_xor(fb, gb)?;
+        let r = self.try_mk(level, lo.0, hi.0)?;
         self.cache.put(Op::Xor, a.0, b.0, 0, r.0);
-        r
+        Ok(r)
     }
 
     /// Equivalence (exclusive nor) `f ↔ g`.
     pub fn xnor(&mut self, f: Bdd, g: Bdd) -> Bdd {
-        let x = self.xor(f, g);
-        self.not(x)
+        self.run_unbudgeted(|m| m.try_xnor(f, g))
+    }
+
+    /// Budgeted [`BddManager::xnor`].
+    pub fn try_xnor(&mut self, f: Bdd, g: Bdd) -> Result<Bdd, BudgetExceeded> {
+        let x = self.try_xor(f, g)?;
+        self.try_not(x)
     }
 
     /// Negated conjunction `¬(f ∧ g)`.
     pub fn nand(&mut self, f: Bdd, g: Bdd) -> Bdd {
-        let x = self.and(f, g);
-        self.not(x)
+        self.run_unbudgeted(|m| m.try_nand(f, g))
+    }
+
+    /// Budgeted [`BddManager::nand`].
+    pub fn try_nand(&mut self, f: Bdd, g: Bdd) -> Result<Bdd, BudgetExceeded> {
+        let x = self.try_and(f, g)?;
+        self.try_not(x)
     }
 
     /// Negated disjunction `¬(f ∨ g)`.
     pub fn nor(&mut self, f: Bdd, g: Bdd) -> Bdd {
-        let x = self.or(f, g);
-        self.not(x)
+        self.run_unbudgeted(|m| m.try_nor(f, g))
+    }
+
+    /// Budgeted [`BddManager::nor`].
+    pub fn try_nor(&mut self, f: Bdd, g: Bdd) -> Result<Bdd, BudgetExceeded> {
+        let x = self.try_or(f, g)?;
+        self.try_not(x)
     }
 
     /// Implication `f → g`.
     pub fn implies(&mut self, f: Bdd, g: Bdd) -> Bdd {
-        let nf = self.not(f);
-        self.or(nf, g)
+        self.run_unbudgeted(|m| m.try_implies(f, g))
+    }
+
+    /// Budgeted [`BddManager::implies`].
+    pub fn try_implies(&mut self, f: Bdd, g: Bdd) -> Result<Bdd, BudgetExceeded> {
+        let nf = self.try_not(f)?;
+        self.try_or(nf, g)
     }
 
     /// If-then-else `ite(f, g, h) = (f ∧ g) ∨ (¬f ∧ h)`.
     pub fn ite(&mut self, f: Bdd, g: Bdd, h: Bdd) -> Bdd {
+        self.run_unbudgeted(|m| m.try_ite(f, g, h))
+    }
+
+    /// Budgeted [`BddManager::ite`].
+    pub fn try_ite(&mut self, f: Bdd, g: Bdd, h: Bdd) -> Result<Bdd, BudgetExceeded> {
         // Terminal rules.
         if f.0 == 1 {
-            return g;
+            return Ok(g);
         }
         if f.0 == 0 {
-            return h;
+            return Ok(h);
         }
         if g == h {
-            return g;
+            return Ok(g);
         }
         if g.0 == 1 && h.0 == 0 {
-            return f;
+            return Ok(f);
         }
         if g.0 == 0 && h.0 == 1 {
-            return self.not(f);
+            return self.try_not(f);
         }
         if let Some(r) = self.cache.get(Op::Ite, f.0, g.0, h.0) {
-            return Bdd(r);
+            return Ok(Bdd(r));
         }
+        self.charge_step()?;
         let lf = self.level(f.0);
         let lg = self.level(g.0);
         let lh = self.level(h.0);
@@ -155,61 +212,87 @@ impl BddManager {
         let (f0, f1) = self.cofactors_at(f, level);
         let (g0, g1) = self.cofactors_at(g, level);
         let (h0, h1) = self.cofactors_at(h, level);
-        let lo = self.ite(f0, g0, h0);
-        let hi = self.ite(f1, g1, h1);
-        let r = self.mk(level, lo.0, hi.0);
+        let lo = self.try_ite(f0, g0, h0)?;
+        let hi = self.try_ite(f1, g1, h1)?;
+        let r = self.try_mk(level, lo.0, hi.0)?;
         self.cache.put(Op::Ite, f.0, g.0, h.0, r.0);
-        r
+        Ok(r)
     }
 
     /// Conjunction of many functions; returns `true` for an empty slice.
     pub fn and_many(&mut self, fs: &[Bdd]) -> Bdd {
+        self.run_unbudgeted(|m| m.try_and_many(fs))
+    }
+
+    /// Budgeted [`BddManager::and_many`].
+    pub fn try_and_many(&mut self, fs: &[Bdd]) -> Result<Bdd, BudgetExceeded> {
         let mut acc = self.constant(true);
         for &f in fs {
-            acc = self.and(acc, f);
+            acc = self.try_and(acc, f)?;
             if acc.0 == 0 {
                 break;
             }
         }
-        acc
+        Ok(acc)
     }
 
     /// Disjunction of many functions; returns `false` for an empty slice.
     pub fn or_many(&mut self, fs: &[Bdd]) -> Bdd {
+        self.run_unbudgeted(|m| m.try_or_many(fs))
+    }
+
+    /// Budgeted [`BddManager::or_many`].
+    pub fn try_or_many(&mut self, fs: &[Bdd]) -> Result<Bdd, BudgetExceeded> {
         let mut acc = self.constant(false);
         for &f in fs {
-            acc = self.or(acc, f);
+            acc = self.try_or(acc, f)?;
             if acc.0 == 1 {
                 break;
             }
         }
-        acc
+        Ok(acc)
     }
 
     /// Exclusive-or of many functions; returns `false` for an empty slice.
     pub fn xor_many(&mut self, fs: &[Bdd]) -> Bdd {
+        self.run_unbudgeted(|m| m.try_xor_many(fs))
+    }
+
+    /// Budgeted [`BddManager::xor_many`].
+    pub fn try_xor_many(&mut self, fs: &[Bdd]) -> Result<Bdd, BudgetExceeded> {
         let mut acc = self.constant(false);
         for &f in fs {
-            acc = self.xor(acc, f);
+            acc = self.try_xor(acc, f)?;
         }
-        acc
+        Ok(acc)
     }
 
     /// The cofactor of `f` with respect to `var = value`.
     pub fn restrict(&mut self, f: Bdd, var: BddVar, value: bool) -> Bdd {
+        self.run_unbudgeted(|m| m.try_restrict(f, var, value))
+    }
+
+    /// Budgeted [`BddManager::restrict`].
+    pub fn try_restrict(
+        &mut self,
+        f: Bdd,
+        var: BddVar,
+        value: bool,
+    ) -> Result<Bdd, BudgetExceeded> {
         if f.is_const() {
-            return f;
+            return Ok(f);
         }
         let target = self.level_of(var);
         let flevel = self.level(f.0);
         if flevel > target {
-            return f;
+            return Ok(f);
         }
         // Key includes the literal: encode value in the low bit of the slot.
         let key = (var.0 << 1) | u32::from(value);
         if let Some(r) = self.cache.get(Op::Restrict, f.0, key, 0) {
-            return Bdd(r);
+            return Ok(Bdd(r));
         }
+        self.charge_step()?;
         let (level, lo, hi) = self.triple(f);
         let r = if flevel == target {
             if value {
@@ -218,12 +301,12 @@ impl BddManager {
                 Bdd(lo)
             }
         } else {
-            let rlo = self.restrict(Bdd(lo), var, value);
-            let rhi = self.restrict(Bdd(hi), var, value);
-            self.mk(level, rlo.0, rhi.0)
+            let rlo = self.try_restrict(Bdd(lo), var, value)?;
+            let rhi = self.try_restrict(Bdd(hi), var, value)?;
+            self.try_mk(level, rlo.0, rhi.0)?
         };
         self.cache.put(Op::Restrict, f.0, key, 0, r.0);
-        r
+        Ok(r)
     }
 
     /// Coudert/Madre generalised cofactor (`constrain`): a function that
@@ -236,58 +319,74 @@ impl BddManager {
     ///
     /// Panics if `c` is the constant false (no care set).
     pub fn constrain(&mut self, f: Bdd, c: Bdd) -> Bdd {
+        self.run_unbudgeted(|m| m.try_constrain(f, c))
+    }
+
+    /// Budgeted [`BddManager::constrain`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is the constant false (no care set).
+    pub fn try_constrain(&mut self, f: Bdd, c: Bdd) -> Result<Bdd, BudgetExceeded> {
         assert_ne!(c, self.constant(false), "care set must be satisfiable");
         if c.0 == 1 || f.is_const() {
-            return f;
+            return Ok(f);
         }
         if f == c {
-            return self.constant(true);
+            return Ok(self.constant(true));
         }
         if let Some(r) = self.cache.get(Op::Restrict, f.0, c.0, 1) {
-            return Bdd(r);
+            return Ok(Bdd(r));
         }
+        self.charge_step()?;
         let level = self.level(f.0).min(self.level(c.0));
         let (c0, c1) = self.cofactors_at(c, level);
         let r = if c0.0 == 0 {
             let (_, f1) = self.cofactors_at(f, level);
-            self.constrain(f1, c1)
+            self.try_constrain(f1, c1)?
         } else if c1.0 == 0 {
             let (f0, _) = self.cofactors_at(f, level);
-            self.constrain(f0, c0)
+            self.try_constrain(f0, c0)?
         } else {
             let (f0, f1) = self.cofactors_at(f, level);
-            let r0 = self.constrain(f0, c0);
-            let r1 = self.constrain(f1, c1);
-            self.mk(level, r0.0, r1.0)
+            let r0 = self.try_constrain(f0, c0)?;
+            let r1 = self.try_constrain(f1, c1)?;
+            self.try_mk(level, r0.0, r1.0)?
         };
         self.cache.put(Op::Restrict, f.0, c.0, 1, r.0);
-        r
+        Ok(r)
     }
 
     /// Substitutes the function `g` for variable `var` inside `f`.
     pub fn compose(&mut self, f: Bdd, var: BddVar, g: Bdd) -> Bdd {
+        self.run_unbudgeted(|m| m.try_compose(f, var, g))
+    }
+
+    /// Budgeted [`BddManager::compose`].
+    pub fn try_compose(&mut self, f: Bdd, var: BddVar, g: Bdd) -> Result<Bdd, BudgetExceeded> {
         let target = self.level_of(var);
         if f.is_const() || self.level(f.0) > target {
-            return f;
+            return Ok(f);
         }
         if let Some(r) = self.cache.get(Op::Compose, f.0, g.0, var.0) {
-            return Bdd(r);
+            return Ok(Bdd(r));
         }
+        self.charge_step()?;
         let (level, lo, hi) = self.triple(f);
         let r = if level == target {
             // Children contain no `var` occurrences (order!), so a plain ITE
             // on the replacement function finishes the substitution.
-            self.ite(g, Bdd(hi), Bdd(lo))
+            self.try_ite(g, Bdd(hi), Bdd(lo))?
         } else {
-            let rlo = self.compose(Bdd(lo), var, g);
-            let rhi = self.compose(Bdd(hi), var, g);
+            let rlo = self.try_compose(Bdd(lo), var, g)?;
+            let rhi = self.try_compose(Bdd(hi), var, g)?;
             // `g` may depend on variables above `level`, so recombine with
             // ITE on the projection rather than `mk`.
             let proj = Bdd(self.projections[self.level_to_var[level as usize] as usize]);
-            self.ite(proj, rhi, rlo)
+            self.try_ite(proj, rhi, rlo)?
         };
         self.cache.put(Op::Compose, f.0, g.0, var.0, r.0);
-        r
+        Ok(r)
     }
 
     /// Evaluates `f` under a total assignment indexed by variable index.
@@ -337,7 +436,6 @@ impl BddManager {
         (level, a0, a1, b0, b1)
     }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,172 @@
+//! The resource governor: explicit, value-level budgets for BDD operations.
+//!
+//! A [`Budget`] caps what one *window* of work (typically one equivalence
+//! check) may consume: live nodes, apply steps, wall-clock time. The
+//! budgeted `try_*` operations on [`crate::BddManager`] return
+//! [`BudgetExceeded`] instead of panicking when a cap is hit; the manager
+//! itself stays fully usable — in-flight intermediates are simply left
+//! unprotected for the next garbage collection, while the unique table and
+//! every protected node survive.
+
+use std::time::Instant;
+
+/// Resource caps for budgeted (`try_*`) BDD operations.
+///
+/// All limits are optional; a budget with every field `None` never fires.
+/// Install one with [`crate::BddManager::set_budget`], which also starts a
+/// new step-accounting window.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Budget {
+    /// Abort once the manager holds this many live nodes and an operation
+    /// needs to allocate another one.
+    pub max_live_nodes: Option<usize>,
+    /// Abort once the current window has charged this many apply steps
+    /// (cache-miss recursion steps of the operator core).
+    pub max_steps: Option<u64>,
+    /// Abort once the wall clock passes this instant. Checked every 1024
+    /// steps, so overshoot is bounded and cheap operations pay nothing.
+    pub deadline: Option<Instant>,
+}
+
+impl Budget {
+    /// A budget with no limits set (equivalent to running unbudgeted).
+    pub fn unlimited() -> Self {
+        Budget::default()
+    }
+
+    /// Caps live nodes only.
+    pub fn nodes(limit: usize) -> Self {
+        Budget { max_live_nodes: Some(limit), ..Budget::default() }
+    }
+
+    /// Caps apply steps only.
+    pub fn steps(limit: u64) -> Self {
+        Budget { max_steps: Some(limit), ..Budget::default() }
+    }
+}
+
+/// The error returned by budgeted BDD operations when a [`Budget`] cap is
+/// hit.
+///
+/// The manager remains consistent and usable: previously protected BDDs are
+/// untouched, and the intermediates of the aborted operation are dead nodes
+/// reclaimed by the next [`crate::BddManager::collect_garbage`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BudgetExceeded {
+    /// The live-node cap was hit while allocating a node.
+    Nodes {
+        /// The configured [`Budget::max_live_nodes`].
+        limit: usize,
+    },
+    /// The apply-step cap of the current window was hit.
+    Steps {
+        /// The configured [`Budget::max_steps`].
+        limit: u64,
+    },
+    /// The wall-clock deadline passed.
+    Deadline,
+}
+
+impl std::fmt::Display for BudgetExceeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BudgetExceeded::Nodes { limit } => {
+                write!(f, "BDD node budget of {limit} live nodes exceeded")
+            }
+            BudgetExceeded::Steps { limit } => {
+                write!(f, "BDD apply-step budget of {limit} steps exceeded")
+            }
+            BudgetExceeded::Deadline => write!(f, "BDD wall-clock deadline exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for BudgetExceeded {}
+
+/// Cumulative operation counters of a manager, for per-check telemetry.
+///
+/// Counters only ever grow (except `peak_live_nodes`, which resets with
+/// [`crate::BddManager::reset_peak`]); take a snapshot before a check and
+/// use [`OpTelemetry::since`] afterwards to get that check's cost.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpTelemetry {
+    /// Cache-miss recursion steps of the operator core (the classic "apply
+    /// step" unit of BDD cost models).
+    pub apply_steps: u64,
+    /// Computed-table hits.
+    pub cache_hits: u64,
+    /// Computed-table misses.
+    pub cache_misses: u64,
+    /// Completed garbage-collection passes.
+    pub gc_passes: u64,
+    /// Completed reordering passes.
+    pub reorder_passes: u64,
+    /// High-water mark of live nodes (absolute, not a delta).
+    pub peak_live_nodes: usize,
+}
+
+impl OpTelemetry {
+    /// The cost accrued since `earlier` was snapshotted.
+    ///
+    /// All counters are differenced; `peak_live_nodes` keeps the absolute
+    /// peak of `self` (a peak is not additive).
+    pub fn since(&self, earlier: &OpTelemetry) -> OpTelemetry {
+        OpTelemetry {
+            apply_steps: self.apply_steps.saturating_sub(earlier.apply_steps),
+            cache_hits: self.cache_hits.saturating_sub(earlier.cache_hits),
+            cache_misses: self.cache_misses.saturating_sub(earlier.cache_misses),
+            gc_passes: self.gc_passes.saturating_sub(earlier.gc_passes),
+            reorder_passes: self.reorder_passes.saturating_sub(earlier.reorder_passes),
+            peak_live_nodes: self.peak_live_nodes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_each_limit() {
+        assert!(BudgetExceeded::Nodes { limit: 7 }.to_string().contains("7 live nodes"));
+        assert!(BudgetExceeded::Steps { limit: 9 }.to_string().contains("9 steps"));
+        assert!(BudgetExceeded::Deadline.to_string().contains("deadline"));
+    }
+
+    #[test]
+    fn telemetry_delta() {
+        let a = OpTelemetry {
+            apply_steps: 10,
+            cache_hits: 4,
+            cache_misses: 6,
+            gc_passes: 1,
+            reorder_passes: 0,
+            peak_live_nodes: 100,
+        };
+        let b = OpTelemetry {
+            apply_steps: 25,
+            cache_hits: 10,
+            cache_misses: 15,
+            gc_passes: 2,
+            reorder_passes: 1,
+            peak_live_nodes: 140,
+        };
+        let d = b.since(&a);
+        assert_eq!(d.apply_steps, 15);
+        assert_eq!(d.cache_hits, 6);
+        assert_eq!(d.cache_misses, 9);
+        assert_eq!(d.gc_passes, 1);
+        assert_eq!(d.reorder_passes, 1);
+        assert_eq!(d.peak_live_nodes, 140);
+    }
+
+    #[test]
+    fn constructors() {
+        let b = Budget::nodes(10);
+        assert_eq!(b.max_live_nodes, Some(10));
+        assert!(b.max_steps.is_none());
+        let b = Budget::steps(10);
+        assert_eq!(b.max_steps, Some(10));
+        assert!(Budget::unlimited().max_live_nodes.is_none());
+    }
+}

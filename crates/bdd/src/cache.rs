@@ -57,6 +57,16 @@ impl OpCache {
         self.map.clear();
     }
 
+    /// Cumulative lookup hits (survives [`OpCache::clear`]).
+    pub(crate) fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cumulative lookup misses (survives [`OpCache::clear`]).
+    pub(crate) fn misses(&self) -> u64 {
+        self.misses
+    }
+
     #[allow(dead_code)]
     pub(crate) fn hit_rate(&self) -> f64 {
         if self.hits + self.misses == 0 {

@@ -1,5 +1,6 @@
 //! Variable cubes: positive conjunctions used to direct quantification.
 
+use crate::budget::BudgetExceeded;
 use crate::manager::{Bdd, BddManager, BddVar, TERMINAL_LEVEL};
 
 /// A set of variables represented as the BDD of their conjunction.
@@ -27,14 +28,22 @@ pub struct Cube {
 impl Cube {
     /// Builds the cube of the given variables (duplicates are harmless).
     pub fn from_vars(manager: &mut BddManager, vars: &[BddVar]) -> Self {
+        manager.run_unbudgeted(|m| Cube::try_from_vars(m, vars))
+    }
+
+    /// Budgeted [`Cube::from_vars`].
+    pub fn try_from_vars(
+        manager: &mut BddManager,
+        vars: &[BddVar],
+    ) -> Result<Self, BudgetExceeded> {
         let mut acc = manager.constant(true);
         for &v in vars {
             let lit = manager.var(v);
-            acc = manager.and(acc, lit);
+            acc = manager.try_and(acc, lit)?;
         }
         // A cube of projections can never collapse to false.
         debug_assert_ne!(acc, manager.constant(false));
-        Cube { bdd: acc }
+        Ok(Cube { bdd: acc })
     }
 
     /// The empty cube (quantifying over it is the identity).

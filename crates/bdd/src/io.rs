@@ -39,12 +39,7 @@ impl BddManager {
         // Collect the shared nodes bottom-up (children first).
         let mut order: Vec<u32> = Vec::new();
         let mut seen: HashMap<u32, ()> = HashMap::new();
-        fn visit(
-            m: &BddManager,
-            idx: u32,
-            seen: &mut HashMap<u32, ()>,
-            order: &mut Vec<u32>,
-        ) {
+        fn visit(m: &BddManager, idx: u32, seen: &mut HashMap<u32, ()>, order: &mut Vec<u32>) {
             if idx <= 1 || seen.contains_key(&idx) {
                 return;
             }
@@ -70,11 +65,7 @@ impl BddManager {
             let n = &self.nodes[idx as usize];
             debug_assert_ne!(n.level, TERMINAL_LEVEL);
             let var = self.level_to_var[n.level as usize];
-            let _ = writeln!(
-                out,
-                "{} {} {} {}",
-                local[&idx], var, local[&n.lo], local[&n.hi]
-            );
+            let _ = writeln!(out, "{} {} {} {}", local[&idx], var, local[&n.lo], local[&n.hi]);
         }
         out.push_str("roots");
         for r in roots {
@@ -119,7 +110,10 @@ impl BddManager {
             let [id, var, lo, hi] = fields[..] else {
                 return Err(ParseForestError(format!("bad line `{line}`")));
             };
-            if id != local.len() || var >= self.var_count() || lo >= local.len() || hi >= local.len()
+            if id != local.len()
+                || var >= self.var_count()
+                || lo >= local.len()
+                || hi >= local.len()
             {
                 return Err(ParseForestError(format!("dangling reference in `{line}`")));
             }

@@ -24,6 +24,16 @@
 //! Variable projection functions returned by [`BddManager::var`] and the two
 //! constants are always protected.
 //!
+//! ## Budgets
+//!
+//! Install a [`Budget`] with [`BddManager::set_budget`] to cap live nodes,
+//! apply steps, or wall-clock time for the budgeted `try_*` operations
+//! (`try_ite`, `try_and`, `try_exists`, …), which return [`BudgetExceeded`]
+//! as a value instead of panicking. After an abort the manager stays fully
+//! usable: protected nodes survive, and the aborted operation's
+//! intermediates are reclaimed by the next garbage collection. The classic
+//! infallible names (`and`, `ite`, …) run with the budget ignored.
+//!
 //! ## Example
 //!
 //! ```rust
@@ -49,6 +59,7 @@
 
 mod analysis;
 mod apply;
+mod budget;
 mod cache;
 mod cube;
 mod dot;
@@ -59,8 +70,9 @@ mod quant;
 mod reorder;
 
 pub use analysis::SatAssignment;
+pub use budget::{Budget, BudgetExceeded, OpTelemetry};
 pub use cube::Cube;
-pub use manager::{Bdd, BddManager, BddStats, BddVar, ExceedNodeLimitError, ReorderSettings};
+pub use manager::{Bdd, BddManager, BddStats, BddVar, ReorderSettings};
 
 #[cfg(test)]
 mod tests {

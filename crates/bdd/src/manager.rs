@@ -1,6 +1,7 @@
 //! The node store: per-level unique tables, reference counting and garbage
 //! collection.
 
+use crate::budget::{Budget, BudgetExceeded, OpTelemetry};
 use crate::cache::OpCache;
 use crate::hasher::pair_hash;
 
@@ -110,25 +111,6 @@ pub struct BddStats {
     pub collected_nodes: usize,
 }
 
-/// Panic payload thrown when a manager exceeds its configured node limit.
-///
-/// Callers running untrusted workloads catch this with
-/// `std::panic::catch_unwind` and translate it into an error; the manager
-/// must be discarded afterwards.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct ExceedNodeLimitError {
-    /// The limit that was exceeded.
-    pub limit: usize,
-}
-
-impl std::fmt::Display for ExceedNodeLimitError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "BDD node limit of {} exceeded", self.limit)
-    }
-}
-
-impl std::error::Error for ExceedNodeLimitError {}
-
 /// Owner of all BDD nodes; every operation is a method on the manager.
 ///
 /// # Example
@@ -160,7 +142,14 @@ pub struct BddManager {
     reorderings: usize,
     collected: usize,
     pub(crate) reorder_settings: ReorderSettings,
-    node_limit: Option<usize>,
+    /// Resource caps enforced by the budgeted `try_*` operations.
+    budget: Option<Budget>,
+    /// Cumulative apply steps (cache-miss recursion steps) ever charged.
+    steps: u64,
+    /// `steps` value when the current budget window was armed.
+    window_start: u64,
+    /// Completed garbage-collection passes.
+    gc_passes: u64,
 }
 
 impl Default for BddManager {
@@ -189,18 +178,74 @@ impl BddManager {
             reorderings: 0,
             collected: 0,
             reorder_settings: ReorderSettings { enabled: false, ..ReorderSettings::default() },
-            node_limit: None,
+            budget: None,
+            steps: 0,
+            window_start: 0,
+            gc_passes: 0,
         }
     }
 
-    /// Caps the number of live nodes. When an operation would grow past the
-    /// cap, the manager first garbage-collects; if still above, it panics
-    /// with an [`ExceedNodeLimitError`] payload, to be caught with
-    /// `std::panic::catch_unwind` by budgeted callers.
+    /// Installs (or clears) the resource budget and starts a fresh
+    /// step-accounting window.
     ///
-    /// The manager is unusable after such a panic and must be dropped.
-    pub fn set_node_limit(&mut self, limit: Option<usize>) {
-        self.node_limit = limit;
+    /// The budget is enforced only by the fallible `try_*` operations; the
+    /// plain infallible operations, variable creation and reordering run
+    /// unbudgeted. Hitting a cap aborts the in-flight operation with a
+    /// [`BudgetExceeded`] value and leaves the manager fully usable: every
+    /// protected node survives, and the aborted operation's intermediates
+    /// are dead nodes reclaimed by the next [`BddManager::collect_garbage`].
+    pub fn set_budget(&mut self, budget: Option<Budget>) {
+        self.budget = budget;
+        self.window_start = self.steps;
+    }
+
+    /// The currently installed budget, if any.
+    pub fn budget(&self) -> Option<Budget> {
+        self.budget
+    }
+
+    /// Cumulative operation counters for telemetry; diff two snapshots with
+    /// [`OpTelemetry::since`] to cost one window of work.
+    pub fn telemetry(&self) -> OpTelemetry {
+        OpTelemetry {
+            apply_steps: self.steps,
+            cache_hits: self.cache.hits(),
+            cache_misses: self.cache.misses(),
+            gc_passes: self.gc_passes,
+            reorder_passes: self.reorderings as u64,
+            peak_live_nodes: self.peak,
+        }
+    }
+
+    /// Charges one apply step against the current budget window.
+    #[inline]
+    pub(crate) fn charge_step(&mut self) -> Result<(), BudgetExceeded> {
+        self.steps += 1;
+        let Some(budget) = &self.budget else { return Ok(()) };
+        if let Some(limit) = budget.max_steps {
+            if self.steps - self.window_start > limit {
+                return Err(BudgetExceeded::Steps { limit });
+            }
+        }
+        if let Some(deadline) = budget.deadline {
+            // Amortise the clock read: a syscall every step would dominate.
+            if self.steps & 0x3FF == 0 && std::time::Instant::now() >= deadline {
+                return Err(BudgetExceeded::Deadline);
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs `op` with the budget temporarily removed; the infallible
+    /// operation wrappers are built on this.
+    pub(crate) fn run_unbudgeted<T>(
+        &mut self,
+        op: impl FnOnce(&mut Self) -> Result<T, BudgetExceeded>,
+    ) -> T {
+        let saved = self.budget.take();
+        let result = op(self);
+        self.budget = saved;
+        result.expect("BDD operation without a budget cannot be aborted")
     }
 
     /// Creates a manager with automatic reordering enabled, mirroring the
@@ -304,13 +349,38 @@ impl BddManager {
         self.nodes[idx as usize].level
     }
 
+    /// Finds or creates the node `(level, lo, hi)`, infallibly.
+    ///
+    /// This is the unbudgeted path used by variable creation, reordering
+    /// and I/O — contexts where an abort mid-mutation would be unsound.
+    /// The budgeted operator core goes through [`BddManager::try_mk`].
+    pub(crate) fn mk(&mut self, level: u32, lo: u32, hi: u32) -> Bdd {
+        match self.mk_checked(level, lo, hi, false) {
+            Ok(node) => node,
+            Err(_) => unreachable!("unbudgeted mk cannot be aborted"),
+        }
+    }
+
+    /// Budgeted variant of [`BddManager::mk`]: fails with
+    /// [`BudgetExceeded::Nodes`] if allocating a fresh node would grow the
+    /// manager past [`Budget::max_live_nodes`].
+    pub(crate) fn try_mk(&mut self, level: u32, lo: u32, hi: u32) -> Result<Bdd, BudgetExceeded> {
+        self.mk_checked(level, lo, hi, true)
+    }
+
     /// Finds or creates the node `(level, lo, hi)`.
     ///
     /// Maintains the two ROBDD invariants: no node with equal children, no
     /// two nodes with the same `(level, lo, hi)` triple.
-    pub(crate) fn mk(&mut self, level: u32, lo: u32, hi: u32) -> Bdd {
+    fn mk_checked(
+        &mut self,
+        level: u32,
+        lo: u32,
+        hi: u32,
+        budgeted: bool,
+    ) -> Result<Bdd, BudgetExceeded> {
         if lo == hi {
-            return Bdd(lo);
+            return Ok(Bdd(lo));
         }
         debug_assert!(self.level(lo) > level && self.level(hi) > level, "children must be below");
         let table = &self.tables[level as usize];
@@ -321,16 +391,18 @@ impl BddManager {
             if n.lo == lo && n.hi == hi {
                 // A dead hit is implicitly resurrected: its children were
                 // never decremented, so nothing needs fixing up here.
-                return Bdd(cursor);
+                return Ok(Bdd(cursor));
             }
             cursor = n.next;
         }
         // Allocate. (Garbage collection mid-operation would free the
         // unprotected intermediates held on the recursion stack, so the
         // limit can only abort, never rescue.)
-        if let Some(limit) = self.node_limit {
-            if self.live >= limit {
-                std::panic::panic_any(ExceedNodeLimitError { limit });
+        if budgeted {
+            if let Some(limit) = self.budget.as_ref().and_then(|b| b.max_live_nodes) {
+                if self.live >= limit {
+                    return Err(BudgetExceeded::Nodes { limit });
+                }
             }
         }
         let idx = if let Some(idx) = self.free.pop() {
@@ -352,17 +424,15 @@ impl BddManager {
             self.peak = self.live;
         }
         self.table_insert(level, idx);
-        Bdd(idx)
+        Ok(Bdd(idx))
     }
 
     pub(crate) fn table_insert(&mut self, level: u32, idx: u32) {
         if self.tables[level as usize].count + 1 > self.tables[level as usize].buckets.len() {
             // Grow and rehash the chains.
             let new_len = self.tables[level as usize].buckets.len() * 2;
-            let old = std::mem::replace(
-                &mut self.tables[level as usize].buckets,
-                vec![NIL; new_len],
-            );
+            let old =
+                std::mem::replace(&mut self.tables[level as usize].buckets, vec![NIL; new_len]);
             for mut cursor in old {
                 while cursor != NIL {
                     let next = self.nodes[cursor as usize].next;
@@ -505,6 +575,7 @@ impl BddManager {
         }
         debug_assert_eq!(self.dead, 0);
         self.collected += freed;
+        self.gc_passes += 1;
         freed
     }
 

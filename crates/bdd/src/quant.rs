@@ -1,5 +1,10 @@
 //! Existential and universal quantification.
+//!
+//! Like the operator core in `apply.rs`, every quantifier comes as a
+//! budgeted `try_*` method plus a thin infallible wrapper that runs with
+//! the budget removed.
 
+use crate::budget::BudgetExceeded;
 use crate::cache::Op;
 use crate::cube::Cube;
 use crate::manager::{Bdd, BddManager, BddVar, TERMINAL_LEVEL};
@@ -7,50 +12,80 @@ use crate::manager::{Bdd, BddManager, BddVar, TERMINAL_LEVEL};
 impl BddManager {
     /// Existential quantification `∃ cube. f`.
     pub fn exists(&mut self, f: Bdd, cube: Cube) -> Bdd {
+        self.run_unbudgeted(|m| m.try_exists(f, cube))
+    }
+
+    /// Budgeted [`BddManager::exists`].
+    pub fn try_exists(&mut self, f: Bdd, cube: Cube) -> Result<Bdd, BudgetExceeded> {
         self.exists_rec(f, cube.bdd)
     }
 
     /// Universal quantification `∀ cube. f`.
     pub fn forall(&mut self, f: Bdd, cube: Cube) -> Bdd {
+        self.run_unbudgeted(|m| m.try_forall(f, cube))
+    }
+
+    /// Budgeted [`BddManager::forall`].
+    pub fn try_forall(&mut self, f: Bdd, cube: Cube) -> Result<Bdd, BudgetExceeded> {
         self.forall_rec(f, cube.bdd)
     }
 
     /// Convenience: `∃ vars. f` without building a [`Cube`] first.
     pub fn exists_vars(&mut self, f: Bdd, vars: &[BddVar]) -> Bdd {
-        let cube = Cube::from_vars(self, vars);
-        self.exists(f, cube)
+        self.run_unbudgeted(|m| m.try_exists_vars(f, vars))
+    }
+
+    /// Budgeted [`BddManager::exists_vars`].
+    pub fn try_exists_vars(&mut self, f: Bdd, vars: &[BddVar]) -> Result<Bdd, BudgetExceeded> {
+        let cube = Cube::try_from_vars(self, vars)?;
+        self.try_exists(f, cube)
     }
 
     /// Convenience: `∀ vars. f` without building a [`Cube`] first.
     pub fn forall_vars(&mut self, f: Bdd, vars: &[BddVar]) -> Bdd {
-        let cube = Cube::from_vars(self, vars);
-        self.forall(f, cube)
+        self.run_unbudgeted(|m| m.try_forall_vars(f, vars))
+    }
+
+    /// Budgeted [`BddManager::forall_vars`].
+    pub fn try_forall_vars(&mut self, f: Bdd, vars: &[BddVar]) -> Result<Bdd, BudgetExceeded> {
+        let cube = Cube::try_from_vars(self, vars)?;
+        self.try_forall(f, cube)
     }
 
     /// The relational product `∃ cube. f ∧ g`, computed without
     /// materialising the conjunction — the workhorse of image computation
     /// and of the input-exact check's `∀X (¬H ∨ cond)` step (via duality).
     pub fn and_exists(&mut self, f: Bdd, g: Bdd, cube: Cube) -> Bdd {
+        self.run_unbudgeted(|m| m.try_and_exists(f, g, cube))
+    }
+
+    /// Budgeted [`BddManager::and_exists`].
+    pub fn try_and_exists(&mut self, f: Bdd, g: Bdd, cube: Cube) -> Result<Bdd, BudgetExceeded> {
         self.and_exists_rec(f, g, cube.bdd)
     }
 
     /// Dual form `∀ cube. f ∨ g = ¬∃ cube. ¬f ∧ ¬g`.
     pub fn or_forall(&mut self, f: Bdd, g: Bdd, cube: Cube) -> Bdd {
-        let nf = self.not(f);
-        let ng = self.not(g);
-        let e = self.and_exists(nf, ng, cube);
-        self.not(e)
+        self.run_unbudgeted(|m| m.try_or_forall(f, g, cube))
     }
 
-    fn and_exists_rec(&mut self, f: Bdd, g: Bdd, cube: Bdd) -> Bdd {
+    /// Budgeted [`BddManager::or_forall`].
+    pub fn try_or_forall(&mut self, f: Bdd, g: Bdd, cube: Cube) -> Result<Bdd, BudgetExceeded> {
+        let nf = self.try_not(f)?;
+        let ng = self.try_not(g)?;
+        let e = self.try_and_exists(nf, ng, cube)?;
+        self.try_not(e)
+    }
+
+    fn and_exists_rec(&mut self, f: Bdd, g: Bdd, cube: Bdd) -> Result<Bdd, BudgetExceeded> {
         if f.0 == 0 || g.0 == 0 {
-            return self.constant(false);
+            return Ok(self.constant(false));
         }
         if cube.0 == 1 {
-            return self.and(f, g);
+            return self.try_and(f, g);
         }
         if f.0 == 1 && g.0 == 1 {
-            return self.constant(true);
+            return Ok(self.constant(true));
         }
         // Order the operands for the commutative cache key.
         let (f, g) = if f.0 <= g.0 { (f, g) } else { (g, f) };
@@ -60,36 +95,37 @@ impl BddManager {
         while self.level(c) < top {
             c = self.nodes[c as usize].hi;
         }
-        if self.nodes[c as usize].level == crate::manager::TERMINAL_LEVEL {
-            return self.and(f, g);
+        if self.nodes[c as usize].level == TERMINAL_LEVEL {
+            return self.try_and(f, g);
         }
         let cube = Bdd(c);
         if let Some(r) = self.cache.get(Op::AndExists, f.0, g.0, cube.0) {
-            return Bdd(r);
+            return Ok(Bdd(r));
         }
+        self.charge_step()?;
         let (f0, f1) = self.cofactors_at(f, top);
         let (g0, g1) = self.cofactors_at(g, top);
         let r = if self.level(cube.0) == top {
             let rest = Bdd(self.nodes[cube.0 as usize].hi);
-            let a = self.and_exists_rec(f0, g0, rest);
+            let a = self.and_exists_rec(f0, g0, rest)?;
             if a.0 == 1 {
                 a
             } else {
-                let b = self.and_exists_rec(f1, g1, rest);
-                self.or(a, b)
+                let b = self.and_exists_rec(f1, g1, rest)?;
+                self.try_or(a, b)?
             }
         } else {
-            let a = self.and_exists_rec(f0, g0, cube);
-            let b = self.and_exists_rec(f1, g1, cube);
-            self.mk(top, a.0, b.0)
+            let a = self.and_exists_rec(f0, g0, cube)?;
+            let b = self.and_exists_rec(f1, g1, cube)?;
+            self.try_mk(top, a.0, b.0)?
         };
         self.cache.put(Op::AndExists, f.0, g.0, cube.0, r.0);
-        r
+        Ok(r)
     }
 
-    fn exists_rec(&mut self, f: Bdd, cube: Bdd) -> Bdd {
+    fn exists_rec(&mut self, f: Bdd, cube: Bdd) -> Result<Bdd, BudgetExceeded> {
         if f.is_const() || cube.0 == 1 {
-            return f;
+            return Ok(f);
         }
         // Skip quantified variables above the top variable of f.
         let flevel = self.level(f.0);
@@ -98,12 +134,13 @@ impl BddManager {
             c = self.nodes[c as usize].hi;
         }
         if self.nodes[c as usize].level == TERMINAL_LEVEL {
-            return f;
+            return Ok(f);
         }
         let cube = Bdd(c);
         if let Some(r) = self.cache.get(Op::Exists, f.0, cube.0, 0) {
-            return Bdd(r);
+            return Ok(Bdd(r));
         }
+        self.charge_step()?;
         let (lo, hi) = {
             let n = &self.nodes[f.0 as usize];
             (Bdd(n.lo), Bdd(n.hi))
@@ -111,26 +148,26 @@ impl BddManager {
         let clevel = self.level(cube.0);
         let r = if clevel == flevel {
             let rest = Bdd(self.nodes[cube.0 as usize].hi);
-            let a = self.exists_rec(lo, rest);
+            let a = self.exists_rec(lo, rest)?;
             if a.0 == 1 {
                 // Short-circuit: ∨ with true.
                 a
             } else {
-                let b = self.exists_rec(hi, rest);
-                self.or(a, b)
+                let b = self.exists_rec(hi, rest)?;
+                self.try_or(a, b)?
             }
         } else {
-            let a = self.exists_rec(lo, cube);
-            let b = self.exists_rec(hi, cube);
-            self.mk(flevel, a.0, b.0)
+            let a = self.exists_rec(lo, cube)?;
+            let b = self.exists_rec(hi, cube)?;
+            self.try_mk(flevel, a.0, b.0)?
         };
         self.cache.put(Op::Exists, f.0, cube.0, 0, r.0);
-        r
+        Ok(r)
     }
 
-    fn forall_rec(&mut self, f: Bdd, cube: Bdd) -> Bdd {
+    fn forall_rec(&mut self, f: Bdd, cube: Bdd) -> Result<Bdd, BudgetExceeded> {
         if f.is_const() || cube.0 == 1 {
-            return f;
+            return Ok(f);
         }
         let flevel = self.level(f.0);
         let mut c = cube.0;
@@ -138,12 +175,13 @@ impl BddManager {
             c = self.nodes[c as usize].hi;
         }
         if self.nodes[c as usize].level == TERMINAL_LEVEL {
-            return f;
+            return Ok(f);
         }
         let cube = Bdd(c);
         if let Some(r) = self.cache.get(Op::Forall, f.0, cube.0, 0) {
-            return Bdd(r);
+            return Ok(Bdd(r));
         }
+        self.charge_step()?;
         let (lo, hi) = {
             let n = &self.nodes[f.0 as usize];
             (Bdd(n.lo), Bdd(n.hi))
@@ -151,20 +189,20 @@ impl BddManager {
         let clevel = self.level(cube.0);
         let r = if clevel == flevel {
             let rest = Bdd(self.nodes[cube.0 as usize].hi);
-            let a = self.forall_rec(lo, rest);
+            let a = self.forall_rec(lo, rest)?;
             if a.0 == 0 {
                 a
             } else {
-                let b = self.forall_rec(hi, rest);
-                self.and(a, b)
+                let b = self.forall_rec(hi, rest)?;
+                self.try_and(a, b)?
             }
         } else {
-            let a = self.forall_rec(lo, cube);
-            let b = self.forall_rec(hi, cube);
-            self.mk(flevel, a.0, b.0)
+            let a = self.forall_rec(lo, cube)?;
+            let b = self.forall_rec(hi, cube)?;
+            self.try_mk(flevel, a.0, b.0)?
         };
         self.cache.put(Op::Forall, f.0, cube.0, 0, r.0);
-        r
+        Ok(r)
     }
 }
 

@@ -6,9 +6,9 @@
 //! Boolean function afterwards. Protected handles therefore survive
 //! reordering unchanged.
 
-use crate::manager::{BddManager, BddVar, Node, NIL};
 #[cfg(test)]
 use crate::manager::Bdd;
+use crate::manager::{BddManager, BddVar, Node, NIL};
 
 impl BddManager {
     /// Swaps the variables at `level` and `level + 1` in place.
@@ -219,10 +219,9 @@ impl BddManager {
         self.collect_garbage();
         self.cache.clear();
         let max_growth = self.reorder_settings.max_growth;
-        let mut vars: Vec<(usize, u32)> = (0..self.tables.len())
-            .map(|l| (self.tables[l].count, self.level_to_var[l]))
-            .collect();
-        vars.sort_by(|a, b| b.0.cmp(&a.0));
+        let mut vars: Vec<(usize, u32)> =
+            (0..self.tables.len()).map(|l| (self.tables[l].count, self.level_to_var[l])).collect();
+        vars.sort_by_key(|v| std::cmp::Reverse(v.0));
         for (_, var) in vars {
             self.sift_var(BddVar(var), max_growth);
         }
@@ -289,9 +288,7 @@ impl BddManager {
     /// operations only — never while unprotected intermediate results are
     /// held.
     pub fn maybe_reorder(&mut self) -> bool {
-        if !self.reorder_settings.enabled
-            || self.live_count() <= self.reorder_settings.threshold
-        {
+        if !self.reorder_settings.enabled || self.live_count() <= self.reorder_settings.threshold {
             return false;
         }
         self.reorder();

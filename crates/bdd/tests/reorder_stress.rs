@@ -33,9 +33,7 @@ fn eval_log(log: &[(Op, usize)], leaves: usize, idx: usize, assign: &[bool]) -> 
     }
     let (op, _) = log[idx - leaves];
     match op {
-        Op::And(a, b) => {
-            eval_log(log, leaves, a, assign) && eval_log(log, leaves, b, assign)
-        }
+        Op::And(a, b) => eval_log(log, leaves, a, assign) && eval_log(log, leaves, b, assign),
         Op::Or(a, b) => eval_log(log, leaves, a, assign) || eval_log(log, leaves, b, assign),
         Op::Xor(a, b) => eval_log(log, leaves, a, assign) ^ eval_log(log, leaves, b, assign),
         Op::Not(a) => !eval_log(log, leaves, a, assign),

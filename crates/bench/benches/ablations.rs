@@ -18,11 +18,7 @@ fn instance(name: &str) -> (bbec_netlist::Circuit, PartialCircuit) {
 }
 
 fn settings(reorder: bool) -> CheckSettings {
-    CheckSettings {
-        dynamic_reordering: reorder,
-        random_patterns: 500,
-        ..CheckSettings::default()
-    }
+    CheckSettings { dynamic_reordering: reorder, random_patterns: 500, ..CheckSettings::default() }
 }
 
 /// Dynamic reordering on vs off, for the cheapest and the joint check.

@@ -19,11 +19,7 @@ fn instance(name: &str) -> (Circuit, PartialCircuit) {
 }
 
 fn settings() -> CheckSettings {
-    CheckSettings {
-        dynamic_reordering: true,
-        random_patterns: 1000,
-        ..CheckSettings::default()
-    }
+    CheckSettings { dynamic_reordering: true, random_patterns: 1000, ..CheckSettings::default() }
 }
 
 fn bench_circuit(c: &mut Criterion, name: &str) {
@@ -52,8 +48,7 @@ fn bench_circuit(c: &mut Criterion, name: &str) {
     group.bench_function("sat_output_exact", |b| {
         b.iter(|| {
             black_box(
-                sat_checks::sat_output_exact(&spec, &partial, &s, 1_000_000)
-                    .expect("check runs"),
+                sat_checks::sat_output_exact(&spec, &partial, &s, 1_000_000).expect("check runs"),
             )
         })
     });

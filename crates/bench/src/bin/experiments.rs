@@ -25,7 +25,9 @@ use bbec_core::Method;
 use std::process::exit;
 
 fn usage() -> ! {
-    eprintln!("usage: experiments <table1|table2|table40|all|sequential> [options]  (see source header)");
+    eprintln!(
+        "usage: experiments <table1|table2|table40|all|sequential> [options]  (see source header)"
+    );
     exit(2)
 }
 
@@ -35,17 +37,12 @@ fn main() {
         usage();
     }
     let command = args[0].clone();
-    let mut base = ExperimentConfig {
-        selections: 3,
-        errors_per_selection: 25,
-        ..ExperimentConfig::default()
-    };
+    let mut base =
+        ExperimentConfig { selections: 3, errors_per_selection: 25, ..ExperimentConfig::default() };
     let mut i = 1;
     let parse_n = |args: &[String], i: &mut usize| -> usize {
         *i += 1;
-        args.get(*i)
-            .and_then(|v| v.parse().ok())
-            .unwrap_or_else(|| usage())
+        args.get(*i).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
     };
     while i < args.len() {
         match args[i].as_str() {

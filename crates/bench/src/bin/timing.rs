@@ -16,8 +16,13 @@ fn main() {
         let mut rng = StdRng::seed_from_u64(1);
         let p = PartialCircuit::random_black_boxes(spec, 0.1, 1, &mut rng).unwrap();
         let bx = &p.boxes()[0];
-        print!("{:<7} ({:>3} gates boxed, {:>2} in {:>2} out)", bench.name,
-            spec.gates().len() - p.circuit().gates().len(), bx.inputs.len(), bx.outputs.len());
+        print!(
+            "{:<7} ({:>3} gates boxed, {:>2} in {:>2} out)",
+            bench.name,
+            spec.gates().len() - p.circuit().gates().len(),
+            bx.inputs.len(),
+            bx.outputs.len()
+        );
         for (name, f) in [
             ("rp", checks::random_patterns as fn(_, _, _) -> _),
             ("01x", checks::symbolic_01x),
@@ -26,8 +31,22 @@ fn main() {
             ("ie", checks::input_exact),
         ] {
             let t = Instant::now();
-            let out = match f(spec, &p, &s) { Ok(o) => o, Err(e) => { print!("  {name}:ABORT({e})"); continue; } };
-            { use std::io::Write as _; print!("  {name}:{:>7.2?}({})", t.elapsed(), if out.is_error() {"E"} else {"-"}); std::io::stdout().flush().ok(); }
+            let out = match f(spec, &p, &s) {
+                Ok(o) => o,
+                Err(e) => {
+                    print!("  {name}:ABORT({e})");
+                    continue;
+                }
+            };
+            {
+                use std::io::Write as _;
+                print!(
+                    "  {name}:{:>7.2?}({})",
+                    t.elapsed(),
+                    if out.is_error() { "E" } else { "-" }
+                );
+                std::io::stdout().flush().ok();
+            }
         }
         println!();
     }

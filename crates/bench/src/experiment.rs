@@ -59,12 +59,18 @@ impl Default for ExperimentConfig {
 pub struct MethodAgg {
     pub detected: usize,
     pub trials: usize,
-    /// Checks aborted by the BDD node budget (counted as "not detected").
+    /// Checks aborted by a resource budget (counted as "not detected").
     pub aborted: usize,
+    /// Checks that failed outright (interface/netlist errors); counted as
+    /// "not detected" and rendered as `--` when a whole cell failed.
+    pub failed: usize,
     /// Maximum "implementation nodes" seen (paper columns 10–13).
     pub impl_nodes: usize,
     /// Maximum peak-nodes-during-check seen (paper columns 14–16).
     pub peak_nodes: usize,
+    /// Total apply steps charged by the resource governor (machine-
+    /// independent cost; includes the partial work of aborted checks).
+    pub apply_steps: u64,
     pub total_time: Duration,
 }
 
@@ -94,12 +100,30 @@ pub struct CircuitResult {
 struct MethodRun {
     found: bool,
     aborted: bool,
+    failed: bool,
     impl_nodes: usize,
     peak_nodes: usize,
+    apply_steps: u64,
     time: Duration,
 }
 
-/// Runs one check method; a budget abort counts as "no error found".
+impl MethodRun {
+    fn failure() -> MethodRun {
+        MethodRun {
+            found: false,
+            aborted: false,
+            failed: true,
+            impl_nodes: 0,
+            peak_nodes: 0,
+            apply_steps: 0,
+            time: Duration::ZERO,
+        }
+    }
+}
+
+/// Runs one check method. A budget abort counts as "no error found"; any
+/// other failure is reported on stderr and aggregated as a failed cell —
+/// a single bad instance must not sink a whole table run.
 fn run_method(
     method: Method,
     spec: &Circuit,
@@ -114,29 +138,39 @@ fn run_method(
         Method::OutputExact => checks::output_exact(spec, partial, settings),
         Method::InputExact => checks::input_exact(spec, partial, settings),
         Method::SatDualRail => sat_checks::sat_dual_rail(spec, partial, settings),
-        Method::SatOutputExact => {
-            sat_checks::sat_output_exact(spec, partial, settings, 1_000_000)
-        }
+        Method::SatOutputExact => sat_checks::sat_output_exact(spec, partial, settings, 1_000_000),
         Method::ExactDecomposition => {
-            panic!("exact decomposition is not an experiment column")
+            eprintln!("  warning: exact decomposition is not an experiment column");
+            return MethodRun::failure();
         }
     };
     match outcome {
         Ok(o) => MethodRun {
             found: o.verdict == Verdict::ErrorFound,
             aborted: false,
+            failed: false,
             impl_nodes: o.stats.impl_nodes,
             peak_nodes: o.stats.peak_check_nodes,
+            apply_steps: o.stats.apply_steps,
             time: o.stats.duration,
         },
-        Err(bbec_core::CheckError::BudgetExceeded(_)) => MethodRun {
-            found: false,
-            aborted: true,
-            impl_nodes: 0,
-            peak_nodes: 0,
-            time: start.elapsed(),
-        },
-        Err(e) => panic!("check {method} failed: {e}"),
+        Err(bbec_core::CheckError::BudgetExceeded(abort)) => {
+            // The governor reports what the check had spent when it fired.
+            let stats = abort.stats.unwrap_or_default();
+            MethodRun {
+                found: false,
+                aborted: true,
+                failed: false,
+                impl_nodes: stats.impl_nodes,
+                peak_nodes: stats.peak_check_nodes,
+                apply_steps: stats.apply_steps,
+                time: start.elapsed(),
+            }
+        }
+        Err(e) => {
+            eprintln!("  warning: check {method} failed: {e}");
+            MethodRun::failure()
+        }
     }
 }
 
@@ -175,11 +209,16 @@ pub fn run_experiment(config: &ExperimentConfig) -> Vec<CircuitResult> {
             config.methods.iter().map(|&m| (m, MethodAgg::default())).collect();
         for sel in 0..config.selections {
             let mut rng = StdRng::seed_from_u64(
-                config.seed ^ (sel as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                config.seed
+                    ^ (sel as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
                     ^ hash_name(bench.name),
             );
-            let sets =
-                PartialCircuit::random_convex_partition(spec, config.fraction, config.boxes, &mut rng);
+            let sets = PartialCircuit::random_convex_partition(
+                spec,
+                config.fraction,
+                config.boxes,
+                &mut rng,
+            );
             let boxed: HashSet<u32> = sets.iter().flatten().copied().collect();
             let allowed: Vec<u32> =
                 (0..spec.gates().len() as u32).filter(|g| !boxed.contains(g)).collect();
@@ -195,8 +234,10 @@ pub fn run_experiment(config: &ExperimentConfig) -> Vec<CircuitResult> {
                     agg.trials += 1;
                     agg.detected += usize::from(run.found);
                     agg.aborted += usize::from(run.aborted);
+                    agg.failed += usize::from(run.failed);
                     agg.impl_nodes = agg.impl_nodes.max(run.impl_nodes);
                     agg.peak_nodes = agg.peak_nodes.max(run.peak_nodes);
+                    agg.apply_steps += run.apply_steps;
                     agg.total_time += run.time;
                 }
             }

@@ -9,7 +9,7 @@
 //! sequential future-work item.
 
 use bbec_core::unroll::{unroll, unroll_partial, SequentialCircuit};
-use bbec_core::{checks, CheckSettings, PartialCircuit, Verdict};
+use bbec_core::{checks, CheckError, CheckSettings, PartialCircuit, Verdict};
 use bbec_netlist::mutate::Mutation;
 use bbec_netlist::seqgen::{self, SequentialDesign};
 use rand::rngs::StdRng;
@@ -31,12 +31,7 @@ pub struct SeqExperimentConfig {
 
 impl Default for SeqExperimentConfig {
     fn default() -> Self {
-        SeqExperimentConfig {
-            frames: vec![1, 2, 3, 4, 6],
-            errors: 12,
-            fraction: 0.15,
-            seed: 1971,
-        }
+        SeqExperimentConfig { frames: vec![1, 2, 3, 4, 6], errors: 12, fraction: 0.15, seed: 1971 }
     }
 }
 
@@ -70,19 +65,13 @@ pub fn run_sequential_experiment(config: &SeqExperimentConfig) -> Vec<SeqResult>
     let mut results = Vec::new();
     for design in designs() {
         let tc = &design.circuit;
-        let seq = SequentialCircuit::new(
-            tc.clone(),
-            design.state.clone(),
-            design.initial.clone(),
-        )
-        .expect("generator designs are valid");
+        let seq = SequentialCircuit::new(tc.clone(), design.state.clone(), design.initial.clone())
+            .expect("generator designs are valid");
         let mut rng = StdRng::seed_from_u64(config.seed);
-        let mut per_frame: Vec<(usize, usize)> =
-            config.frames.iter().map(|&k| (k, 0)).collect();
+        let mut per_frame: Vec<(usize, usize)> = config.frames.iter().map(|&k| (k, 0)).collect();
         let mut trials = 0;
         for _ in 0..config.errors {
-            let sets =
-                PartialCircuit::random_convex_partition(tc, config.fraction, 1, &mut rng);
+            let sets = PartialCircuit::random_convex_partition(tc, config.fraction, 1, &mut rng);
             let boxed: HashSet<u32> = sets.iter().flatten().copied().collect();
             let allowed: Vec<u32> =
                 (0..tc.gates().len() as u32).filter(|g| !boxed.contains(g)).collect();
@@ -96,12 +85,25 @@ pub fn run_sequential_experiment(config: &SeqExperimentConfig) -> Vec<SeqResult>
             trials += 1;
             for (k, detected) in per_frame.iter_mut() {
                 let spec_k = unroll(&seq, *k).expect("valid unrolling");
-                let partial_k =
-                    unroll_partial(&partial, &design.state, &design.initial, *k)
-                        .expect("valid partial unrolling");
-                let verdict = checks::output_exact(&spec_k, &partial_k, &settings)
-                    .expect("check runs")
-                    .verdict;
+                let partial_k = unroll_partial(&partial, &design.state, &design.initial, *k)
+                    .expect("valid partial unrolling");
+                // A budget abort (or any other per-instance failure) counts
+                // as "not detected" — a deep unrolling that blows the budget
+                // must not sink the whole sweep.
+                let verdict = match checks::output_exact(&spec_k, &partial_k, &settings) {
+                    Ok(outcome) => outcome.verdict,
+                    Err(CheckError::BudgetExceeded(abort)) => {
+                        eprintln!(
+                            "  warning: output-exact at k={k} exceeded its budget ({})",
+                            abort.reason
+                        );
+                        Verdict::NoErrorFound
+                    }
+                    Err(e) => {
+                        eprintln!("  warning: output-exact at k={k} failed: {e}");
+                        Verdict::NoErrorFound
+                    }
+                };
                 if verdict == Verdict::ErrorFound {
                     *detected += 1;
                 }

@@ -41,17 +41,33 @@ pub fn render_table(title: &str, results: &[CircuitResult]) -> String {
     // Rows.
     let mut ratio_sums = vec![0.0f64; methods.len()];
     let mut any_aborts = false;
+    let mut any_failures = false;
     for r in results {
         let _ = write!(out, "{:<8} {:>3} {:>3} {:>7} |", r.name, r.inputs, r.outputs, r.spec_nodes);
         for (i, (_, a)) in r.per_method.iter().enumerate() {
             ratio_sums[i] += a.ratio();
-            let marker = if a.aborted > 0 {
+            // A cell where not a single trial produced a verdict carries no
+            // ratio worth printing: `--` when every trial failed outright,
+            // `budget` when every trial hit the resource budget.
+            let (cell, marker) = if a.trials > 0 && a.failed == a.trials {
+                any_failures = true;
+                ("--".to_string(), "")
+            } else if a.trials > 0 && a.aborted == a.trials {
                 any_aborts = true;
-                "*"
+                ("budget".to_string(), "")
             } else {
-                ""
+                let marker = if a.failed > 0 {
+                    any_failures = true;
+                    "!"
+                } else if a.aborted > 0 {
+                    any_aborts = true;
+                    "*"
+                } else {
+                    ""
+                };
+                (format!("{:.0}%", a.ratio()), marker)
             };
-            let _ = write!(out, " {:>5.0}%{marker:<1}", a.ratio());
+            let _ = write!(out, " {cell:>6}{marker:<1}");
         }
         let _ = write!(out, " |");
         for (m, a) in &r.per_method {
@@ -78,7 +94,16 @@ pub fn render_table(title: &str, results: &[CircuitResult]) -> String {
     }
     out.push('\n');
     if any_aborts {
-        out.push_str("(* some checks hit the BDD node budget and count as 'no error')\n");
+        out.push_str(
+            "(* some checks exceeded their resource budget and count as 'no error'; \
+             `budget` marks cells where every trial aborted)\n",
+        );
+    }
+    if any_failures {
+        out.push_str(
+            "(! some checks failed outright and count as 'no error'; \
+             `--` marks cells where every trial failed)\n",
+        );
     }
     out
 }
@@ -127,5 +152,44 @@ mod tests {
     fn empty_results_do_not_panic() {
         let t = render_table("empty", &[]);
         assert!(t.contains("no results"));
+    }
+
+    #[test]
+    fn exhausted_cells_render_budget_and_dashes() {
+        let base = MethodAgg { trials: 4, ..MethodAgg::default() };
+        let r = CircuitResult {
+            name: "tiny".to_string(),
+            inputs: 2,
+            outputs: 1,
+            spec_nodes: 7,
+            per_method: vec![
+                (Method::Symbolic01X, MethodAgg { detected: 2, ..base.clone() }),
+                (Method::OutputExact, MethodAgg { aborted: 4, ..base.clone() }),
+                (Method::InputExact, MethodAgg { failed: 4, ..base.clone() }),
+            ],
+        };
+        let t = render_table("Table X", &[r]);
+        assert!(t.contains("budget"), "all-aborted cell:\n{t}");
+        assert!(t.contains("--"), "all-failed cell:\n{t}");
+        assert!(t.contains("50%"), "normal cell survives:\n{t}");
+        assert!(t.contains("every trial aborted"));
+        assert!(t.contains("every trial failed"));
+    }
+
+    #[test]
+    fn partial_aborts_keep_ratio_with_marker() {
+        let r = CircuitResult {
+            name: "mix".to_string(),
+            inputs: 2,
+            outputs: 1,
+            spec_nodes: 7,
+            per_method: vec![(
+                Method::InputExact,
+                MethodAgg { detected: 1, trials: 4, aborted: 2, ..MethodAgg::default() },
+            )],
+        };
+        let t = render_table("Table Y", &[r]);
+        assert!(t.contains("25%*"), "partial abort keeps the ratio:\n{t}");
+        assert!(!t.contains("budget marks"), "no all-aborted footnote needed");
     }
 }

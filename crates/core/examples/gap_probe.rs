@@ -26,15 +26,17 @@ fn main() {
             if g1 == g2 {
                 continue;
             }
-            let Ok(p) = PartialCircuit::black_box_partition(&faulty, &[vec![g1], vec![g2]])
-            else {
+            let Ok(p) = PartialCircuit::black_box_partition(&faulty, &[vec![g1], vec![g2]]) else {
                 continue;
             };
             let Ok(exact) = checks::exact_decomposition(&c, &p, &s, 16) else { continue };
             tried += 1;
             let ie = checks::input_exact(&c, &p, &s).unwrap().verdict;
             if ie == Verdict::NoErrorFound && !exact.is_completable() {
-                println!("GAP FOUND: seed {seed}, mutation {}, boxes [{g1}],[{g2}]", m.describe(&c));
+                println!(
+                    "GAP FOUND: seed {seed}, mutation {}, boxes [{g1}],[{g2}]",
+                    m.describe(&c)
+                );
                 return;
             }
         }

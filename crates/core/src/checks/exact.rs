@@ -10,7 +10,7 @@
 
 use crate::checks::validate_interface;
 use crate::partial::PartialCircuit;
-use crate::report::{CheckError, CheckSettings, Method};
+use crate::report::{BudgetAbort, CheckError, CheckSettings, Method};
 use bbec_netlist::Circuit;
 use std::time::{Duration, Instant};
 
@@ -59,26 +59,25 @@ pub fn exact_decomposition(
     let start = Instant::now();
     let n = spec.inputs().len();
     if n > 16 {
-        return Err(CheckError::BudgetExceeded(format!(
+        return Err(CheckError::BudgetExceeded(BudgetAbort::new(format!(
             "{n} primary inputs exceed the exhaustive-simulation limit of 16"
-        )));
+        ))));
     }
     let mut total_bits: u32 = 0;
     for b in partial.boxes() {
         if b.inputs.len() > 8 {
-            return Err(CheckError::BudgetExceeded(format!(
+            return Err(CheckError::BudgetExceeded(BudgetAbort::new(format!(
                 "box `{}` has {} inputs",
                 b.name,
                 b.inputs.len()
-            )));
+            ))));
         }
-        total_bits = total_bits
-            .saturating_add(b.outputs.len() as u32 * (1u32 << b.inputs.len()));
+        total_bits = total_bits.saturating_add(b.outputs.len() as u32 * (1u32 << b.inputs.len()));
     }
     if total_bits > max_table_bits {
-        return Err(CheckError::BudgetExceeded(format!(
+        return Err(CheckError::BudgetExceeded(BudgetAbort::new(format!(
             "{total_bits} truth-table bits exceed the budget of {max_table_bits}"
-        )));
+        ))));
     }
 
     // Precompute the specification's full response.
@@ -286,8 +285,7 @@ mod tests {
             if g1 == g2 {
                 continue;
             }
-            let Ok(p) = PartialCircuit::black_box_partition(&faulty, &[vec![g1], vec![g2]])
-            else {
+            let Ok(p) = PartialCircuit::black_box_partition(&faulty, &[vec![g1], vec![g2]]) else {
                 continue;
             };
             let Ok(exact) = exact_decomposition(&c, &p, &settings(), 18) else {
@@ -316,11 +314,11 @@ mod tests {
     #[test]
     fn equation_one_is_strictly_incomplete_for_two_boxes() {
         use bbec_netlist::mutate::{Mutation, MutationKind};
-        let c = generators::random_logic("gap", 4, 14, 2, 23);
-        let faulty = Mutation { gate: 3, kind: MutationKind::RemoveInput { pin: 1 } }
+        let c = generators::random_logic("gap", 4, 14, 2, 1);
+        let faulty = Mutation { gate: 3, kind: MutationKind::TypeChange }
             .apply(&c)
             .expect("frozen mutation fits");
-        let p = PartialCircuit::black_box_partition(&faulty, &[vec![5], vec![4]])
+        let p = PartialCircuit::black_box_partition(&faulty, &[vec![5], vec![6]])
             .expect("frozen selection is valid");
         let exact = exact_decomposition(&c, &p, &settings(), 16).expect("tiny boxes");
         let ie = checks::input_exact(&c, &p, &settings()).unwrap().verdict;

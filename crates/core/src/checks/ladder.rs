@@ -1,9 +1,17 @@
 //! The escalation strategy of the paper's conclusion: run the checks
 //! cheapest-first and stop at the first error.
+//!
+//! A rung that exhausts its resource budget no longer sinks the whole
+//! ladder: it is recorded as a [`StageResult::BudgetExceeded`] entry and
+//! the ladder proceeds, so the final verdict is that of the strongest rung
+//! that actually finished.
 
 use crate::checks::{input_exact, local_check, output_exact, random_patterns, symbolic_01x};
 use crate::partial::PartialCircuit;
-use crate::report::{CheckError, CheckOutcome, CheckSettings, Method, Verdict};
+use crate::report::{
+    CheckError, CheckOutcome, CheckSettings, Counterexample, Method, ResourceStats, Verdict,
+};
+use crate::session::CheckSession;
 use bbec_netlist::Circuit;
 
 /// Runs a configurable sequence of checks, stopping at the first error.
@@ -41,30 +49,83 @@ impl Default for CheckLadder {
     }
 }
 
-/// The trace of a ladder run.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// What happened to one rung of the ladder.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StageResult {
+    /// The rung ran to completion and produced a verdict.
+    Finished(CheckOutcome),
+    /// The rung exceeded its resource budget; the ladder carried on.
+    BudgetExceeded {
+        /// The method that was cut short.
+        method: Method,
+        /// Which limit fired.
+        reason: String,
+        /// Resources consumed up to the abort, when recorded.
+        stats: Option<ResourceStats>,
+    },
+}
+
+impl StageResult {
+    /// The method this rung ran.
+    pub fn method(&self) -> Method {
+        match self {
+            StageResult::Finished(o) => o.method,
+            StageResult::BudgetExceeded { method, .. } => *method,
+        }
+    }
+
+    /// The outcome, when the rung finished.
+    pub fn outcome(&self) -> Option<&CheckOutcome> {
+        match self {
+            StageResult::Finished(o) => Some(o),
+            StageResult::BudgetExceeded { .. } => None,
+        }
+    }
+
+    /// Whether this rung ran out of budget.
+    pub fn is_budget_exceeded(&self) -> bool {
+        matches!(self, StageResult::BudgetExceeded { .. })
+    }
+}
+
+/// The trace of a ladder run: one entry per executed rung, including rungs
+/// that ran out of budget.
+#[derive(Debug, Clone, PartialEq)]
 pub struct LadderReport {
-    /// Outcome of each executed stage (stops after the first error).
-    pub outcomes: Vec<CheckOutcome>,
+    /// Result of each executed stage (stops after the first error).
+    pub stages: Vec<StageResult>,
 }
 
 impl LadderReport {
-    /// The overall verdict.
+    /// The outcomes of the rungs that finished, in execution order.
+    pub fn outcomes(&self) -> impl Iterator<Item = &CheckOutcome> {
+        self.stages.iter().filter_map(StageResult::outcome)
+    }
+
+    /// The overall verdict: an error iff some *finished* rung found one.
+    /// Budget-exceeded rungs contribute nothing (the verdict is that of
+    /// the strongest rung that completed).
     pub fn verdict(&self) -> Verdict {
-        self.outcomes
-            .last()
-            .map(|o| o.verdict)
-            .unwrap_or(Verdict::NoErrorFound)
+        if self.outcomes().any(CheckOutcome::is_error) {
+            Verdict::ErrorFound
+        } else {
+            Verdict::NoErrorFound
+        }
     }
 
     /// The method that found the error, if any.
     pub fn deciding_method(&self) -> Option<Method> {
-        self.outcomes.iter().find(|o| o.is_error()).map(|o| o.method)
+        self.outcomes().find(|o| o.is_error()).map(|o| o.method)
     }
 
     /// The counterexample of the deciding stage, if one was produced.
-    pub fn counterexample(&self) -> Option<&crate::report::Counterexample> {
-        self.outcomes.iter().find(|o| o.is_error()).and_then(|o| o.counterexample.as_ref())
+    pub fn counterexample(&self) -> Option<&Counterexample> {
+        self.outcomes().find(|o| o.is_error()).and_then(|o| o.counterexample.as_ref())
+    }
+
+    /// The methods that ran out of budget, in execution order.
+    pub fn budget_exceeded(&self) -> Vec<Method> {
+        self.stages.iter().filter(|s| s.is_budget_exceeded()).map(StageResult::method).collect()
     }
 }
 
@@ -76,46 +137,105 @@ impl CheckLadder {
 
     /// Runs the stages in order, stopping at the first error.
     ///
+    /// A rung that exceeds its resource budget is recorded in the report
+    /// and the ladder continues with the next stage.
+    ///
     /// # Errors
     ///
-    /// Propagates the first stage failure ([`CheckError`]); a stage asking
-    /// for [`Method::ExactDecomposition`] or the SAT methods is rejected —
-    /// those have their own entry points with extra parameters.
+    /// Propagates the first non-budget stage failure ([`CheckError`]); a
+    /// stage asking for [`Method::ExactDecomposition`] is rejected — it has
+    /// its own entry point with extra parameters.
     pub fn run(
         &self,
         spec: &Circuit,
         partial: &PartialCircuit,
     ) -> Result<LadderReport, CheckError> {
-        let mut outcomes = Vec::new();
+        let mut stages = Vec::new();
         for &stage in &self.stages {
-            let outcome = match stage {
-                Method::RandomPatterns => random_patterns(spec, partial, &self.settings)?,
-                Method::Symbolic01X => symbolic_01x(spec, partial, &self.settings)?,
-                Method::Local => local_check(spec, partial, &self.settings)?,
-                Method::OutputExact => output_exact(spec, partial, &self.settings)?,
-                Method::InputExact => input_exact(spec, partial, &self.settings)?,
+            let result = match stage {
+                Method::RandomPatterns => random_patterns(spec, partial, &self.settings),
+                Method::Symbolic01X => symbolic_01x(spec, partial, &self.settings),
+                Method::Local => local_check(spec, partial, &self.settings),
+                Method::OutputExact => output_exact(spec, partial, &self.settings),
+                Method::InputExact => input_exact(spec, partial, &self.settings),
                 Method::SatDualRail => {
-                    crate::sat_checks::sat_dual_rail(spec, partial, &self.settings)?
+                    crate::sat_checks::sat_dual_rail(spec, partial, &self.settings)
                 }
                 Method::SatOutputExact => crate::sat_checks::sat_output_exact(
                     spec,
                     partial,
                     &self.settings,
                     self.sat_refinement_budget,
-                )?,
+                ),
                 other => {
                     return Err(CheckError::InvalidPartial(format!(
                         "method {other} cannot run inside a ladder"
                     )))
                 }
             };
-            let stop = outcome.is_error();
-            outcomes.push(outcome);
-            if stop {
+            if Self::push_stage(&mut stages, stage, result)? {
                 break;
             }
         }
-        Ok(LadderReport { outcomes })
+        Ok(LadderReport { stages })
+    }
+
+    /// Like [`CheckLadder::run`], but reuses a [`CheckSession`]'s
+    /// specification BDDs across the BDD-based rungs. The session stays
+    /// usable after budget-exceeded rungs — no refresh is triggered.
+    ///
+    /// # Errors
+    ///
+    /// As [`CheckLadder::run`]; the session's specification must match
+    /// `spec` by construction (the session owns it).
+    pub fn run_with_session(
+        &self,
+        session: &mut CheckSession,
+        partial: &PartialCircuit,
+    ) -> Result<LadderReport, CheckError> {
+        let mut stages = Vec::new();
+        for &stage in &self.stages {
+            let result = match stage {
+                Method::SatDualRail => {
+                    crate::sat_checks::sat_dual_rail(session.spec(), partial, &self.settings)
+                }
+                Method::SatOutputExact => crate::sat_checks::sat_output_exact(
+                    session.spec(),
+                    partial,
+                    &self.settings,
+                    self.sat_refinement_budget,
+                ),
+                method => session.check(partial, method),
+            };
+            if Self::push_stage(&mut stages, stage, result)? {
+                break;
+            }
+        }
+        Ok(LadderReport { stages })
+    }
+
+    /// Records one rung; returns `Ok(true)` when the ladder should stop.
+    fn push_stage(
+        stages: &mut Vec<StageResult>,
+        method: Method,
+        result: Result<CheckOutcome, CheckError>,
+    ) -> Result<bool, CheckError> {
+        match result {
+            Ok(outcome) => {
+                let stop = outcome.is_error();
+                stages.push(StageResult::Finished(outcome));
+                Ok(stop)
+            }
+            Err(CheckError::BudgetExceeded(abort)) => {
+                stages.push(StageResult::BudgetExceeded {
+                    method,
+                    reason: abort.reason,
+                    stats: abort.stats,
+                });
+                Ok(false)
+            }
+            Err(e) => Err(e),
+        }
     }
 }
 
@@ -138,8 +258,10 @@ mod tests {
         let (spec, partial) = samples::completable_pair();
         let report = ladder().run(&spec, &partial).unwrap();
         assert_eq!(report.verdict(), Verdict::NoErrorFound);
-        assert_eq!(report.outcomes.len(), 5);
+        assert_eq!(report.stages.len(), 5);
+        assert_eq!(report.outcomes().count(), 5);
         assert_eq!(report.deciding_method(), None);
+        assert!(report.budget_exceeded().is_empty());
     }
 
     #[test]
@@ -149,7 +271,7 @@ mod tests {
         assert_eq!(report.verdict(), Verdict::ErrorFound);
         assert_eq!(report.deciding_method(), Some(Method::Local));
         // 0,1,X ran and passed; nothing after the deciding stage ran.
-        assert_eq!(report.outcomes.len(), 3);
+        assert_eq!(report.stages.len(), 3);
     }
 
     #[test]
@@ -157,7 +279,7 @@ mod tests {
         let (spec, partial) = samples::detected_only_by_input_exact();
         let report = ladder().run(&spec, &partial).unwrap();
         assert_eq!(report.deciding_method(), Some(Method::InputExact));
-        assert_eq!(report.outcomes.len(), 5);
+        assert_eq!(report.stages.len(), 5);
     }
 
     #[test]
@@ -166,5 +288,76 @@ mod tests {
         let mut l = ladder();
         l.stages = vec![Method::ExactDecomposition];
         assert!(l.run(&spec, &partial).is_err());
+    }
+
+    #[test]
+    fn per_rung_telemetry_is_recorded() {
+        let (spec, partial) = samples::completable_pair();
+        let report = ladder().run(&spec, &partial).unwrap();
+        for outcome in report.outcomes() {
+            if outcome.method != Method::RandomPatterns {
+                assert!(
+                    outcome.stats.apply_steps > 0,
+                    "{} must record apply steps",
+                    outcome.method
+                );
+            }
+        }
+    }
+
+    /// ISSUE satellite: a ladder whose input-exact rung exceeds a tiny step
+    /// budget still reports the verdict of the strongest finished rung, and
+    /// the same session answers a subsequent query without refreshing.
+    #[test]
+    fn budget_exceeded_rung_degrades_gracefully() {
+        let (spec, partial) = samples::detected_only_by_input_exact();
+        let base = CheckSettings {
+            dynamic_reordering: false,
+            random_patterns: 50,
+            node_limit: None,
+            ..CheckSettings::default()
+        };
+
+        // Calibrate: run the BDD rungs unbudgeted in ladder order and
+        // record each rung's deterministic step cost (reordering is off, so
+        // a second session charges the exact same step counts).
+        let mut cal = CheckSession::new(spec.clone(), base.clone()).unwrap();
+        let mut max_earlier = 0;
+        for m in [Method::Symbolic01X, Method::Local, Method::OutputExact] {
+            let out = cal.check(&partial, m).unwrap();
+            max_earlier = max_earlier.max(out.stats.apply_steps);
+        }
+        let ie = cal.check(&partial, Method::InputExact).unwrap();
+        assert_eq!(ie.verdict, Verdict::ErrorFound, "sample is detected only by input-exact");
+        assert!(
+            ie.stats.apply_steps > max_earlier,
+            "input-exact must be the most expensive rung here"
+        );
+
+        // A step limit that admits every rung except input-exact.
+        let tight = CheckSettings { step_limit: Some(max_earlier), ..base };
+        let mut session = CheckSession::new(spec.clone(), tight.clone()).unwrap();
+        let l = CheckLadder::with_settings(tight);
+        let report = l.run_with_session(&mut session, &partial).unwrap();
+
+        assert_eq!(report.stages.len(), 5);
+        assert_eq!(report.budget_exceeded(), vec![Method::InputExact]);
+        match &report.stages[4] {
+            StageResult::BudgetExceeded { method: Method::InputExact, reason, stats } => {
+                assert!(reason.contains("step"), "reason: {reason}");
+                assert!(stats.is_some(), "per-rung telemetry must survive the abort");
+            }
+            other => panic!("expected a budget-exceeded rung, got {other:?}"),
+        }
+        // The error is invisible to the finished rungs, so the degraded
+        // verdict is "no error found" — from the strongest finished rung.
+        assert_eq!(report.verdict(), Verdict::NoErrorFound);
+        assert_eq!(report.deciding_method(), None);
+
+        // The session survived the abort without a refresh and still
+        // answers queries.
+        let again = session.check(&partial, Method::OutputExact).unwrap();
+        assert_eq!(again.verdict, Verdict::NoErrorFound);
+        assert_eq!(session.refreshes(), 0, "budget abort must not force a refresh");
     }
 }

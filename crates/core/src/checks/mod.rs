@@ -15,6 +15,11 @@
 //! [`exact_decomposition`] implements the NP-complete criterion of
 //! Theorem 2.1 by brute force for tiny boxes; [`CheckLadder`] runs the
 //! methods cheapest-first as the paper's conclusion recommends.
+//!
+//! Every BDD-based check runs under the resource governor configured by
+//! [`crate::CheckSettings`]: exceeding the node, step, or time budget
+//! surfaces as [`CheckError::BudgetExceeded`] — a value, not a panic — and
+//! leaves the manager usable for weaker checks or later queries.
 
 mod exact;
 mod ladder;
@@ -23,47 +28,19 @@ mod ternary;
 mod zi;
 
 pub use exact::{exact_decomposition, BoxTable, ExactOutcome};
-pub use ladder::{CheckLadder, LadderReport};
+pub use ladder::{CheckLadder, LadderReport, StageResult};
 pub use random::random_patterns;
 pub use ternary::symbolic_01x;
 pub(crate) use ternary::symbolic_01x_with;
-pub(crate) use zi::{input_exact_with, local_check_with, output_exact_with};
 pub use zi::{input_exact, local_check, output_exact};
+pub(crate) use zi::{input_exact_with, local_check_with, output_exact_with};
 
 use crate::partial::PartialCircuit;
-use crate::report::CheckError;
-use bbec_bdd::ExceedNodeLimitError;
+use crate::report::{BudgetAbort, CheckError, ResourceStats};
+use crate::symbolic::SymbolicContext;
+use bbec_bdd::{Bdd, OpTelemetry};
 use bbec_netlist::Circuit;
-
-/// Runs a BDD-based check under the node budget: an
-/// [`ExceedNodeLimitError`] panic from the manager becomes a
-/// [`CheckError::BudgetExceeded`] instead of aborting the process.
-pub(crate) fn with_node_budget<T>(
-    f: impl FnOnce() -> Result<T, CheckError>,
-) -> Result<T, CheckError> {
-    install_quiet_hook();
-    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
-        Ok(result) => result,
-        Err(payload) => match payload.downcast_ref::<ExceedNodeLimitError>() {
-            Some(e) => Err(CheckError::BudgetExceeded(e.to_string())),
-            None => std::panic::resume_unwind(payload),
-        },
-    }
-}
-
-/// Silences the default panic-hook chatter for the expected
-/// budget-exceeded control-flow panic; all other panics print as usual.
-fn install_quiet_hook() {
-    static ONCE: std::sync::Once = std::sync::Once::new();
-    ONCE.call_once(|| {
-        let previous = std::panic::take_hook();
-        std::panic::set_hook(Box::new(move |info| {
-            if info.payload().downcast_ref::<ExceedNodeLimitError>().is_none() {
-                previous(info);
-            }
-        }));
-    });
-}
+use std::time::Instant;
 
 /// Validates that spec and partial implementation share an interface.
 pub(crate) fn validate_interface(
@@ -92,6 +69,106 @@ pub(crate) fn validate_interface(
     Ok(())
 }
 
+/// Per-check resource probe: arms the context's budget window, snapshots
+/// the governor's telemetry, and turns the deltas into [`ResourceStats`]
+/// on both the success and the abort path.
+pub(crate) struct CheckProbe {
+    start: Instant,
+    telemetry: OpTelemetry,
+    live_before: usize,
+}
+
+impl CheckProbe {
+    /// Arms a fresh budget window on `ctx` and starts measuring.
+    pub(crate) fn begin(ctx: &mut SymbolicContext) -> Self {
+        ctx.arm_budget();
+        ctx.manager.reset_peak();
+        CheckProbe {
+            start: Instant::now(),
+            telemetry: ctx.manager.telemetry(),
+            live_before: ctx.manager.stats().live_nodes,
+        }
+    }
+
+    /// Stats for a check that ran to completion (or up to an abort).
+    pub(crate) fn stats(&self, ctx: &SymbolicContext, impl_nodes: usize) -> ResourceStats {
+        let delta = ctx.manager.telemetry().since(&self.telemetry);
+        let peak = ctx.manager.stats().peak_live_nodes;
+        let mut stats = ResourceStats {
+            impl_nodes,
+            peak_check_nodes: peak.saturating_sub(self.live_before),
+            duration: self.start.elapsed(),
+            ..ResourceStats::default()
+        };
+        stats.absorb_telemetry(&delta);
+        stats
+    }
+
+    /// Converts a budget abort into a [`CheckError`] carrying the partial
+    /// resource statistics, after dropping the aborted check's protections.
+    pub(crate) fn abort(
+        &self,
+        ctx: &mut SymbolicContext,
+        guard: Guard,
+        e: bbec_bdd::BudgetExceeded,
+    ) -> CheckError {
+        guard.release_all(ctx);
+        let stats = self.stats(ctx, 0);
+        CheckError::BudgetExceeded(BudgetAbort::new(e.to_string()).with_stats(stats))
+    }
+
+    /// Attaches this probe's partial statistics to a budget abort that was
+    /// converted to [`CheckError`] further down (e.g. inside the symbolic
+    /// simulator, which releases its own protections before returning).
+    pub(crate) fn annotate(&self, ctx: &SymbolicContext, err: CheckError) -> CheckError {
+        match err {
+            CheckError::BudgetExceeded(abort) if abort.stats.is_none() => {
+                let stats = self.stats(ctx, 0);
+                CheckError::BudgetExceeded(abort.with_stats(stats))
+            }
+            other => other,
+        }
+    }
+}
+
+/// Tracks the BDD protections a check has taken so they can be released
+/// exactly once on every exit path (normal completion or budget abort).
+///
+/// Protections on sticky nodes (projections, constants) are no-ops in the
+/// manager, so tracking them here is harmless.
+#[derive(Default)]
+pub(crate) struct Guard {
+    held: Vec<Bdd>,
+}
+
+impl Guard {
+    pub(crate) fn new() -> Self {
+        Guard::default()
+    }
+
+    /// Protects `f` and remembers to release it later.
+    pub(crate) fn keep(&mut self, ctx: &mut SymbolicContext, f: Bdd) -> Bdd {
+        ctx.manager.protect(f);
+        self.held.push(f);
+        f
+    }
+
+    /// Releases one tracked handle early (e.g. a superseded accumulator).
+    pub(crate) fn drop_one(&mut self, ctx: &mut SymbolicContext, f: Bdd) {
+        if let Some(i) = self.held.iter().rposition(|&h| h == f) {
+            self.held.swap_remove(i);
+            ctx.manager.release(f);
+        }
+    }
+
+    /// Releases every tracked protection.
+    pub(crate) fn release_all(self, ctx: &mut SymbolicContext) {
+        for f in self.held {
+            ctx.manager.release(f);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -102,9 +179,32 @@ mod tests {
         let spec = generators::ripple_carry_adder(3);
         let other = generators::ripple_carry_adder(4);
         let p = crate::PartialCircuit::black_box_gates(&other, &[0]).unwrap();
-        assert!(matches!(
-            validate_interface(&spec, &p),
-            Err(CheckError::InterfaceMismatch { .. })
-        ));
+        assert!(matches!(validate_interface(&spec, &p), Err(CheckError::InterfaceMismatch { .. })));
+    }
+
+    #[test]
+    fn guard_releases_each_protection_once() {
+        let spec = generators::ripple_carry_adder(2);
+        let settings = crate::CheckSettings::default();
+        let mut ctx = SymbolicContext::new(&spec, &settings);
+        let x = ctx.manager.var(ctx.input_vars()[0]);
+        let y = ctx.manager.var(ctx.input_vars()[1]);
+        ctx.manager.collect_garbage();
+        let live_base = ctx.manager.stats().live_nodes;
+        let f = ctx.manager.and(x, y);
+
+        let mut guard = Guard::new();
+        guard.keep(&mut ctx, f);
+        guard.keep(&mut ctx, f);
+        guard.drop_one(&mut ctx, f);
+
+        // One protection still held: f survives a collection.
+        ctx.manager.collect_garbage();
+        assert!(ctx.manager.stats().live_nodes > live_base, "held protection must keep f alive");
+
+        // After the final release the footprint returns to the baseline.
+        guard.release_all(&mut ctx);
+        ctx.manager.collect_garbage();
+        assert_eq!(ctx.manager.stats().live_nodes, live_base, "guard must balance protect/release");
     }
 }

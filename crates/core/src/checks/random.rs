@@ -36,11 +36,7 @@ pub fn random_patterns(
         method: Method::RandomPatterns,
         verdict,
         counterexample,
-        stats: ResourceStats {
-            impl_nodes: 0,
-            peak_check_nodes: 0,
-            duration: start.elapsed(),
-        },
+        stats: ResourceStats { duration: start.elapsed(), ..ResourceStats::default() },
     };
     for _ in 0..settings.random_patterns {
         let inputs: Vec<bool> = (0..n).map(|_| rng.random_bool(0.5)).collect();
@@ -86,9 +82,8 @@ mod tests {
         let c = generators::ripple_carry_adder(4);
         // Invert the final carry output (gate far from the box).
         let last = (c.gates().len() - 1) as u32;
-        let faulty = Mutation { gate: last, kind: MutationKind::ToggleOutputInverter }
-            .apply(&c)
-            .unwrap();
+        let faulty =
+            Mutation { gate: last, kind: MutationKind::ToggleOutputInverter }.apply(&c).unwrap();
         let p = PartialCircuit::black_box_gates(&faulty, &[0]).unwrap();
         let out = random_patterns(&c, &p, &fast_settings()).unwrap();
         assert_eq!(out.verdict, Verdict::ErrorFound);
@@ -116,8 +111,7 @@ mod tests {
         let spec = b.build().unwrap();
         // Faulty copy: the AND became OR — but we black-box the OR gate
         // downstream, so every disagreement is masked by the box.
-        let faulty =
-            Mutation { gate: 0, kind: MutationKind::TypeChange }.apply(&spec).unwrap();
+        let faulty = Mutation { gate: 0, kind: MutationKind::TypeChange }.apply(&spec).unwrap();
         let p = PartialCircuit::black_box_gates(&faulty, &[1]).unwrap();
         let out = random_patterns(&spec, &p, &fast_settings()).unwrap();
         assert_eq!(out.verdict, Verdict::NoErrorFound);

@@ -1,14 +1,11 @@
 //! Symbolic 0,1,X simulation (Section 2.1 of the paper).
 
-use crate::checks::validate_interface;
+use crate::checks::{validate_interface, CheckProbe, Guard};
 use crate::partial::PartialCircuit;
-use crate::report::{
-    CheckError, CheckOutcome, CheckSettings, Counterexample, Method, ResourceStats, Verdict,
-};
+use crate::report::{CheckError, CheckOutcome, CheckSettings, Counterexample, Method, Verdict};
 use crate::symbolic::SymbolicContext;
 use bbec_bdd::Bdd;
 use bbec_netlist::Circuit;
-use std::time::Instant;
 
 /// Symbolic 0,1,X check: finds every input vector for which some output of
 /// the partial implementation is definite *and* wrong.
@@ -19,22 +16,20 @@ use std::time::Instant;
 ///
 /// # Errors
 ///
-/// [`CheckError::InterfaceMismatch`] or [`CheckError::Netlist`].
+/// [`CheckError::InterfaceMismatch`], [`CheckError::Netlist`], or
+/// [`CheckError::BudgetExceeded`] when the configured resource budget runs
+/// out (the manager stays usable).
 pub fn symbolic_01x(
     spec: &Circuit,
     partial: &PartialCircuit,
     settings: &CheckSettings,
 ) -> Result<CheckOutcome, CheckError> {
-    crate::checks::with_node_budget(|| symbolic_01x_inner(spec, partial, settings))
-}
-
-fn symbolic_01x_inner(
-    spec: &Circuit,
-    partial: &PartialCircuit,
-    settings: &CheckSettings,
-) -> Result<CheckOutcome, CheckError> {
     let mut ctx = SymbolicContext::new(spec, settings);
-    let spec_bdds = ctx.build_outputs(spec)?;
+    let probe = CheckProbe::begin(&mut ctx);
+    let spec_bdds = match ctx.build_outputs(spec) {
+        Ok(b) => b,
+        Err(e) => return Err(probe.annotate(&ctx, e)),
+    };
     symbolic_01x_with(&mut ctx, &spec_bdds, spec, partial)
 }
 
@@ -45,42 +40,47 @@ pub(crate) fn symbolic_01x_with(
     partial: &PartialCircuit,
 ) -> Result<CheckOutcome, CheckError> {
     validate_interface(spec, partial)?;
-    let start = Instant::now();
-    let pairs = ctx.build_ternary(partial.circuit());
+    let probe = CheckProbe::begin(ctx);
+    let sim = match ctx.build_ternary(partial.circuit()) {
+        Ok(sim) => sim,
+        // The simulator released its own protections; attach partial stats.
+        Err(e) => return Err(probe.annotate(ctx, e)),
+    };
     let impl_nodes = {
         let mut roots: Vec<Bdd> = Vec::new();
-        for t in &pairs {
+        for t in &sim.outputs {
             roots.push(t.is0);
             roots.push(t.is1);
         }
         ctx.manager.node_count_many(&roots)
     };
-    let live_before = ctx.manager.stats().live_nodes;
-    ctx.manager.reset_peak();
 
     let mut verdict = Verdict::NoErrorFound;
     let mut counterexample = None;
-    for (j, (t, &f)) in pairs.iter().zip(spec_bdds).enumerate() {
-        // Output definitely 1 where the spec is 0 …
-        let nf = ctx.manager.not(f);
-        let wrong1 = ctx.manager.and(t.is1, nf);
-        // … or definitely 0 where the spec is 1.
-        let wrong0 = ctx.manager.and(t.is0, f);
-        let wrong = ctx.manager.or(wrong1, wrong0);
-        if let Some(a) = ctx.manager.any_sat(wrong) {
-            verdict = Verdict::ErrorFound;
-            counterexample =
-                Some(Counterexample { inputs: ctx.witness_inputs(&a), output: Some(j) });
-            break;
+    let scan = (|| -> Result<(), bbec_bdd::BudgetExceeded> {
+        for (j, (t, &f)) in sim.outputs.iter().zip(spec_bdds).enumerate() {
+            // Output definitely 1 where the spec is 0 …
+            let nf = ctx.manager.try_not(f)?;
+            let wrong1 = ctx.manager.try_and(t.is1, nf)?;
+            // … or definitely 0 where the spec is 1.
+            let wrong0 = ctx.manager.try_and(t.is0, f)?;
+            let wrong = ctx.manager.try_or(wrong1, wrong0)?;
+            if let Some(a) = ctx.manager.any_sat(wrong) {
+                verdict = Verdict::ErrorFound;
+                counterexample =
+                    Some(Counterexample { inputs: ctx.witness_inputs(&a), output: Some(j) });
+                break;
+            }
         }
+        Ok(())
+    })();
+    if let Err(e) = scan {
+        sim.release(&mut ctx.manager);
+        return Err(probe.abort(ctx, Guard::new(), e));
     }
-    let peak = ctx.manager.stats().peak_live_nodes.saturating_sub(live_before);
-    Ok(CheckOutcome {
-        method: Method::Symbolic01X,
-        verdict,
-        counterexample,
-        stats: ResourceStats { impl_nodes, peak_check_nodes: peak, duration: start.elapsed() },
-    })
+    let stats = probe.stats(ctx, impl_nodes);
+    sim.release(&mut ctx.manager);
+    Ok(CheckOutcome { method: Method::Symbolic01X, verdict, counterexample, stats })
 }
 
 #[cfg(test)]
@@ -101,15 +101,15 @@ mod tests {
         let out = symbolic_01x(&c, &p, &settings()).unwrap();
         assert_eq!(out.verdict, Verdict::NoErrorFound);
         assert!(out.stats.impl_nodes > 0);
+        assert!(out.stats.apply_steps > 0, "telemetry must be recorded");
     }
 
     #[test]
     fn error_found_with_valid_witness() {
         let c = generators::magnitude_comparator(4);
         let last = (c.gates().len() - 1) as u32;
-        let faulty = Mutation { gate: last, kind: MutationKind::ToggleOutputInverter }
-            .apply(&c)
-            .unwrap();
+        let faulty =
+            Mutation { gate: last, kind: MutationKind::ToggleOutputInverter }.apply(&c).unwrap();
         let p = PartialCircuit::black_box_gates(&faulty, &[0]).unwrap();
         let out = symbolic_01x(&c, &p, &settings()).unwrap();
         assert_eq!(out.verdict, Verdict::ErrorFound);
@@ -157,5 +157,25 @@ mod tests {
         let (spec, partial) = crate::samples::detected_only_by_local();
         let out = symbolic_01x(&spec, &partial, &settings()).unwrap();
         assert_eq!(out.verdict, Verdict::NoErrorFound);
+    }
+
+    #[test]
+    fn tiny_step_budget_aborts_with_stats() {
+        let c = generators::magnitude_comparator(6);
+        let p = PartialCircuit::black_box_gates(&c, &[2]).unwrap();
+        let s = CheckSettings {
+            dynamic_reordering: false,
+            step_limit: Some(10),
+            ..CheckSettings::default()
+        };
+        let err = symbolic_01x(&c, &p, &s).unwrap_err();
+        match err {
+            CheckError::BudgetExceeded(abort) => {
+                assert!(abort.reason.contains("step"), "reason: {}", abort.reason);
+                let stats = abort.stats.expect("partial stats attached");
+                assert!(stats.apply_steps > 0);
+            }
+            other => panic!("expected budget abort, got {other}"),
+        }
     }
 }

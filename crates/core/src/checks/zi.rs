@@ -1,26 +1,24 @@
 //! Z_i simulation based checks: local (Lemma 2.1), output-exact
 //! (Lemma 2.2) and input-exact (equation (1)) — Section 2.2 of the paper.
 
-use crate::checks::validate_interface;
+use crate::checks::{validate_interface, CheckProbe, Guard};
 use crate::partial::PartialCircuit;
-use crate::report::{
-    CheckError, CheckOutcome, CheckSettings, Counterexample, Method, ResourceStats, Verdict,
-};
+use crate::report::{CheckError, CheckOutcome, CheckSettings, Counterexample, Method, Verdict};
 use crate::symbolic::{PartialSymbolic, SymbolicContext};
-use bbec_bdd::{Bdd, Cube};
+use bbec_bdd::{Bdd, BudgetExceeded, Cube};
 use bbec_netlist::Circuit;
-use std::time::Instant;
 
-/// Shared preamble of the Z_i checks: both function vectors plus node
-/// accounting. Borrows the context so a [`crate::CheckSession`] can
-/// amortise the specification BDDs over many checks.
+/// Shared preamble of the Z_i checks: both function vectors plus the
+/// per-check resource probe and protection guard. Borrows the context so a
+/// [`crate::CheckSession`] can amortise the specification BDDs over many
+/// checks.
 pub(crate) struct ZiSetup<'a> {
     ctx: &'a mut SymbolicContext,
     spec_bdds: &'a [Bdd],
     sym: PartialSymbolic,
     impl_nodes: usize,
-    live_before: usize,
-    start: Instant,
+    probe: CheckProbe,
+    guard: Guard,
 }
 
 /// One-shot variant: fresh context and spec BDDs per call.
@@ -29,12 +27,13 @@ struct OwnedSetup {
     spec_bdds: Vec<Bdd>,
 }
 
-fn owned_setup(
-    spec: &Circuit,
-    settings: &CheckSettings,
-) -> Result<OwnedSetup, CheckError> {
+fn owned_setup(spec: &Circuit, settings: &CheckSettings) -> Result<OwnedSetup, CheckError> {
     let mut ctx = SymbolicContext::new(spec, settings);
-    let spec_bdds = ctx.build_outputs(spec)?;
+    let probe = CheckProbe::begin(&mut ctx);
+    let spec_bdds = match ctx.build_outputs(spec) {
+        Ok(b) => b,
+        Err(e) => return Err(probe.annotate(&ctx, e)),
+    };
     Ok(OwnedSetup { ctx, spec_bdds })
 }
 
@@ -45,12 +44,14 @@ pub(crate) fn setup_in<'a>(
     partial: &PartialCircuit,
 ) -> Result<ZiSetup<'a>, CheckError> {
     validate_interface(spec, partial)?;
-    let start = Instant::now();
-    let sym = ctx.build_partial(partial);
+    let probe = CheckProbe::begin(ctx);
+    let sym = match ctx.build_partial(partial) {
+        Ok(sym) => sym,
+        // The simulator released its own protections; attach partial stats.
+        Err(e) => return Err(probe.annotate(ctx, e)),
+    };
     let impl_nodes = ctx.manager.node_count_many(&sym.outputs);
-    let live_before = ctx.manager.stats().live_nodes;
-    ctx.manager.reset_peak();
-    Ok(ZiSetup { ctx, spec_bdds, sym, impl_nodes, live_before, start })
+    Ok(ZiSetup { ctx, spec_bdds, sym, impl_nodes, probe, guard: Guard::new() })
 }
 
 impl ZiSetup<'_> {
@@ -60,18 +61,17 @@ impl ZiSetup<'_> {
         verdict: Verdict,
         counterexample: Option<Counterexample>,
     ) -> CheckOutcome {
-        let peak =
-            self.ctx.manager.stats().peak_live_nodes.saturating_sub(self.live_before);
-        CheckOutcome {
-            method,
-            verdict,
-            counterexample,
-            stats: ResourceStats {
-                impl_nodes: self.impl_nodes,
-                peak_check_nodes: peak,
-                duration: self.start.elapsed(),
-            },
-        }
+        let ZiSetup { ctx, probe, guard, impl_nodes, .. } = self;
+        let stats = probe.stats(ctx, impl_nodes);
+        guard.release_all(ctx);
+        CheckOutcome { method, verdict, counterexample, stats }
+    }
+
+    /// Converts a mid-check budget abort, releasing this check's
+    /// protections and attaching the partial statistics.
+    fn abort(self, e: BudgetExceeded) -> CheckError {
+        let ZiSetup { ctx, probe, guard, .. } = self;
+        probe.abort(ctx, guard, e)
     }
 }
 
@@ -85,16 +85,9 @@ impl ZiSetup<'_> {
 ///
 /// # Errors
 ///
-/// [`CheckError::InterfaceMismatch`] or [`CheckError::Netlist`].
+/// [`CheckError::InterfaceMismatch`], [`CheckError::Netlist`], or
+/// [`CheckError::BudgetExceeded`].
 pub fn local_check(
-    spec: &Circuit,
-    partial: &PartialCircuit,
-    settings: &CheckSettings,
-) -> Result<CheckOutcome, CheckError> {
-    crate::checks::with_node_budget(|| local_check_inner(spec, partial, settings))
-}
-
-fn local_check_inner(
     spec: &Circuit,
     partial: &PartialCircuit,
     settings: &CheckSettings,
@@ -109,39 +102,46 @@ pub(crate) fn local_check_with(
     spec: &Circuit,
     partial: &PartialCircuit,
 ) -> Result<CheckOutcome, CheckError> {
-    let s = setup_in(ctx, spec_bdds, spec, partial)?;
-    let zcube = Cube::from_vars(&mut s.ctx.manager, &s.sym.all_z_vars).protect(&mut s.ctx.manager);
+    let mut s = setup_in(ctx, spec_bdds, spec, partial)?;
+    match local_body(&mut s) {
+        Ok((verdict, cex)) => Ok(s.finish(Method::Local, verdict, cex)),
+        Err(e) => Err(s.abort(e)),
+    }
+}
+
+fn local_body(s: &mut ZiSetup) -> Result<(Verdict, Option<Counterexample>), BudgetExceeded> {
+    let zcube = Cube::try_from_vars(&mut s.ctx.manager, &s.sym.all_z_vars)?;
+    s.guard.keep(s.ctx, zcube.as_bdd());
     for j in 0..s.spec_bdds.len() {
         let g = s.sym.outputs[j];
         let f = s.spec_bdds[j];
         // Inputs forcing g_j ≡ 1 while f_j = 0 …
-        let forced1 = s.ctx.manager.forall(g, zcube);
-        let nf = s.ctx.manager.not(f);
-        let wrong1 = s.ctx.manager.and(forced1, nf);
+        let forced1 = s.ctx.manager.try_forall(g, zcube)?;
+        let nf = s.ctx.manager.try_not(f)?;
+        let wrong1 = s.ctx.manager.try_and(forced1, nf)?;
         // … or forcing g_j ≡ 0 while f_j = 1.
-        let ng = s.ctx.manager.not(g);
-        let forced0 = s.ctx.manager.forall(ng, zcube);
-        let wrong0 = s.ctx.manager.and(forced0, f);
-        let wrong = s.ctx.manager.or(wrong1, wrong0);
+        let ng = s.ctx.manager.try_not(g)?;
+        let forced0 = s.ctx.manager.try_forall(ng, zcube)?;
+        let wrong0 = s.ctx.manager.try_and(forced0, f)?;
+        let wrong = s.ctx.manager.try_or(wrong1, wrong0)?;
         if let Some(a) = s.ctx.manager.any_sat(wrong) {
             let inputs = s.ctx.witness_inputs(&a);
-            let cex = Some(Counterexample { inputs, output: Some(j) });
-            return Ok(s.finish(Method::Local, Verdict::ErrorFound, cex));
+            return Ok((Verdict::ErrorFound, Some(Counterexample { inputs, output: Some(j) })));
         }
     }
-    Ok(s.finish(Method::Local, Verdict::NoErrorFound, None))
+    Ok((Verdict::NoErrorFound, None))
 }
 
 /// The conjunction `cond = ⋀_j (g_j ↔ f_j)` over all outputs.
-fn joint_condition(s: &mut ZiSetup) -> Bdd {
+fn try_joint_condition(s: &mut ZiSetup) -> Result<Bdd, BudgetExceeded> {
     let mut cond = s.ctx.manager.constant(true);
     let pairs: Vec<(Bdd, Bdd)> =
         s.sym.outputs.iter().copied().zip(s.spec_bdds.iter().copied()).collect();
     for (g, f) in pairs {
-        let c = s.ctx.manager.xnor(g, f);
-        cond = s.ctx.manager.and(cond, c);
+        let c = s.ctx.manager.try_xnor(g, f)?;
+        cond = s.ctx.manager.try_and(cond, c)?;
     }
-    cond
+    Ok(cond)
 }
 
 /// The **output-exact check** (Lemma 2.2): an error exists iff for some
@@ -154,16 +154,9 @@ fn joint_condition(s: &mut ZiSetup) -> Bdd {
 ///
 /// # Errors
 ///
-/// [`CheckError::InterfaceMismatch`] or [`CheckError::Netlist`].
+/// [`CheckError::InterfaceMismatch`], [`CheckError::Netlist`], or
+/// [`CheckError::BudgetExceeded`].
 pub fn output_exact(
-    spec: &Circuit,
-    partial: &PartialCircuit,
-    settings: &CheckSettings,
-) -> Result<CheckOutcome, CheckError> {
-    crate::checks::with_node_budget(|| output_exact_inner(spec, partial, settings))
-}
-
-fn output_exact_inner(
     spec: &Circuit,
     partial: &PartialCircuit,
     settings: &CheckSettings,
@@ -179,16 +172,23 @@ pub(crate) fn output_exact_with(
     partial: &PartialCircuit,
 ) -> Result<CheckOutcome, CheckError> {
     let mut s = setup_in(ctx, spec_bdds, spec, partial)?;
-    let zcube = Cube::from_vars(&mut s.ctx.manager, &s.sym.all_z_vars).protect(&mut s.ctx.manager);
-    let cond = joint_condition(&mut s);
+    match output_exact_body(&mut s) {
+        Ok((verdict, cex)) => Ok(s.finish(Method::OutputExact, verdict, cex)),
+        Err(e) => Err(s.abort(e)),
+    }
+}
+
+fn output_exact_body(s: &mut ZiSetup) -> Result<(Verdict, Option<Counterexample>), BudgetExceeded> {
+    let zcube = Cube::try_from_vars(&mut s.ctx.manager, &s.sym.all_z_vars)?;
+    s.guard.keep(s.ctx, zcube.as_bdd());
+    let cond = try_joint_condition(s)?;
     // No error iff ∀X ∃Z cond — i.e. ∃Z cond is a tautology over X.
-    let sat_exists = s.ctx.manager.exists(cond, zcube);
+    let sat_exists = s.ctx.manager.try_exists(cond, zcube)?;
     match s.ctx.manager.any_unsat(sat_exists) {
-        None => Ok(s.finish(Method::OutputExact, Verdict::NoErrorFound, None)),
+        None => Ok((Verdict::NoErrorFound, None)),
         Some(a) => {
             let inputs = s.ctx.witness_inputs(&a);
-            let cex = Some(Counterexample { inputs, output: None });
-            Ok(s.finish(Method::OutputExact, Verdict::ErrorFound, cex))
+            Ok((Verdict::ErrorFound, Some(Counterexample { inputs, output: None })))
         }
     }
 }
@@ -208,16 +208,9 @@ pub(crate) fn output_exact_with(
 ///
 /// # Errors
 ///
-/// [`CheckError::InterfaceMismatch`] or [`CheckError::Netlist`].
+/// [`CheckError::InterfaceMismatch`], [`CheckError::Netlist`], or
+/// [`CheckError::BudgetExceeded`].
 pub fn input_exact(
-    spec: &Circuit,
-    partial: &PartialCircuit,
-    settings: &CheckSettings,
-) -> Result<CheckOutcome, CheckError> {
-    crate::checks::with_node_budget(|| input_exact_inner(spec, partial, settings))
-}
-
-fn input_exact_inner(
     spec: &Circuit,
     partial: &PartialCircuit,
     settings: &CheckSettings,
@@ -233,8 +226,15 @@ pub(crate) fn input_exact_with(
     partial: &PartialCircuit,
 ) -> Result<CheckOutcome, CheckError> {
     let mut s = setup_in(ctx, spec_bdds, spec, partial)?;
-    let cond = joint_condition(&mut s);
-    s.ctx.manager.protect(cond);
+    match input_exact_body(&mut s, partial) {
+        Ok(verdict) => Ok(s.finish(Method::InputExact, verdict, None)),
+        Err(e) => Err(s.abort(e)),
+    }
+}
+
+fn input_exact_body(s: &mut ZiSetup, partial: &PartialCircuit) -> Result<Verdict, BudgetExceeded> {
+    let cond = try_joint_condition(s)?;
+    s.guard.keep(s.ctx, cond);
 
     // Fresh variables for every box input pin.
     let mut i_vars_by_box = Vec::new();
@@ -248,19 +248,19 @@ pub(crate) fn input_exact_with(
     // product, and each input variable is quantified out as soon as the
     // last factor mentioning it has been merged (early quantification).
     // Every intermediate that must survive a reordering pass (which
-    // garbage-collects) stays protected.
+    // garbage-collects) stays protected — tracked in the guard so a budget
+    // abort releases them all.
     let input_vars: Vec<_> = s.ctx.input_vars().to_vec();
     let is_input_var: std::collections::HashSet<_> = input_vars.iter().copied().collect();
     // The equivalence factors in box order, plus each one's X-support.
-    let mut factors: Vec<bbec_bdd::Bdd> = Vec::new();
+    let mut factors: Vec<Bdd> = Vec::new();
     let mut factor_support: Vec<Vec<bbec_bdd::BddVar>> = Vec::new();
     for (bi, b) in partial.boxes().iter().enumerate() {
         for (k, &sig) in b.inputs.iter().enumerate() {
-            let fun = s.sym.signal_bdds[sig.index()]
-                .expect("box inputs are driven or box outputs");
+            let fun = s.sym.signal_bdds[sig.index()].expect("box inputs are driven or box outputs");
             let ivar = s.ctx.manager.var(i_vars_by_box[bi][k]);
-            let eq = s.ctx.manager.xnor(ivar, fun);
-            s.ctx.manager.protect(eq);
+            let eq = s.ctx.manager.try_xnor(ivar, fun)?;
+            s.guard.keep(s.ctx, eq);
             factor_support.push(
                 s.ctx
                     .manager
@@ -284,49 +284,43 @@ pub(crate) fn input_exact_with(
     let immediate: Vec<_> =
         input_vars.iter().copied().filter(|v| last_use[v] == usize::MAX).collect();
     let mut acc = {
-        let ncond = s.ctx.manager.not(cond);
-        let cube = Cube::from_vars(&mut s.ctx.manager, &immediate);
-        let r = s.ctx.manager.exists(ncond, cube);
-        s.ctx.manager.protect(r)
+        let ncond = s.ctx.manager.try_not(cond)?;
+        let cube = Cube::try_from_vars(&mut s.ctx.manager, &immediate)?;
+        let r = s.ctx.manager.try_exists(ncond, cube)?;
+        s.guard.keep(s.ctx, r)
     };
     s.ctx.manager.maybe_reorder();
     for (fi, &eq) in factors.iter().enumerate() {
-        let ready: Vec<_> =
-            input_vars.iter().copied().filter(|v| last_use[v] == fi).collect();
-        let cube = Cube::from_vars(&mut s.ctx.manager, &ready);
-        let next = s.ctx.manager.and_exists(acc, eq, cube);
-        s.ctx.manager.protect(next);
-        s.ctx.manager.release(acc);
-        s.ctx.manager.release(eq);
+        let ready: Vec<_> = input_vars.iter().copied().filter(|v| last_use[v] == fi).collect();
+        let cube = Cube::try_from_vars(&mut s.ctx.manager, &ready)?;
+        let next = s.ctx.manager.try_and_exists(acc, eq, cube)?;
+        s.guard.keep(s.ctx, next);
+        s.guard.drop_one(s.ctx, acc);
+        s.guard.drop_one(s.ctx, eq);
         acc = next;
         s.ctx.manager.maybe_reorder();
     }
     let mut result = {
-        let r = s.ctx.manager.not(acc);
-        s.ctx.manager.protect(r);
-        s.ctx.manager.release(acc);
+        let r = s.ctx.manager.try_not(acc)?;
+        s.guard.keep(s.ctx, r);
+        s.guard.drop_one(s.ctx, acc);
         r
     };
     s.ctx.manager.maybe_reorder();
     // ∀I_1 ∃O_1 … ∀I_b ∃O_b, applied inside-out.
     for bi in (0..partial.boxes().len()).rev() {
-        let o_cube = Cube::from_vars(&mut s.ctx.manager, &s.sym.z_vars_by_box[bi]);
-        let after_o = s.ctx.manager.exists(result, o_cube);
-        s.ctx.manager.protect(after_o);
-        s.ctx.manager.release(result);
-        let i_cube = Cube::from_vars(&mut s.ctx.manager, &i_vars_by_box[bi]);
-        let after_i = s.ctx.manager.forall(after_o, i_cube);
-        s.ctx.manager.protect(after_i);
-        s.ctx.manager.release(after_o);
+        let o_cube = Cube::try_from_vars(&mut s.ctx.manager, &s.sym.z_vars_by_box[bi])?;
+        let after_o = s.ctx.manager.try_exists(result, o_cube)?;
+        s.guard.keep(s.ctx, after_o);
+        s.guard.drop_one(s.ctx, result);
+        let i_cube = Cube::try_from_vars(&mut s.ctx.manager, &i_vars_by_box[bi])?;
+        let after_i = s.ctx.manager.try_forall(after_o, i_cube)?;
+        s.guard.keep(s.ctx, after_i);
+        s.guard.drop_one(s.ctx, after_o);
         result = after_i;
         s.ctx.manager.maybe_reorder();
     }
-    let verdict = if s.ctx.manager.is_tautology(result) {
-        Verdict::NoErrorFound
-    } else {
-        Verdict::ErrorFound
-    };
-    Ok(s.finish(Method::InputExact, verdict, None))
+    Ok(if s.ctx.manager.is_tautology(result) { Verdict::NoErrorFound } else { Verdict::ErrorFound })
 }
 
 #[cfg(test)]
@@ -348,6 +342,7 @@ mod tests {
         for check in [local_check, output_exact, input_exact] {
             let out = check(&c, &p, &settings()).unwrap();
             assert_eq!(out.verdict, Verdict::NoErrorFound);
+            assert!(out.stats.apply_steps > 0, "telemetry must be recorded");
         }
     }
 
@@ -389,10 +384,7 @@ mod tests {
             Verdict::NoErrorFound,
             "output-exact must stay blind"
         );
-        assert_eq!(
-            input_exact(&spec, &partial, &settings()).unwrap().verdict,
-            Verdict::ErrorFound
-        );
+        assert_eq!(input_exact(&spec, &partial, &settings()).unwrap().verdict, Verdict::ErrorFound);
     }
 
     #[test]
@@ -415,8 +407,7 @@ mod tests {
         for seed in 0..6 {
             let c = generators::random_logic("s", 7, 45, 3, seed);
             for boxes in [1, 2, 3] {
-                let Ok(p) = PartialCircuit::random_black_boxes(&c, 0.2, boxes, &mut rng)
-                else {
+                let Ok(p) = PartialCircuit::random_black_boxes(&c, 0.2, boxes, &mut rng) else {
                     continue;
                 };
                 for check in [local_check, output_exact, input_exact] {
@@ -476,5 +467,27 @@ mod tests {
             }
         }
         assert!(!satisfiable, "witness must defeat every box behaviour");
+    }
+
+    #[test]
+    fn budget_abort_releases_check_protections() {
+        // A tiny step budget fires mid input-exact; afterwards the same
+        // context footprint is restored by a GC (spec/impl protections
+        // aside, nothing leaks).
+        let c = generators::alu_181();
+        let p = PartialCircuit::black_box_gates(&c, &[5, 6, 7]).unwrap();
+        let s = CheckSettings {
+            dynamic_reordering: false,
+            step_limit: Some(200),
+            ..CheckSettings::default()
+        };
+        let err = input_exact(&c, &p, &s).unwrap_err();
+        match err {
+            CheckError::BudgetExceeded(abort) => {
+                let stats = abort.stats.expect("partial stats attached");
+                assert!(stats.duration.as_nanos() > 0);
+            }
+            other => panic!("expected budget abort, got {other}"),
+        }
     }
 }

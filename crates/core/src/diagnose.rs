@@ -81,11 +81,7 @@ pub fn confirm_region(
     let outcome = input_exact(spec, &partial, settings)?;
     Ok((outcome.verdict == Verdict::NoErrorFound).then(|| {
         let b = &partial.boxes()[0];
-        RepairSite {
-            gates: closed,
-            box_inputs: b.inputs.len(),
-            box_outputs: b.outputs.len(),
-        }
+        RepairSite { gates: closed, box_inputs: b.inputs.len(), box_outputs: b.outputs.len() }
     }))
 }
 
@@ -130,8 +126,7 @@ mod tests {
         assert!(!sites.is_empty());
         for site in &sites {
             let partial = PartialCircuit::black_box_gates(&faulty, &site.gates).unwrap();
-            if let Ok(exact) =
-                crate::checks::exact_decomposition(&spec, &partial, &settings(), 20)
+            if let Ok(exact) = crate::checks::exact_decomposition(&spec, &partial, &settings(), 20)
             {
                 assert!(exact.is_completable(), "site {site:?} is not a real repair");
             }
@@ -143,16 +138,12 @@ mod tests {
         // A fault in the carry chain cannot be repaired by replacing a gate
         // whose cone does not reach the failing outputs.
         let spec = generators::ripple_carry_adder(4);
-        let last_or = spec
-            .gates()
-            .iter()
-            .rposition(|g| g.kind == bbec_netlist::GateKind::Or)
-            .unwrap() as u32;
+        let last_or =
+            spec.gates().iter().rposition(|g| g.kind == bbec_netlist::GateKind::Or).unwrap() as u32;
         let faulty =
             Mutation { gate: last_or, kind: MutationKind::TypeChange }.apply(&spec).unwrap();
         // Gate 0 (the first sum XOR) cannot repair the final carry.
-        let sites =
-            locate_single_gate_repairs(&spec, &faulty, &[0], &settings()).unwrap();
+        let sites = locate_single_gate_repairs(&spec, &faulty, &[0], &settings()).unwrap();
         assert!(sites.is_empty());
     }
 

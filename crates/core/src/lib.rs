@@ -69,8 +69,9 @@ mod symbolic;
 pub mod unroll;
 
 pub use partial::{convex_closure, BlackBox, PartialCircuit};
-pub use session::CheckSession;
 pub use report::{
-    CheckError, CheckOutcome, CheckSettings, Counterexample, Method, ResourceStats, Verdict,
+    BudgetAbort, CheckError, CheckOutcome, CheckSettings, Counterexample, Method, ResourceStats,
+    Verdict,
 };
-pub use symbolic::{PartialSymbolic, SymbolicContext, TernaryBdd};
+pub use session::CheckSession;
+pub use symbolic::{PartialSymbolic, SymbolicContext, TernaryBdd, TernarySim};

@@ -42,10 +42,7 @@ impl PartialCircuit {
         let mut claimed: HashSet<SignalId> = HashSet::new();
         for b in &boxes {
             if b.outputs.is_empty() {
-                return Err(CheckError::InvalidPartial(format!(
-                    "box `{}` has no outputs",
-                    b.name
-                )));
+                return Err(CheckError::InvalidPartial(format!("box `{}` has no outputs", b.name)));
             }
             for &o in &b.outputs {
                 if !undriven.contains(&o) {
@@ -166,14 +163,10 @@ impl PartialCircuit {
                 .filter(|s| {
                     // Observable outside this box (note: reads by this box's
                     // own gates do not count).
-                    let read_elsewhere = host
-                        .gates()
-                        .iter()
-                        .any(|gate| gate.inputs.contains(s))
+                    let read_elsewhere = host.gates().iter().any(|gate| gate.inputs.contains(s))
                         || host.outputs().iter().any(|&(_, o)| o == *s)
                         || removed.iter().any(|&g| {
-                            !in_box.contains(&g)
-                                && full.gates()[g as usize].inputs.contains(s)
+                            !in_box.contains(&g) && full.gates()[g as usize].inputs.contains(s)
                         });
                     read_elsewhere
                 })
@@ -253,10 +246,7 @@ impl PartialCircuit {
 }
 
 /// Orders boxes topologically by their data dependencies.
-fn topo_sort_boxes(
-    circuit: &Circuit,
-    boxes: Vec<BlackBox>,
-) -> Result<Vec<BlackBox>, CheckError> {
+fn topo_sort_boxes(circuit: &Circuit, boxes: Vec<BlackBox>) -> Result<Vec<BlackBox>, CheckError> {
     let n = boxes.len();
     if n <= 1 {
         return Ok(boxes);
@@ -285,11 +275,9 @@ fn topo_sort_boxes(
     let mut order = Vec::with_capacity(n);
     let mut placed = vec![false; n];
     while order.len() < n {
-        let next = (0..n)
-            .find(|&j| !placed[j] && deps[j].iter().all(|&i| placed[i]))
-            .ok_or_else(|| {
-                CheckError::InvalidPartial("cyclic dependency between black boxes".to_string())
-            })?;
+        let next = (0..n).find(|&j| !placed[j] && deps[j].iter().all(|&i| placed[i])).ok_or_else(
+            || CheckError::InvalidPartial("cyclic dependency between black boxes".to_string()),
+        )?;
         placed[next] = true;
         order.push(next);
     }
@@ -411,8 +399,8 @@ mod tests {
     fn partition_into_two_boxes_is_topologically_ordered() {
         let c = adder();
         // Stage 0 gates and stage 2 gates.
-        let p = PartialCircuit::black_box_partition(&c, &[vec![10, 11, 12], vec![0, 1, 2]])
-            .unwrap();
+        let p =
+            PartialCircuit::black_box_partition(&c, &[vec![10, 11, 12], vec![0, 1, 2]]).unwrap();
         assert_eq!(p.boxes().len(), 2);
         // After sorting, the box with the earlier gates must come first: its
         // outputs feed (transitively) the later box's inputs.
@@ -452,10 +440,10 @@ mod tests {
     #[test]
     fn random_selection_is_reproducible() {
         let c = adder();
-        let a = PartialCircuit::random_black_boxes(&c, 0.3, 2, &mut StdRng::seed_from_u64(7))
-            .unwrap();
-        let b = PartialCircuit::random_black_boxes(&c, 0.3, 2, &mut StdRng::seed_from_u64(7))
-            .unwrap();
+        let a =
+            PartialCircuit::random_black_boxes(&c, 0.3, 2, &mut StdRng::seed_from_u64(7)).unwrap();
+        let b =
+            PartialCircuit::random_black_boxes(&c, 0.3, 2, &mut StdRng::seed_from_u64(7)).unwrap();
         assert_eq!(a, b);
     }
 

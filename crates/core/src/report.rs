@@ -66,7 +66,8 @@ pub struct Counterexample {
     pub output: Option<usize>,
 }
 
-/// Resource usage of one check, in the units of the paper's tables.
+/// Resource usage of one check, in the units of the paper's tables, plus
+/// the resource governor's per-check operation telemetry.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ResourceStats {
     /// BDD nodes representing the partial implementation (columns 10–13).
@@ -75,6 +76,27 @@ pub struct ResourceStats {
     pub peak_check_nodes: usize,
     /// Wall-clock time of the check.
     pub duration: Duration,
+    /// Cache-miss recursion steps of the BDD operator core.
+    pub apply_steps: u64,
+    /// Computed-table hits during the check.
+    pub cache_hits: u64,
+    /// Computed-table misses during the check.
+    pub cache_misses: u64,
+    /// Garbage-collection passes during the check.
+    pub gc_passes: u64,
+    /// Dynamic-reordering passes during the check.
+    pub reorder_passes: u64,
+}
+
+impl ResourceStats {
+    /// Copies the governor's per-window counters into this record.
+    pub fn absorb_telemetry(&mut self, t: &bbec_bdd::OpTelemetry) {
+        self.apply_steps = t.apply_steps;
+        self.cache_hits = t.cache_hits;
+        self.cache_misses = t.cache_misses;
+        self.gc_passes = t.gc_passes;
+        self.reorder_passes = t.reorder_passes;
+    }
 }
 
 /// The complete result of one check invocation.
@@ -108,6 +130,12 @@ pub struct CheckSettings {
     /// Abort a BDD-based check with [`CheckError::BudgetExceeded`] once its
     /// manager holds this many live nodes (`None` = unbounded).
     pub node_limit: Option<usize>,
+    /// Abort a BDD-based check once it has charged this many apply steps
+    /// (`None` = unbounded). Steps are a machine-independent cost unit.
+    pub step_limit: Option<u64>,
+    /// Abort a BDD-based check after this much wall-clock time
+    /// (`None` = unbounded).
+    pub time_limit: Option<Duration>,
 }
 
 impl Default for CheckSettings {
@@ -118,7 +146,38 @@ impl Default for CheckSettings {
             random_patterns: 5_000,
             seed: 0xB1AC_B0C5,
             node_limit: Some(4_000_000),
+            step_limit: None,
+            time_limit: None,
         }
+    }
+}
+
+/// Details of an aborted check: what fired, and what the check had spent
+/// when it fired.
+#[derive(Debug, Clone, Default)]
+pub struct BudgetAbort {
+    /// Human-readable description of the exceeded limit.
+    pub reason: String,
+    /// Resources consumed up to the abort, when the check recorded them.
+    pub stats: Option<ResourceStats>,
+}
+
+impl BudgetAbort {
+    /// An abort with a reason and no recorded statistics.
+    pub fn new(reason: impl Into<String>) -> Self {
+        BudgetAbort { reason: reason.into(), stats: None }
+    }
+
+    /// Attaches partial resource statistics.
+    pub fn with_stats(mut self, stats: ResourceStats) -> Self {
+        self.stats = Some(stats);
+        self
+    }
+}
+
+impl fmt::Display for BudgetAbort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.reason)
     }
 }
 
@@ -131,8 +190,8 @@ pub enum CheckError {
     Netlist(bbec_netlist::NetlistError),
     /// A partial-circuit structural invariant is violated.
     InvalidPartial(String),
-    /// A resource budget was exceeded (exact decomposition, CEGAR).
-    BudgetExceeded(String),
+    /// A resource budget was exceeded; the session/manager stays usable.
+    BudgetExceeded(BudgetAbort),
 }
 
 impl fmt::Display for CheckError {
@@ -143,7 +202,7 @@ impl fmt::Display for CheckError {
             }
             CheckError::Netlist(e) => write!(f, "netlist error: {e}"),
             CheckError::InvalidPartial(msg) => write!(f, "invalid partial circuit: {msg}"),
-            CheckError::BudgetExceeded(msg) => write!(f, "budget exceeded: {msg}"),
+            CheckError::BudgetExceeded(abort) => write!(f, "budget exceeded: {abort}"),
         }
     }
 }
@@ -160,6 +219,12 @@ impl Error for CheckError {
 impl From<bbec_netlist::NetlistError> for CheckError {
     fn from(e: bbec_netlist::NetlistError) -> Self {
         CheckError::Netlist(e)
+    }
+}
+
+impl From<bbec_bdd::BudgetExceeded> for CheckError {
+    fn from(e: bbec_bdd::BudgetExceeded) -> Self {
+        CheckError::BudgetExceeded(BudgetAbort::new(e.to_string()))
     }
 }
 

@@ -11,7 +11,8 @@
 use crate::checks::validate_interface;
 use crate::partial::PartialCircuit;
 use crate::report::{
-    CheckError, CheckOutcome, CheckSettings, Counterexample, Method, ResourceStats, Verdict,
+    BudgetAbort, CheckError, CheckOutcome, CheckSettings, Counterexample, Method, ResourceStats,
+    Verdict,
 };
 use bbec_netlist::{Circuit, CircuitBuilder, GateKind, SignalId};
 use bbec_sat::qbf::{exists_forall, ExistsForallResult};
@@ -21,11 +22,7 @@ use std::time::Instant;
 
 /// Replays `circuit`'s gates into `builder`; `map` must pre-seed every
 /// primary input and undriven signal and receives all internal signals.
-fn append_circuit(
-    builder: &mut CircuitBuilder,
-    circuit: &Circuit,
-    map: &mut [Option<SignalId>],
-) {
+fn append_circuit(builder: &mut CircuitBuilder, circuit: &Circuit, map: &mut [Option<SignalId>]) {
     for &g in circuit.topo_order() {
         let gate = &circuit.gates()[g as usize];
         let ins: Vec<SignalId> =
@@ -54,8 +51,7 @@ pub fn sat_dual_rail(
     let start = Instant::now();
     let host = partial.circuit();
     let mut b = Circuit::builder("dual_rail_miter");
-    let xs: Vec<SignalId> =
-        (0..spec.inputs().len()).map(|i| b.input(&format!("x{i}"))).collect();
+    let xs: Vec<SignalId> = (0..spec.inputs().len()).map(|i| b.input(&format!("x{i}"))).collect();
 
     // Plain replay of the specification.
     let mut spec_map: Vec<Option<SignalId>> = vec![None; spec.signal_count()];
@@ -206,8 +202,7 @@ pub fn sat_output_exact(
     let n = spec.inputs().len();
     let xs: Vec<SignalId> = (0..n).map(|i| b.input(&format!("x{i}"))).collect();
     let box_outputs = partial.box_outputs();
-    let zs: Vec<SignalId> =
-        (0..box_outputs.len()).map(|k| b.input(&format!("z{k}"))).collect();
+    let zs: Vec<SignalId> = (0..box_outputs.len()).map(|k| b.input(&format!("z{k}"))).collect();
 
     let mut spec_map: Vec<Option<SignalId>> = vec![None; spec.signal_count()];
     for (pos, &s) in spec.inputs().iter().enumerate() {
@@ -248,7 +243,7 @@ pub fn sat_output_exact(
             counterexample: None,
             stats: ResourceStats { duration: start.elapsed(), ..Default::default() },
         }),
-        Err(e) => Err(CheckError::BudgetExceeded(e.to_string())),
+        Err(e) => Err(CheckError::BudgetExceeded(BudgetAbort::new(e.to_string()))),
     }
 }
 
@@ -326,9 +321,6 @@ mod tests {
             cex.inputs.iter().map(|&v| bbec_netlist::Tv::from(v)).collect();
         let got = partial.circuit().eval_ternary(&tv).unwrap();
         let expect = spec.eval(&cex.inputs).unwrap();
-        assert!(got
-            .iter()
-            .zip(&expect)
-            .any(|(g, &e)| g.to_bool().is_some_and(|v| v != e)));
+        assert!(got.iter().zip(&expect).any(|(g, &e)| g.to_bool().is_some_and(|v| v != e)));
     }
 }

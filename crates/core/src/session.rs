@@ -10,11 +10,13 @@
 //! Each checked partial implementation permanently adds its `Z` (and, for
 //! the input-exact check, `I`) variables to the shared manager, so the
 //! session transparently *refreshes* — rebuilds the context and the
-//! specification BDDs — once the variable count grows past a budget, and
-//! after any node-budget abort (which poisons the manager).
+//! specification BDDs — once the variable count grows past a budget. A
+//! budget-aborted check, by contrast, needs **no** refresh: the aborted
+//! check's intermediates are unprotected and a garbage collection reclaims
+//! them, while the specification BDDs stay protected in the same manager.
 
 use crate::checks::{
-    self, input_exact_with, local_check_with, output_exact_with, symbolic_01x_with,
+    self, input_exact_with, local_check_with, output_exact_with, symbolic_01x_with, CheckProbe,
 };
 use crate::partial::PartialCircuit;
 use crate::report::{CheckError, CheckOutcome, CheckSettings, Method};
@@ -40,28 +42,23 @@ impl CheckSession {
     /// # Errors
     ///
     /// [`CheckError::Netlist`] if the specification is not a complete
-    /// circuit.
+    /// circuit; [`CheckError::BudgetExceeded`] if building the
+    /// specification BDDs already blows the configured budget.
     pub fn new(spec: Circuit, settings: CheckSettings) -> Result<CheckSession, CheckError> {
         let (ctx, spec_bdds) = Self::fresh(&spec, &settings)?;
-        Ok(CheckSession {
-            spec,
-            settings,
-            ctx,
-            spec_bdds,
-            var_budget: 512,
-            refreshes: 0,
-        })
+        Ok(CheckSession { spec, settings, ctx, spec_bdds, var_budget: 512, refreshes: 0 })
     }
 
     fn fresh(
         spec: &Circuit,
         settings: &CheckSettings,
     ) -> Result<(SymbolicContext, Vec<Bdd>), CheckError> {
-        checks::with_node_budget(|| {
-            let mut ctx = SymbolicContext::new(spec, settings);
-            let spec_bdds = ctx.build_outputs(spec)?;
-            Ok((ctx, spec_bdds))
-        })
+        let mut ctx = SymbolicContext::new(spec, settings);
+        let probe = CheckProbe::begin(&mut ctx);
+        match ctx.build_outputs(spec) {
+            Ok(spec_bdds) => Ok((ctx, spec_bdds)),
+            Err(e) => Err(probe.annotate(&ctx, e)),
+        }
     }
 
     /// The checked specification.
@@ -88,9 +85,10 @@ impl CheckSession {
     ///
     /// # Errors
     ///
-    /// The underlying check's errors; after a
-    /// [`CheckError::BudgetExceeded`] the session has already refreshed
-    /// itself and stays usable.
+    /// The underlying check's errors. A [`CheckError::BudgetExceeded`]
+    /// leaves the session usable as-is — the aborted check released its
+    /// protections, so a garbage collection reclaims its intermediates and
+    /// the next check proceeds against the same specification BDDs.
     pub fn check(
         &mut self,
         partial: &PartialCircuit,
@@ -103,18 +101,20 @@ impl CheckSession {
         let ctx = &mut self.ctx;
         let spec_bdds = &self.spec_bdds;
         let spec = &self.spec;
-        let result = checks::with_node_budget(|| match method {
+        let result = match method {
             Method::Symbolic01X => symbolic_01x_with(ctx, spec_bdds, spec, partial),
             Method::Local => local_check_with(ctx, spec_bdds, spec, partial),
             Method::OutputExact => output_exact_with(ctx, spec_bdds, spec, partial),
             Method::InputExact => input_exact_with(ctx, spec_bdds, spec, partial),
-            other => Err(CheckError::InvalidPartial(format!(
-                "method {other} is not session-managed"
-            ))),
-        });
+            other => {
+                Err(CheckError::InvalidPartial(format!("method {other} is not session-managed")))
+            }
+        };
         if matches!(result, Err(CheckError::BudgetExceeded(_))) {
-            // The aborted manager is inconsistent: rebuild before reuse.
-            self.force_refresh()?;
+            // The aborted check's intermediates are unprotected; reclaim
+            // them now so they don't count against the next check's node
+            // budget. No refresh — the spec BDDs are still protected.
+            self.ctx.manager.collect_garbage();
         }
         result
     }
@@ -158,8 +158,7 @@ mod tests {
         for _ in 0..8 {
             let m = Mutation::random(&spec, &cone, &mut rng).unwrap();
             let faulty = m.apply(&spec).unwrap();
-            let Ok(partial) = PartialCircuit::random_black_boxes(&faulty, 0.1, 1, &mut rng)
-            else {
+            let Ok(partial) = PartialCircuit::random_black_boxes(&faulty, 0.1, 1, &mut rng) else {
                 continue;
             };
             for method in
@@ -193,8 +192,7 @@ mod tests {
         session.var_budget = 8; // force frequent refreshes
         let mut rng = StdRng::seed_from_u64(9);
         for _ in 0..12 {
-            let partial =
-                PartialCircuit::random_black_boxes(&spec, 0.2, 2, &mut rng).unwrap();
+            let partial = PartialCircuit::random_black_boxes(&spec, 0.2, 2, &mut rng).unwrap();
             let out = session.check(&partial, Method::InputExact).unwrap();
             assert_eq!(out.verdict, Verdict::NoErrorFound, "boxed spec is completable");
         }
@@ -202,7 +200,7 @@ mod tests {
     }
 
     #[test]
-    fn session_survives_budget_aborts() {
+    fn session_survives_budget_aborts_without_refresh() -> Result<(), CheckError> {
         let spec = generators::sec32();
         let tight = CheckSettings {
             node_limit: Some(2_000), // absurdly small: every check aborts
@@ -210,13 +208,10 @@ mod tests {
             ..CheckSettings::default()
         };
         // Even constructing the spec BDDs blows a 2k budget, so `new` fails
-        // cleanly…
-        assert!(matches!(
-            CheckSession::new(spec, tight),
-            Err(CheckError::BudgetExceeded(_))
-        ));
-        // …while a budget that admits the spec but not the input-exact
-        // check aborts per-check and keeps the session usable.
+        // cleanly as a value…
+        assert!(matches!(CheckSession::new(spec, tight), Err(CheckError::BudgetExceeded(_))));
+        // …while a budget that admits the spec but not the expensive checks
+        // aborts per-check and keeps the session usable in place.
         let spec = generators::magnitude_comparator(12);
         let medium = CheckSettings {
             node_limit: Some(3_000),
@@ -224,20 +219,30 @@ mod tests {
             ..CheckSettings::default()
         };
         let mut session = CheckSession::new(spec.clone(), medium).unwrap();
+        let spec_nodes = session.spec_node_count();
         let mut rng = StdRng::seed_from_u64(4);
         let partial = PartialCircuit::random_black_boxes(&spec, 0.3, 1, &mut rng).unwrap();
         let mut aborted = 0;
         for _ in 0..3 {
             match session.check(&partial, Method::InputExact) {
-                Err(CheckError::BudgetExceeded(_)) => aborted += 1,
+                Err(CheckError::BudgetExceeded(abort)) => {
+                    aborted += 1;
+                    assert!(!abort.reason.is_empty());
+                }
                 Ok(_) => {}
-                Err(e) => panic!("unexpected: {e}"),
+                // Any non-budget error is a genuine failure: propagate it
+                // instead of panicking.
+                Err(e) => return Err(e),
             }
-            // The cheap check still works right after.
+            // The specification BDDs survived the abort untouched…
+            assert_eq!(session.spec_node_count(), spec_nodes);
+            // …and the cheap check still works right after.
             let ok = session.check(&partial, Method::Symbolic01X);
             assert!(ok.is_ok() || matches!(ok, Err(CheckError::BudgetExceeded(_))));
         }
-        let _ = aborted;
+        assert!(aborted > 0, "node budget should have fired at least once");
+        assert_eq!(session.refreshes(), 0, "budget aborts must not force refreshes");
+        Ok(())
     }
 
     #[test]

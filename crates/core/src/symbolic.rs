@@ -11,8 +11,9 @@
 
 use crate::partial::PartialCircuit;
 use crate::report::{CheckError, CheckSettings};
-use bbec_bdd::{Bdd, BddManager, BddVar, ReorderSettings, SatAssignment};
+use bbec_bdd::{Bdd, BddManager, BddVar, Budget, ReorderSettings, SatAssignment};
 use bbec_netlist::{Circuit, GateKind, SignalId};
+use std::time::{Duration, Instant};
 
 /// A ternary signal value encoded as two BDDs over the primary inputs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,6 +39,26 @@ pub struct PartialSymbolic {
     pub signal_bdds: Vec<Option<Bdd>>,
 }
 
+/// The result of 0,1,X simulation: output pairs plus the protections the
+/// simulation took, so the caller can release them when done.
+#[derive(Debug, Clone)]
+pub struct TernarySim {
+    /// One `(is0, is1)` pair per primary output.
+    pub outputs: Vec<TernaryBdd>,
+    /// Every handle the simulation protected (released by
+    /// [`TernarySim::release`]).
+    protected: Vec<Bdd>,
+}
+
+impl TernarySim {
+    /// Releases every protection the simulation took.
+    pub fn release(self, manager: &mut BddManager) {
+        for f in self.protected {
+            manager.release(f);
+        }
+    }
+}
+
 /// A BDD manager wired to a circuit interface: one variable per primary
 /// input, allocated in a fanin-first (DFS) static order.
 #[derive(Debug)]
@@ -45,6 +66,9 @@ pub struct SymbolicContext {
     /// The underlying manager; exposed so checks can run further operations.
     pub manager: BddManager,
     input_vars: Vec<BddVar>,
+    node_limit: Option<usize>,
+    step_limit: Option<u64>,
+    time_limit: Option<Duration>,
 }
 
 impl SymbolicContext {
@@ -62,14 +86,37 @@ impl SymbolicContext {
         } else {
             BddManager::new()
         };
-        manager.set_node_limit(settings.node_limit);
         let order = dfs_input_order(reference);
         let mut input_vars = vec![None; reference.inputs().len()];
         for pos in order {
             input_vars[pos] = Some(manager.new_var());
         }
-        let input_vars = input_vars.into_iter().map(|v| v.expect("all inputs ordered")).collect();
-        SymbolicContext { manager, input_vars }
+        let input_vars: Vec<BddVar> =
+            input_vars.into_iter().map(|v| v.expect("all inputs ordered")).collect();
+        let mut ctx = SymbolicContext {
+            manager,
+            input_vars,
+            node_limit: settings.node_limit,
+            step_limit: settings.step_limit,
+            time_limit: settings.time_limit,
+        };
+        ctx.arm_budget();
+        ctx
+    }
+
+    /// (Re-)arms the resource governor: opens a fresh step window and, when
+    /// a time limit is configured, starts its deadline **now**. Checks call
+    /// this at the start of each run so every check gets the full budget.
+    pub fn arm_budget(&mut self) {
+        if self.node_limit.is_none() && self.step_limit.is_none() && self.time_limit.is_none() {
+            self.manager.set_budget(None);
+            return;
+        }
+        self.manager.set_budget(Some(Budget {
+            max_live_nodes: self.node_limit,
+            max_steps: self.step_limit,
+            deadline: self.time_limit.map(|d| Instant::now() + d),
+        }));
     }
 
     /// The BDD variable of each primary input, in declaration order.
@@ -98,12 +145,19 @@ impl SymbolicContext {
 
     /// Z_i simulation: builds the partial implementation's `g_j` with one
     /// fresh variable per black-box output.
-    pub fn build_partial(&mut self, partial: &PartialCircuit) -> PartialSymbolic {
+    ///
+    /// # Errors
+    ///
+    /// [`CheckError::BudgetExceeded`] if the armed budget runs out; the
+    /// manager stays usable and this simulation's protections are released.
+    pub fn build_partial(
+        &mut self,
+        partial: &PartialCircuit,
+    ) -> Result<PartialSymbolic, CheckError> {
         // Allocate Z variables per box, in topological box order.
         let mut z_vars_by_box = Vec::new();
         let mut all_z_vars = Vec::new();
-        let mut z_of_signal: Vec<Option<BddVar>> =
-            vec![None; partial.circuit().signal_count()];
+        let mut z_of_signal: Vec<Option<BddVar>> = vec![None; partial.circuit().signal_count()];
         for b in partial.boxes() {
             let vars: Vec<BddVar> = b
                 .outputs
@@ -117,30 +171,36 @@ impl SymbolicContext {
             all_z_vars.extend(&vars);
             z_vars_by_box.push(vars);
         }
-        let signals = self
-            .simulate(partial.circuit(), |m, s| z_of_signal[s.index()].map(|v| m.var(v)))
-            .expect("undriven signals are mapped to Z variables");
+        let signals =
+            self.simulate(partial.circuit(), |m, s| z_of_signal[s.index()].map(|v| m.var(v)))?;
         let outputs = partial
             .circuit()
             .outputs()
             .iter()
             .map(|&(_, s)| signals[s.index()].expect("outputs driven or boxed"))
             .collect();
-        PartialSymbolic { outputs, z_vars_by_box, all_z_vars, signal_bdds: signals }
+        Ok(PartialSymbolic { outputs, z_vars_by_box, all_z_vars, signal_bdds: signals })
     }
 
     /// Symbolic 0,1,X simulation of a partial circuit: black-box outputs
     /// start as `X`, and every signal's `(is0, is1)` pair is computed over
     /// the primary input variables only.
-    pub fn build_ternary(&mut self, circuit: &Circuit) -> Vec<TernaryBdd> {
+    ///
+    /// # Errors
+    ///
+    /// [`CheckError::BudgetExceeded`] if the armed budget runs out; the
+    /// manager stays usable and this simulation's protections are released.
+    pub fn build_ternary(&mut self, circuit: &Circuit) -> Result<TernarySim, CheckError> {
         let false_ = self.manager.constant(false);
         let x_value = TernaryBdd { is0: false_, is1: false_ };
         let mut signals: Vec<TernaryBdd> = vec![x_value; circuit.signal_count()];
+        let mut protected: Vec<Bdd> = Vec::new();
         for (pos, &s) in circuit.inputs().iter().enumerate() {
             let v = self.manager.var(self.input_vars[pos]);
             // Protect the negated rail: reordering garbage-collects.
             let nv = self.manager.not(v);
             self.manager.protect(nv);
+            protected.push(nv);
             signals[s.index()] = TernaryBdd { is0: nv, is1: v };
         }
         let mut inputs_buf: Vec<TernaryBdd> = Vec::new();
@@ -148,13 +208,24 @@ impl SymbolicContext {
             let gate = &circuit.gates()[g as usize];
             inputs_buf.clear();
             inputs_buf.extend(gate.inputs.iter().map(|&s| signals[s.index()]));
-            let out = self.eval_ternary_gate(gate.kind, &inputs_buf);
+            let out = match self.try_eval_ternary_gate(gate.kind, &inputs_buf) {
+                Ok(out) => out,
+                Err(e) => {
+                    for f in protected {
+                        self.manager.release(f);
+                    }
+                    return Err(e.into());
+                }
+            };
             self.manager.protect(out.is0);
             self.manager.protect(out.is1);
+            protected.push(out.is0);
+            protected.push(out.is1);
             signals[gate.output.index()] = out;
             self.manager.maybe_reorder();
         }
-        circuit.outputs().iter().map(|&(_, s)| signals[s.index()]).collect()
+        let outputs = circuit.outputs().iter().map(|&(_, s)| signals[s.index()]).collect();
+        Ok(TernarySim { outputs, protected })
     }
 
     /// Maps a BDD satisfying assignment back to a primary-input vector.
@@ -163,6 +234,11 @@ impl SymbolicContext {
     }
 
     /// Core simulation loop; `leaf` supplies BDDs for undriven signals.
+    ///
+    /// On success every computed signal is left protected (h functions and
+    /// outputs must survive the garbage collections that reordering
+    /// performs). On a budget abort, this loop's protections are released
+    /// before the error propagates, leaving the manager as it was.
     fn simulate(
         &mut self,
         circuit: &Circuit,
@@ -175,6 +251,7 @@ impl SymbolicContext {
         for s in circuit.undriven_signals() {
             signals[s.index()] = leaf(&mut self.manager, s);
         }
+        let mut protected: Vec<Bdd> = Vec::new();
         let mut buf: Vec<Bdd> = Vec::new();
         for &g in circuit.topo_order() {
             let gate = &circuit.gates()[g as usize];
@@ -189,81 +266,93 @@ impl SymbolicContext {
                     }
                 }
             }
-            let out = self.eval_gate(gate.kind, &buf);
-            // Keep every signal protected: h functions and outputs must
-            // survive the garbage collections that reordering performs.
+            let out = match self.try_eval_gate(gate.kind, &buf) {
+                Ok(out) => out,
+                Err(e) => {
+                    for f in protected {
+                        self.manager.release(f);
+                    }
+                    return Err(e.into());
+                }
+            };
             self.manager.protect(out);
+            protected.push(out);
             signals[gate.output.index()] = Some(out);
             self.manager.maybe_reorder();
         }
         Ok(signals)
     }
 
-    fn eval_gate(&mut self, kind: GateKind, inputs: &[Bdd]) -> Bdd {
+    pub(crate) fn try_eval_gate(
+        &mut self,
+        kind: GateKind,
+        inputs: &[Bdd],
+    ) -> Result<Bdd, bbec_bdd::BudgetExceeded> {
         let m = &mut self.manager;
-        match kind {
-            GateKind::And => m.and_many(inputs),
-            GateKind::Or => m.or_many(inputs),
+        Ok(match kind {
+            GateKind::And => m.try_and_many(inputs)?,
+            GateKind::Or => m.try_or_many(inputs)?,
             GateKind::Nand => {
-                let a = m.and_many(inputs);
-                m.not(a)
+                let a = m.try_and_many(inputs)?;
+                m.try_not(a)?
             }
             GateKind::Nor => {
-                let a = m.or_many(inputs);
-                m.not(a)
+                let a = m.try_or_many(inputs)?;
+                m.try_not(a)?
             }
-            GateKind::Xor => m.xor_many(inputs),
+            GateKind::Xor => m.try_xor_many(inputs)?,
             GateKind::Xnor => {
-                let a = m.xor_many(inputs);
-                m.not(a)
+                let a = m.try_xor_many(inputs)?;
+                m.try_not(a)?
             }
-            GateKind::Not => m.not(inputs[0]),
+            GateKind::Not => m.try_not(inputs[0])?,
             GateKind::Buf => inputs[0],
             GateKind::Const0 => m.constant(false),
             GateKind::Const1 => m.constant(true),
-        }
+        })
     }
 
-    fn eval_ternary_gate(&mut self, kind: GateKind, inputs: &[TernaryBdd]) -> TernaryBdd {
+    fn try_eval_ternary_gate(
+        &mut self,
+        kind: GateKind,
+        inputs: &[TernaryBdd],
+    ) -> Result<TernaryBdd, bbec_bdd::BudgetExceeded> {
+        type BResult<T> = Result<T, bbec_bdd::BudgetExceeded>;
         let m = &mut self.manager;
-        let and_fold = |m: &mut BddManager, inputs: &[TernaryBdd]| {
+        let and_fold = |m: &mut BddManager, inputs: &[TernaryBdd]| -> BResult<TernaryBdd> {
             let is1s: Vec<Bdd> = inputs.iter().map(|t| t.is1).collect();
             let is0s: Vec<Bdd> = inputs.iter().map(|t| t.is0).collect();
-            TernaryBdd { is1: m.and_many(&is1s), is0: m.or_many(&is0s) }
+            Ok(TernaryBdd { is1: m.try_and_many(&is1s)?, is0: m.try_or_many(&is0s)? })
         };
-        let or_fold = |m: &mut BddManager, inputs: &[TernaryBdd]| {
+        let or_fold = |m: &mut BddManager, inputs: &[TernaryBdd]| -> BResult<TernaryBdd> {
             let is1s: Vec<Bdd> = inputs.iter().map(|t| t.is1).collect();
             let is0s: Vec<Bdd> = inputs.iter().map(|t| t.is0).collect();
-            TernaryBdd { is1: m.or_many(&is1s), is0: m.and_many(&is0s) }
+            Ok(TernaryBdd { is1: m.try_or_many(&is1s)?, is0: m.try_and_many(&is0s)? })
         };
-        let xor_fold = |m: &mut BddManager, inputs: &[TernaryBdd]| {
+        let xor_fold = |m: &mut BddManager, inputs: &[TernaryBdd]| -> BResult<TernaryBdd> {
             let mut acc = inputs[0];
             for t in &inputs[1..] {
-                let a = m.and(acc.is1, t.is0);
-                let b = m.and(acc.is0, t.is1);
-                let c = m.and(acc.is0, t.is0);
-                let d = m.and(acc.is1, t.is1);
-                acc = TernaryBdd { is1: m.or(a, b), is0: m.or(c, d) };
+                let a = m.try_and(acc.is1, t.is0)?;
+                let b = m.try_and(acc.is0, t.is1)?;
+                let c = m.try_and(acc.is0, t.is0)?;
+                let d = m.try_and(acc.is1, t.is1)?;
+                acc = TernaryBdd { is1: m.try_or(a, b)?, is0: m.try_or(c, d)? };
             }
-            acc
+            Ok(acc)
         };
         let negate = |t: TernaryBdd| TernaryBdd { is0: t.is1, is1: t.is0 };
-        match kind {
-            GateKind::And => and_fold(m, inputs),
-            GateKind::Or => or_fold(m, inputs),
-            GateKind::Nand => negate(and_fold(m, inputs)),
-            GateKind::Nor => negate(or_fold(m, inputs)),
-            GateKind::Xor => xor_fold(m, inputs),
-            GateKind::Xnor => negate(xor_fold(m, inputs)),
+        Ok(match kind {
+            GateKind::And => and_fold(m, inputs)?,
+            GateKind::Or => or_fold(m, inputs)?,
+            GateKind::Nand => negate(and_fold(m, inputs)?),
+            GateKind::Nor => negate(or_fold(m, inputs)?),
+            GateKind::Xor => xor_fold(m, inputs)?,
+            GateKind::Xnor => negate(xor_fold(m, inputs)?),
             GateKind::Not => negate(inputs[0]),
             GateKind::Buf => inputs[0],
-            GateKind::Const0 => {
-                TernaryBdd { is0: m.constant(true), is1: m.constant(false) }
-            }
-            GateKind::Const1 => {
-                TernaryBdd { is0: m.constant(false), is1: m.constant(true) }
-            }
-        }
+            GateKind::Const0 => TernaryBdd { is0: m.constant(true), is1: m.constant(false) },
+            GateKind::Const1 => TernaryBdd { is0: m.constant(false), is1: m.constant(true) },
+        })
     }
 }
 
@@ -334,7 +423,7 @@ mod tests {
         let c = generators::ripple_carry_adder(2);
         let p = crate::PartialCircuit::black_box_gates(&c, &[0]).unwrap();
         let mut ctx = SymbolicContext::new(&c, &settings());
-        let sym = ctx.build_partial(&p);
+        let sym = ctx.build_partial(&p).unwrap();
         assert_eq!(sym.all_z_vars.len(), 1);
         let z = sym.all_z_vars[0];
         // Some output must depend on Z (gate 0 feeds sum0).
@@ -351,16 +440,13 @@ mod tests {
         let p = crate::PartialCircuit::black_box_gates(&c, &[gate]).unwrap();
         let mut ctx = SymbolicContext::new(&c, &settings());
         let spec = ctx.build_outputs(&c).unwrap();
-        let sym = ctx.build_partial(&p);
+        let sym = ctx.build_partial(&p).unwrap();
         // Rebuild the removed gate's true function from the host's signal
         // BDDs (its inputs are still driven in the host).
         let removed = &c.gates()[gate as usize];
-        let ins: Vec<Bdd> = removed
-            .inputs
-            .iter()
-            .map(|&s| sym.signal_bdds[s.index()].expect("driven"))
-            .collect();
-        let true_fn = ctx.eval_gate(removed.kind, &ins);
+        let ins: Vec<Bdd> =
+            removed.inputs.iter().map(|&s| sym.signal_bdds[s.index()].expect("driven")).collect();
+        let true_fn = ctx.try_eval_gate(removed.kind, &ins).unwrap();
         let z = sym.all_z_vars[0];
         for (g, f) in sym.outputs.iter().zip(&spec) {
             let composed = ctx.manager.compose(*g, z, true_fn);
@@ -373,7 +459,8 @@ mod tests {
         let c = generators::ripple_carry_adder(2);
         let p = crate::PartialCircuit::black_box_gates(&c, &[1, 2]).unwrap();
         let mut ctx = SymbolicContext::new(&c, &settings());
-        let pairs = ctx.build_ternary(p.circuit());
+        let sim = ctx.build_ternary(p.circuit()).unwrap();
+        let pairs = sim.outputs.clone();
         for t in &pairs {
             // is0 ∧ is1 must be unsatisfiable.
             let both = ctx.manager.and(t.is0, t.is1);

@@ -85,15 +85,13 @@ impl SequentialCircuit {
 
     /// Positions of the non-state (free) primary inputs.
     pub fn free_inputs(&self) -> Vec<usize> {
-        let state: std::collections::HashSet<usize> =
-            self.state.iter().map(|&(i, _)| i).collect();
+        let state: std::collections::HashSet<usize> = self.state.iter().map(|&(i, _)| i).collect();
         (0..self.circuit.inputs().len()).filter(|i| !state.contains(i)).collect()
     }
 
     /// Positions of the non-state (observable) primary outputs.
     pub fn observable_outputs(&self) -> Vec<usize> {
-        let state: std::collections::HashSet<usize> =
-            self.state.iter().map(|&(_, o)| o).collect();
+        let state: std::collections::HashSet<usize> = self.state.iter().map(|&(_, o)| o).collect();
         (0..self.circuit.outputs().len()).filter(|o| !state.contains(o)).collect()
     }
 }
@@ -115,19 +113,18 @@ pub fn unroll(seq: &SequentialCircuit, frames: usize) -> Result<Circuit, CheckEr
     unroll_impl(seq, frames).map(|(c, _)| c)
 }
 
-/// Core expansion; also returns, per frame, the host signal standing for
-/// each original signal (indexed by original signal id).
-fn unroll_impl(
-    seq: &SequentialCircuit,
-    frames: usize,
-) -> Result<(Circuit, Vec<Vec<Option<SignalId>>>), CheckError> {
+/// Per frame, the host signal standing for each original signal (indexed
+/// by original signal id; `None` for signals absent from the frame).
+type FrameMaps = Vec<Vec<Option<SignalId>>>;
+
+/// Core expansion; also returns the per-frame signal maps.
+fn unroll_impl(seq: &SequentialCircuit, frames: usize) -> Result<(Circuit, FrameMaps), CheckError> {
     if frames == 0 {
         return Err(CheckError::InvalidPartial("cannot unroll zero frames".to_string()));
     }
     let tc = &seq.circuit;
     let mut b = Circuit::builder(&format!("{}_x{frames}", tc.name()));
-    let state_in: std::collections::HashSet<usize> =
-        seq.state.iter().map(|&(i, _)| i).collect();
+    let state_in: std::collections::HashSet<usize> = seq.state.iter().map(|&(i, _)| i).collect();
     // Previous frame's next-state signals, keyed by the input position they
     // feed; frame 0 uses reset constants.
     let mut prev_state: std::collections::HashMap<usize, SignalId> =
@@ -200,11 +197,7 @@ pub fn unroll_partial(
     initial: &[bool],
     frames: usize,
 ) -> Result<PartialCircuit, CheckError> {
-    let seq = SequentialCircuit::new(
-        partial.circuit().clone(),
-        state.to_vec(),
-        initial.to_vec(),
-    )?;
+    let seq = SequentialCircuit::new(partial.circuit().clone(), state.to_vec(), initial.to_vec())?;
     let (host, frame_maps) = unroll_impl(&seq, frames)?;
     let mut boxes = Vec::new();
     for (frame, map) in frame_maps.iter().enumerate() {
@@ -257,7 +250,7 @@ mod tests {
         // Enable every frame: counter 0→1→2→3→0(carry)→1; carry at frame 3.
         let out = c.eval(&vec![true; k]).unwrap();
         let carries = &out[..]; // carry outputs come first per frame order
-        // Locate carry outputs by name to be robust.
+                                // Locate carry outputs by name to be robust.
         let mut carry_by_frame = vec![false; k];
         for (i, (name, _)) in c.outputs().iter().enumerate() {
             if let Some(rest) = name.strip_prefix('f') {
@@ -277,8 +270,9 @@ mod tests {
         let seq = counter();
         let c = seq.circuit.clone();
         assert!(SequentialCircuit::new(c.clone(), vec![(9, 1)], vec![false]).is_err());
-        assert!(SequentialCircuit::new(c.clone(), vec![(1, 1), (1, 2)], vec![false, false])
-            .is_err());
+        assert!(
+            SequentialCircuit::new(c.clone(), vec![(1, 1), (1, 2)], vec![false, false]).is_err()
+        );
         assert!(SequentialCircuit::new(c, vec![(1, 1)], vec![]).is_err());
         assert!(unroll(&counter(), 0).is_err());
     }
@@ -305,15 +299,10 @@ mod tests {
         let host = b.build_allow_undriven().unwrap();
         let partial = PartialCircuit::new(
             host,
-            vec![BlackBox {
-                name: "BB1".to_string(),
-                inputs: vec![s1, c0],
-                outputs: vec![z],
-            }],
+            vec![BlackBox { name: "BB1".to_string(), inputs: vec![s1, c0], outputs: vec![z] }],
         )
         .unwrap();
-        let unrolled =
-            unroll_partial(&partial, &[(1, 1), (2, 2)], &[false, false], 3).unwrap();
+        let unrolled = unroll_partial(&partial, &[(1, 1), (2, 2)], &[false, false], 3).unwrap();
         assert_eq!(unrolled.boxes().len(), 3);
         let settings = CheckSettings { dynamic_reordering: false, ..Default::default() };
         let outcome = checks::input_exact(&spec, &unrolled, &settings).unwrap();
@@ -340,15 +329,10 @@ mod tests {
         let host = b.build_allow_undriven().unwrap();
         let partial = PartialCircuit::new(
             host,
-            vec![BlackBox {
-                name: "BB1".to_string(),
-                inputs: vec![s1, c0],
-                outputs: vec![z],
-            }],
+            vec![BlackBox { name: "BB1".to_string(), inputs: vec![s1, c0], outputs: vec![z] }],
         )
         .unwrap();
-        let unrolled =
-            unroll_partial(&partial, &[(1, 1), (2, 2)], &[false, false], 3).unwrap();
+        let unrolled = unroll_partial(&partial, &[(1, 1), (2, 2)], &[false, false], 3).unwrap();
         let settings = CheckSettings { dynamic_reordering: false, ..Default::default() };
         for check in [checks::symbolic_01x, checks::local_check, checks::output_exact] {
             let outcome = check(&spec, &unrolled, &settings).unwrap();

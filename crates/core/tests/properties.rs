@@ -9,11 +9,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn settings() -> CheckSettings {
-    CheckSettings {
-        dynamic_reordering: false,
-        random_patterns: 250,
-        ..CheckSettings::default()
-    }
+    CheckSettings { dynamic_reordering: false, random_patterns: 250, ..CheckSettings::default() }
 }
 
 fn random_instance(

@@ -214,14 +214,8 @@ pub fn write(circuit: &Circuit) -> Result<String, NetlistError> {
                 ))
             }
         };
-        let args: Vec<&str> =
-            gate.inputs.iter().map(|&s| circuit.signal_name(s)).collect();
-        let _ = writeln!(
-            out,
-            "{} = {func}({})",
-            circuit.signal_name(gate.output),
-            args.join(", ")
-        );
+        let args: Vec<&str> = gate.inputs.iter().map(|&s| circuit.signal_name(s)).collect();
+        let _ = writeln!(out, "{} = {func}({})", circuit.signal_name(gate.output), args.join(", "));
     }
     Ok(out)
 }

@@ -60,11 +60,9 @@ fn parse_with(text: &str, allow_undriven: bool) -> Result<Circuit, NetlistError>
             let mut tokens = line.split_whitespace();
             match tokens.next() {
                 Some(".inputs" | ".outputs" | ".names") => names.extend(tokens),
-                Some(".model") => {
-                    if b.is_none() {
-                        name = tokens.next().unwrap_or("blif").to_string();
-                        b = Some(Circuit::builder(&name));
-                    }
+                Some(".model") if b.is_none() => {
+                    name = tokens.next().unwrap_or("blif").to_string();
+                    b = Some(Circuit::builder(&name));
                 }
                 _ => {}
             }
@@ -229,8 +227,7 @@ fn lower_names(
 pub fn write(circuit: &Circuit) -> String {
     let mut out = String::new();
     let _ = writeln!(out, ".model {}", circuit.name());
-    let input_names: Vec<&str> =
-        circuit.inputs().iter().map(|&s| circuit.signal_name(s)).collect();
+    let input_names: Vec<&str> = circuit.inputs().iter().map(|&s| circuit.signal_name(s)).collect();
     let _ = writeln!(out, ".inputs {}", input_names.join(" "));
     let output_names: Vec<&str> = circuit.outputs().iter().map(|(n, _)| n.as_str()).collect();
     let _ = writeln!(out, ".outputs {}", output_names.join(" "));

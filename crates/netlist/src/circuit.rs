@@ -209,18 +209,14 @@ impl Circuit {
             for &inp in &gate.inputs {
                 match values[inp.index()] {
                     Some(v) => buf.push(v),
-                    None => {
-                        return Err(NetlistError::Undriven(self.signal_name(inp).to_string()))
-                    }
+                    None => return Err(NetlistError::Undriven(self.signal_name(inp).to_string())),
                 }
             }
             values[gate.output.index()] = Some(gate.kind.eval(&buf));
         }
         self.outputs
             .iter()
-            .map(|&(ref n, s)| {
-                values[s.index()].ok_or_else(|| NetlistError::Undriven(n.clone()))
-            })
+            .map(|&(ref n, s)| values[s.index()].ok_or_else(|| NetlistError::Undriven(n.clone())))
             .collect()
     }
 
@@ -318,8 +314,13 @@ impl Circuit {
         for &g in removed {
             drop[g as usize] = true;
         }
-        let gates: Vec<Gate> =
-            self.gates.iter().enumerate().filter(|&(i, _)| !drop[i]).map(|(_, g)| g.clone()).collect();
+        let gates: Vec<Gate> = self
+            .gates
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| !drop[i])
+            .map(|(_, g)| g.clone())
+            .collect();
         let mut driver = vec![None; self.signal_count()];
         for (i, gate) in gates.iter().enumerate() {
             driver[gate.output.index()] = Some(i as u32);
@@ -363,19 +364,10 @@ impl Circuit {
             }
             driver[gate.output.index()] = Some(i as u32);
         }
-        let topo = toposort(&gates, n, &driver).map_err(|s| {
-            NetlistError::Cycle(signal_names[s.index()].clone())
-        })?;
-        let circuit = Circuit {
-            name,
-            signal_names,
-            inputs,
-            outputs,
-            gates,
-            driver,
-            is_input,
-            topo,
-        };
+        let topo = toposort(&gates, n, &driver)
+            .map_err(|s| NetlistError::Cycle(signal_names[s.index()].clone()))?;
+        let circuit =
+            Circuit { name, signal_names, inputs, outputs, gates, driver, is_input, topo };
         if !allow_undriven {
             // Every signal in the cone of an output must be driven.
             let roots: Vec<SignalId> = circuit.outputs.iter().map(|&(_, s)| s).collect();
@@ -391,9 +383,7 @@ impl Circuit {
                 match circuit.driver[s.index()] {
                     Some(g) => stack.extend(circuit.gates[g as usize].inputs.iter().copied()),
                     None => {
-                        return Err(NetlistError::Undriven(
-                            circuit.signal_names[s.index()].clone(),
-                        ))
+                        return Err(NetlistError::Undriven(circuit.signal_names[s.index()].clone()))
                     }
                 }
             }
@@ -744,11 +734,8 @@ mod tests {
     fn without_gates_leaves_undriven_outputs() {
         let c = full_adder();
         // Remove the gate driving `cout`'s OR.
-        let or_gate = c
-            .gates()
-            .iter()
-            .position(|g| g.kind == GateKind::Or)
-            .expect("adder has an OR") as u32;
+        let or_gate =
+            c.gates().iter().position(|g| g.kind == GateKind::Or).expect("adder has an OR") as u32;
         let partial = c.without_gates(&[or_gate]);
         assert_eq!(partial.gates().len(), c.gates().len() - 1);
         assert_eq!(partial.undriven_signals().len(), 1);

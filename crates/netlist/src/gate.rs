@@ -27,7 +27,11 @@ impl GateKind {
     /// Whether `n` inputs are a legal arity for this gate kind.
     pub fn arity_ok(self, n: usize) -> bool {
         match self {
-            GateKind::And | GateKind::Or | GateKind::Nand | GateKind::Nor | GateKind::Xor
+            GateKind::And
+            | GateKind::Or
+            | GateKind::Nand
+            | GateKind::Nor
+            | GateKind::Xor
             | GateKind::Xnor => n >= 1,
             GateKind::Not | GateKind::Buf => n == 1,
             GateKind::Const0 | GateKind::Const1 => n == 0,

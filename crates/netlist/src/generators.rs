@@ -155,20 +155,18 @@ pub fn array_multiplier(bits: usize) -> Circuit {
     // `j`: `row[k]` carries weight `k + j`.
     let mut row: Vec<SignalId> = (0..bits).map(|i| b.and2(a[i], bv[0])).collect();
     let mut products = vec![row.remove(0)]; // p0; row[k] now has weight k+1
-    for j in 1..bits {
-        let pp: Vec<SignalId> = (0..bits).map(|i| b.and2(a[i], bv[j])).collect();
+    for &bvj in bv.iter().skip(1) {
+        let pp: Vec<SignalId> = (0..bits).map(|i| b.and2(a[i], bvj)).collect();
         let mut next_row = Vec::with_capacity(bits + 1);
         let mut carry: Option<SignalId> = None;
-        for i in 0..bits {
+        for (i, &ppi) in pp.iter().enumerate() {
             // Sum pp[i] (weight i + j) with the aligned running-row bit.
             let upper = row.get(i).copied();
             let (s, c) = match (upper, carry) {
-                (None, None) => (pp[i], None),
-                (Some(x), None) | (None, Some(x)) => {
-                    (b.xor2(pp[i], x), Some(b.and2(pp[i], x)))
-                }
+                (None, None) => (ppi, None),
+                (Some(x), None) | (None, Some(x)) => (b.xor2(ppi, x), Some(b.and2(ppi, x))),
                 (Some(x), Some(y)) => {
-                    let (s, c) = full_adder(&mut b, pp[i], x, y);
+                    let (s, c) = full_adder(&mut b, ppi, x, y);
                     (s, Some(c))
                 }
             };
@@ -328,22 +326,21 @@ pub fn sec32() -> Circuit {
     let codes: Vec<usize> = (0..32).map(sec32_code).collect();
     // Syndrome: s_k = c_k XOR parity(group_k).
     let mut syndrome = Vec::new();
-    for k in 0..8 {
+    for (k, &ck) in c.iter().enumerate() {
         let members: Vec<SignalId> =
             (0..32).filter(|&j| codes[j] >> k & 1 == 1).map(|j| d[j]).collect();
         let group = if members.is_empty() {
-            c[k] // empty group: syndrome bit is the raw check bit
+            ck // empty group: syndrome bit is the raw check bit
         } else {
             let parity = b.tree(GateKind::Xor, &members);
-            b.xor2(c[k], parity)
+            b.xor2(ck, parity)
         };
         syndrome.push(group);
     }
     let nsyn: Vec<_> = syndrome.iter().map(|&s| b.not(s)).collect();
     for j in 0..32 {
-        let literals: Vec<SignalId> = (0..8)
-            .map(|k| if codes[j] >> k & 1 == 1 { syndrome[k] } else { nsyn[k] })
-            .collect();
+        let literals: Vec<SignalId> =
+            (0..8).map(|k| if codes[j] >> k & 1 == 1 { syndrome[k] } else { nsyn[k] }).collect();
         let matches = b.tree(GateKind::And, &literals);
         let flip = b.and2(en, matches);
         let corrected = b.xor2(d[j], flip);
@@ -365,14 +362,14 @@ pub fn secded16() -> Circuit {
     let pa = b.input("pa");
     let codes: Vec<usize> = (0..16).map(secded16_code).collect();
     let mut syndrome = Vec::new();
-    for k in 0..6 {
+    for (k, &ck) in c.iter().enumerate() {
         let members: Vec<SignalId> =
             (0..16).filter(|&j| codes[j] >> k & 1 == 1).map(|j| d[j]).collect();
         let s = if members.is_empty() {
-            c[k]
+            ck
         } else {
             let parity = b.tree(GateKind::Xor, &members);
-            b.xor2(c[k], parity)
+            b.xor2(ck, parity)
         };
         syndrome.push(s);
     }
@@ -388,9 +385,8 @@ pub fn secded16() -> Circuit {
     let nsyn: Vec<_> = syndrome.iter().map(|&s| b.not(s)).collect();
     let mut any_match = b.constant(false);
     for j in 0..16 {
-        let literals: Vec<SignalId> = (0..6)
-            .map(|k| if codes[j] >> k & 1 == 1 { syndrome[k] } else { nsyn[k] })
-            .collect();
+        let literals: Vec<SignalId> =
+            (0..6).map(|k| if codes[j] >> k & 1 == 1 { syndrome[k] } else { nsyn[k] }).collect();
         let matches = b.tree(GateKind::And, &literals);
         any_match = b.or2(any_match, matches);
         let flip = b.and2(single, matches);
@@ -537,7 +533,13 @@ pub fn masked_alu14() -> Circuit {
 /// # Panics
 ///
 /// Panics if any dimension is zero.
-pub fn random_pla(name: &str, inputs: usize, outputs: usize, products: usize, seed: u64) -> Circuit {
+pub fn random_pla(
+    name: &str,
+    inputs: usize,
+    outputs: usize,
+    products: usize,
+    seed: u64,
+) -> Circuit {
     assert!(inputs > 0 && outputs > 0 && products > 0);
     let mut rng = StdRng::seed_from_u64(seed);
     let mut b = Circuit::builder(name);
@@ -549,8 +551,7 @@ pub fn random_pla(name: &str, inputs: usize, outputs: usize, products: usize, se
         // every input is used but each term stays local.
         let base = (t * inputs) / products;
         let width = rng.random_range(2..=5usize.min(window));
-        let mut chosen: Vec<usize> =
-            (0..window).map(|k| (base + k) % inputs).collect();
+        let mut chosen: Vec<usize> = (0..window).map(|k| (base + k) % inputs).collect();
         chosen.shuffle(&mut rng);
         chosen.truncate(width);
         let literals: Vec<SignalId> = chosen
@@ -658,7 +659,8 @@ pub fn expand_xor_to_nand(circuit: &Circuit) -> Circuit {
                 let mut acc = gate.inputs[0];
                 for (n, &next) in gate.inputs.iter().enumerate().skip(1) {
                     let last = n + 1 == gate.inputs.len() && gate.kind == GateKind::Xor;
-                    let t = nand_xor(&mut b, acc, next, if last { Some(gate.output) } else { None });
+                    let t =
+                        nand_xor(&mut b, acc, next, if last { Some(gate.output) } else { None });
                     acc = t;
                 }
                 if gate.kind == GateKind::Xnor {
@@ -677,12 +679,7 @@ pub fn expand_xor_to_nand(circuit: &Circuit) -> Circuit {
 }
 
 /// Builds `a XOR b` out of four NANDs, optionally into an existing signal.
-fn nand_xor(
-    b: &mut CircuitBuilder,
-    a: SignalId,
-    c: SignalId,
-    into: Option<SignalId>,
-) -> SignalId {
+fn nand_xor(b: &mut CircuitBuilder, a: SignalId, c: SignalId, into: Option<SignalId>) -> SignalId {
     let t = b.nand2(a, c);
     let u = b.nand2(a, t);
     let v = b.nand2(t, c);
@@ -745,11 +742,7 @@ mod tests {
                     let out = c.eval(&v).unwrap();
                     let expect = a * bb;
                     for k in 0..2 * bits {
-                        assert_eq!(
-                            out[k],
-                            expect >> k & 1 == 1,
-                            "{bits}-bit {a}*{bb} bit {k}"
-                        );
+                        assert_eq!(out[k], expect >> k & 1 == 1, "{bits}-bit {a}*{bb} bit {k}");
                     }
                 }
             }
@@ -978,10 +971,7 @@ mod tests {
     fn xor_expansion_preserves_function() {
         let c = sec32();
         let expanded = expand_xor_to_nand(&c);
-        assert!(expanded
-            .gates()
-            .iter()
-            .all(|g| !matches!(g.kind, GateKind::Xor | GateKind::Xnor)));
+        assert!(expanded.gates().iter().all(|g| !matches!(g.kind, GateKind::Xor | GateKind::Xnor)));
         assert!(expanded.gates().len() > c.gates().len());
         let mut rng = StdRng::seed_from_u64(99);
         for _ in 0..50 {

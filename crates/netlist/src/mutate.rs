@@ -55,10 +55,8 @@ impl Mutation {
             MutationKind::ToggleInputInverter { pin } => {
                 let src = *gates[g].inputs.get(pin).ok_or_else(|| bad("pin out of range"))?;
                 // "Remove" if the pin is fed by an inverter: bypass it.
-                let feeding_not = circuit
-                    .driver_of(src)
-                    .filter(|d| d.kind == GateKind::Not)
-                    .map(|d| d.inputs[0]);
+                let feeding_not =
+                    circuit.driver_of(src).filter(|d| d.kind == GateKind::Not).map(|d| d.inputs[0]);
                 if let Some(original) = feeding_not {
                     gates[g].inputs[pin] = original;
                 } else {
@@ -77,10 +75,8 @@ impl Mutation {
             }
             MutationKind::RemoveInput { pin } => {
                 let kind = gates[g].kind;
-                let removable = matches!(
-                    kind,
-                    GateKind::And | GateKind::Or | GateKind::Nand | GateKind::Nor
-                );
+                let removable =
+                    matches!(kind, GateKind::And | GateKind::Or | GateKind::Nand | GateKind::Nor);
                 if !removable {
                     return Err(bad("inputs can only be removed from and/or gates"));
                 }

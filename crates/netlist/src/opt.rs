@@ -18,6 +18,14 @@ enum Node {
     Wire(SignalId),
 }
 
+/// Structural-hashing table of the new circuit: gate shape → output wire.
+type GateHash = HashMap<(GateKind, Vec<SignalId>), SignalId>;
+/// Inverter tracking: wire ↔ its complement.
+type InverseMap = HashMap<SignalId, SignalId>;
+/// The shared gate constructor threaded through `simplify`.
+type MkGateFn<'a> = dyn FnMut(&mut CircuitBuilder, &mut GateHash, &mut InverseMap, GateKind, Vec<SignalId>) -> SignalId
+    + 'a;
+
 /// Rewrites the circuit into an equivalent, usually smaller one.
 ///
 /// Applied rules: constant propagation through every gate kind, identity
@@ -45,19 +53,19 @@ pub fn optimize(circuit: &Circuit) -> Result<Circuit, NetlistError> {
         repr[s.index()] = Some(Node::Wire(id));
     }
     // Structural hashing and inverter tracking over the new circuit.
-    let mut hash: HashMap<(GateKind, Vec<SignalId>), SignalId> = HashMap::new();
-    let mut inverse: HashMap<SignalId, SignalId> = HashMap::new(); // wire -> ¬wire source
+    let mut hash: GateHash = HashMap::new();
+    let mut inverse: InverseMap = HashMap::new(); // wire -> ¬wire source
     let mut constants: (Option<SignalId>, Option<SignalId>) = (None, None);
 
     let mk_const = |b: &mut CircuitBuilder,
-                        constants: &mut (Option<SignalId>, Option<SignalId>),
-                        value: bool| {
+                    constants: &mut (Option<SignalId>, Option<SignalId>),
+                    value: bool| {
         let slot = if value { &mut constants.1 } else { &mut constants.0 };
         *slot.get_or_insert_with(|| b.constant(value))
     };
     let mut mk_gate = |b: &mut CircuitBuilder,
-                       hash: &mut HashMap<(GateKind, Vec<SignalId>), SignalId>,
-                       inverse: &mut HashMap<SignalId, SignalId>,
+                       hash: &mut GateHash,
+                       inverse: &mut InverseMap,
                        kind: GateKind,
                        inputs: Vec<SignalId>| {
         if let Some(&existing) = hash.get(&(kind, inputs.clone())) {
@@ -96,8 +104,7 @@ pub fn optimize(circuit: &Circuit) -> Result<Circuit, NetlistError> {
     let roots: Vec<SignalId> = built.outputs().iter().map(|&(_, s)| s).collect();
     let live = built.fanin_cone_gates(&roots);
     let all: Vec<u32> = (0..built.gates().len() as u32).collect();
-    let dead: Vec<u32> =
-        all.into_iter().filter(|g| live.binary_search(g).is_err()).collect();
+    let dead: Vec<u32> = all.into_iter().filter(|g| live.binary_search(g).is_err()).collect();
     Ok(built.without_gates(&dead))
 }
 
@@ -106,27 +113,21 @@ fn simplify(
     kind: GateKind,
     ins: &[Node],
     b: &mut CircuitBuilder,
-    hash: &mut HashMap<(GateKind, Vec<SignalId>), SignalId>,
-    inverse: &mut HashMap<SignalId, SignalId>,
+    hash: &mut GateHash,
+    inverse: &mut InverseMap,
     mk_gate: &mut impl FnMut(
         &mut CircuitBuilder,
-        &mut HashMap<(GateKind, Vec<SignalId>), SignalId>,
-        &mut HashMap<SignalId, SignalId>,
+        &mut GateHash,
+        &mut InverseMap,
         GateKind,
         Vec<SignalId>,
     ) -> SignalId,
 ) -> Node {
     let negate = |node: Node,
                   b: &mut CircuitBuilder,
-                  hash: &mut HashMap<(GateKind, Vec<SignalId>), SignalId>,
-                  inverse: &mut HashMap<SignalId, SignalId>,
-                  mk_gate: &mut dyn FnMut(
-        &mut CircuitBuilder,
-        &mut HashMap<(GateKind, Vec<SignalId>), SignalId>,
-        &mut HashMap<SignalId, SignalId>,
-        GateKind,
-        Vec<SignalId>,
-    ) -> SignalId| match node {
+                  hash: &mut GateHash,
+                  inverse: &mut InverseMap,
+                  mk_gate: &mut MkGateFn<'_>| match node {
         Node::Const(v) => Node::Const(!v),
         Node::Wire(w) => match inverse.get(&w) {
             Some(&nw) => Node::Wire(nw),
@@ -168,11 +169,7 @@ fn simplify(
                 } else {
                     Node::Wire(wires[0])
                 };
-                return if inverted_out {
-                    negate(raw, b, hash, inverse, mk_gate)
-                } else {
-                    raw
-                };
+                return if inverted_out { negate(raw, b, hash, inverse, mk_gate) } else { raw };
             }
             // Emit the fused kind directly so Nand/Nor stay one gate.
             let out_kind = match (is_or, inverted_out) {
@@ -204,16 +201,8 @@ fn simplify(
                 order.into_iter().filter(|w| counts[w] % 2 == 1).collect();
             wires.sort_unstable();
             if wires.len() <= 1 {
-                let raw = if wires.is_empty() {
-                    Node::Const(false)
-                } else {
-                    Node::Wire(wires[0])
-                };
-                return if invert {
-                    negate(raw, b, hash, inverse, mk_gate)
-                } else {
-                    raw
-                };
+                let raw = if wires.is_empty() { Node::Const(false) } else { Node::Wire(wires[0]) };
+                return if invert { negate(raw, b, hash, inverse, mk_gate) } else { raw };
             }
             let out_kind = if invert { GateKind::Xnor } else { GateKind::Xor };
             Node::Wire(mk_gate(b, hash, inverse, out_kind, wires))

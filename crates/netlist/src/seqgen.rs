@@ -107,11 +107,7 @@ pub fn sequence_detector() -> SequentialDesign {
     b.output("n1", n1);
     b.output("n10", n10);
     let circuit = b.build().expect("valid detector");
-    SequentialDesign {
-        circuit,
-        state: vec![(1, 1), (2, 2)],
-        initial: vec![false, false],
-    }
+    SequentialDesign { circuit, state: vec![(1, 1), (2, 2)], initial: vec![false, false] }
 }
 
 /// A simple traffic-light controller (2-bit state machine with a request
@@ -147,11 +143,7 @@ pub fn traffic_light() -> SequentialDesign {
     b.output("n0", n_s0);
     b.output("n1", n_s1);
     let circuit = b.build().expect("valid controller");
-    SequentialDesign {
-        circuit,
-        state: vec![(1, 3), (2, 4)],
-        initial: vec![false, false],
-    }
+    SequentialDesign { circuit, state: vec![(1, 3), (2, 4)], initial: vec![false, false] }
 }
 
 /// A shift register with taps XOR-ed into a parity output — a pipeline-like

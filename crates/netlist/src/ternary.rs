@@ -51,7 +51,10 @@ impl Tv {
         }
     }
 
-    /// Ternary negation; X stays X.
+    /// Ternary negation; X stays X. (An inherent method so it lines up
+    /// with [`Tv::and`]/[`Tv::or`]/[`Tv::xor`]; `!v` works via the
+    /// [`std::ops::Not`] impl below.)
+    #[allow(clippy::should_implement_trait)]
     #[must_use]
     pub fn not(self) -> Tv {
         match self {
@@ -73,6 +76,14 @@ impl Tv {
             Tv::One => Some(true),
             Tv::X => None,
         }
+    }
+}
+
+impl std::ops::Not for Tv {
+    type Output = Tv;
+
+    fn not(self) -> Tv {
+        Tv::not(self)
     }
 }
 

@@ -91,7 +91,7 @@ proptest! {
         let c = generators::random_logic("g", 6, 40, 3, seed);
         let mut rng = StdRng::seed_from_u64(seed);
         let removed: Vec<u32> = (0..c.gates().len() as u32)
-            .filter(|_| rng.random_range(0..10) < frac)
+            .filter(|_| rng.random_range(0..10usize) < frac)
             .collect();
         let partial = c.without_gates(&removed);
         prop_assert_eq!(partial.gates().len(), c.gates().len() - removed.len());

@@ -54,9 +54,8 @@ impl Cnf {
                 continue;
             }
             for tok in line.split_whitespace() {
-                let n: i64 = tok
-                    .parse()
-                    .map_err(|_| ParseDimacsError(format!("bad literal `{tok}`")))?;
+                let n: i64 =
+                    tok.parse().map_err(|_| ParseDimacsError(format!("bad literal `{tok}`")))?;
                 if n == 0 {
                     clauses.push(std::mem::take(&mut current));
                 } else {

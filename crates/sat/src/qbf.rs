@@ -170,8 +170,7 @@ mod tests {
             (Some(_), ExistsForallResult::Witness(w)) => {
                 // Verify the returned witness independently.
                 let n = circuit.inputs().len();
-                let universal: Vec<usize> =
-                    (0..n).filter(|i| !existential.contains(i)).collect();
+                let universal: Vec<usize> = (0..n).filter(|i| !existential.contains(i)).collect();
                 for ybits in 0..1u32 << universal.len() {
                     let mut inputs = vec![false; n];
                     for (k, &i) in existential.iter().enumerate() {

@@ -200,8 +200,7 @@ impl Solver {
     /// Number of distinct decision levels among a clause's literals — the
     /// standard quality measure for learnt clauses (Glucose).
     fn clause_lbd(&self, clause: &[Lit]) -> u32 {
-        let mut levels: Vec<u32> =
-            clause.iter().map(|l| self.level[l.var().index()]).collect();
+        let mut levels: Vec<u32> = clause.iter().map(|l| self.level[l.var().index()]).collect();
         levels.sort_unstable();
         levels.dedup();
         levels.len() as u32
@@ -220,7 +219,10 @@ impl Solver {
             return;
         }
         learnt.sort_by_key(|&c| {
-            (std::cmp::Reverse(self.lbd[c as usize]), std::cmp::Reverse(self.clauses[c as usize].len()))
+            (
+                std::cmp::Reverse(self.lbd[c as usize]),
+                std::cmp::Reverse(self.clauses[c as usize].len()),
+            )
         });
         let drop: std::collections::HashSet<u32> =
             learnt[..learnt.len() / 2].iter().copied().collect();
@@ -239,11 +241,9 @@ impl Solver {
         }
         self.clauses = new_clauses;
         self.lbd = new_lbd;
-        for r in self.reason.iter_mut() {
-            if let Some(c) = r {
-                *c = remap[*c as usize];
-                debug_assert_ne!(*c, u32::MAX, "reason clause deleted");
-            }
+        for c in self.reason.iter_mut().flatten() {
+            *c = remap[*c as usize];
+            debug_assert_ne!(*c, u32::MAX, "reason clause deleted");
         }
         // Rebuild all watch lists from scratch.
         for w in &mut self.watches {
@@ -363,10 +363,7 @@ impl Solver {
     ///
     /// Panics if the formula is satisfiable under `assumptions`.
     pub fn minimize_failing_assumptions(&mut self, assumptions: &[Lit]) -> Vec<Lit> {
-        assert!(
-            !self.solve_with_assumptions(assumptions).is_sat(),
-            "assumptions must be failing"
-        );
+        assert!(!self.solve_with_assumptions(assumptions).is_sat(), "assumptions must be failing");
         let mut core: Vec<Lit> = assumptions.to_vec();
         let mut i = 0;
         while i < core.len() {
@@ -445,8 +442,7 @@ impl Solver {
                 debug_assert_eq!(self.clauses[ci][1], false_lit);
                 let first = self.clauses[ci][0];
                 if first != blocker && self.lit_value(first) == Some(true) {
-                    self.watches[p.index()][i] =
-                        Watch { clause, blocker: first };
+                    self.watches[p.index()][i] = Watch { clause, blocker: first };
                     i += 1;
                     continue;
                 }
@@ -520,11 +516,7 @@ impl Solver {
             self.seen[l.var().index()] = false;
         }
         // Backjump to the second-highest level in the clause.
-        let backtrack = learnt[1..]
-            .iter()
-            .map(|l| self.level[l.var().index()])
-            .max()
-            .unwrap_or(0);
+        let backtrack = learnt[1..].iter().map(|l| self.level[l.var().index()]).max().unwrap_or(0);
         (learnt, backtrack)
     }
 
@@ -724,9 +716,8 @@ mod tests {
 
     fn pigeonhole(pigeons: usize, holes: usize) -> Solver {
         let mut s = Solver::new();
-        let v: Vec<Vec<Lit>> = (0..pigeons)
-            .map(|_| s.new_vars(holes).into_iter().map(Lit::pos).collect())
-            .collect();
+        let v: Vec<Vec<Lit>> =
+            (0..pigeons).map(|_| s.new_vars(holes).into_iter().map(Lit::pos).collect()).collect();
         for p in &v {
             s.add_clause(p);
         }

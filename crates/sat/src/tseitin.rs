@@ -78,11 +78,7 @@ fn encode_gate(solver: &mut Solver, kind: GateKind, out: Lit, ins: &[Lit]) {
             let target = if kind == GateKind::Xnor { !out } else { out };
             let mut acc = ins[0];
             for (i, &next) in ins.iter().enumerate().skip(1) {
-                let result = if i + 1 == ins.len() {
-                    target
-                } else {
-                    Lit::pos(solver.new_var())
-                };
+                let result = if i + 1 == ins.len() { target } else { Lit::pos(solver.new_var()) };
                 encode_xor2(solver, result, acc, next);
                 acc = result;
             }
@@ -180,12 +176,8 @@ mod tests {
             let expect = circuit.eval(&inputs).unwrap();
             let mut solver = Solver::new();
             let cnf = encode(&mut solver, circuit, &[]);
-            let assumptions: Vec<Lit> = cnf
-                .input_lits
-                .iter()
-                .zip(&inputs)
-                .map(|(&l, &v)| if v { l } else { !l })
-                .collect();
+            let assumptions: Vec<Lit> =
+                cnf.input_lits.iter().zip(&inputs).map(|(&l, &v)| if v { l } else { !l }).collect();
             assert!(solver.solve_with_assumptions(&assumptions).is_sat());
             for (o, &e) in cnf.output_lits.iter().zip(&expect) {
                 let got = solver.value(o.var()).unwrap_or(false) != o.is_neg();

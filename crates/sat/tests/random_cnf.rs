@@ -22,10 +22,7 @@ fn brute_force_sat(clauses: &[Vec<(usize, bool)>], fixed: &[(usize, bool)]) -> b
                 continue 'assignments;
             }
         }
-        if clauses
-            .iter()
-            .all(|c| c.iter().any(|&(v, pos)| assign[v] == pos))
-        {
+        if clauses.iter().all(|c| c.iter().any(|&(v, pos)| assign[v] == pos)) {
             return true;
         }
     }
@@ -36,8 +33,7 @@ fn load(clauses: &[Vec<(usize, bool)>]) -> (Solver, Vec<Var>) {
     let mut s = Solver::new();
     let vars = s.new_vars(NVARS);
     for c in clauses {
-        let lits: Vec<Lit> =
-            c.iter().map(|&(v, pos)| Lit::with_value(vars[v], pos)).collect();
+        let lits: Vec<Lit> = c.iter().map(|&(v, pos)| Lit::with_value(vars[v], pos)).collect();
         s.add_clause(&lits);
     }
     (s, vars)

@@ -45,10 +45,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Full (unabstracted) reference check via SAT equivalence.
     let full_diff = bbec::sat::tseitin::check_equivalence(&spec, &faulty);
-    println!("ground truth: full equivalence check says {}", match &full_diff {
-        Some(_) => "DIFFERENT",
-        None => "equal",
-    });
+    println!(
+        "ground truth: full equivalence check says {}",
+        match &full_diff {
+            Some(_) => "DIFFERENT",
+            None => "equal",
+        }
+    );
 
     // Abstracted check: cheaper BDDs, still finds the error.
     let partial = PartialCircuit::black_box_gates(&faulty, &and_gates)?;

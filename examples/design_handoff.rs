@@ -19,11 +19,7 @@ use bbec::netlist::Circuit;
 fn team_regions(spec: &Circuit) -> Vec<Vec<u32>> {
     let n = spec.gates().len() as u32;
     let third = n / 3;
-    vec![
-        (0..third).collect(),
-        (third..2 * third).collect(),
-        (2 * third..n).collect(),
-    ]
+    vec![(0..third).collect(), (third..2 * third).collect(), (2 * third..n).collect()]
 }
 
 fn check(spec: &Circuit, partial: &PartialCircuit) -> Verdict {
@@ -57,14 +53,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Mutation { gate: bug_gate, kind: MutationKind::ToggleOutputInverter }.apply(&spec)?;
     let partial = PartialCircuit::black_box_gates(&faulty, &regions[2])?;
     let verdict = check(&spec, &partial);
-    println!(
-        "milestone 2: team 2 delivered (with a hidden bug at gate {bug_gate}) -> {verdict:?}"
-    );
-    assert_eq!(
-        verdict,
-        Verdict::ErrorFound,
-        "the bug must be caught before team 3 even starts"
-    );
+    println!("milestone 2: team 2 delivered (with a hidden bug at gate {bug_gate}) -> {verdict:?}");
+    assert_eq!(verdict, Verdict::ErrorFound, "the bug must be caught before team 3 even starts");
     println!("  -> integration bug caught while a third of the chip is still unwritten.");
 
     // Milestone 2': team 2 re-delivers a correct block.

@@ -58,9 +58,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nhypothesis B: bug ⊆ first-stage gates {suspects_bad:?}");
     match verdict {
         Verdict::NoErrorFound => println!("  input-exact check passes -> hypothesis confirmed"),
-        Verdict::ErrorFound => println!(
-            "  error persists -> hypothesis REFUTED: some bug lies outside the suspects"
-        ),
+        Verdict::ErrorFound => {
+            println!("  error persists -> hypothesis REFUTED: some bug lies outside the suspects")
+        }
     }
     assert_eq!(verdict, Verdict::ErrorFound);
 
@@ -74,10 +74,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         sites.len(),
         sites.iter().map(|s| s.gates[0]).collect::<Vec<_>>()
     );
-    assert!(
-        sites.iter().any(|s| s.gates == vec![bug_site]),
-        "the injected site must be confirmed"
-    );
+    assert!(sites.iter().any(|s| s.gates == vec![bug_site]), "the injected site must be confirmed");
     println!("the injected fault site (gate {bug_site}) is confirmed as repairable.");
     Ok(())
 }

@@ -20,8 +20,11 @@
 use bbec::core::{checks, samples, CheckSettings, PartialCircuit, Verdict};
 use bbec::netlist::Circuit;
 
-type Check =
-    fn(&Circuit, &PartialCircuit, &CheckSettings) -> Result<bbec::core::CheckOutcome, bbec::core::CheckError>;
+type Check = fn(
+    &Circuit,
+    &PartialCircuit,
+    &CheckSettings,
+) -> Result<bbec::core::CheckOutcome, bbec::core::CheckError>;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let settings = CheckSettings { random_patterns: 500, ..CheckSettings::default() };
@@ -35,7 +38,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("Figure 1 analogue: completable partial implementation", samples::completable_pair()),
         ("Figure 2(a) analogue: definite wrong value", samples::detected_by_01x()),
         ("Figure 2(b) analogue: Z XOR Z reconvergence", samples::detected_only_by_local()),
-        ("Figure 3(a) analogue: contradictory box demands", samples::detected_only_by_output_exact()),
+        (
+            "Figure 3(a) analogue: contradictory box demands",
+            samples::detected_only_by_output_exact(),
+        ),
         ("Figure 3(b) analogue: box cannot see input c", samples::detected_only_by_input_exact()),
     ];
     for (title, (spec, partial)) in figures {

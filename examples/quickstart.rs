@@ -38,7 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     });
     let report = ladder.run(&spec, &partial)?;
     println!("\nunfinished-but-correct design:");
-    for outcome in &report.outcomes {
+    for outcome in report.outcomes() {
         println!(
             "  {:<6} -> {:?}  ({} impl nodes, {} peak, {:?})",
             outcome.method.label(),
@@ -61,7 +61,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let faulty_partial = PartialCircuit::black_box_gates(&faulty, &unfinished)?;
     let report = ladder.run(&spec, &faulty_partial)?;
     println!("\nsame black box, but with a real bug in the finished logic:");
-    for outcome in &report.outcomes {
+    for outcome in report.outcomes() {
         println!("  {:<6} -> {:?}", outcome.method.label(), outcome.verdict);
     }
     assert_eq!(report.verdict(), Verdict::ErrorFound);

@@ -51,29 +51,20 @@ fn counter_logic(name: &str, sabotage: bool, boxed_top: bool) -> (Circuit, Vec<S
     } else {
         b.build().expect("valid transition logic")
     };
-    let flat: Vec<SignalId> = boxed_signals
-        .iter()
-        .flat_map(|&(sum, cry, _, _)| [sum, cry])
-        .collect();
+    let flat: Vec<SignalId> =
+        boxed_signals.iter().flat_map(|&(sum, cry, _, _)| [sum, cry]).collect();
     (c, flat)
 }
 
 fn seq(circuit: Circuit) -> SequentialCircuit {
     // state: inputs s0..s3 are positions 2..6; outputs n0..n3 are 1..5.
-    SequentialCircuit::new(
-        circuit,
-        (0..4).map(|i| (2 + i, 1 + i)).collect(),
-        vec![false; 4],
-    )
-    .expect("valid state pairing")
+    SequentialCircuit::new(circuit, (0..4).map(|i| (2 + i, 1 + i)).collect(), vec![false; 4])
+        .expect("valid state pairing")
 }
 
 fn boxed_partial(sabotage: bool) -> PartialCircuit {
-    let (host, bb) = counter_logic(
-        if sabotage { "cnt4_bug" } else { "cnt4_partial" },
-        sabotage,
-        true,
-    );
+    let (host, bb) =
+        counter_logic(if sabotage { "cnt4_bug" } else { "cnt4_partial" }, sabotage, true);
     // One box per unfinished bit: inputs are that bit's state line and the
     // incoming carry chain signal.
     let s2 = host.find_signal("s2").expect("state input");
@@ -116,8 +107,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let spec_k = unroll(&spec_seq, k)?;
         // Correct partial implementation: must pass at every bound.
         let good = boxed_partial(false);
-        let good_k =
-            unroll_partial(&good, &spec_seq.state, &spec_seq.initial, k)?;
+        let good_k = unroll_partial(&good, &spec_seq.state, &spec_seq.initial, k)?;
         let good_verdict = checks::output_exact(&spec_k, &good_k, &settings)?.verdict;
         // Sabotaged bit-1 logic: a sequential bug that needs the counter to
         // actually count before it is provable.

@@ -21,6 +21,9 @@
 //!                              or one box per signal
 //!   --patterns N               random patterns for rp/ladder (default 5000)
 //!   --no-reorder               disable dynamic BDD reordering
+//!   --node-limit N             cap live BDD nodes per check (default 4000000);
+//!                              an exceeded check reports "budget exceeded"
+//!   --step-limit N             cap BDD apply steps per check (default: none)
 //!   --quiet                    verdict only (exit code 0 = completable,
 //!                              1 = error found, 2 = usage/IO error)
 //! ```
@@ -32,7 +35,9 @@ use std::path::Path;
 use std::process::exit;
 
 fn usage() -> ! {
-    eprintln!("usage: bbec <check|localize|stats|convert> [options]  (see --help in source header)");
+    eprintln!(
+        "usage: bbec <check|localize|stats|convert> [options]  (see --help in source header)"
+    );
     exit(2)
 }
 
@@ -125,6 +130,8 @@ struct Options {
     reorder: bool,
     quiet: bool,
     frames: usize,
+    node_limit: Option<usize>,
+    step_limit: Option<u64>,
     positional: Vec<String>,
 }
 
@@ -138,6 +145,8 @@ fn parse_options(args: &[String]) -> Options {
         reorder: true,
         quiet: false,
         frames: 4,
+        node_limit: None,
+        step_limit: None,
         positional: Vec::new(),
     };
     let mut i = 0;
@@ -165,15 +174,23 @@ fn parse_options(args: &[String]) -> Options {
             }
             "--patterns" => {
                 i += 1;
-                o.patterns =
-                    args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+                o.patterns = args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
             }
             "--no-reorder" => o.reorder = false,
             "--quiet" => o.quiet = true,
+            "--node-limit" => {
+                i += 1;
+                o.node_limit =
+                    Some(args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()));
+            }
+            "--step-limit" => {
+                i += 1;
+                o.step_limit =
+                    Some(args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()));
+            }
             "--frames" => {
                 i += 1;
-                o.frames =
-                    args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+                o.frames = args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
             }
             other if !other.starts_with("--") => o.positional.push(other.to_string()),
             _ => usage(),
@@ -190,17 +207,28 @@ fn main() {
     }
     let command = args[0].clone();
     let o = parse_options(&args[1..]);
-    let settings = CheckSettings {
+    let mut settings = CheckSettings {
         dynamic_reordering: o.reorder,
         random_patterns: o.patterns,
         ..CheckSettings::default()
     };
+    if let Some(n) = o.node_limit {
+        settings.node_limit = Some(n);
+    }
+    settings.step_limit = o.step_limit;
     match command.as_str() {
         "stats" => {
             let path = o.positional.first().cloned().unwrap_or_else(|| usage());
             let c = read_circuit(&path);
             let st = c.stats();
-            println!("{}: {} inputs, {} outputs, {} gates, depth {}", c.name(), st.inputs, st.outputs, st.gates, st.depth);
+            println!(
+                "{}: {} inputs, {} outputs, {} gates, depth {}",
+                c.name(),
+                st.inputs,
+                st.outputs,
+                st.gates,
+                st.depth
+            );
             for (kind, count) in st.by_kind {
                 println!("  {kind:<6} {count}");
             }
@@ -278,13 +306,11 @@ fn main() {
                 eprintln!("bbec: cannot read `{in_path}`: {e}");
                 exit(2)
             });
-            let stem =
-                Path::new(in_path).file_stem().and_then(|s| s.to_str()).unwrap_or("seq");
-            let parsed = bbec::netlist::bench::parse_sequential(stem, &text)
-                .unwrap_or_else(|e| {
-                    eprintln!("bbec: cannot parse `{in_path}`: {e}");
-                    exit(2)
-                });
+            let stem = Path::new(in_path).file_stem().and_then(|s| s.to_str()).unwrap_or("seq");
+            let parsed = bbec::netlist::bench::parse_sequential(stem, &text).unwrap_or_else(|e| {
+                eprintln!("bbec: cannot parse `{in_path}`: {e}");
+                exit(2)
+            });
             let n_regs = parsed.state.len();
             let seq = bbec::core::unroll::SequentialCircuit::from_bench(
                 parsed,
@@ -316,10 +342,7 @@ fn main() {
                 exit(2)
             });
             if !o.quiet {
-                println!(
-                    "unrolled {n_regs} register(s) over {} frame(s) -> {out_path}",
-                    o.frames
-                );
+                println!("unrolled {n_regs} register(s) over {} frame(s) -> {out_path}", o.frames);
             }
         }
         "sat" => {
@@ -450,8 +473,27 @@ fn run_method(
                 exit(2)
             });
             if !quiet {
-                for o in &report.outcomes {
-                    println!("  {:<6} -> {:?} ({:?})", o.method.label(), o.verdict, o.stats.duration);
+                for stage in &report.stages {
+                    match stage {
+                        checks::StageResult::Finished(o) => println!(
+                            "  {:<6} -> {:?} ({:?}, {} steps)",
+                            o.method.label(),
+                            o.verdict,
+                            o.stats.duration,
+                            o.stats.apply_steps
+                        ),
+                        checks::StageResult::BudgetExceeded { method, reason, .. } => {
+                            println!("  {:<6} -> budget exceeded ({reason})", method.label())
+                        }
+                    }
+                }
+                let skipped = report.budget_exceeded();
+                if report.verdict() == Verdict::NoErrorFound && !skipped.is_empty() {
+                    println!(
+                        "  note: verdict is from the strongest rung that finished; {} \
+                         stronger check(s) exceeded the budget",
+                        skipped.len()
+                    );
                 }
             }
             report.verdict()

@@ -174,9 +174,8 @@ out = BUF(q)
         .output()
         .expect("binary runs");
     assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
-    let unrolled =
-        blif::parse(&std::fs::read_to_string(&out_path).expect("output written"))
-            .expect("valid BLIF");
+    let unrolled = blif::parse(&std::fs::read_to_string(&out_path).expect("output written"))
+        .expect("valid BLIF");
     // 3 enables in, 3 observable outputs + horizon state out.
     assert_eq!(unrolled.inputs().len(), 3);
     assert_eq!(unrolled.outputs().len(), 4);
@@ -198,18 +197,13 @@ out = BUF(q)
 #[test]
 fn export_suite_writes_all_benchmarks() {
     let dir = std::env::temp_dir().join(format!("bbec-suite-{}", std::process::id()));
-    let out = bin()
-        .arg("export-suite")
-        .arg(&dir)
-        .arg("--quiet")
-        .output()
-        .expect("binary runs");
+    let out = bin().arg("export-suite").arg(&dir).arg("--quiet").output().expect("binary runs");
     assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
     // Every circuit at least as BLIF, re-parsable and non-trivial.
     for name in ["alu4", "apex3", "c432", "c499", "c880", "c1355", "c1908", "comp", "term1"] {
         let path = dir.join(format!("{name}.blif"));
-        let text = std::fs::read_to_string(&path)
-            .unwrap_or_else(|e| panic!("{name}.blif missing: {e}"));
+        let text =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{name}.blif missing: {e}"));
         let c = blif::parse(&text).unwrap_or_else(|e| panic!("{name}.blif invalid: {e}"));
         assert!(c.gates().len() >= 40, "{name} too small");
     }

@@ -8,11 +8,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn settings() -> CheckSettings {
-    CheckSettings {
-        dynamic_reordering: false,
-        random_patterns: 400,
-        ..CheckSettings::default()
-    }
+    CheckSettings { dynamic_reordering: false, random_patterns: 400, ..CheckSettings::default() }
 }
 
 /// End-to-end soundness sweep over the full benchmark suite: boxing parts
@@ -34,8 +30,7 @@ fn suite_wide_soundness() {
         &bbec::netlist::Circuit,
         &PartialCircuit,
         &CheckSettings,
-    )
-        -> Result<bbec::core::CheckOutcome, bbec::core::CheckError>;
+    ) -> Result<bbec::core::CheckOutcome, bbec::core::CheckError>;
     let methods: [(&str, Check); 4] = [
         ("01x", checks::symbolic_01x as Check),
         ("local", checks::local_check as Check),
@@ -44,8 +39,8 @@ fn suite_wide_soundness() {
     ];
     for bench in benchmarks::suite() {
         let spec = &bench.circuit;
-        let partial = PartialCircuit::random_black_boxes(spec, 0.03, 1, &mut rng)
-            .expect("valid selection");
+        let partial =
+            PartialCircuit::random_black_boxes(spec, 0.03, 1, &mut rng).expect("valid selection");
         for (name, check) in methods {
             match check(spec, &partial, &s) {
                 Ok(outcome) => assert_eq!(
@@ -81,12 +76,9 @@ fn suite_wide_detection_of_gross_errors() {
         let Some(gate) = spec.driver_index_of(out_sig) else {
             continue; // output directly tied to an input: skip
         };
-        let faulty = Mutation {
-            gate,
-            kind: bbec::netlist::MutationKind::ToggleOutputInverter,
-        }
-        .apply(spec)
-        .expect("valid mutation");
+        let faulty = Mutation { gate, kind: bbec::netlist::MutationKind::ToggleOutputInverter }
+            .apply(spec)
+            .expect("valid mutation");
         let partial = PartialCircuit::random_black_boxes(&faulty, 0.03, 1, &mut rng)
             .expect("valid selection");
         // Whenever the cheap pattern check convicts, the strongest check

@@ -9,11 +9,7 @@ use bbec::netlist::mutate::{Mutation, MutationKind};
 use bbec::netlist::{generators, opt, Circuit};
 
 fn settings() -> CheckSettings {
-    CheckSettings {
-        dynamic_reordering: false,
-        random_patterns: 300,
-        ..CheckSettings::default()
-    }
+    CheckSettings { dynamic_reordering: false, random_patterns: 300, ..CheckSettings::default() }
 }
 
 /// Localisation agrees with the session-based checks: confirmed sites pass
@@ -61,13 +57,11 @@ fn optimizer_is_transparent_to_checks() {
     for _ in 0..5 {
         let m = Mutation::random(&raw, &cone, &mut rng).unwrap();
         let faulty = m.apply(&raw).unwrap();
-        let Ok(partial) = PartialCircuit::random_black_boxes(&faulty, 0.15, 1, &mut rng)
-        else {
+        let Ok(partial) = PartialCircuit::random_black_boxes(&faulty, 0.15, 1, &mut rng) else {
             continue;
         };
         let against_raw = checks::output_exact(&raw, &partial, &settings()).unwrap().verdict;
-        let against_opt =
-            checks::output_exact(&optimized, &partial, &settings()).unwrap().verdict;
+        let against_opt = checks::output_exact(&optimized, &partial, &settings()).unwrap().verdict;
         assert_eq!(against_raw, against_opt, "{}", m.describe(&raw));
     }
 }

@@ -1,0 +1,154 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no registry access, so this crate provides the
+//! subset of the criterion 0.5 API the bbec benches use: `Criterion`,
+//! `benchmark_group`/`bench_function`, `Bencher::iter` and the
+//! `criterion_group!`/`criterion_main!` macros. Instead of statistical
+//! sampling it times a small fixed number of iterations and prints the mean
+//! — enough to eyeball regressions and to smoke-run benches in CI. Passing
+//! `--test` (as `cargo test --benches` does) runs each closure exactly once.
+
+use std::time::Instant;
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { sample_size: 10, test_mode }
+    }
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&name.into(), self.sample_size, self.test_mode, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { parent: self, name: name.into(), sample_size: None }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the iteration count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name.into());
+        let n = self.sample_size.unwrap_or(self.parent.sample_size);
+        run_one(&full, n, self.parent.test_mode, f);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; call [`Bencher::iter`] with the code
+/// under measurement.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iters: usize,
+    total_nanos: u128,
+}
+
+impl Bencher {
+    /// Times `iters` invocations of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.total_nanos = start.elapsed().as_nanos();
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, test_mode: bool, mut f: F) {
+    let iters = if test_mode { 1 } else { sample_size };
+    let mut b = Bencher { iters, total_nanos: 0 };
+    f(&mut b);
+    if test_mode {
+        println!("bench {name}: ok (test mode)");
+    } else if b.iters > 0 {
+        let mean = b.total_nanos / b.iters as u128;
+        println!("bench {name}: mean {:.3} ms over {} iters", mean as f64 / 1e6, b.iters);
+    }
+}
+
+/// Re-export matching criterion's (deprecated) `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Bundles benchmark functions into a single runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($bench:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($bench(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion { sample_size: 3, test_mode: false };
+        let mut runs = 0;
+        c.bench_function("t", |b| {
+            b.iter(|| runs += 1);
+        });
+        assert_eq!(runs, 3);
+    }
+
+    #[test]
+    fn group_sample_size_applies() {
+        let mut c = Criterion { sample_size: 10, test_mode: false };
+        let mut runs = 0;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(2);
+            g.bench_function("t", |b| b.iter(|| runs += 1));
+            g.finish();
+        }
+        assert_eq!(runs, 2);
+    }
+}
