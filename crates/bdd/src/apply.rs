@@ -18,6 +18,10 @@ impl BddManager {
 
     /// Budgeted [`BddManager::not`].
     pub fn try_not(&mut self, f: Bdd) -> Result<Bdd, BudgetExceeded> {
+        self.not_rec(f, 0)
+    }
+
+    fn not_rec(&mut self, f: Bdd, depth: u32) -> Result<Bdd, BudgetExceeded> {
         if f.is_const() {
             return Ok(self.constant(f.0 == 0));
         }
@@ -25,9 +29,12 @@ impl BddManager {
             return Ok(Bdd(r));
         }
         self.charge_step()?;
+        if self.tracer.enabled() {
+            self.tracer.record("bdd.apply.depth", depth as u64);
+        }
         let (level, lo, hi) = self.triple(f);
-        let nlo = self.try_not(Bdd(lo))?;
-        let nhi = self.try_not(Bdd(hi))?;
+        let nlo = self.not_rec(Bdd(lo), depth + 1)?;
+        let nhi = self.not_rec(Bdd(hi), depth + 1)?;
         let r = self.try_mk(level, nlo.0, nhi.0)?;
         self.cache.put(Op::Not, f.0, 0, 0, r.0);
         Ok(r)
@@ -40,6 +47,10 @@ impl BddManager {
 
     /// Budgeted [`BddManager::and`].
     pub fn try_and(&mut self, f: Bdd, g: Bdd) -> Result<Bdd, BudgetExceeded> {
+        self.and_rec(f, g, 0)
+    }
+
+    fn and_rec(&mut self, f: Bdd, g: Bdd, depth: u32) -> Result<Bdd, BudgetExceeded> {
         // Terminal rules.
         if f == g {
             return Ok(f);
@@ -59,9 +70,12 @@ impl BddManager {
             return Ok(Bdd(r));
         }
         self.charge_step()?;
+        if self.tracer.enabled() {
+            self.tracer.record("bdd.apply.depth", depth as u64);
+        }
         let (level, fa, fb, ga, gb) = self.cofactor_pair(a, b);
-        let lo = self.try_and(fa, ga)?;
-        let hi = self.try_and(fb, gb)?;
+        let lo = self.and_rec(fa, ga, depth + 1)?;
+        let hi = self.and_rec(fb, gb, depth + 1)?;
         let r = self.try_mk(level, lo.0, hi.0)?;
         self.cache.put(Op::And, a.0, b.0, 0, r.0);
         Ok(r)
@@ -74,6 +88,10 @@ impl BddManager {
 
     /// Budgeted [`BddManager::or`].
     pub fn try_or(&mut self, f: Bdd, g: Bdd) -> Result<Bdd, BudgetExceeded> {
+        self.or_rec(f, g, 0)
+    }
+
+    fn or_rec(&mut self, f: Bdd, g: Bdd, depth: u32) -> Result<Bdd, BudgetExceeded> {
         if f == g {
             return Ok(f);
         }
@@ -91,9 +109,12 @@ impl BddManager {
             return Ok(Bdd(r));
         }
         self.charge_step()?;
+        if self.tracer.enabled() {
+            self.tracer.record("bdd.apply.depth", depth as u64);
+        }
         let (level, fa, fb, ga, gb) = self.cofactor_pair(a, b);
-        let lo = self.try_or(fa, ga)?;
-        let hi = self.try_or(fb, gb)?;
+        let lo = self.or_rec(fa, ga, depth + 1)?;
+        let hi = self.or_rec(fb, gb, depth + 1)?;
         let r = self.try_mk(level, lo.0, hi.0)?;
         self.cache.put(Op::Or, a.0, b.0, 0, r.0);
         Ok(r)
@@ -106,6 +127,10 @@ impl BddManager {
 
     /// Budgeted [`BddManager::xor`].
     pub fn try_xor(&mut self, f: Bdd, g: Bdd) -> Result<Bdd, BudgetExceeded> {
+        self.xor_rec(f, g, 0)
+    }
+
+    fn xor_rec(&mut self, f: Bdd, g: Bdd, depth: u32) -> Result<Bdd, BudgetExceeded> {
         if f == g {
             return Ok(self.constant(false));
         }
@@ -116,19 +141,22 @@ impl BddManager {
             return Ok(f);
         }
         if f.0 == 1 {
-            return self.try_not(g);
+            return self.not_rec(g, depth);
         }
         if g.0 == 1 {
-            return self.try_not(f);
+            return self.not_rec(f, depth);
         }
         let (a, b) = if f.0 < g.0 { (f, g) } else { (g, f) };
         if let Some(r) = self.cache.get(Op::Xor, a.0, b.0, 0) {
             return Ok(Bdd(r));
         }
         self.charge_step()?;
+        if self.tracer.enabled() {
+            self.tracer.record("bdd.apply.depth", depth as u64);
+        }
         let (level, fa, fb, ga, gb) = self.cofactor_pair(a, b);
-        let lo = self.try_xor(fa, ga)?;
-        let hi = self.try_xor(fb, gb)?;
+        let lo = self.xor_rec(fa, ga, depth + 1)?;
+        let hi = self.xor_rec(fb, gb, depth + 1)?;
         let r = self.try_mk(level, lo.0, hi.0)?;
         self.cache.put(Op::Xor, a.0, b.0, 0, r.0);
         Ok(r)
@@ -185,6 +213,10 @@ impl BddManager {
 
     /// Budgeted [`BddManager::ite`].
     pub fn try_ite(&mut self, f: Bdd, g: Bdd, h: Bdd) -> Result<Bdd, BudgetExceeded> {
+        self.ite_rec(f, g, h, 0)
+    }
+
+    fn ite_rec(&mut self, f: Bdd, g: Bdd, h: Bdd, depth: u32) -> Result<Bdd, BudgetExceeded> {
         // Terminal rules.
         if f.0 == 1 {
             return Ok(g);
@@ -199,12 +231,15 @@ impl BddManager {
             return Ok(f);
         }
         if g.0 == 0 && h.0 == 1 {
-            return self.try_not(f);
+            return self.not_rec(f, depth);
         }
         if let Some(r) = self.cache.get(Op::Ite, f.0, g.0, h.0) {
             return Ok(Bdd(r));
         }
         self.charge_step()?;
+        if self.tracer.enabled() {
+            self.tracer.record("bdd.apply.depth", depth as u64);
+        }
         let lf = self.level(f.0);
         let lg = self.level(g.0);
         let lh = self.level(h.0);
@@ -212,8 +247,8 @@ impl BddManager {
         let (f0, f1) = self.cofactors_at(f, level);
         let (g0, g1) = self.cofactors_at(g, level);
         let (h0, h1) = self.cofactors_at(h, level);
-        let lo = self.try_ite(f0, g0, h0)?;
-        let hi = self.try_ite(f1, g1, h1)?;
+        let lo = self.ite_rec(f0, g0, h0, depth + 1)?;
+        let hi = self.ite_rec(f1, g1, h1, depth + 1)?;
         let r = self.try_mk(level, lo.0, hi.0)?;
         self.cache.put(Op::Ite, f.0, g.0, h.0, r.0);
         Ok(r)
@@ -541,11 +576,11 @@ mod tests {
             assert_eq!(m.eval(all, &assign), bits == 15);
         }
         let any = m.or_many(&l);
-        assert_eq!(m.eval(any, &[false; 4]), false);
-        assert_eq!(m.eval(any, &[false, false, true, false]), true);
+        assert!(!m.eval(any, &[false; 4]));
+        assert!(m.eval(any, &[false, false, true, false]));
         let parity = m.xor_many(&l);
-        assert_eq!(m.eval(parity, &[true, true, true, false]), true);
-        assert_eq!(m.eval(parity, &[true, true, false, false]), false);
+        assert!(m.eval(parity, &[true, true, true, false]));
+        assert!(!m.eval(parity, &[true, true, false, false]));
     }
 
     #[test]

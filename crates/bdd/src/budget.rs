@@ -83,45 +83,6 @@ impl std::fmt::Display for BudgetExceeded {
 
 impl std::error::Error for BudgetExceeded {}
 
-/// Cumulative operation counters of a manager, for per-check telemetry.
-///
-/// Counters only ever grow (except `peak_live_nodes`, which resets with
-/// [`crate::BddManager::reset_peak`]); take a snapshot before a check and
-/// use [`OpTelemetry::since`] afterwards to get that check's cost.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct OpTelemetry {
-    /// Cache-miss recursion steps of the operator core (the classic "apply
-    /// step" unit of BDD cost models).
-    pub apply_steps: u64,
-    /// Computed-table hits.
-    pub cache_hits: u64,
-    /// Computed-table misses.
-    pub cache_misses: u64,
-    /// Completed garbage-collection passes.
-    pub gc_passes: u64,
-    /// Completed reordering passes.
-    pub reorder_passes: u64,
-    /// High-water mark of live nodes (absolute, not a delta).
-    pub peak_live_nodes: usize,
-}
-
-impl OpTelemetry {
-    /// The cost accrued since `earlier` was snapshotted.
-    ///
-    /// All counters are differenced; `peak_live_nodes` keeps the absolute
-    /// peak of `self` (a peak is not additive).
-    pub fn since(&self, earlier: &OpTelemetry) -> OpTelemetry {
-        OpTelemetry {
-            apply_steps: self.apply_steps.saturating_sub(earlier.apply_steps),
-            cache_hits: self.cache_hits.saturating_sub(earlier.cache_hits),
-            cache_misses: self.cache_misses.saturating_sub(earlier.cache_misses),
-            gc_passes: self.gc_passes.saturating_sub(earlier.gc_passes),
-            reorder_passes: self.reorder_passes.saturating_sub(earlier.reorder_passes),
-            peak_live_nodes: self.peak_live_nodes,
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -131,33 +92,6 @@ mod tests {
         assert!(BudgetExceeded::Nodes { limit: 7 }.to_string().contains("7 live nodes"));
         assert!(BudgetExceeded::Steps { limit: 9 }.to_string().contains("9 steps"));
         assert!(BudgetExceeded::Deadline.to_string().contains("deadline"));
-    }
-
-    #[test]
-    fn telemetry_delta() {
-        let a = OpTelemetry {
-            apply_steps: 10,
-            cache_hits: 4,
-            cache_misses: 6,
-            gc_passes: 1,
-            reorder_passes: 0,
-            peak_live_nodes: 100,
-        };
-        let b = OpTelemetry {
-            apply_steps: 25,
-            cache_hits: 10,
-            cache_misses: 15,
-            gc_passes: 2,
-            reorder_passes: 1,
-            peak_live_nodes: 140,
-        };
-        let d = b.since(&a);
-        assert_eq!(d.apply_steps, 15);
-        assert_eq!(d.cache_hits, 6);
-        assert_eq!(d.cache_misses, 9);
-        assert_eq!(d.gc_passes, 1);
-        assert_eq!(d.reorder_passes, 1);
-        assert_eq!(d.peak_live_nodes, 140);
     }
 
     #[test]

@@ -21,15 +21,64 @@ pub(crate) enum Op {
     AndExists,
 }
 
+impl Op {
+    /// Number of operation kinds (the per-op stat arrays are this long).
+    pub(crate) const COUNT: usize = 10;
+
+    #[inline]
+    pub(crate) fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable lower-case name used in tracer counter names.
+    pub(crate) fn name(self) -> &'static str {
+        match self {
+            Op::Not => "not",
+            Op::And => "and",
+            Op::Or => "or",
+            Op::Xor => "xor",
+            Op::Ite => "ite",
+            Op::Exists => "exists",
+            Op::Forall => "forall",
+            Op::Compose => "compose",
+            Op::Restrict => "restrict",
+            Op::AndExists => "and_exists",
+        }
+    }
+
+    pub(crate) fn all() -> [Op; Op::COUNT] {
+        [
+            Op::Not,
+            Op::And,
+            Op::Or,
+            Op::Xor,
+            Op::Ite,
+            Op::Exists,
+            Op::Forall,
+            Op::Compose,
+            Op::Restrict,
+            Op::AndExists,
+        ]
+    }
+}
+
 /// Memo table shared by all recursive operations.
 ///
 /// Entries hold *unprotected* node indices, so the cache must be cleared
 /// whenever nodes may be reclaimed (garbage collection, reordering).
-#[derive(Debug, Default)]
+/// Hit/miss counters are kept per operation kind so the tracer can report
+/// cache effectiveness per operator; the aggregate accessors sum them.
+#[derive(Debug)]
 pub(crate) struct OpCache {
     map: HashMap<(Op, u32, u32, u32), u32, FxBuildHasher>,
-    hits: u64,
-    misses: u64,
+    hits: [u64; Op::COUNT],
+    misses: [u64; Op::COUNT],
+}
+
+impl Default for OpCache {
+    fn default() -> Self {
+        OpCache { map: HashMap::default(), hits: [0; Op::COUNT], misses: [0; Op::COUNT] }
+    }
 }
 
 impl OpCache {
@@ -41,9 +90,9 @@ impl OpCache {
     pub(crate) fn get(&mut self, op: Op, a: u32, b: u32, c: u32) -> Option<u32> {
         let r = self.map.get(&(op, a, b, c)).copied();
         if r.is_some() {
-            self.hits += 1;
+            self.hits[op.index()] += 1;
         } else {
-            self.misses += 1;
+            self.misses[op.index()] += 1;
         }
         r
     }
@@ -57,22 +106,28 @@ impl OpCache {
         self.map.clear();
     }
 
-    /// Cumulative lookup hits (survives [`OpCache::clear`]).
+    /// Cumulative lookup hits over all operations (survives [`OpCache::clear`]).
     pub(crate) fn hits(&self) -> u64 {
-        self.hits
+        self.hits.iter().sum()
     }
 
-    /// Cumulative lookup misses (survives [`OpCache::clear`]).
+    /// Cumulative lookup misses over all operations (survives [`OpCache::clear`]).
     pub(crate) fn misses(&self) -> u64 {
-        self.misses
+        self.misses.iter().sum()
+    }
+
+    /// Per-operation `(name, hits, misses)` rows, one per [`Op`] kind.
+    pub(crate) fn stats_by_op(&self) -> [(&'static str, u64, u64); Op::COUNT] {
+        Op::all().map(|op| (op.name(), self.hits[op.index()], self.misses[op.index()]))
     }
 
     #[allow(dead_code)]
     pub(crate) fn hit_rate(&self) -> f64 {
-        if self.hits + self.misses == 0 {
+        let (hits, misses) = (self.hits(), self.misses());
+        if hits + misses == 0 {
             0.0
         } else {
-            self.hits as f64 / (self.hits + self.misses) as f64
+            hits as f64 / (hits + misses) as f64
         }
     }
 }
@@ -90,5 +145,23 @@ mod tests {
         assert_eq!(c.get(Op::Or, 2, 3, 0), None);
         c.clear();
         assert_eq!(c.get(Op::And, 2, 3, 0), None);
+    }
+
+    #[test]
+    fn per_op_stats_sum_to_aggregate() {
+        let mut c = OpCache::new();
+        c.put(Op::And, 2, 3, 0, 7);
+        let _ = c.get(Op::And, 2, 3, 0); // and: 1 hit
+        let _ = c.get(Op::And, 9, 9, 0); // and: 1 miss
+        let _ = c.get(Op::Ite, 2, 3, 4); // ite: 1 miss
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 2);
+        let by_op = c.stats_by_op();
+        let and = by_op.iter().find(|(n, _, _)| *n == "and").unwrap();
+        assert_eq!((and.1, and.2), (1, 1));
+        let ite = by_op.iter().find(|(n, _, _)| *n == "ite").unwrap();
+        assert_eq!((ite.1, ite.2), (0, 1));
+        assert_eq!(by_op.iter().map(|r| r.1).sum::<u64>(), c.hits());
+        assert_eq!(by_op.iter().map(|r| r.2).sum::<u64>(), c.misses());
     }
 }

@@ -70,7 +70,10 @@ mod quant;
 mod reorder;
 
 pub use analysis::SatAssignment;
-pub use budget::{Budget, BudgetExceeded, OpTelemetry};
+/// Re-exported from `bbec-trace`, where the telemetry types live since the
+/// observability layer was split out; the `bbec-bdd` API is unchanged.
+pub use bbec_trace::OpTelemetry;
+pub use budget::{Budget, BudgetExceeded};
 pub use cube::Cube;
 pub use manager::{Bdd, BddManager, BddStats, BddVar, ReorderSettings};
 

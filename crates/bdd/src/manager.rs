@@ -1,9 +1,10 @@
 //! The node store: per-level unique tables, reference counting and garbage
 //! collection.
 
-use crate::budget::{Budget, BudgetExceeded, OpTelemetry};
+use crate::budget::{Budget, BudgetExceeded};
 use crate::cache::OpCache;
 use crate::hasher::pair_hash;
+use bbec_trace::{OpTelemetry, Tracer};
 
 /// A handle to a BDD node owned by a [`BddManager`].
 ///
@@ -150,6 +151,8 @@ pub struct BddManager {
     window_start: u64,
     /// Completed garbage-collection passes.
     gc_passes: u64,
+    /// Observability sink; disabled (free) by default.
+    pub(crate) tracer: Tracer,
 }
 
 impl Default for BddManager {
@@ -182,7 +185,27 @@ impl BddManager {
             steps: 0,
             window_start: 0,
             gc_passes: 0,
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Installs the observability sink. Pass an enabled [`Tracer`] to
+    /// collect spans (GC, reordering), histograms (apply recursion depth,
+    /// unique-table probe lengths) and per-operation cache counters; the
+    /// default disabled tracer costs a single branch on the hot paths.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// The currently installed observability sink.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Per-operation computed-table `(name, hits, misses)` rows, for
+    /// cache-effectiveness telemetry per operator kind.
+    pub fn cache_stats_by_op(&self) -> Vec<(&'static str, u64, u64)> {
+        self.cache.stats_by_op().to_vec()
     }
 
     /// Installs (or clears) the resource budget and starts a fresh
@@ -386,14 +409,22 @@ impl BddManager {
         let table = &self.tables[level as usize];
         let bucket = table.bucket_of(lo, hi);
         let mut cursor = table.buckets[bucket];
+        let mut probe: u64 = 0;
         while cursor != NIL {
             let n = &self.nodes[cursor as usize];
+            probe += 1;
             if n.lo == lo && n.hi == hi {
                 // A dead hit is implicitly resurrected: its children were
                 // never decremented, so nothing needs fixing up here.
+                if self.tracer.enabled() {
+                    self.tracer.record("bdd.unique.probe", probe);
+                }
                 return Ok(Bdd(cursor));
             }
             cursor = n.next;
+        }
+        if self.tracer.enabled() {
+            self.tracer.record("bdd.unique.probe", probe);
         }
         // Allocate. (Garbage collection mid-operation would free the
         // unprotected intermediates held on the recursion stack, so the
@@ -537,6 +568,13 @@ impl BddManager {
         if self.dead == 0 {
             return 0;
         }
+        let span = if self.tracer.enabled() {
+            let s = self.tracer.span("bdd.gc");
+            s.set_attr("live_before", self.live);
+            Some(s)
+        } else {
+            None
+        };
         self.cache.clear();
         let mut freed = 0;
         // Top-down: freeing a parent may kill children at lower levels only.
@@ -576,6 +614,11 @@ impl BddManager {
         debug_assert_eq!(self.dead, 0);
         self.collected += freed;
         self.gc_passes += 1;
+        if let Some(s) = span {
+            s.set_attr("freed", freed);
+            s.set_attr("live_after", self.live);
+            self.tracer.record("bdd.gc.freed", freed as u64);
+        }
         freed
     }
 

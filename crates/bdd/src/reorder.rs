@@ -216,7 +216,17 @@ impl BddManager {
     /// Dead nodes are collected first; protected handles survive unchanged.
     /// Returns the live node count after the pass.
     pub fn reorder(&mut self) -> usize {
+        let span = if self.tracer.enabled() {
+            let s = self.tracer.span("bdd.reorder");
+            s.set_attr("kind", "sift");
+            Some(s)
+        } else {
+            None
+        };
         self.collect_garbage();
+        if let Some(s) = &span {
+            s.set_attr("live_before", self.live_count());
+        }
         self.cache.clear();
         let max_growth = self.reorder_settings.max_growth;
         let mut vars: Vec<(usize, u32)> =
@@ -226,7 +236,12 @@ impl BddManager {
             self.sift_var(BddVar(var), max_growth);
         }
         self.note_reordering();
-        self.live_count()
+        let live = self.live_count();
+        if let Some(s) = span {
+            s.set_attr("live_after", live);
+            self.tracer.record("bdd.reorder.live_after", live as u64);
+        }
+        live
     }
 
     /// One pass of **window-3 permutation** reordering: for every window of
@@ -236,7 +251,17 @@ impl BddManager {
     ///
     /// Returns the live node count after the pass.
     pub fn reorder_window3(&mut self) -> usize {
+        let span = if self.tracer.enabled() {
+            let s = self.tracer.span("bdd.reorder");
+            s.set_attr("kind", "window3");
+            Some(s)
+        } else {
+            None
+        };
         self.collect_garbage();
+        if let Some(s) = &span {
+            s.set_attr("live_before", self.live_count());
+        }
         self.cache.clear();
         let levels = self.tables.len();
         if levels < 3 {
@@ -264,7 +289,11 @@ impl BddManager {
             }
         }
         self.note_reordering();
-        self.live_count()
+        let live = self.live_count();
+        if let Some(s) = span {
+            s.set_attr("live_after", live);
+        }
+        live
     }
 
     /// Repeats [`BddManager::reorder`] until a pass stops shrinking the

@@ -15,13 +15,16 @@
 //!   --sat            add the SAT-based columns (dual-rail 0,1,X and CEGAR oe)
 //!   --no-reorder     disable dynamic BDD reordering
 //!   --paper          paper-scale run (5 selections × 100 errors)
+//!   --jsonl FILE     also write one schema-v1 `record` event per
+//!                    (circuit, method) table cell (see DESIGN.md)
 //! ```
 
 use bbec_bench::{
     render_sequential_table, render_table, run_experiment, run_sequential_experiment,
-    ExperimentConfig, SeqExperimentConfig,
+    CircuitResult, ExperimentConfig, SeqExperimentConfig,
 };
 use bbec_core::Method;
+use bbec_trace::{AttrValue, Tracer};
 use std::process::exit;
 
 fn usage() -> ! {
@@ -39,6 +42,7 @@ fn main() {
     let command = args[0].clone();
     let mut base =
         ExperimentConfig { selections: 3, errors_per_selection: 25, ..ExperimentConfig::default() };
+    let mut jsonl_path: Option<String> = None;
     let mut i = 1;
     let parse_n = |args: &[String], i: &mut usize| -> usize {
         *i += 1;
@@ -60,6 +64,10 @@ fn main() {
                 base.methods.push(Method::SatOutputExact);
             }
             "--no-reorder" => base.dynamic_reordering = false,
+            "--jsonl" => {
+                i += 1;
+                jsonl_path = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
             "--paper" => {
                 base.selections = 5;
                 base.errors_per_selection = 100;
@@ -105,11 +113,50 @@ fn main() {
         "# bbec experiments — {} selections × {} error insertions per circuit, seed {}",
         base.selections, base.errors_per_selection, base.seed
     );
+    let tracer = if jsonl_path.is_some() { Tracer::new() } else { Tracer::disabled() };
     for (title, fraction, boxes) in tables {
         let config = ExperimentConfig { fraction, boxes, ..base.clone() };
         eprintln!("running: {title}");
         let results = run_experiment(&config);
+        record_rows(&tracer, title, &results);
         println!();
         print!("{}", render_table(title, &results));
+    }
+    if let Some(path) = &jsonl_path {
+        let trace = tracer.finish();
+        std::fs::write(path, trace.to_jsonl()).unwrap_or_else(|e| {
+            eprintln!("cannot write `{path}`: {e}");
+            exit(2)
+        });
+        eprintln!("wrote {} events to {path}", trace.events().len());
+    }
+}
+
+/// One schema-v1 `record` event per (circuit, method) cell, carrying the
+/// same aggregates as the rendered table — machine-readable run records.
+fn record_rows(tracer: &Tracer, table: &str, results: &[CircuitResult]) {
+    if !tracer.enabled() {
+        return;
+    }
+    for r in results {
+        for (method, agg) in &r.per_method {
+            let attrs: Vec<(String, AttrValue)> = vec![
+                ("table".to_string(), table.into()),
+                ("circuit".to_string(), r.name.as_str().into()),
+                ("method".to_string(), method.label().into()),
+                ("trials".to_string(), (agg.trials as u64).into()),
+                ("detected".to_string(), (agg.detected as u64).into()),
+                ("aborted".to_string(), (agg.aborted as u64).into()),
+                ("ratio".to_string(), agg.ratio().into()),
+                ("impl_nodes".to_string(), (agg.impl_nodes as u64).into()),
+                ("peak_nodes".to_string(), (agg.peak_nodes as u64).into()),
+                ("apply_steps".to_string(), agg.apply_steps.into()),
+                ("cache_hits".to_string(), agg.cache_hits.into()),
+                ("cache_misses".to_string(), agg.cache_misses.into()),
+                ("gc_passes".to_string(), agg.gc_passes.into()),
+                ("time_s".to_string(), agg.total_time.as_secs_f64().into()),
+            ];
+            tracer.record_event("experiment_row", attrs);
+        }
     }
 }

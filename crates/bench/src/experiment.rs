@@ -71,6 +71,12 @@ pub struct MethodAgg {
     /// Total apply steps charged by the resource governor (machine-
     /// independent cost; includes the partial work of aborted checks).
     pub apply_steps: u64,
+    /// Total computed-table hits across all trials.
+    pub cache_hits: u64,
+    /// Total computed-table misses across all trials.
+    pub cache_misses: u64,
+    /// Total garbage-collection passes across all trials.
+    pub gc_passes: u64,
     pub total_time: Duration,
 }
 
@@ -82,6 +88,13 @@ impl MethodAgg {
         } else {
             100.0 * self.detected as f64 / self.trials as f64
         }
+    }
+
+    /// Computed-table hit rate in percent; `None` when no lookups happened
+    /// (e.g. the random-pattern column, which never touches a BDD).
+    pub fn cache_hit_rate(&self) -> Option<f64> {
+        let total = self.cache_hits + self.cache_misses;
+        (total > 0).then(|| 100.0 * self.cache_hits as f64 / total as f64)
     }
 }
 
@@ -104,6 +117,9 @@ struct MethodRun {
     impl_nodes: usize,
     peak_nodes: usize,
     apply_steps: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    gc_passes: u64,
     time: Duration,
 }
 
@@ -116,6 +132,9 @@ impl MethodRun {
             impl_nodes: 0,
             peak_nodes: 0,
             apply_steps: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            gc_passes: 0,
             time: Duration::ZERO,
         }
     }
@@ -152,6 +171,9 @@ fn run_method(
             impl_nodes: o.stats.impl_nodes,
             peak_nodes: o.stats.peak_check_nodes,
             apply_steps: o.stats.apply_steps,
+            cache_hits: o.stats.cache_hits,
+            cache_misses: o.stats.cache_misses,
+            gc_passes: o.stats.gc_passes,
             time: o.stats.duration,
         },
         Err(bbec_core::CheckError::BudgetExceeded(abort)) => {
@@ -164,6 +186,9 @@ fn run_method(
                 impl_nodes: stats.impl_nodes,
                 peak_nodes: stats.peak_check_nodes,
                 apply_steps: stats.apply_steps,
+                cache_hits: stats.cache_hits,
+                cache_misses: stats.cache_misses,
+                gc_passes: stats.gc_passes,
                 time: start.elapsed(),
             }
         }
@@ -238,6 +263,9 @@ pub fn run_experiment(config: &ExperimentConfig) -> Vec<CircuitResult> {
                     agg.impl_nodes = agg.impl_nodes.max(run.impl_nodes);
                     agg.peak_nodes = agg.peak_nodes.max(run.peak_nodes);
                     agg.apply_steps += run.apply_steps;
+                    agg.cache_hits += run.cache_hits;
+                    agg.cache_misses += run.cache_misses;
+                    agg.gc_passes += run.gc_passes;
                     agg.total_time += run.time;
                 }
             }

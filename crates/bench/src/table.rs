@@ -5,7 +5,8 @@ use std::fmt::Write as _;
 
 /// Renders results as an aligned text table with the paper's column groups:
 /// circuit vitals, detection ratios per method, implementation node counts,
-/// peak node counts during the check, and run times.
+/// peak node counts during the check, computed-table hit rates, garbage
+/// collection pass counts, and run times.
 pub fn render_table(title: &str, results: &[CircuitResult]) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "{title}");
@@ -30,6 +31,18 @@ pub fn render_table(title: &str, results: &[CircuitResult]) -> String {
     for m in &methods {
         if m != "r.p." {
             let _ = write!(out, " {:>8}", format!("pk:{m}"));
+        }
+    }
+    let _ = write!(out, " |");
+    for m in &methods {
+        if m != "r.p." {
+            let _ = write!(out, " {:>8}", format!("hr:{m}"));
+        }
+    }
+    let _ = write!(out, " |");
+    for m in &methods {
+        if m != "r.p." {
+            let _ = write!(out, " {:>8}", format!("gc:{m}"));
         }
     }
     let _ = write!(out, " |");
@@ -82,6 +95,22 @@ pub fn render_table(title: &str, results: &[CircuitResult]) -> String {
             }
         }
         let _ = write!(out, " |");
+        for (m, a) in &r.per_method {
+            if *m != bbec_core::Method::RandomPatterns {
+                let cell = match a.cache_hit_rate() {
+                    Some(p) => format!("{p:.0}%"),
+                    None => "-".to_string(),
+                };
+                let _ = write!(out, " {cell:>8}");
+            }
+        }
+        let _ = write!(out, " |");
+        for (m, a) in &r.per_method {
+            if *m != bbec_core::Method::RandomPatterns {
+                let _ = write!(out, " {:>8}", a.gc_passes);
+            }
+        }
+        let _ = write!(out, " |");
         for (_, a) in &r.per_method {
             let _ = write!(out, " {:>7.2}s", a.total_time.as_secs_f64());
         }
@@ -122,6 +151,9 @@ mod tests {
             trials: 10,
             impl_nodes: 123,
             peak_nodes: 456,
+            cache_hits: 90,
+            cache_misses: 10,
+            gc_passes: 7,
             total_time: Duration::from_millis(1500),
             ..MethodAgg::default()
         };
@@ -146,6 +178,27 @@ mod tests {
         assert!(t.contains("123"));
         assert!(t.contains("456"));
         assert!(t.contains("1.50s"));
+        // The observability column groups: hit rate and GC passes.
+        assert!(t.contains("hr:0,1,X"), "hit-rate header:\n{t}");
+        assert!(t.contains("gc:ie"), "gc-pass header:\n{t}");
+        assert!(t.contains("90%"), "90/(90+10) hit rate:\n{t}");
+        assert!(t.contains("7"), "gc pass count:\n{t}");
+    }
+
+    #[test]
+    fn hit_rate_without_lookups_renders_dash() {
+        let r = CircuitResult {
+            name: "dry".to_string(),
+            inputs: 2,
+            outputs: 1,
+            spec_nodes: 7,
+            per_method: vec![(
+                Method::Symbolic01X,
+                MethodAgg { detected: 1, trials: 2, ..MethodAgg::default() },
+            )],
+        };
+        let t = render_table("Table Z", &[r]);
+        assert!(t.contains(" - "), "no-lookup cell renders a dash:\n{t}");
     }
 
     #[test]

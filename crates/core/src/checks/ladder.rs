@@ -13,6 +13,7 @@ use crate::report::{
 };
 use crate::session::CheckSession;
 use bbec_netlist::Circuit;
+use std::time::{Duration, Instant};
 
 /// Runs a configurable sequence of checks, stopping at the first error.
 ///
@@ -62,6 +63,8 @@ pub enum StageResult {
         reason: String,
         /// Resources consumed up to the abort, when recorded.
         stats: Option<ResourceStats>,
+        /// Wall-clock time the rung ran before the budget fired.
+        elapsed: Duration,
     },
 }
 
@@ -71,6 +74,14 @@ impl StageResult {
         match self {
             StageResult::Finished(o) => o.method,
             StageResult::BudgetExceeded { method, .. } => *method,
+        }
+    }
+
+    /// Wall-clock time of the rung, whether it finished or was cut short.
+    pub fn elapsed(&self) -> Duration {
+        match self {
+            StageResult::Finished(o) => o.stats.duration,
+            StageResult::BudgetExceeded { elapsed, .. } => *elapsed,
         }
     }
 
@@ -152,6 +163,9 @@ impl CheckLadder {
     ) -> Result<LadderReport, CheckError> {
         let mut stages = Vec::new();
         for &stage in &self.stages {
+            let span = self.settings.tracer.span("core.ladder_rung");
+            span.set_attr("method", stage.label());
+            let rung_start = Instant::now();
             let result = match stage {
                 Method::RandomPatterns => random_patterns(spec, partial, &self.settings),
                 Method::Symbolic01X => symbolic_01x(spec, partial, &self.settings),
@@ -173,7 +187,9 @@ impl CheckLadder {
                     )))
                 }
             };
-            if Self::push_stage(&mut stages, stage, result)? {
+            span.set_attr("budget_exceeded", matches!(&result, Err(CheckError::BudgetExceeded(_))));
+            drop(span);
+            if Self::push_stage(&mut stages, stage, result, rung_start.elapsed())? {
                 break;
             }
         }
@@ -195,6 +211,9 @@ impl CheckLadder {
     ) -> Result<LadderReport, CheckError> {
         let mut stages = Vec::new();
         for &stage in &self.stages {
+            let span = self.settings.tracer.span("core.ladder_rung");
+            span.set_attr("method", stage.label());
+            let rung_start = Instant::now();
             let result = match stage {
                 Method::SatDualRail => {
                     crate::sat_checks::sat_dual_rail(session.spec(), partial, &self.settings)
@@ -207,7 +226,9 @@ impl CheckLadder {
                 ),
                 method => session.check(partial, method),
             };
-            if Self::push_stage(&mut stages, stage, result)? {
+            span.set_attr("budget_exceeded", matches!(&result, Err(CheckError::BudgetExceeded(_))));
+            drop(span);
+            if Self::push_stage(&mut stages, stage, result, rung_start.elapsed())? {
                 break;
             }
         }
@@ -219,6 +240,7 @@ impl CheckLadder {
         stages: &mut Vec<StageResult>,
         method: Method,
         result: Result<CheckOutcome, CheckError>,
+        elapsed: Duration,
     ) -> Result<bool, CheckError> {
         match result {
             Ok(outcome) => {
@@ -231,6 +253,7 @@ impl CheckLadder {
                     method,
                     reason: abort.reason,
                     stats: abort.stats,
+                    elapsed,
                 });
                 Ok(false)
             }
@@ -343,7 +366,7 @@ mod tests {
         assert_eq!(report.stages.len(), 5);
         assert_eq!(report.budget_exceeded(), vec![Method::InputExact]);
         match &report.stages[4] {
-            StageResult::BudgetExceeded { method: Method::InputExact, reason, stats } => {
+            StageResult::BudgetExceeded { method: Method::InputExact, reason, stats, .. } => {
                 assert!(reason.contains("step"), "reason: {reason}");
                 assert!(stats.is_some(), "per-rung telemetry must survive the abort");
             }

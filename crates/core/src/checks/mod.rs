@@ -76,6 +76,9 @@ pub(crate) struct CheckProbe {
     start: Instant,
     telemetry: OpTelemetry,
     live_before: usize,
+    /// Per-op cache snapshot, taken only when the tracer is enabled, so
+    /// [`CheckProbe::stats`] can flush this window's deltas as counters.
+    cache_by_op: Option<Vec<(&'static str, u64, u64)>>,
 }
 
 impl CheckProbe {
@@ -83,17 +86,41 @@ impl CheckProbe {
     pub(crate) fn begin(ctx: &mut SymbolicContext) -> Self {
         ctx.arm_budget();
         ctx.manager.reset_peak();
+        let cache_by_op = ctx.tracer().enabled().then(|| ctx.manager.cache_stats_by_op());
         CheckProbe {
             start: Instant::now(),
             telemetry: ctx.manager.telemetry(),
             live_before: ctx.manager.stats().live_nodes,
+            cache_by_op,
         }
     }
 
     /// Stats for a check that ran to completion (or up to an abort).
+    ///
+    /// When tracing is on, this is also the manager counter flush point:
+    /// the window's per-operation cache deltas, apply steps and GC/reorder
+    /// pass counts accumulate into the tracer (deltas add up correctly
+    /// across the short-lived managers of one-shot checks).
     pub(crate) fn stats(&self, ctx: &SymbolicContext, impl_nodes: usize) -> ResourceStats {
         let delta = ctx.manager.telemetry().since(&self.telemetry);
         let peak = ctx.manager.stats().peak_live_nodes;
+        if let Some(before) = &self.cache_by_op {
+            let tracer = ctx.tracer();
+            for (now, was) in ctx.manager.cache_stats_by_op().iter().zip(before) {
+                let hits = now.1.saturating_sub(was.1);
+                let misses = now.2.saturating_sub(was.2);
+                if hits > 0 {
+                    tracer.counter_add(&format!("bdd.cache.{}.hits", now.0), hits);
+                }
+                if misses > 0 {
+                    tracer.counter_add(&format!("bdd.cache.{}.misses", now.0), misses);
+                }
+            }
+            tracer.counter_add("bdd.apply_steps", delta.apply_steps);
+            tracer.counter_add("bdd.gc.passes", delta.gc_passes);
+            tracer.counter_add("bdd.reorder.passes", delta.reorder_passes);
+            tracer.record("bdd.live_peak", peak as u64);
+        }
         let mut stats = ResourceStats {
             impl_nodes,
             peak_check_nodes: peak.saturating_sub(self.live_before),

@@ -112,7 +112,10 @@ pub(crate) fn local_check_with(
 fn local_body(s: &mut ZiSetup) -> Result<(Verdict, Option<Counterexample>), BudgetExceeded> {
     let zcube = Cube::try_from_vars(&mut s.ctx.manager, &s.sym.all_z_vars)?;
     s.guard.keep(s.ctx, zcube.as_bdd());
+    let tracer = s.ctx.tracer().clone();
     for j in 0..s.spec_bdds.len() {
+        let span = tracer.span("core.local_output");
+        span.set_attr("output", j);
         let g = s.sym.outputs[j];
         let f = s.spec_bdds[j];
         // Inputs forcing g_j ≡ 1 while f_j = 0 …
@@ -125,6 +128,7 @@ fn local_body(s: &mut ZiSetup) -> Result<(Verdict, Option<Counterexample>), Budg
         let wrong0 = s.ctx.manager.try_and(forced0, f)?;
         let wrong = s.ctx.manager.try_or(wrong1, wrong0)?;
         if let Some(a) = s.ctx.manager.any_sat(wrong) {
+            span.set_attr("error", true);
             let inputs = s.ctx.witness_inputs(&a);
             return Ok((Verdict::ErrorFound, Some(Counterexample { inputs, output: Some(j) })));
         }
@@ -137,9 +141,13 @@ fn try_joint_condition(s: &mut ZiSetup) -> Result<Bdd, BudgetExceeded> {
     let mut cond = s.ctx.manager.constant(true);
     let pairs: Vec<(Bdd, Bdd)> =
         s.sym.outputs.iter().copied().zip(s.spec_bdds.iter().copied()).collect();
-    for (g, f) in pairs {
+    let tracer = s.ctx.tracer().clone();
+    for (j, (g, f)) in pairs.into_iter().enumerate() {
+        let span = tracer.span("core.joint_output");
+        span.set_attr("output", j);
         let c = s.ctx.manager.try_xnor(g, f)?;
         cond = s.ctx.manager.try_and(cond, c)?;
+        span.set_attr("cond_nodes", s.ctx.manager.node_count(cond));
     }
     Ok(cond)
 }

@@ -136,6 +136,11 @@ pub struct CheckSettings {
     /// Abort a BDD-based check after this much wall-clock time
     /// (`None` = unbounded).
     pub time_limit: Option<Duration>,
+    /// Observability sink shared by every check run with these settings:
+    /// the symbolic context hands a clone to its BDD manager, the ladder
+    /// opens one span per rung, and the per-output checks nest inside.
+    /// Disabled by default (a no-op costing one branch per call site).
+    pub tracer: bbec_trace::Tracer,
 }
 
 impl Default for CheckSettings {
@@ -148,6 +153,7 @@ impl Default for CheckSettings {
             node_limit: Some(4_000_000),
             step_limit: None,
             time_limit: None,
+            tracer: bbec_trace::Tracer::disabled(),
         }
     }
 }

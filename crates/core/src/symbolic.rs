@@ -86,6 +86,7 @@ impl SymbolicContext {
         } else {
             BddManager::new()
         };
+        manager.set_tracer(settings.tracer.clone());
         let order = dfs_input_order(reference);
         let mut input_vars = vec![None; reference.inputs().len()];
         for pos in order {
@@ -122,6 +123,11 @@ impl SymbolicContext {
     /// The BDD variable of each primary input, in declaration order.
     pub fn input_vars(&self) -> &[BddVar] {
         &self.input_vars
+    }
+
+    /// The observability sink this context (and its manager) reports to.
+    pub fn tracer(&self) -> &bbec_trace::Tracer {
+        self.manager.tracer()
     }
 
     /// Builds the output BDDs of a complete circuit (the spec's `f_j`).
@@ -191,6 +197,10 @@ impl SymbolicContext {
     /// [`CheckError::BudgetExceeded`] if the armed budget runs out; the
     /// manager stays usable and this simulation's protections are released.
     pub fn build_ternary(&mut self, circuit: &Circuit) -> Result<TernarySim, CheckError> {
+        let tracer = self.manager.tracer().clone();
+        let span = tracer.span("core.sim01x");
+        span.set_attr("circuit", circuit.name());
+        span.set_attr("gates", circuit.topo_order().len());
         let false_ = self.manager.constant(false);
         let x_value = TernaryBdd { is0: false_, is1: false_ };
         let mut signals: Vec<TernaryBdd> = vec![x_value; circuit.signal_count()];
@@ -222,6 +232,10 @@ impl SymbolicContext {
             protected.push(out.is0);
             protected.push(out.is1);
             signals[gate.output.index()] = out;
+            if tracer.enabled() {
+                // Wavefront progress: one tick per simulated gate.
+                tracer.counter_add("core.sim.gates", 1);
+            }
             self.manager.maybe_reorder();
         }
         let outputs = circuit.outputs().iter().map(|&(_, s)| signals[s.index()]).collect();
@@ -244,6 +258,10 @@ impl SymbolicContext {
         circuit: &Circuit,
         leaf: impl Fn(&mut BddManager, SignalId) -> Option<Bdd>,
     ) -> Result<Vec<Option<Bdd>>, CheckError> {
+        let tracer = self.manager.tracer().clone();
+        let span = tracer.span("core.sim");
+        span.set_attr("circuit", circuit.name());
+        span.set_attr("gates", circuit.topo_order().len());
         let mut signals: Vec<Option<Bdd>> = vec![None; circuit.signal_count()];
         for (pos, &s) in circuit.inputs().iter().enumerate() {
             signals[s.index()] = Some(self.manager.var(self.input_vars[pos]));
@@ -278,6 +296,10 @@ impl SymbolicContext {
             self.manager.protect(out);
             protected.push(out);
             signals[gate.output.index()] = Some(out);
+            if tracer.enabled() {
+                // Wavefront progress: one tick per simulated gate.
+                tracer.counter_add("core.sim.gates", 1);
+            }
             self.manager.maybe_reorder();
         }
         Ok(signals)
@@ -499,9 +521,11 @@ mod tests {
 
     #[test]
     fn reordering_during_simulation_is_safe() {
-        let mut s = CheckSettings::default();
-        s.dynamic_reordering = true;
-        s.reorder_threshold = 64; // force frequent reordering
+        let s = CheckSettings {
+            dynamic_reordering: true,
+            reorder_threshold: 64, // force frequent reordering
+            ..CheckSettings::default()
+        };
         let c = generators::magnitude_comparator(6);
         let mut ctx = SymbolicContext::new(&c, &s);
         let outs = ctx.build_outputs(&c).unwrap();

@@ -708,8 +708,8 @@ mod tests {
                     inputs.push(cin == 1);
                     let out = c.eval(&inputs).unwrap();
                     let expect = a + b + cin;
-                    for i in 0..4 {
-                        assert_eq!(out[i], expect >> i & 1 == 1);
+                    for (i, &bit) in out.iter().take(4).enumerate() {
+                        assert_eq!(bit, expect >> i & 1 == 1);
                     }
                     assert_eq!(out[4], expect >= 16);
                 }
@@ -741,8 +741,8 @@ mod tests {
                     v.extend((0..bits).map(|i| bb >> i & 1 == 1));
                     let out = c.eval(&v).unwrap();
                     let expect = a * bb;
-                    for k in 0..2 * bits {
-                        assert_eq!(out[k], expect >> k & 1 == 1, "{bits}-bit {a}*{bb} bit {k}");
+                    for (k, &bit) in out.iter().take(2 * bits).enumerate() {
+                        assert_eq!(bit, expect >> k & 1 == 1, "{bits}-bit {a}*{bb} bit {k}");
                     }
                 }
             }
@@ -759,8 +759,8 @@ mod tests {
                 v.extend((0..3).map(|i| sh >> i & 1 == 1));
                 let out = c.eval(&v).unwrap();
                 let expect = (x << sh) & 0xFF;
-                for k in 0..8 {
-                    assert_eq!(out[k], expect >> k & 1 == 1, "x={x:08b} sh={sh} bit {k}");
+                for (k, &bit) in out.iter().take(8).enumerate() {
+                    assert_eq!(bit, expect >> k & 1 == 1, "x={x:08b} sh={sh} bit {k}");
                 }
             }
         }
@@ -808,8 +808,8 @@ mod tests {
             inputs.push(cn == 1);
             let out = c.eval(&inputs).unwrap();
             let expect = a + b + cn;
-            for i in 0..4 {
-                assert_eq!(out[i], expect >> i & 1 == 1, "bit {i} of {a}+{b}+{cn}");
+            for (i, &bit) in out.iter().take(4).enumerate() {
+                assert_eq!(bit, expect >> i & 1 == 1, "bit {i} of {a}+{b}+{cn}");
             }
             assert_eq!(out[4], expect >= 16, "carry of {a}+{b}+{cn}");
         }
@@ -928,8 +928,8 @@ mod tests {
         assert_eq!(c.inputs().len(), 60);
         assert_eq!(c.outputs().len(), 26);
         // s=100 (s2=0? s indices: s0,s1,s2) — choose arithmetic: s2=1.
-        let a = 0b0000_0000_0101_0u32;
-        let bop = 0b0000_0000_0011_0u32;
+        let a = 0b1010u32;
+        let bop = 0b0110u32;
         let mut inputs = Vec::new();
         inputs.extend((0..14).map(|i| a >> i & 1 == 1));
         inputs.extend((0..14).map(|i| bop >> i & 1 == 1));
@@ -939,17 +939,17 @@ mod tests {
         inputs.push(false); // cin
         let out = c.eval(&inputs).unwrap();
         let expect = a + bop;
-        for i in 0..14 {
-            assert_eq!(out[i], expect >> i & 1 == 1, "sum bit {i}");
+        for (i, &bit) in out.iter().take(14).enumerate() {
+            assert_eq!(bit, expect >> i & 1 == 1, "sum bit {i}");
         }
         // Masking a to zero makes f = b.
         let mut inputs2 = inputs.clone();
-        for i in 28..42 {
-            inputs2[i] = false; // am = 0
+        for slot in &mut inputs2[28..42] {
+            *slot = false; // am = 0
         }
         let out = c.eval(&inputs2).unwrap();
-        for i in 0..14 {
-            assert_eq!(out[i], bop >> i & 1 == 1, "masked sum bit {i}");
+        for (i, &bit) in out.iter().take(14).enumerate() {
+            assert_eq!(bit, bop >> i & 1 == 1, "masked sum bit {i}");
         }
     }
 

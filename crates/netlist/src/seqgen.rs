@@ -186,11 +186,11 @@ mod tests {
         for frame_inputs in free_inputs {
             let mut inputs = vec![false; n_in];
             let mut fi = frame_inputs.iter();
-            for pos in 0..n_in {
+            for (pos, slot) in inputs.iter_mut().enumerate() {
                 if let Some(k) = state_in.iter().position(|&p| p == pos) {
-                    inputs[pos] = state[k];
+                    *slot = state[k];
                 } else {
-                    inputs[pos] = *fi.next().expect("enough free inputs");
+                    *slot = *fi.next().expect("enough free inputs");
                 }
             }
             let out = design.circuit.eval(&inputs).unwrap();

@@ -241,10 +241,10 @@ mod tests {
     #[test]
     fn agrees_with_brute_force_on_random_circuits() {
         for seed in 0..25 {
-            let mut c = generators::random_logic("q", 6, 25, 1, seed);
+            let c = generators::random_logic("q", 6, 25, 1, seed);
             // random_logic yields 1 output already.
             assert_eq!(c.outputs().len(), 1);
-            check_against_brute(&mut c, &[0, 2, 4]);
+            check_against_brute(&c, &[0, 2, 4]);
         }
     }
 

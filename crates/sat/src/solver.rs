@@ -721,10 +721,10 @@ mod tests {
         for p in &v {
             s.add_clause(p);
         }
-        for j in 0..holes {
-            for a in 0..pigeons {
-                for b in a + 1..pigeons {
-                    s.add_clause(&[!v[a][j], !v[b][j]]);
+        for (a, va) in v.iter().enumerate() {
+            for vb in v.iter().skip(a + 1) {
+                for (&pa, &pb) in va.iter().zip(vb) {
+                    s.add_clause(&[!pa, !pb]);
                 }
             }
         }
@@ -762,10 +762,10 @@ mod tests {
         for p in &v {
             s.add_clause(p); // every pigeon somewhere
         }
-        for j in 0..2 {
-            for a in 0..3 {
-                for b in a + 1..3 {
-                    s.add_clause(&[!v[a][j], !v[b][j]]);
+        for (a, va) in v.iter().enumerate() {
+            for vb in v.iter().skip(a + 1) {
+                for (&pa, &pb) in va.iter().zip(vb) {
+                    s.add_clause(&[!pa, !pb]); // no shared hole
                 }
             }
         }

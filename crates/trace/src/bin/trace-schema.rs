@@ -1,0 +1,45 @@
+//! Validate a JSONL trace stream against the documented schema.
+//!
+//! Usage: `trace-schema FILE.jsonl` (or `-` for stdin). Exits 0 and prints
+//! the event count on success; exits 1 with the offending line on the
+//! first violation. CI pipes `bbec check --trace-out` output through this.
+
+use std::io::Read;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let path = match args.as_slice() {
+        [p] => p.clone(),
+        _ => {
+            eprintln!("usage: trace-schema FILE.jsonl   (use '-' for stdin)");
+            return ExitCode::from(2);
+        }
+    };
+    let input = if path == "-" {
+        let mut buf = String::new();
+        if let Err(e) = std::io::stdin().read_to_string(&mut buf) {
+            eprintln!("trace-schema: reading stdin: {e}");
+            return ExitCode::from(2);
+        }
+        buf
+    } else {
+        match std::fs::read_to_string(&path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("trace-schema: {path}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    };
+    match bbec_trace::schema::validate_stream(&input) {
+        Ok(n) => {
+            println!("trace-schema: {n} events OK");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("trace-schema: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,462 @@
+//! Minimal JSON support: a writer for the event stream and a
+//! recursive-descent parser for the schema validator. No dependencies, no
+//! ambition — just the subset the trace schema needs (objects, arrays,
+//! strings, numbers, booleans, null).
+
+use crate::AttrValue;
+
+/// Serialise `f64` the way the schema expects: finite numbers with up to 6
+/// significant decimals, non-finite mapped to `null` (JSON has no NaN/Inf).
+fn write_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let s = format!("{v:.6}");
+        let s = s.trim_end_matches('0').trim_end_matches('.');
+        if s.is_empty() || s == "-" {
+            out.push('0');
+        } else {
+            out.push_str(s);
+        }
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Append `s` JSON-escaped (quotes included) to `out`.
+pub fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_attr_value(out: &mut String, v: &AttrValue) {
+    match v {
+        AttrValue::U64(n) => out.push_str(&n.to_string()),
+        AttrValue::I64(n) => out.push_str(&n.to_string()),
+        AttrValue::F64(x) => write_f64(out, *x),
+        AttrValue::Str(s) => write_escaped(out, s),
+        AttrValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+    }
+}
+
+/// Builds one flat JSON object, key by key, in insertion order.
+pub struct ObjectWriter {
+    buf: String,
+    first: bool,
+}
+
+impl Default for ObjectWriter {
+    fn default() -> Self {
+        ObjectWriter::new()
+    }
+}
+
+impl ObjectWriter {
+    /// Start a new `{`.
+    pub fn new() -> Self {
+        ObjectWriter { buf: String::from("{"), first: true }
+    }
+
+    fn key(&mut self, k: &str) {
+        if !self.first {
+            self.buf.push(',');
+        }
+        self.first = false;
+        write_escaped(&mut self.buf, k);
+        self.buf.push(':');
+    }
+
+    /// Add a string field.
+    pub fn str(&mut self, k: &str, v: &str) {
+        self.key(k);
+        write_escaped(&mut self.buf, v);
+    }
+
+    /// Add an unsigned integer field.
+    pub fn u64(&mut self, k: &str, v: u64) {
+        self.key(k);
+        self.buf.push_str(&v.to_string());
+    }
+
+    /// Add a boolean field.
+    pub fn bool(&mut self, k: &str, v: bool) {
+        self.key(k);
+        self.buf.push_str(if v { "true" } else { "false" });
+    }
+
+    /// Add a nested object of attributes.
+    pub fn attrs(&mut self, k: &str, attrs: &[(String, AttrValue)]) {
+        self.key(k);
+        self.buf.push('{');
+        for (i, (name, value)) in attrs.iter().enumerate() {
+            if i > 0 {
+                self.buf.push(',');
+            }
+            write_escaped(&mut self.buf, name);
+            self.buf.push(':');
+            write_attr_value(&mut self.buf, value);
+        }
+        self.buf.push('}');
+    }
+
+    /// Add an array of `[floor, count]` pairs (histogram buckets).
+    pub fn bucket_pairs(&mut self, k: &str, pairs: &[(u64, u64)]) {
+        self.key(k);
+        self.buf.push('[');
+        for (i, (floor, count)) in pairs.iter().enumerate() {
+            if i > 0 {
+                self.buf.push(',');
+            }
+            self.buf.push_str(&format!("[{floor},{count}]"));
+        }
+        self.buf.push(']');
+    }
+
+    /// Close the object and return the line.
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (parsed as `f64`; trace integers stay exact below 2^53).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object, in source order.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Field lookup on objects; `None` elsewhere or when missing.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The array payload, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// True when this is an object.
+    pub fn is_object(&self) -> bool {
+        matches!(self, Value::Object(_))
+    }
+}
+
+/// Parse one complete JSON document. Errors carry a byte offset.
+pub fn parse(input: &str) -> Result<Value, String> {
+    let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing garbage at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b'-') | Some(b'0'..=b'9') => self.number(),
+            Some(c) => Err(format!("unexpected '{}' at byte {}", c as char, self.pos)),
+            None => Err("unexpected end of input".to_string()),
+        }
+    }
+
+    fn literal(&mut self, text: &str, v: Value) -> Result<Value, String> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(v)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                                16,
+                            )
+                            .map_err(|e| format!("bad \\u escape: {e}"))?;
+                            // Surrogates are not produced by our writer;
+                            // map unpaired ones to the replacement char.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so slices
+                    // at char boundaries are safe to scan byte-wise).
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self.pos < self.bytes.len() && self.bytes[self.pos] & 0xc0 == 0x80 {
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .map_err(|_| "invalid UTF-8")?,
+                    );
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        text.parse::<f64>()
+            .map(Value::Number)
+            .map_err(|e| format!("bad number '{text}' at byte {start}: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_escapes_and_parser_round_trips() {
+        let mut w = ObjectWriter::new();
+        w.str("name", "a\"b\\c\nd\te\u{1}");
+        w.u64("n", u64::MAX);
+        w.bool("ok", true);
+        w.attrs(
+            "attrs",
+            &[
+                ("f".to_string(), AttrValue::F64(0.25)),
+                ("i".to_string(), AttrValue::I64(-7)),
+                ("s".to_string(), AttrValue::Str("x".into())),
+            ],
+        );
+        w.bucket_pairs("b", &[(0, 1), (8, 3)]);
+        let line = w.finish();
+        let v = parse(&line).expect("round trip");
+        assert_eq!(v.get("name").and_then(Value::as_str), Some("a\"b\\c\nd\te\u{1}"));
+        assert_eq!(v.get("ok"), Some(&Value::Bool(true)));
+        assert_eq!(v.get("attrs").and_then(|a| a.get("i")).and_then(Value::as_f64), Some(-7.0));
+        assert_eq!(v.get("attrs").and_then(|a| a.get("f")).and_then(Value::as_f64), Some(0.25));
+        let b = v.get("b").and_then(Value::as_array).unwrap();
+        assert_eq!(b.len(), 2);
+        assert_eq!(b[1].as_array().unwrap()[0].as_f64(), Some(8.0));
+    }
+
+    #[test]
+    fn parser_handles_nesting_and_literals() {
+        let v = parse(r#"{"a":[1,2.5,-3e2,null,{"b":[]}],"c":false}"#).unwrap();
+        let a = v.get("a").and_then(Value::as_array).unwrap();
+        assert_eq!(a[2].as_f64(), Some(-300.0));
+        assert_eq!(a[3], Value::Null);
+        assert!(a[4].get("b").unwrap().as_array().unwrap().is_empty());
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(parse("").is_err());
+        assert!(parse("{").is_err());
+        assert!(parse(r#"{"a":}"#).is_err());
+        assert!(parse(r#"{"a":1} extra"#).is_err());
+        assert!(parse(r#"{"a" 1}"#).is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse(r#""unterminated"#).is_err());
+    }
+
+    #[test]
+    fn unicode_strings_survive() {
+        let mut w = ObjectWriter::new();
+        w.str("s", "héllo ✓ 日本");
+        let line = w.finish();
+        let v = parse(&line).unwrap();
+        assert_eq!(v.get("s").and_then(Value::as_str), Some("héllo ✓ 日本"));
+    }
+
+    #[test]
+    fn f64_formatting() {
+        let mut out = String::new();
+        write_f64(&mut out, 0.5);
+        assert_eq!(out, "0.5");
+        let mut out = String::new();
+        write_f64(&mut out, 3.0);
+        assert_eq!(out, "3");
+        let mut out = String::new();
+        write_f64(&mut out, f64::NAN);
+        assert_eq!(out, "null");
+    }
+}

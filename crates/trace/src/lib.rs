@@ -1,0 +1,751 @@
+//! Zero-dependency observability for the bbec workspace.
+//!
+//! The paper's contribution is a *ladder* of checks whose value is their
+//! cost/accuracy trade-off; judging that trade-off needs visibility into
+//! where each check spends its effort. This crate provides exactly that,
+//! without pulling in any external dependency:
+//!
+//! - [`Tracer`] — hierarchical [spans](Tracer::span), monotonic
+//!   [counters](Tracer::counter_add) and log2-bucketed
+//!   [histograms](Tracer::record), shared cheaply (`Rc`) between the BDD
+//!   manager, the check layer and the CLI.
+//! - [`Trace`] — the finished event stream, rendered either as a human
+//!   summary tree ([`Trace::summary`]) or as one JSON object per line
+//!   ([`Trace::to_jsonl`], schema in `DESIGN.md` and [`schema`]).
+//! - [`OpTelemetry`] — the cumulative per-manager operation counters
+//!   (re-exported by `bbec-bdd` for API stability).
+//!
+//! A disabled tracer (the default) is a single `Option` check on every
+//! call: no clock reads, no allocation, no locking. Hot paths guard with
+//! [`Tracer::enabled`] so the instrumented build stays within a 2% overhead
+//! budget of the uninstrumented one.
+
+pub mod json;
+pub mod schema;
+mod summary;
+mod telemetry;
+
+pub use telemetry::OpTelemetry;
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::time::Instant;
+
+/// Version stamped into the leading `meta` event of every JSONL stream.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// An attribute value attached to a span or record event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrValue {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point (serialised with up to 6 significant decimals).
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl From<u64> for AttrValue {
+    fn from(v: u64) -> Self {
+        AttrValue::U64(v)
+    }
+}
+impl From<u32> for AttrValue {
+    fn from(v: u32) -> Self {
+        AttrValue::U64(v as u64)
+    }
+}
+impl From<usize> for AttrValue {
+    fn from(v: usize) -> Self {
+        AttrValue::U64(v as u64)
+    }
+}
+impl From<i64> for AttrValue {
+    fn from(v: i64) -> Self {
+        AttrValue::I64(v)
+    }
+}
+impl From<f64> for AttrValue {
+    fn from(v: f64) -> Self {
+        AttrValue::F64(v)
+    }
+}
+impl From<bool> for AttrValue {
+    fn from(v: bool) -> Self {
+        AttrValue::Bool(v)
+    }
+}
+impl From<&str> for AttrValue {
+    fn from(v: &str) -> Self {
+        AttrValue::Str(v.to_string())
+    }
+}
+impl From<String> for AttrValue {
+    fn from(v: String) -> Self {
+        AttrValue::Str(v)
+    }
+}
+
+/// One finished event of a trace, in emission order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// Stream header: always the first event, carries the schema version.
+    Meta {
+        /// Emission sequence number (0 for the header).
+        seq: u64,
+        /// Schema version ([`SCHEMA_VERSION`]).
+        schema: u64,
+    },
+    /// A closed span.
+    Span {
+        /// Emission sequence number.
+        seq: u64,
+        /// Span name (dotted taxonomy, e.g. `core.ladder_rung`).
+        name: &'static str,
+        /// Unique id within the trace.
+        id: u64,
+        /// Id of the enclosing span, if any.
+        parent: Option<u64>,
+        /// Nesting depth at open time (0 for root spans).
+        depth: u32,
+        /// Microseconds from tracer creation to span open.
+        start_us: u64,
+        /// Wall-clock duration in microseconds.
+        dur_us: u64,
+        /// Attributes set via [`SpanGuard::set_attr`].
+        attrs: Vec<(String, AttrValue)>,
+        /// True when the span was closed out of LIFO order (a guard
+        /// outlived its parent) or force-closed by [`Tracer::finish`].
+        unbalanced: bool,
+    },
+    /// Final value of a monotonic counter (flushed by [`Tracer::finish`]).
+    Counter {
+        /// Emission sequence number.
+        seq: u64,
+        /// Counter name.
+        name: String,
+        /// Accumulated value.
+        value: u64,
+    },
+    /// A log2-bucketed value histogram (flushed by [`Tracer::finish`]).
+    Histogram {
+        /// Emission sequence number.
+        seq: u64,
+        /// Histogram name.
+        name: String,
+        /// Number of recorded samples.
+        count: u64,
+        /// Largest recorded sample.
+        max: u64,
+        /// Non-empty buckets as `(bucket floor, sample count)` pairs.
+        buckets: Vec<(u64, u64)>,
+    },
+    /// A free-form record (e.g. one benchmark experiment row).
+    Record {
+        /// Emission sequence number.
+        seq: u64,
+        /// Record kind (e.g. `experiment_row`).
+        name: String,
+        /// Record payload.
+        attrs: Vec<(String, AttrValue)>,
+    },
+}
+
+impl TraceEvent {
+    /// The emission sequence number of this event.
+    pub fn seq(&self) -> u64 {
+        match self {
+            TraceEvent::Meta { seq, .. }
+            | TraceEvent::Span { seq, .. }
+            | TraceEvent::Counter { seq, .. }
+            | TraceEvent::Histogram { seq, .. }
+            | TraceEvent::Record { seq, .. } => *seq,
+        }
+    }
+
+    /// Serialise as a single JSON object (one JSONL line, no newline).
+    pub fn to_json_line(&self) -> String {
+        let mut w = json::ObjectWriter::new();
+        match self {
+            TraceEvent::Meta { seq, schema } => {
+                w.str("type", "meta");
+                w.u64("seq", *seq);
+                w.str("name", "trace");
+                w.u64("schema", *schema);
+            }
+            TraceEvent::Span {
+                seq,
+                name,
+                id,
+                parent,
+                depth,
+                start_us,
+                dur_us,
+                attrs,
+                unbalanced,
+            } => {
+                w.str("type", "span");
+                w.u64("seq", *seq);
+                w.str("name", name);
+                w.u64("id", *id);
+                if let Some(p) = parent {
+                    w.u64("parent", *p);
+                }
+                w.u64("depth", *depth as u64);
+                w.u64("start_us", *start_us);
+                w.u64("dur_us", *dur_us);
+                if !attrs.is_empty() {
+                    w.attrs("attrs", attrs);
+                }
+                if *unbalanced {
+                    w.bool("unbalanced", true);
+                }
+            }
+            TraceEvent::Counter { seq, name, value } => {
+                w.str("type", "counter");
+                w.u64("seq", *seq);
+                w.str("name", name);
+                w.u64("value", *value);
+            }
+            TraceEvent::Histogram { seq, name, count, max, buckets } => {
+                w.str("type", "histogram");
+                w.u64("seq", *seq);
+                w.str("name", name);
+                w.u64("count", *count);
+                w.u64("max", *max);
+                w.bucket_pairs("buckets", buckets);
+            }
+            TraceEvent::Record { seq, name, attrs } => {
+                w.str("type", "record");
+                w.u64("seq", *seq);
+                w.str("name", name);
+                w.attrs("attrs", attrs);
+            }
+        }
+        w.finish()
+    }
+}
+
+/// A log2-bucketed histogram of `u64` samples.
+///
+/// Bucket 0 holds the value 0; bucket `k >= 1` holds values in
+/// `[2^(k-1), 2^k)`. `u64::MAX` lands in bucket 64, so every value has a
+/// home and recording is two instructions plus a bounds-free index.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: [u64; 65],
+    count: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram { buckets: [0; 65], count: 0, max: 0 }
+    }
+}
+
+/// The bucket index a value falls into (0..=64).
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// The smallest value belonging to bucket `i` (inverse of [`bucket_index`]).
+#[inline]
+pub fn bucket_floor(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        1u64 << (i - 1)
+    }
+}
+
+impl Histogram {
+    /// A fresh, empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_index(v)] += 1;
+        self.count += 1;
+        if v > self.max {
+            self.max = v;
+        }
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Largest sample recorded (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Lower bound of the bucket containing the median sample (0 when empty).
+    pub fn approx_median(&self) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let half = self.count.div_ceil(2);
+        let mut seen = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= half {
+                return bucket_floor(i);
+            }
+        }
+        0
+    }
+
+    /// Non-empty buckets as `(bucket floor, sample count)` pairs.
+    pub fn nonempty_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| (bucket_floor(i), n))
+            .collect()
+    }
+}
+
+struct OpenSpan {
+    id: u64,
+    name: &'static str,
+    parent: Option<u64>,
+    depth: u32,
+    start: Instant,
+    start_us: u64,
+    attrs: Vec<(String, AttrValue)>,
+}
+
+struct Core {
+    epoch: Instant,
+    seq: u64,
+    next_span_id: u64,
+    stack: Vec<OpenSpan>,
+    events: Vec<TraceEvent>,
+    counters: Vec<(String, u64)>,
+    histograms: Vec<(String, Histogram)>,
+}
+
+impl Core {
+    fn new() -> Self {
+        let mut core = Core {
+            epoch: Instant::now(),
+            seq: 0,
+            next_span_id: 0,
+            stack: Vec::new(),
+            events: Vec::new(),
+            counters: Vec::new(),
+            histograms: Vec::new(),
+        };
+        let seq = core.next_seq();
+        core.events.push(TraceEvent::Meta { seq, schema: SCHEMA_VERSION });
+        core
+    }
+
+    fn next_seq(&mut self) -> u64 {
+        let s = self.seq;
+        self.seq += 1;
+        s
+    }
+
+    fn open_span(&mut self, name: &'static str) -> u64 {
+        let id = self.next_span_id;
+        self.next_span_id += 1;
+        let parent = self.stack.last().map(|s| s.id);
+        let depth = self.stack.len() as u32;
+        let start = Instant::now();
+        let start_us = start.duration_since(self.epoch).as_micros() as u64;
+        self.stack.push(OpenSpan { id, name, parent, depth, start, start_us, attrs: Vec::new() });
+        id
+    }
+
+    /// Close span `id`. Out-of-LIFO-order closes are tolerated: the span is
+    /// removed from wherever it sits on the stack and flagged `unbalanced`;
+    /// its still-open children stay open (their `parent` id stays valid in
+    /// the event stream, pointing at the already-closed span).
+    fn close_span(&mut self, id: u64, force: bool) {
+        let Some(pos) = self.stack.iter().rposition(|s| s.id == id) else {
+            return; // already closed (e.g. by finish()); ignore
+        };
+        let unbalanced = force || pos != self.stack.len() - 1;
+        let span = self.stack.remove(pos);
+        let dur_us = span.start.elapsed().as_micros() as u64;
+        let seq = self.next_seq();
+        self.events.push(TraceEvent::Span {
+            seq,
+            name: span.name,
+            id: span.id,
+            parent: span.parent,
+            depth: span.depth,
+            start_us: span.start_us,
+            dur_us,
+            attrs: span.attrs,
+            unbalanced,
+        });
+    }
+
+    fn counter_add(&mut self, name: &str, delta: u64) {
+        if let Some((_, v)) = self.counters.iter_mut().find(|(n, _)| n == name) {
+            *v += delta;
+        } else {
+            self.counters.push((name.to_string(), delta));
+        }
+    }
+
+    fn record(&mut self, name: &str, value: u64) {
+        if let Some((_, h)) = self.histograms.iter_mut().find(|(n, _)| n == name) {
+            h.record(value);
+        } else {
+            let mut h = Histogram::new();
+            h.record(value);
+            self.histograms.push((name.to_string(), h));
+        }
+    }
+
+    fn finish(&mut self) -> Vec<TraceEvent> {
+        // Force-close anything still open, innermost first.
+        while let Some(open) = self.stack.last() {
+            let id = open.id;
+            self.close_span(id, true);
+        }
+        let mut counters = std::mem::take(&mut self.counters);
+        counters.sort_by(|a, b| a.0.cmp(&b.0));
+        for (name, value) in counters {
+            let seq = self.next_seq();
+            self.events.push(TraceEvent::Counter { seq, name, value });
+        }
+        let mut histograms = std::mem::take(&mut self.histograms);
+        histograms.sort_by(|a, b| a.0.cmp(&b.0));
+        for (name, h) in histograms {
+            let seq = self.next_seq();
+            self.events.push(TraceEvent::Histogram {
+                seq,
+                name,
+                count: h.count(),
+                max: h.max(),
+                buckets: h.nonempty_buckets(),
+            });
+        }
+        std::mem::take(&mut self.events)
+    }
+}
+
+/// A cheap, cloneable handle to a trace collector.
+///
+/// The default tracer is *disabled*: every method is a single `Option`
+/// check and no clock is ever read. An enabled tracer shares its state via
+/// `Rc<RefCell<..>>`, so clones handed to the BDD manager, the check layer
+/// and the CLI all feed one event stream. Single-threaded by design (the
+/// whole checker is).
+#[derive(Clone, Default)]
+pub struct Tracer {
+    core: Option<Rc<RefCell<Core>>>,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer").field("enabled", &self.enabled()).finish()
+    }
+}
+
+impl Tracer {
+    /// An enabled tracer collecting into a fresh event stream.
+    pub fn new() -> Self {
+        Tracer { core: Some(Rc::new(RefCell::new(Core::new()))) }
+    }
+
+    /// A disabled tracer: every operation is a no-op (same as `default()`).
+    pub fn disabled() -> Self {
+        Tracer::default()
+    }
+
+    /// Whether events are being collected. Hot paths should guard any
+    /// non-trivial argument computation behind this.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.core.is_some()
+    }
+
+    /// Open a span; it closes (and emits its event) when the returned guard
+    /// drops. On a disabled tracer this is a no-op returning an inert guard.
+    #[inline]
+    pub fn span(&self, name: &'static str) -> SpanGuard {
+        match &self.core {
+            Some(core) => {
+                let id = core.borrow_mut().open_span(name);
+                SpanGuard { core: Some(core.clone()), id }
+            }
+            None => SpanGuard { core: None, id: 0 },
+        }
+    }
+
+    /// Add `delta` to the monotonic counter `name` (created at 0 on first
+    /// use). Counters are emitted once, by [`Tracer::finish`].
+    #[inline]
+    pub fn counter_add(&self, name: &str, delta: u64) {
+        if let Some(core) = &self.core {
+            core.borrow_mut().counter_add(name, delta);
+        }
+    }
+
+    /// Record one sample into the log2 histogram `name`.
+    #[inline]
+    pub fn record(&self, name: &str, value: u64) {
+        if let Some(core) = &self.core {
+            core.borrow_mut().record(name, value);
+        }
+    }
+
+    /// Emit a free-form record event immediately (used for benchmark rows).
+    pub fn record_event(&self, name: &str, attrs: Vec<(String, AttrValue)>) {
+        if let Some(core) = &self.core {
+            let mut core = core.borrow_mut();
+            let seq = core.next_seq();
+            core.events.push(TraceEvent::Record { seq, name: name.to_string(), attrs });
+        }
+    }
+
+    /// Close any open spans, flush counters and histograms, and return the
+    /// finished [`Trace`]. The tracer stays usable and starts accumulating
+    /// a fresh (header-less) stream afterwards; a disabled tracer returns
+    /// an empty trace.
+    pub fn finish(&self) -> Trace {
+        match &self.core {
+            Some(core) => Trace { events: core.borrow_mut().finish() },
+            None => Trace { events: Vec::new() },
+        }
+    }
+}
+
+/// RAII guard for an open span; dropping it closes the span.
+#[must_use = "dropping the guard immediately closes the span"]
+pub struct SpanGuard {
+    core: Option<Rc<RefCell<Core>>>,
+    id: u64,
+}
+
+impl SpanGuard {
+    /// Attach an attribute to the span (emitted with its close event).
+    /// No-op once the span has closed or on a disabled tracer.
+    pub fn set_attr(&self, key: &str, value: impl Into<AttrValue>) {
+        if let Some(core) = &self.core {
+            let mut core = core.borrow_mut();
+            if let Some(open) = core.stack.iter_mut().rfind(|s| s.id == self.id) {
+                open.attrs.push((key.to_string(), value.into()));
+            }
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(core) = &self.core {
+            core.borrow_mut().close_span(self.id, false);
+        }
+    }
+}
+
+/// A finished event stream, ready for rendering.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// The events in emission order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Serialise as JSONL: one JSON object per line, trailing newline.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            out.push_str(&e.to_json_line());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render the human summary tree (spans aggregated by name path,
+    /// then counters, then histograms).
+    pub fn summary(&self) -> String {
+        summary::render(&self.events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_edges() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(7), 3);
+        assert_eq!(bucket_index(8), 4);
+        for k in 1..64 {
+            let v = 1u64 << k;
+            assert_eq!(bucket_index(v), k + 1, "2^{k}");
+            assert_eq!(bucket_index(v - 1), k, "2^{k}-1");
+            assert_eq!(bucket_floor(bucket_index(v)), v, "floor of 2^{k}'s bucket");
+        }
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_floor(64), 1u64 << 63);
+    }
+
+    #[test]
+    fn histogram_counts_and_median() {
+        let mut h = Histogram::new();
+        assert_eq!(h.approx_median(), 0);
+        for v in [0, 1, 1, 2, 4, 9, u64::MAX] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.max(), u64::MAX);
+        // Sorted buckets: 0, 1, 1, 2, 4, 8, 2^63 -> median sample is the
+        // 4th (value 2), whose bucket floor is 2.
+        assert_eq!(h.approx_median(), 2);
+        let buckets = h.nonempty_buckets();
+        assert_eq!(buckets, vec![(0, 1), (1, 2), (2, 1), (4, 1), (8, 1), (1u64 << 63, 1)]);
+    }
+
+    #[test]
+    fn disabled_tracer_is_inert() {
+        let t = Tracer::disabled();
+        assert!(!t.enabled());
+        let g = t.span("x");
+        g.set_attr("k", 1u64);
+        drop(g);
+        t.counter_add("c", 1);
+        t.record("h", 5);
+        assert!(t.finish().events().is_empty());
+    }
+
+    #[test]
+    fn spans_nest_and_carry_parents() {
+        let t = Tracer::new();
+        {
+            let outer = t.span("outer");
+            outer.set_attr("k", "v");
+            {
+                let _inner = t.span("inner");
+            }
+        }
+        let trace = t.finish();
+        let spans: Vec<_> = trace
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Span { name, id, parent, depth, unbalanced, .. } => {
+                    Some((*name, *id, *parent, *depth, *unbalanced))
+                }
+                _ => None,
+            })
+            .collect();
+        // Inner closes first (LIFO), both balanced.
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].0, "inner");
+        assert_eq!(spans[1].0, "outer");
+        assert_eq!(spans[0].2, Some(spans[1].1), "inner's parent is outer");
+        assert_eq!(spans[0].3, 1);
+        assert_eq!(spans[1].3, 0);
+        assert!(!spans[0].4 && !spans[1].4);
+        // First event is the meta header.
+        assert!(matches!(trace.events()[0], TraceEvent::Meta { seq: 0, .. }));
+    }
+
+    #[test]
+    fn unbalanced_close_is_flagged_not_fatal() {
+        let t = Tracer::new();
+        let outer = t.span("outer");
+        let inner = t.span("inner");
+        drop(outer); // parent closes while child is still open
+        drop(inner); // child close after parent: fine, already off-stack path
+        let trace = t.finish();
+        let flags: Vec<_> = trace
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Span { name, unbalanced, .. } => Some((*name, *unbalanced)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(flags, vec![("outer", true), ("inner", false)]);
+    }
+
+    #[test]
+    fn finish_force_closes_open_spans() {
+        let t = Tracer::new();
+        let guard = t.span("dangling");
+        let trace = t.finish();
+        let unbalanced = trace
+            .events()
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Span { name: "dangling", unbalanced: true, .. }));
+        assert!(unbalanced, "finish must emit the dangling span as unbalanced");
+        drop(guard); // late drop is a silent no-op
+    }
+
+    #[test]
+    fn counters_accumulate_and_flush_sorted() {
+        let t = Tracer::new();
+        t.counter_add("b", 2);
+        t.counter_add("a", 1);
+        t.counter_add("b", 3);
+        let trace = t.finish();
+        let counters: Vec<_> = trace
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Counter { name, value, .. } => Some((name.clone(), *value)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(counters, vec![("a".to_string(), 1), ("b".to_string(), 5)]);
+    }
+
+    #[test]
+    fn every_jsonl_line_is_schema_valid() {
+        let t = Tracer::new();
+        {
+            let s = t.span("outer");
+            s.set_attr("method", "oe");
+            s.set_attr("ratio", 0.5f64);
+            s.set_attr("neg", -3i64);
+            s.set_attr("flag", true);
+            let _i = t.span("inner \"quoted\"\\path");
+        }
+        t.counter_add("bdd.cache.and.hits", 42);
+        t.record("bdd.apply.depth", 17);
+        t.record_event(
+            "experiment_row",
+            vec![("circuit".to_string(), AttrValue::Str("c432".into()))],
+        );
+        let jsonl = t.finish().to_jsonl();
+        let mut n = 0;
+        for (i, line) in jsonl.lines().enumerate() {
+            schema::validate_line(line).unwrap_or_else(|e| panic!("line {}: {e}: {line}", i + 1));
+            n += 1;
+        }
+        assert!(n >= 6, "expected meta + 2 spans + record + counter + histogram, got {n}");
+    }
+}

@@ -1,0 +1,164 @@
+//! Validation of the JSONL trace schema (documented in `DESIGN.md`).
+//!
+//! Every line is one JSON object with at least `type` (string), `seq`
+//! (number) and `name` (string). Per type:
+//!
+//! | `type`      | additional required keys                          |
+//! |-------------|---------------------------------------------------|
+//! | `meta`      | `schema` (number)                                 |
+//! | `span`      | `id`, `depth`, `start_us`, `dur_us` (numbers); optional `parent` (number), `attrs` (object), `unbalanced` (bool) |
+//! | `counter`   | `value` (number)                                  |
+//! | `histogram` | `count`, `max` (numbers), `buckets` (array of `[floor, count]` pairs) |
+//! | `record`    | `attrs` (object)                                  |
+//!
+//! The `trace-schema` binary applies [`validate_line`] to a whole file and
+//! is wired into CI so unparseable or schema-violating output fails the
+//! build.
+
+use crate::json::{self, Value};
+
+fn require_number(v: &Value, key: &str) -> Result<(), String> {
+    match v.get(key) {
+        Some(Value::Number(_)) => Ok(()),
+        Some(_) => Err(format!("'{key}' must be a number")),
+        None => Err(format!("missing required key '{key}'")),
+    }
+}
+
+fn require_string(v: &Value, key: &str) -> Result<(), String> {
+    match v.get(key) {
+        Some(Value::String(_)) => Ok(()),
+        Some(_) => Err(format!("'{key}' must be a string")),
+        None => Err(format!("missing required key '{key}'")),
+    }
+}
+
+/// Validate one JSONL line against the trace schema.
+pub fn validate_line(line: &str) -> Result<(), String> {
+    let v = json::parse(line).map_err(|e| format!("invalid JSON: {e}"))?;
+    if !v.is_object() {
+        return Err("line is not a JSON object".to_string());
+    }
+    require_string(&v, "type")?;
+    require_number(&v, "seq")?;
+    require_string(&v, "name")?;
+    let kind = v.get("type").and_then(Value::as_str).unwrap();
+    match kind {
+        "meta" => require_number(&v, "schema")?,
+        "span" => {
+            for key in ["id", "depth", "start_us", "dur_us"] {
+                require_number(&v, key)?;
+            }
+            if let Some(p) = v.get("parent") {
+                if p.as_f64().is_none() {
+                    return Err("'parent' must be a number".to_string());
+                }
+            }
+            if let Some(a) = v.get("attrs") {
+                if !a.is_object() {
+                    return Err("'attrs' must be an object".to_string());
+                }
+            }
+            if let Some(u) = v.get("unbalanced") {
+                if !matches!(u, Value::Bool(_)) {
+                    return Err("'unbalanced' must be a boolean".to_string());
+                }
+            }
+        }
+        "counter" => require_number(&v, "value")?,
+        "histogram" => {
+            require_number(&v, "count")?;
+            require_number(&v, "max")?;
+            let buckets = v
+                .get("buckets")
+                .ok_or("missing required key 'buckets'")?
+                .as_array()
+                .ok_or("'buckets' must be an array")?;
+            for (i, pair) in buckets.iter().enumerate() {
+                let pair = pair.as_array().ok_or(format!("bucket {i} must be an array"))?;
+                if pair.len() != 2 || pair.iter().any(|p| p.as_f64().is_none()) {
+                    return Err(format!("bucket {i} must be a [floor, count] number pair"));
+                }
+            }
+        }
+        "record" => {
+            if !v.get("attrs").is_some_and(Value::is_object) {
+                return Err("'attrs' must be present and an object".to_string());
+            }
+        }
+        other => return Err(format!("unknown event type '{other}'")),
+    }
+    Ok(())
+}
+
+/// Validate a whole JSONL document (blank lines are not allowed). Returns
+/// the number of validated events; the error names the offending line.
+pub fn validate_stream(input: &str) -> Result<usize, String> {
+    let mut n = 0;
+    let mut saw_meta = false;
+    for (i, line) in input.lines().enumerate() {
+        validate_line(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        if i == 0 {
+            saw_meta = json::parse(line)
+                .ok()
+                .and_then(|v| v.get("type").and_then(Value::as_str).map(|t| t == "meta"))
+                .unwrap_or(false);
+        }
+        n += 1;
+    }
+    if n == 0 {
+        return Err("empty stream".to_string());
+    }
+    if !saw_meta {
+        return Err("line 1: first event must be the 'meta' header".to_string());
+    }
+    Ok(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_each_event_kind() {
+        for line in [
+            r#"{"type":"meta","seq":0,"name":"trace","schema":1}"#,
+            r#"{"type":"span","seq":1,"name":"x","id":0,"depth":0,"start_us":5,"dur_us":7}"#,
+            r#"{"type":"span","seq":2,"name":"x","id":1,"parent":0,"depth":1,"start_us":5,"dur_us":7,"attrs":{"method":"oe"},"unbalanced":true}"#,
+            r#"{"type":"counter","seq":3,"name":"c","value":12}"#,
+            r#"{"type":"histogram","seq":4,"name":"h","count":3,"max":9,"buckets":[[0,1],[8,2]]}"#,
+            r#"{"type":"record","seq":5,"name":"experiment_row","attrs":{"circuit":"c432"}}"#,
+        ] {
+            validate_line(line).unwrap_or_else(|e| panic!("{e}: {line}"));
+        }
+    }
+
+    #[test]
+    fn rejects_schema_violations() {
+        for (line, why) in [
+            ("not json", "invalid JSON"),
+            ("[1,2]", "not a JSON object"),
+            (r#"{"seq":0,"name":"x"}"#, "missing type"),
+            (r#"{"type":"span","seq":0,"name":"x"}"#, "span missing id"),
+            (r#"{"type":"counter","seq":0,"name":"c"}"#, "counter missing value"),
+            (r#"{"type":"counter","seq":0,"name":"c","value":"12"}"#, "string value"),
+            (
+                r#"{"type":"histogram","seq":0,"name":"h","count":1,"max":1,"buckets":[[1]]}"#,
+                "short bucket",
+            ),
+            (r#"{"type":"wat","seq":0,"name":"x"}"#, "unknown type"),
+            (r#"{"type":"record","seq":0,"name":"r"}"#, "record missing attrs"),
+        ] {
+            assert!(validate_line(line).is_err(), "should reject ({why}): {line}");
+        }
+    }
+
+    #[test]
+    fn stream_requires_meta_header() {
+        let good = "{\"type\":\"meta\",\"seq\":0,\"name\":\"trace\",\"schema\":1}\n{\"type\":\"counter\",\"seq\":1,\"name\":\"c\",\"value\":1}\n";
+        assert_eq!(validate_stream(good), Ok(2));
+        let headless = "{\"type\":\"counter\",\"seq\":0,\"name\":\"c\",\"value\":1}\n";
+        assert!(validate_stream(headless).is_err());
+        assert!(validate_stream("").is_err());
+    }
+}

@@ -1,0 +1,199 @@
+//! The human sink: renders a finished event stream as an aggregated span
+//! tree followed by counters and histogram digests.
+
+use crate::{AttrValue, TraceEvent};
+use std::collections::HashMap;
+
+struct Node {
+    display: String,
+    count: u64,
+    total_us: u64,
+    children: Vec<usize>,
+}
+
+/// Display name of a span: its name, plus the `method` attribute when
+/// present (the one attribute worth keeping per-line; everything else —
+/// per-output indices, node counts — would explode the tree).
+fn display_name(name: &str, attrs: &[(String, AttrValue)]) -> String {
+    match attrs.iter().find(|(k, _)| k == "method") {
+        Some((_, AttrValue::Str(m))) => format!("{name}{{method={m}}}"),
+        _ => name.to_string(),
+    }
+}
+
+fn fmt_ms(us: u64) -> String {
+    format!("{:.2}ms", us as f64 / 1000.0)
+}
+
+fn fmt_count(v: u64) -> String {
+    if v >= 10_000_000 {
+        format!("{:.1}M", v as f64 / 1.0e6)
+    } else if v >= 100_000 {
+        format!("{:.1}k", v as f64 / 1.0e3)
+    } else {
+        v.to_string()
+    }
+}
+
+/// Render the summary tree for `events` (see [`crate::Trace::summary`]).
+pub(crate) fn render(events: &[TraceEvent]) -> String {
+    // Pass 1: resolve each span id to its aggregation key (parent chain of
+    // display names). Events are emitted at close time (post-order), so a
+    // parent's display name is only known after its children close; index
+    // everything first.
+    let mut span_info: HashMap<u64, (String, Option<u64>)> = HashMap::new();
+    for e in events {
+        if let TraceEvent::Span { name, id, parent, attrs, .. } = e {
+            span_info.insert(*id, (display_name(name, attrs), *parent));
+        }
+    }
+
+    // Pass 2: aggregate into a tree of (parent node, display name) keys,
+    // children kept in first-seen order.
+    let mut nodes: Vec<Node> = Vec::new();
+    let mut roots: Vec<usize> = Vec::new();
+    let mut index: HashMap<(Option<usize>, String), usize> = HashMap::new();
+    let mut span_count = 0u64;
+    let mut root_total_us = 0u64;
+    for e in events {
+        let TraceEvent::Span { id, dur_us, .. } = e else { continue };
+        span_count += 1;
+        // Build the ancestor display-name chain, outermost first.
+        let mut chain: Vec<&str> = Vec::new();
+        let mut cursor = Some(*id);
+        while let Some(cid) = cursor {
+            match span_info.get(&cid) {
+                Some((display, parent)) => {
+                    chain.push(display);
+                    cursor = *parent;
+                }
+                None => break, // parent never closed and finish() missed it
+            }
+        }
+        chain.reverse();
+        let mut parent_node: Option<usize> = None;
+        for (level, display) in chain.iter().enumerate() {
+            let key = (parent_node, display.to_string());
+            let node = *index.entry(key).or_insert_with(|| {
+                nodes.push(Node {
+                    display: display.to_string(),
+                    count: 0,
+                    total_us: 0,
+                    children: Vec::new(),
+                });
+                let idx = nodes.len() - 1;
+                match parent_node {
+                    Some(p) => nodes[p].children.push(idx),
+                    None => roots.push(idx),
+                }
+                idx
+            });
+            if level == chain.len() - 1 {
+                nodes[node].count += 1;
+                nodes[node].total_us += dur_us;
+                if level == 0 {
+                    root_total_us += dur_us;
+                }
+            }
+            parent_node = Some(node);
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "trace summary — {span_count} spans, {} in root spans\n",
+        fmt_ms(root_total_us)
+    ));
+    fn walk(nodes: &[Node], idx: usize, depth: usize, out: &mut String) {
+        let n = &nodes[idx];
+        let label = format!("{}{}", "  ".repeat(depth + 1), n.display);
+        out.push_str(&format!("{label:<44} {:>6}x {:>12}\n", n.count, fmt_ms(n.total_us)));
+        for &c in &n.children {
+            walk(nodes, c, depth + 1, out);
+        }
+    }
+    for &r in &roots {
+        walk(&nodes, r, 0, &mut out);
+    }
+
+    let counters: Vec<_> = events
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::Counter { name, value, .. } => Some((name, *value)),
+            _ => None,
+        })
+        .collect();
+    if !counters.is_empty() {
+        out.push_str("counters\n");
+        for (name, value) in counters {
+            out.push_str(&format!("  {name:<42} {:>12}\n", fmt_count(value)));
+        }
+    }
+
+    let histograms: Vec<_> = events
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::Histogram { name, count, max, buckets, .. } => {
+                Some((name, *count, *max, buckets))
+            }
+            _ => None,
+        })
+        .collect();
+    if !histograms.is_empty() {
+        out.push_str("histograms\n");
+        for (name, count, max, buckets) in histograms {
+            // Median bucket floor from the flushed buckets.
+            let half = count.div_ceil(2);
+            let mut seen = 0;
+            let mut p50 = 0;
+            for &(floor, n) in buckets {
+                seen += n;
+                if seen >= half {
+                    p50 = floor;
+                    break;
+                }
+            }
+            out.push_str(&format!(
+                "  {name:<42} n={} max={} ~p50={}\n",
+                fmt_count(count),
+                fmt_count(max),
+                fmt_count(p50)
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Tracer;
+
+    #[test]
+    fn summary_aggregates_and_indents() {
+        let t = Tracer::new();
+        for m in ["oe", "oe", "ie"] {
+            let rung = t.span("ladder_rung");
+            rung.set_attr("method", m);
+            let _inner = t.span("build_outputs");
+        }
+        t.counter_add("bdd.apply_steps", 123_456);
+        t.record("bdd.apply.depth", 3);
+        t.record("bdd.apply.depth", 300);
+        let s = t.finish().summary();
+        assert!(s.contains("6 spans"), "{s}");
+        assert!(s.contains("ladder_rung{method=oe}"), "{s}");
+        assert!(s.contains("ladder_rung{method=ie}"), "{s}");
+        // Two oe rungs collapse into one line with count 2.
+        let oe_line = s.lines().find(|l| l.contains("method=oe")).unwrap();
+        assert!(oe_line.contains(" 2x"), "{oe_line}");
+        // Child is indented deeper than its parent.
+        let child = s.lines().find(|l| l.contains("build_outputs")).unwrap();
+        let parent = s.lines().find(|l| l.contains("method=oe")).unwrap();
+        let indent = |l: &str| l.len() - l.trim_start().len();
+        assert!(indent(child) > indent(parent), "{s}");
+        assert!(s.contains("counters"), "{s}");
+        assert!(s.contains("123.5k"), "{s}");
+        assert!(s.contains("histograms"), "{s}");
+        assert!(s.contains("n=2"), "{s}");
+    }
+}

@@ -26,6 +26,10 @@
 //!   --step-limit N             cap BDD apply steps per check (default: none)
 //!   --quiet                    verdict only (exit code 0 = completable,
 //!                              1 = error found, 2 = usage/IO error)
+//!   --trace-summary            print a span/counter/histogram tree after a
+//!                              check (observability, see DESIGN.md)
+//!   --trace-out FILE.jsonl     write the structured trace event stream
+//!                              (one JSON object per line, schema v1)
 //! ```
 
 use bbec::core::diagnose::locate_single_gate_repairs;
@@ -132,6 +136,8 @@ struct Options {
     frames: usize,
     node_limit: Option<usize>,
     step_limit: Option<u64>,
+    trace_summary: bool,
+    trace_out: Option<String>,
     positional: Vec<String>,
 }
 
@@ -147,6 +153,8 @@ fn parse_options(args: &[String]) -> Options {
         frames: 4,
         node_limit: None,
         step_limit: None,
+        trace_summary: false,
+        trace_out: None,
         positional: Vec::new(),
     };
     let mut i = 0;
@@ -188,6 +196,11 @@ fn parse_options(args: &[String]) -> Options {
                 o.step_limit =
                     Some(args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()));
             }
+            "--trace-summary" => o.trace_summary = true,
+            "--trace-out" => {
+                i += 1;
+                o.trace_out = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
             "--frames" => {
                 i += 1;
                 o.frames = args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
@@ -216,6 +229,9 @@ fn main() {
         settings.node_limit = Some(n);
     }
     settings.step_limit = o.step_limit;
+    if o.trace_summary || o.trace_out.is_some() {
+        settings.tracer = bbec::trace::Tracer::new();
+    }
     match command.as_str() {
         "stats" => {
             let path = o.positional.first().cloned().unwrap_or_else(|| usage());
@@ -381,6 +397,7 @@ fn main() {
             let implementation = read_circuit(impl_path);
             let partial = partial_from(implementation, o.per_signal);
             let verdict = run_method(&o.method, &spec, &partial, &settings, o.quiet);
+            emit_trace(&o, &settings.tracer);
             match verdict {
                 Verdict::NoErrorFound => {
                     if !o.quiet {
@@ -428,6 +445,28 @@ fn main() {
             }
         }
         _ => usage(),
+    }
+}
+
+/// Drains the tracer (if armed) into the requested sinks: the JSONL event
+/// stream and/or the human-readable summary tree. Runs before the check's
+/// exit code is decided, so traces survive both verdicts.
+fn emit_trace(o: &Options, tracer: &bbec::trace::Tracer) {
+    if !tracer.enabled() {
+        return;
+    }
+    let trace = tracer.finish();
+    if let Some(path) = &o.trace_out {
+        std::fs::write(path, trace.to_jsonl()).unwrap_or_else(|e| {
+            eprintln!("bbec: cannot write trace `{path}`: {e}");
+            exit(2)
+        });
+        if !o.quiet {
+            println!("trace written to {path} ({} events)", trace.events().len());
+        }
+    }
+    if o.trace_summary {
+        print!("{}", trace.summary());
     }
 }
 
@@ -482,9 +521,11 @@ fn run_method(
                             o.stats.duration,
                             o.stats.apply_steps
                         ),
-                        checks::StageResult::BudgetExceeded { method, reason, .. } => {
-                            println!("  {:<6} -> budget exceeded ({reason})", method.label())
-                        }
+                        checks::StageResult::BudgetExceeded { method, reason, .. } => println!(
+                            "  {:<6} -> budget exceeded after {:?} ({reason})",
+                            method.label(),
+                            stage.elapsed()
+                        ),
                     }
                 }
                 let skipped = report.budget_exceeded();

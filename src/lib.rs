@@ -15,7 +15,9 @@
 //!   error-insertion mutations,
 //! * [`sat`] — a CDCL SAT solver, Tseitin encoding and a CEGAR ∃∀ engine,
 //! * [`core`] — the paper's contribution: black-box extraction, symbolic
-//!   simulation and the five equivalence checks.
+//!   simulation and the five equivalence checks,
+//! * [`trace`] — zero-dependency structured tracing: spans, counters,
+//!   log2-bucketed histograms and the JSONL run-record schema.
 //!
 //! ## Quickstart
 //!
@@ -53,3 +55,4 @@ pub use bbec_bdd as bdd;
 pub use bbec_core as core;
 pub use bbec_netlist as netlist;
 pub use bbec_sat as sat;
+pub use bbec_trace as trace;

@@ -223,6 +223,70 @@ fn sat_command_solves_dimacs() {
     assert!(String::from_utf8_lossy(&out.stdout).contains("UNSATISFIABLE"));
 }
 
+/// Golden-file trace test: a ladder check with `--trace-out` yields a
+/// schema-valid JSONL stream with one `core.ladder_rung` span per executed
+/// rung, manager counters, and the meta header on the first line.
+#[test]
+fn trace_out_emits_schema_valid_jsonl() {
+    let (spec, partial, _) = fixture();
+    let trace_path = write_temp("run.jsonl", "");
+    let out = bin()
+        .args(["check", "--spec"])
+        .arg(&spec)
+        .arg("--impl")
+        .arg(&partial)
+        .args(["--method", "ladder", "--patterns", "100", "--trace-out"])
+        .arg(&trace_path)
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = std::fs::read_to_string(&trace_path).expect("trace written");
+
+    // Every line satisfies the schema; the stream starts with `meta`.
+    let events = bbec::trace::schema::validate_stream(&text).unwrap_or_else(|e| panic!("{e}"));
+    assert!(events > 5, "a five-rung ladder yields more than {events} events");
+
+    // One span per executed rung, in ladder order.
+    let rung_methods: Vec<String> = text
+        .lines()
+        .filter(|l| l.contains("\"name\":\"core.ladder_rung\""))
+        .map(|l| {
+            let v = bbec::trace::json::parse(l).expect("valid event");
+            v.get("attrs")
+                .and_then(|a| a.get("method"))
+                .and_then(|m| m.as_str())
+                .expect("rung span carries a method attr")
+                .to_string()
+        })
+        .collect();
+    assert_eq!(rung_methods, ["r.p.", "0,1,X", "loc.", "oe", "ie"]);
+
+    // Manager counters surface in the stream.
+    assert!(text.contains("\"name\":\"bdd.apply_steps\""), "apply-step counter missing");
+    assert!(text.contains("\"type\":\"histogram\""), "histograms missing");
+}
+
+/// `--trace-summary` renders the human tree on stdout without disturbing
+/// the verdict line or the exit code.
+#[test]
+fn trace_summary_prints_span_tree() {
+    let (spec, partial, _) = fixture();
+    let out = bin()
+        .args(["check", "--spec"])
+        .arg(&spec)
+        .arg("--impl")
+        .arg(&partial)
+        .args(["--method", "ladder", "--patterns", "100", "--trace-summary"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("trace summary"), "{stdout}");
+    assert!(stdout.contains("core.ladder_rung{method=ie}"), "{stdout}");
+    assert!(stdout.contains("counters"), "{stdout}");
+    assert!(stdout.contains("NO ERROR FOUND"), "{stdout}");
+}
+
 #[test]
 fn usage_errors_exit_2() {
     let out = bin().arg("frobnicate").output().expect("binary runs");
