@@ -62,28 +62,80 @@ impl Op {
     }
 }
 
+/// Default computed-table capacity exponent: `2^22` (~4M) entries.
+///
+/// Large enough that typical checks never hit the cap (bounded eviction is
+/// a memory-safety valve, not a tuning default), small enough to bound a
+/// runaway worker to a predictable footprint.
+pub const DEFAULT_CACHE_BITS: u32 = 22;
+
+/// Smallest accepted capacity exponent (1024 entries).
+pub const MIN_CACHE_BITS: u32 = 10;
+
+/// Largest accepted capacity exponent (2^30 entries).
+pub const MAX_CACHE_BITS: u32 = 30;
+
+/// Clamps a requested capacity exponent into the supported range.
+pub fn clamp_cache_bits(bits: u32) -> u32 {
+    bits.clamp(MIN_CACHE_BITS, MAX_CACHE_BITS)
+}
+
 /// Memo table shared by all recursive operations.
 ///
 /// Entries hold *unprotected* node indices, so the cache must be cleared
 /// whenever nodes may be reclaimed (garbage collection, reordering).
+/// Capacity is bounded at `2^capacity_bits` entries; inserting into a full
+/// table drops the whole table (a deterministic, allocation-free eviction
+/// policy — the recursion simply recomputes, charging steps as usual).
 /// Hit/miss counters are kept per operation kind so the tracer can report
 /// cache effectiveness per operator; the aggregate accessors sum them.
 #[derive(Debug)]
 pub(crate) struct OpCache {
     map: HashMap<(Op, u32, u32, u32), u32, FxBuildHasher>,
+    capacity: usize,
+    evictions: u64,
     hits: [u64; Op::COUNT],
     misses: [u64; Op::COUNT],
 }
 
 impl Default for OpCache {
     fn default() -> Self {
-        OpCache { map: HashMap::default(), hits: [0; Op::COUNT], misses: [0; Op::COUNT] }
+        OpCache::with_capacity_bits(DEFAULT_CACHE_BITS)
     }
 }
 
 impl OpCache {
     pub(crate) fn new() -> Self {
         OpCache::default()
+    }
+
+    pub(crate) fn with_capacity_bits(bits: u32) -> Self {
+        OpCache {
+            map: HashMap::default(),
+            capacity: 1usize << clamp_cache_bits(bits),
+            evictions: 0,
+            hits: [0; Op::COUNT],
+            misses: [0; Op::COUNT],
+        }
+    }
+
+    /// Rebounds the table to `2^bits` entries (clamped), evicting every
+    /// current entry if it no longer fits.
+    pub(crate) fn set_capacity_bits(&mut self, bits: u32) {
+        self.capacity = 1usize << clamp_cache_bits(bits);
+        if self.map.len() > self.capacity {
+            self.map.clear();
+            self.evictions += 1;
+        }
+    }
+
+    pub(crate) fn capacity_bits(&self) -> u32 {
+        self.capacity.trailing_zeros()
+    }
+
+    /// Full-table evictions forced by the capacity bound so far.
+    pub(crate) fn evictions(&self) -> u64 {
+        self.evictions
     }
 
     #[inline]
@@ -99,6 +151,10 @@ impl OpCache {
 
     #[inline]
     pub(crate) fn put(&mut self, op: Op, a: u32, b: u32, c: u32, result: u32) {
+        if self.map.len() >= self.capacity {
+            self.map.clear();
+            self.evictions += 1;
+        }
         self.map.insert((op, a, b, c), result);
     }
 
@@ -145,6 +201,38 @@ mod tests {
         assert_eq!(c.get(Op::Or, 2, 3, 0), None);
         c.clear();
         assert_eq!(c.get(Op::And, 2, 3, 0), None);
+    }
+
+    #[test]
+    fn capacity_bound_evicts_wholesale() {
+        let mut c = OpCache::with_capacity_bits(0); // clamps to MIN_CACHE_BITS
+        assert_eq!(c.capacity_bits(), MIN_CACHE_BITS);
+        let cap = 1u32 << MIN_CACHE_BITS;
+        for i in 0..cap {
+            c.put(Op::And, i, i, 0, i);
+        }
+        assert_eq!(c.evictions(), 0);
+        assert_eq!(c.get(Op::And, 0, 0, 0), Some(0));
+        // The table is full: one more insert drops everything, then lands.
+        c.put(Op::And, cap, cap, 0, cap);
+        assert_eq!(c.evictions(), 1);
+        assert_eq!(c.get(Op::And, 0, 0, 0), None);
+        assert_eq!(c.get(Op::And, cap, cap, 0), Some(cap));
+    }
+
+    #[test]
+    fn shrinking_capacity_evicts_oversized_table() {
+        let mut c = OpCache::with_capacity_bits(12);
+        for i in 0..2048u32 {
+            c.put(Op::Or, i, i, 0, i);
+        }
+        c.set_capacity_bits(10);
+        assert_eq!(c.evictions(), 1);
+        assert_eq!(c.get(Op::Or, 1, 1, 0), None);
+        // Growing back is free.
+        c.set_capacity_bits(40); // clamps to MAX_CACHE_BITS
+        assert_eq!(c.capacity_bits(), MAX_CACHE_BITS);
+        assert_eq!(c.evictions(), 1);
     }
 
     #[test]

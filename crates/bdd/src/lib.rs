@@ -74,6 +74,7 @@ pub use analysis::SatAssignment;
 /// observability layer was split out; the `bbec-bdd` API is unchanged.
 pub use bbec_trace::OpTelemetry;
 pub use budget::{Budget, BudgetExceeded};
+pub use cache::{clamp_cache_bits, DEFAULT_CACHE_BITS, MAX_CACHE_BITS, MIN_CACHE_BITS};
 pub use cube::Cube;
 pub use manager::{Bdd, BddManager, BddStats, BddVar, ReorderSettings};
 

@@ -208,6 +208,25 @@ impl BddManager {
         self.cache.stats_by_op().to_vec()
     }
 
+    /// Rebounds the computed table to `2^bits` entries (clamped to
+    /// [`crate::MIN_CACHE_BITS`]`..=`[`crate::MAX_CACHE_BITS`]). A full
+    /// table is evicted wholesale on the next insert; correctness is
+    /// unaffected, only recomputation cost.
+    pub fn set_cache_capacity_bits(&mut self, bits: u32) {
+        self.cache.set_capacity_bits(bits);
+    }
+
+    /// The current computed-table capacity exponent.
+    pub fn cache_capacity_bits(&self) -> u32 {
+        self.cache.capacity_bits()
+    }
+
+    /// Number of forced whole-table evictions caused by the capacity bound
+    /// (distinct from the clears every GC/reorder pass performs anyway).
+    pub fn cache_evictions(&self) -> u64 {
+        self.cache.evictions()
+    }
+
     /// Installs (or clears) the resource budget and starts a fresh
     /// step-accounting window.
     ///
@@ -708,6 +727,14 @@ impl BddManager {
         }
     }
 }
+
+// The parallel check engine moves whole managers into scoped worker
+// threads (shared-nothing: one private manager per worker). This assertion
+// turns any future non-`Send` field into a compile error at the source.
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<BddManager>();
+};
 
 #[cfg(test)]
 mod tests {

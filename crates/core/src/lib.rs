@@ -21,6 +21,8 @@
 //! arm) live in [`sat_checks`]. Around the checks sit:
 //!
 //! * [`CheckSession`] — amortises the specification's BDDs over many checks,
+//! * [`ParallelChecker`] — shards the per-output rungs over worker threads
+//!   by cone of influence, one private BDD manager per worker,
 //! * [`diagnose`] — fault localisation by black-boxing suspect regions
 //!   (exact for single boxes by Theorem 2.2),
 //! * [`unroll`] — bounded *sequential* black-box checking by time-frame
@@ -60,6 +62,7 @@
 
 pub mod checks;
 pub mod diagnose;
+mod parallel;
 mod partial;
 mod report;
 pub mod samples;
@@ -68,6 +71,7 @@ mod session;
 mod symbolic;
 pub mod unroll;
 
+pub use parallel::{plan_shards, ParallelChecker, Shard};
 pub use partial::{convex_closure, BlackBox, PartialCircuit};
 pub use report::{
     BudgetAbort, CheckError, CheckOutcome, CheckSettings, Counterexample, Method, ResourceStats,

@@ -134,8 +134,19 @@ pub struct CheckSettings {
     /// (`None` = unbounded). Steps are a machine-independent cost unit.
     pub step_limit: Option<u64>,
     /// Abort a BDD-based check after this much wall-clock time
-    /// (`None` = unbounded).
+    /// (`None` = unbounded). Each check (ladder rung) gets a fresh window
+    /// of this length; to bound a whole run use [`CheckSettings::deadline`].
     pub time_limit: Option<Duration>,
+    /// Absolute wall-clock deadline for the whole run (`None` = unbounded).
+    /// Unlike `time_limit`, this is *not* re-armed per check window, so it
+    /// is honored globally — the parallel engine stamps one deadline into
+    /// every shard worker's settings. When both are set, whichever falls
+    /// earlier fires.
+    pub deadline: Option<std::time::Instant>,
+    /// Computed-table (apply/ITE cache) capacity exponent: the cache holds
+    /// at most `2^cache_bits` entries and is evicted wholesale when full.
+    /// Clamped to [`bbec_bdd::MIN_CACHE_BITS`]`..=`[`bbec_bdd::MAX_CACHE_BITS`].
+    pub cache_bits: u32,
     /// Observability sink shared by every check run with these settings:
     /// the symbolic context hands a clone to its BDD manager, the ladder
     /// opens one span per rung, and the per-output checks nest inside.
@@ -153,6 +164,8 @@ impl Default for CheckSettings {
             node_limit: Some(4_000_000),
             step_limit: None,
             time_limit: None,
+            deadline: None,
+            cache_bits: bbec_bdd::DEFAULT_CACHE_BITS,
             tracer: bbec_trace::Tracer::disabled(),
         }
     }

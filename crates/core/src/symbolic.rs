@@ -69,6 +69,9 @@ pub struct SymbolicContext {
     node_limit: Option<usize>,
     step_limit: Option<u64>,
     time_limit: Option<Duration>,
+    /// Absolute run deadline ([`CheckSettings::deadline`]); unlike
+    /// `time_limit` it is *not* restarted by [`SymbolicContext::arm_budget`].
+    deadline: Option<Instant>,
 }
 
 impl SymbolicContext {
@@ -87,6 +90,7 @@ impl SymbolicContext {
             BddManager::new()
         };
         manager.set_tracer(settings.tracer.clone());
+        manager.set_cache_capacity_bits(settings.cache_bits);
         let order = dfs_input_order(reference);
         let mut input_vars = vec![None; reference.inputs().len()];
         for pos in order {
@@ -100,6 +104,7 @@ impl SymbolicContext {
             node_limit: settings.node_limit,
             step_limit: settings.step_limit,
             time_limit: settings.time_limit,
+            deadline: settings.deadline,
         };
         ctx.arm_budget();
         ctx
@@ -108,15 +113,30 @@ impl SymbolicContext {
     /// (Re-)arms the resource governor: opens a fresh step window and, when
     /// a time limit is configured, starts its deadline **now**. Checks call
     /// this at the start of each run so every check gets the full budget.
+    ///
+    /// The absolute [`CheckSettings::deadline`] is deliberately *not*
+    /// restarted: re-arming per check (or per shard worker) keeps the
+    /// earliest of `now + time_limit` and the fixed global deadline, so a
+    /// worker spawned late in the run still honors the run-wide wall-clock
+    /// limit instead of receiving a fresh window.
     pub fn arm_budget(&mut self) {
-        if self.node_limit.is_none() && self.step_limit.is_none() && self.time_limit.is_none() {
+        if self.node_limit.is_none()
+            && self.step_limit.is_none()
+            && self.time_limit.is_none()
+            && self.deadline.is_none()
+        {
             self.manager.set_budget(None);
             return;
         }
+        let window_deadline = self.time_limit.map(|d| Instant::now() + d);
+        let deadline = match (window_deadline, self.deadline) {
+            (Some(w), Some(g)) => Some(w.min(g)),
+            (w, g) => w.or(g),
+        };
         self.manager.set_budget(Some(Budget {
             max_live_nodes: self.node_limit,
             max_steps: self.step_limit,
-            deadline: self.time_limit.map(|d| Instant::now() + d),
+            deadline,
         }));
     }
 
@@ -517,6 +537,27 @@ mod tests {
         let mut sorted = order.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..60).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn absolute_deadline_survives_rearming() {
+        let s = CheckSettings {
+            dynamic_reordering: false,
+            deadline: Some(Instant::now() - Duration::from_millis(1)),
+            ..CheckSettings::default()
+        };
+        // Big enough that the build charges well over 1024 apply steps
+        // (the deadline is polled every 1024 steps).
+        let c = generators::array_multiplier(6);
+        let mut ctx = SymbolicContext::new(&c, &s);
+        // Re-arming opens a fresh step window but must keep the expired
+        // global deadline instead of granting a new one.
+        ctx.arm_budget();
+        let err = ctx.build_outputs(&c);
+        assert!(
+            matches!(err, Err(CheckError::BudgetExceeded(_))),
+            "expired global deadline must abort the build"
+        );
     }
 
     #[test]

@@ -1,0 +1,101 @@
+//! Job-count invariance of the parallel check engine: `jobs = 4` and
+//! `jobs = 1` must produce identical ladder verdicts, stage outcomes and
+//! counterexamples — the worker count may only change wall-clock time.
+//!
+//! Driven by the netlist mutation generator over 100+ seeded circuits,
+//! covering both overlapping-cone circuits (which merge into few shards)
+//! and disjoint-cone circuits (which shard one-per-output).
+
+use bbec_core::checks::{LadderReport, StageResult};
+use bbec_core::{CheckSettings, ParallelChecker, PartialCircuit, Verdict};
+use bbec_netlist::{generators, Circuit, Mutation};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn settings() -> CheckSettings {
+    CheckSettings { dynamic_reordering: false, random_patterns: 64, ..CheckSettings::default() }
+}
+
+/// A seeded instance: a spec, and a mutated + black-boxed implementation.
+fn instance(spec: Circuit, seed: u64) -> Option<(Circuit, PartialCircuit)> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED);
+    let roots: Vec<_> = spec.outputs().iter().map(|&(_, s)| s).collect();
+    let cone = spec.fanin_cone_gates(&roots);
+    // Even seeds insert an error; odd seeds stay clean, so both verdict
+    // paths (error merge and full-ladder fallthrough) are exercised.
+    let faulty = if seed.is_multiple_of(2) {
+        Mutation::random(&spec, &cone, &mut rng)?.apply(&spec).ok()?
+    } else {
+        spec.clone()
+    };
+    let partial =
+        PartialCircuit::random_black_boxes(&faulty, 0.15, 1 + (seed % 3) as usize, &mut rng)
+            .ok()?;
+    Some((spec, partial))
+}
+
+/// The comparable skeleton of a report: everything except timing/stats.
+fn skeleton(r: &LadderReport) -> Vec<String> {
+    r.stages
+        .iter()
+        .map(|s| match s {
+            StageResult::Finished(o) => {
+                format!("{}:{:?}:{:?}", o.method, o.verdict, o.counterexample)
+            }
+            StageResult::BudgetExceeded { method, reason, .. } => {
+                format!("{method}:budget:{reason}")
+            }
+        })
+        .collect()
+}
+
+fn assert_job_invariant(spec: &Circuit, partial: &PartialCircuit, label: &str) {
+    let seq = ParallelChecker::new(settings(), 1).run(spec, partial).unwrap();
+    let par = ParallelChecker::new(settings(), 4).run(spec, partial).unwrap();
+    assert_eq!(seq.verdict(), par.verdict(), "verdict differs on {label}");
+    assert_eq!(seq.deciding_method(), par.deciding_method(), "deciding method differs on {label}");
+    assert_eq!(seq.counterexample(), par.counterexample(), "counterexample differs on {label}");
+    assert_eq!(skeleton(&seq), skeleton(&par), "stage skeleton differs on {label}");
+}
+
+/// 100+ seeded mutated circuits with overlapping cones: reports at
+/// `jobs = 1` and `jobs = 4` are identical.
+#[test]
+fn jobs_invariant_on_random_logic() {
+    let mut checked = 0;
+    for seed in 0..110u64 {
+        let spec = generators::random_logic("pe", 7, 40, 3, seed);
+        let Some((spec, partial)) = instance(spec, seed) else { continue };
+        assert_job_invariant(&spec, &partial, &format!("random_logic seed {seed}"));
+        checked += 1;
+    }
+    assert!(checked >= 100, "only {checked} seeds produced instances");
+}
+
+/// Disjoint-cone circuits (one shard per output — the maximally parallel
+/// decomposition) stay job-count invariant too.
+#[test]
+fn jobs_invariant_on_disjoint_cones() {
+    for seed in 0..12u64 {
+        let spec = generators::disjoint_cones(5, 4, 10, seed);
+        let Some((spec, partial)) = instance(spec, seed) else { continue };
+        assert_job_invariant(&spec, &partial, &format!("disjoint_cones seed {seed}"));
+    }
+}
+
+/// Inserted errors that the ladder can see are found at every job count,
+/// and at least some instances in the sweep actually produce errors (the
+/// invariance tests above must not be vacuous).
+#[test]
+fn error_instances_are_represented() {
+    let mut errors = 0;
+    for seed in (0..60u64).step_by(2) {
+        let spec = generators::random_logic("pe", 7, 40, 3, seed);
+        let Some((spec, partial)) = instance(spec, seed) else { continue };
+        let report = ParallelChecker::new(settings(), 4).run(&spec, &partial).unwrap();
+        if report.verdict() == Verdict::ErrorFound {
+            errors += 1;
+        }
+    }
+    assert!(errors >= 5, "only {errors} error instances in the sweep");
+}

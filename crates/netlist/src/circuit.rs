@@ -80,6 +80,22 @@ pub struct CircuitStats {
     pub by_kind: Vec<(GateKind, usize)>,
 }
 
+/// A cone-of-influence extraction result: the subcircuit plus the maps
+/// back to the parent circuit (see [`Circuit::cone_subcircuit`]).
+#[derive(Debug, Clone)]
+pub struct ConeSubcircuit {
+    /// The extracted subcircuit.
+    pub circuit: Circuit,
+    /// For each subcircuit input position, the parent input position it
+    /// came from (ascending, so relative input order is preserved).
+    pub input_positions: Vec<usize>,
+    /// For each subcircuit output position, the parent output position it
+    /// came from (ascending).
+    pub output_positions: Vec<usize>,
+    /// Parent signal id → subcircuit signal id, for signals that were kept.
+    pub signal_map: Vec<Option<SignalId>>,
+}
+
 /// An immutable combinational circuit.
 ///
 /// Create one through [`Circuit::builder`], a parser ([`crate::blif`],
@@ -337,6 +353,127 @@ impl Circuit {
             is_input: self.is_input.clone(),
             topo,
         }
+    }
+
+    /// Parent input positions (indices into [`Circuit::inputs`]) appearing
+    /// in the transitive fanin of the selected outputs, ascending.
+    pub fn cone_input_positions(&self, output_positions: &[usize]) -> Vec<usize> {
+        let roots: Vec<SignalId> = output_positions.iter().map(|&p| self.outputs[p].1).collect();
+        let in_cone = self.cone_signals(&roots);
+        self.inputs
+            .iter()
+            .enumerate()
+            .filter(|&(_, s)| in_cone[s.index()])
+            .map(|(pos, _)| pos)
+            .collect()
+    }
+
+    /// Extracts the cone-of-influence subcircuit of the selected outputs:
+    /// the gates in their transitive fanin, the signals those gates touch,
+    /// and exactly the primary inputs in `sorted-union(cone inputs,
+    /// include_input_positions)`.
+    ///
+    /// `include_input_positions` widens the input interface beyond what the
+    /// cone needs — the parallel check engine passes the union of the
+    /// spec-side and implementation-side cone inputs to both extractions so
+    /// the two shards keep matching interfaces. Undriven non-input signals
+    /// in the cone (black-box outputs of a partial implementation) stay
+    /// undriven. Signal names, port names, gate order (parent topological
+    /// order) and input/output order (parent declaration order) are all
+    /// inherited, so extraction is deterministic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an output or input position is out of range.
+    pub fn cone_subcircuit(
+        &self,
+        output_positions: &[usize],
+        include_input_positions: &[usize],
+    ) -> ConeSubcircuit {
+        let roots: Vec<SignalId> = output_positions.iter().map(|&p| self.outputs[p].1).collect();
+        let in_cone = self.cone_signals(&roots);
+        let mut keep_input = vec![false; self.inputs.len()];
+        for (pos, &s) in self.inputs.iter().enumerate() {
+            if in_cone[s.index()] {
+                keep_input[pos] = true;
+            }
+        }
+        for &pos in include_input_positions {
+            keep_input[pos] = true;
+        }
+
+        let mut b = Circuit::builder(&format!("{}#cone", self.name));
+        // Recreate kept signals in parent id order (names are unique in the
+        // parent, so re-declaring them cannot collide).
+        let mut signal_map: Vec<Option<SignalId>> = vec![None; self.signal_count()];
+        for idx in 0..self.signal_count() {
+            let s = SignalId(idx as u32);
+            let kept_as_input = self.is_input[idx] && keep_input[self.input_position(s).unwrap()];
+            if in_cone[idx] || kept_as_input {
+                signal_map[idx] = Some(b.signal(&self.signal_names[idx]));
+            }
+        }
+        // Inputs in parent declaration order.
+        let input_positions: Vec<usize> =
+            (0..self.inputs.len()).filter(|&p| keep_input[p]).collect();
+        for &pos in &input_positions {
+            b.mark_input(signal_map[self.inputs[pos].index()].expect("kept input mapped"));
+        }
+        // Cone gates in parent topological order.
+        let mut in_cone_gate = vec![false; self.gates.len()];
+        for g in self.fanin_cone_gates(&roots) {
+            in_cone_gate[g as usize] = true;
+        }
+        let mut buf: Vec<SignalId> = Vec::new();
+        for &g in &self.topo {
+            if !in_cone_gate[g as usize] {
+                continue;
+            }
+            let gate = &self.gates[g as usize];
+            buf.clear();
+            buf.extend(
+                gate.inputs.iter().map(|&s| signal_map[s.index()].expect("cone input mapped")),
+            );
+            b.gate_into(gate.kind, &buf, signal_map[gate.output.index()].expect("cone output"));
+        }
+        // Selected outputs in parent declaration order.
+        let mut output_positions: Vec<usize> = output_positions.to_vec();
+        output_positions.sort_unstable();
+        output_positions.dedup();
+        for &pos in &output_positions {
+            let (name, s) = &self.outputs[pos];
+            b.output(name, signal_map[s.index()].expect("output root mapped"));
+        }
+        let circuit = b.build_allow_undriven().expect("cone extraction preserves validity");
+        ConeSubcircuit { circuit, input_positions, output_positions, signal_map }
+    }
+
+    /// Position of `s` in the primary-input order, if it is an input.
+    fn input_position(&self, s: SignalId) -> Option<usize> {
+        if self.is_input[s.index()] {
+            self.inputs.iter().position(|&i| i == s)
+        } else {
+            None
+        }
+    }
+
+    /// Characteristic vector of every signal in the fanin cone of `roots`
+    /// (the roots themselves included).
+    fn cone_signals(&self, roots: &[SignalId]) -> Vec<bool> {
+        let mut seen_sig = vec![false; self.signal_count()];
+        let mut seen_gate = vec![false; self.gates.len()];
+        let mut stack: Vec<SignalId> = roots.to_vec();
+        while let Some(s) = stack.pop() {
+            if std::mem::replace(&mut seen_sig[s.index()], true) {
+                continue;
+            }
+            if let Some(g) = self.driver[s.index()] {
+                if !std::mem::replace(&mut seen_gate[g as usize], true) {
+                    stack.extend(self.gates[g as usize].inputs.iter().copied());
+                }
+            }
+        }
+        seen_sig
     }
 
     pub(crate) fn from_parts(
@@ -767,6 +904,71 @@ mod tests {
         assert_eq!(cone.len(), 2);
         let all = c.fanin_cone_gates(&[sum, c.outputs()[1].1]);
         assert_eq!(all.len(), 5);
+    }
+
+    #[test]
+    fn cone_subcircuit_matches_parent_semantics() {
+        let c = full_adder();
+        // Extract the cone of `sum` (output position 0): both XORs, all
+        // three inputs.
+        let cone = c.cone_subcircuit(&[0], &[]);
+        assert_eq!(cone.output_positions, vec![0]);
+        assert_eq!(cone.input_positions, vec![0, 1, 2]);
+        assert_eq!(cone.circuit.gates().len(), 2);
+        for bits in 0..8u32 {
+            let inputs: Vec<bool> = (0..3).map(|i| bits >> i & 1 == 1).collect();
+            let parent = c.eval(&inputs).unwrap();
+            let shard = cone.circuit.eval(&inputs).unwrap();
+            assert_eq!(shard, vec![parent[0]], "bits {bits:03b}");
+        }
+        // Names are inherited.
+        assert_eq!(cone.circuit.outputs()[0].0, "sum");
+    }
+
+    #[test]
+    fn cone_subcircuit_widens_interface_on_request() {
+        let mut b = Circuit::builder("two_cones");
+        let a = b.input("a");
+        let x = b.input("x");
+        let y = b.input("y");
+        let f = b.and2(a, x);
+        let g = b.or2(x, y);
+        b.output("f", f);
+        b.output("g", g);
+        let c = b.build().unwrap();
+        // g's own cone uses only {x, y}…
+        assert_eq!(c.cone_input_positions(&[1]), vec![1, 2]);
+        // …but a widened extraction also carries `a` as a (dead) input.
+        let cone = c.cone_subcircuit(&[1], &[0]);
+        assert_eq!(cone.input_positions, vec![0, 1, 2]);
+        assert_eq!(cone.circuit.inputs().len(), 3);
+        assert_eq!(cone.circuit.gates().len(), 1);
+        let out = cone.circuit.eval(&[false, true, false]).unwrap();
+        assert_eq!(out, vec![true]);
+    }
+
+    #[test]
+    fn cone_subcircuit_keeps_undriven_box_outputs() {
+        let mut b = Circuit::builder("partial");
+        let x = b.input("x");
+        let y = b.input("y");
+        let bb = b.signal("bb_out");
+        let f = b.and2(x, bb);
+        let g = b.or2(y, x);
+        b.output("f", f);
+        b.output("g", g);
+        let c = b.build_allow_undriven().unwrap();
+        let cone = c.cone_subcircuit(&[0], &[]);
+        // The black-box output rides along, still undriven.
+        let sub_bb = cone.signal_map[bb.index()].expect("bb kept");
+        assert_eq!(cone.circuit.undriven_signals(), vec![sub_bb]);
+        assert_eq!(cone.circuit.inputs().len(), 1);
+        assert_eq!(cone.circuit.eval_ternary(&[Tv::Zero]).unwrap(), vec![Tv::Zero]);
+        assert_eq!(cone.circuit.eval_ternary(&[Tv::One]).unwrap(), vec![Tv::X]);
+        // g's cone is untouched logic: no undriven signals there.
+        let cone_g = c.cone_subcircuit(&[1], &[]);
+        assert!(cone_g.circuit.undriven_signals().is_empty());
+        assert_eq!(cone_g.signal_map[bb.index()], None, "bb not in g's cone");
     }
 
     #[test]

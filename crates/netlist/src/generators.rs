@@ -638,6 +638,54 @@ pub fn random_logic(name: &str, inputs: usize, gates: usize, outputs: usize, see
     built.without_gates(&dead)
 }
 
+/// A multi-output benchmark family with pairwise **disjoint** output cones:
+/// `blocks` independent random-logic blocks, each with its own
+/// `inputs_per_block` primary inputs and a single output `y{k}` whose cone
+/// covers every gate of its block (the block closes with an XOR tree over
+/// all block signals, so no gate is dead).
+///
+/// This is the worst case for a sequential checker and the best case for
+/// cone-of-influence sharding: the per-output checks decompose into
+/// `blocks` completely independent subproblems.
+///
+/// # Panics
+///
+/// Panics if any parameter is zero.
+pub fn disjoint_cones(
+    blocks: usize,
+    inputs_per_block: usize,
+    gates_per_block: usize,
+    seed: u64,
+) -> Circuit {
+    assert!(blocks > 0 && inputs_per_block > 0 && gates_per_block > 0);
+    let mut b = Circuit::builder(&format!("dcones{blocks}x{gates_per_block}"));
+    for k in 0..blocks {
+        let mut rng = StdRng::seed_from_u64(seed ^ (k as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut pool: Vec<SignalId> =
+            (0..inputs_per_block).map(|i| b.input(&format!("b{k}_x{i}"))).collect();
+        for _ in 0..gates_per_block {
+            let kind = match rng.random_range(0..8u32) {
+                0..=1 => GateKind::And,
+                2..=3 => GateKind::Or,
+                4 => GateKind::Nand,
+                _ => GateKind::Xor,
+            };
+            let n = pool.len();
+            let a = pool[rng.random_range(n.saturating_sub(6)..n)];
+            let mut c = pool[rng.random_range(0..n)];
+            if c == a {
+                c = pool[rng.random_range(0..n)];
+            }
+            pool.push(b.gate(kind, &[a, c]));
+        }
+        // Fold every block signal into the output so the whole block is
+        // live in y{k}'s cone.
+        let out = b.tree(GateKind::Xor, &pool);
+        b.output(&format!("y{k}"), out);
+    }
+    b.build().expect("generator produces a valid disjoint-cone circuit")
+}
+
 /// Rewrites every XOR/XNOR gate into four/five NAND gates (how the real
 /// C1355 relates to C499).
 pub fn expand_xor_to_nand(circuit: &Circuit) -> Circuit {
@@ -965,6 +1013,27 @@ mod tests {
         assert_eq!(d, e);
         assert_eq!(d.inputs().len(), 8);
         assert_eq!(d.outputs().len(), 4);
+    }
+
+    #[test]
+    fn disjoint_cones_are_disjoint_live_and_deterministic() {
+        let c = disjoint_cones(4, 5, 12, 7);
+        assert_eq!(c, disjoint_cones(4, 5, 12, 7));
+        assert_eq!(c.inputs().len(), 20);
+        assert_eq!(c.outputs().len(), 4);
+        // Each output's cone touches only its own block's inputs, the cones
+        // are pairwise gate-disjoint, and together they cover every gate.
+        let mut seen_gates = Vec::new();
+        for (k, &(_, root)) in c.outputs().iter().enumerate() {
+            let cone = c.fanin_cone_gates(&[root]);
+            for &g in &cone {
+                assert!(!seen_gates.contains(&g), "gate {g} shared between cones");
+            }
+            seen_gates.extend(&cone);
+            let input_positions = c.cone_input_positions(&[k]);
+            assert_eq!(input_positions, (k * 5..(k + 1) * 5).collect::<Vec<_>>());
+        }
+        assert_eq!(seen_gates.len(), c.gates().len(), "no dead gates");
     }
 
     #[test]

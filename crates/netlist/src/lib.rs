@@ -45,7 +45,7 @@ pub mod seqgen;
 mod ternary;
 pub mod verilog;
 
-pub use circuit::{Circuit, CircuitBuilder, CircuitStats, NetlistError, SignalId};
+pub use circuit::{Circuit, CircuitBuilder, CircuitStats, ConeSubcircuit, NetlistError, SignalId};
 pub use gate::GateKind;
 pub use mutate::{Mutation, MutationKind};
 pub use ternary::Tv;

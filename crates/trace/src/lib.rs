@@ -7,8 +7,10 @@
 //!
 //! - [`Tracer`] — hierarchical [spans](Tracer::span), monotonic
 //!   [counters](Tracer::counter_add) and log2-bucketed
-//!   [histograms](Tracer::record), shared cheaply (`Rc`) between the BDD
-//!   manager, the check layer and the CLI.
+//!   [histograms](Tracer::record), shared cheaply (`Arc`) between the BDD
+//!   manager, the check layer and the CLI. Worker threads trace into
+//!   private [children](Tracer::child) whose finished streams are
+//!   [adopted](Tracer::adopt) back under the parent's current span.
 //! - [`Trace`] — the finished event stream, rendered either as a human
 //!   summary tree ([`Trace::summary`]) or as one JSON object per line
 //!   ([`Trace::to_jsonl`], schema in `DESIGN.md` and [`schema`]).
@@ -27,8 +29,7 @@ mod telemetry;
 
 pub use telemetry::OpTelemetry;
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Version stamped into the leading `meta` event of every JSONL stream.
@@ -319,6 +320,20 @@ impl Histogram {
             .map(|(i, &n)| (bucket_floor(i), n))
             .collect()
     }
+
+    /// Merges an already-bucketed histogram (the flushed form of
+    /// [`Histogram::nonempty_buckets`]) into this one. Each `(floor, n)`
+    /// pair lands in the bucket `floor` itself belongs to, so merging a
+    /// flushed histogram is lossless.
+    pub fn absorb(&mut self, buckets: &[(u64, u64)], count: u64, max: u64) {
+        for &(floor, n) in buckets {
+            self.buckets[bucket_index(floor)] += n;
+        }
+        self.count += count;
+        if max > self.max {
+            self.max = max;
+        }
+    }
 }
 
 struct OpenSpan {
@@ -343,8 +358,12 @@ struct Core {
 
 impl Core {
     fn new() -> Self {
+        Core::new_with_epoch(Instant::now())
+    }
+
+    fn new_with_epoch(epoch: Instant) -> Self {
         let mut core = Core {
-            epoch: Instant::now(),
+            epoch,
             seq: 0,
             next_span_id: 0,
             stack: Vec::new(),
@@ -443,18 +462,80 @@ impl Core {
         }
         std::mem::take(&mut self.events)
     }
+
+    /// Merges a finished event stream (typically a worker's) into this
+    /// core: spans are re-identified and re-parented under the currently
+    /// open span, counters and histograms fold into the pending
+    /// accumulators, records are re-emitted, and the `meta` header is
+    /// dropped.
+    fn adopt(&mut self, events: &[TraceEvent]) {
+        let id_offset = self.next_span_id;
+        let graft_parent = self.stack.last().map(|s| s.id);
+        let base_depth = self.stack.len() as u32;
+        let mut max_id = 0;
+        for event in events {
+            match event {
+                TraceEvent::Meta { .. } => {}
+                TraceEvent::Span {
+                    name,
+                    id,
+                    parent,
+                    depth,
+                    start_us,
+                    dur_us,
+                    attrs,
+                    unbalanced,
+                    ..
+                } => {
+                    max_id = max_id.max(*id + 1);
+                    let seq = self.next_seq();
+                    self.events.push(TraceEvent::Span {
+                        seq,
+                        name,
+                        id: id + id_offset,
+                        parent: parent.map(|p| p + id_offset).or(graft_parent),
+                        depth: depth + base_depth,
+                        start_us: *start_us,
+                        dur_us: *dur_us,
+                        attrs: attrs.clone(),
+                        unbalanced: *unbalanced,
+                    });
+                }
+                TraceEvent::Counter { name, value, .. } => self.counter_add(name, *value),
+                TraceEvent::Histogram { name, count, max, buckets, .. } => {
+                    if let Some((_, h)) = self.histograms.iter_mut().find(|(n, _)| n == name) {
+                        h.absorb(buckets, *count, *max);
+                    } else {
+                        let mut h = Histogram::new();
+                        h.absorb(buckets, *count, *max);
+                        self.histograms.push((name.to_string(), h));
+                    }
+                }
+                TraceEvent::Record { name, attrs, .. } => {
+                    let seq = self.next_seq();
+                    self.events.push(TraceEvent::Record {
+                        seq,
+                        name: name.clone(),
+                        attrs: attrs.clone(),
+                    });
+                }
+            }
+        }
+        self.next_span_id += max_id;
+    }
 }
 
 /// A cheap, cloneable handle to a trace collector.
 ///
 /// The default tracer is *disabled*: every method is a single `Option`
 /// check and no clock is ever read. An enabled tracer shares its state via
-/// `Rc<RefCell<..>>`, so clones handed to the BDD manager, the check layer
-/// and the CLI all feed one event stream. Single-threaded by design (the
-/// whole checker is).
+/// `Arc<Mutex<..>>`, so clones handed to the BDD manager, the check layer
+/// and the CLI all feed one event stream. Contention stays negligible
+/// because parallel check workers do not share a tracer: each traces into
+/// a private [`Tracer::child`], merged back once via [`Tracer::adopt`].
 #[derive(Clone, Default)]
 pub struct Tracer {
-    core: Option<Rc<RefCell<Core>>>,
+    core: Option<Arc<Mutex<Core>>>,
 }
 
 impl std::fmt::Debug for Tracer {
@@ -466,7 +547,33 @@ impl std::fmt::Debug for Tracer {
 impl Tracer {
     /// An enabled tracer collecting into a fresh event stream.
     pub fn new() -> Self {
-        Tracer { core: Some(Rc::new(RefCell::new(Core::new()))) }
+        Tracer { core: Some(Arc::new(Mutex::new(Core::new()))) }
+    }
+
+    /// A fresh tracer sharing this tracer's time epoch, for a worker
+    /// thread: `start_us` values of the child line up with the parent's
+    /// timeline, so a child trace merged via [`Tracer::adopt`] needs no
+    /// time adjustment. A disabled tracer yields a disabled child.
+    pub fn child(&self) -> Tracer {
+        match &self.core {
+            Some(core) => {
+                let epoch = core.lock().unwrap().epoch;
+                Tracer { core: Some(Arc::new(Mutex::new(Core::new_with_epoch(epoch)))) }
+            }
+            None => Tracer::disabled(),
+        }
+    }
+
+    /// Merges a finished trace (typically a worker's, from
+    /// [`Tracer::finish`] on a [`Tracer::child`]) into this tracer's
+    /// stream. Adopted spans are re-identified and grafted under the
+    /// currently open span; counters and histograms fold into the pending
+    /// accumulators (flushed by this tracer's own `finish`); the child's
+    /// `meta` header is dropped. No-op on a disabled tracer.
+    pub fn adopt(&self, trace: &Trace) {
+        if let Some(core) = &self.core {
+            core.lock().unwrap().adopt(trace.events());
+        }
     }
 
     /// A disabled tracer: every operation is a no-op (same as `default()`).
@@ -487,7 +594,7 @@ impl Tracer {
     pub fn span(&self, name: &'static str) -> SpanGuard {
         match &self.core {
             Some(core) => {
-                let id = core.borrow_mut().open_span(name);
+                let id = core.lock().unwrap().open_span(name);
                 SpanGuard { core: Some(core.clone()), id }
             }
             None => SpanGuard { core: None, id: 0 },
@@ -499,7 +606,7 @@ impl Tracer {
     #[inline]
     pub fn counter_add(&self, name: &str, delta: u64) {
         if let Some(core) = &self.core {
-            core.borrow_mut().counter_add(name, delta);
+            core.lock().unwrap().counter_add(name, delta);
         }
     }
 
@@ -507,14 +614,14 @@ impl Tracer {
     #[inline]
     pub fn record(&self, name: &str, value: u64) {
         if let Some(core) = &self.core {
-            core.borrow_mut().record(name, value);
+            core.lock().unwrap().record(name, value);
         }
     }
 
     /// Emit a free-form record event immediately (used for benchmark rows).
     pub fn record_event(&self, name: &str, attrs: Vec<(String, AttrValue)>) {
         if let Some(core) = &self.core {
-            let mut core = core.borrow_mut();
+            let mut core = core.lock().unwrap();
             let seq = core.next_seq();
             core.events.push(TraceEvent::Record { seq, name: name.to_string(), attrs });
         }
@@ -526,7 +633,7 @@ impl Tracer {
     /// an empty trace.
     pub fn finish(&self) -> Trace {
         match &self.core {
-            Some(core) => Trace { events: core.borrow_mut().finish() },
+            Some(core) => Trace { events: core.lock().unwrap().finish() },
             None => Trace { events: Vec::new() },
         }
     }
@@ -535,7 +642,7 @@ impl Tracer {
 /// RAII guard for an open span; dropping it closes the span.
 #[must_use = "dropping the guard immediately closes the span"]
 pub struct SpanGuard {
-    core: Option<Rc<RefCell<Core>>>,
+    core: Option<Arc<Mutex<Core>>>,
     id: u64,
 }
 
@@ -544,7 +651,7 @@ impl SpanGuard {
     /// No-op once the span has closed or on a disabled tracer.
     pub fn set_attr(&self, key: &str, value: impl Into<AttrValue>) {
         if let Some(core) = &self.core {
-            let mut core = core.borrow_mut();
+            let mut core = core.lock().unwrap();
             if let Some(open) = core.stack.iter_mut().rfind(|s| s.id == self.id) {
                 open.attrs.push((key.to_string(), value.into()));
             }
@@ -555,7 +662,7 @@ impl SpanGuard {
 impl Drop for SpanGuard {
     fn drop(&mut self) {
         if let Some(core) = &self.core {
-            core.borrow_mut().close_span(self.id, false);
+            core.lock().unwrap().close_span(self.id, false);
         }
     }
 }
@@ -721,6 +828,95 @@ mod tests {
             })
             .collect();
         assert_eq!(counters, vec![("a".to_string(), 1), ("b".to_string(), 5)]);
+    }
+
+    #[test]
+    fn tracer_handles_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<Tracer>();
+        assert_send::<SpanGuard>();
+    }
+
+    #[test]
+    fn adopt_grafts_worker_spans_under_current_span() {
+        let parent = Tracer::new();
+        let worker = parent.child();
+        {
+            let s = worker.span("worker.task");
+            s.set_attr("shard", 3u64);
+            let _inner = worker.span("worker.step");
+        }
+        worker.counter_add("w.count", 5);
+        worker.record("w.hist", 8);
+        let worker_trace = worker.finish();
+
+        let root = parent.span("root");
+        parent.counter_add("w.count", 2);
+        parent.adopt(&worker_trace);
+        drop(root);
+        let trace = parent.finish();
+
+        let spans: Vec<_> = trace
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Span { name, id, parent, depth, .. } => {
+                    Some((*name, *id, *parent, *depth))
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(spans.len(), 3);
+        let root_span = spans.iter().find(|s| s.0 == "root").unwrap();
+        let task = spans.iter().find(|s| s.0 == "worker.task").unwrap();
+        let step = spans.iter().find(|s| s.0 == "worker.step").unwrap();
+        assert_eq!(task.2, Some(root_span.1), "adopted root span re-parents under 'root'");
+        assert_eq!(step.2, Some(task.1), "adopted child keeps its (re-identified) parent");
+        assert_eq!(task.3, 1, "depth shifts by the graft depth");
+        assert_eq!(step.3, 2);
+        // All span ids distinct after re-identification.
+        let mut ids: Vec<_> = spans.iter().map(|s| s.1).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 3);
+
+        let counters: Vec<_> = trace
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Counter { name, value, .. } => Some((name.clone(), *value)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(counters, vec![("w.count".to_string(), 7)], "counters fold together");
+        let hist = trace
+            .events()
+            .iter()
+            .find_map(|e| match e {
+                TraceEvent::Histogram { name, count, max, .. } if name == "w.hist" => {
+                    Some((*count, *max))
+                }
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(hist, (1, 8), "histograms fold together");
+        // Exactly one meta header survives (the parent's).
+        let metas = trace.events().iter().filter(|e| matches!(e, TraceEvent::Meta { .. })).count();
+        assert_eq!(metas, 1);
+    }
+
+    #[test]
+    fn adopted_stream_stays_schema_valid() {
+        let parent = Tracer::new();
+        let worker = parent.child();
+        {
+            let _s = worker.span("w");
+        }
+        worker.record_event("row", vec![("k".to_string(), AttrValue::U64(1))]);
+        parent.adopt(&worker.finish());
+        let jsonl = parent.finish().to_jsonl();
+        let n = schema::validate_stream(&jsonl).expect("adopted stream validates");
+        assert!(n >= 3);
     }
 
     #[test]

@@ -24,6 +24,12 @@
 //!   --node-limit N             cap live BDD nodes per check (default 4000000);
 //!                              an exceeded check reports "budget exceeded"
 //!   --step-limit N             cap BDD apply steps per check (default: none)
+//!   --jobs N                   worker threads for the ladder's per-output
+//!                              rungs (default: available parallelism); the
+//!                              job count never changes the verdict
+//!   --cache-bits N             computed-table capacity exponent: the
+//!                              apply/ITE cache holds 2^N entries
+//!                              (default 22, clamped to 10..=30)
 //!   --quiet                    verdict only (exit code 0 = completable,
 //!                              1 = error found, 2 = usage/IO error)
 //!   --trace-summary            print a span/counter/histogram tree after a
@@ -136,6 +142,8 @@ struct Options {
     frames: usize,
     node_limit: Option<usize>,
     step_limit: Option<u64>,
+    jobs: usize,
+    cache_bits: Option<u32>,
     trace_summary: bool,
     trace_out: Option<String>,
     positional: Vec<String>,
@@ -153,6 +161,8 @@ fn parse_options(args: &[String]) -> Options {
         frames: 4,
         node_limit: None,
         step_limit: None,
+        jobs: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        cache_bits: None,
         trace_summary: false,
         trace_out: None,
         positional: Vec::new(),
@@ -196,6 +206,15 @@ fn parse_options(args: &[String]) -> Options {
                 o.step_limit =
                     Some(args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()));
             }
+            "--jobs" => {
+                i += 1;
+                o.jobs = args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--cache-bits" => {
+                i += 1;
+                o.cache_bits =
+                    Some(args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()));
+            }
             "--trace-summary" => o.trace_summary = true,
             "--trace-out" => {
                 i += 1;
@@ -229,6 +248,9 @@ fn main() {
         settings.node_limit = Some(n);
     }
     settings.step_limit = o.step_limit;
+    if let Some(bits) = o.cache_bits {
+        settings.cache_bits = bits;
+    }
     if o.trace_summary || o.trace_out.is_some() {
         settings.tracer = bbec::trace::Tracer::new();
     }
@@ -396,7 +418,22 @@ fn main() {
             let spec = read_circuit(spec_path);
             let implementation = read_circuit(impl_path);
             let partial = partial_from(implementation, o.per_signal);
-            let verdict = run_method(&o.method, &spec, &partial, &settings, o.quiet);
+            // Record the effective run configuration in the trace stream
+            // so archived traces are self-describing.
+            settings.tracer.record_event(
+                "run_settings",
+                vec![
+                    ("method".to_string(), o.method.as_str().into()),
+                    (
+                        "cache_bits".to_string(),
+                        bbec::bdd::clamp_cache_bits(settings.cache_bits).into(),
+                    ),
+                    ("jobs".to_string(), o.jobs.into()),
+                    ("patterns".to_string(), settings.random_patterns.into()),
+                    ("reorder".to_string(), settings.dynamic_reordering.into()),
+                ],
+            );
+            let verdict = run_method(&o.method, &spec, &partial, &settings, o.jobs, o.quiet);
             emit_trace(&o, &settings.tracer);
             match verdict {
                 Verdict::NoErrorFound => {
@@ -475,6 +512,7 @@ fn run_method(
     spec: &Circuit,
     partial: &PartialCircuit,
     settings: &CheckSettings,
+    jobs: usize,
     quiet: bool,
 ) -> Verdict {
     let report = |outcome: Result<bbec::core::CheckOutcome, bbec::core::CheckError>| {
@@ -506,7 +544,10 @@ fn run_method(
         "sat-01x" => report(sat_checks::sat_dual_rail(spec, partial, settings)),
         "sat-oe" => report(sat_checks::sat_output_exact(spec, partial, settings, 1_000_000)),
         "ladder" => {
-            let ladder = checks::CheckLadder::with_settings(settings.clone());
+            // The parallel engine shards the per-output rungs over `jobs`
+            // workers; with one job it runs the same decomposition
+            // sequentially, so the verdict is independent of the job count.
+            let ladder = bbec::core::ParallelChecker::new(settings.clone(), jobs);
             let report = ladder.run(spec, partial).unwrap_or_else(|e| {
                 eprintln!("bbec: {e}");
                 exit(2)
