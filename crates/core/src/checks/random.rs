@@ -46,10 +46,14 @@ pub fn random_patterns(
         for (j, (g, &e)) in got.iter().zip(&expect).enumerate() {
             if let Some(v) = g.to_bool() {
                 if v != e {
-                    return Ok(outcome(
-                        Verdict::ErrorFound,
-                        Some(Counterexample { inputs, output: Some(j) }),
-                    ));
+                    let cex = Counterexample { inputs, output: Some(j) };
+                    crate::cex::validate_counterexample(spec, partial, &cex).map_err(|detail| {
+                        CheckError::CounterexampleRejected {
+                            method: Method::RandomPatterns,
+                            detail,
+                        }
+                    })?;
+                    return Ok(outcome(Verdict::ErrorFound, Some(cex)));
                 }
             }
         }

@@ -80,6 +80,11 @@ pub(crate) fn symbolic_01x_with(
     }
     let stats = probe.stats(ctx, impl_nodes);
     sim.release(&mut ctx.manager);
+    if let Some(cex) = &counterexample {
+        crate::cex::validate_counterexample(spec, partial, cex).map_err(|detail| {
+            CheckError::CounterexampleRejected { method: Method::Symbolic01X, detail }
+        })?;
+    }
     Ok(CheckOutcome { method: Method::Symbolic01X, verdict, counterexample, stats })
 }
 

@@ -104,7 +104,20 @@ pub(crate) fn local_check_with(
 ) -> Result<CheckOutcome, CheckError> {
     let mut s = setup_in(ctx, spec_bdds, spec, partial)?;
     match local_body(&mut s) {
-        Ok((verdict, cex)) => Ok(s.finish(Method::Local, verdict, cex)),
+        Ok((verdict, cex)) => {
+            // Release the setup's protections before surfacing a rejected
+            // witness, so a session context stays leak-free on this path.
+            let reject = cex
+                .as_ref()
+                .and_then(|c| crate::cex::validate_counterexample(spec, partial, c).err());
+            let outcome = s.finish(Method::Local, verdict, cex);
+            match reject {
+                Some(detail) => {
+                    Err(CheckError::CounterexampleRejected { method: Method::Local, detail })
+                }
+                None => Ok(outcome),
+            }
+        }
         Err(e) => Err(s.abort(e)),
     }
 }
@@ -181,7 +194,18 @@ pub(crate) fn output_exact_with(
 ) -> Result<CheckOutcome, CheckError> {
     let mut s = setup_in(ctx, spec_bdds, spec, partial)?;
     match output_exact_body(&mut s) {
-        Ok((verdict, cex)) => Ok(s.finish(Method::OutputExact, verdict, cex)),
+        Ok((verdict, cex)) => {
+            let reject = cex
+                .as_ref()
+                .and_then(|c| crate::cex::validate_counterexample(spec, partial, c).err());
+            let outcome = s.finish(Method::OutputExact, verdict, cex);
+            match reject {
+                Some(detail) => {
+                    Err(CheckError::CounterexampleRejected { method: Method::OutputExact, detail })
+                }
+                None => Ok(outcome),
+            }
+        }
         Err(e) => Err(s.abort(e)),
     }
 }

@@ -60,6 +60,7 @@
 //! # }
 //! ```
 
+pub mod cex;
 pub mod checks;
 pub mod diagnose;
 mod parallel;
@@ -71,6 +72,7 @@ mod session;
 mod symbolic;
 pub mod unroll;
 
+pub use cex::validate_counterexample;
 pub use parallel::{plan_shards, ParallelChecker, Shard};
 pub use partial::{convex_closure, BlackBox, PartialCircuit};
 pub use report::{

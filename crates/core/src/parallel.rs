@@ -119,7 +119,7 @@ impl ParallelChecker {
         if !phase_a.is_empty() {
             let shards = plan_shards(spec, partial)?;
             if !shards.is_empty() {
-                error_found = self.run_sharded(spec, &shards, &phase_a, &mut stages)?;
+                error_found = self.run_sharded(spec, partial, &shards, &phase_a, &mut stages)?;
             }
         }
         if !error_found && !phase_b.is_empty() {
@@ -138,6 +138,7 @@ impl ParallelChecker {
     fn run_sharded(
         &self,
         spec: &Circuit,
+        partial: &PartialCircuit,
         shards: &[Shard],
         phase_a: &[Method],
         stages: &mut Vec<StageResult>,
@@ -201,19 +202,26 @@ impl ParallelChecker {
         for r in reports {
             shard_reports.push(r.expect("every shard was scheduled")?);
         }
-        Ok(merge_shard_reports(spec, shards, &shard_reports, phase_a, stages))
+        merge_shard_reports(spec, partial, shards, &shard_reports, phase_a, stages)
     }
 }
 
 /// Merges per-shard mini-ladder reports into one stage list per method.
-/// Returns `true` when an error stops the ladder.
+/// Returns `Ok(true)` when an error stops the ladder.
+///
+/// # Errors
+///
+/// [`CheckError::CounterexampleRejected`] if a shard witness, lifted to the
+/// parent input space, fails concrete replay against the *full* circuits —
+/// the end-to-end guarantee that sharding and lifting preserved it.
 fn merge_shard_reports(
     spec: &Circuit,
+    partial: &PartialCircuit,
     shards: &[Shard],
     reports: &[LadderReport],
     phase_a: &[Method],
     stages: &mut Vec<StageResult>,
-) -> bool {
+) -> Result<bool, CheckError> {
     for (mi, &method) in phase_a.iter().enumerate() {
         // A shard report is shorter than `mi + 1` only if the shard found
         // an error at an earlier rung — in which case the merge stopped
@@ -233,13 +241,21 @@ fn merge_shard_reports(
                 .counterexample
                 .as_ref()
                 .map(|c| lift_counterexample(&shards[si], c, spec.inputs().len()));
+            if let Some(c) = &cex {
+                crate::cex::validate_counterexample(spec, partial, c).map_err(|detail| {
+                    CheckError::CounterexampleRejected {
+                        method,
+                        detail: format!("shard {si} lifted witness: {detail}"),
+                    }
+                })?;
+            }
             stages.push(StageResult::Finished(CheckOutcome {
                 method,
                 verdict: Verdict::ErrorFound,
                 counterexample: cex,
                 stats,
             }));
-            return true;
+            return Ok(true);
         }
 
         let abort = entries.iter().enumerate().find_map(|(si, e)| match e {
@@ -264,7 +280,7 @@ fn merge_shard_reports(
             stats,
         }));
     }
-    false
+    Ok(false)
 }
 
 /// Merges shard stage statistics: additive counters sum, peaks and

@@ -211,6 +211,16 @@ pub enum CheckError {
     InvalidPartial(String),
     /// A resource budget was exceeded; the session/manager stays usable.
     BudgetExceeded(BudgetAbort),
+    /// A check produced a counterexample that failed concrete replay
+    /// validation ([`crate::cex::validate_counterexample`]) — an internal
+    /// soundness bug in the reporting engine, never a property of the
+    /// checked design.
+    CounterexampleRejected {
+        /// The check that produced the refuted witness.
+        method: Method,
+        /// Why replay refuted it.
+        detail: String,
+    },
 }
 
 impl fmt::Display for CheckError {
@@ -222,6 +232,9 @@ impl fmt::Display for CheckError {
             CheckError::Netlist(e) => write!(f, "netlist error: {e}"),
             CheckError::InvalidPartial(msg) => write!(f, "invalid partial circuit: {msg}"),
             CheckError::BudgetExceeded(abort) => write!(f, "budget exceeded: {abort}"),
+            CheckError::CounterexampleRejected { method, detail } => {
+                write!(f, "{method} produced a counterexample that fails replay: {detail}")
+            }
         }
     }
 }

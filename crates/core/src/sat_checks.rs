@@ -108,10 +108,14 @@ pub fn sat_dual_rail(
             .iter()
             .map(|l| solver.value(l.var()).unwrap_or(false) != l.is_neg())
             .collect();
+        let cex = Counterexample { inputs, output: None };
+        crate::cex::validate_counterexample(spec, partial, &cex).map_err(|detail| {
+            CheckError::CounterexampleRejected { method: Method::SatDualRail, detail }
+        })?;
         CheckOutcome {
             method: Method::SatDualRail,
             verdict: Verdict::ErrorFound,
-            counterexample: Some(Counterexample { inputs, output: None }),
+            counterexample: Some(cex),
             stats: ResourceStats { duration: start.elapsed(), ..Default::default() },
         }
     } else {
@@ -231,12 +235,18 @@ pub fn sat_output_exact(
 
     let existential: Vec<usize> = (0..n).collect();
     match exists_forall(&circuit, &existential, max_refinements) {
-        Ok(ExistsForallResult::Witness(inputs)) => Ok(CheckOutcome {
-            method: Method::SatOutputExact,
-            verdict: Verdict::ErrorFound,
-            counterexample: Some(Counterexample { inputs, output: None }),
-            stats: ResourceStats { duration: start.elapsed(), ..Default::default() },
-        }),
+        Ok(ExistsForallResult::Witness(inputs)) => {
+            let cex = Counterexample { inputs, output: None };
+            crate::cex::validate_counterexample(spec, partial, &cex).map_err(|detail| {
+                CheckError::CounterexampleRejected { method: Method::SatOutputExact, detail }
+            })?;
+            Ok(CheckOutcome {
+                method: Method::SatOutputExact,
+                verdict: Verdict::ErrorFound,
+                counterexample: Some(cex),
+                stats: ResourceStats { duration: start.elapsed(), ..Default::default() },
+            })
+        }
         Ok(ExistsForallResult::NoWitness) => Ok(CheckOutcome {
             method: Method::SatOutputExact,
             verdict: Verdict::NoErrorFound,

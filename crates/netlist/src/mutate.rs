@@ -278,6 +278,46 @@ mod tests {
     }
 
     #[test]
+    fn describe_is_total_over_every_kind() {
+        let c = sample();
+        for gate in 0..c.gates().len() as u32 {
+            let arity = c.gates()[gate as usize].inputs.len();
+            let mut kinds = vec![MutationKind::ToggleOutputInverter, MutationKind::TypeChange];
+            for pin in 0..arity {
+                kinds.push(MutationKind::ToggleInputInverter { pin });
+                kinds.push(MutationKind::RemoveInput { pin });
+            }
+            for kind in kinds {
+                // describe() must work even for mutations apply() rejects —
+                // callers print it in error paths.
+                let text = Mutation { gate, kind }.describe(&c);
+                assert!(text.contains(&format!("gate {gate}")), "{text}");
+            }
+        }
+    }
+
+    #[test]
+    fn random_mutations_on_generated_circuits_stay_valid() {
+        // Every drawn mutation must fit its gate by construction and yield
+        // a netlist that passes validation and evaluates on all inputs.
+        let mut rng = StdRng::seed_from_u64(41);
+        for seed in 0..6u64 {
+            let c = crate::generators::random_logic("mt", 5, 14, 2, seed);
+            let all: Vec<u32> = (0..c.gates().len() as u32).collect();
+            for _ in 0..25 {
+                let m = Mutation::random(&c, &all, &mut rng).expect("gates exist");
+                let faulty = m.apply(&c).unwrap_or_else(|e| panic!("{}: {e}", m.describe(&c)));
+                assert_eq!(faulty.inputs().len(), c.inputs().len());
+                assert_eq!(faulty.outputs().len(), c.outputs().len());
+                for bits in 0..1u32 << 5 {
+                    let x: Vec<bool> = (0..5).map(|i| bits >> i & 1 == 1).collect();
+                    faulty.eval(&x).expect("mutated netlist evaluates");
+                }
+            }
+        }
+    }
+
+    #[test]
     fn random_respects_allowed_set() {
         let c = sample();
         let mut rng = StdRng::seed_from_u64(3);

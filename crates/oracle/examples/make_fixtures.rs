@@ -1,0 +1,31 @@
+//! Regenerates the committed fuzz regression fixtures under
+//! `tests/fixtures/fuzz/` from the library's sample pairs:
+//!
+//! ```text
+//! cargo run -p bbec-oracle --example make_fixtures -- tests/fixtures/fuzz
+//! ```
+//!
+//! Each pair sits exactly on one rung boundary of the ladder (the weakest
+//! check that detects it is in the file name), so `tests/fuzz_regressions.rs`
+//! can pin both the fixture format and the rungs' relative strength.
+
+use bbec_core::samples;
+use bbec_oracle::fixture;
+use bbec_oracle::generate::Instance;
+use std::path::Path;
+
+fn main() {
+    let dir = std::env::args().nth(1).unwrap_or_else(|| "tests/fixtures/fuzz".to_string());
+    let pairs = [
+        ("boundary_01x", samples::detected_by_01x()),
+        ("boundary_local", samples::detected_only_by_local()),
+        ("boundary_oe", samples::detected_only_by_output_exact()),
+        ("boundary_ie", samples::detected_only_by_input_exact()),
+    ];
+    for (stem, (spec, partial)) in pairs {
+        let instance = Instance { name: stem.to_string(), seed: 0, spec, partial, planted: None };
+        let (s, i) = fixture::write_pair(Path::new(&dir), stem, &instance)
+            .unwrap_or_else(|e| panic!("writing {stem}: {e}"));
+        println!("wrote {} + {}", s.display(), i.display());
+    }
+}

@@ -1,0 +1,200 @@
+//! Replayable fixture pairs: a spec BLIF plus a partial-implementation
+//! BLIF with box metadata.
+//!
+//! BLIF has no black-box pin syntax, so the implementation file carries
+//! one structured comment line per box:
+//!
+//! ```text
+//! # bbec-box BB1 | a b carry | z0 z1
+//! ```
+//!
+//! (`name | input pins | output pins`, all by signal name). The BLIF
+//! parser ignores comment lines, so the files stay loadable by any BLIF
+//! consumer; this module's reader reconstructs the full
+//! [`PartialCircuit`]. Pins wired box-to-box may name signals that appear
+//! nowhere in the BLIF body — the reader re-declares them, which is why it
+//! rebuilds the host through the same name-based assembler as the
+//! shrinker.
+
+use crate::generate::Instance;
+use crate::shrink::{assemble_partial, BoxParts, Parts};
+use bbec_core::PartialCircuit;
+use bbec_netlist::{blif, Circuit};
+use std::path::{Path, PathBuf};
+
+/// Marker prefix of a box-metadata comment line.
+const BOX_MARKER: &str = "# bbec-box ";
+
+/// The implementation-side BLIF text: host netlist plus box comments.
+pub fn impl_text(partial: &PartialCircuit) -> String {
+    let host = partial.circuit();
+    let mut text = String::new();
+    for b in partial.boxes() {
+        let pins = |sigs: &[bbec_netlist::SignalId]| {
+            sigs.iter().map(|&s| host.signal_name(s)).collect::<Vec<_>>().join(" ")
+        };
+        text.push_str(&format!(
+            "{BOX_MARKER}{} | {} | {}\n",
+            b.name,
+            pins(&b.inputs),
+            pins(&b.outputs)
+        ));
+    }
+    text.push_str(&blif::write(host));
+    text
+}
+
+/// The specification-side BLIF text.
+pub fn spec_text(spec: &Circuit) -> String {
+    blif::write(spec)
+}
+
+/// Parses an implementation-side fixture back into a partial circuit.
+///
+/// # Errors
+///
+/// A human-readable message for malformed BLIF or box metadata.
+pub fn parse_impl(text: &str) -> Result<PartialCircuit, String> {
+    let mut boxes = Vec::new();
+    for line in text.lines() {
+        let Some(rest) = line.strip_prefix(BOX_MARKER) else { continue };
+        let fields: Vec<&str> = rest.split('|').collect();
+        if fields.len() != 3 {
+            return Err(format!("malformed box line: {line}"));
+        }
+        let words = |f: &str| f.split_whitespace().map(str::to_string).collect::<Vec<_>>();
+        let name = fields[0].trim().to_string();
+        if name.is_empty() {
+            return Err(format!("box line without a name: {line}"));
+        }
+        boxes.push(BoxParts { name, inputs: words(fields[1]), outputs: words(fields[2]) });
+    }
+    if boxes.is_empty() {
+        return Err("implementation fixture declares no boxes".into());
+    }
+    let host = blif::parse_allow_undriven(text).map_err(|e| format!("BLIF parse failed: {e}"))?;
+    let parts = Parts::of(&host);
+    assemble_partial(&parts, &boxes)
+        .ok_or_else(|| "box metadata does not fit the netlist".to_string())
+}
+
+/// Parses a spec-side fixture.
+///
+/// # Errors
+///
+/// A message for malformed BLIF.
+pub fn parse_spec(text: &str) -> Result<Circuit, String> {
+    blif::parse(text).map_err(|e| format!("BLIF parse failed: {e}"))
+}
+
+/// Writes `<stem>_spec.blif` and `<stem>_impl.blif` under `dir`.
+///
+/// # Errors
+///
+/// I/O errors from the filesystem.
+pub fn write_pair(
+    dir: &Path,
+    stem: &str,
+    instance: &Instance,
+) -> std::io::Result<(PathBuf, PathBuf)> {
+    std::fs::create_dir_all(dir)?;
+    let spec_path = dir.join(format!("{stem}_spec.blif"));
+    let impl_path = dir.join(format!("{stem}_impl.blif"));
+    std::fs::write(&spec_path, spec_text(&instance.spec))?;
+    std::fs::write(&impl_path, impl_text(&instance.partial))?;
+    Ok((spec_path, impl_path))
+}
+
+/// Loads a pair written by [`write_pair`], given the `_spec.blif` path (or
+/// either path — the twin is derived by suffix).
+///
+/// # Errors
+///
+/// I/O or parse failures, with the offending path named.
+pub fn read_pair(path: &Path) -> Result<(Circuit, PartialCircuit), String> {
+    let s = path.to_string_lossy();
+    let (spec_path, impl_path) = if let Some(stem) = s.strip_suffix("_impl.blif") {
+        (PathBuf::from(format!("{stem}_spec.blif")), path.to_path_buf())
+    } else if let Some(stem) = s.strip_suffix("_spec.blif") {
+        (path.to_path_buf(), PathBuf::from(format!("{stem}_impl.blif")))
+    } else {
+        return Err(format!("fixture path must end in _spec.blif or _impl.blif: {s}"));
+    };
+    let read = |p: &Path| {
+        std::fs::read_to_string(p).map_err(|e| format!("cannot read {}: {e}", p.display()))
+    };
+    let spec =
+        parse_spec(&read(&spec_path)?).map_err(|e| format!("{}: {e}", spec_path.display()))?;
+    let partial =
+        parse_impl(&read(&impl_path)?).map_err(|e| format!("{}: {e}", impl_path.display()))?;
+    Ok((spec, partial))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{case_seed, generate};
+    use bbec_core::samples;
+
+    #[test]
+    fn samples_round_trip_through_fixture_text() {
+        for (name, (spec, partial)) in [
+            ("completable", samples::completable_pair()),
+            ("local", samples::detected_only_by_local()),
+            ("oe", samples::detected_only_by_output_exact()),
+            ("ie", samples::detected_only_by_input_exact()),
+        ] {
+            let spec2 = parse_spec(&spec_text(&spec)).expect(name);
+            let partial2 = parse_impl(&impl_text(&partial)).expect(name);
+            assert_eq!(spec.inputs().len(), spec2.inputs().len(), "{name}");
+            assert_eq!(partial.boxes().len(), partial2.boxes().len(), "{name}");
+            for (a, b) in partial.boxes().iter().zip(partial2.boxes()) {
+                assert_eq!(a.inputs.len(), b.inputs.len(), "{name}/{}", a.name);
+                assert_eq!(a.outputs.len(), b.outputs.len(), "{name}/{}", a.name);
+            }
+            // Behavioural equality on every input with boxes forced low.
+            let n = spec.inputs().len();
+            let l = partial.num_box_outputs();
+            for bits in 0u64..1 << n {
+                let x: Vec<bool> = (0..n).map(|k| bits >> k & 1 == 1).collect();
+                assert_eq!(spec.eval(&x).unwrap(), spec2.eval(&x).unwrap(), "{name}");
+                assert_eq!(
+                    samples::eval_with_fixed_boxes(&partial, &x, &vec![false; l]),
+                    samples::eval_with_fixed_boxes(&partial2, &x, &vec![false; l]),
+                    "{name}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn generated_instances_round_trip() {
+        for index in 0..15u64 {
+            let Some(i) = generate(case_seed(5, index)) else { continue };
+            let spec2 = parse_spec(&spec_text(&i.spec)).expect("spec");
+            let partial2 = parse_impl(&impl_text(&i.partial)).expect("impl");
+            assert_eq!(i.spec.outputs().len(), spec2.outputs().len());
+            assert_eq!(i.partial.boxes().len(), partial2.boxes().len());
+        }
+    }
+
+    #[test]
+    fn malformed_fixtures_are_rejected() {
+        assert!(parse_impl(".model m\n.inputs a\n.outputs f\n.names a f\n1 1\n.end\n").is_err());
+        assert!(parse_impl("# bbec-box B | a\n.model m\n.end\n").is_err());
+        assert!(parse_spec("not blif at all").is_err());
+    }
+
+    #[test]
+    fn pair_files_write_and_read_back() {
+        let dir = std::env::temp_dir().join(format!("bbec-fixture-{}", std::process::id()));
+        let (spec, partial) = samples::detected_only_by_local();
+        let instance = Instance { name: "pair".into(), seed: 0, spec, partial, planted: None };
+        let (spec_path, impl_path) = write_pair(&dir, "pair", &instance).unwrap();
+        let (s1, p1) = read_pair(&spec_path).unwrap();
+        let (s2, p2) = read_pair(&impl_path).unwrap();
+        assert_eq!(s1.inputs().len(), s2.inputs().len());
+        assert_eq!(p1.boxes().len(), p2.boxes().len());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,290 @@
+//! The fuzz loop: generate → run every engine → check contracts →
+//! shrink and persist on violation.
+//!
+//! Each case is traced as a `fuzz.case` event so `--trace-out` produces a
+//! schema-valid JSONL corpus of everything the run covered. The loop stops
+//! at the first contract violation: it delta-debugs the instance down with
+//! [`crate::shrink::shrink`], writes the shrunken pair as a replayable
+//! BLIF fixture, and reports the whole story in the summary.
+
+use crate::fixture;
+use crate::generate::{case_seed, generate, Instance};
+use crate::harness::{run_case, HarnessConfig};
+use crate::shrink;
+use bbec_trace::Tracer;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// Fuzz run configuration.
+#[derive(Debug, Clone)]
+pub struct FuzzConfig {
+    /// Master seed; case `i` uses [`case_seed`]`(seed, i)`.
+    pub seed: u64,
+    /// Wall-clock budget; the loop stops at the first case boundary past it.
+    pub budget: Duration,
+    /// Hard cap on attempted cases (None: budget-only).
+    pub max_cases: Option<u64>,
+    /// Engine/oracle/injection configuration.
+    pub harness: HarnessConfig,
+    /// Where to write the shrunken fixture pair of a violation.
+    pub fixture_dir: Option<PathBuf>,
+    /// Shrink iteration cap.
+    pub shrink_rounds: usize,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> Self {
+        FuzzConfig {
+            seed: 0,
+            budget: Duration::from_secs(30),
+            max_cases: None,
+            harness: HarnessConfig::default(),
+            fixture_dir: None,
+            shrink_rounds: 40,
+        }
+    }
+}
+
+/// The first contract violation of a run, shrunk and persisted.
+#[derive(Debug)]
+pub struct FuzzViolation {
+    /// Case seed that produced it (replays via [`generate`]).
+    pub seed: u64,
+    /// Instance name.
+    pub name: String,
+    /// Violation kinds present on the original instance.
+    pub kinds: Vec<String>,
+    /// Human-readable violation lines (from the *shrunk* instance).
+    pub details: Vec<String>,
+    /// Gate count before shrinking.
+    pub original_gates: usize,
+    /// Gate count after shrinking.
+    pub shrunk_gates: usize,
+    /// `(spec, impl)` fixture paths, when a fixture dir was configured.
+    pub fixture: Option<(PathBuf, PathBuf)>,
+}
+
+/// Aggregate statistics of one fuzz run.
+#[derive(Debug, Default)]
+pub struct FuzzSummary {
+    /// Cases generated and run through the harness.
+    pub cases_run: u64,
+    /// Seeds whose carve failed structurally (skipped).
+    pub cases_skipped: u64,
+    /// Cases where at least one engine reported an error.
+    pub cases_with_errors: u64,
+    /// Cases the exhaustive oracle could decide.
+    pub oracle_decided: u64,
+    /// The run's first violation, if any.
+    pub violation: Option<FuzzViolation>,
+}
+
+impl FuzzSummary {
+    /// Exit-status style flag.
+    pub fn clean(&self) -> bool {
+        self.violation.is_none()
+    }
+}
+
+/// Runs the fuzz loop. Deterministic in `config.seed` up to the
+/// wall-clock budget (fixing `max_cases` makes it fully deterministic).
+pub fn run_fuzz(config: &FuzzConfig, tracer: &Tracer) -> FuzzSummary {
+    let _span = tracer.span("fuzz.run");
+    let start = Instant::now();
+    let mut summary = FuzzSummary::default();
+    let mut index = 0u64;
+
+    loop {
+        if start.elapsed() >= config.budget {
+            break;
+        }
+        if let Some(cap) = config.max_cases {
+            if index >= cap {
+                break;
+            }
+        }
+        let seed = case_seed(config.seed, index);
+        index += 1;
+
+        let Some(instance) = generate(seed) else {
+            summary.cases_skipped += 1;
+            continue;
+        };
+        let outcome = run_case(&instance, &config.harness);
+        summary.cases_run += 1;
+        if outcome.any_error() {
+            summary.cases_with_errors += 1;
+        }
+        if outcome.oracle.is_some() {
+            summary.oracle_decided += 1;
+        }
+        tracer.record_event(
+            "fuzz.case",
+            vec![
+                ("name".to_string(), instance.name.as_str().into()),
+                ("seed".to_string(), seed.into()),
+                ("gates".to_string(), shrink::size(&instance).into()),
+                ("boxes".to_string(), instance.partial.boxes().len().into()),
+                ("planted".to_string(), instance.planted.is_some().into()),
+                ("oracle".to_string(), oracle_label(&outcome).into()),
+                ("any_error".to_string(), outcome.any_error().into()),
+                ("violations".to_string(), outcome.violations.len().into()),
+            ],
+        );
+
+        if !outcome.violations.is_empty() {
+            summary.violation = Some(handle_violation(instance, &outcome, config, tracer));
+            break;
+        }
+    }
+    summary
+}
+
+fn oracle_label(outcome: &crate::harness::CaseOutcome) -> &'static str {
+    use crate::oracle::OracleVerdict;
+    match outcome.oracle {
+        Some(OracleVerdict::Extendable) => "extendable",
+        Some(OracleVerdict::NonExtendable) => "non-extendable",
+        None => "skipped",
+    }
+}
+
+/// Shrinks a violating instance while any of the original violation kinds
+/// persists, then writes the fixture pair.
+fn handle_violation(
+    instance: Instance,
+    outcome: &crate::harness::CaseOutcome,
+    config: &FuzzConfig,
+    tracer: &Tracer,
+) -> FuzzViolation {
+    let _span = tracer.span("fuzz.shrink");
+    let kinds: Vec<String> = {
+        let mut k: Vec<String> = outcome.violations.iter().map(|v| v.kind().to_string()).collect();
+        k.dedup();
+        k
+    };
+    let original_gates = shrink::size(&instance);
+
+    let still_violating = |candidate: &Instance| {
+        run_case(candidate, &config.harness)
+            .violations
+            .iter()
+            .any(|v| kinds.iter().any(|k| k == v.kind()))
+    };
+    let shrunk = shrink::shrink(&instance, still_violating, config.shrink_rounds);
+    let shrunk_gates = shrink::size(&shrunk);
+    let details: Vec<String> =
+        run_case(&shrunk, &config.harness).violations.iter().map(|v| v.to_string()).collect();
+
+    let fixture = config.fixture_dir.as_ref().and_then(|dir| {
+        let stem = format!("violation-{:016x}", instance.seed);
+        match fixture::write_pair(dir, &stem, &shrunk) {
+            Ok(paths) => Some(paths),
+            Err(e) => {
+                eprintln!("warning: could not write fixture under {}: {e}", dir.display());
+                None
+            }
+        }
+    });
+
+    tracer.record_event(
+        "fuzz.violation",
+        vec![
+            ("name".to_string(), instance.name.as_str().into()),
+            ("seed".to_string(), instance.seed.into()),
+            ("kinds".to_string(), kinds.join(",").into()),
+            ("original_gates".to_string(), original_gates.into()),
+            ("shrunk_gates".to_string(), shrunk_gates.into()),
+        ],
+    );
+
+    FuzzViolation {
+        seed: instance.seed,
+        name: instance.name,
+        kinds,
+        details,
+        original_gates,
+        shrunk_gates,
+        fixture,
+    }
+}
+
+/// Replays one fixture pair through the harness (CLI `--replay`).
+///
+/// # Errors
+///
+/// Fixture load failures, verbatim.
+pub fn replay(
+    path: &std::path::Path,
+    config: &HarnessConfig,
+) -> Result<crate::harness::CaseOutcome, String> {
+    let (spec, partial) = fixture::read_pair(path)?;
+    let instance =
+        Instance { name: path.display().to_string(), seed: 0, spec, partial, planted: None };
+    Ok(run_case(&instance, config))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::Engine;
+
+    #[test]
+    fn short_clean_run_reports_no_violation() {
+        let config = FuzzConfig {
+            budget: Duration::from_secs(120),
+            max_cases: Some(12),
+            ..FuzzConfig::default()
+        };
+        let summary = run_fuzz(&config, &Tracer::disabled());
+        assert!(summary.clean(), "unexpected violation: {:?}", summary.violation);
+        assert!(summary.cases_run > 0);
+    }
+
+    #[test]
+    fn injected_unsound_rung_is_caught_and_shrunk() {
+        // The acceptance-criteria self-test: an intentionally unsound rung
+        // must be caught quickly and shrink to a small fixture.
+        let dir = std::env::temp_dir().join(format!("bbec-fuzz-{}", std::process::id()));
+        let config = FuzzConfig {
+            harness: HarnessConfig { inject: Some(Engine::Local), ..HarnessConfig::default() },
+            budget: Duration::from_secs(300),
+            max_cases: Some(200),
+            fixture_dir: Some(dir.clone()),
+            ..FuzzConfig::default()
+        };
+        let summary = run_fuzz(&config, &Tracer::disabled());
+        let v = summary.violation.expect("injection must be caught");
+        assert!(v.kinds.iter().any(|k| k == "unsound" || k == "non-monotone"), "{:?}", v.kinds);
+        assert!(v.shrunk_gates <= v.original_gates);
+        let (spec_path, _) = v.fixture.expect("fixture written");
+        // The persisted fixture replays to the same violation kinds.
+        let replayed = replay(&spec_path, &config.harness).expect("fixture replays");
+        assert!(
+            replayed.violations.iter().any(|x| v.kinds.iter().any(|k| k == x.kind())),
+            "replay lost the violation: {:?}",
+            replayed.violations
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn trace_events_are_emitted_per_case() {
+        let tracer = Tracer::new();
+        let config = FuzzConfig {
+            budget: Duration::from_secs(60),
+            max_cases: Some(5),
+            ..FuzzConfig::default()
+        };
+        let summary = run_fuzz(&config, &tracer);
+        let trace = tracer.finish();
+        let cases = trace
+            .events()
+            .iter()
+            .filter(
+                |e| matches!(e, bbec_trace::TraceEvent::Record { name, .. } if name == "fuzz.case"),
+            )
+            .count() as u64;
+        assert_eq!(cases, summary.cases_run);
+    }
+}

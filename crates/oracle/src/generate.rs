@@ -1,0 +1,129 @@
+//! Deterministic spec/partial instance generation for the fuzz harness.
+//!
+//! Every instance is a pure function of one `u64` case seed: circuit
+//! family, sizes, the optional planted discrepancy (`netlist::mutate`) and
+//! the black-box carve are all drawn from a `StdRng` seeded with it, so a
+//! violating case replays from its seed alone.
+
+use bbec_core::PartialCircuit;
+use bbec_netlist::{generators, Circuit, Mutation};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One generated fuzz case.
+#[derive(Debug, Clone)]
+pub struct Instance {
+    /// `"<family>-<case_seed>"`, stable across runs.
+    pub name: String,
+    /// The case seed everything was drawn from.
+    pub seed: u64,
+    /// Complete specification.
+    pub spec: Circuit,
+    /// Partial implementation: (possibly mutated) copy with carved boxes.
+    pub partial: PartialCircuit,
+    /// Description of the planted discrepancy, if one was planted.
+    pub planted: Option<String>,
+}
+
+/// Derives the per-case seed from the master seed (splitmix-style odd
+/// multiplier keeps neighbouring cases decorrelated).
+pub fn case_seed(master: u64, index: u64) -> u64 {
+    master ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(31)
+}
+
+/// Generates the instance for one case seed, or `None` when the drawn
+/// carve fails structurally (non-convex region, empty allowed set …) —
+/// the caller just moves to the next seed.
+pub fn generate(seed: u64) -> Option<Instance> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (family, spec): (&str, Circuit) = match rng.random_range(0..8u32) {
+        0 => ("adder", generators::ripple_carry_adder(rng.random_range(2..=3))),
+        1 => ("cmp", generators::magnitude_comparator(rng.random_range(3..=4))),
+        2 => ("parity", generators::parity_tree(rng.random_range(4..=8))),
+        3 => {
+            let blocks = rng.random_range(2..=3);
+            let ins = rng.random_range(2..=3);
+            let gates = rng.random_range(4..=8);
+            ("cones", generators::disjoint_cones(blocks, ins, gates, rng.next_u64()))
+        }
+        _ => {
+            let inputs = rng.random_range(4..=8);
+            let gates = rng.random_range(8..=24);
+            let outputs = rng.random_range(1..=3);
+            ("rand", generators::random_logic("fz", inputs, gates, outputs, rng.next_u64()))
+        }
+    };
+
+    // Plant a discrepancy in the observable cone about half the time; the
+    // other half carves an unmodified copy (always extendable — pure
+    // soundness pressure).
+    let roots: Vec<_> = spec.outputs().iter().map(|&(_, s)| s).collect();
+    let cone = spec.fanin_cone_gates(&roots);
+    let (host, planted) = if rng.random_bool(0.5) {
+        match Mutation::random(&spec, &cone, &mut rng) {
+            Some(m) => (m.apply(&spec).ok()?, Some(m.describe(&spec))),
+            None => (spec.clone(), None),
+        }
+    } else {
+        (spec.clone(), None)
+    };
+
+    // Carve black boxes; narrow carves keep most instances oracle-sized.
+    let partial = match rng.random_range(0..3u32) {
+        0 => {
+            let g = rng.random_range(0..host.gates().len() as u32);
+            PartialCircuit::black_box_gates(&host, &[g]).ok()?
+        }
+        1 => {
+            let fraction = f64::from(rng.random_range(8..25u32)) / 100.0;
+            PartialCircuit::random_black_boxes(&host, fraction, 1, &mut rng).ok()?
+        }
+        _ => {
+            let fraction = f64::from(rng.random_range(8..20u32)) / 100.0;
+            PartialCircuit::random_black_boxes(&host, fraction, 2, &mut rng).ok()?
+        }
+    };
+
+    Some(Instance { name: format!("{family}-{seed:016x}"), seed, spec, partial, planted })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_in_the_seed() {
+        for index in 0..30u64 {
+            let seed = case_seed(0xF00D, index);
+            let (Some(a), Some(b)) = (generate(seed), generate(seed)) else { continue };
+            assert_eq!(a.name, b.name);
+            assert_eq!(bbec_netlist::blif::write(&a.spec), bbec_netlist::blif::write(&b.spec));
+            assert_eq!(
+                bbec_netlist::blif::write(a.partial.circuit()),
+                bbec_netlist::blif::write(b.partial.circuit())
+            );
+            assert_eq!(a.planted, b.planted);
+        }
+    }
+
+    #[test]
+    fn generation_yields_mostly_usable_cases() {
+        let mut ok = 0;
+        for index in 0..50u64 {
+            if generate(case_seed(0, index)).is_some() {
+                ok += 1;
+            }
+        }
+        assert!(ok >= 25, "only {ok}/50 cases generated");
+    }
+
+    #[test]
+    fn interfaces_always_match() {
+        for index in 0..40u64 {
+            let Some(i) = generate(case_seed(3, index)) else { continue };
+            assert_eq!(i.spec.inputs().len(), i.partial.circuit().inputs().len());
+            assert_eq!(i.spec.outputs().len(), i.partial.circuit().outputs().len());
+            assert!(!i.partial.boxes().is_empty());
+        }
+    }
+}

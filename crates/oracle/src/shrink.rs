@@ -1,0 +1,363 @@
+//! Delta-debugging shrinker: minimises a violating instance while a
+//! caller-supplied predicate (usually "the harness still reports the same
+//! violation kind") keeps holding.
+//!
+//! The shrinker works on an editable *name-based* view of both circuits
+//! (gates as `(kind, input names, output name)` triples, box pins by
+//! signal name) and rebuilds candidates through the public
+//! [`bbec_netlist::CircuitBuilder`] API, so every candidate re-passes the
+//! full structural validation — a shrink step can only produce instances
+//! the real tools could also have built. Reduction passes, greedily to a
+//! fixed point:
+//!
+//! 1. drop a primary output (both sides),
+//! 2. replace a gate by `Const0`, `Const1` or a buffer of its first input,
+//! 3. drop one box input pin,
+//! 4. drop a whole box (its outputs become `Const0` gates),
+//! 5. remove dead gates and unused primary inputs (cleanup after each step).
+
+use crate::generate::Instance;
+use bbec_core::{BlackBox, PartialCircuit};
+use bbec_netlist::{Circuit, GateKind};
+use std::collections::HashSet;
+
+/// Editable, name-based form of one circuit.
+#[derive(Debug, Clone)]
+pub(crate) struct Parts {
+    pub name: String,
+    /// Primary input names, in declaration order.
+    pub inputs: Vec<String>,
+    /// `(port name, driven signal name)` outputs.
+    pub outputs: Vec<(String, String)>,
+    /// Gates as `(kind, input names, output name)` triples, topo order.
+    pub gates: Vec<(GateKind, Vec<String>, String)>,
+}
+
+impl Parts {
+    pub fn of(circuit: &Circuit) -> Parts {
+        let name_of = |s| circuit.signal_name(s).to_string();
+        Parts {
+            name: circuit.name().to_string(),
+            inputs: circuit.inputs().iter().map(|&s| name_of(s)).collect(),
+            outputs: circuit
+                .outputs()
+                .iter()
+                .map(|(port, s)| (port.clone(), name_of(*s)))
+                .collect(),
+            gates: circuit
+                .gates()
+                .iter()
+                .map(|g| {
+                    (g.kind, g.inputs.iter().map(|&s| name_of(s)).collect(), name_of(g.output))
+                })
+                .collect(),
+        }
+    }
+
+    /// Rebuilds through the public builder. `extra_signals` names signals
+    /// that must exist even if nothing in the netlist mentions them (box
+    /// pins wired box-to-box). `None` when validation rejects the shape.
+    pub fn build(&self, extra_signals: &[String]) -> Option<Circuit> {
+        let mut b = Circuit::builder(&self.name);
+        for name in &self.inputs {
+            let s = b.signal_or_new(name);
+            b.mark_input(s);
+        }
+        for (kind, ins, out) in &self.gates {
+            let ins: Vec<_> = ins.iter().map(|n| b.signal_or_new(n)).collect();
+            let out = b.signal_or_new(out);
+            b.gate_into(*kind, &ins, out);
+        }
+        for name in extra_signals {
+            b.signal_or_new(name);
+        }
+        for (port, sig) in &self.outputs {
+            let s = b.signal_or_new(sig);
+            b.output(port, s);
+        }
+        b.build_allow_undriven().ok()
+    }
+}
+
+/// Name-based form of one black box.
+#[derive(Debug, Clone)]
+pub(crate) struct BoxParts {
+    pub name: String,
+    pub inputs: Vec<String>,
+    pub outputs: Vec<String>,
+}
+
+/// Assembles a host circuit plus name-based boxes into a partial circuit.
+pub(crate) fn assemble_partial(host: &Parts, boxes: &[BoxParts]) -> Option<PartialCircuit> {
+    let extra: Vec<String> =
+        boxes.iter().flat_map(|b| b.inputs.iter().chain(&b.outputs)).cloned().collect();
+    let circuit = host.build(&extra)?;
+    let resolved: Option<Vec<BlackBox>> = boxes
+        .iter()
+        .map(|b| {
+            Some(BlackBox {
+                name: b.name.clone(),
+                inputs: b.inputs.iter().map(|n| circuit.find_signal(n)).collect::<Option<_>>()?,
+                outputs: b.outputs.iter().map(|n| circuit.find_signal(n)).collect::<Option<_>>()?,
+            })
+        })
+        .collect();
+    PartialCircuit::new(circuit, resolved?).ok()
+}
+
+/// Editable form of a whole instance.
+#[derive(Debug, Clone)]
+struct InstanceParts {
+    spec: Parts,
+    host: Parts,
+    boxes: Vec<BoxParts>,
+}
+
+impl InstanceParts {
+    fn of(instance: &Instance) -> InstanceParts {
+        let host = instance.partial.circuit();
+        let name_of = |s| host.signal_name(s).to_string();
+        InstanceParts {
+            spec: Parts::of(&instance.spec),
+            host: Parts::of(host),
+            boxes: instance
+                .partial
+                .boxes()
+                .iter()
+                .map(|b| BoxParts {
+                    name: b.name.clone(),
+                    inputs: b.inputs.iter().map(|&s| name_of(s)).collect(),
+                    outputs: b.outputs.iter().map(|&s| name_of(s)).collect(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Rebuilds the instance; `None` when a candidate fails validation
+    /// (the shrinker just discards it).
+    fn assemble(&self, template: &Instance) -> Option<Instance> {
+        let spec = self.spec.build(&[])?;
+        let partial = assemble_partial(&self.host, &self.boxes)?;
+        if spec.inputs().len() != partial.circuit().inputs().len()
+            || spec.outputs().len() != partial.circuit().outputs().len()
+        {
+            return None;
+        }
+        Some(Instance {
+            name: format!("{}-shrunk", template.name),
+            seed: template.seed,
+            spec,
+            partial,
+            planted: template.planted.clone(),
+        })
+    }
+
+    /// Removes gates whose outputs nothing (transitively) reads and
+    /// primary inputs unused on *both* sides (positions must stay aligned
+    /// between spec and host). Function-preserving, so the predicate keeps
+    /// holding.
+    fn prune(&mut self) {
+        let box_pins: HashSet<String> =
+            self.boxes.iter().flat_map(|b| b.inputs.iter().cloned()).collect();
+        let prune_side = |parts: &mut Parts, extra: &HashSet<String>| loop {
+            let mut read: HashSet<String> = parts.outputs.iter().map(|(_, s)| s.clone()).collect();
+            read.extend(extra.iter().cloned());
+            for (_, ins, _) in &parts.gates {
+                read.extend(ins.iter().cloned());
+            }
+            let before = parts.gates.len();
+            parts.gates.retain(|(_, _, out)| read.contains(out));
+            if parts.gates.len() == before {
+                break;
+            }
+        };
+        prune_side(&mut self.host, &box_pins);
+        prune_side(&mut self.spec, &HashSet::new());
+
+        let used = |parts: &Parts, extra: &HashSet<String>, name: &String| {
+            parts.gates.iter().any(|(_, ins, _)| ins.contains(name))
+                || parts.outputs.iter().any(|(_, s)| s == name)
+                || extra.contains(name)
+        };
+        let none = HashSet::new();
+        let keep: Vec<bool> = (0..self.spec.inputs.len().min(self.host.inputs.len()))
+            .map(|pos| {
+                used(&self.spec, &none, &self.spec.inputs[pos])
+                    || used(&self.host, &box_pins, &self.host.inputs[pos])
+            })
+            .collect();
+        let filter = |inputs: &mut Vec<String>| {
+            let mut pos = 0;
+            inputs.retain(|_| {
+                let k = keep.get(pos).copied().unwrap_or(true);
+                pos += 1;
+                k
+            });
+        };
+        filter(&mut self.spec.inputs);
+        filter(&mut self.host.inputs);
+    }
+}
+
+/// Total gate count of an instance (the shrink metric).
+pub fn size(instance: &Instance) -> usize {
+    instance.spec.gates().len() + instance.partial.circuit().gates().len()
+}
+
+/// Shrinks `instance` while `still_violating` holds, greedily to a fixed
+/// point (bounded by `max_rounds` accepted steps). The returned instance
+/// always satisfies the predicate; if nothing shrinks, it is the input.
+pub fn shrink<F>(instance: &Instance, mut still_violating: F, max_rounds: usize) -> Instance
+where
+    F: FnMut(&Instance) -> bool,
+{
+    let mut best = instance.clone();
+    for _ in 0..max_rounds {
+        let mut improved = false;
+        for candidate in candidates(&best) {
+            if size(&candidate) < size(&best) && still_violating(&candidate) {
+                best = candidate;
+                improved = true;
+                break; // restart candidate enumeration from the smaller base
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    best
+}
+
+/// All one-step reductions of an instance, cheapest-to-try first.
+fn candidates(base: &Instance) -> Vec<Instance> {
+    let parts = InstanceParts::of(base);
+    let mut out = Vec::new();
+    let mut push = |mut p: InstanceParts| {
+        p.prune();
+        if let Some(i) = p.assemble(base) {
+            out.push(i);
+        }
+    };
+
+    // 1. Drop one output (keep at least one).
+    if parts.spec.outputs.len() > 1 {
+        for j in 0..parts.spec.outputs.len() {
+            let mut p = parts.clone();
+            p.spec.outputs.remove(j);
+            p.host.outputs.remove(j);
+            push(p);
+        }
+    }
+
+    // 4. Drop a whole box, its outputs becoming constants.
+    if parts.boxes.len() > 1 {
+        for bi in 0..parts.boxes.len() {
+            let mut p = parts.clone();
+            let b = p.boxes.remove(bi);
+            for o in b.outputs {
+                p.host.gates.push((GateKind::Const0, Vec::new(), o));
+            }
+            push(p);
+        }
+    }
+
+    // 3. Drop one box input pin.
+    for bi in 0..parts.boxes.len() {
+        for k in 0..parts.boxes[bi].inputs.len() {
+            let mut p = parts.clone();
+            p.boxes[bi].inputs.remove(k);
+            push(p);
+        }
+    }
+
+    // 2. Simplify gates, host first (host bugs are what we hunt).
+    for side in ["host", "spec"] {
+        let gates = if side == "spec" { &parts.spec.gates } else { &parts.host.gates };
+        for (gi, (kind, ins, _)) in gates.iter().enumerate() {
+            let mut replacements: Vec<(GateKind, Vec<String>)> =
+                vec![(GateKind::Const0, Vec::new()), (GateKind::Const1, Vec::new())];
+            if let Some(first) = ins.first() {
+                replacements.push((GateKind::Buf, vec![first.clone()]));
+            }
+            for (nk, nins) in replacements {
+                if nk == *kind {
+                    continue;
+                }
+                let mut p = parts.clone();
+                let g = if side == "spec" { &mut p.spec.gates[gi] } else { &mut p.host.gates[gi] };
+                g.0 = nk;
+                g.1 = nins;
+                push(p);
+            }
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::Instance;
+    use crate::harness::{run_case, HarnessConfig, Violation};
+    use bbec_core::samples;
+
+    #[test]
+    fn parts_round_trip_preserves_behaviour() {
+        let (spec, partial) = samples::detected_only_by_output_exact();
+        let p = InstanceParts::of(&Instance {
+            name: "rt".into(),
+            seed: 0,
+            spec: spec.clone(),
+            partial: partial.clone(),
+            planted: None,
+        });
+        let rebuilt = p
+            .assemble(&Instance { name: "rt".into(), seed: 0, spec, partial, planted: None })
+            .expect("round trip must validate");
+        // The rebuilt instance keeps the sample's signature separation.
+        let s = HarnessConfig::default().settings;
+        let oe = bbec_core::checks::output_exact(&rebuilt.spec, &rebuilt.partial, &s).unwrap();
+        assert!(oe.is_error());
+        let loc = bbec_core::checks::local_check(&rebuilt.spec, &rebuilt.partial, &s).unwrap();
+        assert!(!loc.is_error());
+    }
+
+    #[test]
+    fn shrink_preserves_the_predicate() {
+        // Predicate: the 0,1,X check still errors. Start from the sample
+        // engineered for exactly that and shrink.
+        let (spec, partial) = samples::detected_by_01x();
+        let instance = Instance { name: "01x".into(), seed: 0, spec, partial, planted: None };
+        let errors = |i: &Instance| {
+            let s = HarnessConfig::default().settings;
+            matches!(
+                bbec_core::checks::symbolic_01x(&i.spec, &i.partial, &s),
+                Ok(o) if o.is_error()
+            )
+        };
+        assert!(errors(&instance));
+        let small = shrink(&instance, errors, 40);
+        assert!(errors(&small), "shrunk instance must keep the property");
+        assert!(size(&small) <= size(&instance));
+    }
+
+    #[test]
+    fn injected_violation_shrinks_to_eight_gates_or_fewer() {
+        // The acceptance criterion: an intentionally unsound rung is
+        // caught and the violating instance shrinks to ≤ 8 gates.
+        let config = HarnessConfig {
+            inject: Some(crate::harness::Engine::Local),
+            ..HarnessConfig::default()
+        };
+        let (spec, partial) = samples::completable_pair();
+        let instance = Instance { name: "inj".into(), seed: 0, spec, partial, planted: None };
+        let unsound = |i: &Instance| {
+            run_case(i, &config).violations.iter().any(|v| matches!(v, Violation::Unsound { .. }))
+        };
+        assert!(unsound(&instance), "injection must trip the harness");
+        let small = shrink(&instance, unsound, 60);
+        assert!(unsound(&small));
+        assert!(size(&small) <= 8, "shrunk to {} gates", size(&small));
+    }
+}

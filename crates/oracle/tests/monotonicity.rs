@@ -1,0 +1,75 @@
+//! Property test for the ladder's strength ordering (paper eq. (1)):
+//! `r.p. ⊆ 0,1,X ⊆ loc. ⊆ oe ⊆ ie` — an error reported by a weaker rung
+//! must be reported by every stronger rung that finishes.
+//!
+//! Checked directly against the five rung implementations (not through the
+//! harness, so a harness bug cannot mask a rung bug) over 200+ generated
+//! instances and every library sample pair.
+
+use bbec_core::{checks, samples, CheckError, CheckSettings, PartialCircuit, Verdict};
+use bbec_netlist::Circuit;
+use bbec_oracle::generate::{case_seed, generate};
+
+fn settings() -> CheckSettings {
+    CheckSettings { dynamic_reordering: false, random_patterns: 128, ..CheckSettings::default() }
+}
+
+/// Each rung's verdict, weakest to strongest; `None` = budget abstention.
+fn rung_verdicts(spec: &Circuit, partial: &PartialCircuit) -> Vec<(&'static str, Option<bool>)> {
+    let s = settings();
+    let mut out = Vec::new();
+    let mut push = |name: &'static str, r: Result<bbec_core::CheckOutcome, CheckError>| {
+        let v = match r {
+            Ok(o) => Some(o.verdict == Verdict::ErrorFound),
+            Err(CheckError::BudgetExceeded(_)) => None,
+            Err(e) => panic!("{name} failed unexpectedly: {e}"),
+        };
+        out.push((name, v));
+    };
+    push("r.p.", checks::random_patterns(spec, partial, &s));
+    push("0,1,X", checks::symbolic_01x(spec, partial, &s));
+    push("loc.", checks::local_check(spec, partial, &s));
+    push("oe", checks::output_exact(spec, partial, &s));
+    push("ie", checks::input_exact(spec, partial, &s));
+    out
+}
+
+fn assert_monotone(name: &str, verdicts: &[(&'static str, Option<bool>)]) {
+    for (i, &(weak, wv)) in verdicts.iter().enumerate() {
+        for &(strong, sv) in &verdicts[i + 1..] {
+            if let (Some(true), Some(false)) = (wv, sv) {
+                panic!(
+                    "{name}: weaker rung {weak} errored but stronger {strong} stayed clean \
+                     ({verdicts:?})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn ladder_is_monotone_on_every_sample_pair() {
+    for (name, (spec, partial)) in [
+        ("completable", samples::completable_pair()),
+        ("01x", samples::detected_by_01x()),
+        ("local", samples::detected_only_by_local()),
+        ("oe", samples::detected_only_by_output_exact()),
+        ("ie", samples::detected_only_by_input_exact()),
+    ] {
+        assert_monotone(name, &rung_verdicts(&spec, &partial));
+    }
+}
+
+#[test]
+fn ladder_is_monotone_over_two_hundred_generated_seeds() {
+    let mut checked = 0u32;
+    let mut index = 0u64;
+    while checked < 200 {
+        let seed = case_seed(0xB0_0B5, index);
+        index += 1;
+        let Some(instance) = generate(seed) else { continue };
+        let verdicts = rung_verdicts(&instance.spec, &instance.partial);
+        assert_monotone(&instance.name, &verdicts);
+        checked += 1;
+    }
+}

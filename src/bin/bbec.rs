@@ -10,6 +10,9 @@
 //! bbec sat      <file.cnf>                              solve a DIMACS formula
 //! bbec export-suite <dir>                               write the nine benchmark
 //!                                                       substitutes as .blif/.bench/.v
+//! bbec fuzz     [options]                               differential-fuzz all
+//!                                                       engines against the
+//!                                                       exhaustive oracle
 //!
 //! Netlist formats are chosen by extension: .blif, .bench, .v (write-only).
 //! In the implementation file, signals that are used but never driven are
@@ -36,6 +39,22 @@
 //!                              check (observability, see DESIGN.md)
 //!   --trace-out FILE.jsonl     write the structured trace event stream
 //!                              (one JSON object per line, schema v1)
+//!
+//! fuzz options (plus --patterns/--no-reorder/--trace-* above):
+//!   --seed N                   master seed (default 0); every case derives
+//!                              deterministically from it
+//!   --budget-ms N              wall-clock budget (default 30000)
+//!   --cases N                  hard case cap (default: budget-only)
+//!   --fixture-dir DIR          where to write the shrunken BLIF pair of a
+//!                              violation (default tests/fixtures/fuzz-out)
+//!   --replay FILE              replay one *_spec.blif/*_impl.blif fixture
+//!                              through every engine instead of fuzzing
+//!   --inject-unsound RUNG      self-test: flip this engine's verdict
+//!                              (rp|0,1,X|loc.|oe|ie|...) and expect the
+//!                              harness to catch it
+//!
+//! fuzz exit codes: 0 = no violation, 1 = violation found (shrunk fixture
+//! written), 2 = usage/IO error.
 //! ```
 
 use bbec::core::diagnose::locate_single_gate_repairs;
@@ -46,7 +65,7 @@ use std::process::exit;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: bbec <check|localize|stats|convert> [options]  (see --help in source header)"
+        "usage: bbec <check|localize|fuzz|stats|convert> [options]  (see --help in source header)"
     );
     exit(2)
 }
@@ -146,6 +165,12 @@ struct Options {
     cache_bits: Option<u32>,
     trace_summary: bool,
     trace_out: Option<String>,
+    seed: u64,
+    budget_ms: u64,
+    cases: Option<u64>,
+    fixture_dir: Option<String>,
+    replay: Option<String>,
+    inject: Option<String>,
     positional: Vec<String>,
 }
 
@@ -165,6 +190,12 @@ fn parse_options(args: &[String]) -> Options {
         cache_bits: None,
         trace_summary: false,
         trace_out: None,
+        seed: 0,
+        budget_ms: 30_000,
+        cases: None,
+        fixture_dir: None,
+        replay: None,
+        inject: None,
         positional: Vec::new(),
     };
     let mut i = 0;
@@ -219,6 +250,30 @@ fn parse_options(args: &[String]) -> Options {
             "--trace-out" => {
                 i += 1;
                 o.trace_out = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--seed" => {
+                i += 1;
+                o.seed = args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--budget-ms" => {
+                i += 1;
+                o.budget_ms = args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--cases" => {
+                i += 1;
+                o.cases = Some(args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()));
+            }
+            "--fixture-dir" => {
+                i += 1;
+                o.fixture_dir = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--replay" => {
+                i += 1;
+                o.replay = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--inject-unsound" => {
+                i += 1;
+                o.inject = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
             }
             "--frames" => {
                 i += 1;
@@ -450,6 +505,9 @@ fn main() {
                 }
             }
         }
+        "fuzz" => {
+            run_fuzz_command(&o, settings);
+        }
         "localize" => {
             let (Some(spec_path), Some(impl_path)) = (&o.spec, &o.implementation) else {
                 usage();
@@ -482,6 +540,110 @@ fn main() {
             }
         }
         _ => usage(),
+    }
+}
+
+/// Parses `--inject-unsound`: accepts both the harness labels (`loc.`,
+/// `0,1,X`, …) and the CLI method names (`local`, `01x`, …).
+fn parse_inject(name: &str) -> bbec::oracle::Engine {
+    use bbec::oracle::Engine;
+    let aliased = match name {
+        "rp" => "r.p.",
+        "01x" => "0,1,X",
+        "local" => "loc.",
+        other => other,
+    };
+    Engine::from_label(aliased).unwrap_or_else(|| {
+        eprintln!("bbec: unknown engine `{name}` for --inject-unsound");
+        exit(2)
+    })
+}
+
+/// The `bbec fuzz` subcommand: differential fuzzing of every engine
+/// against the exhaustive oracle, or replay of one saved fixture.
+fn run_fuzz_command(o: &Options, settings: CheckSettings) -> ! {
+    use bbec::oracle::{self, HarnessConfig};
+
+    let mut harness = HarnessConfig {
+        settings: CheckSettings { tracer: bbec::trace::Tracer::disabled(), ..settings.clone() },
+        ..HarnessConfig::default()
+    };
+    // Per-engine pattern counts stay small unless the user asks otherwise:
+    // fuzz throughput matters more than single-case depth.
+    if o.patterns == 5000 {
+        harness.settings.random_patterns = 256;
+    }
+    harness.inject = o.inject.as_deref().map(parse_inject);
+
+    if let Some(path) = &o.replay {
+        let outcome = oracle::replay(Path::new(path), &harness).unwrap_or_else(|e| {
+            eprintln!("bbec: {e}");
+            exit(2)
+        });
+        for (engine, v) in &outcome.verdicts {
+            let shown = match v {
+                oracle::EngineVerdict::Error(_) => "error".to_string(),
+                oracle::EngineVerdict::Clean => "clean".to_string(),
+                oracle::EngineVerdict::Skipped(why) => format!("skipped ({why})"),
+            };
+            println!("  {engine:<8} -> {shown}");
+        }
+        if outcome.violations.is_empty() {
+            println!("replay: all contracts hold");
+            exit(0)
+        }
+        for v in &outcome.violations {
+            println!("replay violation: {v}");
+        }
+        exit(1)
+    }
+
+    let config = oracle::FuzzConfig {
+        seed: o.seed,
+        budget: std::time::Duration::from_millis(o.budget_ms),
+        max_cases: o.cases,
+        harness,
+        fixture_dir: Some(
+            o.fixture_dir.clone().unwrap_or_else(|| "tests/fixtures/fuzz-out".to_string()).into(),
+        ),
+        ..oracle::FuzzConfig::default()
+    };
+    let summary = oracle::run_fuzz(&config, &settings.tracer);
+    emit_trace(o, &settings.tracer);
+    if !o.quiet {
+        println!(
+            "fuzz: {} case(s) run, {} skipped, {} with engine errors, {} oracle-decided (seed {})",
+            summary.cases_run,
+            summary.cases_skipped,
+            summary.cases_with_errors,
+            summary.oracle_decided,
+            o.seed
+        );
+    }
+    match &summary.violation {
+        None => {
+            if !o.quiet {
+                println!("fuzz: no contract violations");
+            }
+            exit(0)
+        }
+        Some(v) => {
+            println!(
+                "fuzz: VIOLATION in case {} (seed {:#018x}), kinds: {}",
+                v.name,
+                v.seed,
+                v.kinds.join(", ")
+            );
+            for d in &v.details {
+                println!("  {d}");
+            }
+            println!("  shrunk {} -> {} gate(s)", v.original_gates, v.shrunk_gates);
+            if let Some((spec_path, impl_path)) = &v.fixture {
+                println!("  fixture: {} + {}", spec_path.display(), impl_path.display());
+                println!("  replay:  bbec fuzz --replay {}", spec_path.display());
+            }
+            exit(1)
+        }
     }
 }
 

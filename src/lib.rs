@@ -17,7 +17,9 @@
 //! * [`core`] — the paper's contribution: black-box extraction, symbolic
 //!   simulation and the five equivalence checks,
 //! * [`trace`] — zero-dependency structured tracing: spans, counters,
-//!   log2-bucketed histograms and the JSONL run-record schema.
+//!   log2-bucketed histograms and the JSONL run-record schema,
+//! * [`oracle`] — differential fuzzing: an exhaustive extendability oracle,
+//!   a cross-engine soundness harness, and counterexample shrinking.
 //!
 //! ## Quickstart
 //!
@@ -54,5 +56,6 @@
 pub use bbec_bdd as bdd;
 pub use bbec_core as core;
 pub use bbec_netlist as netlist;
+pub use bbec_oracle as oracle;
 pub use bbec_sat as sat;
 pub use bbec_trace as trace;

@@ -294,3 +294,68 @@ fn usage_errors_exit_2() {
     let out = bin().output().expect("binary runs");
     assert_eq!(out.status.code(), Some(2));
 }
+
+/// `bbec fuzz` smoke: a seeded, case-capped run finishes cleanly and its
+/// `--trace-out` corpus is schema-valid with one `fuzz.case` record per
+/// case run.
+#[test]
+fn fuzz_smoke_run_is_clean_and_schema_valid() {
+    let trace_path = write_temp("fuzz_smoke.jsonl", "");
+    let fixture_dir = std::env::temp_dir()
+        .join(format!("bbec-cli-{}", std::process::id()))
+        .join("fuzz-smoke-fixtures");
+    let out = bin()
+        .args(["fuzz", "--seed", "0", "--budget-ms", "60000", "--cases", "8", "--trace-out"])
+        .arg(&trace_path)
+        .arg("--fixture-dir")
+        .arg(&fixture_dir)
+        .output()
+        .expect("binary runs");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("no contract violations"), "{stdout}");
+    let text = std::fs::read_to_string(&trace_path).expect("corpus written");
+    bbec::trace::schema::validate_stream(&text).unwrap_or_else(|e| panic!("{e}"));
+    let cases = text.lines().filter(|l| l.contains("\"name\":\"fuzz.case\"")).count();
+    assert!(cases > 0 && cases <= 8, "{cases} fuzz.case records");
+}
+
+/// `bbec fuzz --inject-unsound` must catch its own planted unsoundness,
+/// exit 1, and leave a replayable shrunken fixture behind.
+#[test]
+fn fuzz_inject_unsound_self_test() {
+    let fixture_dir = std::env::temp_dir()
+        .join(format!("bbec-cli-{}", std::process::id()))
+        .join("fuzz-inject-fixtures");
+    let out = bin()
+        .args(["fuzz", "--seed", "7", "--budget-ms", "120000", "--inject-unsound", "local"])
+        .arg("--fixture-dir")
+        .arg(&fixture_dir)
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(1), "{}", String::from_utf8_lossy(&out.stdout));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("VIOLATION"), "{stdout}");
+    assert!(stdout.contains("unsound"), "{stdout}");
+    // The shrunken pair was written and replays to the same violation.
+    let spec_path = std::fs::read_dir(&fixture_dir)
+        .expect("fixture dir exists")
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .find(|p| p.to_string_lossy().ends_with("_spec.blif"))
+        .expect("a fixture pair was written");
+    let replay = bin()
+        .args(["fuzz", "--replay"])
+        .arg(&spec_path)
+        .args(["--inject-unsound", "local"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(replay.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&replay.stdout).contains("UNSOUND"), "replay lost it");
+}

@@ -1,0 +1,67 @@
+//! Replays the committed fuzz fixtures in `tests/fixtures/fuzz/`.
+//!
+//! Each pair sits exactly on one rung boundary of the paper's ladder: the
+//! rung named in the file is the weakest check that detects the error, and
+//! every weaker rung stays clean. Replaying them pins three things at
+//! once: the fixture format, the relative strength of the rungs, and the
+//! differential harness's contracts on known-hard instances.
+//!
+//! Regenerate with:
+//! `cargo run -p bbec-oracle --example make_fixtures -- tests/fixtures/fuzz`
+
+use bbec::oracle::{replay, Engine, EngineVerdict, HarnessConfig};
+use std::path::PathBuf;
+
+fn fixture(stem: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(format!("tests/fixtures/fuzz/{stem}_spec.blif"))
+}
+
+fn errors(verdict: &EngineVerdict) -> bool {
+    matches!(verdict, EngineVerdict::Error(_))
+}
+
+/// Replays one fixture and asserts the weakest-detecting rung.
+fn check_boundary(stem: &str, weakest_detector: Engine, clean_rungs: &[Engine]) {
+    let outcome =
+        replay(&fixture(stem), &HarnessConfig::default()).unwrap_or_else(|e| panic!("{stem}: {e}"));
+    assert!(
+        outcome.violations.is_empty(),
+        "{stem}: contract violations on a committed fixture: {:?}",
+        outcome.violations
+    );
+    assert!(
+        errors(outcome.verdict(weakest_detector)),
+        "{stem}: rung {weakest_detector} no longer detects the planted error"
+    );
+    for &rung in clean_rungs {
+        assert!(
+            !errors(outcome.verdict(rung)),
+            "{stem}: rung {rung} detects an error it is too weak to see — \
+             either the fixture or the rung's accuracy changed"
+        );
+    }
+}
+
+#[test]
+fn boundary_01x_detected_by_ternary_simulation() {
+    check_boundary("boundary_01x", Engine::Symbolic01X, &[]);
+}
+
+#[test]
+fn boundary_local_detected_only_by_local_check() {
+    check_boundary("boundary_local", Engine::Local, &[Engine::Symbolic01X]);
+}
+
+#[test]
+fn boundary_oe_detected_only_by_output_exact() {
+    check_boundary("boundary_oe", Engine::OutputExact, &[Engine::Symbolic01X, Engine::Local]);
+}
+
+#[test]
+fn boundary_ie_detected_only_by_input_exact() {
+    check_boundary(
+        "boundary_ie",
+        Engine::InputExact,
+        &[Engine::Symbolic01X, Engine::Local, Engine::OutputExact],
+    );
+}
