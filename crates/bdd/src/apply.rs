@@ -1,5 +1,14 @@
 //! The operator core: negation, binary Boolean connectives and ITE.
 //!
+//! With tagged complement edges, negation is a constant-time bit flip —
+//! no recursion, no cache traffic — and the dual of every connective
+//! comes for free through De Morgan: `or` runs as a complemented `and`,
+//! `xnor` as a complemented `xor`. Recursive operators normalise their
+//! computed-table keys first (commutative operand sort, complement-parity
+//! factoring for XOR, the ITE standard triples), so algebraically equal
+//! calls such as `f ∧ g` and `¬(¬f ∨ ¬g)` share one cache entry and one
+//! result node.
+//!
 //! Every recursive operation comes in two flavours: a budgeted `try_*`
 //! method returning `Result<Bdd, BudgetExceeded>` that charges apply steps
 //! and node allocations against the manager's [`crate::Budget`], and a thin
@@ -8,36 +17,20 @@
 
 use crate::budget::BudgetExceeded;
 use crate::cache::Op;
-use crate::manager::{Bdd, BddManager, BddVar, TERMINAL_LEVEL};
+use crate::manager::{Bdd, BddManager, BddVar, FALSE, TERMINAL_LEVEL, TRUE};
 
 impl BddManager {
-    /// Logical negation `¬f`.
+    /// Logical negation `¬f` — O(1): flips the complement tag of the edge.
+    ///
+    /// Takes `&mut self` only for signature stability with the other
+    /// connectives; no node or cache state is touched.
     pub fn not(&mut self, f: Bdd) -> Bdd {
-        self.run_unbudgeted(|m| m.try_not(f))
+        Bdd(f.0 ^ 1)
     }
 
-    /// Budgeted [`BddManager::not`].
+    /// Budgeted [`BddManager::not`] — also O(1) and therefore infallible.
     pub fn try_not(&mut self, f: Bdd) -> Result<Bdd, BudgetExceeded> {
-        self.not_rec(f, 0)
-    }
-
-    fn not_rec(&mut self, f: Bdd, depth: u32) -> Result<Bdd, BudgetExceeded> {
-        if f.is_const() {
-            return Ok(self.constant(f.0 == 0));
-        }
-        if let Some(r) = self.cache.get(Op::Not, f.0, 0, 0) {
-            return Ok(Bdd(r));
-        }
-        self.charge_step()?;
-        if self.tracer.enabled() {
-            self.tracer.record("bdd.apply.depth", depth as u64);
-        }
-        let (level, lo, hi) = self.triple(f);
-        let nlo = self.not_rec(Bdd(lo), depth + 1)?;
-        let nhi = self.not_rec(Bdd(hi), depth + 1)?;
-        let r = self.try_mk(level, nlo.0, nhi.0)?;
-        self.cache.put(Op::Not, f.0, 0, 0, r.0);
-        Ok(r)
+        Ok(Bdd(f.0 ^ 1))
     }
 
     /// Conjunction `f ∧ g`.
@@ -51,17 +44,17 @@ impl BddManager {
     }
 
     fn and_rec(&mut self, f: Bdd, g: Bdd, depth: u32) -> Result<Bdd, BudgetExceeded> {
-        // Terminal rules.
+        // Terminal rules, including the complement-pair short-circuit.
         if f == g {
             return Ok(f);
         }
-        if f.0 == 0 || g.0 == 0 {
-            return Ok(self.constant(false));
+        if f.0 == FALSE || g.0 == FALSE || f.0 == (g.0 ^ 1) {
+            return Ok(Bdd(FALSE));
         }
-        if f.0 == 1 {
+        if f.0 == TRUE {
             return Ok(g);
         }
-        if g.0 == 1 {
+        if g.0 == TRUE {
             return Ok(f);
         }
         // Commutative: canonicalise the key order.
@@ -86,38 +79,11 @@ impl BddManager {
         self.run_unbudgeted(|m| m.try_or(f, g))
     }
 
-    /// Budgeted [`BddManager::or`].
+    /// Budgeted [`BddManager::or`] — De Morgan: `¬(¬f ∧ ¬g)`, sharing the
+    /// AND cache.
     pub fn try_or(&mut self, f: Bdd, g: Bdd) -> Result<Bdd, BudgetExceeded> {
-        self.or_rec(f, g, 0)
-    }
-
-    fn or_rec(&mut self, f: Bdd, g: Bdd, depth: u32) -> Result<Bdd, BudgetExceeded> {
-        if f == g {
-            return Ok(f);
-        }
-        if f.0 == 1 || g.0 == 1 {
-            return Ok(self.constant(true));
-        }
-        if f.0 == 0 {
-            return Ok(g);
-        }
-        if g.0 == 0 {
-            return Ok(f);
-        }
-        let (a, b) = if f.0 < g.0 { (f, g) } else { (g, f) };
-        if let Some(r) = self.cache.get(Op::Or, a.0, b.0, 0) {
-            return Ok(Bdd(r));
-        }
-        self.charge_step()?;
-        if self.tracer.enabled() {
-            self.tracer.record("bdd.apply.depth", depth as u64);
-        }
-        let (level, fa, fb, ga, gb) = self.cofactor_pair(a, b);
-        let lo = self.or_rec(fa, ga, depth + 1)?;
-        let hi = self.or_rec(fb, gb, depth + 1)?;
-        let r = self.try_mk(level, lo.0, hi.0)?;
-        self.cache.put(Op::Or, a.0, b.0, 0, r.0);
-        Ok(r)
+        let r = self.and_rec(Bdd(f.0 ^ 1), Bdd(g.0 ^ 1), 0)?;
+        Ok(Bdd(r.0 ^ 1))
     }
 
     /// Exclusive or `f ⊕ g`.
@@ -131,38 +97,39 @@ impl BddManager {
     }
 
     fn xor_rec(&mut self, f: Bdd, g: Bdd, depth: u32) -> Result<Bdd, BudgetExceeded> {
+        // Complement parity factors out of XOR entirely: ¬f ⊕ g = ¬(f ⊕ g).
+        // Strip both tags, remember the combined parity, and key the cache
+        // on the regular pair — all four complement variants share entries.
+        let parity = (f.0 ^ g.0) & 1;
+        let (f, g) = (Bdd(f.0 & !1), Bdd(g.0 & !1));
         if f == g {
-            return Ok(self.constant(false));
+            return Ok(Bdd(FALSE ^ parity));
         }
-        if f.0 == 0 {
-            return Ok(g);
+        if f.0 == TRUE {
+            return Ok(Bdd(g.0 ^ 1 ^ parity));
         }
-        if g.0 == 0 {
-            return Ok(f);
-        }
-        if f.0 == 1 {
-            return self.not_rec(g, depth);
-        }
-        if g.0 == 1 {
-            return self.not_rec(f, depth);
+        if g.0 == TRUE {
+            return Ok(Bdd(f.0 ^ 1 ^ parity));
         }
         let (a, b) = if f.0 < g.0 { (f, g) } else { (g, f) };
-        if let Some(r) = self.cache.get(Op::Xor, a.0, b.0, 0) {
-            return Ok(Bdd(r));
-        }
-        self.charge_step()?;
-        if self.tracer.enabled() {
-            self.tracer.record("bdd.apply.depth", depth as u64);
-        }
-        let (level, fa, fb, ga, gb) = self.cofactor_pair(a, b);
-        let lo = self.xor_rec(fa, ga, depth + 1)?;
-        let hi = self.xor_rec(fb, gb, depth + 1)?;
-        let r = self.try_mk(level, lo.0, hi.0)?;
-        self.cache.put(Op::Xor, a.0, b.0, 0, r.0);
-        Ok(r)
+        let r = if let Some(r) = self.cache.get(Op::Xor, a.0, b.0, 0) {
+            Bdd(r)
+        } else {
+            self.charge_step()?;
+            if self.tracer.enabled() {
+                self.tracer.record("bdd.apply.depth", depth as u64);
+            }
+            let (level, fa, fb, ga, gb) = self.cofactor_pair(a, b);
+            let lo = self.xor_rec(fa, ga, depth + 1)?;
+            let hi = self.xor_rec(fb, gb, depth + 1)?;
+            let r = self.try_mk(level, lo.0, hi.0)?;
+            self.cache.put(Op::Xor, a.0, b.0, 0, r.0);
+            r
+        };
+        Ok(Bdd(r.0 ^ parity))
     }
 
-    /// Equivalence (exclusive nor) `f ↔ g`.
+    /// Equivalence (exclusive nor) `f ↔ g` — a complemented XOR.
     pub fn xnor(&mut self, f: Bdd, g: Bdd) -> Bdd {
         self.run_unbudgeted(|m| m.try_xnor(f, g))
     }
@@ -170,7 +137,7 @@ impl BddManager {
     /// Budgeted [`BddManager::xnor`].
     pub fn try_xnor(&mut self, f: Bdd, g: Bdd) -> Result<Bdd, BudgetExceeded> {
         let x = self.try_xor(f, g)?;
-        self.try_not(x)
+        Ok(Bdd(x.0 ^ 1))
     }
 
     /// Negated conjunction `¬(f ∧ g)`.
@@ -181,29 +148,28 @@ impl BddManager {
     /// Budgeted [`BddManager::nand`].
     pub fn try_nand(&mut self, f: Bdd, g: Bdd) -> Result<Bdd, BudgetExceeded> {
         let x = self.try_and(f, g)?;
-        self.try_not(x)
+        Ok(Bdd(x.0 ^ 1))
     }
 
-    /// Negated disjunction `¬(f ∨ g)`.
+    /// Negated disjunction `¬(f ∨ g)` — runs as `¬f ∧ ¬g`.
     pub fn nor(&mut self, f: Bdd, g: Bdd) -> Bdd {
         self.run_unbudgeted(|m| m.try_nor(f, g))
     }
 
     /// Budgeted [`BddManager::nor`].
     pub fn try_nor(&mut self, f: Bdd, g: Bdd) -> Result<Bdd, BudgetExceeded> {
-        let x = self.try_or(f, g)?;
-        self.try_not(x)
+        self.and_rec(Bdd(f.0 ^ 1), Bdd(g.0 ^ 1), 0)
     }
 
-    /// Implication `f → g`.
+    /// Implication `f → g` — runs as `¬(f ∧ ¬g)`.
     pub fn implies(&mut self, f: Bdd, g: Bdd) -> Bdd {
         self.run_unbudgeted(|m| m.try_implies(f, g))
     }
 
     /// Budgeted [`BddManager::implies`].
     pub fn try_implies(&mut self, f: Bdd, g: Bdd) -> Result<Bdd, BudgetExceeded> {
-        let nf = self.try_not(f)?;
-        self.try_or(nf, g)
+        let x = self.and_rec(f, Bdd(g.0 ^ 1), 0)?;
+        Ok(Bdd(x.0 ^ 1))
     }
 
     /// If-then-else `ite(f, g, h) = (f ∧ g) ∨ (¬f ∧ h)`.
@@ -217,41 +183,93 @@ impl BddManager {
     }
 
     fn ite_rec(&mut self, f: Bdd, g: Bdd, h: Bdd, depth: u32) -> Result<Bdd, BudgetExceeded> {
-        // Terminal rules.
-        if f.0 == 1 {
+        if f.0 == TRUE {
             return Ok(g);
         }
-        if f.0 == 0 {
+        if f.0 == FALSE {
             return Ok(h);
+        }
+        // Standard-triple rewrites (Brace/Rudell/Bryant): arms that repeat
+        // the selector collapse to constants...
+        let mut g = g;
+        let mut h = h;
+        if g.0 == f.0 {
+            g = Bdd(TRUE);
+        } else if g.0 == (f.0 ^ 1) {
+            g = Bdd(FALSE);
+        }
+        if h.0 == f.0 {
+            h = Bdd(FALSE);
+        } else if h.0 == (f.0 ^ 1) {
+            h = Bdd(TRUE);
         }
         if g == h {
             return Ok(g);
         }
-        if g.0 == 1 && h.0 == 0 {
+        // ...constant arms delegate to the cheaper binary connectives
+        // (sharing their caches)...
+        if g.0 == TRUE && h.0 == FALSE {
             return Ok(f);
         }
-        if g.0 == 0 && h.0 == 1 {
-            return self.not_rec(f, depth);
+        if g.0 == FALSE && h.0 == TRUE {
+            return Ok(Bdd(f.0 ^ 1));
         }
-        if let Some(r) = self.cache.get(Op::Ite, f.0, g.0, h.0) {
-            return Ok(Bdd(r));
+        if g.0 == TRUE {
+            // ite(f, 1, h) = f ∨ h
+            let r = self.and_rec(Bdd(f.0 ^ 1), Bdd(h.0 ^ 1), depth)?;
+            return Ok(Bdd(r.0 ^ 1));
         }
-        self.charge_step()?;
-        if self.tracer.enabled() {
-            self.tracer.record("bdd.apply.depth", depth as u64);
+        if g.0 == FALSE {
+            // ite(f, 0, h) = ¬f ∧ h
+            return self.and_rec(Bdd(f.0 ^ 1), h, depth);
         }
-        let lf = self.level(f.0);
-        let lg = self.level(g.0);
-        let lh = self.level(h.0);
-        let level = lf.min(lg).min(lh);
-        let (f0, f1) = self.cofactors_at(f, level);
-        let (g0, g1) = self.cofactors_at(g, level);
-        let (h0, h1) = self.cofactors_at(h, level);
-        let lo = self.ite_rec(f0, g0, h0, depth + 1)?;
-        let hi = self.ite_rec(f1, g1, h1, depth + 1)?;
-        let r = self.try_mk(level, lo.0, hi.0)?;
-        self.cache.put(Op::Ite, f.0, g.0, h.0, r.0);
-        Ok(r)
+        if h.0 == FALSE {
+            // ite(f, g, 0) = f ∧ g
+            return self.and_rec(f, g, depth);
+        }
+        if h.0 == TRUE {
+            // ite(f, g, 1) = ¬f ∨ g = ¬(f ∧ ¬g)
+            let r = self.and_rec(f, Bdd(g.0 ^ 1), depth)?;
+            return Ok(Bdd(r.0 ^ 1));
+        }
+        if h.0 == (g.0 ^ 1) {
+            // ite(f, g, ¬g) = ¬(f ⊕ g)
+            let r = self.xor_rec(f, g, depth)?;
+            return Ok(Bdd(r.0 ^ 1));
+        }
+        // ...and complement tags are normalised off the selector and the
+        // then-arm, so all eight tag variants of one triple share a key.
+        let mut f = f;
+        if f.is_complemented() {
+            f = Bdd(f.0 ^ 1);
+            std::mem::swap(&mut g, &mut h);
+        }
+        let complement = g.is_complemented();
+        if complement {
+            g = Bdd(g.0 ^ 1);
+            h = Bdd(h.0 ^ 1);
+        }
+        let r = if let Some(r) = self.cache.get(Op::Ite, f.0, g.0, h.0) {
+            Bdd(r)
+        } else {
+            self.charge_step()?;
+            if self.tracer.enabled() {
+                self.tracer.record("bdd.apply.depth", depth as u64);
+            }
+            let lf = self.level(f.0);
+            let lg = self.level(g.0);
+            let lh = self.level(h.0);
+            let level = lf.min(lg).min(lh);
+            let (f0, f1) = self.cofactors_at(f, level);
+            let (g0, g1) = self.cofactors_at(g, level);
+            let (h0, h1) = self.cofactors_at(h, level);
+            let lo = self.ite_rec(f0, g0, h0, depth + 1)?;
+            let hi = self.ite_rec(f1, g1, h1, depth + 1)?;
+            let r = self.try_mk(level, lo.0, hi.0)?;
+            self.cache.put(Op::Ite, f.0, g.0, h.0, r.0);
+            r
+        };
+        Ok(Bdd(r.0 ^ u32::from(complement)))
     }
 
     /// Conjunction of many functions; returns `true` for an empty slice.
@@ -264,7 +282,7 @@ impl BddManager {
         let mut acc = self.constant(true);
         for &f in fs {
             acc = self.try_and(acc, f)?;
-            if acc.0 == 0 {
+            if acc.0 == FALSE {
                 break;
             }
         }
@@ -281,7 +299,7 @@ impl BddManager {
         let mut acc = self.constant(false);
         for &f in fs {
             acc = self.try_or(acc, f)?;
-            if acc.0 == 1 {
+            if acc.0 == TRUE {
                 break;
             }
         }
@@ -308,12 +326,24 @@ impl BddManager {
     }
 
     /// Budgeted [`BddManager::restrict`].
+    ///
+    /// Cofactoring commutes with negation, so the recursion and the cache
+    /// run on the regular (uncomplemented) edge and the tag is re-applied
+    /// to the result.
     pub fn try_restrict(
         &mut self,
         f: Bdd,
         var: BddVar,
         value: bool,
     ) -> Result<Bdd, BudgetExceeded> {
+        let parity = f.0 & 1;
+        let r = self.restrict_rec(Bdd(f.0 ^ parity), var, value)?;
+        Ok(Bdd(r.0 ^ parity))
+    }
+
+    /// [`BddManager::try_restrict`] on a regular edge.
+    fn restrict_rec(&mut self, f: Bdd, var: BddVar, value: bool) -> Result<Bdd, BudgetExceeded> {
+        debug_assert!(!f.is_complemented());
         if f.is_const() {
             return Ok(f);
         }
@@ -363,12 +393,25 @@ impl BddManager {
     ///
     /// Panics if `c` is the constant false (no care set).
     pub fn try_constrain(&mut self, f: Bdd, c: Bdd) -> Result<Bdd, BudgetExceeded> {
-        assert_ne!(c, self.constant(false), "care set must be satisfiable");
-        if c.0 == 1 || f.is_const() {
+        assert_ne!(c.0, FALSE, "care set must be satisfiable");
+        // Constrain composes f with a point mapping, so it too commutes
+        // with negation of f: run on the regular edge, re-tag the result.
+        let parity = f.0 & 1;
+        let r = self.constrain_rec(Bdd(f.0 ^ parity), c)?;
+        Ok(Bdd(r.0 ^ parity))
+    }
+
+    /// [`BddManager::try_constrain`] on a regular `f` edge.
+    fn constrain_rec(&mut self, f: Bdd, c: Bdd) -> Result<Bdd, BudgetExceeded> {
+        debug_assert!(!f.is_complemented());
+        if c.0 == TRUE || f.is_const() {
             return Ok(f);
         }
         if f == c {
             return Ok(self.constant(true));
+        }
+        if f.0 == (c.0 ^ 1) {
+            return Ok(self.constant(false));
         }
         if let Some(r) = self.cache.get(Op::Restrict, f.0, c.0, 1) {
             return Ok(Bdd(r));
@@ -376,10 +419,10 @@ impl BddManager {
         self.charge_step()?;
         let level = self.level(f.0).min(self.level(c.0));
         let (c0, c1) = self.cofactors_at(c, level);
-        let r = if c0.0 == 0 {
+        let r = if c0.0 == FALSE {
             let (_, f1) = self.cofactors_at(f, level);
             self.try_constrain(f1, c1)?
-        } else if c1.0 == 0 {
+        } else if c1.0 == FALSE {
             let (f0, _) = self.cofactors_at(f, level);
             self.try_constrain(f0, c0)?
         } else {
@@ -398,7 +441,18 @@ impl BddManager {
     }
 
     /// Budgeted [`BddManager::compose`].
+    ///
+    /// Substitution commutes with negation of `f`: the recursion and the
+    /// cache run on the regular edge.
     pub fn try_compose(&mut self, f: Bdd, var: BddVar, g: Bdd) -> Result<Bdd, BudgetExceeded> {
+        let parity = f.0 & 1;
+        let r = self.compose_rec(Bdd(f.0 ^ parity), var, g)?;
+        Ok(Bdd(r.0 ^ parity))
+    }
+
+    /// [`BddManager::try_compose`] on a regular `f` edge.
+    fn compose_rec(&mut self, f: Bdd, var: BddVar, g: Bdd) -> Result<Bdd, BudgetExceeded> {
+        debug_assert!(!f.is_complemented());
         let target = self.level_of(var);
         if f.is_const() || self.level(f.0) > target {
             return Ok(f);
@@ -433,28 +487,34 @@ impl BddManager {
     pub fn eval(&self, f: Bdd, assignment: &[bool]) -> bool {
         let mut cur = f.0;
         loop {
-            let node = &self.nodes[cur as usize];
+            let node = &self.nodes[(cur >> 1) as usize];
             if node.level == TERMINAL_LEVEL {
-                return cur == 1;
+                return cur & 1 == 0;
             }
             let var = self.level_to_var[node.level as usize] as usize;
-            cur = if assignment[var] { node.hi } else { node.lo };
+            // Complement tags accumulate along the path.
+            let child = if assignment[var] { node.hi } else { node.lo };
+            cur = child ^ (cur & 1);
         }
     }
 
+    /// Level, low edge and high edge of `f`'s root with the root's
+    /// complement tag distributed onto the children.
     #[inline]
     fn triple(&self, f: Bdd) -> (u32, u32, u32) {
-        let n = &self.nodes[f.0 as usize];
-        (n.level, n.lo, n.hi)
+        let n = &self.nodes[f.node_index() as usize];
+        let tag = f.0 & 1;
+        (n.level, n.lo ^ tag, n.hi ^ tag)
     }
 
     /// Cofactors of `f` with respect to the variable at `level` (identity if
     /// `f` starts below).
     #[inline]
     pub(crate) fn cofactors_at(&self, f: Bdd, level: u32) -> (Bdd, Bdd) {
-        let n = &self.nodes[f.0 as usize];
+        let n = &self.nodes[f.node_index() as usize];
         if n.level == level {
-            (Bdd(n.lo), Bdd(n.hi))
+            let tag = f.0 & 1;
+            (Bdd(n.lo ^ tag), Bdd(n.hi ^ tag))
         } else {
             (f, f)
         }
@@ -471,6 +531,7 @@ impl BddManager {
         (level, a0, a1, b0, b1)
     }
 }
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -500,6 +561,35 @@ mod tests {
     }
 
     #[test]
+    fn negation_is_node_free_and_cache_free() {
+        let (mut m, l) = setup();
+        let conj = m.and(l[0], l[1]);
+        let nodes_before = m.stats().allocated_nodes;
+        let t = m.telemetry();
+        let (steps, lookups) = (t.apply_steps, t.cache_hits + t.cache_misses);
+        let n = m.not(conj);
+        let nn = m.not(n);
+        assert_eq!(nn, conj);
+        let t = m.telemetry();
+        assert_eq!(m.stats().allocated_nodes, nodes_before, "not must not allocate");
+        assert_eq!(t.apply_steps, steps, "not must not recurse");
+        assert_eq!(t.cache_hits + t.cache_misses, lookups, "not must not touch the cache");
+    }
+
+    #[test]
+    fn dual_pairs_share_nodes_and_cache_entries() {
+        let (mut m, l) = setup();
+        let and = m.and(l[0], l[1]);
+        let n0 = m.not(l[0]);
+        let n1 = m.not(l[1]);
+        let nor = m.or(n0, n1); // ¬(x0 ∧ x1) by De Morgan
+        assert_eq!(nor.0, and.0 ^ 1, "f and ¬f must share one node");
+        // The OR ran entirely on the AND cache: same operands, one entry.
+        let rows = m.cache_stats_by_op();
+        assert!(rows.iter().all(|(name, _, _)| *name != "or"), "no separate or cache");
+    }
+
+    #[test]
     fn de_morgan() {
         let (mut m, l) = setup();
         let and = m.and(l[0], l[1]);
@@ -519,6 +609,26 @@ mod tests {
         let b = m.and(n, l[2]);
         let expect = m.or(a, b);
         assert_eq!(ite, expect);
+    }
+
+    #[test]
+    fn ite_standard_triples_collapse() {
+        let (mut m, l) = setup();
+        let nf = m.not(l[0]);
+        // Arms repeating the selector.
+        assert_eq!(m.ite(l[0], l[0], l[2]), m.or(l[0], l[2]));
+        assert_eq!(m.ite(l[0], nf, l[2]), m.and(nf, l[2]));
+        assert_eq!(m.ite(l[0], l[1], l[0]), m.and(l[0], l[1]));
+        let or01 = m.or(nf, l[1]);
+        assert_eq!(m.ite(l[0], l[1], nf), or01);
+        // ite(f, g, ¬g) is an XNOR.
+        let ng = m.not(l[1]);
+        let xnor = m.xnor(l[0], l[1]);
+        assert_eq!(m.ite(l[0], l[1], ng), xnor);
+        // Complemented selector swaps the arms.
+        let a = m.ite(nf, l[1], l[2]);
+        let b = m.ite(l[0], l[2], l[1]);
+        assert_eq!(a, b);
     }
 
     #[test]
@@ -542,6 +652,11 @@ mod tests {
         // Restricting an absent variable is the identity.
         let v3 = m.root_var(l[3]).unwrap();
         assert_eq!(m.restrict(f, v3, true), f);
+        // Restriction commutes with negation.
+        let nf = m.not(f);
+        let r = m.restrict(nf, v0, true);
+        let nr = m.not(l[1]);
+        assert_eq!(r, nr);
     }
 
     #[test]
@@ -599,6 +714,8 @@ mod tests {
         // Identities.
         assert_eq!(m.constrain(f, m.constant(true)), f);
         assert_eq!(m.constrain(f, f), m.constant(true));
+        let neg = m.not(f);
+        assert_eq!(m.constrain(neg, f), m.constant(false));
     }
 
     #[test]

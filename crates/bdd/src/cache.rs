@@ -4,15 +4,18 @@ use crate::hasher::FxBuildHasher;
 use std::collections::HashMap;
 
 /// Operation tags for computed-table keys.
+///
+/// With complement edges the operator set is smaller than the public API:
+/// `not` is a tag flip (no table traffic at all), `or`/`nand`/`nor` reach
+/// the table as `and` through De Morgan, `xnor` as `xor`, and `forall` as
+/// `exists` through quantifier duality — so every dual pair shares one set
+/// of cache entries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub(crate) enum Op {
-    Not,
     And,
-    Or,
     Xor,
     Ite,
     Exists,
-    Forall,
     /// Functional composition; the substituted variable is the third key slot.
     Compose,
     /// Generalised cofactor / restrict against a cube.
@@ -23,7 +26,7 @@ pub(crate) enum Op {
 
 impl Op {
     /// Number of operation kinds (the per-op stat arrays are this long).
-    pub(crate) const COUNT: usize = 10;
+    pub(crate) const COUNT: usize = 7;
 
     #[inline]
     pub(crate) fn index(self) -> usize {
@@ -33,13 +36,10 @@ impl Op {
     /// Stable lower-case name used in tracer counter names.
     pub(crate) fn name(self) -> &'static str {
         match self {
-            Op::Not => "not",
             Op::And => "and",
-            Op::Or => "or",
             Op::Xor => "xor",
             Op::Ite => "ite",
             Op::Exists => "exists",
-            Op::Forall => "forall",
             Op::Compose => "compose",
             Op::Restrict => "restrict",
             Op::AndExists => "and_exists",
@@ -47,18 +47,7 @@ impl Op {
     }
 
     pub(crate) fn all() -> [Op; Op::COUNT] {
-        [
-            Op::Not,
-            Op::And,
-            Op::Or,
-            Op::Xor,
-            Op::Ite,
-            Op::Exists,
-            Op::Forall,
-            Op::Compose,
-            Op::Restrict,
-            Op::AndExists,
-        ]
+        [Op::And, Op::Xor, Op::Ite, Op::Exists, Op::Compose, Op::Restrict, Op::AndExists]
     }
 }
 
@@ -198,7 +187,7 @@ mod tests {
         assert_eq!(c.get(Op::And, 2, 3, 0), None);
         c.put(Op::And, 2, 3, 0, 7);
         assert_eq!(c.get(Op::And, 2, 3, 0), Some(7));
-        assert_eq!(c.get(Op::Or, 2, 3, 0), None);
+        assert_eq!(c.get(Op::Xor, 2, 3, 0), None);
         c.clear();
         assert_eq!(c.get(Op::And, 2, 3, 0), None);
     }
@@ -224,11 +213,11 @@ mod tests {
     fn shrinking_capacity_evicts_oversized_table() {
         let mut c = OpCache::with_capacity_bits(12);
         for i in 0..2048u32 {
-            c.put(Op::Or, i, i, 0, i);
+            c.put(Op::Xor, i, i, 0, i);
         }
         c.set_capacity_bits(10);
         assert_eq!(c.evictions(), 1);
-        assert_eq!(c.get(Op::Or, 1, 1, 0), None);
+        assert_eq!(c.get(Op::Xor, 1, 1, 0), None);
         // Growing back is free.
         c.set_capacity_bits(40); // clamps to MAX_CACHE_BITS
         assert_eq!(c.capacity_bits(), MAX_CACHE_BITS);

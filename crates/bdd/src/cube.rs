@@ -58,15 +58,16 @@ impl Cube {
 
     /// Returns `true` if the cube mentions no variable.
     pub fn is_empty(self) -> bool {
-        self.bdd.0 == 1
+        self.bdd.0 == 0
     }
 
     /// The variables of the cube, in current level order (top first).
     pub fn vars(self, manager: &BddManager) -> Vec<BddVar> {
         let mut out = Vec::new();
+        // Positive conjunctions never carry complement tags on their chain.
         let mut cur = self.bdd.0;
         loop {
-            let node = &manager.nodes[cur as usize];
+            let node = &manager.nodes[(cur >> 1) as usize];
             if node.level == TERMINAL_LEVEL {
                 break;
             }

@@ -8,23 +8,34 @@ use std::fmt::Write as _;
 impl BddManager {
     /// Renders the shared graph of `roots` as a Graphviz `digraph`.
     ///
-    /// Solid edges are `then` branches, dashed edges `else` branches.
-    /// `labels` names the roots; missing labels fall back to `f<i>`.
+    /// Solid edges are `then` branches and dotted edges `else` branches;
+    /// **dashed** edges carry a complement tag (negated else branches and
+    /// negated root pointers). There is a single `1` terminal — `0` is the
+    /// dashed edge into it. `labels` names the roots; missing labels fall
+    /// back to `f<i>`.
     pub fn to_dot(&self, roots: &[Bdd], labels: &[&str]) -> String {
         let mut out = String::from("digraph bdd {\n  rankdir=TB;\n");
-        out.push_str("  node0 [label=\"0\", shape=box];\n");
-        out.push_str("  node1 [label=\"1\", shape=box];\n");
+        out.push_str("  node0 [label=\"1\", shape=box];\n");
+        // Edge attributes: else branches dotted, complement tags dashed.
+        let style = |edge: u32, is_else: bool| -> &'static str {
+            match (edge & 1 == 1, is_else) {
+                (true, _) => " [style=dashed]",
+                (false, true) => " [style=dotted]",
+                (false, false) => "",
+            }
+        };
         let mut visited: HashSet<u32, FxBuildHasher> = HashSet::default();
         let mut stack: Vec<u32> = Vec::new();
         for (i, root) in roots.iter().enumerate() {
             let label = labels.get(i).copied().unwrap_or("");
             let name = if label.is_empty() { format!("f{i}") } else { label.to_string() };
             let _ = writeln!(out, "  root{i} [label=\"{name}\", shape=plaintext];");
-            let _ = writeln!(out, "  root{i} -> node{};", root.0);
-            stack.push(root.0);
+            let _ =
+                writeln!(out, "  root{i} -> node{}{};", root.node_index(), style(root.0, false));
+            stack.push(root.node_index());
         }
         while let Some(idx) = stack.pop() {
-            if !visited.insert(idx) || idx <= 1 {
+            if !visited.insert(idx) || idx == 0 {
                 continue;
             }
             let n = &self.nodes[idx as usize];
@@ -33,10 +44,10 @@ impl BddManager {
             }
             let var = self.level_to_var[n.level as usize];
             let _ = writeln!(out, "  node{idx} [label=\"x{var}\", shape=circle];");
-            let _ = writeln!(out, "  node{idx} -> node{} [style=dashed];", n.lo);
-            let _ = writeln!(out, "  node{idx} -> node{};", n.hi);
-            stack.push(n.lo);
-            stack.push(n.hi);
+            let _ = writeln!(out, "  node{idx} -> node{}{};", n.lo >> 1, style(n.lo, true));
+            let _ = writeln!(out, "  node{idx} -> node{}{};", n.hi >> 1, style(n.hi, false));
+            stack.push(n.lo >> 1);
+            stack.push(n.hi >> 1);
         }
         out.push_str("}\n");
         out
@@ -58,6 +69,22 @@ mod tests {
         assert!(dot.contains("parity"));
         assert!(dot.contains("x0"));
         assert!(dot.contains("x1"));
+        // XOR needs a complemented else edge somewhere.
         assert!(dot.contains("style=dashed"));
+        // OR stores a regular (dotted) else edge: ¬(¬a ∧ ¬b) branches to b.
+        let g = m.or(a, b);
+        let dot = m.to_dot(&[g], &["either"]);
+        assert!(dot.contains("style=dotted"));
+    }
+
+    #[test]
+    fn complemented_root_renders_dashed() {
+        let mut m = BddManager::new();
+        let v = m.new_var();
+        let x = m.var(v);
+        let nx = m.not(x);
+        let dot = m.to_dot(&[nx], &["notx"]);
+        let root_line = dot.lines().find(|l| l.contains("root0 ->")).expect("root edge");
+        assert!(root_line.contains("style=dashed"), "negated root must render dashed: {root_line}");
     }
 }

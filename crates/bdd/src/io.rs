@@ -6,16 +6,20 @@
 //!
 //! ```text
 //! bdd <vars> <nodes> <roots>
-//! <id> <var> <lo-id> <hi-id>      # one line per internal node
-//! roots <id> <id> …
+//! <id> <var> <lo-ref> <hi-ref>    # one line per internal node
+//! roots <ref> <ref> …
 //! ```
 //!
-//! Node ids are local to the file; `0` and `1` denote the terminals.
-//! Loading uses ITE to rebuild nodes, so a forest can be read into a
-//! manager with a *different* variable order (the semantics, not the
-//! shape, is what round-trips).
+//! Node ids are local to the file; `0` and `1` denote the constants. A
+//! reference is a node id with an optional `!` prefix marking a
+//! complemented edge (`!7` is the negation of node 7), mirroring the
+//! in-memory tagged-edge representation. Files written before complement
+//! edges existed contain no `!` and still load. Loading uses ITE to
+//! rebuild nodes, so a forest can be read into a manager with a
+//! *different* variable order (the semantics, not the shape, is what
+//! round-trips).
 
-use crate::manager::{Bdd, BddManager, BddVar, TERMINAL_LEVEL};
+use crate::manager::{Bdd, BddManager, BddVar, FALSE, TERMINAL_LEVEL, TRUE};
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
@@ -36,40 +40,47 @@ impl Error for ParseForestError {}
 impl BddManager {
     /// Serialises the shared graph of `roots`.
     pub fn write_forest(&self, roots: &[Bdd]) -> String {
-        // Collect the shared nodes bottom-up (children first).
+        // Collect the shared nodes bottom-up (children first), walking node
+        // indices so `f` and `¬f` serialise as one node.
         let mut order: Vec<u32> = Vec::new();
         let mut seen: HashMap<u32, ()> = HashMap::new();
         fn visit(m: &BddManager, idx: u32, seen: &mut HashMap<u32, ()>, order: &mut Vec<u32>) {
-            if idx <= 1 || seen.contains_key(&idx) {
+            if idx == 0 || seen.contains_key(&idx) {
                 return;
             }
             seen.insert(idx, ());
             let n = &m.nodes[idx as usize];
-            visit(m, n.lo, seen, order);
-            visit(m, n.hi, seen, order);
+            visit(m, n.lo >> 1, seen, order);
+            visit(m, n.hi >> 1, seen, order);
             order.push(idx);
         }
         for r in roots {
-            visit(self, r.0, &mut seen, &mut order);
+            visit(self, r.node_index(), &mut seen, &mut order);
         }
-        // Local ids: 0/1 reserved for terminals, internal nodes from 2.
+        // Local ids: 0/1 reserved for the constants, internal nodes from 2.
         let mut local: HashMap<u32, usize> = HashMap::new();
-        local.insert(0, 0);
-        local.insert(1, 1);
         for (k, &idx) in order.iter().enumerate() {
             local.insert(idx, k + 2);
         }
+        let edge_ref = |edge: u32| -> String {
+            match edge {
+                FALSE => "0".to_string(),
+                TRUE => "1".to_string(),
+                _ if edge & 1 == 1 => format!("!{}", local[&(edge >> 1)]),
+                _ => format!("{}", local[&(edge >> 1)]),
+            }
+        };
         let mut out = String::new();
         let _ = writeln!(out, "bdd {} {} {}", self.var_count(), order.len(), roots.len());
         for &idx in &order {
             let n = &self.nodes[idx as usize];
             debug_assert_ne!(n.level, TERMINAL_LEVEL);
             let var = self.level_to_var[n.level as usize];
-            let _ = writeln!(out, "{} {} {} {}", local[&idx], var, local[&n.lo], local[&n.hi]);
+            let _ = writeln!(out, "{} {} {} {}", local[&idx], var, edge_ref(n.lo), edge_ref(n.hi));
         }
         out.push_str("roots");
         for r in roots {
-            let _ = write!(out, " {}", local[&r.0]);
+            let _ = write!(out, " {}", edge_ref(r.0));
         }
         out.push('\n');
         out
@@ -101,24 +112,35 @@ impl BddManager {
             self.new_var();
         }
         let mut local: Vec<Bdd> = vec![self.constant(false), self.constant(true)];
+        // A reference is a local id, optionally `!`-prefixed for negation.
+        let resolve = |local: &[Bdd], token: &str| -> Result<Bdd, ParseForestError> {
+            let (neg, id) = match token.strip_prefix('!') {
+                Some(rest) => (true, rest),
+                None => (false, token),
+            };
+            id.parse::<usize>()
+                .ok()
+                .and_then(|i| local.get(i).copied())
+                .map(|b| if neg { Bdd(b.0 ^ 1) } else { b })
+                .ok_or_else(|| ParseForestError(format!("dangling reference `{token}`")))
+        };
         for _ in 0..nodes {
             let line = lines.next().ok_or_else(|| ParseForestError("truncated".into()))?;
-            let fields: Vec<usize> = line
-                .split_whitespace()
-                .map(|t| t.parse().map_err(|_| ParseForestError(format!("bad line `{line}`"))))
-                .collect::<Result<_, _>>()?;
+            let fields: Vec<&str> = line.split_whitespace().collect();
             let [id, var, lo, hi] = fields[..] else {
                 return Err(ParseForestError(format!("bad line `{line}`")));
             };
-            if id != local.len()
-                || var >= self.var_count()
-                || lo >= local.len()
-                || hi >= local.len()
-            {
+            let id: usize =
+                id.parse().map_err(|_| ParseForestError(format!("bad line `{line}`")))?;
+            let var: usize =
+                var.parse().map_err(|_| ParseForestError(format!("bad line `{line}`")))?;
+            if id != local.len() || var >= self.var_count() {
                 return Err(ParseForestError(format!("dangling reference in `{line}`")));
             }
+            let lo = resolve(&local, lo)?;
+            let hi = resolve(&local, hi)?;
             let v = self.var(BddVar(var as u32));
-            let node = self.ite(v, local[hi], local[lo]);
+            let node = self.ite(v, hi, lo);
             local.push(node);
         }
         let roots_line =
@@ -127,14 +149,7 @@ impl BddManager {
         if r.next() != Some("roots") {
             return Err(ParseForestError("missing `roots` keyword".into()));
         }
-        let roots: Vec<Bdd> = r
-            .map(|t| {
-                t.parse::<usize>()
-                    .ok()
-                    .and_then(|i| local.get(i).copied())
-                    .ok_or_else(|| ParseForestError(format!("bad root `{t}`")))
-            })
-            .collect::<Result<_, _>>()?;
+        let roots: Vec<Bdd> = r.map(|t| resolve(&local, t)).collect::<Result<_, _>>()?;
         if roots.len() != roots_n {
             return Err(ParseForestError(format!(
                 "header promised {roots_n} roots, found {}",
@@ -192,6 +207,25 @@ mod tests {
     }
 
     #[test]
+    fn complemented_roots_round_trip() {
+        let mut m = BddManager::new();
+        let vars = m.new_vars(3);
+        let lits: Vec<Bdd> = vars.iter().map(|&v| m.var(v)).collect();
+        let f = m.and(lits[0], lits[1]);
+        let nf = m.not(f);
+        let text = m.write_forest(&[f, nf]);
+        // One shared node list, two complementary roots.
+        let mut m2 = BddManager::new();
+        let loaded = m2.read_forest(&text).unwrap();
+        assert_eq!(loaded[0], m2.not(loaded[1]));
+        for bits in 0..8u32 {
+            let assign: Vec<bool> = (0..3).map(|i| bits >> i & 1 == 1).collect();
+            assert_eq!(m.eval(f, &assign), m2.eval(loaded[0], &assign));
+            assert_eq!(m.eval(nf, &assign), m2.eval(loaded[1], &assign));
+        }
+    }
+
+    #[test]
     fn constants_and_sharing_survive() {
         let mut m = BddManager::new();
         let v = m.new_vars(2);
@@ -205,12 +239,22 @@ mod tests {
     }
 
     #[test]
+    fn reads_legacy_uncomplemented_files() {
+        // A file from before complement edges: x0 as (id 2, lo=0, hi=1).
+        let mut m = BddManager::new();
+        let loaded = m.read_forest("bdd 1 1 1\n2 0 0 1\nroots 2\n").unwrap();
+        let v = m.var_at_level(0);
+        assert_eq!(loaded[0], m.var(v));
+    }
+
+    #[test]
     fn rejects_malformed_input() {
         let mut m = BddManager::new();
         assert!(m.read_forest("").is_err());
         assert!(m.read_forest("nope 1 2 3\n").is_err());
         assert!(m.read_forest("bdd 1 1 1\n2 0 5 1\nroots 2\n").is_err()); // dangling lo
         assert!(m.read_forest("bdd 1 0 1\nroots 7\n").is_err()); // bad root
+        assert!(m.read_forest("bdd 1 0 1\nroots !7\n").is_err()); // bad negated root
         assert!(m.read_forest("bdd x y z\n").is_err());
     }
 }

@@ -1,4 +1,4 @@
-//! # bbec-bdd — a from-scratch ROBDD package
+//! # bbec-bdd — a from-scratch ROBDD package with complement edges
 //!
 //! Reduced Ordered Binary Decision Diagrams in the spirit of Bryant (1986)
 //! and the CUDD package used by the reproduced paper (Scholl & Becker,
@@ -6,6 +6,14 @@
 //! operator core with a computed cache, existential/universal quantification,
 //! functional composition, reference-counted garbage collection and **dynamic
 //! variable reordering by Rudell sifting**.
+//!
+//! Handles are **tagged complement edges** (Brace/Rudell/Bryant, DAC 1990):
+//! a [`Bdd`] packs a node index and a complement bit, so a function and its
+//! negation share one node, [`BddManager::not`] is an O(1) bit flip with no
+//! cache traffic, and every dual operator pair (`or`/`and`, `xnor`/`xor`,
+//! `forall`/`exists`) shares a single recursion and one set of computed-table
+//! entries. The canonical form keeps every stored then-edge uncomplemented;
+//! [`BddManager::check_invariants`] enforces it.
 //!
 //! The package is deliberately single-threaded: a [`BddManager`] owns every
 //! node, and functions are identified by copyable [`Bdd`] handles into the

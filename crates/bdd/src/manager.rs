@@ -8,16 +8,19 @@ use bbec_trace::{OpTelemetry, Tracer};
 
 /// A handle to a BDD node owned by a [`BddManager`].
 ///
-/// Handles are plain indices: copying one is free and does not affect
-/// reference counts. A handle obtained from a manager stays valid until the
-/// node is reclaimed by garbage collection; protect handles you keep across
-/// [`BddManager::collect_garbage`] or [`BddManager::reorder`] with
-/// [`BddManager::protect`].
+/// A handle is a **tagged edge**: bits `[31:1]` are the node index inside
+/// the manager and bit `0` is the complement flag, so `f` and `¬f` share
+/// one node and negation is a single bit flip. Copying a handle is free
+/// and does not affect reference counts. A handle obtained from a manager
+/// stays valid until the node is reclaimed by garbage collection; protect
+/// handles you keep across [`BddManager::collect_garbage`] or
+/// [`BddManager::reorder`] with [`BddManager::protect`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Bdd(pub(crate) u32);
 
 impl Bdd {
-    /// Index of this node inside its manager, mainly useful for debugging.
+    /// The raw tagged-edge bits (node index `<< 1 |` complement flag),
+    /// mainly useful for debugging.
     pub fn index(self) -> u32 {
         self.0
     }
@@ -26,7 +29,24 @@ impl Bdd {
     pub fn is_const(self) -> bool {
         self.0 <= 1
     }
+
+    /// The node index this edge points at (complement bit stripped).
+    #[inline]
+    pub(crate) fn node_index(self) -> u32 {
+        self.0 >> 1
+    }
+
+    /// Whether this edge carries the complement tag.
+    #[inline]
+    pub(crate) fn is_complemented(self) -> bool {
+        self.0 & 1 == 1
+    }
 }
+
+/// Tagged edge of the constant `true`: the terminal node, uncomplemented.
+pub(crate) const TRUE: u32 = 0;
+/// Tagged edge of the constant `false`: the terminal node, complemented.
+pub(crate) const FALSE: u32 = 1;
 
 /// A BDD variable, identified independently of its current level.
 ///
@@ -47,6 +67,10 @@ pub(crate) const TERMINAL_LEVEL: u32 = u32::MAX;
 /// Reference count value treated as "pinned forever" (constants, projections).
 const STICKY_REFS: u32 = u32::MAX / 2;
 
+/// One stored node. `lo`/`hi` are **tagged edges** ([`Bdd`] bit layout);
+/// the canonical form keeps `hi` uncomplemented — a complemented then-edge
+/// is normalised away by `mk` into the complement bit of the parent edge.
+/// `next` chains node *indices* (untagged) through the unique table.
 #[derive(Debug, Clone)]
 pub(crate) struct Node {
     pub(crate) level: u32,
@@ -162,12 +186,12 @@ impl Default for BddManager {
 }
 
 impl BddManager {
-    /// Creates an empty manager containing only the two constants.
+    /// Creates an empty manager containing only the terminal node (both
+    /// constants are edges to it: `true` plain, `false` complemented).
     pub fn new() -> Self {
-        let f = Node { level: TERMINAL_LEVEL, lo: 0, hi: 0, refs: STICKY_REFS, next: NIL };
-        let t = Node { level: TERMINAL_LEVEL, lo: 1, hi: 1, refs: STICKY_REFS, next: NIL };
+        let terminal = Node { level: TERMINAL_LEVEL, lo: 0, hi: 0, refs: STICKY_REFS, next: NIL };
         BddManager {
-            nodes: vec![f, t],
+            nodes: vec![terminal],
             free: Vec::new(),
             tables: Vec::new(),
             level_to_var: Vec::new(),
@@ -300,7 +324,7 @@ impl BddManager {
 
     /// The constant `true` or `false` function.
     pub fn constant(&self, value: bool) -> Bdd {
-        Bdd(u32::from(value))
+        Bdd(if value { TRUE } else { FALSE })
     }
 
     /// Number of variables created so far.
@@ -315,10 +339,10 @@ impl BddManager {
         self.var_to_level.push(level);
         self.level_to_var.push(var);
         self.tables.push(SubTable::new());
-        let node = self.mk(level, 0, 1);
+        let node = self.mk(level, FALSE, TRUE);
         // Projections are pinned so `var()` handles never dangle. The fresh
         // node was counted as dead by `mk`; un-count it.
-        self.nodes[node.0 as usize].refs = STICKY_REFS;
+        self.nodes[node.node_index() as usize].refs = STICKY_REFS;
         self.dead -= 1;
         self.projections.push(node.0);
         BddVar(var)
@@ -358,7 +382,7 @@ impl BddManager {
     ///
     /// Returns `None` for the constants.
     pub fn root_var(&self, f: Bdd) -> Option<BddVar> {
-        let level = self.nodes[f.0 as usize].level;
+        let level = self.nodes[f.node_index() as usize].level;
         if level == TERMINAL_LEVEL {
             None
         } else {
@@ -373,7 +397,8 @@ impl BddManager {
     /// Panics if `f` is a constant.
     pub fn low(&self, f: Bdd) -> Bdd {
         assert!(!f.is_const(), "constants have no cofactors");
-        Bdd(self.nodes[f.0 as usize].lo)
+        // The root's complement tag distributes onto both child edges.
+        Bdd(self.nodes[f.node_index() as usize].lo ^ (f.0 & 1))
     }
 
     /// The `then` (high, `var = 1`) cofactor of the root node of `f`.
@@ -383,12 +408,13 @@ impl BddManager {
     /// Panics if `f` is a constant.
     pub fn high(&self, f: Bdd) -> Bdd {
         assert!(!f.is_const(), "constants have no cofactors");
-        Bdd(self.nodes[f.0 as usize].hi)
+        Bdd(self.nodes[f.node_index() as usize].hi ^ (f.0 & 1))
     }
 
+    /// Level of the node a tagged edge points at.
     #[inline]
-    pub(crate) fn level(&self, idx: u32) -> u32 {
-        self.nodes[idx as usize].level
+    pub(crate) fn level(&self, edge: u32) -> u32 {
+        self.nodes[(edge >> 1) as usize].level
     }
 
     /// Finds or creates the node `(level, lo, hi)`, infallibly.
@@ -410,10 +436,13 @@ impl BddManager {
         self.mk_checked(level, lo, hi, true)
     }
 
-    /// Finds or creates the node `(level, lo, hi)`.
+    /// Finds or creates the node for the edge triple `(level, lo, hi)`.
     ///
-    /// Maintains the two ROBDD invariants: no node with equal children, no
-    /// two nodes with the same `(level, lo, hi)` triple.
+    /// Maintains the three canonicity invariants: no node with equal
+    /// children, no two nodes with the same `(level, lo, hi)` triple, and
+    /// no complemented then-edge — a complement tag on `hi` is pushed onto
+    /// both children and returned on the result edge instead, so `f` and
+    /// `¬f` always resolve to the same stored node.
     fn mk_checked(
         &mut self,
         level: u32,
@@ -424,6 +453,9 @@ impl BddManager {
         if lo == hi {
             return Ok(Bdd(lo));
         }
+        // Canonical form: complement tags live on incoming edges only.
+        let flip = hi & 1;
+        let (lo, hi) = (lo ^ flip, hi ^ flip);
         debug_assert!(self.level(lo) > level && self.level(hi) > level, "children must be below");
         let table = &self.tables[level as usize];
         let bucket = table.bucket_of(lo, hi);
@@ -438,7 +470,7 @@ impl BddManager {
                 if self.tracer.enabled() {
                     self.tracer.record("bdd.unique.probe", probe);
                 }
-                return Ok(Bdd(cursor));
+                return Ok(Bdd((cursor << 1) | flip));
             }
             cursor = n.next;
         }
@@ -474,7 +506,7 @@ impl BddManager {
             self.peak = self.live;
         }
         self.table_insert(level, idx);
-        Ok(Bdd(idx))
+        Ok(Bdd((idx << 1) | flip))
     }
 
     pub(crate) fn table_insert(&mut self, level: u32, idx: u32) {
@@ -534,9 +566,10 @@ impl BddManager {
         self.nodes[idx as usize].next = NIL;
     }
 
+    /// Increments the reference count of the node a tagged edge points at.
     #[inline]
-    pub(crate) fn inc_node(&mut self, idx: u32) {
-        let node = &mut self.nodes[idx as usize];
+    pub(crate) fn inc_node(&mut self, edge: u32) {
+        let node = &mut self.nodes[(edge >> 1) as usize];
         if node.refs < STICKY_REFS {
             let was_dead = node.refs == 0 && node.level != TERMINAL_LEVEL;
             node.refs += 1;
@@ -546,9 +579,10 @@ impl BddManager {
         }
     }
 
+    /// Decrements the reference count of the node a tagged edge points at.
     #[inline]
-    pub(crate) fn dec_node(&mut self, idx: u32) {
-        let node = &mut self.nodes[idx as usize];
+    pub(crate) fn dec_node(&mut self, edge: u32) {
+        let node = &mut self.nodes[(edge >> 1) as usize];
         if node.refs >= STICKY_REFS || node.level == TERMINAL_LEVEL {
             return;
         }
@@ -674,7 +708,8 @@ impl BddManager {
 
     /// Exhaustive structural self-check used by the test-suite.
     ///
-    /// Verifies the ROBDD invariants (ordered, reduced, hash-consed) and that
+    /// Verifies the ROBDD invariants (ordered, reduced, hash-consed), the
+    /// complement-edge canonical form (no complemented then-edges) and that
     /// stored reference counts match the actual parent counts.
     ///
     /// # Panics
@@ -693,12 +728,13 @@ impl BddManager {
                     assert!(!seen[cursor as usize], "node chained twice");
                     seen[cursor as usize] = true;
                     assert_ne!(n.lo, n.hi, "unreduced node");
+                    assert_eq!(n.hi & 1, 0, "complemented then-edge violates canonical form");
                     assert!(
                         self.level(n.lo) > n.level && self.level(n.hi) > n.level,
                         "order violated"
                     );
-                    parents[n.lo as usize] += 1;
-                    parents[n.hi as usize] += 1;
+                    parents[(n.lo >> 1) as usize] += 1;
+                    parents[(n.hi >> 1) as usize] += 1;
                     chained += 1;
                     cursor = n.next;
                 }
@@ -709,7 +745,7 @@ impl BddManager {
         for &f in &self.free {
             free_set[f as usize] = true;
         }
-        for idx in 2..self.nodes.len() {
+        for idx in 1..self.nodes.len() {
             if free_set[idx] {
                 continue;
             }
@@ -764,8 +800,24 @@ mod tests {
     fn mk_reduces_equal_children() {
         let mut m = BddManager::new();
         let _v = m.new_var();
-        let n = m.mk(0, 1, 1);
+        let n = m.mk(0, FALSE, FALSE);
+        assert_eq!(n, m.constant(false));
+        let n = m.mk(0, TRUE, TRUE);
         assert_eq!(n, m.constant(true));
+    }
+
+    #[test]
+    fn complemented_then_edge_normalises_to_dual_node() {
+        let mut m = BddManager::new();
+        let v = m.new_var();
+        // (level 0, lo=1, hi=0) is ¬x: it must reuse the projection node of
+        // x with the complement bit set, not allocate a second node.
+        let nx = m.mk(0, TRUE, FALSE);
+        let x = m.var(v);
+        assert_eq!(nx, m.not(x));
+        assert_eq!(nx.node_index(), x.node_index(), "x and ¬x must share a node");
+        assert!(nx.is_complemented() != x.is_complemented());
+        m.check_invariants();
     }
 
     #[test]

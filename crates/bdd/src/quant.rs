@@ -1,13 +1,16 @@
 //! Existential and universal quantification.
 //!
-//! Like the operator core in `apply.rs`, every quantifier comes as a
-//! budgeted `try_*` method plus a thin infallible wrapper that runs with
-//! the budget removed.
+//! With complement edges the two quantifiers are duals through a pair of
+//! O(1) tag flips: `∀ cube. f = ¬∃ cube. ¬f`, so only the existential
+//! recursion exists and both directions share one set of `exists` cache
+//! entries. Like the operator core in `apply.rs`, every quantifier comes
+//! as a budgeted `try_*` method plus a thin infallible wrapper that runs
+//! with the budget removed.
 
 use crate::budget::BudgetExceeded;
 use crate::cache::Op;
 use crate::cube::Cube;
-use crate::manager::{Bdd, BddManager, BddVar, TERMINAL_LEVEL};
+use crate::manager::{Bdd, BddManager, BddVar, FALSE, TERMINAL_LEVEL, TRUE};
 
 impl BddManager {
     /// Existential quantification `∃ cube. f`.
@@ -20,14 +23,16 @@ impl BddManager {
         self.exists_rec(f, cube.bdd)
     }
 
-    /// Universal quantification `∀ cube. f`.
+    /// Universal quantification `∀ cube. f` — the dual `¬∃ cube. ¬f`,
+    /// sharing the existential recursion and its cache.
     pub fn forall(&mut self, f: Bdd, cube: Cube) -> Bdd {
         self.run_unbudgeted(|m| m.try_forall(f, cube))
     }
 
     /// Budgeted [`BddManager::forall`].
     pub fn try_forall(&mut self, f: Bdd, cube: Cube) -> Result<Bdd, BudgetExceeded> {
-        self.forall_rec(f, cube.bdd)
+        let r = self.exists_rec(Bdd(f.0 ^ 1), cube.bdd)?;
+        Ok(Bdd(r.0 ^ 1))
     }
 
     /// Convenience: `∃ vars. f` without building a [`Cube`] first.
@@ -64,38 +69,41 @@ impl BddManager {
         self.and_exists_rec(f, g, cube.bdd)
     }
 
-    /// Dual form `∀ cube. f ∨ g = ¬∃ cube. ¬f ∧ ¬g`.
+    /// Dual form `∀ cube. f ∨ g = ¬∃ cube. ¬f ∧ ¬g` — three tag flips
+    /// around the relational product.
     pub fn or_forall(&mut self, f: Bdd, g: Bdd, cube: Cube) -> Bdd {
         self.run_unbudgeted(|m| m.try_or_forall(f, g, cube))
     }
 
     /// Budgeted [`BddManager::or_forall`].
     pub fn try_or_forall(&mut self, f: Bdd, g: Bdd, cube: Cube) -> Result<Bdd, BudgetExceeded> {
-        let nf = self.try_not(f)?;
-        let ng = self.try_not(g)?;
-        let e = self.try_and_exists(nf, ng, cube)?;
-        self.try_not(e)
+        let e = self.and_exists_rec(Bdd(f.0 ^ 1), Bdd(g.0 ^ 1), cube.bdd)?;
+        Ok(Bdd(e.0 ^ 1))
     }
 
     fn and_exists_rec(&mut self, f: Bdd, g: Bdd, cube: Bdd) -> Result<Bdd, BudgetExceeded> {
-        if f.0 == 0 || g.0 == 0 {
+        if f.0 == FALSE || g.0 == FALSE || f.0 == (g.0 ^ 1) {
             return Ok(self.constant(false));
         }
-        if cube.0 == 1 {
+        if cube.0 == TRUE {
             return self.try_and(f, g);
         }
-        if f.0 == 1 && g.0 == 1 {
-            return Ok(self.constant(true));
+        if f.0 == TRUE {
+            return self.exists_rec(g, cube);
+        }
+        if g.0 == TRUE {
+            return self.exists_rec(f, cube);
         }
         // Order the operands for the commutative cache key.
         let (f, g) = if f.0 <= g.0 { (f, g) } else { (g, f) };
         let top = self.level(f.0).min(self.level(g.0));
-        // Skip quantified variables above both operands.
+        // Skip quantified variables above both operands. Cubes are positive
+        // conjunctions, so their chain edges are always regular.
         let mut c = cube.0;
         while self.level(c) < top {
-            c = self.nodes[c as usize].hi;
+            c = self.nodes[(c >> 1) as usize].hi;
         }
-        if self.nodes[c as usize].level == TERMINAL_LEVEL {
+        if self.level(c) == TERMINAL_LEVEL {
             return self.try_and(f, g);
         }
         let cube = Bdd(c);
@@ -106,9 +114,9 @@ impl BddManager {
         let (f0, f1) = self.cofactors_at(f, top);
         let (g0, g1) = self.cofactors_at(g, top);
         let r = if self.level(cube.0) == top {
-            let rest = Bdd(self.nodes[cube.0 as usize].hi);
+            let rest = Bdd(self.nodes[cube.node_index() as usize].hi);
             let a = self.and_exists_rec(f0, g0, rest)?;
-            if a.0 == 1 {
+            if a.0 == TRUE {
                 a
             } else {
                 let b = self.and_exists_rec(f1, g1, rest)?;
@@ -124,16 +132,16 @@ impl BddManager {
     }
 
     fn exists_rec(&mut self, f: Bdd, cube: Bdd) -> Result<Bdd, BudgetExceeded> {
-        if f.is_const() || cube.0 == 1 {
+        if f.is_const() || cube.0 == TRUE {
             return Ok(f);
         }
         // Skip quantified variables above the top variable of f.
         let flevel = self.level(f.0);
         let mut c = cube.0;
         while self.level(c) < flevel {
-            c = self.nodes[c as usize].hi;
+            c = self.nodes[(c >> 1) as usize].hi;
         }
-        if self.nodes[c as usize].level == TERMINAL_LEVEL {
+        if self.level(c) == TERMINAL_LEVEL {
             return Ok(f);
         }
         let cube = Bdd(c);
@@ -141,15 +149,11 @@ impl BddManager {
             return Ok(Bdd(r));
         }
         self.charge_step()?;
-        let (lo, hi) = {
-            let n = &self.nodes[f.0 as usize];
-            (Bdd(n.lo), Bdd(n.hi))
-        };
-        let clevel = self.level(cube.0);
-        let r = if clevel == flevel {
-            let rest = Bdd(self.nodes[cube.0 as usize].hi);
+        let (lo, hi) = self.cofactors_at(f, flevel);
+        let r = if self.level(cube.0) == flevel {
+            let rest = Bdd(self.nodes[cube.node_index() as usize].hi);
             let a = self.exists_rec(lo, rest)?;
-            if a.0 == 1 {
+            if a.0 == TRUE {
                 // Short-circuit: ∨ with true.
                 a
             } else {
@@ -162,46 +166,6 @@ impl BddManager {
             self.try_mk(flevel, a.0, b.0)?
         };
         self.cache.put(Op::Exists, f.0, cube.0, 0, r.0);
-        Ok(r)
-    }
-
-    fn forall_rec(&mut self, f: Bdd, cube: Bdd) -> Result<Bdd, BudgetExceeded> {
-        if f.is_const() || cube.0 == 1 {
-            return Ok(f);
-        }
-        let flevel = self.level(f.0);
-        let mut c = cube.0;
-        while self.level(c) < flevel {
-            c = self.nodes[c as usize].hi;
-        }
-        if self.nodes[c as usize].level == TERMINAL_LEVEL {
-            return Ok(f);
-        }
-        let cube = Bdd(c);
-        if let Some(r) = self.cache.get(Op::Forall, f.0, cube.0, 0) {
-            return Ok(Bdd(r));
-        }
-        self.charge_step()?;
-        let (lo, hi) = {
-            let n = &self.nodes[f.0 as usize];
-            (Bdd(n.lo), Bdd(n.hi))
-        };
-        let clevel = self.level(cube.0);
-        let r = if clevel == flevel {
-            let rest = Bdd(self.nodes[cube.0 as usize].hi);
-            let a = self.forall_rec(lo, rest)?;
-            if a.0 == 0 {
-                a
-            } else {
-                let b = self.forall_rec(hi, rest)?;
-                self.try_and(a, b)?
-            }
-        } else {
-            let a = self.forall_rec(lo, cube)?;
-            let b = self.forall_rec(hi, cube)?;
-            self.try_mk(flevel, a.0, b.0)?
-        };
-        self.cache.put(Op::Forall, f.0, cube.0, 0, r.0);
         Ok(r)
     }
 }
@@ -320,5 +284,23 @@ mod tests {
         let f = m.and(a, b);
         assert_eq!(m.exists_vars(f, &[]), f);
         assert_eq!(m.forall_vars(f, &[]), f);
+    }
+
+    #[test]
+    fn forall_shares_the_exists_cache() {
+        let mut m = BddManager::new();
+        let vars = m.new_vars(4);
+        let lits: Vec<Bdd> = vars.iter().map(|&v| m.var(v)).collect();
+        let p = m.and(lits[0], lits[1]);
+        let f = m.or(p, lits[3]);
+        let nf = m.not(f);
+        let e = m.exists_vars(nf, &[vars[1]]);
+        let before = m.telemetry();
+        // ∀ of f over the same cube walks exactly the ∃ recursion on ¬f,
+        // which is now fully cached: no new apply steps.
+        let a = m.forall_vars(f, &[vars[1]]);
+        let after = m.telemetry();
+        assert_eq!(a, m.not(e));
+        assert_eq!(after.apply_steps, before.apply_steps);
     }
 }

@@ -54,14 +54,18 @@ impl BddManager {
                 let n = &self.nodes[idx as usize];
                 (n.lo, n.hi)
             };
+            // Expanding a child distributes its complement tag onto the
+            // grandchildren. `f1` is a stored then-edge, hence regular.
+            debug_assert_eq!(f1 & 1, 0, "stored then-edge must be regular");
             let (f00, f01) = if self.level(f0) == lev_v {
-                let n = &self.nodes[f0 as usize];
-                (n.lo, n.hi)
+                let n = &self.nodes[(f0 >> 1) as usize];
+                let tag = f0 & 1;
+                (n.lo ^ tag, n.hi ^ tag)
             } else {
                 (f0, f0)
             };
             let (f10, f11) = if self.level(f1) == lev_v {
-                let n = &self.nodes[f1 as usize];
+                let n = &self.nodes[(f1 >> 1) as usize];
                 (n.lo, n.hi)
             } else {
                 (f1, f1)
@@ -69,6 +73,10 @@ impl BddManager {
             let g0 = self.mk(lev_v, f00, f10);
             let g1 = self.mk(lev_v, f01, f11);
             debug_assert_ne!(g0, g1, "rebuilt node would be redundant");
+            // Both rebuilt children take their then-slot from `f1`'s regular
+            // expansion, so neither acquires a complement tag and the
+            // rewritten node keeps the canonical (regular then-edge) form.
+            debug_assert_eq!(g1.0 & 1, 0, "rebuilt then-edge must stay regular");
             self.inc_node(g0.0);
             self.inc_node(g1.0);
             self.dec_node(f0);
@@ -134,9 +142,10 @@ impl BddManager {
         self.cascade_release(hi);
     }
 
-    fn cascade_release(&mut self, idx: u32) {
-        self.dec_node(idx);
-        if idx > 1 && self.nodes[idx as usize].refs == 0 {
+    fn cascade_release(&mut self, edge: u32) {
+        self.dec_node(edge);
+        let idx = edge >> 1;
+        if idx != 0 && self.nodes[idx as usize].refs == 0 {
             let level = self.nodes[idx as usize].level;
             self.table_remove(level, idx);
             self.free_detached(idx);

@@ -1,0 +1,421 @@
+//! BDD-level differential fuzzing: random operator sequences checked
+//! against a truth-table reference.
+//!
+//! Where [`crate::fuzz`] tests the *engines* end-to-end, this module tests
+//! the **BDD package itself** — the substrate every engine stands on. Each
+//! case builds a pool of functions over at most [`MAX_FUZZ_VARS`] variables
+//! and replays a deterministic random sequence of operations
+//! (`and`/`or`/`xor`/`not`/`ite`/`exists`/`forall`/`compose`/`restrict`/
+//! `and_exists`) simultaneously on the [`BddManager`] and on an exhaustive
+//! truth table. After every operation three contracts are checked:
+//!
+//! 1. **Semantics**: evaluating the result BDD over all `2^n` assignments
+//!    reproduces the reference table bit-for-bit.
+//! 2. **Canonicity**: two operations producing the same truth table must
+//!    return the *same handle* (with complement edges this includes `f` and
+//!    `¬f` resolving to one node with opposite tags).
+//! 3. **Structure**: [`BddManager::check_invariants`] holds periodically
+//!    and after every garbage collection/reordering — including the
+//!    complement-edge canonical form (no complemented then-edges).
+//!
+//! Half of the cases run with dynamic reordering enabled so sifting is
+//! exercised under fire.
+
+use bbec_bdd::{Bdd, BddManager, BddVar, Cube, ReorderSettings};
+use bbec_trace::Tracer;
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Hard cap on variables per case: `2^12` rows is cheap to enumerate while
+/// still deep enough for interesting node sharing.
+pub const MAX_FUZZ_VARS: usize = 12;
+
+/// Configuration of one BDD fuzz run.
+#[derive(Debug, Clone)]
+pub struct BddFuzzConfig {
+    /// Master seed; case `i` derives deterministically from it.
+    pub seed: u64,
+    /// Wall-clock budget; the loop stops at the first case boundary past it.
+    pub budget: Duration,
+    /// Hard cap on cases (None: budget-only).
+    pub max_cases: Option<u64>,
+    /// Operations applied per case.
+    pub ops_per_case: usize,
+}
+
+impl Default for BddFuzzConfig {
+    fn default() -> Self {
+        BddFuzzConfig {
+            seed: 0,
+            budget: Duration::from_secs(30),
+            max_cases: None,
+            ops_per_case: 160,
+        }
+    }
+}
+
+/// The first contract violation of a run.
+#[derive(Debug, Clone)]
+pub struct BddFuzzViolation {
+    /// Case index within the run.
+    pub case: u64,
+    /// Case seed (replays the whole case deterministically).
+    pub seed: u64,
+    /// Zero-based index of the violating operation within the case.
+    pub op_index: usize,
+    /// Human-readable description of the operation.
+    pub op: String,
+    /// What went wrong.
+    pub detail: String,
+}
+
+impl std::fmt::Display for BddFuzzViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "case {} (seed {:#018x}) op {} `{}`: {}",
+            self.case, self.seed, self.op_index, self.op, self.detail
+        )
+    }
+}
+
+/// Aggregate statistics of one BDD fuzz run.
+#[derive(Debug, Default)]
+pub struct BddFuzzSummary {
+    /// Cases completed (or aborted by a violation).
+    pub cases_run: u64,
+    /// Operations checked against the reference across all cases.
+    pub ops_checked: u64,
+    /// The run's first violation, if any.
+    pub violation: Option<BddFuzzViolation>,
+}
+
+impl BddFuzzSummary {
+    /// Exit-status style flag.
+    pub fn clean(&self) -> bool {
+        self.violation.is_none()
+    }
+}
+
+/// SplitMix64: deterministic, dependency-free.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: usize) -> usize {
+        ((u128::from(self.next()) * bound as u128) >> 64) as usize
+    }
+
+    fn flag(&mut self) -> bool {
+        self.next() & 1 == 1
+    }
+}
+
+/// Exhaustive truth table over `n` variables: entry `i` is the function
+/// value under the assignment where variable `j` takes bit `j` of `i`.
+type Table = Vec<bool>;
+
+fn var_table(n: usize, v: usize) -> Table {
+    (0..1usize << n).map(|i| i >> v & 1 == 1).collect()
+}
+
+fn zip(a: &Table, b: &Table, f: impl Fn(bool, bool) -> bool) -> Table {
+    a.iter().zip(b).map(|(&x, &y)| f(x, y)).collect()
+}
+
+/// Quantifies `vars` out of `t` (existential when `any`, else universal).
+fn quantify(n: usize, t: &Table, vars: &[usize], any: bool) -> Table {
+    let mut t = t.clone();
+    for &v in vars {
+        let bit = 1usize << v;
+        t = (0..1usize << n)
+            .map(|i| if any { t[i & !bit] || t[i | bit] } else { t[i & !bit] && t[i | bit] })
+            .collect();
+    }
+    t
+}
+
+fn compose_table(n: usize, f: &Table, v: usize, g: &Table) -> Table {
+    let bit = 1usize << v;
+    (0..1usize << n).map(|i| if g[i] { f[i | bit] } else { f[i & !bit] }).collect()
+}
+
+fn restrict_table(n: usize, f: &Table, v: usize, value: bool) -> Table {
+    let bit = 1usize << v;
+    (0..1usize << n).map(|i| if value { f[i | bit] } else { f[i & !bit] }).collect()
+}
+
+fn table_key(t: &Table) -> Vec<u8> {
+    let mut out = vec![0u8; t.len().div_ceil(8)];
+    for (i, &b) in t.iter().enumerate() {
+        if b {
+            out[i / 8] |= 1 << (i % 8);
+        }
+    }
+    out
+}
+
+/// One fuzz case: a fresh manager, a pool of functions, `ops` random
+/// operations mirrored on truth tables. Returns the first violation.
+fn run_case(case: u64, seed: u64, ops: usize, ops_checked: &mut u64) -> Option<BddFuzzViolation> {
+    let mut rng = Rng(seed);
+    let nvars = 3 + rng.below(MAX_FUZZ_VARS - 2);
+    // Half the cases fuzz under automatic sifting (low threshold so it
+    // actually triggers on these small graphs).
+    let reordering = rng.flag();
+    let mut m = if reordering {
+        BddManager::with_reordering(ReorderSettings {
+            threshold: 256,
+            ..ReorderSettings::default()
+        })
+    } else {
+        BddManager::new()
+    };
+    let vars = m.new_vars(nvars);
+    let mut pool: Vec<(Bdd, Table)> =
+        vars.iter().enumerate().map(|(i, &v)| (m.var(v), var_table(nvars, i))).collect();
+    for &(f, _) in &pool {
+        m.protect(f);
+    }
+    // Canonicity witness: truth table -> the handle that first produced it.
+    let mut canon: HashMap<Vec<u8>, Bdd> = HashMap::new();
+    for (f, t) in &pool {
+        canon.insert(table_key(t), *f);
+    }
+
+    let violation = |op_index: usize, op: String, detail: String| {
+        Some(BddFuzzViolation { case, seed, op_index, op, detail })
+    };
+
+    for op_index in 0..ops {
+        let a = pool[rng.below(pool.len())].clone();
+        let b = pool[rng.below(pool.len())].clone();
+        let c = pool[rng.below(pool.len())].clone();
+        let v = rng.below(nvars);
+        let (op, f, expect): (String, Bdd, Table) = match rng.below(12) {
+            0 => ("and".into(), m.and(a.0, b.0), zip(&a.1, &b.1, |x, y| x && y)),
+            1 => ("or".into(), m.or(a.0, b.0), zip(&a.1, &b.1, |x, y| x || y)),
+            2 => ("xor".into(), m.xor(a.0, b.0), zip(&a.1, &b.1, |x, y| x ^ y)),
+            3 => ("not".into(), m.not(a.0), a.1.iter().map(|&x| !x).collect()),
+            4 => ("xnor".into(), m.xnor(a.0, b.0), zip(&a.1, &b.1, |x, y| x == y)),
+            5 => (
+                "ite".into(),
+                m.ite(a.0, b.0, c.0),
+                (0..a.1.len()).map(|i| if a.1[i] { b.1[i] } else { c.1[i] }).collect(),
+            ),
+            6 | 7 => {
+                // exists/forall over a random non-empty variable subset.
+                let count = 1 + rng.below(nvars.min(4));
+                let qs: Vec<usize> = (0..count).map(|_| rng.below(nvars)).collect();
+                let qvars: Vec<BddVar> = qs.iter().map(|&i| vars[i]).collect();
+                let any = rng.flag();
+                let name = if any { "exists" } else { "forall" };
+                let r = if any { m.exists_vars(a.0, &qvars) } else { m.forall_vars(a.0, &qvars) };
+                (format!("{name} {qs:?}"), r, quantify(nvars, &a.1, &qs, any))
+            }
+            8 => (
+                format!("compose x{v}"),
+                m.compose(a.0, vars[v], b.0),
+                compose_table(nvars, &a.1, v, &b.1),
+            ),
+            9 => {
+                let value = rng.flag();
+                (
+                    format!("restrict x{v}={}", u8::from(value)),
+                    m.restrict(a.0, vars[v], value),
+                    restrict_table(nvars, &a.1, v, value),
+                )
+            }
+            10 => {
+                let count = 1 + rng.below(nvars.min(4));
+                let qs: Vec<usize> = (0..count).map(|_| rng.below(nvars)).collect();
+                let qvars: Vec<BddVar> = qs.iter().map(|&i| vars[i]).collect();
+                let cube = Cube::from_vars(&mut m, &qvars);
+                let conj = zip(&a.1, &b.1, |x, y| x && y);
+                (
+                    format!("and_exists {qs:?}"),
+                    m.and_exists(a.0, b.0, cube),
+                    quantify(nvars, &conj, &qs, true),
+                )
+            }
+            _ => {
+                let count = 1 + rng.below(nvars.min(4));
+                let qs: Vec<usize> = (0..count).map(|_| rng.below(nvars)).collect();
+                let qvars: Vec<BddVar> = qs.iter().map(|&i| vars[i]).collect();
+                let cube = Cube::from_vars(&mut m, &qvars);
+                let disj = zip(&a.1, &b.1, |x, y| x || y);
+                (
+                    format!("or_forall {qs:?}"),
+                    m.or_forall(a.0, b.0, cube),
+                    quantify(nvars, &disj, &qs, false),
+                )
+            }
+        };
+        m.protect(f);
+        *ops_checked += 1;
+
+        // Contract 1: semantics against the exhaustive reference.
+        for (i, &want) in expect.iter().enumerate() {
+            let assign: Vec<bool> = (0..nvars).map(|j| i >> j & 1 == 1).collect();
+            let got = m.eval(f, &assign);
+            if got != want {
+                return violation(
+                    op_index,
+                    op,
+                    format!("wrong value at assignment {i:#b}: got {got}, expected {want}"),
+                );
+            }
+        }
+        // Contract 2: canonicity — same function, same handle.
+        let key = table_key(&expect);
+        match canon.get(&key) {
+            Some(&prior) if prior != f => {
+                return violation(
+                    op_index,
+                    op,
+                    format!(
+                        "canonicity broken: handles {:#x} and {:#x} denote the same function",
+                        prior.index(),
+                        f.index()
+                    ),
+                );
+            }
+            Some(_) => {}
+            None => {
+                canon.insert(key, f);
+            }
+        }
+        pool.push((f, expect));
+
+        // Contract 3: structural invariants, periodically and around GC.
+        if op_index % 16 == 15 {
+            m.check_invariants();
+        }
+        if m.dead_nodes() > 10_000 {
+            m.collect_garbage();
+            m.check_invariants();
+        }
+        if reordering && m.maybe_reorder() {
+            // Handles survive reordering; the canonicity map stays valid.
+            m.check_invariants();
+        }
+    }
+    m.check_invariants();
+    None
+}
+
+/// Derives the per-case seed (same scheme as the engine fuzzer).
+fn bdd_case_seed(master: u64, index: u64) -> u64 {
+    crate::generate::case_seed(master ^ 0xBDD0_F322, index)
+}
+
+/// Runs the BDD fuzz loop. Deterministic in `config.seed` up to the
+/// wall-clock budget (fixing `max_cases` makes it fully deterministic).
+pub fn run_bdd_fuzz(config: &BddFuzzConfig, tracer: &Tracer) -> BddFuzzSummary {
+    let _span = tracer.span("bddfuzz.run");
+    let start = Instant::now();
+    let mut summary = BddFuzzSummary::default();
+    let mut index = 0u64;
+    loop {
+        if start.elapsed() >= config.budget {
+            break;
+        }
+        if let Some(cap) = config.max_cases {
+            if index >= cap {
+                break;
+            }
+        }
+        let seed = bdd_case_seed(config.seed, index);
+        let violation = run_case(index, seed, config.ops_per_case, &mut summary.ops_checked);
+        summary.cases_run += 1;
+        tracer.record_event(
+            "bddfuzz.case",
+            vec![
+                ("case".to_string(), index.into()),
+                ("seed".to_string(), seed.into()),
+                ("ops".to_string(), (config.ops_per_case as u64).into()),
+                ("violation".to_string(), violation.is_some().into()),
+            ],
+        );
+        if let Some(v) = violation {
+            summary.violation = Some(v);
+            break;
+        }
+        index += 1;
+    }
+    summary
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn short_run_is_clean() {
+        let config = BddFuzzConfig {
+            budget: Duration::from_secs(300),
+            max_cases: Some(6),
+            ..BddFuzzConfig::default()
+        };
+        let summary = run_bdd_fuzz(&config, &Tracer::disabled());
+        assert!(summary.clean(), "violation: {:?}", summary.violation);
+        assert_eq!(summary.cases_run, 6);
+        assert!(summary.ops_checked >= 6 * 160);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let config = BddFuzzConfig {
+            seed: 7,
+            budget: Duration::from_secs(300),
+            max_cases: Some(2),
+            ..BddFuzzConfig::default()
+        };
+        let a = run_bdd_fuzz(&config, &Tracer::disabled());
+        let b = run_bdd_fuzz(&config, &Tracer::disabled());
+        assert_eq!(a.ops_checked, b.ops_checked);
+        assert_eq!(a.clean(), b.clean());
+    }
+
+    #[test]
+    fn trace_events_are_emitted_per_case() {
+        let tracer = Tracer::new();
+        let config = BddFuzzConfig {
+            budget: Duration::from_secs(300),
+            max_cases: Some(3),
+            ..BddFuzzConfig::default()
+        };
+        let summary = run_bdd_fuzz(&config, &tracer);
+        let trace = tracer.finish();
+        let cases = trace
+            .events()
+            .iter()
+            .filter(|e| {
+                matches!(e, bbec_trace::TraceEvent::Record { name, .. } if name == "bddfuzz.case")
+            })
+            .count() as u64;
+        assert_eq!(cases, summary.cases_run);
+    }
+
+    #[test]
+    fn reference_tables_are_sane() {
+        // x0 AND x1 over 2 vars: only assignment 0b11 is true.
+        let t = zip(&var_table(2, 0), &var_table(2, 1), |a, b| a && b);
+        assert_eq!(t, vec![false, false, false, true]);
+        // ∃x0. x0∧x1 = x1.
+        assert_eq!(quantify(2, &t, &[0], true), var_table(2, 1));
+        // ∀x0. x0∧x1 = false.
+        assert_eq!(quantify(2, &t, &[0], false), vec![false; 4]);
+        // compose x1 := x0 in (x0∧x1) gives x0.
+        assert_eq!(compose_table(2, &t, 1, &var_table(2, 0)), var_table(2, 0));
+        // restrict x0=1 gives x1.
+        assert_eq!(restrict_table(2, &t, 0, true), var_table(2, 1));
+    }
+}

@@ -20,7 +20,11 @@
 //! - [`fixture`]: replayable BLIF pair serialisation (`_spec.blif` +
 //!   `_impl.blif` with `# bbec-box` metadata comments).
 //! - [`fuzz`]: the budgeted loop behind `bbec fuzz`.
+//! - [`bddfuzz`]: one level down — differential fuzzing of the BDD package
+//!   itself (random operator sequences vs an exhaustive truth table),
+//!   behind `bbec fuzz --bdd`.
 
+pub mod bddfuzz;
 pub mod fixture;
 pub mod fuzz;
 pub mod generate;
@@ -28,6 +32,7 @@ pub mod harness;
 pub mod oracle;
 pub mod shrink;
 
+pub use bddfuzz::{run_bdd_fuzz, BddFuzzConfig, BddFuzzSummary, BddFuzzViolation};
 pub use fuzz::{replay, run_fuzz, FuzzConfig, FuzzSummary, FuzzViolation};
 pub use generate::{case_seed, generate, Instance};
 pub use harness::{run_case, CaseOutcome, Engine, EngineVerdict, HarnessConfig, Violation};

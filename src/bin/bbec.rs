@@ -52,6 +52,10 @@
 //!   --inject-unsound RUNG      self-test: flip this engine's verdict
 //!                              (rp|0,1,X|loc.|oe|ie|...) and expect the
 //!                              harness to catch it
+//!   --bdd                      fuzz the BDD package itself instead of the
+//!                              engines: random operator sequences on <=12
+//!                              variables checked against exhaustive truth
+//!                              tables (semantics, canonicity, invariants)
 //!
 //! fuzz exit codes: 0 = no violation, 1 = violation found (shrunk fixture
 //! written), 2 = usage/IO error.
@@ -171,6 +175,7 @@ struct Options {
     fixture_dir: Option<String>,
     replay: Option<String>,
     inject: Option<String>,
+    bdd: bool,
     positional: Vec<String>,
 }
 
@@ -196,6 +201,7 @@ fn parse_options(args: &[String]) -> Options {
         fixture_dir: None,
         replay: None,
         inject: None,
+        bdd: false,
         positional: Vec::new(),
     };
     let mut i = 0;
@@ -271,6 +277,7 @@ fn parse_options(args: &[String]) -> Options {
                 i += 1;
                 o.replay = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
             }
+            "--bdd" => o.bdd = true,
             "--inject-unsound" => {
                 i += 1;
                 o.inject = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
@@ -564,6 +571,10 @@ fn parse_inject(name: &str) -> bbec::oracle::Engine {
 fn run_fuzz_command(o: &Options, settings: CheckSettings) -> ! {
     use bbec::oracle::{self, HarnessConfig};
 
+    if o.bdd {
+        run_bdd_fuzz_command(o, &settings);
+    }
+
     let mut harness = HarnessConfig {
         settings: CheckSettings { tracer: bbec::trace::Tracer::disabled(), ..settings.clone() },
         ..HarnessConfig::default()
@@ -642,6 +653,40 @@ fn run_fuzz_command(o: &Options, settings: CheckSettings) -> ! {
                 println!("  fixture: {} + {}", spec_path.display(), impl_path.display());
                 println!("  replay:  bbec fuzz --replay {}", spec_path.display());
             }
+            exit(1)
+        }
+    }
+}
+
+/// The `bbec fuzz --bdd` mode: differential fuzzing of the BDD package
+/// against an exhaustive truth-table reference.
+fn run_bdd_fuzz_command(o: &Options, settings: &CheckSettings) -> ! {
+    use bbec::oracle;
+
+    let config = oracle::BddFuzzConfig {
+        seed: o.seed,
+        budget: std::time::Duration::from_millis(o.budget_ms),
+        max_cases: o.cases,
+        ..oracle::BddFuzzConfig::default()
+    };
+    let summary = oracle::run_bdd_fuzz(&config, &settings.tracer);
+    emit_trace(o, &settings.tracer);
+    if !o.quiet {
+        println!(
+            "bdd fuzz: {} case(s) run, {} operation(s) checked (seed {})",
+            summary.cases_run, summary.ops_checked, o.seed
+        );
+    }
+    match &summary.violation {
+        None => {
+            if !o.quiet {
+                println!("bdd fuzz: no contract violations");
+            }
+            exit(0)
+        }
+        Some(v) => {
+            println!("bdd fuzz: VIOLATION in {v}");
+            println!("  replay:  bbec fuzz --bdd --seed {} --cases {}", o.seed, v.case + 1);
             exit(1)
         }
     }
