@@ -14,6 +14,8 @@
 //!   --seed N         master seed (default 2001)
 //!   --sat            add the SAT-based columns (dual-rail 0,1,X and CEGAR oe)
 //!   --no-reorder     disable dynamic BDD reordering
+//!   --sweep          run the structural-sweeping preprocessor on every
+//!                    instance (verdict-invariant; changes sizes/times)
 //!   --paper          paper-scale run (5 selections × 100 errors)
 //!   --jsonl FILE     also write one schema-v1 `record` event per
 //!                    (circuit, method) table cell (see DESIGN.md)
@@ -64,6 +66,7 @@ fn main() {
                 base.methods.push(Method::SatOutputExact);
             }
             "--no-reorder" => base.dynamic_reordering = false,
+            "--sweep" => base.sweep = true,
             "--jsonl" => {
                 i += 1;
                 jsonl_path = Some(args.get(i).cloned().unwrap_or_else(|| usage()));

@@ -20,6 +20,9 @@
 //! SAT-based variants of the first and fourth rung (the paper's future-work
 //! arm) live in [`sat_checks`]. Around the checks sit:
 //!
+//! * [`preprocess`] — structural-sweeping front-end (constant propagation,
+//!   identical-point merging, dead-logic removal) run before the ladder,
+//!   verdict-invariant and black-box-aware,
 //! * [`CheckSession`] — amortises the specification's BDDs over many checks,
 //! * [`ParallelChecker`] — shards the per-output rungs over worker threads
 //!   by cone of influence, one private BDD manager per worker,
@@ -65,6 +68,7 @@ pub mod checks;
 pub mod diagnose;
 mod parallel;
 mod partial;
+pub mod preprocess;
 mod report;
 pub mod samples;
 pub mod sat_checks;
@@ -75,6 +79,7 @@ pub mod unroll;
 pub use cex::validate_counterexample;
 pub use parallel::{plan_shards, ParallelChecker, Shard};
 pub use partial::{convex_closure, BlackBox, PartialCircuit};
+pub use preprocess::{PreprocessReport, Preprocessed};
 pub use report::{
     BudgetAbort, CheckError, CheckOutcome, CheckSettings, Counterexample, Method, ResourceStats,
     Verdict,

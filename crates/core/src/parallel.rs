@@ -109,6 +109,13 @@ impl ParallelChecker {
         partial: &PartialCircuit,
     ) -> Result<LadderReport, CheckError> {
         crate::checks::validate_interface(spec, partial)?;
+        let pre;
+        let (spec, partial) = if self.settings.sweep {
+            pre = crate::preprocess::preprocess(spec, partial, &self.settings)?;
+            (&pre.spec, &pre.partial)
+        } else {
+            (spec, partial)
+        };
         let phase_a: Vec<Method> =
             self.stages.iter().copied().filter(|&m| Self::is_per_output(m)).collect();
         let phase_b: Vec<Method> =

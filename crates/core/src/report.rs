@@ -143,6 +143,12 @@ pub struct CheckSettings {
     /// every shard worker's settings. When both are set, whichever falls
     /// earlier fires.
     pub deadline: Option<std::time::Instant>,
+    /// Run the structural-sweeping preprocessor ([`crate::preprocess`])
+    /// on the spec/implementation pair before checking. Verdict-invariant
+    /// by construction (the sweep preserves ternary functions at every
+    /// kept point); off by default so callers opt in per entry point —
+    /// the CLI enables it unless `--no-sweep` is given.
+    pub sweep: bool,
     /// Computed-table (apply/ITE cache) capacity exponent: the cache holds
     /// at most `2^cache_bits` entries and is evicted wholesale when full.
     /// Clamped to [`bbec_bdd::MIN_CACHE_BITS`]`..=`[`bbec_bdd::MAX_CACHE_BITS`].
@@ -165,6 +171,7 @@ impl Default for CheckSettings {
             step_limit: None,
             time_limit: None,
             deadline: None,
+            sweep: false,
             cache_bits: bbec_bdd::DEFAULT_CACHE_BITS,
             tracer: bbec_trace::Tracer::disabled(),
         }

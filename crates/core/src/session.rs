@@ -45,6 +45,9 @@ impl CheckSession {
     /// circuit; [`CheckError::BudgetExceeded`] if building the
     /// specification BDDs already blows the configured budget.
     pub fn new(spec: Circuit, settings: CheckSettings) -> Result<CheckSession, CheckError> {
+        // With sweeping on, the spec is reduced once, before its BDDs are
+        // built; each checked partial is swept per call in `check`.
+        let spec = if settings.sweep { bbec_netlist::strash::sweep(&spec).circuit } else { spec };
         let (ctx, spec_bdds) = Self::fresh(&spec, &settings)?;
         Ok(CheckSession { spec, settings, ctx, spec_bdds, var_budget: 512, refreshes: 0 })
     }
@@ -90,6 +93,18 @@ impl CheckSession {
     /// protections, so a garbage collection reclaims its intermediates and
     /// the next check proceeds against the same specification BDDs.
     pub fn check(
+        &mut self,
+        partial: &PartialCircuit,
+        method: Method,
+    ) -> Result<CheckOutcome, CheckError> {
+        if self.settings.sweep {
+            let (swept, _) = crate::preprocess::sweep_partial(partial)?;
+            return self.check_prepared(&swept, method);
+        }
+        self.check_prepared(partial, method)
+    }
+
+    fn check_prepared(
         &mut self,
         partial: &PartialCircuit,
         method: Method,

@@ -1,10 +1,12 @@
 //! The netlist IR: signals, gates and the validating circuit builder.
 
 use crate::gate::GateKind;
+use crate::symbol::{Symbol, SymbolTable};
 use crate::ternary::Tv;
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 
 /// Identifies a signal (net) within one [`Circuit`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -103,10 +105,16 @@ pub struct ConeSubcircuit {
 /// non-input signals are allowed only via
 /// [`CircuitBuilder::build_allow_undriven`]; they evaluate to `X` in ternary
 /// simulation and are how partial implementations model black-box outputs.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct Circuit {
     name: String,
-    signal_names: Vec<String>,
+    /// Interned name arena, shared (`Arc`) with derived circuits so cone
+    /// extraction and gate removal never re-hash name strings.
+    symbols: Arc<SymbolTable>,
+    signal_names: Vec<Symbol>,
+    /// Interned name → signal, carried over from the builder so
+    /// [`Circuit::find_signal`] is O(1) instead of a linear scan.
+    by_name: HashMap<Symbol, SignalId>,
     inputs: Vec<SignalId>,
     outputs: Vec<(String, SignalId)>,
     gates: Vec<Gate>,
@@ -115,13 +123,40 @@ pub struct Circuit {
     is_input: Vec<bool>,
     /// Gate indices in topological (fanin-first) order.
     topo: Vec<u32>,
+    /// CSR fanout lists: the gates reading signal `s` (one entry per input
+    /// pin occurrence) are `fanout_gates[fanout_offsets[s] as usize
+    /// .. fanout_offsets[s + 1] as usize]`. Precomputed once and reused by
+    /// levelization, topological sorting and cone-of-influence queries.
+    fanout_offsets: Vec<u32>,
+    fanout_gates: Vec<u32>,
 }
+
+impl PartialEq for Circuit {
+    fn eq(&self, other: &Self) -> bool {
+        // Symbols are only meaningful relative to their own table, so
+        // signal names compare by resolved string. The derived fields
+        // (driver, topo, fanout) are functions of the compared ones.
+        self.name == other.name
+            && self.inputs == other.inputs
+            && self.outputs == other.outputs
+            && self.gates == other.gates
+            && self.signal_names.len() == other.signal_names.len()
+            && self
+                .signal_names
+                .iter()
+                .zip(&other.signal_names)
+                .all(|(&a, &b)| self.symbols.resolve(a) == other.symbols.resolve(b))
+    }
+}
+
+impl Eq for Circuit {}
 
 impl Circuit {
     /// Starts building a circuit with the given name.
     pub fn builder(name: &str) -> CircuitBuilder {
         CircuitBuilder {
             name: name.to_string(),
+            symbols: SymbolTable::new(),
             signal_names: Vec::new(),
             by_name: HashMap::new(),
             inputs: Vec::new(),
@@ -161,12 +196,22 @@ impl Circuit {
 
     /// The name of a signal.
     pub fn signal_name(&self, s: SignalId) -> &str {
-        &self.signal_names[s.index()]
+        self.symbols.resolve(self.signal_names[s.index()])
     }
 
-    /// Looks a signal up by name.
+    /// The interned symbol of a signal's name (see [`Circuit::symbols`]).
+    pub fn signal_symbol(&self, s: SignalId) -> Symbol {
+        self.signal_names[s.index()]
+    }
+
+    /// The shared name arena behind this circuit's signals.
+    pub fn symbols(&self) -> &Arc<SymbolTable> {
+        &self.symbols
+    }
+
+    /// Looks a signal up by name in O(1) via the interned-name index.
     pub fn find_signal(&self, name: &str) -> Option<SignalId> {
-        self.signal_names.iter().position(|n| n == name).map(|i| SignalId(i as u32))
+        self.by_name.get(&self.symbols.lookup(name)?).copied()
     }
 
     /// The gate driving `s`, if any.
@@ -286,13 +331,17 @@ impl Circuit {
 
     /// Number of gates reading each signal (primary outputs not counted).
     pub fn fanout_counts(&self) -> Vec<usize> {
-        let mut counts = vec![0usize; self.signal_count()];
-        for gate in &self.gates {
-            for &inp in &gate.inputs {
-                counts[inp.index()] += 1;
-            }
-        }
-        counts
+        (0..self.signal_count())
+            .map(|s| (self.fanout_offsets[s + 1] - self.fanout_offsets[s]) as usize)
+            .collect()
+    }
+
+    /// Indices of the gates reading `s`, one entry per input-pin
+    /// occurrence, from the precomputed fanout lists.
+    pub fn readers_of(&self, s: SignalId) -> &[u32] {
+        let lo = self.fanout_offsets[s.index()] as usize;
+        let hi = self.fanout_offsets[s.index() + 1] as usize;
+        &self.fanout_gates[lo..hi]
     }
 
     /// Size and shape statistics.
@@ -337,22 +386,16 @@ impl Circuit {
             .filter(|&(i, _)| !drop[i])
             .map(|(_, g)| g.clone())
             .collect();
-        let mut driver = vec![None; self.signal_count()];
-        for (i, gate) in gates.iter().enumerate() {
-            driver[gate.output.index()] = Some(i as u32);
-        }
-        let topo = toposort(&gates, self.signal_count(), &driver)
-            .expect("removing gates cannot create a cycle");
-        Circuit {
-            name: self.name.clone(),
-            signal_names: self.signal_names.clone(),
-            inputs: self.inputs.clone(),
-            outputs: self.outputs.clone(),
+        Circuit::from_interned_parts(
+            self.name.clone(),
+            Arc::clone(&self.symbols),
+            self.signal_names.clone(),
+            self.inputs.clone(),
+            self.outputs.clone(),
             gates,
-            driver,
-            is_input: self.is_input.clone(),
-            topo,
-        }
+            true,
+        )
+        .expect("removing gates cannot create a cycle")
     }
 
     /// Parent input positions (indices into [`Circuit::inputs`]) appearing
@@ -402,59 +445,71 @@ impl Circuit {
             keep_input[pos] = true;
         }
 
-        let mut b = Circuit::builder(&format!("{}#cone", self.name));
-        // Recreate kept signals in parent id order (names are unique in the
-        // parent, so re-declaring them cannot collide).
+        // Map kept signals to dense sub-circuit ids in parent id order,
+        // reusing the parent's interned symbols (no string re-hashing).
+        let mut input_pos: Vec<u32> = vec![u32::MAX; self.signal_count()];
+        for (pos, &s) in self.inputs.iter().enumerate() {
+            input_pos[s.index()] = pos as u32;
+        }
         let mut signal_map: Vec<Option<SignalId>> = vec![None; self.signal_count()];
+        let mut sub_names: Vec<Symbol> = Vec::new();
         for idx in 0..self.signal_count() {
-            let s = SignalId(idx as u32);
-            let kept_as_input = self.is_input[idx] && keep_input[self.input_position(s).unwrap()];
+            let kept_as_input = self.is_input[idx] && keep_input[input_pos[idx] as usize];
             if in_cone[idx] || kept_as_input {
-                signal_map[idx] = Some(b.signal(&self.signal_names[idx]));
+                signal_map[idx] = Some(SignalId(sub_names.len() as u32));
+                sub_names.push(self.signal_names[idx]);
             }
         }
         // Inputs in parent declaration order.
         let input_positions: Vec<usize> =
             (0..self.inputs.len()).filter(|&p| keep_input[p]).collect();
-        for &pos in &input_positions {
-            b.mark_input(signal_map[self.inputs[pos].index()].expect("kept input mapped"));
-        }
+        let inputs: Vec<SignalId> = input_positions
+            .iter()
+            .map(|&pos| signal_map[self.inputs[pos].index()].expect("kept input mapped"))
+            .collect();
         // Cone gates in parent topological order.
         let mut in_cone_gate = vec![false; self.gates.len()];
         for g in self.fanin_cone_gates(&roots) {
             in_cone_gate[g as usize] = true;
         }
-        let mut buf: Vec<SignalId> = Vec::new();
+        let mut gates: Vec<Gate> = Vec::new();
         for &g in &self.topo {
             if !in_cone_gate[g as usize] {
                 continue;
             }
             let gate = &self.gates[g as usize];
-            buf.clear();
-            buf.extend(
-                gate.inputs.iter().map(|&s| signal_map[s.index()].expect("cone input mapped")),
-            );
-            b.gate_into(gate.kind, &buf, signal_map[gate.output.index()].expect("cone output"));
+            gates.push(Gate {
+                kind: gate.kind,
+                inputs: gate
+                    .inputs
+                    .iter()
+                    .map(|&s| signal_map[s.index()].expect("cone input mapped"))
+                    .collect(),
+                output: signal_map[gate.output.index()].expect("cone output"),
+            });
         }
         // Selected outputs in parent declaration order.
         let mut output_positions: Vec<usize> = output_positions.to_vec();
         output_positions.sort_unstable();
         output_positions.dedup();
-        for &pos in &output_positions {
-            let (name, s) = &self.outputs[pos];
-            b.output(name, signal_map[s.index()].expect("output root mapped"));
-        }
-        let circuit = b.build_allow_undriven().expect("cone extraction preserves validity");
+        let outputs: Vec<(String, SignalId)> = output_positions
+            .iter()
+            .map(|&pos| {
+                let (name, s) = &self.outputs[pos];
+                (name.clone(), signal_map[s.index()].expect("output root mapped"))
+            })
+            .collect();
+        let circuit = Circuit::from_interned_parts(
+            format!("{}#cone", self.name),
+            Arc::clone(&self.symbols),
+            sub_names,
+            inputs,
+            outputs,
+            gates,
+            true,
+        )
+        .expect("cone extraction preserves validity");
         ConeSubcircuit { circuit, input_positions, output_positions, signal_map }
-    }
-
-    /// Position of `s` in the primary-input order, if it is an input.
-    fn input_position(&self, s: SignalId) -> Option<usize> {
-        if self.is_input[s.index()] {
-            self.inputs.iter().position(|&i| i == s)
-        } else {
-            None
-        }
     }
 
     /// Characteristic vector of every signal in the fanin cone of `roots`
@@ -476,9 +531,39 @@ impl Circuit {
         seen_sig
     }
 
+    /// Assembles a circuit from loose parts with `String` names, interning
+    /// them into a fresh table (compatibility path for callers that edit
+    /// name lists directly, e.g. [`crate::mutate`]).
     pub(crate) fn from_parts(
         name: String,
         signal_names: Vec<String>,
+        inputs: Vec<SignalId>,
+        outputs: Vec<(String, SignalId)>,
+        gates: Vec<Gate>,
+        allow_undriven: bool,
+    ) -> Result<Circuit, NetlistError> {
+        let mut symbols = SymbolTable::new();
+        let interned: Vec<Symbol> = signal_names.iter().map(|n| symbols.intern(n)).collect();
+        Circuit::from_interned_parts(
+            name,
+            Arc::new(symbols),
+            interned,
+            inputs,
+            outputs,
+            gates,
+            allow_undriven,
+        )
+    }
+
+    /// Assembles and validates a circuit over an existing symbol table.
+    ///
+    /// This is the one true constructor: it derives the driver map, the
+    /// fanout CSR, the topological order and the name index, and runs the
+    /// structural checks.
+    pub(crate) fn from_interned_parts(
+        name: String,
+        symbols: Arc<SymbolTable>,
+        signal_names: Vec<Symbol>,
         inputs: Vec<SignalId>,
         outputs: Vec<(String, SignalId)>,
         gates: Vec<Gate>,
@@ -496,15 +581,48 @@ impl Circuit {
             }
             if is_input[gate.output.index()] || driver[gate.output.index()].is_some() {
                 return Err(NetlistError::MultipleDrivers(
-                    signal_names[gate.output.index()].clone(),
+                    symbols.resolve(signal_names[gate.output.index()]).to_string(),
                 ));
             }
             driver[gate.output.index()] = Some(i as u32);
         }
-        let topo = toposort(&gates, n, &driver)
-            .map_err(|s| NetlistError::Cycle(signal_names[s.index()].clone()))?;
-        let circuit =
-            Circuit { name, signal_names, inputs, outputs, gates, driver, is_input, topo };
+        // Fanout CSR: one pass to count pins per signal, one to fill.
+        let mut fanout_offsets = vec![0u32; n + 1];
+        for gate in &gates {
+            for &s in &gate.inputs {
+                fanout_offsets[s.index() + 1] += 1;
+            }
+        }
+        for i in 0..n {
+            fanout_offsets[i + 1] += fanout_offsets[i];
+        }
+        let mut fanout_gates = vec![0u32; fanout_offsets[n] as usize];
+        let mut next = fanout_offsets.clone();
+        for (i, gate) in gates.iter().enumerate() {
+            for &s in &gate.inputs {
+                fanout_gates[next[s.index()] as usize] = i as u32;
+                next[s.index()] += 1;
+            }
+        }
+        let topo = toposort(&gates, &driver, &fanout_offsets, &fanout_gates).map_err(|s| {
+            NetlistError::Cycle(symbols.resolve(signal_names[s.index()]).to_string())
+        })?;
+        let by_name: HashMap<Symbol, SignalId> =
+            signal_names.iter().enumerate().map(|(i, &sym)| (sym, SignalId(i as u32))).collect();
+        let circuit = Circuit {
+            name,
+            symbols,
+            signal_names,
+            by_name,
+            inputs,
+            outputs,
+            gates,
+            driver,
+            is_input,
+            topo,
+            fanout_offsets,
+            fanout_gates,
+        };
         if !allow_undriven {
             // Every signal in the cone of an output must be driven.
             let roots: Vec<SignalId> = circuit.outputs.iter().map(|&(_, s)| s).collect();
@@ -519,9 +637,7 @@ impl Circuit {
                 }
                 match circuit.driver[s.index()] {
                     Some(g) => stack.extend(circuit.gates[g as usize].inputs.iter().copied()),
-                    None => {
-                        return Err(NetlistError::Undriven(circuit.signal_names[s.index()].clone()))
-                    }
+                    None => return Err(NetlistError::Undriven(circuit.signal_name(s).to_string())),
                 }
             }
         }
@@ -529,54 +645,61 @@ impl Circuit {
     }
 }
 
-/// Kahn topological sort of the gates; returns the blocking signal on cycles.
+/// Kahn topological sort over the precomputed fanout CSR; linear in pins,
+/// smallest-index-first so builder-produced (already topologically indexed)
+/// gate lists come out in exactly index order. Returns a blocking signal on
+/// cycles.
 fn toposort(
     gates: &[Gate],
-    signal_count: usize,
     driver: &[Option<u32>],
+    fanout_offsets: &[u32],
+    fanout_gates: &[u32],
 ) -> Result<Vec<u32>, SignalId> {
-    let mut ready = vec![false; signal_count];
-    for (s, d) in driver.iter().enumerate() {
-        if d.is_none() {
-            ready[s] = true; // inputs and undriven signals are sources
-        }
-    }
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    // Unready gate-driven input pins per gate; gates with none are sources.
+    let mut unready: Vec<u32> = gates
+        .iter()
+        .map(|g| g.inputs.iter().filter(|s| driver[s.index()].is_some()).count() as u32)
+        .collect();
+    let mut heap: BinaryHeap<Reverse<u32>> =
+        (0..gates.len() as u32).filter(|&g| unready[g as usize] == 0).map(Reverse).collect();
     let mut order = Vec::with_capacity(gates.len());
-    let mut pending: Vec<u32> = (0..gates.len() as u32).collect();
-    // Iteratively emit gates whose inputs are all ready. Worst case O(n²) on
-    // pathological orders, linear on builder-produced ones.
-    while !pending.is_empty() {
-        let before = order.len();
-        pending.retain(|&g| {
-            let gate = &gates[g as usize];
-            if gate.inputs.iter().all(|&s| ready[s.index()]) {
-                ready[gate.output.index()] = true;
-                order.push(g);
-                false
-            } else {
-                true
+    while let Some(Reverse(g)) = heap.pop() {
+        order.push(g);
+        let out = gates[g as usize].output.index();
+        for &r in &fanout_gates[fanout_offsets[out] as usize..fanout_offsets[out + 1] as usize] {
+            unready[r as usize] -= 1;
+            if unready[r as usize] == 0 {
+                heap.push(Reverse(r));
             }
-        });
-        if order.len() == before {
-            let g = pending[0];
-            let blocked = gates[g as usize]
-                .inputs
-                .iter()
-                .copied()
-                .find(|&s| !ready[s.index()])
-                .expect("a stuck gate has an unready input");
-            return Err(blocked);
         }
     }
-    Ok(order)
+    if order.len() == gates.len() {
+        return Ok(order);
+    }
+    // A cycle: report an unready input of the lowest-indexed stuck gate.
+    let mut emitted = vec![false; gates.len()];
+    for &g in &order {
+        emitted[g as usize] = true;
+    }
+    let g = (0..gates.len()).find(|&g| !emitted[g]).expect("a gate is stuck on a cycle");
+    let blocked = gates[g]
+        .inputs
+        .iter()
+        .copied()
+        .find(|&s| matches!(driver[s.index()], Some(d) if !emitted[d as usize]))
+        .expect("a stuck gate has an unready input");
+    Err(blocked)
 }
 
 /// Incrementally assembles a [`Circuit`]; see [`Circuit::builder`].
 #[derive(Debug)]
 pub struct CircuitBuilder {
     name: String,
-    signal_names: Vec<String>,
-    by_name: HashMap<String, SignalId>,
+    symbols: SymbolTable,
+    signal_names: Vec<Symbol>,
+    by_name: HashMap<Symbol, SignalId>,
     inputs: Vec<SignalId>,
     outputs: Vec<(String, SignalId)>,
     gates: Vec<Gate>,
@@ -593,10 +716,11 @@ impl CircuitBuilder {
     ///
     /// Panics if the name is already taken.
     pub fn signal(&mut self, name: &str) -> SignalId {
-        assert!(!self.by_name.contains_key(name), "duplicate signal `{name}`");
+        let sym = self.symbols.intern(name);
+        assert!(!self.by_name.contains_key(&sym), "duplicate signal `{name}`");
         let id = SignalId(self.signal_names.len() as u32);
-        self.signal_names.push(name.to_string());
-        self.by_name.insert(name.to_string(), id);
+        self.signal_names.push(sym);
+        self.by_name.insert(sym, id);
         self.driver.push(None);
         self.is_input.push(false);
         id
@@ -604,10 +728,15 @@ impl CircuitBuilder {
 
     /// Returns the named signal, declaring it if needed.
     pub fn signal_or_new(&mut self, name: &str) -> SignalId {
-        match self.by_name.get(name) {
+        match self.symbols.lookup(name).and_then(|sym| self.by_name.get(&sym)) {
             Some(&id) => id,
             None => self.signal(name),
         }
+    }
+
+    /// Whether a signal with this name has been declared (parser use).
+    pub fn contains_signal(&self, name: &str) -> bool {
+        self.symbols.lookup(name).is_some_and(|sym| self.by_name.contains_key(&sym))
     }
 
     /// Declares a primary input.
@@ -641,13 +770,13 @@ impl CircuitBuilder {
     }
 
     fn signal_or_fresh_name(&mut self, base: &str) -> SignalId {
-        if !self.by_name.contains_key(base) {
+        if !self.contains_signal(base) {
             return self.signal(base);
         }
         loop {
             self.fresh += 1;
             let name = format!("n{}", self.fresh);
-            if !self.by_name.contains_key(&name) {
+            if !self.contains_signal(&name) {
                 return self.signal(&name);
             }
         }
@@ -740,8 +869,9 @@ impl CircuitBuilder {
     /// Any [`NetlistError`] structural violation: bad arity, multiple
     /// drivers, combinational cycles, undriven cone signals.
     pub fn build(self) -> Result<Circuit, NetlistError> {
-        Circuit::from_parts(
+        Circuit::from_interned_parts(
             self.name,
+            Arc::new(self.symbols),
             self.signal_names,
             self.inputs,
             self.outputs,
@@ -757,8 +887,9 @@ impl CircuitBuilder {
     ///
     /// As [`CircuitBuilder::build`], minus the undriven-cone check.
     pub fn build_allow_undriven(self) -> Result<Circuit, NetlistError> {
-        Circuit::from_parts(
+        Circuit::from_interned_parts(
             self.name,
+            Arc::new(self.symbols),
             self.signal_names,
             self.inputs,
             self.outputs,

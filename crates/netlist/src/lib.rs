@@ -33,6 +33,7 @@
 //! # }
 //! ```
 
+pub mod aiger;
 pub mod bench;
 pub mod benchmarks;
 pub mod blif;
@@ -42,10 +43,13 @@ pub mod generators;
 pub mod mutate;
 pub mod opt;
 pub mod seqgen;
+pub mod strash;
+mod symbol;
 mod ternary;
 pub mod verilog;
 
 pub use circuit::{Circuit, CircuitBuilder, CircuitStats, ConeSubcircuit, NetlistError, SignalId};
 pub use gate::GateKind;
 pub use mutate::{Mutation, MutationKind};
+pub use symbol::{Symbol, SymbolTable};
 pub use ternary::Tv;

@@ -1,0 +1,659 @@
+//! Structural hashing and AIG-style sweeping.
+//!
+//! The front-end reduction stage: every signal is assigned a *value
+//! number* — a literal over hash-consed equivalence classes — and the
+//! circuit is rebuilt from the classes its outputs (and any protected
+//! signals) actually need. One pass performs
+//!
+//! * constant propagation (`And(x, 0) → 0`, `Xor(x, 1) → ¬x`, …),
+//! * identity/absorber elimination and buffer/double-negation collapse,
+//! * De-Morgan canonicalization: the whole And/Or/Nand/Nor family
+//!   normalizes to a conjunction of literals plus an output phase, so
+//!   `Nor(a, b)` and `¬a ∧ ¬b` share one class and `Or(a, b)` is its
+//!   negation,
+//! * identical-gate merging (structural hashing over canonical forms),
+//! * dead-logic removal (classes no root needs are never materialized).
+//!
+//! **Ternary safety.** The rungs below the quantification checks (random
+//! patterns, symbolic 0,1,X, local) interpret the netlist in Kleene
+//! three-valued logic, with black-box outputs reading `X`. Every rewrite
+//! here preserves the *ternary* function of every kept point over the
+//! leaves (primary inputs ∪ undriven signals), not merely the Boolean
+//! one — which is what makes the sweep verdict-invariant across the whole
+//! ladder. Boolean-only identities that are wrong under Kleene semantics
+//! (`x ∧ ¬x → 0`, `x ∨ ¬x → 1`, `x ⊕ x → 0`) are deliberately **not**
+//! applied: duplicate literals in a conjunction are deduplicated
+//! (`X ∧ X = X` holds) but complementary ones are kept, and Xor classes
+//! keep duplicate operands.
+//!
+//! Black boxes are opaque barriers: their output signals are undriven
+//! leaves, each its own class, so no merge can look "through" a box;
+//! callers protect box pins so remapping them into the swept circuit is
+//! total.
+
+use crate::circuit::{Circuit, CircuitBuilder, SignalId};
+use crate::gate::GateKind;
+use std::collections::{HashMap, HashSet};
+
+/// A literal: an equivalence class, possibly negated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+struct Lit {
+    class: u32,
+    neg: bool,
+}
+
+/// The value number of a signal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Val {
+    Const(bool),
+    Lit(Lit),
+}
+
+/// How a class is defined, for rebuilding.
+#[derive(Debug, Clone)]
+enum Def {
+    /// An original leaf: primary input or undriven (black-box output).
+    Leaf(SignalId),
+    /// Conjunction of ≥ 2 distinct literals (sorted).
+    And(Vec<Lit>),
+    /// Parity of ≥ 2 positive classes (sorted, duplicates kept — `x ⊕ x`
+    /// is `X` when `x` is `X`, so it must not cancel).
+    Xor(Vec<u32>),
+}
+
+/// Hash-consing key; structurally identical definitions share a class.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum Key {
+    And(Vec<Lit>),
+    Xor(Vec<u32>),
+}
+
+/// Shared value-numbering state (also reused by [`shared_point_count`]
+/// to hash two circuits into one class space).
+#[derive(Default)]
+struct Numbering {
+    defs: Vec<Def>,
+    cons: HashMap<Key, u32>,
+}
+
+impl Numbering {
+    fn leaf(&mut self, s: SignalId) -> u32 {
+        let c = self.defs.len() as u32;
+        self.defs.push(Def::Leaf(s));
+        c
+    }
+
+    /// Hash-conses a definition; `true` means the class already existed.
+    fn intern(&mut self, key: Key) -> (u32, bool) {
+        if let Some(&c) = self.cons.get(&key) {
+            return (c, true);
+        }
+        let c = self.defs.len() as u32;
+        let def = match &key {
+            Key::And(lits) => Def::And(lits.clone()),
+            Key::Xor(classes) => Def::Xor(classes.clone()),
+        };
+        self.defs.push(def);
+        self.cons.insert(key, c);
+        (c, false)
+    }
+
+    /// Value-numbers one gate. The bool is `true` when the gate did not
+    /// create a new class (it folded to a constant, collapsed onto an
+    /// existing literal, or hash-matched an existing definition).
+    fn gate_val(&mut self, kind: GateKind, ins: &[Val]) -> (Val, bool) {
+        match kind {
+            GateKind::Const0 => (Val::Const(false), true),
+            GateKind::Const1 => (Val::Const(true), true),
+            GateKind::Buf => (ins[0], true),
+            GateKind::Not => (negate(ins[0]), true),
+            GateKind::And | GateKind::Nand | GateKind::Or | GateKind::Nor => {
+                // Normalize to a conjunction of literals plus output phase:
+                // Or(xs) = ¬And(¬xs), Nor(xs) = And(¬xs).
+                let invert_inputs = matches!(kind, GateKind::Or | GateKind::Nor);
+                let invert_output = matches!(kind, GateKind::Nand | GateKind::Or);
+                let mut lits: Vec<Lit> = Vec::with_capacity(ins.len());
+                for &v in ins {
+                    match v {
+                        Val::Const(b) => {
+                            if b == invert_inputs {
+                                // A controlling literal: And(0, x) is 0 even
+                                // when x is X, so folding is ternary-safe.
+                                return (Val::Const(invert_output), true);
+                            }
+                            // Neutral literal (And(1, x) = x): drop it.
+                        }
+                        Val::Lit(l) => {
+                            lits.push(Lit { class: l.class, neg: l.neg ^ invert_inputs })
+                        }
+                    }
+                }
+                lits.sort_unstable();
+                lits.dedup(); // X ∧ X = X: safe. (¬x is kept alongside x.)
+                match lits.len() {
+                    0 => (Val::Const(!invert_output), true),
+                    1 => (
+                        Val::Lit(Lit { class: lits[0].class, neg: lits[0].neg ^ invert_output }),
+                        true,
+                    ),
+                    _ => {
+                        let (class, existed) = self.intern(Key::And(lits));
+                        (Val::Lit(Lit { class, neg: invert_output }), existed)
+                    }
+                }
+            }
+            GateKind::Xor | GateKind::Xnor => {
+                let mut phase = kind == GateKind::Xnor;
+                let mut classes: Vec<u32> = Vec::with_capacity(ins.len());
+                for &v in ins {
+                    match v {
+                        Val::Const(b) => phase ^= b,
+                        Val::Lit(l) => {
+                            phase ^= l.neg;
+                            classes.push(l.class);
+                        }
+                    }
+                }
+                classes.sort_unstable();
+                match classes.len() {
+                    0 => (Val::Const(phase), true),
+                    1 => (Val::Lit(Lit { class: classes[0], neg: phase }), true),
+                    _ => {
+                        let (class, existed) = self.intern(Key::Xor(classes));
+                        (Val::Lit(Lit { class, neg: phase }), existed)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Value-numbers a whole circuit: leaf classes first (primary inputs
+    /// may be preassigned by position for cross-circuit hashing), then
+    /// gates in topological order.
+    fn number(&mut self, circuit: &Circuit, shared_input_classes: &[u32]) -> NumberedCircuit {
+        let n = circuit.signal_count();
+        let mut vals: Vec<Option<Val>> = vec![None; n];
+        for (pos, &s) in circuit.inputs().iter().enumerate() {
+            let class = match shared_input_classes.get(pos) {
+                Some(&c) => c,
+                None => self.leaf(s),
+            };
+            vals[s.index()] = Some(Val::Lit(Lit { class, neg: false }));
+        }
+        for (idx, slot) in vals.iter_mut().enumerate() {
+            let s = SignalId(idx as u32);
+            if slot.is_none() && circuit.driver_index_of(s).is_none() {
+                let class = self.leaf(s);
+                *slot = Some(Val::Lit(Lit { class, neg: false }));
+            }
+        }
+        let mut merged = 0usize;
+        let mut const_folded = 0usize;
+        let mut ins: Vec<Val> = Vec::new();
+        let mut gate_classes: Vec<u32> = Vec::new();
+        for &g in circuit.topo_order() {
+            let gate = &circuit.gates()[g as usize];
+            ins.clear();
+            ins.extend(gate.inputs.iter().map(|&s| vals[s.index()].expect("topo order")));
+            let (val, reused) = self.gate_val(gate.kind, &ins);
+            match val {
+                Val::Const(_) => const_folded += 1,
+                Val::Lit(l) => {
+                    if reused {
+                        merged += 1;
+                    } else {
+                        gate_classes.push(l.class);
+                    }
+                }
+            }
+            vals[gate.output.index()] = Some(val);
+        }
+        NumberedCircuit { vals, merged, const_folded, gate_classes }
+    }
+}
+
+struct NumberedCircuit {
+    vals: Vec<Option<Val>>,
+    merged: usize,
+    const_folded: usize,
+    /// Classes newly created by this circuit's gates.
+    gate_classes: Vec<u32>,
+}
+
+fn negate(v: Val) -> Val {
+    match v {
+        Val::Const(b) => Val::Const(!b),
+        Val::Lit(l) => Val::Lit(Lit { class: l.class, neg: !l.neg }),
+    }
+}
+
+/// Phase bitmask values for the rebuild's need analysis.
+const POS: u8 = 1;
+const NEG: u8 = 2;
+
+/// Reduction statistics of one sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SweepStats {
+    /// Gate count before sweeping.
+    pub gates_before: usize,
+    /// Gate count of the rebuilt circuit.
+    pub gates_after: usize,
+    /// Gates that value-numbered onto an already-known point.
+    pub merged_points: usize,
+    /// Gates that folded to a constant.
+    pub const_folded: usize,
+}
+
+/// A swept circuit plus the map back from the original's signals.
+#[derive(Debug, Clone)]
+pub struct SweepResult {
+    /// The reduced circuit. Primary inputs and outputs keep their count,
+    /// order and names; internal structure is canonicalized.
+    pub circuit: Circuit,
+    /// Original signal → swept signal, for every original signal whose
+    /// value was materialized (all outputs and protected signals are).
+    pub signal_map: Vec<Option<SignalId>>,
+    /// What the sweep accomplished.
+    pub stats: SweepStats,
+}
+
+/// Sweeps a circuit, keeping its input/output interface intact.
+pub fn sweep(circuit: &Circuit) -> SweepResult {
+    sweep_protected(circuit, &[])
+}
+
+/// Sweeps a circuit, additionally materializing the `protect`ed signals
+/// (black-box input pins and outputs, so a partial implementation can be
+/// remapped onto the result).
+///
+/// # Panics
+///
+/// Panics if a protected signal id is out of range.
+pub fn sweep_protected(circuit: &Circuit, protect: &[SignalId]) -> SweepResult {
+    let mut numbering = Numbering::default();
+    let numbered = numbering.number(circuit, &[]);
+    let vals = &numbered.vals;
+    let defs = &numbering.defs;
+
+    // Which (class, phase) pairs the rebuilt circuit must materialize:
+    // output roots plus protected signals, transitively.
+    let mut need: Vec<u8> = vec![0; defs.len()];
+    let mut need_const = [false; 2];
+    let mut stack: Vec<(u32, u8)> = Vec::new();
+    let require = |v: Val, stack: &mut Vec<(u32, u8)>, need_const: &mut [bool; 2]| match v {
+        Val::Const(b) => need_const[b as usize] = true,
+        Val::Lit(l) => stack.push((l.class, if l.neg { NEG } else { POS })),
+    };
+    for &(_, s) in circuit.outputs().iter() {
+        require(vals[s.index()].expect("output valued"), &mut stack, &mut need_const);
+    }
+    for &s in protect {
+        require(vals[s.index()].expect("protected signal valued"), &mut stack, &mut need_const);
+    }
+    while let Some((c, form)) = stack.pop() {
+        if need[c as usize] & form != 0 {
+            continue;
+        }
+        need[c as usize] |= form;
+        match &defs[c as usize] {
+            Def::Leaf(_) => {}
+            Def::And(lits) => {
+                // Mirror the emission strategy below: an all-negative
+                // conjunction is emitted as a Nor/Or over positive
+                // operands, a mixed one as And/Nand over literal forms.
+                let all_neg = lits.iter().all(|l| l.neg);
+                for l in lits {
+                    stack.push((l.class, if all_neg || !l.neg { POS } else { NEG }));
+                }
+            }
+            Def::Xor(classes) => {
+                for &c2 in classes {
+                    stack.push((c2, POS));
+                }
+            }
+        }
+    }
+
+    // Representative original names per (class, phase), so kept points
+    // keep recognizable names. Reverse order: the lowest-id signal wins.
+    let mut rep_name: [Vec<Option<SignalId>>; 2] = [vec![None; defs.len()], vec![None; defs.len()]];
+    for idx in (0..circuit.signal_count()).rev() {
+        if let Some(Val::Lit(l)) = vals[idx] {
+            rep_name[l.neg as usize][l.class as usize] = Some(SignalId(idx as u32));
+        }
+    }
+
+    // Rebuild. Primary inputs are declared first, in original order,
+    // whether or not any kept cone reads them: the input interface is
+    // part of the check's contract.
+    let mut b = Circuit::builder(circuit.name());
+    let mut pos_sig: Vec<Option<SignalId>> = vec![None; defs.len()];
+    let mut neg_sig: Vec<Option<SignalId>> = vec![None; defs.len()];
+    for &s in circuit.inputs() {
+        let new = b.input(circuit.signal_name(s));
+        if let Some(Val::Lit(l)) = vals[s.index()] {
+            pos_sig[l.class as usize] = Some(new);
+        }
+    }
+    // Undriven leaves (black-box outputs) are re-declared next, before any
+    // gate exists: their original names are unique among themselves and the
+    // inputs, so declaring them now cannot collide with an auto-generated
+    // gate name.
+    for (c, def) in defs.iter().enumerate() {
+        if need[c] != 0 && pos_sig[c].is_none() {
+            if let Def::Leaf(old) = def {
+                pos_sig[c] = Some(b.signal(circuit.signal_name(*old)));
+            }
+        }
+    }
+    let named = |b: &mut CircuitBuilder,
+                 rep: Option<SignalId>,
+                 kind: GateKind,
+                 ins: &[SignalId]|
+     -> SignalId {
+        match rep.map(|old| circuit.signal_name(old)) {
+            Some(name) if !b.contains_signal(name) => {
+                let out = b.signal(name);
+                b.gate_into(kind, ins, out);
+                out
+            }
+            _ => b.gate(kind, ins),
+        }
+    };
+    for c in 0..defs.len() {
+        let forms = need[c];
+        if forms == 0 {
+            continue;
+        }
+        let (pos_kind, neg_kind, ins): (GateKind, GateKind, Vec<SignalId>) = match &defs[c] {
+            Def::Leaf(_) => {
+                if forms & NEG != 0 {
+                    let base = pos_sig[c].expect("leaf declared");
+                    neg_sig[c] = Some(named(&mut b, rep_name[1][c], GateKind::Not, &[base]));
+                }
+                continue;
+            }
+            Def::And(lits) => {
+                let all_neg = lits.iter().all(|l| l.neg);
+                let ins = lits
+                    .iter()
+                    .map(|l| {
+                        let slot = if all_neg || !l.neg { &pos_sig } else { &neg_sig };
+                        slot[l.class as usize].expect("operand materialized")
+                    })
+                    .collect();
+                // Gate kinds that absorb the literal phases, so a swept Or
+                // stays one Or instead of Nots feeding an And.
+                if all_neg {
+                    (GateKind::Nor, GateKind::Or, ins)
+                } else {
+                    (GateKind::And, GateKind::Nand, ins)
+                }
+            }
+            Def::Xor(classes) => {
+                let ins = classes
+                    .iter()
+                    .map(|&c2| pos_sig[c2 as usize].expect("operand materialized"))
+                    .collect();
+                (GateKind::Xor, GateKind::Xnor, ins)
+            }
+        };
+        if forms & POS != 0 {
+            let out = named(&mut b, rep_name[0][c], pos_kind, &ins);
+            pos_sig[c] = Some(out);
+            if forms & NEG != 0 {
+                neg_sig[c] = Some(named(&mut b, rep_name[1][c], GateKind::Not, &[out]));
+            }
+        } else {
+            neg_sig[c] = Some(named(&mut b, rep_name[1][c], neg_kind, &ins));
+        }
+    }
+    let mut const_sig: [Option<SignalId>; 2] = [None, None];
+    for (bit, materialize) in need_const.iter().enumerate() {
+        if *materialize {
+            let kind = if bit == 1 { GateKind::Const1 } else { GateKind::Const0 };
+            const_sig[bit] = Some(b.gate(kind, &[]));
+        }
+    }
+
+    // Signal map and outputs.
+    let resolve = |v: Val| -> Option<SignalId> {
+        match v {
+            Val::Const(b) => const_sig[b as usize],
+            Val::Lit(l) => {
+                if l.neg {
+                    neg_sig[l.class as usize]
+                } else {
+                    pos_sig[l.class as usize]
+                }
+            }
+        }
+    };
+    let signal_map: Vec<Option<SignalId>> =
+        (0..circuit.signal_count()).map(|i| vals[i].and_then(resolve)).collect();
+    for (name, s) in circuit.outputs() {
+        b.output(name, signal_map[s.index()].expect("output materialized"));
+    }
+    let swept = b.build_allow_undriven().expect("sweep rebuild is structurally valid");
+    let stats = SweepStats {
+        gates_before: circuit.gates().len(),
+        gates_after: swept.gates().len(),
+        merged_points: numbered.merged,
+        const_folded: numbered.const_folded,
+    };
+    SweepResult { circuit: swept, signal_map, stats }
+}
+
+/// Counts internal points (hash classes) that spec and implementation
+/// share, with primary-input leaves unified by position — the joint-miter
+/// view of structural hashing, reported as a preprocessing statistic.
+pub fn shared_point_count(spec: &Circuit, imp: &Circuit) -> usize {
+    let mut numbering = Numbering::default();
+    let shared: Vec<u32> = spec.inputs().iter().map(|&s| numbering.leaf(s)).collect();
+    let spec_numbered = numbering.number(spec, &shared);
+    let spec_classes: HashSet<u32> = spec_numbered.gate_classes.iter().copied().collect();
+    let imp_numbered = numbering.number(imp, &shared[..shared.len().min(imp.inputs().len())]);
+    let mut seen = HashSet::new();
+    imp_numbered
+        .vals
+        .iter()
+        .filter_map(|v| match v {
+            Some(Val::Lit(l)) => Some(l.class),
+            _ => None,
+        })
+        .filter(|c| spec_classes.contains(c) && seen.insert(*c))
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ternary::Tv;
+
+    /// Every ternary input assignment over `n` inputs.
+    fn all_ternary(n: usize) -> Vec<Vec<Tv>> {
+        let mut out = vec![vec![]];
+        for _ in 0..n {
+            let mut next = Vec::with_capacity(out.len() * 3);
+            for v in &out {
+                for t in [Tv::Zero, Tv::One, Tv::X] {
+                    let mut w = v.clone();
+                    w.push(t);
+                    next.push(w);
+                }
+            }
+            out = next;
+        }
+        out
+    }
+
+    fn assert_ternary_equal(a: &Circuit, b: &Circuit) {
+        assert_eq!(a.inputs().len(), b.inputs().len(), "input interface preserved");
+        assert_eq!(a.outputs().len(), b.outputs().len(), "output interface preserved");
+        for tv in all_ternary(a.inputs().len()) {
+            assert_eq!(
+                a.eval_ternary(&tv).unwrap(),
+                b.eval_ternary(&tv).unwrap(),
+                "ternary mismatch on {tv:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn identical_gates_merge() {
+        let mut b = Circuit::builder("dup");
+        let x = b.input("x");
+        let y = b.input("y");
+        let a1 = b.and2(x, y);
+        let a2 = b.and2(x, y);
+        let f = b.or2(a1, a2); // Or(a, a) collapses onto a
+        b.output("f", f);
+        let c = b.build().unwrap();
+        let swept = sweep(&c);
+        assert!(swept.stats.merged_points >= 1, "{:?}", swept.stats);
+        assert_eq!(swept.circuit.gates().len(), 1, "one And remains");
+        assert_ternary_equal(&c, &swept.circuit);
+    }
+
+    #[test]
+    fn constants_propagate() {
+        let mut b = Circuit::builder("consts");
+        let x = b.input("x");
+        let zero = b.constant(false);
+        let one = b.constant(true);
+        let a = b.and2(x, one); // = x
+        let o = b.or2(a, zero); // = x
+        let f = b.xor2(o, one); // = ¬x
+        b.output("f", f);
+        let c = b.build().unwrap();
+        let swept = sweep(&c);
+        assert_ternary_equal(&c, &swept.circuit);
+        assert_eq!(swept.circuit.gates().len(), 1, "a single Not remains");
+    }
+
+    #[test]
+    fn complementary_literals_do_not_cancel() {
+        // x ∧ ¬x is X (not 0) when x = X; the sweep must keep all three.
+        let mut b = Circuit::builder("kleene");
+        let x = b.input("x");
+        let nx = b.not(x);
+        let f = b.and2(x, nx);
+        let g = b.xor2(x, x);
+        let h = b.or2(x, nx);
+        b.output("f", f);
+        b.output("g", g);
+        b.output("h", h);
+        let c = b.build().unwrap();
+        let swept = sweep(&c);
+        assert_ternary_equal(&c, &swept.circuit);
+        let out = swept.circuit.eval_ternary(&[Tv::X]).unwrap();
+        assert_eq!(out, vec![Tv::X, Tv::X, Tv::X]);
+    }
+
+    #[test]
+    fn demorgan_duals_share_a_class() {
+        let mut b = Circuit::builder("dual");
+        let x = b.input("x");
+        let y = b.input("y");
+        let nx = b.not(x);
+        let ny = b.not(y);
+        let f = b.and2(nx, ny); // ≡ Nor(x, y)
+        let g = b.nor2(x, y);
+        let h = b.or2(x, y); // its negation
+        b.output("f", f);
+        b.output("g", g);
+        b.output("h", h);
+        let c = b.build().unwrap();
+        let swept = sweep(&c);
+        assert_ternary_equal(&c, &swept.circuit);
+        assert!(swept.stats.merged_points >= 1, "{:?}", swept.stats);
+        assert!(swept.circuit.gates().len() <= 2, "{:?}", swept.circuit.gates());
+    }
+
+    #[test]
+    fn dead_logic_is_removed_but_inputs_stay() {
+        let mut b = Circuit::builder("dead");
+        let x = b.input("x");
+        let _y = b.input("y");
+        let f = b.buf(x);
+        b.output("f", f);
+        let c = b.build().unwrap();
+        let swept = sweep(&c);
+        // Buf collapses; output f is just x; the unread input y keeps its
+        // interface slot.
+        assert_eq!(swept.circuit.gates().len(), 0);
+        assert_eq!(swept.circuit.inputs().len(), 2);
+        assert_ternary_equal(&c, &swept.circuit);
+    }
+
+    #[test]
+    fn protected_signals_are_materialized_and_mapped() {
+        let mut b = Circuit::builder("partial");
+        let x = b.input("x");
+        let y = b.input("y");
+        let pin = b.and2(x, y); // black-box input pin (otherwise dead)
+        let bb = b.signal("bb_out"); // black-box output
+        let f = b.or2(bb, x);
+        b.output("f", f);
+        let c = b.build_allow_undriven().unwrap();
+        let swept = sweep_protected(&c, &[pin, bb]);
+        let new_pin = swept.signal_map[pin.index()].expect("pin kept");
+        let new_bb = swept.signal_map[bb.index()].expect("bb kept");
+        assert!(swept.circuit.driver_of(new_pin).is_some(), "pin cone survives");
+        assert!(swept.circuit.driver_of(new_bb).is_none(), "bb output stays undriven");
+        assert!(!swept.circuit.is_input(new_bb), "bb output is not an input");
+        assert_ternary_equal(&c, &swept.circuit);
+    }
+
+    #[test]
+    fn sweep_preserves_ternary_semantics_on_generated_circuits() {
+        use crate::generators;
+        for c in [
+            generators::ripple_carry_adder(2),
+            generators::magnitude_comparator(3),
+            generators::parity_tree(5),
+        ] {
+            let swept = sweep(&c);
+            assert_ternary_equal(&c, &swept.circuit);
+        }
+    }
+
+    #[test]
+    fn sweep_preserves_ternary_semantics_on_random_logic() {
+        use crate::generators;
+        for seed in 0..20u64 {
+            let c = generators::random_logic("rnd", 5, 40, 3, seed);
+            let swept = sweep(&c);
+            assert_ternary_equal(&c, &swept.circuit);
+        }
+    }
+
+    #[test]
+    fn sweep_is_idempotent_on_gate_count() {
+        let c = crate::generators::ripple_carry_adder(4);
+        let once = sweep(&c);
+        let twice = sweep(&once.circuit);
+        assert_eq!(once.circuit.gates().len(), twice.circuit.gates().len());
+    }
+
+    #[test]
+    fn shared_points_count_cross_circuit_overlap() {
+        let mut b = Circuit::builder("spec");
+        let x = b.input("x");
+        let y = b.input("y");
+        let shared = b.and2(x, y);
+        let f = b.xor2(shared, x);
+        b.output("f", f);
+        let spec = b.build().unwrap();
+
+        let mut b = Circuit::builder("imp");
+        let x = b.input("x");
+        let y = b.input("y");
+        let shared = b.and2(x, y); // same structure as the spec's And
+        let f = b.or2(shared, y); // different top
+        b.output("f", f);
+        let imp = b.build().unwrap();
+
+        assert_eq!(shared_point_count(&spec, &imp), 1);
+    }
+}

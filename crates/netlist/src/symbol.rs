@@ -1,0 +1,99 @@
+//! Interned signal names.
+//!
+//! Industrial netlists carry hundreds of thousands of net names; storing
+//! and re-hashing them as `String`s on every clone, cone extraction or
+//! lookup dominates front-end time. A [`SymbolTable`] interns each name
+//! once and hands out dense `u32` [`Symbol`]s; circuits share one frozen
+//! table behind an `Arc`, so slicing a cone out of a million-gate parent
+//! copies a `Vec<u32>` instead of re-hashing a million strings.
+//!
+//! `&str` crosses the boundary only where text genuinely enters or leaves
+//! the system: parsers intern on the way in, reports resolve on the way
+//! out.
+
+use std::collections::HashMap;
+
+/// An interned name; meaningful only relative to its [`SymbolTable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(u32);
+
+impl Symbol {
+    /// The raw index of this symbol in its table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An append-only arena of interned strings.
+#[derive(Debug, Default, Clone)]
+pub struct SymbolTable {
+    names: Vec<String>,
+    map: HashMap<String, u32>,
+}
+
+impl SymbolTable {
+    /// An empty table.
+    pub fn new() -> SymbolTable {
+        SymbolTable::default()
+    }
+
+    /// Interns `name`, returning the existing symbol if already present.
+    pub fn intern(&mut self, name: &str) -> Symbol {
+        if let Some(&id) = self.map.get(name) {
+            return Symbol(id);
+        }
+        let id = self.names.len() as u32;
+        self.names.push(name.to_string());
+        self.map.insert(name.to_string(), id);
+        Symbol(id)
+    }
+
+    /// The symbol of `name`, if it has been interned.
+    pub fn lookup(&self, name: &str) -> Option<Symbol> {
+        self.map.get(name).copied().map(Symbol)
+    }
+
+    /// The string behind `sym`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sym` comes from a different table and is out of range.
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        &self.names[sym.index()]
+    }
+
+    /// Number of interned names.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("a");
+        let b = t.intern("b");
+        assert_ne!(a, b);
+        assert_eq!(t.intern("a"), a);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.resolve(a), "a");
+        assert_eq!(t.resolve(b), "b");
+    }
+
+    #[test]
+    fn lookup_misses_are_none() {
+        let mut t = SymbolTable::new();
+        t.intern("x");
+        assert_eq!(t.lookup("x"), Some(Symbol(0)));
+        assert_eq!(t.lookup("y"), None);
+    }
+}

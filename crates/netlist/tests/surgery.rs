@@ -1,0 +1,162 @@
+//! IR-surgery invariants: cone extraction, gate removal/replacement and
+//! the structural sweep compose without corrupting topological order,
+//! interfaces or functions.
+
+use bbec_netlist::{generators, strash, Circuit, GateKind, Tv};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Every gate's inputs must be produced (or be leaves) before the gate
+/// appears in `topo_order` — the invariant all evaluators lean on.
+fn assert_topo_valid(c: &Circuit, what: &str) {
+    let mut ready = vec![false; c.signal_count()];
+    for &s in c.inputs() {
+        ready[s.index()] = true;
+    }
+    for s in c.undriven_signals() {
+        ready[s.index()] = true;
+    }
+    for &g in c.topo_order() {
+        let gate = &c.gates()[g as usize];
+        for &i in &gate.inputs {
+            assert!(ready[i.index()], "{what}: gate {g} reads an unproduced signal");
+        }
+        ready[gate.output.index()] = true;
+    }
+    assert_eq!(c.topo_order().len(), c.gates().len(), "{what}: topo order covers every gate");
+}
+
+fn ternary_inputs(n: usize, rng: &mut StdRng) -> Vec<Tv> {
+    (0..n)
+        .map(|_| match rng.random_range(0..3u32) {
+            0 => Tv::Zero,
+            1 => Tv::One,
+            _ => Tv::X,
+        })
+        .collect()
+}
+
+#[test]
+fn cone_subcircuit_preserves_topological_order() {
+    let circuits = [
+        generators::ripple_carry_adder(4),
+        generators::magnitude_comparator(5),
+        generators::random_logic("topo", 10, 120, 6, 0x70B0),
+    ];
+    for c in &circuits {
+        assert_topo_valid(c, c.name());
+        let n_out = c.outputs().len();
+        // Single-output cones and a multi-output split.
+        for pos in 0..n_out {
+            let cone = c.cone_subcircuit(&[pos], &[]);
+            assert_topo_valid(&cone.circuit, &format!("{} cone {pos}", c.name()));
+            assert_eq!(cone.output_positions, vec![pos]);
+        }
+        let all: Vec<usize> = (0..n_out).collect();
+        let whole = c.cone_subcircuit(&all, &[]);
+        assert_topo_valid(&whole.circuit, &format!("{} full cone", c.name()));
+        assert_eq!(whole.circuit.outputs().len(), n_out);
+    }
+}
+
+#[test]
+fn multi_output_cone_preserves_functions() {
+    let c = generators::ripple_carry_adder(4);
+    // Extract outputs {0, 2, 4} together; the shared carry chain must be
+    // materialized once and still compute all three functions.
+    let picks = [0usize, 2, 4];
+    let cone = c.cone_subcircuit(&picks, &[]);
+    assert_eq!(cone.output_positions, picks.to_vec());
+    let mut rng = StdRng::seed_from_u64(0x5EED);
+    for _ in 0..200 {
+        let full: Vec<bool> = (0..c.inputs().len()).map(|_| rng.random_bool(0.5)).collect();
+        let want = c.eval(&full).unwrap();
+        let sub_in: Vec<bool> = cone.input_positions.iter().map(|&p| full[p]).collect();
+        let got = cone.circuit.eval(&sub_in).unwrap();
+        for (k, &pos) in cone.output_positions.iter().enumerate() {
+            assert_eq!(got[k], want[pos], "output {pos} diverged");
+        }
+    }
+}
+
+#[test]
+fn gate_removal_then_cone_keeps_undriven_boundary() {
+    // Multi-output replacement site: carve out the gates feeding two
+    // outputs, leaving their nets undriven, then re-extract the cone —
+    // the undriven boundary must survive as black-box outputs.
+    let c = generators::ripple_carry_adder(3);
+    let removed: Vec<u32> = vec![5, 6, 7, 8, 9];
+    let partial = c.without_gates(&removed);
+    assert_eq!(partial.gates().len(), c.gates().len() - removed.len());
+    assert!(!partial.undriven_signals().is_empty());
+    assert_topo_valid(&partial, "after removal");
+    let all: Vec<usize> = (0..partial.outputs().len()).collect();
+    let cone = partial.cone_subcircuit(&all, &[]);
+    assert_topo_valid(&cone.circuit, "carved partial");
+    // Undriven nets read by live logic survive extraction; ones only the
+    // removed gates read legitimately vanish with them.
+    let parent_undriven: Vec<&str> =
+        partial.undriven_signals().iter().map(|&s| partial.signal_name(s)).collect();
+    let kept_undriven: Vec<&str> =
+        cone.circuit.undriven_signals().iter().map(|&s| cone.circuit.signal_name(s)).collect();
+    assert!(!kept_undriven.is_empty(), "some boundary nets feed live logic");
+    for name in &kept_undriven {
+        assert!(parent_undriven.contains(name), "`{name}` appeared from nowhere");
+    }
+    // Ternary agreement on the kept interface.
+    let mut rng = StdRng::seed_from_u64(0xCAFE);
+    for _ in 0..100 {
+        let v = ternary_inputs(partial.inputs().len(), &mut rng);
+        let want = partial.eval_ternary(&v).unwrap();
+        let sub_in: Vec<Tv> = cone.input_positions.iter().map(|&p| v[p]).collect();
+        let got = cone.circuit.eval_ternary(&sub_in).unwrap();
+        for (k, &pos) in cone.output_positions.iter().enumerate() {
+            assert_eq!(got[k], want[pos]);
+        }
+    }
+}
+
+#[test]
+fn sweep_then_carve_round_trips() {
+    // Sweep first, carve second and vice versa: both orders must agree
+    // with the original circuit on every output, under ternary semantics.
+    for seed in 0..8u64 {
+        let c = generators::random_logic("stc", 8, 80, 5, seed);
+        let swept = strash::sweep(&c).circuit;
+        assert_topo_valid(&swept, "swept");
+        let all: Vec<usize> = (0..c.outputs().len()).collect();
+        let carved_after = swept.cone_subcircuit(&all, &[]);
+        assert_topo_valid(&carved_after.circuit, "sweep-then-carve");
+        let carved_first = c.cone_subcircuit(&all, &[]);
+        let swept_after = strash::sweep(&carved_first.circuit).circuit;
+        assert_topo_valid(&swept_after, "carve-then-sweep");
+
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xD00D);
+        for _ in 0..100 {
+            let v = ternary_inputs(c.inputs().len(), &mut rng);
+            let want = c.eval_ternary(&v).unwrap();
+            let a_in: Vec<Tv> = carved_after.input_positions.iter().map(|&p| v[p]).collect();
+            let a = carved_after.circuit.eval_ternary(&a_in).unwrap();
+            let b_in: Vec<Tv> = carved_first.input_positions.iter().map(|&p| v[p]).collect();
+            let b = swept_after.eval_ternary(&b_in).unwrap();
+            for (k, &pos) in carved_after.output_positions.iter().enumerate() {
+                assert_eq!(a[k], want[pos], "sweep-then-carve diverged (seed {seed})");
+            }
+            for (k, &pos) in carved_first.output_positions.iter().enumerate() {
+                assert_eq!(b[k], want[pos], "carve-then-sweep diverged (seed {seed})");
+            }
+        }
+    }
+}
+
+#[test]
+fn sweep_preserves_interfaces_and_gate_kind_budget() {
+    let c = generators::alu_181();
+    let swept = strash::sweep(&c);
+    assert_eq!(swept.circuit.inputs().len(), c.inputs().len());
+    let names: Vec<&str> = c.outputs().iter().map(|(n, _)| n.as_str()).collect();
+    let swept_names: Vec<&str> = swept.circuit.outputs().iter().map(|(n, _)| n.as_str()).collect();
+    assert_eq!(names, swept_names, "output order and names survive");
+    assert!(swept.stats.gates_after <= swept.stats.gates_before + c.outputs().len());
+    assert!(swept.circuit.gates().iter().all(|g| g.kind != GateKind::Buf || g.inputs.len() == 1));
+}

@@ -1,7 +1,8 @@
 //! The differential harness: every engine against every contract.
 //!
 //! For one spec/partial instance the harness runs all five ladder rungs,
-//! both SAT twins and the parallel engine at two job counts, then asserts:
+//! both SAT twins, the parallel engine at two job counts and the
+//! sweep-preprocessed ladder, then asserts:
 //!
 //! 1. **Soundness** (the paper's central claim): no engine reports an error
 //!    on an instance the oracle proves extendable.
@@ -16,6 +17,9 @@
 //!    validation — the harness does not trust the engines' own checks).
 //! 6. **Single-box exactness** (Theorem 2.2): on a one-box instance the
 //!    oracle says non-extendable, the input-exact rung must error.
+//! 7. **Sweep invariance**: running the ladder after the structural
+//!    sweep ([`bbec_core::preprocess`]) produces the same verdict as the
+//!    unswept ladder — the preprocessor is verdict-invariant.
 //!
 //! A `inject` option flips one rung's verdict after the fact — the
 //! test-only "intentionally unsound rung" of the acceptance criteria,
@@ -40,11 +44,14 @@ pub enum Engine {
     SatOutputExact,
     ParallelJobs1,
     ParallelJobs4,
+    /// The sequential ladder with the structural sweep enabled — paired
+    /// against [`Engine::ParallelJobs1`] by the sweep-invariance contract.
+    SweptLadder,
 }
 
 impl Engine {
     /// All engines, ladder first, in strength order within the ladder.
-    pub fn all() -> [Engine; 9] {
+    pub fn all() -> [Engine; 10] {
         [
             Engine::RandomPatterns,
             Engine::Symbolic01X,
@@ -55,6 +62,7 @@ impl Engine {
             Engine::SatOutputExact,
             Engine::ParallelJobs1,
             Engine::ParallelJobs4,
+            Engine::SweptLadder,
         ]
     }
 
@@ -70,6 +78,7 @@ impl Engine {
             Engine::SatOutputExact => "sat-oe",
             Engine::ParallelJobs1 => "par-j1",
             Engine::ParallelJobs4 => "par-j4",
+            Engine::SweptLadder => "sweep",
         }
     }
 
@@ -134,6 +143,9 @@ pub enum Violation {
     /// The parallel engine's verdict differed across job counts or from
     /// the sequential rungs.
     ParallelMismatch { detail: String },
+    /// The sweep-preprocessed ladder's verdict differed from the unswept
+    /// ladder's — the preprocessor changed a verdict.
+    SweepMismatch { detail: String },
     /// A reported counterexample failed concrete replay.
     BadCounterexample { engine: &'static str, detail: String },
     /// An engine failed with an unexpected (non-budget) error.
@@ -156,6 +168,7 @@ impl fmt::Display for Violation {
                 write!(f, "TWIN MISMATCH: {sat} disagreed with {bdd}")
             }
             Violation::ParallelMismatch { detail } => write!(f, "PARALLEL MISMATCH: {detail}"),
+            Violation::SweepMismatch { detail } => write!(f, "SWEEP MISMATCH: {detail}"),
             Violation::BadCounterexample { engine, detail } => {
                 write!(f, "BAD WITNESS: {engine}: {detail}")
             }
@@ -175,6 +188,7 @@ impl Violation {
             Violation::NonMonotone { .. } => "non-monotone",
             Violation::TwinMismatch { .. } => "twin-mismatch",
             Violation::ParallelMismatch { .. } => "parallel-mismatch",
+            Violation::SweepMismatch { .. } => "sweep-mismatch",
             Violation::BadCounterexample { .. } => "bad-counterexample",
             Violation::EngineFailure { .. } => "engine-failure",
         }
@@ -294,6 +308,13 @@ pub fn run_case(instance: &Instance, config: &HarnessConfig) -> CaseOutcome {
             Engine::ParallelJobs4,
             from_report(ParallelChecker::new(s.clone(), 4).run(spec, partial)),
         ),
+        one(
+            Engine::SweptLadder,
+            from_report(
+                ParallelChecker::new(CheckSettings { sweep: true, ..s.clone() }, 1)
+                    .run(spec, partial),
+            ),
+        ),
     ];
 
     let oracle = oracle::decide(spec, partial, &config.oracle).ok();
@@ -302,7 +323,7 @@ pub fn run_case(instance: &Instance, config: &HarnessConfig) -> CaseOutcome {
     outcome
 }
 
-/// Applies contracts 1–6 to the collected verdicts.
+/// Applies contracts 1–7 to the collected verdicts.
 fn check_contracts(instance: &Instance, outcome: &mut CaseOutcome) {
     let spec = &instance.spec;
     let partial = &instance.partial;
@@ -385,6 +406,19 @@ fn check_contracts(instance: &Instance, outcome: &mut CaseOutcome) {
         });
     }
 
+    // 7. Sweep invariance: the preprocessed ladder's verdict matches the
+    // unswept ladder's (same engine, sweep on vs off).
+    let sw = outcome.verdict(Engine::SweptLadder);
+    if p1.decided() && sw.decided() && p1.is_error() != sw.is_error() {
+        violations.push(Violation::SweepMismatch {
+            detail: format!(
+                "swept ladder ({}) contradicts the unswept ladder ({})",
+                if sw.is_error() { "error" } else { "clean" },
+                if p1.is_error() { "error" } else { "clean" },
+            ),
+        });
+    }
+
     violations.sort_by_key(|v| match v {
         Violation::Unsound { .. } => 0,
         Violation::IncompleteExact => 1,
@@ -392,7 +426,8 @@ fn check_contracts(instance: &Instance, outcome: &mut CaseOutcome) {
         Violation::NonMonotone { .. } => 3,
         Violation::TwinMismatch { .. } => 4,
         Violation::ParallelMismatch { .. } => 5,
-        Violation::EngineFailure { .. } => 6,
+        Violation::SweepMismatch { .. } => 6,
+        Violation::EngineFailure { .. } => 7,
     });
     outcome.violations = violations;
 }

@@ -14,9 +14,12 @@
 //!                                                       engines against the
 //!                                                       exhaustive oracle
 //!
-//! Netlist formats are chosen by extension: .blif, .bench, .v (write-only).
-//! In the implementation file, signals that are used but never driven are
-//! treated as black-box outputs.
+//! Netlist formats are chosen by extension: .blif, .bench, .aag (ASCII
+//! AIGER), .aig (binary AIGER), .v (write-only). In the implementation
+//! file, signals that are used but never driven are treated as black-box
+//! outputs. AIGER files may carry `bbec-box` comment annotations naming
+//! each box and its pins; when present they define the black boxes
+//! directly (instead of the --boxes grouping of undriven signals).
 //!
 //! options:
 //!   --method <rp|01x|local|oe|ie|ladder|sat-01x|sat-oe>  (default: ladder)
@@ -33,6 +36,10 @@
 //!   --cache-bits N             computed-table capacity exponent: the
 //!                              apply/ITE cache holds 2^N entries
 //!                              (default 22, clamped to 10..=30)
+//!   --no-sweep                 skip the structural-sweeping preprocessor
+//!                              (check sweeps both sides by default; the
+//!                              sweep is verdict-invariant, so this only
+//!                              changes performance and reported sizes)
 //!   --quiet                    verdict only (exit code 0 = completable,
 //!                              1 = error found, 2 = usage/IO error)
 //!   --trace-summary            print a span/counter/histogram tree after a
@@ -63,7 +70,7 @@
 
 use bbec::core::diagnose::locate_single_gate_repairs;
 use bbec::core::{checks, sat_checks, BlackBox, CheckSettings, PartialCircuit, Verdict};
-use bbec::netlist::{bench, blif, verilog, Circuit, SignalId};
+use bbec::netlist::{aiger, bench, blif, verilog, Circuit, SignalId};
 use std::path::Path;
 use std::process::exit;
 
@@ -75,11 +82,45 @@ fn usage() -> ! {
 }
 
 fn read_circuit(path: &str) -> Circuit {
+    read_circuit_with_boxes(path).0
+}
+
+/// Reads a circuit plus any black boxes the format itself declares
+/// (AIGER `bbec-box` annotations). Text formats return no boxes — their
+/// black-box convention is "undriven signal", applied later.
+fn read_circuit_with_boxes(path: &str) -> (Circuit, Vec<BlackBox>) {
+    let ext = Path::new(path).extension().and_then(|e| e.to_str());
+    if matches!(ext, Some("aag" | "aig")) {
+        let bytes = std::fs::read(path).unwrap_or_else(|e| {
+            eprintln!("bbec: cannot read `{path}`: {e}");
+            exit(2)
+        });
+        let parsed = aiger::parse(&bytes).unwrap_or_else(|e| {
+            eprintln!("bbec: cannot parse `{path}`: {e}");
+            exit(2)
+        });
+        let resolve = |name: &str| {
+            parsed.circuit.find_signal(name).unwrap_or_else(|| {
+                eprintln!("bbec: box annotation names unknown signal `{name}` in `{path}`");
+                exit(2)
+            })
+        };
+        let boxes = parsed
+            .boxes
+            .iter()
+            .map(|bx| BlackBox {
+                name: bx.name.clone(),
+                inputs: bx.inputs.iter().map(|n| resolve(n)).collect(),
+                outputs: bx.outputs.iter().map(|n| resolve(n)).collect(),
+            })
+            .collect();
+        return (parsed.circuit, boxes);
+    }
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
         eprintln!("bbec: cannot read `{path}`: {e}");
         exit(2)
     });
-    let result = match Path::new(path).extension().and_then(|e| e.to_str()) {
+    let result = match ext {
         Some("blif") => blif::parse(&text),
         Some("bench") => bench::parse(
             Path::new(path).file_stem().and_then(|s| s.to_str()).unwrap_or("bench"),
@@ -94,11 +135,11 @@ fn read_circuit(path: &str) -> Circuit {
     // parsers reject them under strict validation, so retry leniently by
     // reparsing through the builder path on failure.
     match result {
-        Ok(c) => c,
+        Ok(c) => (c, Vec::new()),
         Err(err) => {
             // BLIF/bench strict parse failed — try the partial-friendly path.
             match reparse_allow_undriven(path, &text) {
-                Some(c) => c,
+                Some(c) => (c, Vec::new()),
                 None => {
                     eprintln!("bbec: cannot parse `{path}`: {err}");
                     exit(2)
@@ -121,7 +162,18 @@ fn reparse_allow_undriven(path: &str, text: &str) -> Option<Circuit> {
     }
 }
 
-fn partial_from(implementation: Circuit, per_signal: bool) -> PartialCircuit {
+fn partial_from(
+    implementation: Circuit,
+    format_boxes: Vec<BlackBox>,
+    per_signal: bool,
+) -> PartialCircuit {
+    if !format_boxes.is_empty() {
+        // The file's own annotations define the boxes, pins included.
+        return PartialCircuit::new(implementation, format_boxes).unwrap_or_else(|e| {
+            eprintln!("bbec: invalid box annotations: {e}");
+            exit(2)
+        });
+    }
     let undriven = implementation.undriven_signals();
     if undriven.is_empty() {
         eprintln!(
@@ -162,6 +214,7 @@ struct Options {
     patterns: usize,
     reorder: bool,
     quiet: bool,
+    sweep: bool,
     frames: usize,
     node_limit: Option<usize>,
     step_limit: Option<u64>,
@@ -188,6 +241,7 @@ fn parse_options(args: &[String]) -> Options {
         patterns: 5000,
         reorder: true,
         quiet: false,
+        sweep: true,
         frames: 4,
         node_limit: None,
         step_limit: None,
@@ -232,6 +286,7 @@ fn parse_options(args: &[String]) -> Options {
                 o.patterns = args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
             }
             "--no-reorder" => o.reorder = false,
+            "--no-sweep" => o.sweep = false,
             "--quiet" => o.quiet = true,
             "--node-limit" => {
                 i += 1;
@@ -341,21 +396,73 @@ fn main() {
             if o.positional.len() != 2 {
                 usage();
             }
-            let c = read_circuit(&o.positional[0]);
+            let (c, boxes) = read_circuit_with_boxes(&o.positional[0]);
             let out_path = &o.positional[1];
-            let text = match Path::new(out_path).extension().and_then(|e| e.to_str()) {
-                Some("blif") => blif::write(&c),
-                Some("bench") => bench::write(&c).unwrap_or_else(|e| {
-                    eprintln!("bbec: cannot express circuit in .bench: {e}");
-                    exit(2)
-                }),
-                Some("v") => verilog::write(&c),
+            // AIGER round trips box annotations; the text formats encode
+            // boxes as undriven signals, which the writers already do. A
+            // text-format partial has undriven nets but no named boxes —
+            // synthesize one annotation per live undriven net so the AIGER
+            // output stays a partial implementation instead of silently
+            // promoting box outputs to primary inputs. Box inputs default
+            // to all primary inputs, matching how `check` interprets
+            // annotation-free undriven nets.
+            let aiger_boxes = || -> Vec<aiger::AigerBox> {
+                if !boxes.is_empty() {
+                    return boxes
+                        .iter()
+                        .map(|b| aiger::AigerBox {
+                            name: b.name.clone(),
+                            inputs: b
+                                .inputs
+                                .iter()
+                                .map(|&s| c.signal_name(s).to_string())
+                                .collect(),
+                            outputs: b
+                                .outputs
+                                .iter()
+                                .map(|&s| c.signal_name(s).to_string())
+                                .collect(),
+                        })
+                        .collect();
+                }
+                let mut read = vec![false; c.signal_count()];
+                for gate in c.gates() {
+                    for &s in &gate.inputs {
+                        read[s.index()] = true;
+                    }
+                }
+                for &(_, s) in c.outputs() {
+                    read[s.index()] = true;
+                }
+                let all_inputs: Vec<String> =
+                    c.inputs().iter().map(|&s| c.signal_name(s).to_string()).collect();
+                c.undriven_signals()
+                    .iter()
+                    .filter(|&&s| read[s.index()])
+                    .map(|&s| aiger::AigerBox {
+                        name: format!("BOX_{}", c.signal_name(s)),
+                        inputs: all_inputs.clone(),
+                        outputs: vec![c.signal_name(s).to_string()],
+                    })
+                    .collect()
+            };
+            let bytes: Vec<u8> = match Path::new(out_path).extension().and_then(|e| e.to_str()) {
+                Some("blif") => blif::write(&c).into_bytes(),
+                Some("bench") => bench::write(&c)
+                    .unwrap_or_else(|e| {
+                        eprintln!("bbec: cannot express circuit in .bench: {e}");
+                        exit(2)
+                    })
+                    .into_bytes(),
+                Some("v") => verilog::write(&c).into_bytes(),
+                Some("aag") => aiger::write_ascii_with_boxes(&c, &aiger_boxes()).into_bytes(),
+                Some("aig") => aiger::write_binary_with_boxes(&c, &aiger_boxes()),
                 other => {
                     eprintln!("bbec: unsupported output format `{}`", other.unwrap_or(""));
                     exit(2)
                 }
             };
-            std::fs::write(out_path, text).unwrap_or_else(|e| {
+            std::fs::write(out_path, bytes).unwrap_or_else(|e| {
                 eprintln!("bbec: cannot write `{out_path}`: {e}");
                 exit(2)
             });
@@ -478,8 +585,8 @@ fn main() {
                 usage();
             };
             let spec = read_circuit(spec_path);
-            let implementation = read_circuit(impl_path);
-            let partial = partial_from(implementation, o.per_signal);
+            let (implementation, format_boxes) = read_circuit_with_boxes(impl_path);
+            let partial = partial_from(implementation, format_boxes, o.per_signal);
             // Record the effective run configuration in the trace stream
             // so archived traces are self-describing.
             settings.tracer.record_event(
@@ -493,8 +600,34 @@ fn main() {
                     ("jobs".to_string(), o.jobs.into()),
                     ("patterns".to_string(), settings.random_patterns.into()),
                     ("reorder".to_string(), settings.dynamic_reordering.into()),
+                    ("sweep".to_string(), o.sweep.into()),
                 ],
             );
+            // Sweep both sides once, up front, so every method (including
+            // the free-function rungs) benefits; the engines then run with
+            // sweeping off to avoid re-sweeping.
+            let (spec, partial) = if o.sweep {
+                let pre = bbec::core::preprocess::preprocess(&spec, &partial, &settings)
+                    .unwrap_or_else(|e| {
+                        eprintln!("bbec: {e}");
+                        exit(2)
+                    });
+                if !o.quiet {
+                    println!(
+                        "sweep: spec {} -> {} gate(s), impl {} -> {} gate(s) \
+                         ({} point(s) merged, {} shared)",
+                        pre.report.spec.gates_before,
+                        pre.report.spec.gates_after,
+                        pre.report.imp.gates_before,
+                        pre.report.imp.gates_after,
+                        pre.report.spec.merged_points + pre.report.imp.merged_points,
+                        pre.report.shared_points,
+                    );
+                }
+                (pre.spec, pre.partial)
+            } else {
+                (spec, partial)
+            };
             let verdict = run_method(&o.method, &spec, &partial, &settings, o.jobs, o.quiet);
             emit_trace(&o, &settings.tracer);
             match verdict {

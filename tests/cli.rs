@@ -359,3 +359,125 @@ fn fuzz_inject_unsound_self_test() {
     assert_eq!(replay.status.code(), Some(1));
     assert!(String::from_utf8_lossy(&replay.stdout).contains("UNSOUND"), "replay lost it");
 }
+
+/// A consistent AIGER implementation with a `bbec-box` annotation checks
+/// clean end to end, with identical verdicts with and without the sweep.
+#[test]
+fn check_accepts_aiger_with_box_annotations() {
+    let spec = "\
+.model spec
+.inputs a b c
+.outputs f
+.names a b ab
+11 1
+.names ab c f
+1- 1
+-1 1
+.end
+";
+    // f = bb OR c with bb the output of box BB1(a, b): completable by
+    // implementing bb = a AND b.
+    let impl_aag = "\
+aag 5 4 0 1 1
+2
+4
+6
+8
+11
+10 9 7
+i0 a
+i1 b
+i2 c
+i3 bb
+o0 f
+c
+bbec-box BB1 | a b | bb
+";
+    let spec_path = write_temp("aig_spec.blif", spec);
+    let impl_path = write_temp("aig_impl.aag", impl_aag);
+    let mut verdicts = Vec::new();
+    for extra in [None, Some("--no-sweep")] {
+        let mut cmd = bin();
+        cmd.args(["check", "--spec"])
+            .arg(&spec_path)
+            .arg("--impl")
+            .arg(&impl_path)
+            .args(["--patterns", "200"]);
+        if let Some(flag) = extra {
+            cmd.arg(flag);
+        }
+        let out = cmd.output().expect("binary runs");
+        assert!(
+            out.status.success(),
+            "({extra:?}) stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout).to_string();
+        assert!(stdout.contains("NO ERROR FOUND"), "{stdout}");
+        // The sweep banner appears exactly when the sweep ran.
+        assert_eq!(stdout.contains("sweep:"), extra.is_none(), "{stdout}");
+        verdicts.push(out.status.code());
+    }
+    assert_eq!(verdicts[0], verdicts[1], "--no-sweep changed the verdict");
+}
+
+/// Binary AIGER written by `convert` checks identically to the ASCII
+/// original, and the box annotation survives the conversion.
+#[test]
+fn convert_aiger_binary_round_trip_checks_identically() {
+    let impl_aag = "\
+aag 5 4 0 1 1
+2
+4
+6
+8
+11
+10 9 7
+i0 a
+i1 b
+i2 c
+i3 bb
+o0 f
+c
+bbec-box BB1 | a b | bb
+";
+    let src = write_temp("rt_impl.aag", impl_aag);
+    let dst = src.with_extension("aig");
+    let out = bin().arg("convert").arg(&src).arg(&dst).output().expect("binary runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let bytes = std::fs::read(&dst).expect("binary AIGER written");
+    let parsed = bbec::netlist::aiger::parse(&bytes).expect("binary parses");
+    assert_eq!(parsed.boxes.len(), 1);
+    assert_eq!(parsed.boxes[0].name, "BB1");
+    // stats on the binary file sees the demoted box output as undriven.
+    let stats = bin().arg("stats").arg(&dst).output().expect("binary runs");
+    assert!(stats.status.success());
+    let stdout = String::from_utf8_lossy(&stats.stdout);
+    assert!(stdout.contains("undriven signal"), "{stdout}");
+}
+
+#[test]
+fn convert_partial_blif_to_aiger_synthesizes_box_annotations() {
+    // A partial BLIF has undriven nets but no named boxes; converting to
+    // AIGER must synthesize `bbec-box` annotations so the result is still
+    // a partial implementation (not a design with extra primary inputs).
+    let (spec, partial, _) = fixture();
+    let aag = partial.with_extension("aag");
+    let out = bin().arg("convert").arg(&partial).arg(&aag).output().expect("binary runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let parsed =
+        bbec::netlist::aiger::parse(&std::fs::read(&aag).expect("aag written")).expect("parses");
+    assert!(!parsed.boxes.is_empty(), "annotations synthesized for undriven nets");
+    assert!(!parsed.circuit.undriven_signals().is_empty(), "partialness preserved");
+    // The AIGER partial checks against the BLIF spec exactly like the
+    // BLIF partial does.
+    let out = bin()
+        .args(["check", "--spec"])
+        .arg(&spec)
+        .arg("--impl")
+        .arg(&aag)
+        .args(["--quiet", "--patterns", "300"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+}
