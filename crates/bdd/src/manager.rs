@@ -4,7 +4,7 @@
 use crate::budget::{Budget, BudgetExceeded};
 use crate::cache::OpCache;
 use crate::hasher::pair_hash;
-use bbec_trace::{OpTelemetry, Tracer};
+use bbec_trace::{FlightOp, FlightRecorder, OpTelemetry, Progress, Tracer};
 
 /// A handle to a BDD node owned by a [`BddManager`].
 ///
@@ -177,6 +177,13 @@ pub struct BddManager {
     gc_passes: u64,
     /// Observability sink; disabled (free) by default.
     pub(crate) tracer: Tracer,
+    /// Heartbeat engine, ticked from the amortised pulse in
+    /// [`BddManager::charge_step`]; disabled (free) by default.
+    progress: Progress,
+    /// Postmortem ring of recent operations, armed alongside the tracer.
+    flight: FlightRecorder,
+    /// Cache evictions already attributed to a flight `apply_window` op.
+    flight_evictions: u64,
 }
 
 impl Default for BddManager {
@@ -210,6 +217,9 @@ impl BddManager {
             window_start: 0,
             gc_passes: 0,
             tracer: Tracer::disabled(),
+            progress: Progress::disabled(),
+            flight: FlightRecorder::disabled(),
+            flight_evictions: 0,
         }
     }
 
@@ -217,8 +227,42 @@ impl BddManager {
     /// collect spans (GC, reordering), histograms (apply recursion depth,
     /// unique-table probe lengths) and per-operation cache counters; the
     /// default disabled tracer costs a single branch on the hot paths.
+    ///
+    /// An enabled tracer also arms the flight recorder (a bounded ring of
+    /// recent operations dumped on aborts, see
+    /// [`BddManager::dump_flight_recorder`]); a disabled tracer disarms it.
     pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.flight = if tracer.enabled() {
+            FlightRecorder::with_capacity(bbec_trace::DEFAULT_FLIGHT_CAPACITY)
+        } else {
+            FlightRecorder::disabled()
+        };
+        self.flight_evictions = self.cache.evictions();
         self.tracer = tracer;
+    }
+
+    /// Installs the heartbeat engine. An enabled [`Progress`] is ticked
+    /// from the same amortised point as the deadline check (every 1024
+    /// apply steps) with this manager's live node count and the fraction
+    /// of the current budget window consumed; the default disabled engine
+    /// costs one branch per pulse, nothing per step.
+    pub fn set_progress(&mut self, progress: Progress) {
+        self.progress = progress;
+    }
+
+    /// The recent-operation ring armed by [`BddManager::set_tracer`].
+    pub fn flight_recorder(&self) -> &FlightRecorder {
+        &self.flight
+    }
+
+    /// Dumps the flight recorder's retained tail into the tracer (as
+    /// `flight.dump` + `flight.op` record events). Call on the abort path
+    /// — budget exceeded, deadline expiry — so the trace ships a
+    /// postmortem of the last operations; a panic unwinding through the
+    /// manager dumps automatically (see its `Drop`). No-op when tracer or
+    /// recorder is disabled.
+    pub fn dump_flight_recorder(&self, reason: &str) {
+        self.flight.dump(&self.tracer, reason);
     }
 
     /// The currently installed observability sink.
@@ -287,19 +331,59 @@ impl BddManager {
     #[inline]
     pub(crate) fn charge_step(&mut self) -> Result<(), BudgetExceeded> {
         self.steps += 1;
+        if self.steps & 0x3FF == 0 {
+            // Amortised slow path: clock read for the deadline, heartbeat
+            // tick, flight-recorder window — none belong on the per-step
+            // path, and all run fine without a budget armed.
+            self.pulse()?;
+        }
         let Some(budget) = &self.budget else { return Ok(()) };
         if let Some(limit) = budget.max_steps {
             if self.steps - self.window_start > limit {
                 return Err(BudgetExceeded::Steps { limit });
             }
         }
-        if let Some(deadline) = budget.deadline {
-            // Amortise the clock read: a syscall every step would dominate.
-            if self.steps & 0x3FF == 0 && std::time::Instant::now() >= deadline {
+        Ok(())
+    }
+
+    /// The every-1024-steps slow path of [`BddManager::charge_step`].
+    #[cold]
+    fn pulse(&mut self) -> Result<(), BudgetExceeded> {
+        if self.flight.enabled() {
+            let evictions = self.cache.evictions();
+            self.flight.record(FlightOp {
+                step: self.steps,
+                kind: "apply_window",
+                a: self.live as u64,
+                b: evictions - self.flight_evictions,
+            });
+            self.flight_evictions = evictions;
+        }
+        if self.progress.enabled() {
+            self.progress.tick(1024, self.live as u64, self.budget_fraction());
+        }
+        if let Some(deadline) = self.budget.as_ref().and_then(|b| b.deadline) {
+            if std::time::Instant::now() >= deadline {
                 return Err(BudgetExceeded::Deadline);
             }
         }
         Ok(())
+    }
+
+    /// Fraction of the current budget window consumed: the furthest-along
+    /// of the step and live-node budgets, clamped to 1. `None` without an
+    /// armed budget (or one with no step/node caps).
+    pub fn budget_fraction(&self) -> Option<f64> {
+        let budget = self.budget.as_ref()?;
+        let mut frac: Option<f64> = None;
+        if let Some(limit) = budget.max_steps.filter(|&l| l > 0) {
+            frac = Some((self.steps - self.window_start) as f64 / limit as f64);
+        }
+        if let Some(limit) = budget.max_live_nodes.filter(|&l| l > 0) {
+            let f = self.live as f64 / limit as f64;
+            frac = Some(frac.map_or(f, |g| g.max(f)));
+        }
+        frac.map(|f| f.min(1.0))
     }
 
     /// Runs `op` with the budget temporarily removed; the infallible
@@ -672,6 +756,12 @@ impl BddManager {
             s.set_attr("live_after", self.live);
             self.tracer.record("bdd.gc.freed", freed as u64);
         }
+        self.flight.record(FlightOp {
+            step: self.steps,
+            kind: "gc",
+            a: freed as u64,
+            b: self.live as u64,
+        });
         freed
     }
 
@@ -693,6 +783,12 @@ impl BddManager {
 
     pub(crate) fn note_reordering(&mut self) {
         self.reorderings += 1;
+    }
+
+    /// Records one flight-recorder operation at the current step count
+    /// (no-op while the recorder is disarmed).
+    pub(crate) fn flight_note(&mut self, kind: &'static str, a: u64, b: u64) {
+        self.flight.record(FlightOp { step: self.steps, kind, a, b });
     }
 
     pub(crate) fn live_count(&self) -> usize {
@@ -760,6 +856,18 @@ impl BddManager {
                     idx
                 );
             }
+        }
+    }
+}
+
+impl Drop for BddManager {
+    fn drop(&mut self) {
+        // A panic unwinding through a traced manager still gets its
+        // postmortem: the last recorded operations reach the trace (and
+        // any streaming sink) before the ring is lost. Orderly drops stay
+        // silent — the abort paths dump explicitly with a precise reason.
+        if std::thread::panicking() {
+            self.flight.dump(&self.tracer, "panic");
         }
     }
 }

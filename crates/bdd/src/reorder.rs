@@ -233,8 +233,9 @@ impl BddManager {
             None
         };
         self.collect_garbage();
+        let live_before = self.live_count();
         if let Some(s) = &span {
-            s.set_attr("live_before", self.live_count());
+            s.set_attr("live_before", live_before);
         }
         self.cache.clear();
         let max_growth = self.reorder_settings.max_growth;
@@ -250,6 +251,7 @@ impl BddManager {
             s.set_attr("live_after", live);
             self.tracer.record("bdd.reorder.live_after", live as u64);
         }
+        self.flight_note("reorder", live_before as u64, live as u64);
         live
     }
 
@@ -268,13 +270,14 @@ impl BddManager {
             None
         };
         self.collect_garbage();
+        let live_before = self.live_count();
         if let Some(s) = &span {
-            s.set_attr("live_before", self.live_count());
+            s.set_attr("live_before", live_before);
         }
         self.cache.clear();
         let levels = self.tables.len();
         if levels < 3 {
-            return self.live_count();
+            return live_before;
         }
         for top in 0..levels - 2 {
             let i = top as u32;
@@ -302,6 +305,7 @@ impl BddManager {
         if let Some(s) = span {
             s.set_attr("live_after", live);
         }
+        self.flight_note("reorder", live_before as u64, live as u64);
         live
     }
 

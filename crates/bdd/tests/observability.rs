@@ -1,0 +1,144 @@
+//! Integration tests for the manager's observability hooks: progress
+//! heartbeats from the amortised pulse, the flight recorder's operation
+//! ring, and the postmortem dump on abort and panic paths.
+
+use bbec_bdd::{Bdd, BddManager, Budget, BudgetExceeded};
+use bbec_trace::{schema, AttrValue, Progress, TraceEvent, Tracer};
+use std::time::Duration;
+
+/// A step-hungry workload: `rounds` nested ITE chains over `n` fresh
+/// variables each. One chain is cheap (hash-consing keeps the graphs
+/// small), so the pulse-dependent tests loop enough rounds to push the
+/// cumulative apply-step counter well past the 1024-step pulse period.
+fn churn(m: &mut BddManager, n: usize, rounds: usize) -> Result<Bdd, BudgetExceeded> {
+    let mut f = m.constant(false);
+    for _ in 0..rounds {
+        let vars = m.new_vars(n);
+        let lits: Vec<Bdd> = vars.iter().map(|&v| m.var(v)).collect();
+        let mut g = lits[0];
+        for w in lits.windows(2) {
+            let x = m.try_xor(w[0], w[1])?;
+            g = m.try_ite(x, g, w[1])?;
+        }
+        f = m.try_xor(f, g)?;
+    }
+    Ok(f)
+}
+
+fn record_names(tracer: &Tracer) -> Vec<String> {
+    tracer
+        .finish()
+        .events()
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::Record { name, .. } => Some(name.clone()),
+            _ => None,
+        })
+        .collect()
+}
+
+#[test]
+fn pulse_ticks_progress_with_live_nodes_and_budget_fraction() {
+    let mut m = BddManager::new();
+    // Zero-length interval: every pulse that reaches the gate emits.
+    let p = Progress::new(Tracer::disabled(), Duration::from_micros(1));
+    m.set_progress(p.clone());
+    m.set_budget(Some(Budget::steps(1 << 20)));
+    churn(&mut m, 16, 40).expect("budget is ample");
+    assert!(p.total_steps() >= 1024, "pulse must report step deltas");
+    assert!(p.heartbeats_emitted() >= 1, "at least one pulse past the gate");
+    let frac = m.budget_fraction().expect("step budget armed");
+    assert!(frac > 0.0 && frac <= 1.0, "fraction {frac} out of range");
+    m.set_budget(None);
+    assert_eq!(m.budget_fraction(), None, "no budget, no fraction");
+}
+
+#[test]
+fn traced_manager_records_apply_windows_gc_and_reorder_ops() {
+    let mut m = BddManager::new();
+    m.set_tracer(Tracer::new());
+    assert!(m.flight_recorder().enabled(), "tracer arms the recorder");
+    let f = churn(&mut m, 16, 40).unwrap();
+    m.protect(f);
+    let kinds: Vec<&str> = m.flight_recorder().recent().iter().map(|o| o.kind).collect();
+    assert!(kinds.contains(&"apply_window"), "no apply window in {kinds:?}");
+    m.release(f);
+    m.collect_garbage();
+    m.reorder();
+    let ops = m.flight_recorder().recent();
+    assert!(ops.iter().any(|o| o.kind == "gc"), "no gc op recorded");
+    assert!(ops.iter().any(|o| o.kind == "reorder"), "no reorder op recorded");
+    // Disarming: a disabled tracer drops the ring.
+    m.set_tracer(Tracer::disabled());
+    assert!(!m.flight_recorder().enabled());
+}
+
+#[test]
+fn budget_abort_then_dump_splices_a_valid_postmortem() {
+    let mut m = BddManager::new();
+    let tracer = Tracer::new();
+    m.set_tracer(tracer.clone());
+    m.set_budget(Some(Budget::steps(3000)));
+    let err = churn(&mut m, 16, 200).expect_err("step budget must fire");
+    assert!(matches!(err, BudgetExceeded::Steps { .. }));
+    m.dump_flight_recorder(&format!("{err}"));
+    let trace = tracer.finish();
+    let names: Vec<&str> = trace
+        .events()
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::Record { name, .. } => Some(name.as_str()),
+            _ => None,
+        })
+        .collect();
+    let dump_at = names.iter().position(|n| *n == "flight.dump").expect("dump header");
+    assert!(names[dump_at + 1..].contains(&"flight.op"), "ops must follow the header");
+    schema::validate_stream(&trace.to_jsonl()).expect("spliced stream validates");
+    let dump_attrs = trace
+        .events()
+        .iter()
+        .find_map(|e| match e {
+            TraceEvent::Record { name, attrs, .. } if name == "flight.dump" => Some(attrs.clone()),
+            _ => None,
+        })
+        .unwrap();
+    assert!(
+        dump_attrs
+            .iter()
+            .any(|(k, v)| k == "reason" && matches!(v, AttrValue::Str(s) if s.contains("step"))),
+        "reason must carry the abort cause: {dump_attrs:?}"
+    );
+}
+
+#[test]
+fn panic_unwinding_through_a_traced_manager_dumps_the_ring() {
+    let tracer = Tracer::new();
+    let t = tracer.clone();
+    let worker = std::thread::spawn(move || {
+        let mut m = BddManager::new();
+        m.set_tracer(t);
+        churn(&mut m, 16, 40).unwrap();
+        panic!("simulated check failure");
+    });
+    assert!(worker.join().is_err(), "the worker must have panicked");
+    let names = record_names(&tracer);
+    assert!(
+        names.iter().any(|n| n == "flight.dump"),
+        "Drop-on-panic must dump the ring: {names:?}"
+    );
+}
+
+#[test]
+fn orderly_drop_stays_silent() {
+    let tracer = Tracer::new();
+    {
+        let mut m = BddManager::new();
+        m.set_tracer(tracer.clone());
+        churn(&mut m, 16, 40).unwrap();
+    }
+    let names = record_names(&tracer);
+    assert!(
+        !names.iter().any(|n| n == "flight.dump"),
+        "a clean drop must not splice a postmortem: {names:?}"
+    );
+}

@@ -1,15 +1,9 @@
 //! Perf regression gate: compare a fresh benchmark JSONL stream against a
 //! committed baseline and fail on regressions beyond a tolerance.
 //!
-//! Both files are trace-schema JSONL streams (as written by `bdd_micro`
-//! and the `parallel` bench). Rows are `record` events selected by
-//! `--event NAME`; within each file rows are grouped by the `--key`
-//! attribute (e.g. `workload` or `jobs`) and the gated number is the
-//! `--metric` attribute. When the baseline holds several rows per key
-//! (e.g. the committed before/after pairs of `BENCH_bdd.json`), the most
-//! favourable baseline value is used — the gate compares against the best
-//! the code has demonstrably done, optionally narrowed with
-//! `--baseline-filter attr=value`.
+//! A thin CLI over [`bbec_trace::compare`] — the comparison rules (best
+//! baseline value per key, latest current value, `--baseline-filter`
+//! narrowing) live there and are shared with `bbec report --compare`.
 //!
 //! ```text
 //! perfgate --baseline BENCH_bdd.json --current /tmp/now.json \
@@ -19,25 +13,13 @@
 //!
 //! Exit status: 0 = within tolerance, 1 = regression, 2 = usage/IO error.
 
-use bbec_trace::json::{parse, Value};
-use std::collections::BTreeMap;
+use bbec_trace::compare::{compare, render_row, CompareSpec, Mode};
 use std::process::ExitCode;
-
-#[derive(Clone, Copy, PartialEq)]
-enum Mode {
-    HigherBetter,
-    LowerBetter,
-}
 
 struct Options {
     baseline: String,
     current: String,
-    event: String,
-    key: String,
-    metric: String,
-    mode: Mode,
-    tolerance: f64,
-    filter: Option<(String, String)>,
+    spec: CompareSpec,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -46,16 +28,15 @@ fn parse_args() -> Result<Options, String> {
         args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
     };
     let required = |name: &str| get(name).ok_or_else(|| format!("missing {name} FILE|VALUE"));
-    let mode = match get("--mode").as_deref() {
-        None | Some("higher-better") => Mode::HigherBetter,
-        Some("lower-better") => Mode::LowerBetter,
-        Some(other) => return Err(format!("unknown --mode {other}")),
+    let mode = match get("--mode") {
+        None => Mode::HigherBetter,
+        Some(m) => Mode::parse(&m)?,
     };
     let tolerance = match get("--tolerance") {
         None => 0.25,
         Some(t) => t.parse::<f64>().map_err(|e| format!("bad --tolerance: {e}"))?,
     };
-    let filter = match get("--baseline-filter") {
+    let baseline_filter = match get("--baseline-filter") {
         None => None,
         Some(f) => {
             let (k, v) = f.split_once('=').ok_or("--baseline-filter wants attr=value")?;
@@ -65,118 +46,26 @@ fn parse_args() -> Result<Options, String> {
     Ok(Options {
         baseline: required("--baseline")?,
         current: required("--current")?,
-        event: required("--event")?,
-        key: required("--key")?,
-        metric: required("--metric")?,
-        mode,
-        tolerance,
-        filter,
+        spec: CompareSpec {
+            event: required("--event")?,
+            key: required("--key")?,
+            metric: required("--metric")?,
+            mode,
+            tolerance,
+            baseline_filter,
+        },
     })
-}
-
-/// Attribute as display text, for grouping: strings verbatim, numbers via
-/// their f64 rendering (so `4` and `4.0` coincide).
-fn key_text(v: &Value) -> Option<String> {
-    if let Some(s) = v.as_str() {
-        return Some(s.to_string());
-    }
-    v.as_f64().map(|n| {
-        if n.fract() == 0.0 && n.abs() < 1e15 {
-            format!("{}", n as i64)
-        } else {
-            format!("{n}")
-        }
-    })
-}
-
-/// Extracts `key → metric` rows for the selected event from one JSONL
-/// stream. Multiple rows per key keep every value.
-fn load_rows(
-    path: &str,
-    opts: &Options,
-    apply_filter: bool,
-) -> Result<BTreeMap<String, Vec<f64>>, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    let mut rows: BTreeMap<String, Vec<f64>> = BTreeMap::new();
-    for (lineno, line) in text.lines().enumerate() {
-        if line.trim().is_empty() {
-            continue;
-        }
-        let value = parse(line).map_err(|e| format!("{path}:{}: {e}", lineno + 1))?;
-        if value.get("type").and_then(Value::as_str) != Some("record")
-            || value.get("name").and_then(Value::as_str) != Some(opts.event.as_str())
-        {
-            continue;
-        }
-        let Some(attrs) = value.get("attrs") else { continue };
-        if apply_filter {
-            if let Some((fk, fv)) = &opts.filter {
-                let matched = attrs.get(fk).and_then(key_text).is_some_and(|t| &t == fv);
-                if !matched {
-                    continue;
-                }
-            }
-        }
-        let Some(key) = attrs.get(&opts.key).and_then(key_text) else { continue };
-        let Some(metric) = attrs.get(&opts.metric).and_then(Value::as_f64) else {
-            continue;
-        };
-        rows.entry(key).or_default().push(metric);
-    }
-    Ok(rows)
-}
-
-fn best(values: &[f64], mode: Mode) -> f64 {
-    values
-        .iter()
-        .copied()
-        .reduce(|a, b| match mode {
-            Mode::HigherBetter => a.max(b),
-            Mode::LowerBetter => a.min(b),
-        })
-        .unwrap_or(f64::NAN)
 }
 
 fn run() -> Result<bool, String> {
     let opts = parse_args()?;
-    let baseline = load_rows(&opts.baseline, &opts, true)?;
-    let current = load_rows(&opts.current, &opts, false)?;
-    if baseline.is_empty() {
-        return Err(format!(
-            "baseline {} has no `{}` rows matching the filter",
-            opts.baseline, opts.event
-        ));
+    let read = |p: &String| std::fs::read_to_string(p).map_err(|e| format!("cannot read {p}: {e}"));
+    let report = compare(&read(&opts.baseline)?, &read(&opts.current)?, &opts.spec)
+        .map_err(|e| format!("{} vs {}: {e}", opts.current, opts.baseline))?;
+    for row in &report.rows {
+        println!("perfgate: {}", render_row(row, &opts.spec));
     }
-    if current.is_empty() {
-        return Err(format!("current {} has no `{}` rows", opts.current, opts.event));
-    }
-
-    let mut ok = true;
-    for (key, base_values) in &baseline {
-        let base = best(base_values, opts.mode);
-        let Some(cur_values) = current.get(key) else {
-            println!("perfgate: {}={key}: MISSING from current run", opts.key);
-            ok = false;
-            continue;
-        };
-        // Latest current value: the run under test, not its best-ever.
-        let cur = *cur_values.last().unwrap();
-        let (pass, change) = match opts.mode {
-            Mode::HigherBetter => (cur >= base * (1.0 - opts.tolerance), cur / base - 1.0),
-            Mode::LowerBetter => (cur <= base * (1.0 + opts.tolerance), base / cur - 1.0),
-        };
-        println!(
-            "perfgate: {}={key}: {} {:.3} vs baseline {:.3} ({:+.1}%) -> {}",
-            opts.key,
-            opts.metric,
-            cur,
-            base,
-            change * 100.0,
-            if pass { "ok" } else { "REGRESSION" }
-        );
-        ok &= pass;
-    }
-    Ok(ok)
+    Ok(report.pass)
 }
 
 fn main() -> ExitCode {

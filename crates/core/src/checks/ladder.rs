@@ -165,6 +165,7 @@ impl CheckLadder {
         for &stage in &self.stages {
             let span = self.settings.tracer.span("core.ladder_rung");
             span.set_attr("method", stage.label());
+            self.settings.progress.set_task(stage.label());
             let rung_start = Instant::now();
             let result = match stage {
                 Method::RandomPatterns => random_patterns(spec, partial, &self.settings),
@@ -213,6 +214,7 @@ impl CheckLadder {
         for &stage in &self.stages {
             let span = self.settings.tracer.span("core.ladder_rung");
             span.set_attr("method", stage.label());
+            self.settings.progress.set_task(stage.label());
             let rung_start = Instant::now();
             let result = match stage {
                 Method::SatDualRail => {

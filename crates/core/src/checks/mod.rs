@@ -140,8 +140,13 @@ impl CheckProbe {
         e: bbec_bdd::BudgetExceeded,
     ) -> CheckError {
         guard.release_all(ctx);
+        let reason = e.to_string();
+        // Postmortem first: the flight-recorder tail shows what the core
+        // was doing when the budget fired, spliced into the trace (and any
+        // streaming sink) before the abort propagates.
+        ctx.manager.dump_flight_recorder(&reason);
         let stats = self.stats(ctx, 0);
-        CheckError::BudgetExceeded(BudgetAbort::new(e.to_string()).with_stats(stats))
+        CheckError::BudgetExceeded(BudgetAbort::new(reason).with_stats(stats))
     }
 
     /// Attaches this probe's partial statistics to a budget abort that was
@@ -150,6 +155,7 @@ impl CheckProbe {
     pub(crate) fn annotate(&self, ctx: &SymbolicContext, err: CheckError) -> CheckError {
         match err {
             CheckError::BudgetExceeded(abort) if abort.stats.is_none() => {
+                ctx.manager.dump_flight_recorder(&abort.reason);
                 let stats = self.stats(ctx, 0);
                 CheckError::BudgetExceeded(abort.with_stats(stats))
             }

@@ -66,6 +66,7 @@
 pub mod cex;
 pub mod checks;
 pub mod diagnose;
+pub mod ledger;
 mod parallel;
 mod partial;
 pub mod preprocess;

@@ -161,8 +161,17 @@ impl ParallelChecker {
             shards.iter().map(|_| self.settings.tracer.child()).collect();
         let ladders: Vec<CheckLadder> = children
             .iter()
-            .map(|child| CheckLadder {
-                settings: CheckSettings { tracer: child.clone(), ..self.settings.clone() },
+            .enumerate()
+            .map(|(i, child)| CheckLadder {
+                settings: CheckSettings {
+                    tracer: child.clone(),
+                    // Each worker reports heartbeats under its own region;
+                    // the scoped handles share one engine-wide rate gate
+                    // and step counter, so the emission rate stays bounded
+                    // regardless of the job count.
+                    progress: self.settings.progress.scoped(&format!("shard {i}")),
+                    ..self.settings.clone()
+                },
                 stages: phase_a.to_vec(),
                 sat_refinement_budget: self.sat_refinement_budget,
             })

@@ -158,6 +158,11 @@ pub struct CheckSettings {
     /// opens one span per rung, and the per-output checks nest inside.
     /// Disabled by default (a no-op costing one branch per call site).
     pub tracer: bbec_trace::Tracer,
+    /// Live heartbeat engine: the symbolic context hands a clone to its
+    /// BDD manager (ticked from the amortised budget pulse), the ladder
+    /// labels the current rung as the task, and the parallel engine scopes
+    /// a per-shard region for each worker. Disabled by default.
+    pub progress: bbec_trace::Progress,
 }
 
 impl Default for CheckSettings {
@@ -174,6 +179,7 @@ impl Default for CheckSettings {
             sweep: false,
             cache_bits: bbec_bdd::DEFAULT_CACHE_BITS,
             tracer: bbec_trace::Tracer::disabled(),
+            progress: bbec_trace::Progress::disabled(),
         }
     }
 }

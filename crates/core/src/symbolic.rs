@@ -90,6 +90,7 @@ impl SymbolicContext {
             BddManager::new()
         };
         manager.set_tracer(settings.tracer.clone());
+        manager.set_progress(settings.progress.clone());
         manager.set_cache_capacity_bits(settings.cache_bits);
         let order = dfs_input_order(reference);
         let mut input_vars = vec![None; reference.inputs().len()];

@@ -110,6 +110,14 @@ impl ObjectWriter {
         self.buf.push('}');
     }
 
+    /// Add a field whose value is already-serialised JSON (a nested array
+    /// or object built by another writer). The caller vouches for `json`
+    /// being well-formed; nothing is escaped.
+    pub fn raw(&mut self, k: &str, json: &str) {
+        self.key(k);
+        self.buf.push_str(json);
+    }
+
     /// Add an array of `[floor, count]` pairs (histogram buckets).
     pub fn bucket_pairs(&mut self, k: &str, pairs: &[(u64, u64)]) {
         self.key(k);

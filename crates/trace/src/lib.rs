@@ -22,18 +22,52 @@
 //! [`Tracer::enabled`] so the instrumented build stays within a 2% overhead
 //! budget of the uninstrumented one.
 
+pub mod compare;
+pub mod flight;
 pub mod json;
+pub mod progress;
 pub mod schema;
+pub mod sink;
 mod summary;
 mod telemetry;
 
+pub use flight::{FlightOp, FlightRecorder, DEFAULT_FLIGHT_CAPACITY};
+pub use progress::{Heartbeat, Progress, ProgressObserver};
+pub use sink::{FileSink, TraceSink};
 pub use telemetry::OpTelemetry;
 
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Version stamped into the leading `meta` event of every JSONL stream.
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// v2 adds host provenance (`host_parallelism`, `os`, `arch`) to the
+/// header; v1 streams (without those keys) still validate.
+pub const SCHEMA_VERSION: u64 = 2;
+
+/// Host provenance recorded in the `meta` header of every enabled trace,
+/// so committed baselines carry the machine shape they were measured on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HostMeta {
+    /// `std::thread::available_parallelism()` at trace creation (1 when
+    /// unknown).
+    pub parallelism: u64,
+    /// Operating system (`std::env::consts::OS`).
+    pub os: &'static str,
+    /// CPU architecture (`std::env::consts::ARCH`).
+    pub arch: &'static str,
+}
+
+impl HostMeta {
+    /// Captures the current host's metadata.
+    pub fn capture() -> Self {
+        HostMeta {
+            parallelism: std::thread::available_parallelism().map(|n| n.get() as u64).unwrap_or(1),
+            os: std::env::consts::OS,
+            arch: std::env::consts::ARCH,
+        }
+    }
+}
 
 /// An attribute value attached to a span or record event.
 #[derive(Debug, Clone, PartialEq)]
@@ -100,6 +134,8 @@ pub enum TraceEvent {
         seq: u64,
         /// Schema version ([`SCHEMA_VERSION`]).
         schema: u64,
+        /// Host provenance (absent in replayed v1 streams).
+        host: Option<HostMeta>,
     },
     /// A closed span.
     Span {
@@ -172,11 +208,16 @@ impl TraceEvent {
     pub fn to_json_line(&self) -> String {
         let mut w = json::ObjectWriter::new();
         match self {
-            TraceEvent::Meta { seq, schema } => {
+            TraceEvent::Meta { seq, schema, host } => {
                 w.str("type", "meta");
                 w.u64("seq", *seq);
                 w.str("name", "trace");
                 w.u64("schema", *schema);
+                if let Some(host) = host {
+                    w.u64("host_parallelism", host.parallelism);
+                    w.str("os", host.os);
+                    w.str("arch", host.arch);
+                }
             }
             TraceEvent::Span {
                 seq,
@@ -297,15 +338,44 @@ impl Histogram {
 
     /// Lower bound of the bucket containing the median sample (0 when empty).
     pub fn approx_median(&self) -> u64 {
+        self.approx_quantile(0.5)
+    }
+
+    /// Lower bound of the bucket containing the `q`-quantile sample
+    /// (0 when empty; `q` is clamped to `0.0..=1.0`).
+    ///
+    /// "Exact up to bucketing": the returned value is precisely
+    /// `bucket_floor(bucket_index(v))` for the sample `v` at rank
+    /// `ceil(q·count)` of the sorted samples — the bucketing loses the
+    /// within-bucket position, never the rank.
+    pub fn approx_quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
         }
-        let half = self.count.div_ceil(2);
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
         let mut seen = 0;
         for (i, &n) in self.buckets.iter().enumerate() {
             seen += n;
-            if seen >= half {
+            if seen >= rank {
                 return bucket_floor(i);
+            }
+        }
+        0
+    }
+
+    /// [`Histogram::approx_quantile`] over an already-flushed bucket list
+    /// (the `(floor, count)` pairs of a `histogram` event, sorted by
+    /// floor), for consumers working on serialised traces.
+    pub fn quantile_from_buckets(buckets: &[(u64, u64)], count: u64, q: f64) -> u64 {
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).clamp(1, count);
+        let mut seen = 0;
+        for &(floor, n) in buckets {
+            seen += n;
+            if seen >= rank {
+                return floor;
             }
         }
         0
@@ -354,6 +424,11 @@ struct Core {
     events: Vec<TraceEvent>,
     counters: Vec<(String, u64)>,
     histograms: Vec<(String, Histogram)>,
+    /// Streaming tee; every emitted event is also written here as a JSONL
+    /// line the moment it exists (see [`sink`]).
+    sink: Option<Box<dyn sink::TraceSink>>,
+    /// First sink write failure; the sink is detached when this is set.
+    sink_error: Option<String>,
 }
 
 impl Core {
@@ -370,9 +445,15 @@ impl Core {
             events: Vec::new(),
             counters: Vec::new(),
             histograms: Vec::new(),
+            sink: None,
+            sink_error: None,
         };
         let seq = core.next_seq();
-        core.events.push(TraceEvent::Meta { seq, schema: SCHEMA_VERSION });
+        core.emit(TraceEvent::Meta {
+            seq,
+            schema: SCHEMA_VERSION,
+            host: Some(HostMeta::capture()),
+        });
         core
     }
 
@@ -380,6 +461,34 @@ impl Core {
         let s = self.seq;
         self.seq += 1;
         s
+    }
+
+    /// Append one event to the stream, teeing it to the sink first. A sink
+    /// write failure detaches the sink (the in-memory stream is unharmed).
+    fn emit(&mut self, event: TraceEvent) {
+        if let Some(s) = &mut self.sink {
+            if let Err(e) = s.write_line(&event.to_json_line()) {
+                self.sink_error = Some(e.to_string());
+                self.sink = None;
+            }
+        }
+        self.events.push(event);
+    }
+
+    /// Attach a streaming sink, replaying the already-buffered prefix so
+    /// the sunk copy is complete from the meta header on.
+    fn set_sink(&mut self, mut sink: Box<dyn sink::TraceSink>) {
+        for e in &self.events {
+            if let Err(e) = sink.write_line(&e.to_json_line()) {
+                self.sink_error = Some(e.to_string());
+                return;
+            }
+        }
+        if let Err(e) = sink.flush() {
+            self.sink_error = Some(e.to_string());
+            return;
+        }
+        self.sink = Some(sink);
     }
 
     fn open_span(&mut self, name: &'static str) -> u64 {
@@ -405,7 +514,7 @@ impl Core {
         let span = self.stack.remove(pos);
         let dur_us = span.start.elapsed().as_micros() as u64;
         let seq = self.next_seq();
-        self.events.push(TraceEvent::Span {
+        self.emit(TraceEvent::Span {
             seq,
             name: span.name,
             id: span.id,
@@ -446,19 +555,22 @@ impl Core {
         counters.sort_by(|a, b| a.0.cmp(&b.0));
         for (name, value) in counters {
             let seq = self.next_seq();
-            self.events.push(TraceEvent::Counter { seq, name, value });
+            self.emit(TraceEvent::Counter { seq, name, value });
         }
         let mut histograms = std::mem::take(&mut self.histograms);
         histograms.sort_by(|a, b| a.0.cmp(&b.0));
         for (name, h) in histograms {
             let seq = self.next_seq();
-            self.events.push(TraceEvent::Histogram {
+            self.emit(TraceEvent::Histogram {
                 seq,
                 name,
                 count: h.count(),
                 max: h.max(),
                 buckets: h.nonempty_buckets(),
             });
+        }
+        if let Some(s) = &mut self.sink {
+            let _ = s.flush();
         }
         std::mem::take(&mut self.events)
     }
@@ -489,7 +601,7 @@ impl Core {
                 } => {
                     max_id = max_id.max(*id + 1);
                     let seq = self.next_seq();
-                    self.events.push(TraceEvent::Span {
+                    self.emit(TraceEvent::Span {
                         seq,
                         name,
                         id: id + id_offset,
@@ -513,11 +625,7 @@ impl Core {
                 }
                 TraceEvent::Record { name, attrs, .. } => {
                     let seq = self.next_seq();
-                    self.events.push(TraceEvent::Record {
-                        seq,
-                        name: name.clone(),
-                        attrs: attrs.clone(),
-                    });
+                    self.emit(TraceEvent::Record { seq, name: name.clone(), attrs: attrs.clone() });
                 }
             }
         }
@@ -623,8 +731,34 @@ impl Tracer {
         if let Some(core) = &self.core {
             let mut core = core.lock().unwrap();
             let seq = core.next_seq();
-            core.events.push(TraceEvent::Record { seq, name: name.to_string(), attrs });
+            core.emit(TraceEvent::Record { seq, name: name.to_string(), attrs });
         }
+    }
+
+    /// Attach a streaming [`TraceSink`]: the buffered prefix (from the
+    /// `meta` header on) is replayed into it immediately and every later
+    /// event is teed to it the moment it is emitted, so the sunk copy is
+    /// always an up-to-date duplicate of the in-memory stream. No-op on a
+    /// disabled tracer. A sink I/O error silently detaches the sink; poll
+    /// [`Tracer::sink_error`] to surface it.
+    pub fn set_sink(&self, sink: Box<dyn TraceSink>) {
+        if let Some(core) = &self.core {
+            core.lock().unwrap().set_sink(sink);
+        }
+    }
+
+    /// Whether a streaming sink is currently attached.
+    pub fn has_sink(&self) -> bool {
+        match &self.core {
+            Some(core) => core.lock().unwrap().sink.is_some(),
+            None => false,
+        }
+    }
+
+    /// The first sink write failure, if any (the sink detaches on error so
+    /// the traced computation is never disturbed).
+    pub fn sink_error(&self) -> Option<String> {
+        self.core.as_ref().and_then(|core| core.lock().unwrap().sink_error.clone())
     }
 
     /// Close any open spans, flush counters and histograms, and return the
@@ -733,6 +867,65 @@ mod tests {
         assert_eq!(h.approx_median(), 2);
         let buckets = h.nonempty_buckets();
         assert_eq!(buckets, vec![(0, 1), (1, 2), (2, 1), (4, 1), (8, 1), (1u64 << 63, 1)]);
+    }
+
+    #[test]
+    fn approx_quantile_matches_brute_force_ranks() {
+        // Deterministic xorshift so the zero-dependency crate needs no RNG.
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for trial in 0..50 {
+            let n = 1 + (next() % 200) as usize;
+            let mut samples: Vec<u64> = (0..n)
+                .map(|_| {
+                    let r = next();
+                    r >> (r % 60) // spread magnitudes across many buckets
+                })
+                .collect();
+            let mut h = Histogram::new();
+            for &s in &samples {
+                h.record(s);
+            }
+            samples.sort_unstable();
+            for &q in &[0.0, 0.1, 0.25, 0.5, 0.9, 0.99, 1.0] {
+                let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+                let expected = bucket_floor(bucket_index(samples[rank - 1]));
+                assert_eq!(h.approx_quantile(q), expected, "trial {trial} q={q} n={n}");
+            }
+            // The flushed-bucket helper agrees with the live histogram.
+            let buckets = h.nonempty_buckets();
+            for &q in &[0.25, 0.5, 0.9, 0.99] {
+                assert_eq!(
+                    Histogram::quantile_from_buckets(&buckets, h.count(), q),
+                    h.approx_quantile(q),
+                    "trial {trial} q={q}"
+                );
+            }
+        }
+        assert_eq!(Histogram::new().approx_quantile(0.5), 0, "empty histogram");
+        assert_eq!(Histogram::quantile_from_buckets(&[], 0, 0.5), 0);
+    }
+
+    #[test]
+    fn meta_header_carries_host_provenance() {
+        let t = Tracer::new();
+        let trace = t.finish();
+        let TraceEvent::Meta { schema, host, .. } = &trace.events()[0] else {
+            panic!("first event must be meta");
+        };
+        assert_eq!(*schema, SCHEMA_VERSION);
+        let host = host.as_ref().expect("live traces capture the host");
+        assert!(host.parallelism >= 1);
+        assert_eq!(host.os, std::env::consts::OS);
+        assert_eq!(host.arch, std::env::consts::ARCH);
+        let line = trace.events()[0].to_json_line();
+        assert!(line.contains("\"host_parallelism\""), "{line}");
+        schema::validate_line(&line).unwrap();
     }
 
     #[test]

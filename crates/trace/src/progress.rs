@@ -1,0 +1,310 @@
+//! The progress engine: bounded-rate heartbeats for long-running checks.
+//!
+//! A [`Progress`] handle is the live counterpart of a [`Tracer`]: where the
+//! tracer records what *happened*, progress reports what is happening *right
+//! now*. The BDD manager drives it from the same amortised point as the
+//! deadline check (every 1024 apply steps), so a silent multi-minute check
+//! becomes a stream of [`Heartbeat`]s — each carrying the active
+//! region/task, cumulative steps, the ticking manager's live node count,
+//! the fraction of the step budget consumed and an ETA extrapolated from
+//! it.
+//!
+//! Heartbeats are rate-bounded: however fast the step counter spins, at
+//! most one heartbeat per configured interval is emitted (enforced with a
+//! compare-and-swap gate, so concurrent shard workers race for one slot
+//! instead of multiplying the rate). Each emitted heartbeat goes to the
+//! tracer as a `progress.heartbeat` record event (streamed immediately
+//! when a [sink](crate::sink) is attached) and to the optional observer
+//! callback — the CLI's `--progress` stderr line.
+//!
+//! Like the tracer, a default [`Progress`] is disabled and costs one
+//! `Option` check per call; the per-step hot path is untouched because the
+//! manager only consults it on the amortised pulse.
+
+use crate::{AttrValue, Tracer};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// One emitted progress pulse.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Heartbeat {
+    /// Execution region, e.g. `main` or `shard 3`.
+    pub region: String,
+    /// Current task inside the region, e.g. the ladder rung label `oe`.
+    pub task: String,
+    /// Cumulative apply steps across every region sharing this engine.
+    pub steps: u64,
+    /// Live BDD nodes of the manager that emitted the pulse.
+    pub live_nodes: u64,
+    /// Fraction of the current budget window consumed (step or deadline
+    /// based, whichever is further along), when a budget is armed.
+    pub budget_used: Option<f64>,
+    /// Milliseconds since the engine was created.
+    pub elapsed_ms: u64,
+    /// Remaining-time estimate extrapolated from `budget_used`.
+    pub eta_ms: Option<u64>,
+}
+
+/// Callback invoked with every emitted heartbeat.
+pub type ProgressObserver = Arc<dyn Fn(&Heartbeat) + Send + Sync>;
+
+struct Shared {
+    tracer: Tracer,
+    epoch: Instant,
+    interval_us: u64,
+    /// Microseconds-since-epoch before which no further heartbeat may be
+    /// emitted. CAS-claimed so exactly one racing caller wins each slot.
+    next_due_us: AtomicU64,
+    total_steps: AtomicU64,
+    emitted: AtomicU64,
+    observer: Option<ProgressObserver>,
+}
+
+struct Scope {
+    shared: Arc<Shared>,
+    region: String,
+    task: Mutex<String>,
+}
+
+/// A cheap, cloneable handle to a heartbeat engine (disabled by default).
+///
+/// Clones share one engine (rate gate, cumulative step counter, tracer,
+/// observer); [`Progress::scoped`] derives a handle with its own region
+/// label for a worker thread, and [`Progress::set_task`] labels what the
+/// region is currently doing.
+#[derive(Clone, Default)]
+pub struct Progress {
+    inner: Option<Arc<Scope>>,
+}
+
+impl std::fmt::Debug for Progress {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Progress").field("enabled", &self.enabled()).finish()
+    }
+}
+
+impl Progress {
+    /// A disabled engine: every operation is a no-op (same as `default()`).
+    pub fn disabled() -> Self {
+        Progress::default()
+    }
+
+    /// An enabled engine emitting at most one heartbeat per `interval`,
+    /// recorded into `tracer` (pass a disabled tracer to only use the
+    /// observer). The initial region is `main` with an empty task.
+    pub fn new(tracer: Tracer, interval: Duration) -> Self {
+        Self::with_observer_opt(tracer, interval, None)
+    }
+
+    /// Like [`Progress::new`], with a callback invoked on every heartbeat.
+    pub fn with_observer(tracer: Tracer, interval: Duration, observer: ProgressObserver) -> Self {
+        Self::with_observer_opt(tracer, interval, Some(observer))
+    }
+
+    fn with_observer_opt(
+        tracer: Tracer,
+        interval: Duration,
+        observer: Option<ProgressObserver>,
+    ) -> Self {
+        let interval_us = interval.as_micros().max(1) as u64;
+        let shared = Arc::new(Shared {
+            tracer,
+            epoch: Instant::now(),
+            interval_us,
+            // First heartbeat only after one full interval: short runs stay
+            // silent.
+            next_due_us: AtomicU64::new(interval_us),
+            total_steps: AtomicU64::new(0),
+            emitted: AtomicU64::new(0),
+            observer,
+        });
+        Progress {
+            inner: Some(Arc::new(Scope {
+                shared,
+                region: "main".to_string(),
+                task: Mutex::new(String::new()),
+            })),
+        }
+    }
+
+    /// A handle sharing this engine but reporting under its own region
+    /// label (e.g. `shard 2`). Disabled handles yield disabled handles.
+    pub fn scoped(&self, region: &str) -> Progress {
+        match &self.inner {
+            Some(scope) => Progress {
+                inner: Some(Arc::new(Scope {
+                    shared: scope.shared.clone(),
+                    region: region.to_string(),
+                    task: Mutex::new(scope.task.lock().unwrap().clone()),
+                })),
+            },
+            None => Progress::disabled(),
+        }
+    }
+
+    /// Labels what this region is currently doing (e.g. the rung label).
+    pub fn set_task(&self, task: &str) {
+        if let Some(scope) = &self.inner {
+            *scope.task.lock().unwrap() = task.to_string();
+        }
+    }
+
+    /// Whether heartbeats are being emitted.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Number of heartbeats emitted so far across all regions.
+    pub fn heartbeats_emitted(&self) -> u64 {
+        match &self.inner {
+            Some(scope) => scope.shared.emitted.load(Ordering::Relaxed),
+            None => 0,
+        }
+    }
+
+    /// Cumulative steps reported across all regions.
+    pub fn total_steps(&self) -> u64 {
+        match &self.inner {
+            Some(scope) => scope.shared.total_steps.load(Ordering::Relaxed),
+            None => 0,
+        }
+    }
+
+    /// Reports `steps_delta` more work and maybe emits a heartbeat.
+    ///
+    /// Callers invoke this from an amortised point (the BDD manager: every
+    /// 1024 apply steps); the rate gate then bounds emissions to one per
+    /// interval regardless of call frequency or caller count.
+    pub fn tick(&self, steps_delta: u64, live_nodes: u64, budget_used: Option<f64>) {
+        let Some(scope) = &self.inner else { return };
+        let shared = &scope.shared;
+        let steps = shared.total_steps.fetch_add(steps_delta, Ordering::Relaxed) + steps_delta;
+        let now_us = shared.epoch.elapsed().as_micros() as u64;
+        let due = shared.next_due_us.load(Ordering::Relaxed);
+        if now_us < due {
+            return;
+        }
+        // Claim this slot; a lost race means another thread just emitted.
+        if shared
+            .next_due_us
+            .compare_exchange(
+                due,
+                now_us + shared.interval_us,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            )
+            .is_err()
+        {
+            return;
+        }
+        let elapsed_ms = now_us / 1000;
+        let eta_ms = budget_used.filter(|&f| f > 1e-6).map(|f| {
+            let remaining = (elapsed_ms as f64) * ((1.0 - f.min(1.0)) / f);
+            remaining as u64
+        });
+        let beat = Heartbeat {
+            region: scope.region.clone(),
+            task: scope.task.lock().unwrap().clone(),
+            steps,
+            live_nodes,
+            budget_used,
+            elapsed_ms,
+            eta_ms,
+        };
+        shared.emitted.fetch_add(1, Ordering::Relaxed);
+        if shared.tracer.enabled() {
+            let mut attrs: Vec<(String, AttrValue)> = vec![
+                ("region".to_string(), AttrValue::Str(beat.region.clone())),
+                ("task".to_string(), AttrValue::Str(beat.task.clone())),
+                ("steps".to_string(), AttrValue::U64(beat.steps)),
+                ("live_nodes".to_string(), AttrValue::U64(beat.live_nodes)),
+                ("elapsed_ms".to_string(), AttrValue::U64(beat.elapsed_ms)),
+            ];
+            if let Some(f) = beat.budget_used {
+                attrs.push(("budget_used".to_string(), AttrValue::F64(f)));
+            }
+            if let Some(eta) = beat.eta_ms {
+                attrs.push(("eta_ms".to_string(), AttrValue::U64(eta)));
+            }
+            shared.tracer.record_event("progress.heartbeat", attrs);
+        }
+        if let Some(observer) = &shared.observer {
+            observer(&beat);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TraceEvent;
+
+    #[test]
+    fn disabled_progress_is_inert() {
+        let p = Progress::disabled();
+        assert!(!p.enabled());
+        p.set_task("oe");
+        p.tick(1024, 10, None);
+        assert_eq!(p.heartbeats_emitted(), 0);
+        assert_eq!(p.total_steps(), 0);
+        assert!(!p.scoped("shard 0").enabled());
+    }
+
+    #[test]
+    fn rate_gate_bounds_emissions() {
+        let t = Tracer::new();
+        let p = Progress::new(t.clone(), Duration::from_millis(20));
+        p.set_task("oe");
+        // Hammer the tick far faster than the interval.
+        let deadline = Instant::now() + Duration::from_millis(70);
+        while Instant::now() < deadline {
+            p.tick(1024, 42, Some(0.5));
+        }
+        let emitted = p.heartbeats_emitted();
+        // 70ms at one-per-20ms, first due at 20ms: between 1 and 4 beats.
+        assert!((1..=4).contains(&emitted), "emitted {emitted}");
+        let trace = t.finish();
+        let beats = trace
+            .events()
+            .iter()
+            .filter(
+                |e| matches!(e, TraceEvent::Record { name, .. } if name == "progress.heartbeat"),
+            )
+            .count() as u64;
+        assert_eq!(beats, emitted, "every emission lands in the trace");
+        assert!(p.total_steps() > emitted * 1024, "steps accumulate past the gate");
+    }
+
+    #[test]
+    fn scoped_regions_share_one_gate_and_counter() {
+        let seen: Arc<Mutex<Vec<Heartbeat>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = seen.clone();
+        let p = Progress::with_observer(
+            Tracer::disabled(),
+            Duration::from_millis(1),
+            Arc::new(move |hb: &Heartbeat| sink.lock().unwrap().push(hb.clone())),
+        );
+        let shard = p.scoped("shard 1");
+        shard.set_task("loc.");
+        std::thread::sleep(Duration::from_millis(3));
+        p.tick(1000, 5, None);
+        std::thread::sleep(Duration::from_millis(3));
+        shard.tick(500, 7, Some(0.25));
+        let beats = seen.lock().unwrap();
+        assert_eq!(beats.len(), 2);
+        assert_eq!(beats[0].region, "main");
+        assert_eq!(beats[1].region, "shard 1");
+        assert_eq!(beats[1].task, "loc.");
+        assert_eq!(beats[1].steps, 1500, "step counter is engine-wide");
+        assert_eq!(beats[1].live_nodes, 7);
+        assert!(beats[1].eta_ms.is_some());
+    }
+
+    #[test]
+    fn handles_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<Progress>();
+    }
+}

@@ -5,11 +5,18 @@
 //!
 //! | `type`      | additional required keys                          |
 //! |-------------|---------------------------------------------------|
-//! | `meta`      | `schema` (number)                                 |
+//! | `meta`      | `schema` (number); from schema v2 also `host_parallelism` (number), `os`, `arch` (strings) |
 //! | `span`      | `id`, `depth`, `start_us`, `dur_us` (numbers); optional `parent` (number), `attrs` (object), `unbalanced` (bool) |
 //! | `counter`   | `value` (number)                                  |
 //! | `histogram` | `count`, `max` (numbers), `buckets` (array of `[floor, count]` pairs) |
 //! | `record`    | `attrs` (object)                                  |
+//!
+//! The v2 host keys are gated on the header's own declared `schema`
+//! version, so committed v1 baselines stay valid forever (backward
+//! compatible validation). [`validate_stream`] additionally enforces
+//! strictly increasing `seq` numbers — abort-path splices (flight-recorder
+//! dumps) and adopted worker streams must never reorder the emission
+//! sequence.
 //!
 //! The `trace-schema` binary applies [`validate_line`] to a whole file and
 //! is wired into CI so unparseable or schema-violating output fails the
@@ -44,7 +51,17 @@ pub fn validate_line(line: &str) -> Result<(), String> {
     require_string(&v, "name")?;
     let kind = v.get("type").and_then(Value::as_str).unwrap();
     match kind {
-        "meta" => require_number(&v, "schema")?,
+        "meta" => {
+            require_number(&v, "schema")?;
+            // Host provenance arrived with schema v2; require it only when
+            // the header itself claims v2+, so v1 streams keep validating.
+            let version = v.get("schema").and_then(Value::as_f64).unwrap_or(0.0);
+            if version >= 2.0 {
+                require_number(&v, "host_parallelism")?;
+                require_string(&v, "os")?;
+                require_string(&v, "arch")?;
+            }
+        }
         "span" => {
             for key in ["id", "depth", "start_us", "dur_us"] {
                 require_number(&v, key)?;
@@ -93,9 +110,16 @@ pub fn validate_line(line: &str) -> Result<(), String> {
 
 /// Validate a whole JSONL document (blank lines are not allowed). Returns
 /// the number of validated events; the error names the offending line.
+///
+/// Beyond per-line validity this checks stream-level invariants: the first
+/// event must be the `meta` header, and `seq` numbers must be strictly
+/// increasing (splices — flight-recorder dumps, adopted worker streams —
+/// go through the tracer's one sequence counter, so any out-of-order `seq`
+/// is a real emission bug).
 pub fn validate_stream(input: &str) -> Result<usize, String> {
     let mut n = 0;
     let mut saw_meta = false;
+    let mut last_seq: Option<f64> = None;
     for (i, line) in input.lines().enumerate() {
         validate_line(line).map_err(|e| format!("line {}: {e}", i + 1))?;
         if i == 0 {
@@ -104,6 +128,19 @@ pub fn validate_stream(input: &str) -> Result<usize, String> {
                 .and_then(|v| v.get("type").and_then(Value::as_str).map(|t| t == "meta"))
                 .unwrap_or(false);
         }
+        let seq = json::parse(line)
+            .ok()
+            .and_then(|v| v.get("seq").and_then(Value::as_f64))
+            .ok_or_else(|| format!("line {}: unreadable 'seq'", i + 1))?;
+        if let Some(prev) = last_seq {
+            if seq <= prev {
+                return Err(format!(
+                    "line {}: seq {seq} not greater than preceding seq {prev}",
+                    i + 1
+                ));
+            }
+        }
+        last_seq = Some(seq);
         n += 1;
     }
     if n == 0 {
@@ -150,6 +187,48 @@ mod tests {
             (r#"{"type":"record","seq":0,"name":"r"}"#, "record missing attrs"),
         ] {
             assert!(validate_line(line).is_err(), "should reject ({why}): {line}");
+        }
+    }
+
+    #[test]
+    fn meta_host_keys_are_required_from_v2_only() {
+        // v1 header without host provenance: still valid (committed
+        // baselines predate the host keys).
+        validate_line(r#"{"type":"meta","seq":0,"name":"trace","schema":1}"#).unwrap();
+        // v2 header with the full host triple.
+        validate_line(
+            r#"{"type":"meta","seq":0,"name":"trace","schema":2,"host_parallelism":8,"os":"linux","arch":"x86_64"}"#,
+        )
+        .unwrap();
+        // v2 header missing any host key is rejected.
+        for line in [
+            r#"{"type":"meta","seq":0,"name":"trace","schema":2}"#,
+            r#"{"type":"meta","seq":0,"name":"trace","schema":2,"host_parallelism":8,"os":"linux"}"#,
+            r#"{"type":"meta","seq":0,"name":"trace","schema":2,"host_parallelism":"8","os":"linux","arch":"x86_64"}"#,
+        ] {
+            assert!(validate_line(line).is_err(), "should reject: {line}");
+        }
+    }
+
+    #[test]
+    fn stream_rejects_non_monotone_seq() {
+        let base = "{\"type\":\"meta\",\"seq\":0,\"name\":\"trace\",\"schema\":1}\n";
+        let good = format!(
+            "{base}{}\n{}\n",
+            r#"{"type":"counter","seq":1,"name":"a","value":1}"#,
+            r#"{"type":"counter","seq":5,"name":"b","value":1}"#
+        );
+        assert_eq!(validate_stream(&good), Ok(3), "gaps are fine, order matters");
+        for bad_seq in [0, 1] {
+            let bad = format!(
+                "{base}{}\n{}\n",
+                r#"{"type":"counter","seq":1,"name":"a","value":1}"#,
+                format_args!(
+                    "{{\"type\":\"counter\",\"seq\":{bad_seq},\"name\":\"b\",\"value\":1}}"
+                )
+            );
+            let err = validate_stream(&bad).unwrap_err();
+            assert!(err.contains("seq"), "{err}");
         }
     }
 

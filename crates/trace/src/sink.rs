@@ -1,0 +1,137 @@
+//! Streaming sinks: tee every trace event to an external writer *as it is
+//! emitted*, instead of only materialising the stream at
+//! [`Tracer::finish`](crate::Tracer::finish).
+//!
+//! A sink receives exactly the JSONL lines the in-memory stream holds, in
+//! the same order: attaching a sink mid-run first replays the events
+//! buffered so far, so the sunk file is always a prefix-complete copy of
+//! the trace. Heartbeat and flight-recorder records therefore reach disk
+//! the moment they are emitted — a run killed by a panic or the OOM killer
+//! still leaves a schema-valid (if counter-less) postmortem behind.
+//!
+//! Sink I/O errors never disturb the traced computation: the first failed
+//! write detaches the sink and parks the error where
+//! [`Tracer::sink_error`](crate::Tracer::sink_error) can report it.
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+
+/// A line-oriented receiver for trace events.
+///
+/// Implementations must be `Send` (the tracer is shared across check
+/// worker threads) and should make each line durable promptly — the whole
+/// point of a sink is surviving abnormal exits.
+pub trait TraceSink: Send {
+    /// Write one JSONL line (no trailing newline included).
+    fn write_line(&mut self, line: &str) -> std::io::Result<()>;
+
+    /// Flush any buffering to the underlying medium.
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// A [`TraceSink`] appending lines to a file, flushed per line so the tail
+/// of the stream survives a crash of the traced process.
+#[derive(Debug)]
+pub struct FileSink {
+    writer: BufWriter<File>,
+}
+
+impl FileSink {
+    /// Creates (truncating) the sink file.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<FileSink> {
+        Ok(FileSink { writer: BufWriter::new(File::create(path)?) })
+    }
+}
+
+impl TraceSink for FileSink {
+    fn write_line(&mut self, line: &str) -> std::io::Result<()> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        // Per-line flush: trace events are coarse (spans close, records,
+        // bounded-rate heartbeats), so durability wins over batching.
+        self.writer.flush()
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.writer.flush()
+    }
+}
+
+/// A [`TraceSink`] collecting lines in memory, for tests.
+#[derive(Debug, Default)]
+pub struct VecSink {
+    shared: std::sync::Arc<std::sync::Mutex<Vec<String>>>,
+}
+
+impl VecSink {
+    /// A fresh sink and a shared handle to the lines it will collect.
+    pub fn new() -> (VecSink, std::sync::Arc<std::sync::Mutex<Vec<String>>>) {
+        let sink = VecSink::default();
+        let shared = sink.shared.clone();
+        (sink, shared)
+    }
+}
+
+impl TraceSink for VecSink {
+    fn write_line(&mut self, line: &str) -> std::io::Result<()> {
+        self.shared.lock().unwrap().push(line.to_string());
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{schema, AttrValue, Tracer};
+
+    #[test]
+    fn sink_receives_buffered_prefix_and_live_events() {
+        let t = Tracer::new();
+        {
+            let _early = t.span("before.sink");
+        }
+        let (sink, lines) = VecSink::new();
+        t.set_sink(Box::new(sink));
+        // Attach replays the meta header and the already-closed span.
+        assert_eq!(lines.lock().unwrap().len(), 2);
+        t.record_event("row", vec![("k".to_string(), AttrValue::U64(1))]);
+        assert_eq!(lines.lock().unwrap().len(), 3, "records stream immediately");
+        t.counter_add("c", 5);
+        let in_memory = t.finish().to_jsonl();
+        let streamed = lines.lock().unwrap().join("\n") + "\n";
+        assert_eq!(streamed, in_memory, "sink is an exact tee of the stream");
+        schema::validate_stream(&streamed).expect("streamed copy validates");
+    }
+
+    #[test]
+    fn file_sink_round_trips() {
+        let dir = std::env::temp_dir().join(format!("bbec-sink-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("stream.jsonl");
+        let t = Tracer::new();
+        t.set_sink(Box::new(FileSink::create(&path).unwrap()));
+        {
+            let _s = t.span("work");
+        }
+        // Even without finish(), the closed span is already on disk.
+        let partial = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(partial.lines().count(), 2);
+        let full = t.finish().to_jsonl();
+        let on_disk = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(on_disk, full);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn disabled_tracer_ignores_sinks() {
+        let t = Tracer::disabled();
+        let (sink, lines) = VecSink::new();
+        t.set_sink(Box::new(sink));
+        t.record_event("row", Vec::new());
+        assert!(lines.lock().unwrap().is_empty());
+        assert!(!t.has_sink());
+    }
+}

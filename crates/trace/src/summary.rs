@@ -142,22 +142,14 @@ pub(crate) fn render(events: &[TraceEvent]) -> String {
     if !histograms.is_empty() {
         out.push_str("histograms\n");
         for (name, count, max, buckets) in histograms {
-            // Median bucket floor from the flushed buckets.
-            let half = count.div_ceil(2);
-            let mut seen = 0;
-            let mut p50 = 0;
-            for &(floor, n) in buckets {
-                seen += n;
-                if seen >= half {
-                    p50 = floor;
-                    break;
-                }
-            }
+            let q = |q: f64| crate::Histogram::quantile_from_buckets(buckets, count, q);
             out.push_str(&format!(
-                "  {name:<42} n={} max={} ~p50={}\n",
+                "  {name:<42} n={} max={} ~p50={} ~p90={} ~p99={}\n",
                 fmt_count(count),
                 fmt_count(max),
-                fmt_count(p50)
+                fmt_count(q(0.50)),
+                fmt_count(q(0.90)),
+                fmt_count(q(0.99))
             ));
         }
     }

@@ -13,6 +13,9 @@
 //! bbec fuzz     [options]                               differential-fuzz all
 //!                                                       engines against the
 //!                                                       exhaustive oracle
+//! bbec report   <file.jsonl>... | --compare BASE NEW    aggregate ledger/trace/
+//!                                                       bench JSONL, or gate a
+//!                                                       regression
 //!
 //! Netlist formats are chosen by extension: .blif, .bench, .aag (ASCII
 //! AIGER), .aig (binary AIGER), .v (write-only). In the implementation
@@ -44,8 +47,37 @@
 //!                              1 = error found, 2 = usage/IO error)
 //!   --trace-summary            print a span/counter/histogram tree after a
 //!                              check (observability, see DESIGN.md)
-//!   --trace-out FILE.jsonl     write the structured trace event stream
-//!                              (one JSON object per line, schema v1)
+//!   --trace-out FILE.jsonl     stream the structured trace event stream to
+//!                              disk as it happens (one JSON object per
+//!                              line, schema v2); heartbeats and flight-
+//!                              recorder postmortems survive a crash
+//!   --progress                 live heartbeat lines on stderr (at most one
+//!                              per second) while a check runs: region/rung,
+//!                              cumulative steps, live BDD nodes, budget
+//!                              fraction consumed, elapsed time and ETA
+//!   --ledger FILE.jsonl        append one schema-validated run record to a
+//!                              cross-run ledger: verdict, per-rung
+//!                              wall/steps/peak-nodes, cache hit rates and
+//!                              host metadata, keyed by a structural hash of
+//!                              (spec, impl, carve) plus a settings hash
+//!
+//! report options (`bbec report`):
+//!   --compare BASE NEW         regression gate: compare two JSONL streams
+//!                              and exit 1 when NEW regresses beyond the
+//!                              tolerance (0 = pass, 2 = usage/IO error)
+//!   --event NAME               record event selecting the rows (required
+//!                              with --compare, e.g. bdd_micro)
+//!   --key ATTR                 attribute grouping rows (e.g. workload)
+//!   --metric ATTR              attribute holding the gated number
+//!   --mode M                   higher-better|lower-better (default
+//!                              higher-better)
+//!   --tolerance T              allowed relative change (default 0.25)
+//!   --baseline-filter a=v      only baseline rows with attribute a = v
+//!
+//! Without --compare, `bbec report FILE...` renders an aggregate view of
+//! each file: ledger runs grouped by instance/settings key with a
+//! cross-run wall-clock diff, per-rung time breakdowns from
+//! `core.ladder_rung` spans, histogram quantiles and record tallies.
 //!
 //! fuzz options (plus --patterns/--no-reorder/--trace-* above):
 //!   --seed N                   master seed (default 0); every case derives
@@ -222,6 +254,15 @@ struct Options {
     cache_bits: Option<u32>,
     trace_summary: bool,
     trace_out: Option<String>,
+    progress: bool,
+    ledger: Option<String>,
+    compare: Option<(String, String)>,
+    event: Option<String>,
+    key: Option<String>,
+    metric: Option<String>,
+    mode: String,
+    tolerance: f64,
+    baseline_filter: Option<String>,
     seed: u64,
     budget_ms: u64,
     cases: Option<u64>,
@@ -249,6 +290,15 @@ fn parse_options(args: &[String]) -> Options {
         cache_bits: None,
         trace_summary: false,
         trace_out: None,
+        progress: false,
+        ledger: None,
+        compare: None,
+        event: None,
+        key: None,
+        metric: None,
+        mode: "higher-better".to_string(),
+        tolerance: 0.25,
+        baseline_filter: None,
         seed: 0,
         budget_ms: 30_000,
         cases: None,
@@ -312,6 +362,41 @@ fn parse_options(args: &[String]) -> Options {
                 i += 1;
                 o.trace_out = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
             }
+            "--progress" => o.progress = true,
+            "--ledger" => {
+                i += 1;
+                o.ledger = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--compare" => {
+                let base = args.get(i + 1).cloned().unwrap_or_else(|| usage());
+                let new = args.get(i + 2).cloned().unwrap_or_else(|| usage());
+                i += 2;
+                o.compare = Some((base, new));
+            }
+            "--event" => {
+                i += 1;
+                o.event = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--key" => {
+                i += 1;
+                o.key = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--metric" => {
+                i += 1;
+                o.metric = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--mode" => {
+                i += 1;
+                o.mode = args.get(i).cloned().unwrap_or_else(|| usage());
+            }
+            "--tolerance" => {
+                i += 1;
+                o.tolerance = args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--baseline-filter" => {
+                i += 1;
+                o.baseline_filter = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
             "--seed" => {
                 i += 1;
                 o.seed = args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
@@ -370,6 +455,33 @@ fn main() {
     }
     if o.trace_summary || o.trace_out.is_some() {
         settings.tracer = bbec::trace::Tracer::new();
+        if let Some(path) = &o.trace_out {
+            // Stream events to disk as they are emitted: heartbeats and
+            // flight-recorder postmortems reach the file even if the run
+            // never gets to finish().
+            match bbec::trace::FileSink::create(path) {
+                Ok(sink) => settings.tracer.set_sink(Box::new(sink)),
+                Err(e) => {
+                    eprintln!("bbec: cannot create trace stream `{path}`: {e}");
+                    exit(2)
+                }
+            }
+        }
+    }
+    if o.progress {
+        // The engine records heartbeats into the tracer (when armed) and
+        // always mirrors them as stderr lines; the BDD manager ticks it
+        // from the amortised budget pulse. BBEC_PROGRESS_INTERVAL_MS is a
+        // debug/test knob; users get the 1 Hz default.
+        let interval_ms = std::env::var("BBEC_PROGRESS_INTERVAL_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1000u64);
+        settings.progress = bbec::trace::Progress::with_observer(
+            settings.tracer.clone(),
+            std::time::Duration::from_millis(interval_ms),
+            std::sync::Arc::new(|hb| eprintln!("{}", heartbeat_line(hb))),
+        );
     }
     match command.as_str() {
         "stats" => {
@@ -587,6 +699,12 @@ fn main() {
             let spec = read_circuit(spec_path);
             let (implementation, format_boxes) = read_circuit_with_boxes(impl_path);
             let partial = partial_from(implementation, format_boxes, o.per_signal);
+            // The ledger keys the run by the instance as the user posed it
+            // (pre-sweep): the sweep is part of the keyed settings, not of
+            // the instance identity.
+            let instance_key =
+                o.ledger.as_ref().map(|_| bbec::core::ledger::instance_key(&spec, &partial));
+            let check_start = std::time::Instant::now();
             // Record the effective run configuration in the trace stream
             // so archived traces are self-describing.
             settings.tracer.record_event(
@@ -628,7 +746,19 @@ fn main() {
             } else {
                 (spec, partial)
             };
-            let verdict = run_method(&o.method, &spec, &partial, &settings, o.jobs, o.quiet);
+            let (verdict, ladder_report) =
+                run_method(&o.method, &spec, &partial, &settings, o.jobs, o.quiet);
+            if let Some(path) = &o.ledger {
+                append_check_ledger(
+                    &o,
+                    path,
+                    instance_key.unwrap(),
+                    impl_path,
+                    &settings,
+                    ladder_report.as_ref(),
+                    check_start.elapsed(),
+                );
+            }
             emit_trace(&o, &settings.tracer);
             match verdict {
                 Verdict::NoErrorFound => {
@@ -647,6 +777,9 @@ fn main() {
         }
         "fuzz" => {
             run_fuzz_command(&o, settings);
+        }
+        "report" => {
+            run_report_command(&o);
         }
         "localize" => {
             let (Some(spec_path), Some(impl_path)) = (&o.spec, &o.implementation) else {
@@ -752,7 +885,18 @@ fn run_fuzz_command(o: &Options, settings: CheckSettings) -> ! {
         ),
         ..oracle::FuzzConfig::default()
     };
+    let fuzz_start = std::time::Instant::now();
     let summary = oracle::run_fuzz(&config, &settings.tracer);
+    if let Some(path) = &o.ledger {
+        append_fuzz_ledger(
+            o,
+            path,
+            "fuzz",
+            &config.harness.settings,
+            summary.violation.is_some(),
+            fuzz_start.elapsed(),
+        );
+    }
     emit_trace(o, &settings.tracer);
     if !o.quiet {
         println!(
@@ -802,7 +946,18 @@ fn run_bdd_fuzz_command(o: &Options, settings: &CheckSettings) -> ! {
         max_cases: o.cases,
         ..oracle::BddFuzzConfig::default()
     };
+    let fuzz_start = std::time::Instant::now();
     let summary = oracle::run_bdd_fuzz(&config, &settings.tracer);
+    if let Some(path) = &o.ledger {
+        append_fuzz_ledger(
+            o,
+            path,
+            "fuzz-bdd",
+            settings,
+            summary.violation.is_some(),
+            fuzz_start.elapsed(),
+        );
+    }
     emit_trace(o, &settings.tracer);
     if !o.quiet {
         println!(
@@ -825,6 +980,265 @@ fn run_bdd_fuzz_command(o: &Options, settings: &CheckSettings) -> ! {
     }
 }
 
+/// Appends a ledger line for a fuzz session. Fuzzing crosses many
+/// generated instances, so the master seed stands in for the structural
+/// instance key and the rung list stays empty.
+fn append_fuzz_ledger(
+    o: &Options,
+    path: &str,
+    tool: &str,
+    settings: &CheckSettings,
+    violation: bool,
+    wall: std::time::Duration,
+) {
+    use bbec::core::ledger;
+    let record = ledger::RunRecord {
+        instance_key: format!("{:016x}", o.seed),
+        settings_key: ledger::settings_key(settings, &[]),
+        label: format!("{tool}-seed-{}", o.seed),
+        tool: tool.to_string(),
+        verdict: if violation { "violation_found" } else { "clean" }.to_string(),
+        wall_ms: wall.as_millis() as u64,
+        jobs: 1,
+        unix_ms: std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0, |d| d.as_millis() as u64),
+        host: bbec::trace::HostMeta::capture(),
+        rungs: Vec::new(),
+    };
+    record.append(Path::new(path)).unwrap_or_else(|e| {
+        eprintln!("bbec: cannot append to ledger `{path}`: {e}");
+        exit(2)
+    });
+    if !o.quiet {
+        println!("ledger: {tool} run appended to {path}");
+    }
+}
+
+/// The `bbec report` subcommand: either a `--compare BASE NEW` regression
+/// gate (exit 1 on regression) or an aggregate view of ledger/trace/bench
+/// JSONL files.
+fn run_report_command(o: &Options) -> ! {
+    use bbec::trace::compare::{self, CompareSpec, Mode};
+    let read = |p: &str| {
+        std::fs::read_to_string(p).unwrap_or_else(|e| {
+            eprintln!("bbec: cannot read `{p}`: {e}");
+            exit(2)
+        })
+    };
+    if let Some((base_path, cur_path)) = &o.compare {
+        let require = |v: &Option<String>, flag: &str| {
+            v.clone().unwrap_or_else(|| {
+                eprintln!("bbec: report --compare needs {flag}");
+                exit(2)
+            })
+        };
+        let spec = CompareSpec {
+            event: require(&o.event, "--event NAME"),
+            key: require(&o.key, "--key ATTR"),
+            metric: require(&o.metric, "--metric ATTR"),
+            mode: Mode::parse(&o.mode).unwrap_or_else(|e| {
+                eprintln!("bbec: {e}");
+                exit(2)
+            }),
+            tolerance: o.tolerance,
+            baseline_filter: o.baseline_filter.as_ref().map(|f| match f.split_once('=') {
+                Some((k, v)) => (k.to_string(), v.to_string()),
+                None => {
+                    eprintln!("bbec: --baseline-filter wants attr=value");
+                    exit(2)
+                }
+            }),
+        };
+        let report =
+            compare::compare(&read(base_path), &read(cur_path), &spec).unwrap_or_else(|e| {
+                eprintln!("bbec: {e}");
+                exit(2)
+            });
+        for row in &report.rows {
+            println!("report: {}", compare::render_row(row, &spec));
+        }
+        if report.pass {
+            exit(0)
+        }
+        eprintln!("bbec: regression beyond tolerance");
+        exit(1)
+    }
+    if o.positional.is_empty() {
+        usage();
+    }
+    for path in &o.positional {
+        render_report_file(path, &read(path));
+    }
+    exit(0)
+}
+
+/// Aggregate view of one JSONL file: ledger runs grouped by instance and
+/// settings key (with a cross-run wall-clock diff), per-rung wall-clock
+/// from `core.ladder_rung` spans, histogram quantiles, record tallies.
+fn render_report_file(path: &str, text: &str) {
+    use bbec::trace::json::{parse, Value};
+    use std::collections::BTreeMap;
+
+    struct LedgerRun {
+        label: String,
+        verdict: String,
+        wall_ms: f64,
+        rungs: Vec<(String, f64, bool)>,
+    }
+
+    let mut ledger: BTreeMap<(String, String), Vec<LedgerRun>> = BTreeMap::new();
+    let mut rung_spans: BTreeMap<String, (u64, f64)> = BTreeMap::new();
+    struct HistogramLine {
+        name: String,
+        count: u64,
+        max: u64,
+        buckets: Vec<(u64, u64)>,
+    }
+
+    let mut histograms: Vec<HistogramLine> = Vec::new();
+    let mut records: BTreeMap<String, u64> = BTreeMap::new();
+
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = parse(line).unwrap_or_else(|e| {
+            eprintln!("bbec: {path}:{}: {e}", lineno + 1);
+            exit(2)
+        });
+        let str_of =
+            |v: &Value, k: &str| v.get(k).and_then(Value::as_str).unwrap_or("?").to_string();
+        match v.get("type").and_then(Value::as_str) {
+            Some("run") => {
+                let rungs = v
+                    .get("rungs")
+                    .and_then(Value::as_array)
+                    .unwrap_or(&[])
+                    .iter()
+                    .map(|r| {
+                        (
+                            str_of(r, "method"),
+                            r.get("wall_ms").and_then(Value::as_f64).unwrap_or(0.0),
+                            matches!(r.get("finished"), Some(Value::Bool(true))),
+                        )
+                    })
+                    .collect();
+                ledger
+                    .entry((str_of(&v, "instance_key"), str_of(&v, "settings_key")))
+                    .or_default()
+                    .push(LedgerRun {
+                        label: str_of(&v, "label"),
+                        verdict: str_of(&v, "verdict"),
+                        wall_ms: v.get("wall_ms").and_then(Value::as_f64).unwrap_or(0.0),
+                        rungs,
+                    });
+            }
+            Some("span") if v.get("name").and_then(Value::as_str) == Some("core.ladder_rung") => {
+                let method = v
+                    .get("attrs")
+                    .and_then(|a| a.get("method"))
+                    .and_then(Value::as_str)
+                    .unwrap_or("?")
+                    .to_string();
+                let dur_us = v.get("dur_us").and_then(Value::as_f64).unwrap_or(0.0);
+                let entry = rung_spans.entry(method).or_insert((0, 0.0));
+                entry.0 += 1;
+                entry.1 += dur_us;
+            }
+            Some("histogram") => {
+                let buckets = v
+                    .get("buckets")
+                    .and_then(Value::as_array)
+                    .unwrap_or(&[])
+                    .iter()
+                    .filter_map(|pair| {
+                        let pair = pair.as_array()?;
+                        Some((pair.first()?.as_f64()? as u64, pair.get(1)?.as_f64()? as u64))
+                    })
+                    .collect();
+                histograms.push(HistogramLine {
+                    name: str_of(&v, "name"),
+                    count: v.get("count").and_then(Value::as_f64).unwrap_or(0.0) as u64,
+                    max: v.get("max").and_then(Value::as_f64).unwrap_or(0.0) as u64,
+                    buckets,
+                });
+            }
+            Some("record") => {
+                *records.entry(str_of(&v, "name")).or_insert(0) += 1;
+            }
+            _ => {}
+        }
+    }
+
+    println!("report: {path}");
+    if !ledger.is_empty() {
+        let total: usize = ledger.values().map(Vec::len).sum();
+        println!("  ledger: {} run(s) in {} instance/settings group(s)", total, ledger.len());
+        for ((ikey, skey), runs) in &ledger {
+            let last = runs.last().unwrap();
+            println!(
+                "    instance {ikey} settings {skey} ({}): {} run(s), last verdict {}",
+                last.label,
+                runs.len(),
+                last.verdict
+            );
+            // Cross-run diff: the latest run against the best earlier one.
+            let best_prev =
+                runs[..runs.len() - 1].iter().map(|r| r.wall_ms).fold(f64::INFINITY, f64::min);
+            if best_prev.is_finite() {
+                let pct = if best_prev > 0.0 {
+                    format!(" ({:+.1}%)", (last.wall_ms / best_prev - 1.0) * 100.0)
+                } else {
+                    String::new()
+                };
+                println!(
+                    "      wall {:.0} ms vs best earlier {:.0} ms{pct}",
+                    last.wall_ms, best_prev
+                );
+            } else {
+                println!("      wall {:.0} ms", last.wall_ms);
+            }
+            for (method, wall_ms, finished) in &last.rungs {
+                println!(
+                    "      rung {method:<6} {wall_ms:>8.0} ms{}",
+                    if *finished { "" } else { "  (budget exceeded)" }
+                );
+            }
+        }
+    }
+    if !rung_spans.is_empty() {
+        println!("  rung wall-clock (core.ladder_rung spans):");
+        let total: f64 = rung_spans.values().map(|(_, d)| d).sum();
+        for (method, (count, dur_us)) in &rung_spans {
+            let share = if total > 0.0 { dur_us / total * 100.0 } else { 0.0 };
+            println!(
+                "    {method:<6} {count:>4} span(s) {:>10.1} ms  {share:>5.1}%",
+                dur_us / 1000.0
+            );
+        }
+    }
+    if !histograms.is_empty() {
+        println!("  histogram quantiles (lower bucket bounds):");
+        for h in &histograms {
+            let q = |x: f64| bbec::trace::Histogram::quantile_from_buckets(&h.buckets, h.count, x);
+            println!(
+                "    {}: n={} p50>={} p90>={} p99>={} max={}",
+                h.name,
+                h.count,
+                q(0.5),
+                q(0.9),
+                q(0.99),
+                h.max
+            );
+        }
+    }
+    if !records.is_empty() {
+        let shown: Vec<String> = records.iter().map(|(n, c)| format!("{n} x{c}")).collect();
+        println!("  records: {}", shown.join(", "));
+    }
+}
+
 /// Drains the tracer (if armed) into the requested sinks: the JSONL event
 /// stream and/or the human-readable summary tree. Runs before the check's
 /// exit code is decided, so traces survive both verdicts.
@@ -834,12 +1248,23 @@ fn emit_trace(o: &Options, tracer: &bbec::trace::Tracer) {
     }
     let trace = tracer.finish();
     if let Some(path) = &o.trace_out {
-        std::fs::write(path, trace.to_jsonl()).unwrap_or_else(|e| {
-            eprintln!("bbec: cannot write trace `{path}`: {e}");
-            exit(2)
-        });
-        if !o.quiet {
-            println!("trace written to {path} ({} events)", trace.events().len());
+        if tracer.has_sink() {
+            // Events streamed to disk as they happened; finish() flushed
+            // the counter/histogram tail through the sink already.
+            if !o.quiet {
+                println!("trace streamed to {path} ({} events)", trace.events().len());
+            }
+        } else {
+            if let Some(err) = tracer.sink_error() {
+                eprintln!("bbec: trace stream to `{path}` failed ({err}); writing buffered copy");
+            }
+            std::fs::write(path, trace.to_jsonl()).unwrap_or_else(|e| {
+                eprintln!("bbec: cannot write trace `{path}`: {e}");
+                exit(2)
+            });
+            if !o.quiet {
+                println!("trace written to {path} ({} events)", trace.events().len());
+            }
         }
     }
     if o.trace_summary {
@@ -854,7 +1279,7 @@ fn run_method(
     settings: &CheckSettings,
     jobs: usize,
     quiet: bool,
-) -> Verdict {
+) -> (Verdict, Option<checks::LadderReport>) {
     let report = |outcome: Result<bbec::core::CheckOutcome, bbec::core::CheckError>| {
         let outcome = outcome.unwrap_or_else(|e| {
             eprintln!("bbec: {e}");
@@ -876,24 +1301,26 @@ fn run_method(
         outcome.verdict
     };
     match method {
-        "rp" => report(checks::random_patterns(spec, partial, settings)),
-        "01x" => report(checks::symbolic_01x(spec, partial, settings)),
-        "local" => report(checks::local_check(spec, partial, settings)),
-        "oe" => report(checks::output_exact(spec, partial, settings)),
-        "ie" => report(checks::input_exact(spec, partial, settings)),
-        "sat-01x" => report(sat_checks::sat_dual_rail(spec, partial, settings)),
-        "sat-oe" => report(sat_checks::sat_output_exact(spec, partial, settings, 1_000_000)),
+        "rp" => (report(checks::random_patterns(spec, partial, settings)), None),
+        "01x" => (report(checks::symbolic_01x(spec, partial, settings)), None),
+        "local" => (report(checks::local_check(spec, partial, settings)), None),
+        "oe" => (report(checks::output_exact(spec, partial, settings)), None),
+        "ie" => (report(checks::input_exact(spec, partial, settings)), None),
+        "sat-01x" => (report(sat_checks::sat_dual_rail(spec, partial, settings)), None),
+        "sat-oe" => {
+            (report(sat_checks::sat_output_exact(spec, partial, settings, 1_000_000)), None)
+        }
         "ladder" => {
             // The parallel engine shards the per-output rungs over `jobs`
             // workers; with one job it runs the same decomposition
             // sequentially, so the verdict is independent of the job count.
             let ladder = bbec::core::ParallelChecker::new(settings.clone(), jobs);
-            let report = ladder.run(spec, partial).unwrap_or_else(|e| {
+            let ladder_report = ladder.run(spec, partial).unwrap_or_else(|e| {
                 eprintln!("bbec: {e}");
                 exit(2)
             });
             if !quiet {
-                for stage in &report.stages {
+                for stage in &ladder_report.stages {
                     match stage {
                         checks::StageResult::Finished(o) => println!(
                             "  {:<6} -> {:?} ({:?}, {} steps)",
@@ -909,8 +1336,8 @@ fn run_method(
                         ),
                     }
                 }
-                let skipped = report.budget_exceeded();
-                if report.verdict() == Verdict::NoErrorFound && !skipped.is_empty() {
+                let skipped = ladder_report.budget_exceeded();
+                if ladder_report.verdict() == Verdict::NoErrorFound && !skipped.is_empty() {
                     println!(
                         "  note: verdict is from the strongest rung that finished; {} \
                          stronger check(s) exceeded the budget",
@@ -918,8 +1345,64 @@ fn run_method(
                     );
                 }
             }
-            report.verdict()
+            (ladder_report.verdict(), Some(ladder_report))
         }
         _ => usage(),
+    }
+}
+
+/// One `--progress` heartbeat as a stderr line.
+fn heartbeat_line(hb: &bbec::trace::Heartbeat) -> String {
+    let task = if hb.task.is_empty() { String::new() } else { format!(" {}", hb.task) };
+    let mut line = format!(
+        "bbec: [{}]{task} {} steps, {} live nodes, {:.1}s",
+        hb.region,
+        hb.steps,
+        hb.live_nodes,
+        hb.elapsed_ms as f64 / 1000.0
+    );
+    if let Some(f) = hb.budget_used {
+        line.push_str(&format!(", budget {:.0}%", f * 100.0));
+    }
+    if let Some(eta) = hb.eta_ms {
+        line.push_str(&format!(", eta ~{:.1}s", eta as f64 / 1000.0));
+    }
+    line
+}
+
+/// Appends one run record for a finished `check` to the ledger at `path`.
+fn append_check_ledger(
+    o: &Options,
+    path: &str,
+    instance_key: String,
+    impl_path: &str,
+    settings: &CheckSettings,
+    report: Option<&checks::LadderReport>,
+    wall: std::time::Duration,
+) {
+    use bbec::core::ledger;
+    let Some(report) = report else {
+        eprintln!("bbec: --ledger records ladder runs; method `{}` was not recorded", o.method);
+        return;
+    };
+    // The effective configuration includes the CLI-level sweep decision,
+    // which main() applies before the engines see the settings.
+    let key_settings = CheckSettings { sweep: o.sweep, ..settings.clone() };
+    let skey = ledger::settings_key(&key_settings, &checks::CheckLadder::default().stages);
+    let label = Path::new(impl_path).file_stem().and_then(|s| s.to_str()).unwrap_or("check");
+    let record = ledger::RunRecord::from_ladder(
+        instance_key,
+        skey,
+        label,
+        report,
+        wall.as_millis() as u64,
+        o.jobs as u64,
+    );
+    record.append(Path::new(path)).unwrap_or_else(|e| {
+        eprintln!("bbec: cannot append to ledger `{path}`: {e}");
+        exit(2)
+    });
+    if !o.quiet {
+        println!("ledger: run {} appended to {path}", record.instance_key);
     }
 }

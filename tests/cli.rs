@@ -287,6 +287,165 @@ fn trace_summary_prints_span_tree() {
     assert!(stdout.contains("NO ERROR FOUND"), "{stdout}");
 }
 
+/// `--progress` emits heartbeat lines on stderr and, with a trace armed,
+/// mirrors them as `progress.heartbeat` records in the stream. The
+/// interval is dropped to 1ms through the debug knob so a sub-second
+/// check still beats.
+#[test]
+fn progress_emits_heartbeats() {
+    // A 6-bit array multiplier with one cell black-boxed: enough BDD work
+    // for many 1024-step budget pulses.
+    let spec = generators::array_multiplier(6);
+    let spec_path = write_temp("mul_spec.blif", &blif::write(&spec));
+    let partial = spec.without_gates(&[40, 41, 42, 43]);
+    let partial_path = write_temp("mul_partial.blif", &blif::write(&partial));
+    let trace_path = write_temp("mul_run.jsonl", "");
+    let out = bin()
+        .args(["check", "--spec"])
+        .arg(&spec_path)
+        .arg("--impl")
+        .arg(&partial_path)
+        .args(["--patterns", "50", "--progress", "--trace-out"])
+        .arg(&trace_path)
+        .env("BBEC_PROGRESS_INTERVAL_MS", "1")
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.lines().any(|l| l.starts_with("bbec: [") && l.contains("steps")),
+        "no heartbeat lines on stderr:\n{stderr}"
+    );
+    assert!(stderr.contains("live nodes"), "{stderr}");
+    // Heartbeats also land in the trace stream, which stays schema-valid.
+    let text = std::fs::read_to_string(&trace_path).expect("trace written");
+    bbec::trace::schema::validate_stream(&text).unwrap_or_else(|e| panic!("{e}"));
+    assert!(text.contains("\"name\":\"progress.heartbeat\""), "no heartbeat records in trace");
+}
+
+/// `--ledger` appends one schema-valid run record per check; `bbec report`
+/// aggregates them with a cross-run diff and per-rung breakdown.
+#[test]
+fn ledger_appends_and_report_aggregates() {
+    let (spec, partial, _) = fixture();
+    let ledger_path = write_temp("runs.jsonl", "");
+    for _ in 0..2 {
+        let out = bin()
+            .args(["check", "--spec"])
+            .arg(&spec)
+            .arg("--impl")
+            .arg(&partial)
+            .args(["--patterns", "100", "--quiet", "--ledger"])
+            .arg(&ledger_path)
+            .output()
+            .expect("binary runs");
+        assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    }
+    let text = std::fs::read_to_string(&ledger_path).expect("ledger written");
+    assert_eq!(text.lines().count(), 2, "one record per run");
+    bbec::core::ledger::validate_ledger(&text).unwrap_or_else(|e| panic!("{e}"));
+    // Both runs share the instance and settings keys (same inputs, same
+    // settings), so the report groups them together.
+    let out = bin().arg("report").arg(&ledger_path).output().expect("binary runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("2 run(s) in 1 instance/settings group(s)"), "{stdout}");
+    assert!(stdout.contains("last verdict no_error_found"), "{stdout}");
+    assert!(stdout.contains("vs best earlier"), "{stdout}");
+    assert!(stdout.contains("rung ie"), "{stdout}");
+}
+
+/// `bbec report --compare` passes identical streams and flags a synthetic
+/// 30% ops/sec regression with exit code 1.
+#[test]
+fn report_compare_gates_regressions() {
+    let base = write_temp(
+        "gate_base.jsonl",
+        r#"{"type":"record","seq":1,"name":"bdd_micro","attrs":{"workload":"apply","ops_per_sec":1000,"phase":"after"}}"#,
+    );
+    let cur = write_temp(
+        "gate_cur.jsonl",
+        r#"{"type":"record","seq":1,"name":"bdd_micro","attrs":{"workload":"apply","ops_per_sec":700,"phase":"after"}}"#,
+    );
+    let compare = |current: &PathBuf| {
+        bin()
+            .args(["report", "--compare"])
+            .arg(&base)
+            .arg(current)
+            .args(["--event", "bdd_micro", "--key", "workload", "--metric", "ops_per_sec"])
+            .output()
+            .expect("binary runs")
+    };
+    let out = compare(&base);
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("-> ok"));
+    let out = compare(&cur);
+    assert_eq!(out.status.code(), Some(1), "a 30% drop must gate");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("REGRESSION"));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("regression beyond tolerance"));
+}
+
+/// Collapses every number token to `#` and every whitespace run to one
+/// space, leaving the tree structure, labels and section layout — the
+/// stable part of the summary — for golden comparison.
+fn normalize_summary(text: &str) -> String {
+    let mut out = String::new();
+    for line in text.lines() {
+        let mut norm = String::new();
+        let mut chars = line.chars().peekable();
+        while let Some(c) = chars.next() {
+            if c.is_ascii_digit() {
+                while chars.peek().is_some_and(|n| n.is_ascii_digit() || *n == '.') {
+                    chars.next();
+                }
+                norm.push('#');
+            } else if c == ' ' || c == '\t' {
+                while chars.peek().is_some_and(|n| *n == ' ' || *n == '\t') {
+                    chars.next();
+                }
+                norm.push(' ');
+            } else {
+                norm.push(c);
+            }
+        }
+        out.push_str(norm.trim_end());
+        out.push('\n');
+    }
+    out
+}
+
+/// Golden test for the `--trace-summary` rendering: with pinned settings
+/// the span tree, counter and histogram sections are deterministic up to
+/// the numbers themselves.
+#[test]
+fn trace_summary_matches_golden() {
+    let (spec, partial, _) = fixture();
+    let out = bin()
+        .args(["check", "--spec"])
+        .arg(&spec)
+        .arg("--impl")
+        .arg(&partial)
+        .args(["--patterns", "100", "--jobs", "1", "--trace-summary"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let summary_start = stdout.find("trace summary").expect("summary rendered");
+    let rendered = normalize_summary(&stdout[summary_start..]);
+    let golden_path =
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/trace_summary.golden");
+    if std::env::var_os("BBEC_UPDATE_GOLDEN").is_some() {
+        std::fs::write(&golden_path, &rendered).expect("golden updated");
+        return;
+    }
+    let golden = std::fs::read_to_string(&golden_path).expect("golden fixture exists");
+    assert_eq!(
+        rendered, golden,
+        "summary drifted from tests/fixtures/trace_summary.golden; if the\n\
+         change is intentional, rerun with BBEC_UPDATE_GOLDEN=1"
+    );
+}
+
 #[test]
 fn usage_errors_exit_2() {
     let out = bin().arg("frobnicate").output().expect("binary runs");
