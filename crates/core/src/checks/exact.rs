@@ -80,11 +80,15 @@ pub fn exact_decomposition(
         ))));
     }
 
-    // Precompute the specification's full response.
+    // Precompute the specification's full response (one reusable scratch
+    // buffer — no per-pattern allocation across the 2^n sweep).
+    let mut scratch = bbec_netlist::EvalScratch::default();
     let spec_rows: Vec<Vec<bool>> = (0..1u32 << n)
         .map(|bits| {
             let inputs: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
-            spec.eval(&inputs).expect("spec is complete")
+            let mut row = Vec::new();
+            spec.eval_into(&inputs, &mut scratch, &mut row).expect("spec is complete");
+            row
         })
         .collect();
 

@@ -29,7 +29,7 @@ mod zi;
 
 pub use exact::{exact_decomposition, BoxTable, ExactOutcome};
 pub use ladder::{CheckLadder, LadderReport, StageResult};
-pub use random::random_patterns;
+pub use random::{random_patterns, random_patterns_scalar};
 pub use ternary::symbolic_01x;
 pub(crate) use ternary::symbolic_01x_with;
 pub use zi::{input_exact, local_check, output_exact};

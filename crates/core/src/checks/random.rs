@@ -1,15 +1,33 @@
 //! The non-symbolic baseline: 0,1,X simulation with random patterns
 //! (column `r.p.` of the paper's tables).
+//!
+//! Patterns run through the bit-parallel dual-rail engine
+//! ([`bbec_netlist::bitsim`]): 64 patterns per block, the specification on
+//! the two-valued fast path and the partial implementation dual-rail with
+//! black-box outputs injected as all-X lanes. The scalar reference
+//! implementation ([`random_patterns_scalar`]) draws the *same* pattern
+//! stream lane by lane, so verdicts are invariant between the two by
+//! construction — the differential suite and the `sim_micro` benchmark
+//! both lean on that.
 
 use crate::checks::validate_interface;
 use crate::partial::PartialCircuit;
 use crate::report::{
     CheckError, CheckOutcome, CheckSettings, Counterexample, Method, ResourceStats, Verdict,
 };
-use bbec_netlist::{Circuit, Tv};
+use bbec_netlist::bitsim::{self, BitSim};
+use bbec_netlist::{Circuit, EvalScratch, Tv};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::time::Instant;
+
+/// One 64-lane block of the shared pattern stream: one word per input,
+/// lane `j` of word `i` is input `i` of pattern `block·64 + j`.
+fn next_block(rng: &mut StdRng, words: &mut [u64]) {
+    for w in words.iter_mut() {
+        *w = rng.next_u64();
+    }
+}
 
 /// Simulates `settings.random_patterns` random vectors through the partial
 /// implementation in 0,1,X logic and compares definite outputs against the
@@ -17,7 +35,8 @@ use std::time::Instant;
 ///
 /// An error is reported when some output is *definitely* wrong — i.e. wrong
 /// no matter how the black boxes behave. This is the weakest (and with
-/// large pattern counts, often the slowest) method of the paper.
+/// large pattern counts, often the slowest) method of the paper; the
+/// bit-parallel engine sweeps 64 patterns per topo walk to compensate.
 ///
 /// # Errors
 ///
@@ -32,33 +51,124 @@ pub fn random_patterns(
     let start = Instant::now();
     let mut rng = StdRng::seed_from_u64(settings.seed);
     let n = spec.inputs().len();
-    let outcome = |verdict, counterexample| CheckOutcome {
+    let mut spec_sim = BitSim::new(spec);
+    let mut impl_sim = BitSim::new(partial.circuit());
+    let mut words = vec![0u64; n];
+    let zero_xs = vec![0u64; n];
+    let mut spec_out = vec![0u64; spec.outputs().len()];
+    let total = settings.random_patterns as u64;
+    let mut patterns = 0u64;
+    let outcome = |verdict, counterexample, patterns, duration| CheckOutcome {
         method: Method::RandomPatterns,
         verdict,
         counterexample,
-        stats: ResourceStats { duration: start.elapsed(), ..ResourceStats::default() },
+        stats: ResourceStats { duration, patterns, ..ResourceStats::default() },
     };
-    for _ in 0..settings.random_patterns {
-        let inputs: Vec<bool> = (0..n).map(|_| rng.random_bool(0.5)).collect();
-        let tv: Vec<Tv> = inputs.iter().map(|&b| Tv::from(b)).collect();
-        let got = partial.circuit().eval_ternary(&tv)?;
-        let expect = spec.eval(&inputs)?;
-        for (j, (g, &e)) in got.iter().zip(&expect).enumerate() {
-            if let Some(v) = g.to_bool() {
-                if v != e {
-                    let cex = Counterexample { inputs, output: Some(j) };
-                    crate::cex::validate_counterexample(spec, partial, &cex).map_err(|detail| {
-                        CheckError::CounterexampleRejected {
-                            method: Method::RandomPatterns,
-                            detail,
-                        }
-                    })?;
-                    return Ok(outcome(Verdict::ErrorFound, Some(cex)));
+    while patterns < total {
+        let lanes = bitsim::LANES.min((total - patterns) as usize);
+        let live = bitsim::lane_mask(lanes);
+        next_block(&mut rng, &mut words);
+        spec_out.copy_from_slice(spec_sim.eval_block(&words)?);
+        let (got_ones, got_xs) = impl_sim.eval_ternary_block(&words, &zero_xs)?;
+        // Wrong = definite lane whose value differs from the spec's. The
+        // witness is the first erring *pattern* (lowest lane across all
+        // outputs), then the first erring output within it — the same scan
+        // order as the scalar reference, so witnesses agree exactly.
+        let mut any_wrong = 0u64;
+        for (j, &expect) in spec_out.iter().enumerate() {
+            any_wrong |= !got_xs[j] & (got_ones[j] ^ expect) & live;
+        }
+        if any_wrong != 0 {
+            let lane = any_wrong.trailing_zeros() as usize;
+            let j = spec_out
+                .iter()
+                .enumerate()
+                .position(|(j, &expect)| bitsim::lane(!got_xs[j] & (got_ones[j] ^ expect), lane))
+                .expect("some output is wrong at this lane");
+            let inputs: Vec<bool> = words.iter().map(|&w| bitsim::lane(w, lane)).collect();
+            let cex = Counterexample { inputs, output: Some(j) };
+            crate::cex::validate_counterexample(spec, partial, &cex).map_err(|detail| {
+                CheckError::CounterexampleRejected { method: Method::RandomPatterns, detail }
+            })?;
+            settings.tracer.counter_add("sim.patterns", patterns + lane as u64 + 1);
+            return Ok(outcome(
+                Verdict::ErrorFound,
+                Some(cex),
+                patterns + lane as u64 + 1,
+                start.elapsed(),
+            ));
+        }
+        patterns += lanes as u64;
+    }
+    settings.tracer.counter_add("sim.patterns", patterns);
+    Ok(outcome(Verdict::NoErrorFound, None, patterns, start.elapsed()))
+}
+
+/// The scalar reference implementation of the random-pattern rung: one
+/// pattern at a time through [`Circuit::eval_ternary_into`]/
+/// [`Circuit::eval_into`], drawing the same pattern stream as
+/// [`random_patterns`] so the two are verdict-invariant. Kept as the
+/// differential baseline and the `sim_micro` speedup denominator.
+///
+/// # Errors
+///
+/// As [`random_patterns`].
+pub fn random_patterns_scalar(
+    spec: &Circuit,
+    partial: &PartialCircuit,
+    settings: &CheckSettings,
+) -> Result<CheckOutcome, CheckError> {
+    validate_interface(spec, partial)?;
+    let start = Instant::now();
+    let mut rng = StdRng::seed_from_u64(settings.seed);
+    let n = spec.inputs().len();
+    let mut words = vec![0u64; n];
+    let mut scratch = EvalScratch::default();
+    let mut inputs: Vec<bool> = vec![false; n];
+    let mut tv: Vec<Tv> = vec![Tv::X; n];
+    let mut got: Vec<Tv> = Vec::new();
+    let mut expect: Vec<bool> = Vec::new();
+    let total = settings.random_patterns as u64;
+    let mut patterns = 0u64;
+    let outcome = |verdict, counterexample, patterns, duration| CheckOutcome {
+        method: Method::RandomPatterns,
+        verdict,
+        counterexample,
+        stats: ResourceStats { duration, patterns, ..ResourceStats::default() },
+    };
+    while patterns < total {
+        let lanes = bitsim::LANES.min((total - patterns) as usize);
+        next_block(&mut rng, &mut words);
+        for lane in 0..lanes {
+            for (i, &w) in words.iter().enumerate() {
+                inputs[i] = bitsim::lane(w, lane);
+                tv[i] = Tv::from(inputs[i]);
+            }
+            partial.circuit().eval_ternary_into(&tv, &mut scratch, &mut got)?;
+            spec.eval_into(&inputs, &mut scratch, &mut expect)?;
+            for (j, (g, &e)) in got.iter().zip(&expect).enumerate() {
+                if let Some(v) = g.to_bool() {
+                    if v != e {
+                        let cex = Counterexample { inputs: inputs.clone(), output: Some(j) };
+                        crate::cex::validate_counterexample(spec, partial, &cex).map_err(
+                            |detail| CheckError::CounterexampleRejected {
+                                method: Method::RandomPatterns,
+                                detail,
+                            },
+                        )?;
+                        return Ok(outcome(
+                            Verdict::ErrorFound,
+                            Some(cex),
+                            patterns + lane as u64 + 1,
+                            start.elapsed(),
+                        ));
+                    }
                 }
             }
         }
+        patterns += lanes as u64;
     }
-    Ok(outcome(Verdict::NoErrorFound, None))
+    Ok(outcome(Verdict::NoErrorFound, None, patterns, start.elapsed()))
 }
 
 #[cfg(test)]
@@ -79,6 +189,7 @@ mod tests {
         let out = random_patterns(&c, &p, &fast_settings()).unwrap();
         assert_eq!(out.verdict, Verdict::NoErrorFound);
         assert_eq!(out.method, Method::RandomPatterns);
+        assert_eq!(out.stats.patterns, 500);
     }
 
     #[test]
@@ -100,6 +211,7 @@ mod tests {
         let expect = c.eval(&cex.inputs).unwrap();
         let j = cex.output.unwrap();
         assert_eq!(got[j].to_bool(), Some(!expect[j]));
+        assert!(out.stats.patterns >= 1);
     }
 
     #[test]
@@ -128,5 +240,29 @@ mod tests {
         let a = random_patterns(&c, &p, &fast_settings()).unwrap();
         let b = random_patterns(&c, &p, &fast_settings()).unwrap();
         assert_eq!(a.verdict, b.verdict);
+    }
+
+    #[test]
+    fn packed_and_scalar_rungs_share_one_verdict() {
+        // The clean, erroneous and X-masked fixtures above, plus mutated
+        // generator circuits: verdicts (and pattern tallies on clean runs)
+        // must agree between the packed engine and the scalar reference.
+        let s = fast_settings();
+        for seed in 0..12u64 {
+            let c = generators::random_logic("rp", 7, 28, 3, seed);
+            let host = if seed % 3 == 0 {
+                let last = (c.gates().len() - 1) as u32;
+                Mutation { gate: last, kind: MutationKind::ToggleOutputInverter }.apply(&c).unwrap()
+            } else {
+                c.clone()
+            };
+            let Ok(p) = PartialCircuit::black_box_gates(&host, &[1]) else { continue };
+            let packed = random_patterns(&c, &p, &s).unwrap();
+            let scalar = random_patterns_scalar(&c, &p, &s).unwrap();
+            assert_eq!(packed.verdict, scalar.verdict, "seed {seed}");
+            if packed.verdict == Verdict::NoErrorFound {
+                assert_eq!(packed.stats.patterns, scalar.stats.patterns, "seed {seed}");
+            }
+        }
     }
 }

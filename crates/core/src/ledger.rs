@@ -201,6 +201,10 @@ pub struct RunRecord {
     pub host: HostMeta,
     /// Per-rung breakdown, in execution order.
     pub rungs: Vec<RungRecord>,
+    /// Tool-specific extra counters (e.g. fuzz throughput), serialized as
+    /// additional top-level numeric keys. The schema validator tolerates
+    /// unknown keys, so extras never break older readers.
+    pub extras: Vec<(String, u64)>,
 }
 
 impl RunRecord {
@@ -229,6 +233,7 @@ impl RunRecord {
                 .map_or(0, |d| d.as_millis() as u64),
             host: HostMeta::capture(),
             rungs: report.stages.iter().map(RungRecord::from_stage).collect(),
+            extras: Vec::new(),
         }
     }
 
@@ -248,6 +253,9 @@ impl RunRecord {
         w.u64("host_parallelism", self.host.parallelism);
         w.str("os", self.host.os);
         w.str("arch", self.host.arch);
+        for (key, value) in &self.extras {
+            w.u64(key, *value);
+        }
         let rungs: Vec<String> = self.rungs.iter().map(RungRecord::to_json).collect();
         w.raw("rungs", &format!("[{}]", rungs.join(",")));
         w.finish()

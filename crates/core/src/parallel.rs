@@ -320,6 +320,7 @@ fn merged_stats(entries: &[&StageResult]) -> ResourceStats {
         merged.cache_misses += s.cache_misses;
         merged.gc_passes += s.gc_passes;
         merged.reorder_passes += s.reorder_passes;
+        merged.patterns += s.patterns;
     }
     merged
 }

@@ -86,6 +86,9 @@ pub struct ResourceStats {
     pub gc_passes: u64,
     /// Dynamic-reordering passes during the check.
     pub reorder_passes: u64,
+    /// Simulation patterns evaluated (random-pattern rung: lanes swept by
+    /// the bit-parallel engine, counted up to the erring lane on an error).
+    pub patterns: u64,
 }
 
 impl ResourceStats {

@@ -1,0 +1,544 @@
+//! Bit-parallel dual-rail 0,1,X simulation: 64 patterns per machine word.
+//!
+//! The scalar interpreters ([`Circuit::eval`], [`Circuit::eval_ternary`])
+//! walk one pattern at a time; the random-pattern rung, the exhaustive
+//! oracle and counterexample replay all sweep thousands of patterns through
+//! the same topological order. [`BitSim`] amortises that: each signal gets
+//! two `u64` bitplanes — `ones` (lane is definitely 1) and `xs` (lane is
+//! unknown) — so one branch-free sweep over the precomputed
+//! [`Circuit::topo_order`] simulates [`LANES`] independent patterns at once.
+//!
+//! Encoding (per lane, the invariant `ones & xs == 0` always holds):
+//!
+//! | value | `ones` bit | `xs` bit |
+//! |-------|------------|----------|
+//! | `0`   | 0          | 0        |
+//! | `1`   | 1          | 0        |
+//! | `X`   | 0          | 1        |
+//!
+//! Kleene semantics falls out of plain word operations: a lane is
+//! definitely 0 exactly when `!(ones | xs)` is set, so e.g. an AND lane is
+//! 1 iff every input lane is 1, 0 iff some input lane is 0, and X
+//! otherwise. Undriven signals (black-box outputs of a partial
+//! implementation) read all-X, matching the scalar semantics; callers can
+//! override them per lane with forced planes to sweep box assignments 64
+//! at a time. A plain two-valued fast path (`ones` plane only) serves
+//! concrete-pattern workloads on complete circuits.
+//!
+//! Wavefront buffers are allocated once per [`BitSim`] and reused across
+//! blocks, so a steady-state block evaluation performs no allocation.
+
+use crate::circuit::{Circuit, NetlistError, SignalId};
+use crate::gate::GateKind;
+use crate::ternary::Tv;
+
+/// Patterns per block: the lane count of one `u64` bitplane word.
+pub const LANES: usize = 64;
+
+/// Mask selecting the low `n` lanes of a block (`1 ≤ n ≤ 64`). Blocks whose
+/// pattern count is not a multiple of 64 mask their tail with this before
+/// reading verdict bits out of result planes.
+pub fn lane_mask(n: usize) -> u64 {
+    debug_assert!((1..=LANES).contains(&n), "lane count {n} out of range");
+    if n >= LANES {
+        u64::MAX
+    } else {
+        (1u64 << n) - 1
+    }
+}
+
+/// All-lanes broadcast of one Boolean: `0` or `!0`.
+pub fn broadcast(b: bool) -> u64 {
+    if b {
+        u64::MAX
+    } else {
+        0
+    }
+}
+
+/// Reads one lane of a two-valued plane.
+pub fn lane(word: u64, lane: usize) -> bool {
+    debug_assert!(lane < LANES);
+    word >> lane & 1 == 1
+}
+
+/// Reads one lane of a dual-rail plane pair.
+pub fn lane_tv(ones: u64, xs: u64, lane: usize) -> Tv {
+    debug_assert!(lane < LANES);
+    if xs >> lane & 1 == 1 {
+        Tv::X
+    } else if ones >> lane & 1 == 1 {
+        Tv::One
+    } else {
+        Tv::Zero
+    }
+}
+
+/// Packs up to 64 Booleans into one plane word, lane `j` from `bits[j]`.
+pub fn pack_bools(bits: &[bool]) -> u64 {
+    debug_assert!(bits.len() <= LANES);
+    bits.iter().enumerate().fold(0u64, |w, (j, &b)| w | (u64::from(b) << j))
+}
+
+/// Packs up to 64 ternary values into a dual-rail plane pair.
+pub fn pack_tvs(tvs: &[Tv]) -> (u64, u64) {
+    debug_assert!(tvs.len() <= LANES);
+    let mut ones = 0u64;
+    let mut xs = 0u64;
+    for (j, &v) in tvs.iter().enumerate() {
+        match v {
+            Tv::One => ones |= 1 << j,
+            Tv::X => xs |= 1 << j,
+            Tv::Zero => {}
+        }
+    }
+    (ones, xs)
+}
+
+/// Bit `i` of the integers `base + j` across lanes `j = 0..64`, for
+/// exhaustive enumeration in blocks: lane `j` of the returned word is bit
+/// `i` of `base + j`. `base` must be 64-aligned (low 6 bits zero) so the
+/// low bits of the lane index are the low bits of the enumerated value —
+/// bits `i < 6` are then fixed alternating masks and bits `i ≥ 6` are
+/// broadcast from `base`.
+pub fn counter_word(base: u64, i: usize) -> u64 {
+    debug_assert_eq!(base & 63, 0, "enumeration blocks must be 64-aligned");
+    const CHUNK: [u64; 6] = [
+        0xAAAA_AAAA_AAAA_AAAA,
+        0xCCCC_CCCC_CCCC_CCCC,
+        0xF0F0_F0F0_F0F0_F0F0,
+        0xFF00_FF00_FF00_FF00,
+        0xFFFF_0000_FFFF_0000,
+        0xFFFF_FFFF_0000_0000,
+    ];
+    if i < CHUNK.len() {
+        CHUNK[i]
+    } else {
+        broadcast(base >> i & 1 == 1)
+    }
+}
+
+/// One gate of the flattened sweep plan; pins index into [`BitSim::pins`].
+#[derive(Debug, Clone, Copy)]
+struct Op {
+    kind: GateKind,
+    out: u32,
+    pin_lo: u32,
+    pin_hi: u32,
+}
+
+/// A reusable bit-parallel evaluator over one circuit.
+///
+/// Construction flattens the topological order into a pin-array sweep plan
+/// and allocates the per-signal bitplanes once; every `eval_*` call then
+/// runs allocation-free. The evaluator borrows nothing from the circuit, so
+/// it can outlive temporary references and be reused across blocks.
+#[derive(Debug)]
+pub struct BitSim {
+    /// Signal index per primary-input position.
+    input_signals: Vec<u32>,
+    /// Signal index per primary-output position.
+    output_signals: Vec<u32>,
+    /// Non-input undriven signals (black-box outputs): all-X in ternary
+    /// mode unless forced.
+    undriven: Vec<u32>,
+    /// Per-signal: is this an undriven non-input (legal forcing target)?
+    is_undriven: Vec<bool>,
+    ops: Vec<Op>,
+    pins: Vec<u32>,
+    /// `is_one` plane per signal (also the sole plane in two-valued mode).
+    ones: Vec<u64>,
+    /// `is_x` plane per signal.
+    xs: Vec<u64>,
+    out_ones: Vec<u64>,
+    out_xs: Vec<u64>,
+    /// Name of an undriven signal inside some output cone, if any: the
+    /// two-valued fast path must refuse, matching [`Circuit::eval`].
+    undriven_in_cone: Option<String>,
+}
+
+impl BitSim {
+    /// Builds the sweep plan and wavefront buffers for `circuit`.
+    pub fn new(circuit: &Circuit) -> BitSim {
+        let n = circuit.signal_count();
+        let input_signals: Vec<u32> = circuit.inputs().iter().map(|s| s.index() as u32).collect();
+        let output_signals: Vec<u32> =
+            circuit.outputs().iter().map(|&(_, s)| s.index() as u32).collect();
+        let mut is_undriven = vec![false; n];
+        let undriven: Vec<u32> = circuit
+            .undriven_signals()
+            .into_iter()
+            .map(|s| {
+                is_undriven[s.index()] = true;
+                s.index() as u32
+            })
+            .collect();
+        let mut pins: Vec<u32> = Vec::new();
+        let mut ops: Vec<Op> = Vec::with_capacity(circuit.gates().len());
+        for &g in circuit.topo_order() {
+            let gate = &circuit.gates()[g as usize];
+            let pin_lo = pins.len() as u32;
+            pins.extend(gate.inputs.iter().map(|s| s.index() as u32));
+            ops.push(Op {
+                kind: gate.kind,
+                out: gate.output.index() as u32,
+                pin_lo,
+                pin_hi: pins.len() as u32,
+            });
+        }
+        // Two-valued readiness: DFS from the outputs through drivers; an
+        // undriven non-input in a cone poisons the fast path.
+        let undriven_in_cone = {
+            let mut seen = vec![false; n];
+            let mut stack: Vec<SignalId> = circuit.outputs().iter().map(|&(_, s)| s).collect();
+            let mut found = None;
+            while let Some(s) = stack.pop() {
+                if std::mem::replace(&mut seen[s.index()], true) || circuit.is_input(s) {
+                    continue;
+                }
+                match circuit.driver_of(s) {
+                    Some(gate) => stack.extend(gate.inputs.iter().copied()),
+                    None => {
+                        found = Some(circuit.signal_name(s).to_string());
+                        break;
+                    }
+                }
+            }
+            found
+        };
+        BitSim {
+            input_signals,
+            output_signals,
+            undriven,
+            is_undriven,
+            ops,
+            pins,
+            ones: vec![0; n],
+            xs: vec![0; n],
+            out_ones: vec![0; circuit.outputs().len()],
+            out_xs: vec![0; circuit.outputs().len()],
+            undriven_in_cone,
+        }
+    }
+
+    /// Number of primary inputs (plane words expected per block).
+    pub fn num_inputs(&self) -> usize {
+        self.input_signals.len()
+    }
+
+    /// Number of primary outputs (plane words returned per block).
+    pub fn num_outputs(&self) -> usize {
+        self.output_signals.len()
+    }
+
+    /// Two-valued fast path: evaluates 64 concrete patterns, one plane word
+    /// per input, returning one plane word per output.
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::WrongInputCount`] on an input-length mismatch;
+    /// [`NetlistError::Undriven`] when some output cone contains an
+    /// undriven signal (use the ternary entry points for partial circuits).
+    pub fn eval_block(&mut self, inputs: &[u64]) -> Result<&[u64], NetlistError> {
+        if inputs.len() != self.input_signals.len() {
+            return Err(NetlistError::WrongInputCount {
+                expected: self.input_signals.len(),
+                got: inputs.len(),
+            });
+        }
+        if let Some(name) = &self.undriven_in_cone {
+            return Err(NetlistError::Undriven(name.clone()));
+        }
+        for (i, &s) in self.input_signals.iter().enumerate() {
+            self.ones[s as usize] = inputs[i];
+        }
+        for op in &self.ops {
+            let pins = &self.pins[op.pin_lo as usize..op.pin_hi as usize];
+            let w = match op.kind {
+                GateKind::And => pins.iter().fold(u64::MAX, |a, &p| a & self.ones[p as usize]),
+                GateKind::Nand => !pins.iter().fold(u64::MAX, |a, &p| a & self.ones[p as usize]),
+                GateKind::Or => pins.iter().fold(0u64, |a, &p| a | self.ones[p as usize]),
+                GateKind::Nor => !pins.iter().fold(0u64, |a, &p| a | self.ones[p as usize]),
+                GateKind::Xor => pins.iter().fold(0u64, |a, &p| a ^ self.ones[p as usize]),
+                GateKind::Xnor => !pins.iter().fold(0u64, |a, &p| a ^ self.ones[p as usize]),
+                GateKind::Not => !self.ones[pins[0] as usize],
+                GateKind::Buf => self.ones[pins[0] as usize],
+                GateKind::Const0 => 0,
+                GateKind::Const1 => u64::MAX,
+            };
+            self.ones[op.out as usize] = w;
+        }
+        for (k, &s) in self.output_signals.iter().enumerate() {
+            self.out_ones[k] = self.ones[s as usize];
+        }
+        Ok(&self.out_ones)
+    }
+
+    /// Dual-rail ternary evaluation of 64 patterns: `in_ones[i]`/`in_xs[i]`
+    /// are the planes of input `i`; undriven signals read all-X, exactly as
+    /// in [`Circuit::eval_ternary`]. Returns `(ones, xs)` output planes.
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::WrongInputCount`] on an input-length mismatch.
+    pub fn eval_ternary_block(
+        &mut self,
+        in_ones: &[u64],
+        in_xs: &[u64],
+    ) -> Result<(&[u64], &[u64]), NetlistError> {
+        self.eval_ternary_block_forced(in_ones, in_xs, &[])
+    }
+
+    /// As [`BitSim::eval_ternary_block`], with `forced` overriding the
+    /// all-X default of selected undriven signals — the batched box-X sweep
+    /// primitive: 64 black-box output assignments per call.
+    ///
+    /// Each entry is `(signal, ones, xs)`; the signal must be undriven (a
+    /// gate-driven signal would be overwritten by the sweep) and the planes
+    /// must satisfy `ones & xs == 0`. Both are debug-asserted.
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::WrongInputCount`] on an input-length mismatch.
+    pub fn eval_ternary_block_forced(
+        &mut self,
+        in_ones: &[u64],
+        in_xs: &[u64],
+        forced: &[(SignalId, u64, u64)],
+    ) -> Result<(&[u64], &[u64]), NetlistError> {
+        if in_ones.len() != self.input_signals.len() || in_xs.len() != self.input_signals.len() {
+            return Err(NetlistError::WrongInputCount {
+                expected: self.input_signals.len(),
+                got: in_ones.len().min(in_xs.len()),
+            });
+        }
+        for &s in &self.undriven {
+            self.ones[s as usize] = 0;
+            self.xs[s as usize] = u64::MAX;
+        }
+        for (i, &s) in self.input_signals.iter().enumerate() {
+            debug_assert_eq!(in_ones[i] & in_xs[i], 0, "dual-rail invariant on input {i}");
+            self.ones[s as usize] = in_ones[i];
+            self.xs[s as usize] = in_xs[i];
+        }
+        for &(s, f_ones, f_xs) in forced {
+            debug_assert!(self.is_undriven[s.index()], "forced signal must be undriven");
+            debug_assert_eq!(f_ones & f_xs, 0, "dual-rail invariant on forced plane");
+            self.ones[s.index()] = f_ones;
+            self.xs[s.index()] = f_xs;
+        }
+        self.sweep_ternary();
+        for (k, &s) in self.output_signals.iter().enumerate() {
+            self.out_ones[k] = self.ones[s as usize];
+            self.out_xs[k] = self.xs[s as usize];
+        }
+        Ok((&self.out_ones, &self.out_xs))
+    }
+
+    /// Planes of an arbitrary signal after the most recent ternary block
+    /// evaluation (the oracle reads black-box input pins through this).
+    pub fn ternary_plane(&self, s: SignalId) -> (u64, u64) {
+        (self.ones[s.index()], self.xs[s.index()])
+    }
+
+    /// The branch-free dual-rail kernel sweep. Per gate and word:
+    /// `zero = !(ones | xs)`, so
+    ///
+    /// * AND:  one = ∧ ones, zero = ∨ zeros, x = rest
+    /// * OR:   one = ∨ ones, zero = ∧ zeros, x = rest
+    /// * XOR:  x = ∨ xs, one = (⊕ ones) & !x
+    /// * NOT:  swaps the one/zero roles, x unchanged
+    ///
+    /// and the AIGER-folded inverter forms (`Nand`, `Nor`, `Xnor`, `Not`)
+    /// reuse their base fold with the complement applied to the planes.
+    fn sweep_ternary(&mut self) {
+        for op in &self.ops {
+            let pins = &self.pins[op.pin_lo as usize..op.pin_hi as usize];
+            let (one, x) = match op.kind {
+                GateKind::And | GateKind::Nand => {
+                    let mut one = u64::MAX;
+                    let mut zero = 0u64;
+                    for &p in pins {
+                        let (po, px) = (self.ones[p as usize], self.xs[p as usize]);
+                        one &= po;
+                        zero |= !(po | px);
+                    }
+                    let x = !(one | zero);
+                    if op.kind == GateKind::Nand {
+                        (zero, x)
+                    } else {
+                        (one, x)
+                    }
+                }
+                GateKind::Or | GateKind::Nor => {
+                    let mut one = 0u64;
+                    let mut zero = u64::MAX;
+                    for &p in pins {
+                        let (po, px) = (self.ones[p as usize], self.xs[p as usize]);
+                        one |= po;
+                        zero &= !(po | px);
+                    }
+                    let x = !(one | zero);
+                    if op.kind == GateKind::Nor {
+                        (zero, x)
+                    } else {
+                        (one, x)
+                    }
+                }
+                GateKind::Xor | GateKind::Xnor => {
+                    let mut parity = 0u64;
+                    let mut x = 0u64;
+                    for &p in pins {
+                        parity ^= self.ones[p as usize];
+                        x |= self.xs[p as usize];
+                    }
+                    if op.kind == GateKind::Xnor {
+                        (!(parity | x), x)
+                    } else {
+                        (parity & !x, x)
+                    }
+                }
+                GateKind::Not => {
+                    let (po, px) = (self.ones[pins[0] as usize], self.xs[pins[0] as usize]);
+                    (!(po | px), px)
+                }
+                GateKind::Buf => (self.ones[pins[0] as usize], self.xs[pins[0] as usize]),
+                GateKind::Const0 => (0, 0),
+                GateKind::Const1 => (u64::MAX, 0),
+            };
+            debug_assert_eq!(one & x, 0, "dual-rail invariant broken by {}", op.kind);
+            self.ones[op.out as usize] = one;
+            self.xs[op.out as usize] = x;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::Circuit;
+
+    fn full_adder() -> Circuit {
+        let mut b = Circuit::builder("fa");
+        let x = b.input("x");
+        let y = b.input("y");
+        let cin = b.input("cin");
+        let s1 = b.xor2(x, y);
+        let sum = b.xor2(s1, cin);
+        let c1 = b.and2(x, y);
+        let c2 = b.and2(s1, cin);
+        let cout = b.or2(c1, c2);
+        b.output("sum", sum);
+        b.output("cout", cout);
+        b.build().expect("valid adder")
+    }
+
+    #[test]
+    fn packed_bool_matches_scalar_on_all_lanes() {
+        let c = full_adder();
+        let mut sim = BitSim::new(&c);
+        // All 8 assignments enumerated in the low lanes of one block.
+        let words: Vec<u64> = (0..3).map(|i| counter_word(0, i)).collect();
+        let out = sim.eval_block(&words).unwrap().to_vec();
+        for lane_j in 0..8 {
+            let inputs: Vec<bool> = (0..3).map(|i| lane(words[i], lane_j)).collect();
+            let expect = c.eval(&inputs).unwrap();
+            for (k, &w) in out.iter().enumerate() {
+                assert_eq!(lane(w, lane_j), expect[k], "lane {lane_j} output {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn packed_ternary_matches_scalar_with_x_lanes() {
+        let c = full_adder();
+        let mut sim = BitSim::new(&c);
+        // 27 lanes: all ternary assignments of 3 inputs.
+        let mut lanes_tv: Vec<[Tv; 3]> = Vec::new();
+        for a in [Tv::Zero, Tv::One, Tv::X] {
+            for b in [Tv::Zero, Tv::One, Tv::X] {
+                for cc in [Tv::Zero, Tv::One, Tv::X] {
+                    lanes_tv.push([a, b, cc]);
+                }
+            }
+        }
+        let mut in_ones = vec![0u64; 3];
+        let mut in_xs = vec![0u64; 3];
+        for i in 0..3 {
+            let col: Vec<Tv> = lanes_tv.iter().map(|l| l[i]).collect();
+            let (o, x) = pack_tvs(&col);
+            in_ones[i] = o;
+            in_xs[i] = x;
+        }
+        let (o, x) = sim.eval_ternary_block(&in_ones, &in_xs).unwrap();
+        let (o, x) = (o.to_vec(), x.to_vec());
+        for (j, l) in lanes_tv.iter().enumerate() {
+            let expect = c.eval_ternary(&l[..]).unwrap();
+            for k in 0..expect.len() {
+                assert_eq!(lane_tv(o[k], x[k], j), expect[k], "lane {j} output {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn undriven_signals_read_x_and_poison_bool_eval() {
+        let mut b = Circuit::builder("partial");
+        let x = b.input("x");
+        let bb = b.signal("bb_out");
+        let f = b.and2(x, bb);
+        b.output("f", f);
+        let c = b.build_allow_undriven().unwrap();
+        let mut sim = BitSim::new(&c);
+        assert!(matches!(sim.eval_block(&[u64::MAX]), Err(NetlistError::Undriven(_))));
+        // x = 0 lanes give definite 0; x = 1 lanes read X from the box.
+        let (o, xs) = sim.eval_ternary_block(&[0xF0], &[0]).unwrap();
+        assert_eq!(o[0], 0);
+        assert_eq!(xs[0], 0xF0);
+    }
+
+    #[test]
+    fn forced_planes_override_the_box_default() {
+        let mut b = Circuit::builder("partial");
+        let x = b.input("x");
+        let bb = b.signal("bb_out");
+        let f = b.and2(x, bb);
+        b.output("f", f);
+        let c = b.build_allow_undriven().unwrap();
+        let bb_id = c.find_signal("bb_out").unwrap();
+        let mut sim = BitSim::new(&c);
+        // x all-1; the box output enumerated 0 then 1 across two lanes.
+        let (o, xs) =
+            sim.eval_ternary_block_forced(&[u64::MAX], &[0], &[(bb_id, 0b10, 0)]).unwrap();
+        assert_eq!(o[0] & 0b11, 0b10);
+        assert_eq!(xs[0] & 0b11, 0);
+    }
+
+    #[test]
+    fn counter_words_enumerate_integers() {
+        for i in 0..8 {
+            assert_eq!(counter_word(0, i) & 1, 0, "lane 0 encodes value 0");
+        }
+        for j in 0..64usize {
+            let v: u64 = (0..8).map(|i| u64::from(lane(counter_word(64, i), j)) << i).sum();
+            assert_eq!(v, 64 + j as u64, "lane {j} of the second block");
+        }
+    }
+
+    #[test]
+    fn lane_masks_and_packing_round_trip() {
+        assert_eq!(lane_mask(64), u64::MAX);
+        assert_eq!(lane_mask(1), 1);
+        assert_eq!(lane_mask(7), 0x7F);
+        let bits = [true, false, true, true];
+        let w = pack_bools(&bits);
+        for (j, &b) in bits.iter().enumerate() {
+            assert_eq!(lane(w, j), b);
+        }
+        let tvs = [Tv::Zero, Tv::One, Tv::X, Tv::One];
+        let (o, x) = pack_tvs(&tvs);
+        assert_eq!(o & x, 0);
+        for (j, &v) in tvs.iter().enumerate() {
+            assert_eq!(lane_tv(o, x, j), v);
+        }
+    }
+}

@@ -98,6 +98,19 @@ pub struct ConeSubcircuit {
     pub signal_map: Vec<Option<SignalId>>,
 }
 
+/// Reusable buffers for the scalar interpreters ([`Circuit::eval_into`],
+/// [`Circuit::eval_ternary_into`]): signal-value arrays and per-gate pin
+/// buffers that would otherwise be reallocated on every pattern. One
+/// scratch serves both modes and any number of circuits (buffers are
+/// resized per call).
+#[derive(Debug, Default)]
+pub struct EvalScratch {
+    bool_values: Vec<Option<bool>>,
+    bool_pins: Vec<bool>,
+    tv_values: Vec<Tv>,
+    tv_pins: Vec<Tv>,
+}
+
 /// An immutable combinational circuit.
 ///
 /// Create one through [`Circuit::builder`], a parser ([`crate::blif`],
@@ -253,17 +266,40 @@ impl Circuit {
     /// and [`NetlistError::Undriven`] if the cone contains an undriven
     /// signal (use [`Circuit::eval_ternary`] for partial circuits).
     pub fn eval(&self, inputs: &[bool]) -> Result<Vec<bool>, NetlistError> {
+        let mut scratch = EvalScratch::default();
+        let mut outputs = Vec::with_capacity(self.outputs.len());
+        self.eval_into(inputs, &mut scratch, &mut outputs)?;
+        Ok(outputs)
+    }
+
+    /// Allocation-reusing form of [`Circuit::eval`]: signal values and the
+    /// per-gate pin buffer live in `scratch` and `outputs` is cleared and
+    /// refilled, so callers sweeping many patterns stop allocating a fresh
+    /// `Vec` per pattern. (Block workloads should prefer
+    /// [`crate::bitsim::BitSim`], which also amortises the topo walk.)
+    ///
+    /// # Errors
+    ///
+    /// As [`Circuit::eval`].
+    pub fn eval_into(
+        &self,
+        inputs: &[bool],
+        scratch: &mut EvalScratch,
+        outputs: &mut Vec<bool>,
+    ) -> Result<(), NetlistError> {
         if inputs.len() != self.inputs.len() {
             return Err(NetlistError::WrongInputCount {
                 expected: self.inputs.len(),
                 got: inputs.len(),
             });
         }
-        let mut values: Vec<Option<bool>> = vec![None; self.signal_count()];
+        let values = &mut scratch.bool_values;
+        values.clear();
+        values.resize(self.signal_count(), None);
         for (i, &s) in self.inputs.iter().enumerate() {
             values[s.index()] = Some(inputs[i]);
         }
-        let mut buf = Vec::new();
+        let buf = &mut scratch.bool_pins;
         for &g in &self.topo {
             let gate = &self.gates[g as usize];
             buf.clear();
@@ -273,12 +309,13 @@ impl Circuit {
                     None => return Err(NetlistError::Undriven(self.signal_name(inp).to_string())),
                 }
             }
-            values[gate.output.index()] = Some(gate.kind.eval(&buf));
+            values[gate.output.index()] = Some(gate.kind.eval(buf));
         }
-        self.outputs
-            .iter()
-            .map(|&(ref n, s)| values[s.index()].ok_or_else(|| NetlistError::Undriven(n.clone())))
-            .collect()
+        outputs.clear();
+        for &(ref n, s) in &self.outputs {
+            outputs.push(values[s.index()].ok_or_else(|| NetlistError::Undriven(n.clone()))?);
+        }
+        Ok(())
     }
 
     /// Evaluates the circuit over ternary inputs; undriven signals read `X`.
@@ -291,24 +328,46 @@ impl Circuit {
     ///
     /// Returns [`NetlistError::WrongInputCount`] on an input-length mismatch.
     pub fn eval_ternary(&self, inputs: &[Tv]) -> Result<Vec<Tv>, NetlistError> {
+        let mut scratch = EvalScratch::default();
+        let mut outputs = Vec::with_capacity(self.outputs.len());
+        self.eval_ternary_into(inputs, &mut scratch, &mut outputs)?;
+        Ok(outputs)
+    }
+
+    /// Allocation-reusing form of [`Circuit::eval_ternary`]; see
+    /// [`Circuit::eval_into`] for the scratch contract.
+    ///
+    /// # Errors
+    ///
+    /// As [`Circuit::eval_ternary`].
+    pub fn eval_ternary_into(
+        &self,
+        inputs: &[Tv],
+        scratch: &mut EvalScratch,
+        outputs: &mut Vec<Tv>,
+    ) -> Result<(), NetlistError> {
         if inputs.len() != self.inputs.len() {
             return Err(NetlistError::WrongInputCount {
                 expected: self.inputs.len(),
                 got: inputs.len(),
             });
         }
-        let mut values: Vec<Tv> = vec![Tv::X; self.signal_count()];
+        let values = &mut scratch.tv_values;
+        values.clear();
+        values.resize(self.signal_count(), Tv::X);
         for (i, &s) in self.inputs.iter().enumerate() {
             values[s.index()] = inputs[i];
         }
-        let mut buf = Vec::new();
+        let buf = &mut scratch.tv_pins;
         for &g in &self.topo {
             let gate = &self.gates[g as usize];
             buf.clear();
             buf.extend(gate.inputs.iter().map(|&inp| values[inp.index()]));
-            values[gate.output.index()] = gate.kind.eval_ternary(&buf);
+            values[gate.output.index()] = gate.kind.eval_ternary(buf);
         }
-        Ok(self.outputs.iter().map(|&(_, s)| values[s.index()]).collect())
+        outputs.clear();
+        outputs.extend(self.outputs.iter().map(|&(_, s)| values[s.index()]));
+        Ok(())
     }
 
     /// The set of gate indices in the transitive fanin of `roots`.

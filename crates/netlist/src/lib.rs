@@ -5,7 +5,8 @@
 //!
 //! * a validating [`CircuitBuilder`] and immutable [`Circuit`],
 //! * Boolean and ternary (0,1,X) simulation ([`Circuit::eval`],
-//!   [`Circuit::eval_ternary`]),
+//!   [`Circuit::eval_ternary`]), plus the bit-parallel dual-rail engine
+//!   packing 64 patterns per word ([`bitsim::BitSim`]),
 //! * BLIF and ISCAS-style `.bench` parsers and writers ([`blif`], [`bench`]),
 //! * structured benchmark generators substituting the MCNC/ISCAS circuits of
 //!   the reproduced paper ([`generators`], [`benchmarks`]),
@@ -36,6 +37,7 @@
 pub mod aiger;
 pub mod bench;
 pub mod benchmarks;
+pub mod bitsim;
 pub mod blif;
 mod circuit;
 mod gate;
@@ -48,7 +50,10 @@ mod symbol;
 mod ternary;
 pub mod verilog;
 
-pub use circuit::{Circuit, CircuitBuilder, CircuitStats, ConeSubcircuit, NetlistError, SignalId};
+pub use bitsim::BitSim;
+pub use circuit::{
+    Circuit, CircuitBuilder, CircuitStats, ConeSubcircuit, EvalScratch, NetlistError, SignalId,
+};
 pub use gate::GateKind;
 pub use mutate::{Mutation, MutationKind};
 pub use symbol::{Symbol, SymbolTable};

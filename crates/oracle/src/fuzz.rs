@@ -75,6 +75,10 @@ pub struct FuzzSummary {
     pub cases_with_errors: u64,
     /// Cases the exhaustive oracle could decide.
     pub oracle_decided: u64,
+    /// Random-pattern-rung simulation patterns across all cases.
+    pub patterns_simulated: u64,
+    /// Wall-clock time of the whole loop (throughput denominator).
+    pub elapsed: Duration,
     /// The run's first violation, if any.
     pub violation: Option<FuzzViolation>,
 }
@@ -83,6 +87,16 @@ impl FuzzSummary {
     /// Exit-status style flag.
     pub fn clean(&self) -> bool {
         self.violation.is_none()
+    }
+
+    /// Harness cases per second.
+    pub fn cases_per_sec(&self) -> f64 {
+        self.cases_run as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+
+    /// Simulation patterns per second (random-pattern rung only).
+    pub fn patterns_per_sec(&self) -> f64 {
+        self.patterns_simulated as f64 / self.elapsed.as_secs_f64().max(1e-9)
     }
 }
 
@@ -112,6 +126,7 @@ pub fn run_fuzz(config: &FuzzConfig, tracer: &Tracer) -> FuzzSummary {
         };
         let outcome = run_case(&instance, &config.harness);
         summary.cases_run += 1;
+        summary.patterns_simulated += outcome.patterns_simulated;
         if outcome.any_error() {
             summary.cases_with_errors += 1;
         }
@@ -137,6 +152,17 @@ pub fn run_fuzz(config: &FuzzConfig, tracer: &Tracer) -> FuzzSummary {
             break;
         }
     }
+    summary.elapsed = start.elapsed();
+    tracer.record_event(
+        "fuzz.throughput",
+        vec![
+            ("cases".to_string(), summary.cases_run.into()),
+            ("patterns".to_string(), summary.patterns_simulated.into()),
+            ("cases_per_sec".to_string(), summary.cases_per_sec().into()),
+            ("patterns_per_sec".to_string(), summary.patterns_per_sec().into()),
+            ("elapsed_ms".to_string(), (summary.elapsed.as_millis() as u64).into()),
+        ],
+    );
     summary
 }
 

@@ -204,6 +204,8 @@ pub struct CaseOutcome {
     pub oracle: Option<OracleVerdict>,
     /// All contract violations found.
     pub violations: Vec<Violation>,
+    /// Patterns the random-pattern rung simulated (throughput accounting).
+    pub patterns_simulated: u64,
 }
 
 impl CaseOutcome {
@@ -289,8 +291,10 @@ pub fn run_case(instance: &Instance, config: &HarnessConfig) -> CaseOutcome {
         r.map(|rep| (rep.verdict(), rep.counterexample().cloned()))
     };
 
+    let rp = checks::random_patterns(spec, partial, s);
+    let patterns_simulated = rp.as_ref().map_or(0, |o| o.stats.patterns);
     let verdicts = vec![
-        one(Engine::RandomPatterns, from_outcome(checks::random_patterns(spec, partial, s))),
+        one(Engine::RandomPatterns, from_outcome(rp)),
         one(Engine::Symbolic01X, from_outcome(checks::symbolic_01x(spec, partial, s))),
         one(Engine::Local, from_outcome(checks::local_check(spec, partial, s))),
         one(Engine::OutputExact, from_outcome(checks::output_exact(spec, partial, s))),
@@ -318,7 +322,7 @@ pub fn run_case(instance: &Instance, config: &HarnessConfig) -> CaseOutcome {
     ];
 
     let oracle = oracle::decide(spec, partial, &config.oracle).ok();
-    let mut outcome = CaseOutcome { verdicts, oracle, violations };
+    let mut outcome = CaseOutcome { verdicts, oracle, violations, patterns_simulated };
     check_contracts(instance, &mut outcome);
     outcome
 }

@@ -30,9 +30,17 @@
 //! `O(2^n · 2^m)` class construction of Theorem 2.2; with two small boxes
 //! the prefix enumeration stays tiny. Instances beyond the limits return
 //! [`OracleSkip`] rather than a wrong or slow answer.
+//!
+//! Both enumerations run on the bit-parallel engine: the complete-design
+//! path sweeps primary inputs 64 per block with [`bitsim::counter_word`]
+//! planes, and the boxed path packs all `2^m` last-box row values into the
+//! lanes of a single forced evaluation — one packed topo walk answers the
+//! whole per-class row intersection that previously took `2^m + 1` scalar
+//! propagation passes.
 
 use bbec_core::PartialCircuit;
-use bbec_netlist::Circuit;
+use bbec_netlist::bitsim::{self, BitSim};
+use bbec_netlist::{Circuit, SignalId};
 
 /// Size limits beyond which the oracle refuses (it must never guess).
 #[derive(Debug, Clone)]
@@ -111,19 +119,27 @@ pub fn decide(
     }
     let boxes = partial.boxes();
     if boxes.is_empty() {
-        // Complete design: extendable iff equal everywhere.
-        for x_bits in 0u64..1u64 << n {
-            let x: Vec<bool> = (0..n).map(|k| x_bits >> k & 1 == 1).collect();
-            let got = partial
-                .circuit()
-                .eval(&x)
-                .map_err(|e| OracleSkip { reason: format!("host evaluation failed: {e}") })?;
-            let want = spec
-                .eval(&x)
+        // Complete design: extendable iff equal everywhere. Primary inputs
+        // are enumerated 64 per packed block (lane j = input x `base + j`).
+        let mut impl_sim = BitSim::new(partial.circuit());
+        let mut spec_sim = BitSim::new(spec);
+        let total = 1u64 << n;
+        let mut base = 0u64;
+        while base < total {
+            let lanes = bitsim::LANES.min((total - base) as usize);
+            let mask = bitsim::lane_mask(lanes);
+            let words: Vec<u64> = (0..n).map(|i| bitsim::counter_word(base, i)).collect();
+            let got = impl_sim
+                .eval_block(&words)
+                .map_err(|e| OracleSkip { reason: format!("host evaluation failed: {e}") })?
+                .to_vec();
+            let want = spec_sim
+                .eval_block(&words)
                 .map_err(|e| OracleSkip { reason: format!("spec evaluation failed: {e}") })?;
-            if got != want {
+            if got.iter().zip(want).any(|(&g, &w)| (g ^ w) & mask != 0) {
                 return Ok(OracleVerdict::NonExtendable);
             }
+            base += lanes as u64;
         }
         return Ok(OracleVerdict::Extendable);
     }
@@ -158,44 +174,41 @@ pub fn decide(
         });
     }
 
-    let mut eval = Evaluator::new(spec, partial);
-    let spec_rows: Vec<Vec<bool>> = (0..1u64 << n)
-        .map(|x_bits| {
-            let x: Vec<bool> = (0..n).map(|k| x_bits >> k & 1 == 1).collect();
-            spec.eval(&x).map_err(|e| OracleSkip { reason: format!("spec evaluation failed: {e}") })
-        })
-        .collect::<Result<_, _>>()?;
+    let mut eval = Evaluator::new(partial);
+    // Spec truth table, computed 64 input vectors per packed block.
+    let mut spec_sim = BitSim::new(spec);
+    let n_out = spec.outputs().len();
+    let total = 1u64 << n;
+    let mut spec_rows: Vec<Vec<bool>> = Vec::with_capacity(total as usize);
+    let mut base = 0u64;
+    while base < total {
+        let lanes = bitsim::LANES.min((total - base) as usize);
+        let words: Vec<u64> = (0..n).map(|i| bitsim::counter_word(base, i)).collect();
+        let o = spec_sim
+            .eval_block(&words)
+            .map_err(|e| OracleSkip { reason: format!("spec evaluation failed: {e}") })?;
+        for j in 0..lanes {
+            spec_rows.push((0..n_out).map(|k| bitsim::lane(o[k], j)).collect());
+        }
+        base += lanes as u64;
+    }
 
-    // `2^m_out` row values fit a u64 feasibility mask (m_out ≤ 6).
-    let full_mask: u64 =
-        if 1usize << m_out >= 64 { u64::MAX } else { (1u64 << (1usize << m_out)) - 1 };
+    // `2^m_out` row values fit the lanes of one word (m_out ≤ 6).
+    let vmask = bitsim::lane_mask(1usize << m_out);
 
     for prefix in 0u64..1u64 << prefix_bits {
         eval.set_prefix_tables(prefix);
         // Per last-box input pattern: the intersection of feasible rows.
-        let mut feasible: Vec<u64> = vec![full_mask; 1usize << m_in];
-        let mut alive = true;
-        for x_bits in 0u64..1u64 << n {
+        let mut feasible: Vec<u64> = vec![vmask; 1usize << m_in];
+        for x_bits in 0u64..total {
             let x: Vec<bool> = (0..n).map(|k| x_bits >> k & 1 == 1).collect();
-            let p = eval.last_box_pattern(&x);
-            if feasible[p] == 0 {
-                continue; // class already dead under this prefix
-            }
-            let mut mask = 0u64;
-            for v in 0u64..1u64 << m_out {
-                if eval.eval_with_last(&x, v) == spec_rows[x_bits as usize] {
-                    mask |= 1 << v;
-                }
-            }
-            feasible[p] &= mask;
+            let (p, rows) = eval.solve_input(&x, &spec_rows[x_bits as usize], vmask)?;
+            feasible[p] &= rows;
         }
         // A dead class only kills this prefix if some input actually maps
-        // to it — untouched classes keep `full_mask`, touched-and-emptied
+        // to it — untouched classes keep `vmask`, touched-and-emptied
         // ones mean the intersection failed.
-        if feasible.contains(&0) {
-            alive = false;
-        }
-        if alive {
+        if !feasible.contains(&0) {
             return Ok(OracleVerdict::Extendable);
         }
     }
@@ -203,23 +216,22 @@ pub fn decide(
 }
 
 /// Reusable evaluator: decodes prefix tables from one integer and runs the
-/// host with all boxes behaving as functions (prefix by table, last by a
-/// forced row value).
+/// host on the bit-parallel engine with all `2^m` last-box row values
+/// packed into the lanes of one forced evaluation.
 struct Evaluator<'a> {
     partial: &'a PartialCircuit,
+    sim: BitSim,
     /// Decoded prefix tables: `tables[b][row]` = packed output bits.
     tables: Vec<Vec<u64>>,
-    /// Scratch signal values, reused across evaluations.
-    values: Vec<Option<bool>>,
 }
 
 impl<'a> Evaluator<'a> {
-    fn new(_spec: &Circuit, partial: &'a PartialCircuit) -> Self {
+    fn new(partial: &'a PartialCircuit) -> Self {
         let tables = partial.boxes()[..partial.boxes().len() - 1]
             .iter()
             .map(|b| vec![0u64; 1 << b.inputs.len()])
             .collect();
-        Evaluator { partial, tables, values: vec![None; partial.circuit().signal_count()] }
+        Evaluator { partial, sim: BitSim::new(partial.circuit()), tables }
     }
 
     /// Decodes the prefix-table assignment `code` (bits consumed in box
@@ -235,80 +247,95 @@ impl<'a> Evaluator<'a> {
         }
     }
 
-    /// One interleaved gate/box evaluation pass. Boxes and gates are both
-    /// topologically ordered, so alternating readiness sweeps converge.
-    fn propagate(&mut self, x: &[bool], last_v: Option<u64>) {
-        let circuit = self.partial.circuit();
+    /// Solves one primary input under the current prefix tables: the last
+    /// box's input pattern `p(x)` and the mask of feasible row values
+    /// (lane `v` set iff the completion with last-box row `v` matches
+    /// `want`).
+    ///
+    /// Prefix boxes are resolved by staged packed passes: boxes are
+    /// topologically ordered, so each pass settles at least one more box
+    /// (its inputs read definite, lane-constant planes once every earlier
+    /// box is forced), and everything except the last box's fanout cone is
+    /// lane-constant. The final pass carries [`bitsim::counter_word`]
+    /// planes on the last box's outputs — lane `v` simulates row value `v`.
+    fn solve_input(
+        &mut self,
+        x: &[bool],
+        want: &[bool],
+        vmask: u64,
+    ) -> Result<(usize, u64), OracleSkip> {
         let boxes = self.partial.boxes();
-        self.values.fill(None);
-        for (pos, &s) in circuit.inputs().iter().enumerate() {
-            self.values[s.index()] = Some(x[pos]);
-        }
-        let mut gate_done = vec![false; circuit.gates().len()];
-        let mut box_done = vec![false; boxes.len()];
+        let last = boxes.len() - 1;
+        let in_ones: Vec<u64> = x.iter().map(|&b| bitsim::broadcast(b)).collect();
+        let in_xs = vec![0u64; x.len()];
+        let mut resolved: Vec<Option<u64>> = vec![None; last];
         loop {
+            let mut forced: Vec<(SignalId, u64, u64)> = Vec::new();
+            for (bi, b) in boxes[..last].iter().enumerate() {
+                if let Some(row_bits) = resolved[bi] {
+                    for (k, &s) in b.outputs.iter().enumerate() {
+                        forced.push((s, bitsim::broadcast(row_bits >> k & 1 == 1), 0));
+                    }
+                }
+            }
+            for (k, &s) in boxes[last].outputs.iter().enumerate() {
+                forced.push((s, bitsim::counter_word(0, k), 0));
+            }
+            let (o, ox) = self
+                .sim
+                .eval_ternary_block_forced(&in_ones, &in_xs, &forced)
+                .map_err(|e| OracleSkip { reason: format!("host evaluation failed: {e}") })?;
+            let (o, ox) = (o.to_vec(), ox.to_vec());
+            if resolved.iter().all(Option::is_some) {
+                // Final pass: the last box's inputs are lane-constant
+                // (upstream of its own outputs), so lane 0 reads `p(x)`.
+                let mut p = 0usize;
+                for (k, &s) in boxes[last].inputs.iter().enumerate() {
+                    let (po, px) = self.sim.ternary_plane(s);
+                    if px & 1 != 0 {
+                        return Err(OracleSkip {
+                            reason: format!("last box input pin {k} reads X (undriven)"),
+                        });
+                    }
+                    p |= usize::from(po & 1 == 1) << k;
+                }
+                let mut rows = vmask;
+                for (j, (&oj, &xj)) in o.iter().zip(&ox).enumerate() {
+                    if xj & vmask != 0 {
+                        return Err(OracleSkip {
+                            reason: format!("output {j} reads X (unclaimed undriven signal)"),
+                        });
+                    }
+                    rows &= !(oj ^ bitsim::broadcast(want[j]));
+                }
+                return Ok((p, rows & vmask));
+            }
             let mut progress = false;
-            for (gi, &g) in circuit.topo_order().iter().enumerate() {
-                if gate_done[gi] {
+            for (bi, b) in boxes[..last].iter().enumerate() {
+                if resolved[bi].is_some() {
                     continue;
                 }
-                let gate = &circuit.gates()[g as usize];
-                let ins: Option<Vec<bool>> =
-                    gate.inputs.iter().map(|s| self.values[s.index()]).collect();
-                if let Some(ins) = ins {
-                    self.values[gate.output.index()] = Some(gate.kind.eval(&ins));
-                    gate_done[gi] = true;
+                let mut row = 0usize;
+                let mut ready = true;
+                for (k, &s) in b.inputs.iter().enumerate() {
+                    let (po, px) = self.sim.ternary_plane(s);
+                    if px & 1 != 0 {
+                        ready = false;
+                        break;
+                    }
+                    row |= usize::from(po & 1 == 1) << k;
+                }
+                if ready {
+                    resolved[bi] = Some(self.tables[bi][row]);
                     progress = true;
                 }
             }
-            for (bi, b) in boxes.iter().enumerate() {
-                if box_done[bi] {
-                    continue;
-                }
-                let is_last = bi == boxes.len() - 1;
-                if is_last && last_v.is_none() {
-                    continue;
-                }
-                let ins: Option<Vec<bool>> =
-                    b.inputs.iter().map(|s| self.values[s.index()]).collect();
-                let Some(ins) = ins else { continue };
-                let row: usize = ins.iter().enumerate().map(|(k, &v)| usize::from(v) << k).sum();
-                let packed = if is_last { last_v.expect("guarded") } else { self.tables[bi][row] };
-                for (k, &s) in b.outputs.iter().enumerate() {
-                    self.values[s.index()] = Some(packed >> k & 1 == 1);
-                }
-                box_done[bi] = true;
-                progress = true;
-            }
             if !progress {
-                break;
+                return Err(OracleSkip {
+                    reason: "prefix box inputs never resolve (unclaimed undriven signal)".into(),
+                });
             }
         }
-    }
-
-    /// The last box's input pattern under the current prefix tables.
-    fn last_box_pattern(&mut self, x: &[bool]) -> usize {
-        self.propagate(x, None);
-        let b = &self.partial.boxes()[self.partial.boxes().len() - 1];
-        b.inputs
-            .iter()
-            .enumerate()
-            .map(|(k, s)| {
-                usize::from(self.values[s.index()].expect("last box inputs are upstream")) << k
-            })
-            .sum()
-    }
-
-    /// The completed circuit's outputs with the last box forced to row
-    /// value `v` (and prefix boxes at their current tables).
-    fn eval_with_last(&mut self, x: &[bool], v: u64) -> Vec<bool> {
-        self.propagate(x, Some(v));
-        self.partial
-            .circuit()
-            .outputs()
-            .iter()
-            .map(|&(_, s)| self.values[s.index()].expect("outputs driven"))
-            .collect()
     }
 }
 

@@ -895,6 +895,12 @@ fn run_fuzz_command(o: &Options, settings: CheckSettings) -> ! {
             &config.harness.settings,
             summary.violation.is_some(),
             fuzz_start.elapsed(),
+            vec![
+                ("cases_run".to_string(), summary.cases_run),
+                ("patterns_simulated".to_string(), summary.patterns_simulated),
+                ("cases_per_sec".to_string(), summary.cases_per_sec().round() as u64),
+                ("patterns_per_sec".to_string(), summary.patterns_per_sec().round() as u64),
+            ],
         );
     }
     emit_trace(o, &settings.tracer);
@@ -906,6 +912,13 @@ fn run_fuzz_command(o: &Options, settings: CheckSettings) -> ! {
             summary.cases_with_errors,
             summary.oracle_decided,
             o.seed
+        );
+        println!(
+            "fuzz: throughput {:.1} case/s, {:.0} pattern/s ({} patterns in {} ms)",
+            summary.cases_per_sec(),
+            summary.patterns_per_sec(),
+            summary.patterns_simulated,
+            summary.elapsed.as_millis()
         );
     }
     match &summary.violation {
@@ -956,6 +969,7 @@ fn run_bdd_fuzz_command(o: &Options, settings: &CheckSettings) -> ! {
             settings,
             summary.violation.is_some(),
             fuzz_start.elapsed(),
+            Vec::new(),
         );
     }
     emit_trace(o, &settings.tracer);
@@ -990,6 +1004,7 @@ fn append_fuzz_ledger(
     settings: &CheckSettings,
     violation: bool,
     wall: std::time::Duration,
+    extras: Vec<(String, u64)>,
 ) {
     use bbec::core::ledger;
     let record = ledger::RunRecord {
@@ -1005,6 +1020,7 @@ fn append_fuzz_ledger(
             .map_or(0, |d| d.as_millis() as u64),
         host: bbec::trace::HostMeta::capture(),
         rungs: Vec::new(),
+        extras,
     };
     record.append(Path::new(path)).unwrap_or_else(|e| {
         eprintln!("bbec: cannot append to ledger `{path}`: {e}");
