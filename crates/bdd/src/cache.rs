@@ -151,6 +151,16 @@ impl OpCache {
         self.map.clear();
     }
 
+    /// Restores the table to its just-constructed state while keeping the
+    /// map's allocation warm: entries, per-op counters and the eviction
+    /// total all go to zero; the capacity bound is preserved.
+    pub(crate) fn reset(&mut self) {
+        self.map.clear();
+        self.evictions = 0;
+        self.hits = [0; Op::COUNT];
+        self.misses = [0; Op::COUNT];
+    }
+
     /// Cumulative lookup hits over all operations (survives [`OpCache::clear`]).
     pub(crate) fn hits(&self) -> u64 {
         self.hits.iter().sum()

@@ -74,6 +74,7 @@ mod dot;
 mod hasher;
 pub mod io;
 mod manager;
+mod pool;
 mod quant;
 mod reorder;
 
@@ -85,6 +86,7 @@ pub use budget::{Budget, BudgetExceeded};
 pub use cache::{clamp_cache_bits, DEFAULT_CACHE_BITS, MAX_CACHE_BITS, MIN_CACHE_BITS};
 pub use cube::Cube;
 pub use manager::{Bdd, BddManager, BddStats, BddVar, ReorderSettings};
+pub use pool::{ManagerPool, PoolStats};
 
 #[cfg(test)]
 mod tests {

@@ -406,6 +406,46 @@ impl BddManager {
         m
     }
 
+    /// Replaces the automatic-reordering settings. Used by warm-pool
+    /// consumers to reconfigure a recycled manager ([`BddManager::reset`]
+    /// restores the disabled default of [`BddManager::new`]).
+    pub fn set_reorder_settings(&mut self, settings: ReorderSettings) {
+        self.reorder_settings = settings;
+    }
+
+    /// Restores the manager to the state of a freshly constructed
+    /// [`BddManager::new`] while keeping the big allocations warm: the node
+    /// arena's capacity and the computed table's hash-map allocation
+    /// survive, so a recycled manager skips the growth/rehash ramp-up of a
+    /// cold one. Every variable, node, statistic, budget and observability
+    /// sink is dropped — behaviour after a reset is bit-identical to a
+    /// fresh manager's.
+    pub fn reset(&mut self) {
+        self.nodes.truncate(1);
+        self.nodes[0] = Node { level: TERMINAL_LEVEL, lo: 0, hi: 0, refs: STICKY_REFS, next: NIL };
+        self.free.clear();
+        self.tables.clear();
+        self.level_to_var.clear();
+        self.var_to_level.clear();
+        self.projections.clear();
+        self.cache.reset();
+        self.dead = 0;
+        self.live = 0;
+        self.peak = 0;
+        self.allocated = 0;
+        self.reorderings = 0;
+        self.collected = 0;
+        self.reorder_settings = ReorderSettings { enabled: false, ..ReorderSettings::default() };
+        self.budget = None;
+        self.steps = 0;
+        self.window_start = 0;
+        self.gc_passes = 0;
+        self.tracer = Tracer::disabled();
+        self.progress = Progress::disabled();
+        self.flight = FlightRecorder::disabled();
+        self.flight_evictions = 0;
+    }
+
     /// The constant `true` or `false` function.
     pub fn constant(&self, value: bool) -> Bdd {
         Bdd(if value { TRUE } else { FALSE })

@@ -1,0 +1,175 @@
+//! Warm-vs-cold benchmark for the persistent check service: a 10-request
+//! single-cone-edit sequence on the `disjoint_cones` family.
+//!
+//! One service stays resident (result cache + warm BDD manager pool) and
+//! is primed with the base design; then ten requests arrive, each editing
+//! a single output cone of the implementation. The warm side re-checks
+//! only the dirty cone; the cold side answers every request with a fresh
+//! service (empty cache, cold pool) — the no-daemon workflow it replaces.
+//!
+//! Per-request verdicts and witnesses must be bit-identical between the
+//! two sides, the total fresh BDD work ratio is deterministic (the CI
+//! gate's metric), and in full mode the run asserts the ISSUE's >= 5x
+//! warm-vs-cold improvement before writing `BENCH_service.json`.
+//!
+//! ```text
+//! cargo run --release -p bbec-bench --bin service -- [--quick] [--out FILE]
+//! ```
+//!
+//! The stage list is the per-output phase (`r.p.`, `0,1,X`, `loc.`) — the
+//! joint rungs check the whole circuit at once and cannot be incremental,
+//! so including them would only dilute what this benchmark measures.
+
+use bbec_core::service::{Service, ServiceConfig};
+use bbec_core::{CheckSettings, Method, PartialCircuit};
+use bbec_netlist::{generators, Circuit, Mutation};
+use bbec_trace::{AttrValue, Tracer};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+const REQUESTS: usize = 10;
+
+fn config() -> ServiceConfig {
+    ServiceConfig {
+        settings: CheckSettings { dynamic_reordering: false, ..CheckSettings::default() },
+        stages: vec![Method::RandomPatterns, Method::Symbolic01X, Method::Local],
+        ..ServiceConfig::default()
+    }
+}
+
+/// The implementation host for request `k`: the base design with one
+/// paper-style mutation planted in output cone `k` (never on the boxed
+/// gate — an edit under a black box is structurally invisible).
+fn edited_host(spec: &Circuit, boxed: u32, k: usize) -> Circuit {
+    let (_, victim) = spec.outputs()[k % spec.outputs().len()];
+    let cone: Vec<u32> =
+        spec.fanin_cone_gates(&[victim]).into_iter().filter(|&g| g != boxed).collect();
+    let mut rng = StdRng::seed_from_u64(0xED17 ^ k as u64);
+    let m = Mutation::random(spec, &cone, &mut rng).expect("cone has mutable gates");
+    m.apply(spec).expect("mutation fits by construction")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_service.json".to_string());
+
+    let (blocks, inputs_per_block, gates_per_block) =
+        if quick { (10, 5, 30) } else { (10, 10, 220) };
+    let spec = generators::disjoint_cones(blocks, inputs_per_block, gates_per_block, 0xBBEC);
+    let boxed = 0u32;
+    let base = PartialCircuit::black_box_gates(&spec, &[boxed])
+        .expect("gate 0 black-boxes into a valid partial");
+    let partials: Vec<PartialCircuit> = (0..REQUESTS)
+        .map(|k| {
+            PartialCircuit::black_box_gates(&edited_host(&spec, boxed, k), &[boxed])
+                .expect("edited host carves like the base")
+        })
+        .collect();
+
+    println!(
+        "{}: {} outputs, {} gates, {} single-cone edits",
+        spec.name(),
+        spec.outputs().len(),
+        spec.gates().len(),
+        REQUESTS
+    );
+
+    // Warm side: one resident service, primed with the base design.
+    let warm_svc = Service::new(config());
+    let prime = warm_svc.check_instance("prime", &spec, &base, true).expect("priming check");
+    println!("  prime: {} cones, {} apply steps", prime.cones, prime.apply_steps);
+
+    let mut rows = Vec::new();
+    let (mut warm_ms_total, mut cold_ms_total) = (0.0f64, 0.0f64);
+    let (mut warm_steps_total, mut cold_steps_total) = (0u64, 0u64);
+    for (k, partial) in partials.iter().enumerate() {
+        let id = format!("edit{k}");
+        let t = Instant::now();
+        let warm = warm_svc.check_instance(&id, &spec, partial, true).expect("warm check");
+        let warm_ms = t.elapsed().as_secs_f64() * 1e3;
+
+        let cold_svc = Service::new(config());
+        let t = Instant::now();
+        let cold = cold_svc.check_instance(&id, &spec, partial, true).expect("cold check");
+        let cold_ms = t.elapsed().as_secs_f64() * 1e3;
+
+        assert_eq!(warm.verdict, cold.verdict, "request {k}: warm and cold verdicts diverge");
+        assert_eq!(
+            warm.counterexample, cold.counterexample,
+            "request {k}: warm and cold witnesses diverge"
+        );
+        assert!(warm.cones_reused > 0, "request {k}: a one-cone edit must reuse cones");
+
+        println!(
+            "  edit{k}: warm {:8.2} ms / {:6} steps ({} of {} cones reused)   cold {:8.2} ms / {:6} steps   {}",
+            warm_ms, warm.apply_steps, warm.cones_reused, warm.cones, cold_ms, cold.apply_steps,
+            warm.verdict
+        );
+        warm_ms_total += warm_ms;
+        cold_ms_total += cold_ms;
+        warm_steps_total += warm.apply_steps;
+        cold_steps_total += cold.apply_steps;
+        rows.push((k, warm_ms, cold_ms, warm, cold));
+    }
+
+    let wall_speedup = cold_ms_total / warm_ms_total.max(1e-9);
+    let steps_ratio = cold_steps_total as f64 / (warm_steps_total.max(1)) as f64;
+    println!(
+        "total: warm {warm_ms_total:.2} ms / {warm_steps_total} steps, \
+         cold {cold_ms_total:.2} ms / {cold_steps_total} steps \
+         -> {wall_speedup:.2}x wall, {steps_ratio:.2}x fresh BDD work"
+    );
+    if !quick {
+        assert!(
+            wall_speedup >= 5.0,
+            "ISSUE acceptance: warm-vs-cold wall speedup {wall_speedup:.2}x < 5x"
+        );
+        assert!(
+            steps_ratio >= 5.0,
+            "ISSUE acceptance: warm-vs-cold work ratio {steps_ratio:.2}x < 5x"
+        );
+    }
+
+    let tracer = Tracer::new();
+    for (k, warm_ms, cold_ms, warm, cold) in &rows {
+        tracer.record_event(
+            "service_bench",
+            vec![
+                ("request".to_string(), AttrValue::from(format!("edit{k}"))),
+                ("circuit".to_string(), AttrValue::from(spec.name())),
+                ("millis_warm".to_string(), (*warm_ms).into()),
+                ("millis_cold".to_string(), (*cold_ms).into()),
+                ("apply_steps_warm".to_string(), warm.apply_steps.into()),
+                ("apply_steps_cold".to_string(), cold.apply_steps.into()),
+                ("cones".to_string(), warm.cones.into()),
+                ("cones_reused_warm".to_string(), warm.cones_reused.into()),
+                ("verdict".to_string(), AttrValue::from(warm.verdict.as_str())),
+            ],
+        );
+    }
+    tracer.record_event(
+        "service_bench_summary",
+        vec![
+            ("circuit".to_string(), AttrValue::from(spec.name())),
+            ("quick".to_string(), quick.into()),
+            ("requests".to_string(), REQUESTS.into()),
+            ("millis_warm_total".to_string(), warm_ms_total.into()),
+            ("millis_cold_total".to_string(), cold_ms_total.into()),
+            ("wall_speedup_warm_vs_cold".to_string(), wall_speedup.into()),
+            ("steps_ratio_cold_vs_warm".to_string(), steps_ratio.into()),
+            (
+                "host_parallelism".to_string(),
+                std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).into(),
+            ),
+        ],
+    );
+    std::fs::write(&out, tracer.finish().to_jsonl()).expect("write benchmark output");
+    println!("wrote {out}");
+}

@@ -37,12 +37,22 @@ pub const LEDGER_SCHEMA_VERSION: u64 = 1;
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x1000_0000_01b3;
+/// Offset basis of the *alternate* hash family (the primary basis with its
+/// halves swapped): same byte walk, decorrelated state trajectory. The
+/// service result cache stores both hashes and verifies the alternate one
+/// on every primary hit, so a 64-bit collision downgrades to a miss
+/// instead of serving a wrong cached verdict.
+const FNV_ALT_OFFSET: u64 = 0x8422_2325_cbf2_9ce4;
 
 struct Fnv(u64);
 
 impl Fnv {
     fn new() -> Self {
         Fnv(FNV_OFFSET)
+    }
+
+    fn with_basis(basis: u64) -> Self {
+        Fnv(basis)
     }
 
     fn bytes(&mut self, bytes: &[u8]) {
@@ -81,13 +91,9 @@ fn hash_circuit(h: &mut Fnv, circuit: &Circuit) {
     }
 }
 
-/// Structural hash of a (spec, implementation, carve) triple: gate kinds
-/// and wiring by signal index, black-box pin signatures by signal index,
-/// never any names — renaming every wire keys to the same instance.
-pub fn instance_key(spec: &Circuit, partial: &PartialCircuit) -> String {
-    let mut h = Fnv::new();
-    hash_circuit(&mut h, spec);
-    hash_circuit(&mut h, partial.circuit());
+fn instance_material(h: &mut Fnv, spec: &Circuit, partial: &PartialCircuit) {
+    hash_circuit(h, spec);
+    hash_circuit(h, partial.circuit());
     h.usize(partial.boxes().len());
     for b in partial.boxes() {
         h.usize(b.inputs.len());
@@ -99,13 +105,44 @@ pub fn instance_key(spec: &Circuit, partial: &PartialCircuit) -> String {
             h.usize(s.index());
         }
     }
-    format!("{:016x}", h.0)
 }
 
-/// Hash of the verdict-relevant settings plus the stage list, so ledger
-/// comparisons only pair runs with like configurations. Observability
-/// settings (tracer, progress) deliberately do not participate.
-pub fn settings_key(settings: &CheckSettings, stages: &[Method]) -> String {
+/// Finalizing avalanche (splitmix64) applied to the alternate hash so its
+/// low bits differ from the primary's even on correlated inputs.
+fn avalanche(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Primary structural instance hash as a raw `u64` ([`instance_key`] is
+/// its hex rendering). The service result cache keys on this value.
+pub fn instance_hash(spec: &Circuit, partial: &PartialCircuit) -> u64 {
+    let mut h = Fnv::new();
+    instance_material(&mut h, spec, partial);
+    h.0
+}
+
+/// Alternate structural instance hash over the *same* material as
+/// [`instance_hash`], from a different offset basis with a finalizing
+/// avalanche — independent enough that two instances colliding on the
+/// primary hash almost surely separate here. Cache entries store both and
+/// verify this one on every hit (collision guard).
+pub fn instance_hash_alt(spec: &Circuit, partial: &PartialCircuit) -> u64 {
+    let mut h = Fnv::with_basis(FNV_ALT_OFFSET);
+    instance_material(&mut h, spec, partial);
+    avalanche(h.0)
+}
+
+/// Structural hash of a (spec, implementation, carve) triple: gate kinds
+/// and wiring by signal index, black-box pin signatures by signal index,
+/// never any names — renaming every wire keys to the same instance.
+pub fn instance_key(spec: &Circuit, partial: &PartialCircuit) -> String {
+    format!("{:016x}", instance_hash(spec, partial))
+}
+
+/// Raw `u64` form of [`settings_key`].
+pub fn settings_hash(settings: &CheckSettings, stages: &[Method]) -> u64 {
     let mut h = Fnv::new();
     h.u64(u64::from(settings.dynamic_reordering));
     h.usize(settings.reorder_threshold);
@@ -120,7 +157,15 @@ pub fn settings_key(settings: &CheckSettings, stages: &[Method]) -> String {
     for m in stages {
         h.bytes(m.label().as_bytes());
     }
-    format!("{:016x}", h.0)
+    h.0
+}
+
+/// Hash of the verdict-relevant settings plus the stage list, so ledger
+/// comparisons only pair runs with like configurations. Observability
+/// settings (tracer, progress) and the warm manager pool deliberately do
+/// not participate.
+pub fn settings_key(settings: &CheckSettings, stages: &[Method]) -> String {
+    format!("{:016x}", settings_hash(settings, stages))
 }
 
 /// Per-rung slice of a [`RunRecord`].
@@ -145,7 +190,7 @@ pub struct RungRecord {
 }
 
 impl RungRecord {
-    fn from_stage(stage: &StageResult) -> RungRecord {
+    pub(crate) fn from_stage(stage: &StageResult) -> RungRecord {
         let (finished, error_found, stats) = match stage {
             StageResult::Finished(o) => (true, o.is_error(), Some(o.stats)),
             StageResult::BudgetExceeded { stats, .. } => (false, false, *stats),
@@ -163,7 +208,7 @@ impl RungRecord {
         }
     }
 
-    fn to_json(&self) -> String {
+    pub(crate) fn to_json(&self) -> String {
         let mut w = ObjectWriter::new();
         w.str("method", &self.method);
         w.bool("finished", self.finished);
@@ -385,6 +430,25 @@ mod tests {
         // A different spec keys differently.
         let (spec2, partial2) = samples::detected_only_by_local();
         assert_ne!(k1, instance_key(&spec2, &partial2));
+    }
+
+    #[test]
+    fn alternate_hash_is_independent_of_the_primary() {
+        let (spec, partial) = samples::completable_pair();
+        assert_eq!(
+            instance_hash_alt(&spec, &partial),
+            instance_hash_alt(&spec, &partial),
+            "deterministic"
+        );
+        assert_ne!(
+            instance_hash(&spec, &partial),
+            instance_hash_alt(&spec, &partial),
+            "the two hash families must not coincide"
+        );
+        // A structural change moves both hashes.
+        let other = PartialCircuit::black_box_gates(&spec, &[1]).unwrap();
+        assert_ne!(instance_hash(&spec, &partial), instance_hash(&spec, &other));
+        assert_ne!(instance_hash_alt(&spec, &partial), instance_hash_alt(&spec, &other));
     }
 
     #[test]

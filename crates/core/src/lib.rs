@@ -73,6 +73,7 @@ pub mod preprocess;
 mod report;
 pub mod samples;
 pub mod sat_checks;
+pub mod service;
 mod session;
 mod symbolic;
 pub mod unroll;

@@ -223,14 +223,17 @@ impl ParallelChecker {
 }
 
 /// Merges per-shard mini-ladder reports into one stage list per method.
-/// Returns `Ok(true)` when an error stops the ladder.
+/// Returns `Ok(true)` when an error stops the ladder. Shared with the
+/// service's incremental re-checker, which feeds it a mix of cached and
+/// freshly computed shard reports — the merge is deterministic in shard
+/// order, so cached and fresh entries are indistinguishable.
 ///
 /// # Errors
 ///
 /// [`CheckError::CounterexampleRejected`] if a shard witness, lifted to the
 /// parent input space, fails concrete replay against the *full* circuits —
 /// the end-to-end guarantee that sharding and lifting preserved it.
-fn merge_shard_reports(
+pub(crate) fn merge_shard_reports(
     spec: &Circuit,
     partial: &PartialCircuit,
     shards: &[Shard],

@@ -166,6 +166,13 @@ pub struct CheckSettings {
     /// labels the current rung as the task, and the parallel engine scopes
     /// a per-shard region for each worker. Disabled by default.
     pub progress: bbec_trace::Progress,
+    /// Warm [`bbec_bdd::ManagerPool`] the symbolic context draws its BDD
+    /// manager from (and recycles it to on drop). `None` — the default —
+    /// constructs a fresh manager per context. Purely a performance knob
+    /// for long-lived processes: recycled managers behave bit-identically
+    /// to fresh ones, so like the tracer this does not participate in
+    /// [`crate::ledger::settings_key`].
+    pub pool: Option<bbec_bdd::ManagerPool>,
 }
 
 impl Default for CheckSettings {
@@ -183,6 +190,7 @@ impl Default for CheckSettings {
             cache_bits: bbec_bdd::DEFAULT_CACHE_BITS,
             tracer: bbec_trace::Tracer::disabled(),
             progress: bbec_trace::Progress::disabled(),
+            pool: None,
         }
     }
 }

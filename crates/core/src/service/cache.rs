@@ -1,0 +1,235 @@
+//! The service's structural result cache: full-instance results plus
+//! per-cone ladder reports, both keyed on the ledger's structural hashes.
+//!
+//! ## Collision guard
+//!
+//! Keys are 64-bit [`crate::ledger::instance_hash`] values — small enough
+//! that an adversarial (or merely unlucky) pair of instances could collide
+//! and make the cache serve a verdict for the *wrong* circuit. Every entry
+//! therefore also stores the independent
+//! [`crate::ledger::instance_hash_alt`] of its instance; a primary-key hit
+//! whose alternate hash disagrees is treated as a **miss**, the poisoned
+//! entry is evicted, and a collision counter records the event. Colliding
+//! on both families simultaneously is a ~2^-128 event.
+//!
+//! ## What is (not) cached
+//!
+//! Only *semantic* payloads: verdict, deciding method, per-rung records,
+//! counterexample. Runs containing a budget-exceeded rung are never
+//! inserted — a degraded verdict is not a fact about the instance, and a
+//! later request with the same settings deserves a fresh attempt.
+//!
+//! Eviction is least-recently-used with a fixed entry budget per store
+//! (full results and cone reports are budgeted separately, since one full
+//! result can fan out into many cone entries).
+
+use crate::checks::LadderReport;
+use crate::ledger::RungRecord;
+use crate::report::Counterexample;
+
+/// The cached semantic payload of one full check.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CachedResult {
+    /// `"error_found"` / `"no_error_found"`.
+    pub verdict: String,
+    /// Paper column label of the deciding rung, when an error was found.
+    pub method: Option<String>,
+    /// Per-rung records of the original (cold) run.
+    pub rungs: Vec<RungRecord>,
+    pub counterexample: Option<Counterexample>,
+    /// Shard-plan size of the original run (echoed on hits).
+    pub cones: usize,
+}
+
+struct Entry<V> {
+    alt: u64,
+    stamp: u64,
+    value: V,
+}
+
+/// One LRU store: primary key → (alternate-hash verifier, payload).
+struct Store<V> {
+    map: std::collections::HashMap<u64, Entry<V>>,
+    capacity: usize,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+    collisions: u64,
+}
+
+impl<V> Store<V> {
+    fn new(capacity: usize) -> Self {
+        Store {
+            map: std::collections::HashMap::new(),
+            capacity: capacity.max(1),
+            clock: 0,
+            hits: 0,
+            misses: 0,
+            collisions: 0,
+        }
+    }
+
+    fn get(&mut self, key: u64, alt: u64) -> Option<&V> {
+        self.clock += 1;
+        match self.map.get_mut(&key) {
+            Some(e) if e.alt == alt => {
+                e.stamp = self.clock;
+                self.hits += 1;
+                Some(&self.map[&key].value)
+            }
+            Some(_) => {
+                // Primary-hash collision: the stored entry belongs to a
+                // different instance. Never serve it; drop it.
+                self.map.remove(&key);
+                self.collisions += 1;
+                self.misses += 1;
+                None
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    fn put(&mut self, key: u64, alt: u64, value: V) {
+        self.clock += 1;
+        if self.map.len() >= self.capacity && !self.map.contains_key(&key) {
+            if let Some((&oldest, _)) = self.map.iter().min_by_key(|(_, e)| e.stamp) {
+                self.map.remove(&oldest);
+            }
+        }
+        self.map.insert(key, Entry { alt, stamp: self.clock, value });
+    }
+}
+
+/// Aggregate cache counters, for `service.request` spans and tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    pub full_hits: u64,
+    pub full_misses: u64,
+    pub cone_hits: u64,
+    pub cone_misses: u64,
+    /// Primary-hash collisions detected (and evicted) by the alternate
+    /// hash across both stores.
+    pub collisions: u64,
+    /// Entries currently resident (full + cone).
+    pub entries: usize,
+}
+
+/// The two-level result cache of the check service.
+pub struct ResultCache {
+    full: Store<CachedResult>,
+    cones: Store<LadderReport>,
+}
+
+impl ResultCache {
+    /// A cache holding at most `entries` full results and `8 * entries`
+    /// per-cone reports (a full result fans out into many cones).
+    pub fn new(entries: usize) -> Self {
+        ResultCache { full: Store::new(entries), cones: Store::new(entries.saturating_mul(8)) }
+    }
+
+    /// Looks up a full result; the entry's stored alternate hash must match
+    /// `alt` or the hit is refused (collision guard).
+    pub fn get_full(&mut self, key: u64, alt: u64) -> Option<CachedResult> {
+        self.full.get(key, alt).cloned()
+    }
+
+    /// Stores a full result under `(key, alt)`.
+    pub fn put_full(&mut self, key: u64, alt: u64, value: CachedResult) {
+        self.full.put(key, alt, value);
+    }
+
+    /// Looks up a per-cone phase-A ladder report (same collision guard).
+    pub fn get_cone(&mut self, key: u64, alt: u64) -> Option<LadderReport> {
+        self.cones.get(key, alt).cloned()
+    }
+
+    /// Stores a per-cone phase-A ladder report under `(key, alt)`.
+    pub fn put_cone(&mut self, key: u64, alt: u64, value: LadderReport) {
+        self.cones.put(key, alt, value);
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            full_hits: self.full.hits,
+            full_misses: self.full.misses,
+            cone_hits: self.cones.hits,
+            cone_misses: self.cones.misses,
+            collisions: self.full.collisions + self.cones.collisions,
+            entries: self.full.map.len() + self.cones.map.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn payload(tag: &str) -> CachedResult {
+        CachedResult {
+            verdict: tag.to_string(),
+            method: None,
+            rungs: Vec::new(),
+            counterexample: None,
+            cones: 1,
+        }
+    }
+
+    #[test]
+    fn stores_and_serves_by_double_key() {
+        let mut c = ResultCache::new(4);
+        assert_eq!(c.get_full(1, 10), None);
+        c.put_full(1, 10, payload("a"));
+        assert_eq!(c.get_full(1, 10).unwrap().verdict, "a");
+        let s = c.stats();
+        assert_eq!((s.full_hits, s.full_misses, s.collisions), (1, 1, 0));
+    }
+
+    /// ISSUE satellite: a synthetic primary-hash collision — same primary
+    /// key, different alternate hash — must read as a miss, evict the
+    /// poisoned entry and bump the collision counter, never serve the
+    /// other instance's verdict.
+    #[test]
+    fn primary_collision_is_refused_by_the_alternate_hash() {
+        let mut c = ResultCache::new(4);
+        c.put_full(42, 1000, payload("instance-A"));
+        // A different instance colliding on the primary key:
+        assert_eq!(c.get_full(42, 2000), None, "collision must not serve A's verdict");
+        assert_eq!(c.stats().collisions, 1);
+        // The poisoned entry is gone even for the original alt hash.
+        assert_eq!(c.get_full(42, 1000), None, "colliding entry must be evicted");
+        // The slot is reusable afterwards.
+        c.put_full(42, 2000, payload("instance-B"));
+        assert_eq!(c.get_full(42, 2000).unwrap().verdict, "instance-B");
+
+        // Same guard on the cone store.
+        let report = LadderReport { stages: Vec::new() };
+        c.put_cone(7, 70, report.clone());
+        assert_eq!(c.get_cone(7, 71), None);
+        assert_eq!(c.stats().collisions, 2, "cone collisions count too");
+    }
+
+    #[test]
+    fn lru_evicts_the_least_recently_used_entry() {
+        let mut c = ResultCache::new(2);
+        c.put_full(1, 1, payload("one"));
+        c.put_full(2, 2, payload("two"));
+        assert!(c.get_full(1, 1).is_some(), "touch 1 so 2 becomes LRU");
+        c.put_full(3, 3, payload("three"));
+        assert!(c.get_full(2, 2).is_none(), "2 was evicted");
+        assert!(c.get_full(1, 1).is_some());
+        assert!(c.get_full(3, 3).is_some());
+    }
+
+    #[test]
+    fn capacity_is_per_store() {
+        let mut c = ResultCache::new(1);
+        c.put_full(1, 1, payload("f"));
+        c.put_cone(1, 1, LadderReport { stages: Vec::new() });
+        assert!(c.get_full(1, 1).is_some());
+        assert!(c.get_cone(1, 1).is_some(), "cone store has its own budget");
+    }
+}

@@ -1,0 +1,527 @@
+//! The wire protocol of `bbec serve`: one JSON object per line in, one
+//! JSON object per line out.
+//!
+//! Parsing is **strict**: unknown fields are rejected (a typo'd knob must
+//! not silently fall back to a default and cache under the wrong settings
+//! key), types are checked, and a single over-long line is refused before
+//! parsing. Every response — including every error response — is itself
+//! schema-valid JSONL, so a driving process can always parse what it gets
+//! back; [`validate_response_line`] is the executable schema.
+//!
+//! ## Requests
+//!
+//! ```text
+//! {"type":"ping","id":"r1"}
+//! {"type":"shutdown"}
+//! {"type":"check","id":"r2","spec_path":"spec.blif","impl_path":"impl.blif"}
+//! {"type":"check","id":"r3","spec_blif":"...","impl_blif":"...",
+//!  "boxes":"per-signal","priority":5,"cache":false,
+//!  "patterns":1000,"reorder":false,"sweep":false,
+//!  "node_limit":4000000,"step_limit":0,"time_limit_ms":10000}
+//! ```
+//!
+//! The circuit pair comes either from the filesystem (`spec_path` +
+//! `impl_path`) or inline (`spec_blif` + `impl_blif`), always in BLIF with
+//! undriven signals carved into black boxes (`boxes`: `"one"` box for all
+//! undriven signals, or one box `"per-signal"`). A limit of `0` means
+//! unbounded.
+//!
+//! ## Responses
+//!
+//! ```text
+//! {"type":"pong","schema":1,"id":"r1"}
+//! {"type":"bye","schema":1}
+//! {"type":"error","schema":1,"id":"r2","detail":"..."}
+//! {"type":"result","schema":1,"id":"r3","verdict":"error_found",
+//!  "method":"0,1,X","cached":false,"cones":8,"cones_reused":7,
+//!  "cones_rechecked":1,"budget_exceeded":false,"wall_ms":3,
+//!  "apply_steps":412,"rungs":[...],"counterexample":{"inputs":[0,1],"output":2}}
+//! ```
+//!
+//! `apply_steps` counts *fresh* BDD work only — a full cache hit reports
+//! `0`, which the CI smoke test asserts.
+
+use crate::ledger::RungRecord;
+use crate::report::Counterexample;
+use bbec_trace::json::{self, ObjectWriter, Value};
+
+/// Version stamp written into every response line.
+pub const SERVICE_SCHEMA_VERSION: u64 = 1;
+
+/// Hard cap on one request line; longer lines are refused unparsed so a
+/// runaway producer cannot balloon the intake thread.
+pub const MAX_REQUEST_BYTES: usize = 1 << 20;
+
+/// How the implementation's undriven signals are carved into black boxes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoxCarve {
+    /// One box drives every undriven signal (the paper's "one big box").
+    One,
+    /// One box per undriven signal (maximally split carve).
+    PerSignal,
+}
+
+/// Where the circuit pair of a check request comes from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RequestSource {
+    /// Read both sides from BLIF files on the service's filesystem.
+    Paths { spec: String, implementation: String },
+    /// Both sides inline as BLIF text (newlines JSON-escaped).
+    Inline { spec: String, implementation: String },
+}
+
+/// Per-request overrides of the service's base [`crate::report::CheckSettings`].
+/// `None` keeps the service default; a limit of `Some(0)` means unbounded.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SettingsOverrides {
+    pub patterns: Option<usize>,
+    pub reorder: Option<bool>,
+    pub sweep: Option<bool>,
+    pub node_limit: Option<u64>,
+    pub step_limit: Option<u64>,
+    pub time_limit_ms: Option<u64>,
+}
+
+/// A parsed `"type":"check"` request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckRequest {
+    /// Client-chosen correlation id, echoed in the response.
+    pub id: String,
+    pub source: RequestSource,
+    pub boxes: BoxCarve,
+    /// Queue priority (higher pops first); default 0.
+    pub priority: i64,
+    /// Whether the result cache may serve and store this request.
+    pub use_cache: bool,
+    pub overrides: SettingsOverrides,
+}
+
+/// Any parsed request line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    Check(Box<CheckRequest>),
+    Ping { id: String },
+    Shutdown,
+}
+
+fn str_field(fields: &[(String, Value)], key: &str) -> Result<Option<String>, String> {
+    match fields.iter().find(|(k, _)| k == key) {
+        None => Ok(None),
+        Some((_, Value::String(s))) => Ok(Some(s.clone())),
+        Some(_) => Err(format!("'{key}' must be a string")),
+    }
+}
+
+fn bool_field(fields: &[(String, Value)], key: &str) -> Result<Option<bool>, String> {
+    match fields.iter().find(|(k, _)| k == key) {
+        None => Ok(None),
+        Some((_, Value::Bool(b))) => Ok(Some(*b)),
+        Some(_) => Err(format!("'{key}' must be a boolean")),
+    }
+}
+
+fn u64_field(fields: &[(String, Value)], key: &str) -> Result<Option<u64>, String> {
+    match fields.iter().find(|(k, _)| k == key) {
+        None => Ok(None),
+        Some((_, Value::Number(n))) if *n >= 0.0 && n.fract() == 0.0 && *n <= 2f64.powi(53) => {
+            Ok(Some(*n as u64))
+        }
+        Some(_) => Err(format!("'{key}' must be a non-negative integer")),
+    }
+}
+
+fn i64_field(fields: &[(String, Value)], key: &str) -> Result<Option<i64>, String> {
+    match fields.iter().find(|(k, _)| k == key) {
+        None => Ok(None),
+        Some((_, Value::Number(n))) if n.fract() == 0.0 && n.abs() <= 2f64.powi(53) => {
+            Ok(Some(*n as i64))
+        }
+        Some(_) => Err(format!("'{key}' must be an integer")),
+    }
+}
+
+const CHECK_KEYS: &[&str] = &[
+    "type",
+    "id",
+    "spec_path",
+    "impl_path",
+    "spec_blif",
+    "impl_blif",
+    "boxes",
+    "priority",
+    "cache",
+    "patterns",
+    "reorder",
+    "sweep",
+    "node_limit",
+    "step_limit",
+    "time_limit_ms",
+];
+
+/// Parses one request line; every failure is a message fit for an `error`
+/// response (never a panic).
+///
+/// # Errors
+///
+/// Oversized lines, invalid JSON, non-object lines, unknown `type`,
+/// unknown or ill-typed fields, and inconsistent circuit sources are all
+/// rejected with a one-line diagnostic.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    if line.len() > MAX_REQUEST_BYTES {
+        return Err(format!(
+            "oversized request: {} bytes exceeds the {} byte line limit",
+            line.len(),
+            MAX_REQUEST_BYTES
+        ));
+    }
+    let v = json::parse(line).map_err(|e| format!("invalid JSON: {e}"))?;
+    let Value::Object(fields) = v else {
+        return Err("request must be a JSON object".to_string());
+    };
+    let ty = str_field(&fields, "type")?.ok_or("missing required key 'type'")?;
+    match ty.as_str() {
+        "ping" => {
+            for (k, _) in &fields {
+                if k != "type" && k != "id" {
+                    return Err(format!("unknown field '{k}' in ping request"));
+                }
+            }
+            Ok(Request::Ping { id: str_field(&fields, "id")?.unwrap_or_default() })
+        }
+        "shutdown" => {
+            for (k, _) in &fields {
+                if k != "type" {
+                    return Err(format!("unknown field '{k}' in shutdown request"));
+                }
+            }
+            Ok(Request::Shutdown)
+        }
+        "check" => parse_check(&fields),
+        other => Err(format!("unknown request type '{other}'")),
+    }
+}
+
+fn parse_check(fields: &[(String, Value)]) -> Result<Request, String> {
+    for (k, _) in fields {
+        if !CHECK_KEYS.contains(&k.as_str()) {
+            return Err(format!("unknown field '{k}' in check request"));
+        }
+    }
+    let id = str_field(fields, "id")?.ok_or("check request requires an 'id'")?;
+    let spec_path = str_field(fields, "spec_path")?;
+    let impl_path = str_field(fields, "impl_path")?;
+    let spec_blif = str_field(fields, "spec_blif")?;
+    let impl_blif = str_field(fields, "impl_blif")?;
+    let source = match (spec_path, impl_path, spec_blif, impl_blif) {
+        (Some(s), Some(i), None, None) => RequestSource::Paths { spec: s, implementation: i },
+        (None, None, Some(s), Some(i)) => RequestSource::Inline { spec: s, implementation: i },
+        _ => {
+            return Err("check request requires exactly one circuit source: \
+                 spec_path+impl_path or spec_blif+impl_blif"
+                .to_string())
+        }
+    };
+    let boxes = match str_field(fields, "boxes")?.as_deref() {
+        None | Some("one") => BoxCarve::One,
+        Some("per-signal") => BoxCarve::PerSignal,
+        Some(other) => return Err(format!("'boxes' must be 'one' or 'per-signal', got '{other}'")),
+    };
+    let overrides = SettingsOverrides {
+        patterns: u64_field(fields, "patterns")?.map(|v| v as usize),
+        reorder: bool_field(fields, "reorder")?,
+        sweep: bool_field(fields, "sweep")?,
+        node_limit: u64_field(fields, "node_limit")?,
+        step_limit: u64_field(fields, "step_limit")?,
+        time_limit_ms: u64_field(fields, "time_limit_ms")?,
+    };
+    Ok(Request::Check(Box::new(CheckRequest {
+        id,
+        source,
+        boxes,
+        priority: i64_field(fields, "priority")?.unwrap_or(0),
+        use_cache: bool_field(fields, "cache")?.unwrap_or(true),
+        overrides,
+    })))
+}
+
+/// One `"type":"result"` response line, ready to serialize.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckResponse {
+    pub id: String,
+    /// `"error_found"` / `"no_error_found"`.
+    pub verdict: String,
+    /// Paper column label of the deciding rung, when an error was found.
+    pub method: Option<String>,
+    /// Whether the whole response came from the result cache.
+    pub cached: bool,
+    /// Output cones in the shard plan (0 when phase A did not run).
+    pub cones: usize,
+    /// Cones whose cached per-cone report was reused.
+    pub cones_reused: usize,
+    /// Whether any rung ran out of budget (such runs are never cached).
+    pub budget_exceeded: bool,
+    pub wall_ms: u64,
+    /// Fresh BDD apply steps charged by this request (0 on a full hit).
+    pub apply_steps: u64,
+    /// Per-rung breakdown, shaped exactly like ledger rung records.
+    pub rungs: Vec<RungRecord>,
+    pub counterexample: Option<Counterexample>,
+}
+
+impl CheckResponse {
+    /// Serialises the response as one JSONL line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let mut w = ObjectWriter::new();
+        w.str("type", "result");
+        w.u64("schema", SERVICE_SCHEMA_VERSION);
+        w.str("id", &self.id);
+        w.str("verdict", &self.verdict);
+        if let Some(m) = &self.method {
+            w.str("method", m);
+        }
+        w.bool("cached", self.cached);
+        w.u64("cones", self.cones as u64);
+        w.u64("cones_reused", self.cones_reused as u64);
+        w.u64("cones_rechecked", (self.cones - self.cones_reused) as u64);
+        w.bool("budget_exceeded", self.budget_exceeded);
+        w.u64("wall_ms", self.wall_ms);
+        w.u64("apply_steps", self.apply_steps);
+        let rungs: Vec<String> = self.rungs.iter().map(RungRecord::to_json).collect();
+        w.raw("rungs", &format!("[{}]", rungs.join(",")));
+        if let Some(cex) = &self.counterexample {
+            let mut c = ObjectWriter::new();
+            let bits: Vec<&str> = cex.inputs.iter().map(|&b| if b { "1" } else { "0" }).collect();
+            c.raw("inputs", &format!("[{}]", bits.join(",")));
+            if let Some(o) = cex.output {
+                c.u64("output", o as u64);
+            }
+            w.raw("counterexample", &c.finish());
+        }
+        w.finish()
+    }
+}
+
+/// An `error` response; `id` is omitted when the line never parsed far
+/// enough to recover one.
+pub fn error_line(id: Option<&str>, detail: &str) -> String {
+    let mut w = ObjectWriter::new();
+    w.str("type", "error");
+    w.u64("schema", SERVICE_SCHEMA_VERSION);
+    if let Some(id) = id {
+        w.str("id", id);
+    }
+    w.str("detail", detail);
+    w.finish()
+}
+
+/// The reply to a `ping`.
+pub fn pong_line(id: &str) -> String {
+    let mut w = ObjectWriter::new();
+    w.str("type", "pong");
+    w.u64("schema", SERVICE_SCHEMA_VERSION);
+    w.str("id", id);
+    w.finish()
+}
+
+/// The final line after a `shutdown` request.
+pub fn bye_line() -> String {
+    let mut w = ObjectWriter::new();
+    w.str("type", "bye");
+    w.u64("schema", SERVICE_SCHEMA_VERSION);
+    w.finish()
+}
+
+fn require_str(v: &Value, key: &str) -> Result<(), String> {
+    match v.get(key) {
+        Some(Value::String(_)) => Ok(()),
+        Some(_) => Err(format!("'{key}' must be a string")),
+        None => Err(format!("missing required key '{key}'")),
+    }
+}
+
+fn require_num(v: &Value, key: &str) -> Result<(), String> {
+    match v.get(key) {
+        Some(Value::Number(_)) => Ok(()),
+        Some(_) => Err(format!("'{key}' must be a number")),
+        None => Err(format!("missing required key '{key}'")),
+    }
+}
+
+fn require_bool(v: &Value, key: &str) -> Result<(), String> {
+    match v.get(key) {
+        Some(Value::Bool(_)) => Ok(()),
+        Some(_) => Err(format!("'{key}' must be a boolean")),
+        None => Err(format!("missing required key '{key}'")),
+    }
+}
+
+/// Validates one response line against the service schema — the same
+/// executable-schema idea as [`crate::ledger::validate_ledger_line`]. The
+/// CI smoke test and the protocol golden tests run every emitted line
+/// through this.
+///
+/// # Errors
+///
+/// A one-line diagnostic naming the first violated constraint.
+pub fn validate_response_line(line: &str) -> Result<(), String> {
+    let v = json::parse(line).map_err(|e| format!("invalid JSON: {e}"))?;
+    if !v.is_object() {
+        return Err("response is not a JSON object".to_string());
+    }
+    require_num(&v, "schema")?;
+    match v.get("type").and_then(Value::as_str) {
+        Some("pong") => require_str(&v, "id"),
+        Some("bye") => Ok(()),
+        Some("error") => require_str(&v, "detail"),
+        Some("result") => {
+            require_str(&v, "id")?;
+            match v.get("verdict").and_then(Value::as_str) {
+                Some("error_found") | Some("no_error_found") => {}
+                Some(other) => return Err(format!("unknown verdict '{other}'")),
+                None => return Err("missing required key 'verdict'".to_string()),
+            }
+            for key in ["cached", "budget_exceeded"] {
+                require_bool(&v, key)?;
+            }
+            for key in ["cones", "cones_reused", "cones_rechecked", "wall_ms", "apply_steps"] {
+                require_num(&v, key)?;
+            }
+            let rungs = v
+                .get("rungs")
+                .ok_or("missing required key 'rungs'")?
+                .as_array()
+                .ok_or("'rungs' must be an array")?;
+            for (i, rung) in rungs.iter().enumerate() {
+                require_str(rung, "method").map_err(|e| format!("rung {i}: {e}"))?;
+                for key in ["finished", "error_found"] {
+                    require_bool(rung, key).map_err(|e| format!("rung {i}: {e}"))?;
+                }
+                for key in ["wall_ms", "apply_steps", "peak_nodes", "cache_hits", "cache_misses"] {
+                    require_num(rung, key).map_err(|e| format!("rung {i}: {e}"))?;
+                }
+            }
+            if let Some(cex) = v.get("counterexample") {
+                let inputs = cex
+                    .get("inputs")
+                    .ok_or("counterexample missing 'inputs'")?
+                    .as_array()
+                    .ok_or("counterexample 'inputs' must be an array")?;
+                for (i, bit) in inputs.iter().enumerate() {
+                    match bit.as_f64() {
+                        Some(0.0) | Some(1.0) => {}
+                        _ => return Err(format!("counterexample input {i} must be 0 or 1")),
+                    }
+                }
+            }
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown response type '{other}'")),
+        None => Err("missing required key 'type'".to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_minimal_check_request() {
+        let r =
+            parse_request(r#"{"type":"check","id":"a","spec_path":"s.blif","impl_path":"i.blif"}"#)
+                .unwrap();
+        let Request::Check(c) = r else { panic!("expected check") };
+        assert_eq!(c.id, "a");
+        assert_eq!(c.boxes, BoxCarve::One);
+        assert_eq!(c.priority, 0);
+        assert!(c.use_cache);
+        assert_eq!(c.overrides, SettingsOverrides::default());
+    }
+
+    #[test]
+    fn parses_every_knob() {
+        let r = parse_request(
+            r#"{"type":"check","id":"b","spec_blif":"x","impl_blif":"y","boxes":"per-signal",
+                "priority":-3,"cache":false,"patterns":100,"reorder":true,"sweep":true,
+                "node_limit":0,"step_limit":5,"time_limit_ms":1000}"#,
+        )
+        .unwrap();
+        let Request::Check(c) = r else { panic!("expected check") };
+        assert_eq!(c.boxes, BoxCarve::PerSignal);
+        assert_eq!(c.priority, -3);
+        assert!(!c.use_cache);
+        assert_eq!(c.overrides.patterns, Some(100));
+        assert_eq!(c.overrides.node_limit, Some(0), "0 = unbounded");
+        assert_eq!(c.overrides.time_limit_ms, Some(1000));
+    }
+
+    #[test]
+    fn rejects_unknown_fields_and_bad_types() {
+        for line in [
+            r#"{"type":"check","id":"x","spec_path":"s","impl_path":"i","turbo":true}"#,
+            r#"{"type":"ping","id":"x","extra":1}"#,
+            r#"{"type":"shutdown","now":true}"#,
+            r#"{"type":"check","id":7,"spec_path":"s","impl_path":"i"}"#,
+            r#"{"type":"check","id":"x","spec_path":"s","impl_path":"i","priority":1.5}"#,
+            r#"{"type":"check","id":"x","spec_path":"s"}"#,
+            r#"{"type":"check","id":"x","spec_path":"s","impl_path":"i","spec_blif":"z","impl_blif":"w"}"#,
+            r#"{"type":"wat"}"#,
+            r#"[1,2]"#,
+            "not json",
+        ] {
+            assert!(parse_request(line).is_err(), "should reject: {line}");
+        }
+    }
+
+    #[test]
+    fn oversized_lines_are_refused_before_parsing() {
+        let big = format!(r#"{{"type":"ping","id":"{}"}}"#, "x".repeat(MAX_REQUEST_BYTES));
+        let err = parse_request(&big).unwrap_err();
+        assert!(err.contains("oversized"), "{err}");
+    }
+
+    #[test]
+    fn control_lines_validate() {
+        validate_response_line(&pong_line("a")).unwrap();
+        validate_response_line(&bye_line()).unwrap();
+        validate_response_line(&error_line(None, "boom")).unwrap();
+        validate_response_line(&error_line(Some("id"), "boom")).unwrap();
+        assert!(validate_response_line(r#"{"type":"result","schema":1}"#).is_err());
+        assert!(validate_response_line("garbage").is_err());
+    }
+
+    #[test]
+    fn result_lines_round_trip_the_validator() {
+        let resp = CheckResponse {
+            id: "r".to_string(),
+            verdict: "error_found".to_string(),
+            method: Some("0,1,X".to_string()),
+            cached: false,
+            cones: 4,
+            cones_reused: 3,
+            budget_exceeded: false,
+            wall_ms: 7,
+            apply_steps: 99,
+            rungs: vec![crate::ledger::RungRecord {
+                method: "r.p.".to_string(),
+                finished: true,
+                error_found: false,
+                wall_ms: 1,
+                apply_steps: 0,
+                peak_nodes: 0,
+                cache_hits: 0,
+                cache_misses: 0,
+            }],
+            counterexample: Some(Counterexample {
+                inputs: vec![true, false, true],
+                output: Some(2),
+            }),
+        };
+        let line = resp.to_json_line();
+        validate_response_line(&line).unwrap_or_else(|e| panic!("{e}\n{line}"));
+        let v = json::parse(&line).unwrap();
+        assert_eq!(v.get("cones_rechecked").and_then(Value::as_f64), Some(1.0));
+        let cex = v.get("counterexample").unwrap();
+        assert_eq!(cex.get("output").and_then(Value::as_f64), Some(2.0));
+        assert_eq!(cex.get("inputs").and_then(Value::as_array).unwrap().len(), 3);
+    }
+}

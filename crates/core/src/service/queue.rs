@@ -1,0 +1,161 @@
+//! Bounded priority job queue for the check service.
+//!
+//! A classic admission-control queue: producers block while the queue is
+//! at capacity (back-pressure on the intake thread instead of unbounded
+//! memory growth), consumers block while it is empty, and closing wakes
+//! everyone up. Jobs pop highest-priority first; within one priority the
+//! order is strictly FIFO (a monotone sequence number breaks ties), so a
+//! single-worker service with uniform priorities is fully deterministic.
+
+use std::collections::BinaryHeap;
+use std::sync::{Condvar, Mutex};
+
+struct Job<T> {
+    priority: i64,
+    seq: u64,
+    item: T,
+}
+
+impl<T> PartialEq for Job<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.priority == other.priority && self.seq == other.seq
+    }
+}
+impl<T> Eq for Job<T> {}
+impl<T> PartialOrd for Job<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Job<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Max-heap: higher priority first, then lower sequence (FIFO).
+        self.priority.cmp(&other.priority).then(other.seq.cmp(&self.seq))
+    }
+}
+
+struct State<T> {
+    heap: BinaryHeap<Job<T>>,
+    next_seq: u64,
+    closed: bool,
+}
+
+/// A bounded, closeable priority queue (higher priority pops first; FIFO
+/// within a priority).
+pub struct JobQueue<T> {
+    state: Mutex<State<T>>,
+    capacity: usize,
+    pop_ready: Condvar,
+    push_ready: Condvar,
+}
+
+impl<T> JobQueue<T> {
+    /// Creates a queue admitting at most `capacity` pending jobs
+    /// (`capacity` is clamped to at least 1).
+    pub fn new(capacity: usize) -> Self {
+        JobQueue {
+            state: Mutex::new(State { heap: BinaryHeap::new(), next_seq: 0, closed: false }),
+            capacity: capacity.max(1),
+            pop_ready: Condvar::new(),
+            push_ready: Condvar::new(),
+        }
+    }
+
+    /// Enqueues a job, blocking while the queue is full. Returns `false`
+    /// (dropping the job) when the queue has been closed.
+    pub fn push(&self, priority: i64, item: T) -> bool {
+        let mut state = self.state.lock().expect("queue lock poisoned");
+        while state.heap.len() >= self.capacity && !state.closed {
+            state = self.push_ready.wait(state).expect("queue lock poisoned");
+        }
+        if state.closed {
+            return false;
+        }
+        let seq = state.next_seq;
+        state.next_seq += 1;
+        state.heap.push(Job { priority, seq, item });
+        self.pop_ready.notify_one();
+        true
+    }
+
+    /// Dequeues the highest-priority job, blocking while the queue is
+    /// empty. Returns `None` once the queue is closed *and* drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("queue lock poisoned");
+        loop {
+            if let Some(job) = state.heap.pop() {
+                self.push_ready.notify_one();
+                return Some(job.item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.pop_ready.wait(state).expect("queue lock poisoned");
+        }
+    }
+
+    /// Closes the queue: pending jobs still drain, new pushes are refused,
+    /// and every blocked producer/consumer wakes up.
+    pub fn close(&self) {
+        let mut state = self.state.lock().expect("queue lock poisoned");
+        state.closed = true;
+        drop(state);
+        self.pop_ready.notify_all();
+        self.push_ready.notify_all();
+    }
+
+    /// Number of jobs currently waiting.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue lock poisoned").heap.len()
+    }
+
+    /// Whether no jobs are waiting.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_by_priority_then_fifo() {
+        let q = JobQueue::new(16);
+        q.push(0, "a");
+        q.push(5, "urgent");
+        q.push(0, "b");
+        q.push(5, "urgent2");
+        q.close();
+        assert_eq!(q.pop(), Some("urgent"));
+        assert_eq!(q.pop(), Some("urgent2"));
+        assert_eq!(q.pop(), Some("a"));
+        assert_eq!(q.pop(), Some("b"));
+        assert_eq!(q.pop(), None, "closed and drained");
+    }
+
+    #[test]
+    fn capacity_blocks_until_a_pop_frees_a_slot() {
+        let q = std::sync::Arc::new(JobQueue::new(1));
+        q.push(0, 1u32);
+        let q2 = q.clone();
+        let producer = std::thread::spawn(move || q2.push(0, 2u32));
+        // The producer must be blocked; a pop unblocks it.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(q.pop(), Some(1));
+        assert!(producer.join().unwrap(), "producer admitted after the pop");
+        assert_eq!(q.pop(), Some(2));
+    }
+
+    #[test]
+    fn close_refuses_new_pushes_and_wakes_consumers() {
+        let q = std::sync::Arc::new(JobQueue::new(4));
+        let q2 = q.clone();
+        let consumer = std::thread::spawn(move || q2.pop());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert_eq!(consumer.join().unwrap(), None, "blocked consumer wakes on close");
+        assert!(!q.push(0, 9u32), "closed queue refuses jobs");
+        assert!(q.is_empty());
+    }
+}

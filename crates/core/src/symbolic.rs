@@ -72,6 +72,17 @@ pub struct SymbolicContext {
     /// Absolute run deadline ([`CheckSettings::deadline`]); unlike
     /// `time_limit` it is *not* restarted by [`SymbolicContext::arm_budget`].
     deadline: Option<Instant>,
+    /// Warm pool the manager came from ([`CheckSettings::pool`]); the
+    /// manager is recycled back on drop.
+    pool: Option<bbec_bdd::ManagerPool>,
+}
+
+impl Drop for SymbolicContext {
+    fn drop(&mut self) {
+        if let Some(pool) = self.pool.take() {
+            pool.recycle(std::mem::take(&mut self.manager));
+        }
+    }
 }
 
 impl SymbolicContext {
@@ -80,14 +91,25 @@ impl SymbolicContext {
     /// The static variable order interleaves inputs by a depth-first walk
     /// from the outputs (a standard netlist ordering heuristic); dynamic
     /// reordering is enabled according to `settings`.
+    ///
+    /// With [`CheckSettings::pool`] set, the manager is acquired from the
+    /// warm pool instead of constructed — recycled managers have been
+    /// [`BddManager::reset`] and behave bit-identically to fresh ones, so
+    /// the pool never changes a verdict, only the allocation ramp-up.
     pub fn new(reference: &Circuit, settings: &CheckSettings) -> SymbolicContext {
-        let mut manager = if settings.dynamic_reordering {
-            BddManager::with_reordering(ReorderSettings {
-                threshold: settings.reorder_threshold,
-                ..ReorderSettings::default()
-            })
-        } else {
-            BddManager::new()
+        let reorder = ReorderSettings {
+            threshold: settings.reorder_threshold,
+            enabled: settings.dynamic_reordering,
+            ..ReorderSettings::default()
+        };
+        let mut manager = match &settings.pool {
+            Some(pool) => {
+                let mut m = pool.acquire();
+                m.set_reorder_settings(reorder);
+                m
+            }
+            None if settings.dynamic_reordering => BddManager::with_reordering(reorder),
+            None => BddManager::new(),
         };
         manager.set_tracer(settings.tracer.clone());
         manager.set_progress(settings.progress.clone());
@@ -106,6 +128,7 @@ impl SymbolicContext {
             step_limit: settings.step_limit,
             time_limit: settings.time_limit,
             deadline: settings.deadline,
+            pool: settings.pool.clone(),
         };
         ctx.arm_budget();
         ctx

@@ -20,6 +20,12 @@
 //! 7. **Sweep invariance**: running the ladder after the structural
 //!    sweep ([`bbec_core::preprocess`]) produces the same verdict as the
 //!    unswept ladder — the preprocessor is verdict-invariant.
+//! 8. **Service transparency**: the persistent check service
+//!    ([`bbec_core::service::Service`]) run in-process agrees with the
+//!    parallel ladder it mirrors, and an identical second request answered
+//!    from its result cache is semantically identical to the cold response
+//!    (verdict, deciding method, rungs, counterexample) with zero fresh
+//!    BDD work.
 //!
 //! A `inject` option flips one rung's verdict after the fact — the
 //! test-only "intentionally unsound rung" of the acceptance criteria,
@@ -27,8 +33,10 @@
 
 use crate::generate::Instance;
 use crate::oracle::{self, OracleLimits, OracleVerdict};
+use bbec_core::service::{Service, ServiceConfig};
 use bbec_core::{
-    checks, sat_checks, CheckError, CheckSettings, Counterexample, ParallelChecker, Verdict,
+    checks, sat_checks, BudgetAbort, CheckError, CheckSettings, Counterexample, ParallelChecker,
+    Verdict,
 };
 use std::fmt;
 
@@ -47,11 +55,15 @@ pub enum Engine {
     /// The sequential ladder with the structural sweep enabled — paired
     /// against [`Engine::ParallelJobs1`] by the sweep-invariance contract.
     SweptLadder,
+    /// The persistent check service run in-process (cold request through
+    /// its cache/incremental path), paired against
+    /// [`Engine::ParallelJobs1`] by the service-transparency contract.
+    Served,
 }
 
 impl Engine {
     /// All engines, ladder first, in strength order within the ladder.
-    pub fn all() -> [Engine; 10] {
+    pub fn all() -> [Engine; 11] {
         [
             Engine::RandomPatterns,
             Engine::Symbolic01X,
@@ -63,6 +75,7 @@ impl Engine {
             Engine::ParallelJobs1,
             Engine::ParallelJobs4,
             Engine::SweptLadder,
+            Engine::Served,
         ]
     }
 
@@ -79,6 +92,7 @@ impl Engine {
             Engine::ParallelJobs1 => "par-j1",
             Engine::ParallelJobs4 => "par-j4",
             Engine::SweptLadder => "sweep",
+            Engine::Served => "serve",
         }
     }
 
@@ -146,6 +160,10 @@ pub enum Violation {
     /// The sweep-preprocessed ladder's verdict differed from the unswept
     /// ladder's — the preprocessor changed a verdict.
     SweepMismatch { detail: String },
+    /// The persistent check service disagreed with the parallel ladder it
+    /// mirrors, or its cached response diverged from the cold response —
+    /// the result cache is not transparent.
+    ServiceMismatch { detail: String },
     /// A reported counterexample failed concrete replay.
     BadCounterexample { engine: &'static str, detail: String },
     /// An engine failed with an unexpected (non-budget) error.
@@ -169,6 +187,7 @@ impl fmt::Display for Violation {
             }
             Violation::ParallelMismatch { detail } => write!(f, "PARALLEL MISMATCH: {detail}"),
             Violation::SweepMismatch { detail } => write!(f, "SWEEP MISMATCH: {detail}"),
+            Violation::ServiceMismatch { detail } => write!(f, "SERVICE MISMATCH: {detail}"),
             Violation::BadCounterexample { engine, detail } => {
                 write!(f, "BAD WITNESS: {engine}: {detail}")
             }
@@ -189,6 +208,7 @@ impl Violation {
             Violation::TwinMismatch { .. } => "twin-mismatch",
             Violation::ParallelMismatch { .. } => "parallel-mismatch",
             Violation::SweepMismatch { .. } => "sweep-mismatch",
+            Violation::ServiceMismatch { .. } => "service-mismatch",
             Violation::BadCounterexample { .. } => "bad-counterexample",
             Violation::EngineFailure { .. } => "engine-failure",
         }
@@ -256,6 +276,54 @@ pub fn run_case(instance: &Instance, config: &HarnessConfig) -> CaseOutcome {
     let s = &config.settings;
     let mut violations = Vec::new();
 
+    // The served engine: a fresh in-process service per case, queried cold
+    // and then again through its result cache. The second response must be
+    // semantically identical to the first — cache transparency.
+    let service = Service::new(ServiceConfig { settings: s.clone(), ..ServiceConfig::default() });
+    let cold = service.check_instance(&instance.name, spec, partial, true);
+    let mut service_mismatch: Option<String> = None;
+    if let Ok(cold_resp) = &cold {
+        if cold_resp.budget_exceeded {
+            // Degraded results are never cached; nothing to compare.
+        } else {
+            match service.check_instance(&instance.name, spec, partial, true) {
+                Ok(warm) if !warm.cached => {
+                    service_mismatch =
+                        Some("an identical second request missed the result cache".into());
+                }
+                Ok(warm) if warm.apply_steps != 0 => {
+                    service_mismatch =
+                        Some(format!("cache hit still charged {} apply steps", warm.apply_steps));
+                }
+                Ok(warm)
+                    if warm.verdict != cold_resp.verdict
+                        || warm.method != cold_resp.method
+                        || warm.counterexample != cold_resp.counterexample
+                        || warm.rungs != cold_resp.rungs =>
+                {
+                    service_mismatch =
+                        Some("cached response differs from the cold response".into());
+                }
+                Ok(_) => {}
+                Err(e) => service_mismatch = Some(format!("cached re-check failed: {e}")),
+            }
+        }
+    }
+    let served_result: Result<(Verdict, Option<Counterexample>), CheckError> =
+        cold.and_then(|resp| {
+            if resp.budget_exceeded {
+                return Err(CheckError::BudgetExceeded(BudgetAbort::new(
+                    "served check hit a budget-exceeded rung",
+                )));
+            }
+            let verdict = if resp.verdict == "error_found" {
+                Verdict::ErrorFound
+            } else {
+                Verdict::NoErrorFound
+            };
+            Ok((verdict, resp.counterexample))
+        });
+
     let mut one =
         |engine: Engine, result: Result<(Verdict, Option<Counterexample>), CheckError>| {
             let mut v = match result {
@@ -319,7 +387,11 @@ pub fn run_case(instance: &Instance, config: &HarnessConfig) -> CaseOutcome {
                     .run(spec, partial),
             ),
         ),
+        one(Engine::Served, served_result),
     ];
+    if let Some(detail) = service_mismatch {
+        violations.push(Violation::ServiceMismatch { detail });
+    }
 
     let oracle = oracle::decide(spec, partial, &config.oracle).ok();
     let mut outcome = CaseOutcome { verdicts, oracle, violations, patterns_simulated };
@@ -327,7 +399,7 @@ pub fn run_case(instance: &Instance, config: &HarnessConfig) -> CaseOutcome {
     outcome
 }
 
-/// Applies contracts 1–7 to the collected verdicts.
+/// Applies contracts 1–8 to the collected verdicts.
 fn check_contracts(instance: &Instance, outcome: &mut CaseOutcome) {
     let spec = &instance.spec;
     let partial = &instance.partial;
@@ -423,6 +495,21 @@ fn check_contracts(instance: &Instance, outcome: &mut CaseOutcome) {
         });
     }
 
+    // 8. Service transparency: the served verdict matches the parallel
+    // ladder whose check path it mirrors. (The cache-transparency half of
+    // the contract — cached response ≡ cold response — is compared inside
+    // `run_case`, where both responses are in hand.)
+    let served = outcome.verdict(Engine::Served);
+    if p1.decided() && served.decided() && p1.is_error() != served.is_error() {
+        violations.push(Violation::ServiceMismatch {
+            detail: format!(
+                "served verdict ({}) contradicts the parallel ladder ({})",
+                if served.is_error() { "error" } else { "clean" },
+                if p1.is_error() { "error" } else { "clean" },
+            ),
+        });
+    }
+
     violations.sort_by_key(|v| match v {
         Violation::Unsound { .. } => 0,
         Violation::IncompleteExact => 1,
@@ -431,7 +518,8 @@ fn check_contracts(instance: &Instance, outcome: &mut CaseOutcome) {
         Violation::TwinMismatch { .. } => 4,
         Violation::ParallelMismatch { .. } => 5,
         Violation::SweepMismatch { .. } => 6,
-        Violation::EngineFailure { .. } => 7,
+        Violation::ServiceMismatch { .. } => 7,
+        Violation::EngineFailure { .. } => 8,
     });
     outcome.violations = violations;
 }
@@ -501,6 +589,22 @@ mod tests {
         assert!(
             out.violations.iter().any(|v| matches!(v, Violation::IncompleteExact)),
             "single-box exactness must flag the blinded ie rung: {:?}",
+            out.violations
+        );
+    }
+
+    #[test]
+    fn injected_unsound_served_engine_is_caught() {
+        // Flip the served engine's verdict on an extendable instance: the
+        // soundness contract must flag "serve" exactly like any rung.
+        let instance = sample_instance("completable", samples::completable_pair());
+        let config = HarnessConfig { inject: Some(Engine::Served), ..HarnessConfig::default() };
+        let out = run_case(&instance, &config);
+        assert!(
+            out.violations
+                .iter()
+                .any(|v| matches!(v, Violation::Unsound { engine } if *engine == "serve")),
+            "got {:?}",
             out.violations
         );
     }

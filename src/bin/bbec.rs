@@ -16,6 +16,11 @@
 //! bbec report   <file.jsonl>... | --compare BASE NEW    aggregate ledger/trace/
 //!                                                       bench JSONL, or gate a
 //!                                                       regression
+//! bbec serve    [options]                               persistent check service:
+//!                                                       JSONL requests on stdin (or
+//!                                                       a unix socket), structural
+//!                                                       result cache, dirty-cone
+//!                                                       incremental re-checking
 //!
 //! Netlist formats are chosen by extension: .blif, .bench, .aag (ASCII
 //! AIGER), .aig (binary AIGER), .v (write-only). In the implementation
@@ -98,6 +103,23 @@
 //!
 //! fuzz exit codes: 0 = no violation, 1 = violation found (shrunk fixture
 //! written), 2 = usage/IO error.
+//!
+//! serve options (plus --patterns/--no-reorder/--node-limit/--step-limit/
+//! --cache-bits/--ledger/--trace-* above):
+//!   --max-jobs N               worker threads draining the job queue
+//!                              (default 1 = deterministic response order)
+//!   --cache-entries N          full-result cache entries (default 1024);
+//!                              per-cone entries get an 8x budget
+//!   --socket PATH              accept one connection at a time on a unix
+//!                              socket instead of stdin/stdout
+//!
+//! Requests are JSON objects, one per line: {"type":"check","id":...,
+//! "spec_path"/"impl_path" or inline "spec_blif"/"impl_blif", optional
+//! "boxes","priority","cache" and settings overrides}, plus {"type":"ping"}
+//! and {"type":"shutdown"}. Responses are schema-validated JSONL; see
+//! crates/core/src/service/protocol.rs. Sweeping is off by default in the
+//! service (a request opts in with "sweep":true). Exit code 0 on EOF or
+//! shutdown, 2 on I/O errors.
 //! ```
 
 use bbec::core::diagnose::locate_single_gate_repairs;
@@ -270,6 +292,9 @@ struct Options {
     replay: Option<String>,
     inject: Option<String>,
     bdd: bool,
+    max_jobs: usize,
+    cache_entries: usize,
+    socket: Option<String>,
     positional: Vec<String>,
 }
 
@@ -306,6 +331,9 @@ fn parse_options(args: &[String]) -> Options {
         replay: None,
         inject: None,
         bdd: false,
+        max_jobs: 1,
+        cache_entries: 1024,
+        socket: None,
         positional: Vec::new(),
     };
     let mut i = 0;
@@ -418,6 +446,19 @@ fn parse_options(args: &[String]) -> Options {
                 o.replay = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
             }
             "--bdd" => o.bdd = true,
+            "--max-jobs" => {
+                i += 1;
+                o.max_jobs = args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--cache-entries" => {
+                i += 1;
+                o.cache_entries =
+                    args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--socket" => {
+                i += 1;
+                o.socket = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
             "--inject-unsound" => {
                 i += 1;
                 o.inject = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
@@ -772,6 +813,48 @@ fn main() {
                         println!("ERROR FOUND: no black-box implementation can repair this design");
                     }
                     exit(1)
+                }
+            }
+        }
+        "serve" => {
+            // Sweeping is a per-request opt-in ("sweep":true) in the
+            // service: the structural cache keys pre-sweep instances, and
+            // the default keeps cold/warm golden runs cheap and identical.
+            settings.sweep = false;
+            let config = bbec::core::service::ServiceConfig {
+                settings: settings.clone(),
+                max_jobs: o.max_jobs,
+                cache_entries: o.cache_entries,
+                ledger: o.ledger.as_ref().map(std::path::PathBuf::from),
+                ..Default::default()
+            };
+            let service = bbec::core::service::Service::new(config);
+            let result = match &o.socket {
+                Some(path) => serve_unix(&service, path),
+                None => service.serve(std::io::stdin().lock(), std::io::stdout()),
+            };
+            match result {
+                Ok(stats) => {
+                    if !o.quiet {
+                        let cache = service.cache_stats();
+                        let pool = service.pool_stats();
+                        eprintln!(
+                            "bbec serve: {} request(s), {} response(s); cache: {} full hit(s), \
+                             {} cone hit(s), {} collision(s); pool: {} recycled",
+                            stats.requests,
+                            stats.responses,
+                            cache.full_hits,
+                            cache.cone_hits,
+                            cache.collisions,
+                            pool.recycled,
+                        );
+                    }
+                    emit_trace(&o, &settings.tracer);
+                    exit(0)
+                }
+                Err(e) => {
+                    eprintln!("bbec serve: {e}");
+                    exit(2)
                 }
             }
         }
@@ -1253,6 +1336,43 @@ fn render_report_file(path: &str, text: &str) {
         let shown: Vec<String> = records.iter().map(|(n, c)| format!("{n} x{c}")).collect();
         println!("  records: {}", shown.join(", "));
     }
+}
+
+/// Serves connections on a unix socket, one at a time, until a `shutdown`
+/// request; the socket file is (re)created on bind and removed on exit.
+#[cfg(unix)]
+fn serve_unix(
+    service: &bbec::core::service::Service,
+    path: &str,
+) -> std::io::Result<bbec::core::service::ServeStats> {
+    use std::os::unix::net::UnixListener;
+    let _ = std::fs::remove_file(path);
+    let listener = UnixListener::bind(path)?;
+    let mut totals = bbec::core::service::ServeStats::default();
+    for stream in listener.incoming() {
+        let stream = stream?;
+        let reader = std::io::BufReader::new(stream.try_clone()?);
+        let stats = service.serve(reader, stream)?;
+        totals.requests += stats.requests;
+        totals.responses += stats.responses;
+        if stats.shutdown {
+            totals.shutdown = true;
+            break;
+        }
+    }
+    let _ = std::fs::remove_file(path);
+    Ok(totals)
+}
+
+#[cfg(not(unix))]
+fn serve_unix(
+    _service: &bbec::core::service::Service,
+    _path: &str,
+) -> std::io::Result<bbec::core::service::ServeStats> {
+    Err(std::io::Error::new(
+        std::io::ErrorKind::Unsupported,
+        "--socket requires a unix platform; use stdin/stdout",
+    ))
 }
 
 /// Drains the tracer (if armed) into the requested sinks: the JSONL event

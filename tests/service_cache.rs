@@ -1,0 +1,99 @@
+//! Cache transparency of the check service (ISSUE satellite).
+//!
+//! Property, over generated instances spanning every deciding rung: the
+//! response answered from the result cache is indistinguishable from the
+//! cold response — same verdict, deciding method, per-rung records and
+//! counterexample — except that it is flagged `cached` and charges zero
+//! fresh BDD apply steps. Degraded runs (any budget-exceeded rung) must
+//! never enter the cache: a later identical request gets a fresh attempt,
+//! not a replay of the timeout.
+
+use bbec::core::service::{Service, ServiceConfig};
+use bbec::core::{samples, CheckSettings};
+use bbec::oracle::{case_seed, generate};
+use std::collections::BTreeSet;
+
+fn service(settings: CheckSettings) -> Service {
+    Service::new(ServiceConfig { settings, ..ServiceConfig::default() })
+}
+
+fn quick_settings() -> CheckSettings {
+    CheckSettings { random_patterns: 64, dynamic_reordering: false, ..CheckSettings::default() }
+}
+
+#[test]
+fn cache_hits_are_indistinguishable_from_cold_responses() {
+    let mut checked = 0u32;
+    let mut verdicts = BTreeSet::new();
+    let mut methods = BTreeSet::new();
+    for index in 0..400u64 {
+        if checked >= 200 {
+            break;
+        }
+        let Some(instance) = generate(case_seed(0x5EC5, index)) else { continue };
+        let svc = service(quick_settings());
+        let cold = svc.check_instance(&instance.name, &instance.spec, &instance.partial, true);
+        let Ok(cold) = cold else { continue };
+        if cold.budget_exceeded {
+            continue;
+        }
+        let warm = svc
+            .check_instance(&instance.name, &instance.spec, &instance.partial, true)
+            .expect("warm re-check");
+
+        assert!(!cold.cached, "{}: first sight", instance.name);
+        assert!(warm.cached, "{}: identical re-request must hit the cache", instance.name);
+        assert_eq!(warm.apply_steps, 0, "{}: a cache hit does zero BDD work", instance.name);
+        assert_eq!(warm.verdict, cold.verdict, "{}", instance.name);
+        assert_eq!(warm.method, cold.method, "{}", instance.name);
+        assert_eq!(warm.counterexample, cold.counterexample, "{}", instance.name);
+        assert_eq!(
+            warm.rungs, cold.rungs,
+            "{}: cached rung records must replay the cold run verbatim",
+            instance.name
+        );
+        assert_eq!(warm.cones, cold.cones, "{}", instance.name);
+
+        verdicts.insert(cold.verdict.clone());
+        if let Some(m) = &cold.method {
+            methods.insert(m.clone());
+        }
+        checked += 1;
+    }
+    assert!(checked >= 200, "only {checked} usable instances generated");
+    // The property is only convincing if it crossed several ladder rungs.
+    assert!(verdicts.contains("error_found") && verdicts.contains("no_error_found"));
+    assert!(methods.len() >= 2, "need several deciding rungs, saw {methods:?}");
+}
+
+#[test]
+fn budget_exceeded_responses_are_never_cached() {
+    // A one-step BDD budget: the random-pattern rung completes (it does no
+    // BDD work) and every symbolic rung aborts, so the response is a
+    // degraded no_error_found.
+    let settings = CheckSettings { step_limit: Some(1), ..quick_settings() };
+    let svc = service(settings);
+    let (spec, partial) = samples::completable_pair();
+
+    let first = svc.check_instance("deg1", &spec, &partial, true).unwrap();
+    assert!(first.budget_exceeded, "one apply step cannot finish a symbolic rung");
+    assert!(!first.cached);
+    let stats = svc.cache_stats();
+    assert_eq!(stats.entries, 0, "degraded results must not be inserted");
+
+    // The identical follow-up request re-runs from scratch instead of
+    // replaying the degraded verdict.
+    let second = svc.check_instance("deg2", &spec, &partial, true).unwrap();
+    assert!(!second.cached, "a degraded result must not be served from cache");
+    assert!(second.budget_exceeded);
+    assert_eq!(second.verdict, first.verdict);
+    assert_eq!(svc.cache_stats().entries, 0);
+
+    // Lifting the budget on a fresh service caches as usual — the guard is
+    // specific to degraded runs, not to the instance.
+    let svc = service(quick_settings());
+    let a = svc.check_instance("ok1", &spec, &partial, true).unwrap();
+    assert!(!a.budget_exceeded && !a.cached);
+    let b = svc.check_instance("ok2", &spec, &partial, true).unwrap();
+    assert!(b.cached, "undegraded results cache normally");
+}

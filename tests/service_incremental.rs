@@ -1,0 +1,162 @@
+//! Dirty-cone incremental re-checking is transparent (ISSUE satellite).
+//!
+//! Property, over 200+ seeds: build a multi-cone instance, check it once,
+//! then plant one paper-style mutation confined to a single output cone of
+//! the implementation host and re-check on the *same* service. The
+//! incremental path must:
+//!
+//! 1. produce a verdict, deciding method and counterexample bit-identical
+//!    to a cold check of the mutated instance on a fresh service,
+//! 2. reuse exactly the cones whose structural hash is unchanged (computed
+//!    independently here from [`plan_shards`] and the ledger hash family),
+//! 3. prove through the trace — `service.cone` spans with a `reused`
+//!    attribute — that only the dirty cones re-ran.
+//!
+//! The generator uses disjoint cone blocks so a one-cone edit is invisible
+//! to every other block; the mutation never targets the boxed gate itself
+//! (a type change under a black box is structurally invisible and would
+//! leave zero dirty cones).
+
+use bbec::core::ledger::{instance_hash, instance_hash_alt};
+use bbec::core::service::{Service, ServiceConfig};
+use bbec::core::{plan_shards, CheckSettings, PartialCircuit};
+use bbec::netlist::{generators, Circuit, Mutation};
+use bbec::trace::{AttrValue, TraceEvent, Tracer};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+fn settings() -> CheckSettings {
+    CheckSettings { random_patterns: 64, dynamic_reordering: false, ..CheckSettings::default() }
+}
+
+struct Case {
+    spec: Circuit,
+    /// Implementation host with one gate black-boxed — extendable.
+    base: PartialCircuit,
+    /// Same carve over the host with one planted cone-local mutation.
+    dirty: PartialCircuit,
+}
+
+fn build_case(seed: u64) -> Option<Case> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let blocks = rng.random_range(2..=4usize);
+    let ins = rng.random_range(2..=3usize);
+    let gates = rng.random_range(4..=7usize);
+    let spec = generators::disjoint_cones(blocks, ins, gates, rng.next_u64());
+    let boxed = rng.random_range(0..spec.gates().len() as u32);
+    let base = PartialCircuit::black_box_gates(&spec, &[boxed]).ok()?;
+    let (_, victim) = spec.outputs()[rng.random_range(0..spec.outputs().len())];
+    let cone: Vec<u32> =
+        spec.fanin_cone_gates(&[victim]).into_iter().filter(|&g| g != boxed).collect();
+    let m = Mutation::random(&spec, &cone, &mut rng)?;
+    let host = m.apply(&spec).ok()?;
+    let dirty = PartialCircuit::black_box_gates(&host, &[boxed]).ok()?;
+    Some(Case { spec, base, dirty })
+}
+
+/// Counts `service.cone` spans under the request span with id `request`,
+/// split into (reused, re-run).
+fn cone_spans(trace: &bbec::trace::Trace, request: &str) -> (usize, usize) {
+    let mut request_span = None;
+    for e in trace.events() {
+        if let TraceEvent::Span { name: "service.request", id, attrs, .. } = e {
+            let is_it = attrs
+                .iter()
+                .any(|(k, v)| k == "id" && matches!(v, AttrValue::Str(s) if s == request));
+            if is_it {
+                request_span = Some(*id);
+            }
+        }
+    }
+    let request_span = request_span.expect("request span recorded");
+    let (mut reused, mut rerun) = (0, 0);
+    for e in trace.events() {
+        if let TraceEvent::Span { name: "service.cone", parent, attrs, .. } = e {
+            if *parent != Some(request_span) {
+                continue;
+            }
+            match attrs.iter().find(|(k, _)| k == "reused") {
+                Some((_, AttrValue::Bool(true))) => reused += 1,
+                Some((_, AttrValue::Bool(false))) => rerun += 1,
+                other => panic!("cone span without boolean reused attr: {other:?}"),
+            }
+        }
+    }
+    (reused, rerun)
+}
+
+#[test]
+fn incremental_recheck_is_bit_identical_and_reruns_only_dirty_cones() {
+    let mut checked = 0u32;
+    let mut seed = 0u64;
+    let mut reuse_seen = false;
+    while checked < 200 {
+        seed += 1;
+        assert!(seed < 2000, "generator starved: only {checked} cases by seed {seed}");
+        let Some(case) = build_case(seed) else { continue };
+
+        // Expected reuse, computed independently of the service: a cone of
+        // the dirty instance is clean iff its shard subinstance hashes to
+        // a shard of the base instance (both hash families must agree).
+        let key = |sh: &bbec::core::Shard| {
+            (instance_hash(&sh.spec, &sh.partial), instance_hash_alt(&sh.spec, &sh.partial))
+        };
+        let base_shards = plan_shards(&case.spec, &case.base).unwrap();
+        let base_keys: HashSet<(u64, u64)> = base_shards.iter().map(key).collect();
+        let dirty_shards = plan_shards(&case.spec, &case.dirty).unwrap();
+        let expected_reused = dirty_shards.iter().filter(|sh| base_keys.contains(&key(sh))).count();
+        let expected_dirty = dirty_shards.len() - expected_reused;
+        if expected_reused == 0 || expected_dirty == 0 {
+            // One-shard instances (or an invisible mutation) exercise
+            // nothing incremental; move on.
+            continue;
+        }
+
+        let mut warm_settings = settings();
+        warm_settings.tracer = Tracer::new();
+        let warm_svc =
+            Service::new(ServiceConfig { settings: warm_settings, ..ServiceConfig::default() });
+        let base_resp = warm_svc.check_instance("base", &case.spec, &case.base, true).unwrap();
+        assert!(!base_resp.cached, "seed {seed}: first sight of the base instance");
+        let warm = warm_svc.check_instance("warm", &case.spec, &case.dirty, true).unwrap();
+
+        let cold_svc =
+            Service::new(ServiceConfig { settings: settings(), ..ServiceConfig::default() });
+        let cold = cold_svc.check_instance("cold", &case.spec, &case.dirty, true).unwrap();
+
+        // 1. Bit-identical semantics to the cold full check.
+        assert!(!warm.cached && !cold.cached, "seed {seed}: the mutated instance is new");
+        assert_eq!(warm.verdict, cold.verdict, "seed {seed}: verdicts diverge");
+        assert_eq!(warm.method, cold.method, "seed {seed}: deciding methods diverge");
+        assert_eq!(warm.counterexample, cold.counterexample, "seed {seed}: witnesses diverge");
+        let semantic =
+            |r: &bbec::core::ledger::RungRecord| (r.method.clone(), r.finished, r.error_found);
+        assert_eq!(
+            warm.rungs.iter().map(semantic).collect::<Vec<_>>(),
+            cold.rungs.iter().map(semantic).collect::<Vec<_>>(),
+            "seed {seed}: rung outcomes diverge"
+        );
+
+        // 2. Exactly the structurally-unchanged cones were reused.
+        assert_eq!(warm.cones, dirty_shards.len(), "seed {seed}: shard plan size");
+        assert_eq!(warm.cones_reused, expected_reused, "seed {seed}: reused-cone count");
+        assert_eq!(cold.cones_reused, 0, "seed {seed}: a fresh service reuses nothing");
+
+        // 3. The trace proves it: only the dirty cones re-ran.
+        let trace = warm_svc.settings().tracer.finish();
+        let (reused, rerun) = cone_spans(&trace, "warm");
+        assert_eq!(
+            (reused, rerun),
+            (expected_reused, expected_dirty),
+            "seed {seed}: trace disagrees with the expected cone split"
+        );
+        let (base_reused, base_rerun) = cone_spans(&trace, "base");
+        assert_eq!(base_reused, 0, "seed {seed}: the base request had nothing to reuse");
+        assert_eq!(base_rerun, base_shards.len(), "seed {seed}: the base request ran every cone");
+
+        reuse_seen = true;
+        checked += 1;
+    }
+    assert!(reuse_seen);
+}

@@ -1,0 +1,177 @@
+//! Protocol golden tests for `bbec serve` (ISSUE satellite).
+//!
+//! A scripted batch of hostile request lines — malformed JSON, unknown
+//! fields, bad types, oversized lines, inconsistent sources — is fed
+//! through the sequential serve loop. Every reply (including every error)
+//! must itself be schema-valid JSONL, and the whole transcript is pinned
+//! against `tests/fixtures/service_protocol.golden` with digit runs
+//! normalised to `#` (timings and step counts vary; shapes must not).
+//! Rerun with `BBEC_UPDATE_GOLDEN=1` to accept intentional changes.
+//!
+//! A second test cuts the stream mid-line (no trailing newline, no
+//! shutdown): the service must answer what it can and return cleanly
+//! rather than crash or hang.
+
+use bbec::core::service::protocol::{validate_response_line, MAX_REQUEST_BYTES};
+use bbec::core::service::{ServeStats, Service, ServiceConfig};
+use bbec::core::CheckSettings;
+use std::path::PathBuf;
+
+fn service() -> Service {
+    let settings = CheckSettings {
+        random_patterns: 64,
+        dynamic_reordering: false,
+        ..CheckSettings::default()
+    };
+    Service::new(ServiceConfig { settings, ..ServiceConfig::default() })
+}
+
+fn run_batch(input: &str) -> (String, ServeStats) {
+    let svc = service();
+    let mut out = Vec::new();
+    let stats = svc.serve(input.as_bytes(), &mut out).expect("serve runs");
+    let text = String::from_utf8(out).expect("responses are UTF-8");
+    for line in text.lines() {
+        validate_response_line(line)
+            .unwrap_or_else(|e| panic!("response fails its own schema: {e}\n{line}"));
+    }
+    (text, stats)
+}
+
+/// Collapses every digit run to `#` so timings, step counts and byte
+/// counts do not churn the golden.
+fn normalize(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut in_digits = false;
+    for c in text.chars() {
+        if c.is_ascii_digit() {
+            if !in_digits {
+                out.push('#');
+            }
+            in_digits = true;
+        } else {
+            in_digits = false;
+            out.push(c);
+        }
+    }
+    out
+}
+
+const SPEC_BLIF: &str =
+    ".model spec\\n.inputs a b c\\n.outputs f\\n.names a b ab\\n11 1\\n.names ab c f\\n1- 1\\n-1 1\\n.end";
+const IMPL_BLIF: &str =
+    ".model imp\\n.inputs a b c\\n.outputs f\\n.names ab c f\\n1- 1\\n-1 1\\n.end";
+
+#[test]
+fn hostile_batch_matches_the_golden_transcript() {
+    let mut batch = vec![
+        // Unparseable lines: the error must carry the diagnostic, not crash.
+        "not json at all".to_string(),
+        "[1,2,3]".to_string(),
+        r#"{"id":"no-type"}"#.to_string(),
+        r#"{"type":"frobnicate"}"#.to_string(),
+        // Strict field checking: typo'd knobs never silently default.
+        format!(
+            r#"{{"type":"check","id":"u1","spec_blif":"{SPEC_BLIF}","impl_blif":"{IMPL_BLIF}","surprise":true}}"#
+        ),
+        r#"{"type":"check","id":"nosrc"}"#.to_string(),
+        format!(
+            r#"{{"type":"check","id":"badprio","spec_blif":"{SPEC_BLIF}","impl_blif":"{IMPL_BLIF}","priority":"high"}}"#
+        ),
+        format!(
+            r#"{{"type":"check","id":"badbox","spec_blif":"{SPEC_BLIF}","impl_blif":"{IMPL_BLIF}","boxes":"three"}}"#
+        ),
+        r#"{"type":"ping","id":"alive"}"#.to_string(),
+        // Body errors after a clean parse keep the request id.
+        format!(
+            r#"{{"type":"check","id":"badblif","spec_blif":"genuinely not blif","impl_blif":"{IMPL_BLIF}"}}"#
+        ),
+        format!(
+            r#"{{"type":"check","id":"nobox","spec_blif":"{SPEC_BLIF}","impl_blif":"{SPEC_BLIF}"}}"#
+        ),
+        format!(
+            r#"{{"type":"check","id":"missing","spec_path":"/nonexistent/spec.blif","impl_path":"/nonexistent/impl.blif"}}"#
+        ),
+        // One well-formed check so the golden pins a result line's shape.
+        format!(
+            r#"{{"type":"check","id":"good","spec_blif":"{SPEC_BLIF}","impl_blif":"{IMPL_BLIF}"}}"#
+        ),
+        // An oversized line is refused before it is even parsed.
+        format!(r#"{{"type":"ping","id":"{}"}}"#, "x".repeat(MAX_REQUEST_BYTES)),
+        r#"{"type":"shutdown"}"#.to_string(),
+        // Anything after shutdown is never read.
+        r#"{"type":"ping","id":"too-late"}"#.to_string(),
+    ];
+    batch.push(String::new());
+    let input = batch.join("\n");
+    let (text, stats) = run_batch(&input);
+    assert!(stats.shutdown, "the shutdown request ends the session");
+    assert_eq!(stats.responses, 15, "one reply per line up to and including the bye:\n{text}");
+    assert!(!text.contains("too-late"), "lines after shutdown must not be answered");
+
+    let rendered = normalize(&text);
+    let golden_path =
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/service_protocol.golden");
+    if std::env::var_os("BBEC_UPDATE_GOLDEN").is_some() {
+        std::fs::write(&golden_path, &rendered).expect("golden updated");
+        return;
+    }
+    let golden = std::fs::read_to_string(&golden_path).expect("golden fixture exists");
+    assert_eq!(
+        rendered, golden,
+        "transcript drifted from tests/fixtures/service_protocol.golden; if the\n\
+         change is intentional, rerun with BBEC_UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn mid_stream_eof_is_answered_and_returns_cleanly() {
+    // The stream dies mid-request: no trailing newline, no shutdown. The
+    // truncated tail is still a line to `BufRead::lines`, so it gets a
+    // schema-valid error response, and serve returns without a shutdown.
+    let input = "{\"type\":\"ping\",\"id\":\"p\"}\n{\"type\":\"check\",\"id\":\"cut";
+    let (text, stats) = run_batch(input);
+    assert!(!stats.shutdown, "EOF is not a shutdown");
+    assert_eq!(stats, ServeStats { requests: 2, responses: 2, shutdown: false });
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(lines[0].contains("\"pong\""), "{text}");
+    assert!(lines[1].contains("\"error\""), "{text}");
+    assert!(lines[1].contains("invalid JSON"), "{text}");
+
+    // An empty stream is a no-op session.
+    let (text, stats) = run_batch("");
+    assert_eq!(stats, ServeStats::default());
+    assert!(text.is_empty());
+}
+
+/// The binary end of the wire: `bbec serve` over stdin answers a small
+/// batch with schema-valid lines and exits 0 on shutdown.
+#[test]
+fn serve_subcommand_round_trips_over_stdin() {
+    use std::io::Write as _;
+    use std::process::{Command, Stdio};
+    let mut child = Command::new(env!("CARGO_BIN_EXE_bbec"))
+        .args(["serve", "--quiet"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary starts");
+    let batch = format!(
+        "{{\"type\":\"ping\",\"id\":\"hi\"}}\n\
+         {{\"type\":\"check\",\"id\":\"c1\",\"spec_blif\":\"{SPEC_BLIF}\",\"impl_blif\":\"{IMPL_BLIF}\"}}\n\
+         {{\"type\":\"shutdown\"}}\n"
+    );
+    child.stdin.take().expect("stdin piped").write_all(batch.as_bytes()).expect("write batch");
+    let out = child.wait_with_output().expect("binary exits");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 3, "pong, result, bye:\n{stdout}");
+    for line in &lines {
+        validate_response_line(line).unwrap_or_else(|e| panic!("{e}: {line}"));
+    }
+    assert!(lines[0].contains("\"pong\""));
+    assert!(lines[1].contains("\"verdict\":\"no_error_found\""), "{stdout}");
+    assert!(lines[2].contains("\"bye\""));
+}
