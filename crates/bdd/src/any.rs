@@ -1,0 +1,395 @@
+//! Engine-dispatching manager: the sequential [`BddManager`] or the
+//! shared-memory [`SharedManager`] behind one concrete type.
+//!
+//! `core::symbolic` holds an [`AnyManager`] and picks the engine from
+//! `CheckSettings::bdd_threads` at construction; every check then runs
+//! unchanged against either engine. Plain enum dispatch (not a trait
+//! object) keeps the operator calls static and the handles `Copy` — the
+//! match costs one predictable branch per operation, noise next to an
+//! apply recursion.
+//!
+//! Both engines build the same canonical complement-edge BDDs, so
+//! verdicts, witnesses and serialised forests are bit-identical across
+//! engines and thread counts. Engine-specific capabilities degrade
+//! gracefully: reordering and garbage collection are no-ops on the shared
+//! engine (its table is insert-only), and the flight recorder exists only
+//! on the sequential one.
+
+use crate::budget::{Budget, BudgetExceeded};
+use crate::cube::Cube;
+use crate::manager::{Bdd, BddManager, BddStats, BddVar, ReorderSettings};
+use crate::shared::SharedManager;
+use crate::SatAssignment;
+use bbec_trace::{OpTelemetry, Progress, Tracer};
+
+/// One of the two BDD engines, behind the operation surface the checks use.
+// The size asymmetry (inline `BddManager` vs a handful of `Arc`s) is
+// deliberate: one `AnyManager` exists per check, so the footprint is
+// irrelevant, while boxing the classic engine would put a pointer hop on
+// every operation of the default sequential hot path.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug)]
+pub enum AnyManager {
+    /// The single-owner engine: GC, reordering, flight recorder.
+    Classic(BddManager),
+    /// The shared-memory engine: concurrent table, work-stealing apply.
+    Shared(SharedManager),
+}
+
+impl Default for AnyManager {
+    fn default() -> Self {
+        AnyManager::Classic(BddManager::new())
+    }
+}
+
+/// Forwards a method to whichever engine is inside.
+macro_rules! forward {
+    ($self:ident, $m:ident => $body:expr) => {
+        match $self {
+            AnyManager::Classic($m) => $body,
+            AnyManager::Shared($m) => $body,
+        }
+    };
+}
+
+impl AnyManager {
+    /// The constant `true` or `false` function.
+    pub fn constant(&self, value: bool) -> Bdd {
+        forward!(self, m => m.constant(value))
+    }
+
+    /// Number of variables created so far.
+    pub fn var_count(&self) -> usize {
+        forward!(self, m => m.var_count())
+    }
+
+    /// Creates the next variable.
+    pub fn new_var(&mut self) -> BddVar {
+        forward!(self, m => m.new_var())
+    }
+
+    /// Creates `n` fresh variables.
+    pub fn new_vars(&mut self, n: usize) -> Vec<BddVar> {
+        forward!(self, m => m.new_vars(n))
+    }
+
+    /// The projection function of `var`.
+    pub fn var(&self, var: BddVar) -> Bdd {
+        forward!(self, m => m.var(var))
+    }
+
+    /// Negation (an O(1) complement-bit flip on both engines).
+    pub fn not(&mut self, f: Bdd) -> Bdd {
+        forward!(self, m => m.not(f))
+    }
+
+    /// Budgeted [`AnyManager::not`].
+    pub fn try_not(&mut self, f: Bdd) -> Result<Bdd, BudgetExceeded> {
+        forward!(self, m => m.try_not(f))
+    }
+
+    /// Conjunction.
+    pub fn and(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        forward!(self, m => m.and(f, g))
+    }
+
+    /// Budgeted [`AnyManager::and`].
+    pub fn try_and(&mut self, f: Bdd, g: Bdd) -> Result<Bdd, BudgetExceeded> {
+        forward!(self, m => m.try_and(f, g))
+    }
+
+    /// Disjunction.
+    pub fn or(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        forward!(self, m => m.or(f, g))
+    }
+
+    /// Budgeted [`AnyManager::or`].
+    pub fn try_or(&mut self, f: Bdd, g: Bdd) -> Result<Bdd, BudgetExceeded> {
+        forward!(self, m => m.try_or(f, g))
+    }
+
+    /// Exclusive or.
+    pub fn xor(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        forward!(self, m => m.xor(f, g))
+    }
+
+    /// Budgeted [`AnyManager::xor`].
+    pub fn try_xor(&mut self, f: Bdd, g: Bdd) -> Result<Bdd, BudgetExceeded> {
+        forward!(self, m => m.try_xor(f, g))
+    }
+
+    /// Equivalence.
+    pub fn xnor(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        forward!(self, m => m.xnor(f, g))
+    }
+
+    /// Budgeted [`AnyManager::xnor`].
+    pub fn try_xnor(&mut self, f: Bdd, g: Bdd) -> Result<Bdd, BudgetExceeded> {
+        forward!(self, m => m.try_xnor(f, g))
+    }
+
+    /// If-then-else.
+    pub fn ite(&mut self, f: Bdd, g: Bdd, h: Bdd) -> Bdd {
+        forward!(self, m => m.ite(f, g, h))
+    }
+
+    /// Budgeted [`AnyManager::ite`].
+    pub fn try_ite(&mut self, f: Bdd, g: Bdd, h: Bdd) -> Result<Bdd, BudgetExceeded> {
+        forward!(self, m => m.try_ite(f, g, h))
+    }
+
+    /// Conjunction of all `fs` (early exit on `false`).
+    pub fn and_many(&mut self, fs: &[Bdd]) -> Bdd {
+        forward!(self, m => m.and_many(fs))
+    }
+
+    /// Budgeted [`AnyManager::and_many`].
+    pub fn try_and_many(&mut self, fs: &[Bdd]) -> Result<Bdd, BudgetExceeded> {
+        forward!(self, m => m.try_and_many(fs))
+    }
+
+    /// Disjunction of all `fs` (early exit on `true`).
+    pub fn or_many(&mut self, fs: &[Bdd]) -> Bdd {
+        forward!(self, m => m.or_many(fs))
+    }
+
+    /// Budgeted [`AnyManager::or_many`].
+    pub fn try_or_many(&mut self, fs: &[Bdd]) -> Result<Bdd, BudgetExceeded> {
+        forward!(self, m => m.try_or_many(fs))
+    }
+
+    /// Parity of all `fs`.
+    pub fn xor_many(&mut self, fs: &[Bdd]) -> Bdd {
+        forward!(self, m => m.xor_many(fs))
+    }
+
+    /// Budgeted [`AnyManager::xor_many`].
+    pub fn try_xor_many(&mut self, fs: &[Bdd]) -> Result<Bdd, BudgetExceeded> {
+        forward!(self, m => m.try_xor_many(fs))
+    }
+
+    /// Existential quantification of the cube's variables out of `f`.
+    pub fn exists(&mut self, f: Bdd, cube: Cube) -> Bdd {
+        forward!(self, m => m.exists(f, cube))
+    }
+
+    /// Budgeted [`AnyManager::exists`].
+    pub fn try_exists(&mut self, f: Bdd, cube: Cube) -> Result<Bdd, BudgetExceeded> {
+        forward!(self, m => m.try_exists(f, cube))
+    }
+
+    /// Universal quantification.
+    pub fn forall(&mut self, f: Bdd, cube: Cube) -> Bdd {
+        forward!(self, m => m.forall(f, cube))
+    }
+
+    /// Budgeted [`AnyManager::forall`].
+    pub fn try_forall(&mut self, f: Bdd, cube: Cube) -> Result<Bdd, BudgetExceeded> {
+        forward!(self, m => m.try_forall(f, cube))
+    }
+
+    /// Fused `∃cube. f ∧ g`.
+    pub fn and_exists(&mut self, f: Bdd, g: Bdd, cube: Cube) -> Bdd {
+        forward!(self, m => m.and_exists(f, g, cube))
+    }
+
+    /// Budgeted [`AnyManager::and_exists`].
+    pub fn try_and_exists(&mut self, f: Bdd, g: Bdd, cube: Cube) -> Result<Bdd, BudgetExceeded> {
+        forward!(self, m => m.try_and_exists(f, g, cube))
+    }
+
+    /// Substitutes `g` for `var` in `f`.
+    pub fn compose(&mut self, f: Bdd, var: BddVar, g: Bdd) -> Bdd {
+        forward!(self, m => m.compose(f, var, g))
+    }
+
+    /// Budgeted [`AnyManager::compose`].
+    pub fn try_compose(&mut self, f: Bdd, var: BddVar, g: Bdd) -> Result<Bdd, BudgetExceeded> {
+        forward!(self, m => m.try_compose(f, var, g))
+    }
+
+    /// Builds the positive cube of `vars` ([`Cube::try_from_vars`] for
+    /// whichever engine is inside).
+    pub fn try_cube(&mut self, vars: &[BddVar]) -> Result<Cube, BudgetExceeded> {
+        match self {
+            AnyManager::Classic(m) => Cube::try_from_vars(m, vars),
+            AnyManager::Shared(m) => m.try_cube(vars),
+        }
+    }
+
+    /// Evaluates `f` under a total assignment indexed by variable.
+    pub fn eval(&self, f: Bdd, assignment: &[bool]) -> bool {
+        forward!(self, m => m.eval(f, assignment))
+    }
+
+    /// The set of variables `f` depends on, in current level order.
+    pub fn support(&self, f: Bdd) -> Vec<BddVar> {
+        forward!(self, m => m.support(f))
+    }
+
+    /// Number of nodes in the shared graph of `f`, including the terminal.
+    pub fn node_count(&self, f: Bdd) -> usize {
+        forward!(self, m => m.node_count(f))
+    }
+
+    /// Number of distinct nodes in the shared graph of all roots.
+    pub fn node_count_many(&self, roots: &[Bdd]) -> usize {
+        forward!(self, m => m.node_count_many(roots))
+    }
+
+    /// Returns an assignment satisfying `f`, if one exists.
+    pub fn any_sat(&self, f: Bdd) -> Option<SatAssignment> {
+        forward!(self, m => m.any_sat(f))
+    }
+
+    /// Returns an assignment falsifying `f`, if one exists.
+    pub fn any_unsat(&self, f: Bdd) -> Option<SatAssignment> {
+        forward!(self, m => m.any_unsat(f))
+    }
+
+    /// True iff `f` is the constant `true`.
+    pub fn is_tautology(&self, f: Bdd) -> bool {
+        forward!(self, m => m.is_tautology(f))
+    }
+
+    /// True iff `f` is the constant `false`.
+    pub fn is_contradiction(&self, f: Bdd) -> bool {
+        forward!(self, m => m.is_contradiction(f))
+    }
+
+    /// Serialises the shared graph of `roots`; equal functions serialise
+    /// identically on both engines.
+    pub fn write_forest(&self, roots: &[Bdd]) -> String {
+        forward!(self, m => m.write_forest(roots))
+    }
+
+    /// Protects `f` across garbage collection (no-op on the shared engine).
+    pub fn protect(&mut self, f: Bdd) -> Bdd {
+        forward!(self, m => m.protect(f))
+    }
+
+    /// Releases a protection taken with [`AnyManager::protect`].
+    pub fn release(&mut self, f: Bdd) {
+        forward!(self, m => m.release(f))
+    }
+
+    /// Reclaims dead nodes; returns how many (always 0 on the shared
+    /// engine, whose table is insert-only).
+    pub fn collect_garbage(&mut self) -> usize {
+        forward!(self, m => m.collect_garbage())
+    }
+
+    /// Considers a sifting pass (never on the shared engine).
+    pub fn maybe_reorder(&mut self) -> bool {
+        forward!(self, m => m.maybe_reorder())
+    }
+
+    /// Replaces the automatic-reordering settings (ignored by the shared
+    /// engine).
+    pub fn set_reorder_settings(&mut self, settings: ReorderSettings) {
+        forward!(self, m => m.set_reorder_settings(settings))
+    }
+
+    /// Installs (or clears) the resource budget and opens a fresh
+    /// step-accounting window.
+    pub fn set_budget(&mut self, budget: Option<Budget>) {
+        forward!(self, m => m.set_budget(budget))
+    }
+
+    /// The currently installed budget, if any.
+    pub fn budget(&self) -> Option<Budget> {
+        forward!(self, m => m.budget())
+    }
+
+    /// Usage statistics in [`BddStats`] units.
+    pub fn stats(&self) -> BddStats {
+        forward!(self, m => m.stats())
+    }
+
+    /// Resets the peak-live-nodes high-water mark (no-op on the shared
+    /// engine, where peak equals live).
+    pub fn reset_peak(&mut self) {
+        forward!(self, m => m.reset_peak())
+    }
+
+    /// Cumulative operation counters for telemetry.
+    pub fn telemetry(&self) -> OpTelemetry {
+        forward!(self, m => m.telemetry())
+    }
+
+    /// Per-operation computed-table `(name, hits, misses)` rows.
+    pub fn cache_stats_by_op(&self) -> Vec<(&'static str, u64, u64)> {
+        forward!(self, m => m.cache_stats_by_op())
+    }
+
+    /// Installs the observability sink.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        forward!(self, m => m.set_tracer(tracer))
+    }
+
+    /// The currently installed observability sink.
+    pub fn tracer(&self) -> &Tracer {
+        forward!(self, m => m.tracer())
+    }
+
+    /// Installs the heartbeat engine.
+    pub fn set_progress(&mut self, progress: Progress) {
+        forward!(self, m => m.set_progress(progress))
+    }
+
+    /// Rebounds the computed table (fixed at construction on the shared
+    /// engine, where this is a no-op).
+    pub fn set_cache_capacity_bits(&mut self, bits: u32) {
+        forward!(self, m => m.set_cache_capacity_bits(bits))
+    }
+
+    /// Dumps the flight recorder, where one exists (sequential engine only).
+    pub fn dump_flight_recorder(&self, reason: &str) {
+        forward!(self, m => m.dump_flight_recorder(reason))
+    }
+
+    /// Panics if a structural invariant is violated.
+    pub fn check_invariants(&self) {
+        forward!(self, m => m.check_invariants())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shared::SharedConfig;
+
+    fn engines() -> [AnyManager; 2] {
+        [
+            AnyManager::Classic(BddManager::new()),
+            AnyManager::Shared(SharedManager::new(SharedConfig::for_check(2, Some(1 << 14), 14))),
+        ]
+    }
+
+    #[test]
+    fn engines_agree_through_the_dispatch_surface() {
+        let mut forests = Vec::new();
+        for mut m in engines() {
+            let vars = m.new_vars(6);
+            let lits: Vec<Bdd> = vars.iter().map(|&v| m.var(v)).collect();
+            let parity = m.xor_many(&lits);
+            let conj = m.and_many(&lits[..4]);
+            let pick = m.ite(parity, conj, lits[5]);
+            let cube = m.try_cube(&vars[2..4]).unwrap();
+            let quant = m.exists(pick, cube);
+            let all = m.forall(pick, cube);
+            assert!(m.eval(conj, &[true; 6]));
+            // A parity chain over complement edges: one node per level
+            // plus the terminal.
+            assert_eq!(m.node_count(parity), 7);
+            forests.push(m.write_forest(&[parity, conj, pick, quant, all]));
+            m.check_invariants();
+        }
+        assert_eq!(forests[0], forests[1], "engines disagree through AnyManager");
+    }
+
+    #[test]
+    fn default_is_classic() {
+        assert!(matches!(AnyManager::default(), AnyManager::Classic(_)));
+    }
+}

@@ -1,0 +1,199 @@
+//! The lossy lock-free computed table for the shared-memory engine.
+//!
+//! Same 7-op De Morgan key scheme as the single-owner [`crate::cache::OpCache`]
+//! — `(Op, a, b, c) -> result` over tagged edges — but stored as a
+//! fixed-capacity direct-mapped array of **seqlock-stamped** entries so any
+//! number of threads can read and write without locks:
+//!
+//! ```text
+//! stamp: [ sequence : 64 ]          0 = never written, odd = write in flight
+//! w0:    [ a : 32 | b : 32 ]
+//! w1:    [ c : 32 | op : 32 ]
+//! w2:    [ result : 32 ]
+//! ```
+//!
+//! A **writer** loads the stamp; if it is odd another writer owns the entry
+//! and this write is simply dropped (the cache is lossy — correctness never
+//! depends on a `put` landing). Otherwise it CASes `s -> s+1` (claim),
+//! stores the three words relaxed, and publishes with a release store of
+//! `s+2`. A **reader** loads the stamp (acquire), reads the words relaxed,
+//! fences, and re-reads the stamp: the hit counts only if both loads agree
+//! on an even nonzero value *and* the full key matches — a torn read can
+//! only produce a miss, never a wrong result. Collisions overwrite
+//! (direct-mapped, newest wins), matching the sequential cache's
+//! drop-on-pressure spirit without its global eviction.
+//!
+//! Entries name unique-table indices, and the shared table never frees or
+//! moves nodes, so a stale entry is still a *correct* entry — the reason
+//! this cache needs no generation tags or clearing protocol.
+
+use crate::cache::{clamp_cache_bits, Op};
+use std::sync::atomic::{fence, AtomicU64, Ordering};
+
+pub(crate) struct SharedCache {
+    stamps: Box<[AtomicU64]>,
+    /// Three words per entry, indexed `3*i ..= 3*i+2`.
+    words: Box<[AtomicU64]>,
+    mask: usize,
+    hits: [AtomicU64; Op::COUNT],
+    misses: [AtomicU64; Op::COUNT],
+}
+
+#[inline]
+fn slot(op: Op, a: u32, b: u32, c: u32, mask: usize) -> usize {
+    let mut h = (a as u64) | ((b as u64) << 32);
+    h ^= (c as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    h = h.wrapping_add(op.index() as u64);
+    h = h.wrapping_mul(0x2545_F491_4F6C_DD1D);
+    ((h >> 29) as usize) & mask
+}
+
+impl SharedCache {
+    pub(crate) fn with_capacity_bits(bits: u32) -> SharedCache {
+        let n = 1usize << clamp_cache_bits(bits).min(super::MAX_SHARED_CACHE_BITS);
+        SharedCache {
+            stamps: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            words: (0..3 * n).map(|_| AtomicU64::new(0)).collect(),
+            mask: n - 1,
+            hits: std::array::from_fn(|_| AtomicU64::new(0)),
+            misses: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    pub(crate) fn capacity_bits(&self) -> u32 {
+        (self.mask + 1).trailing_zeros()
+    }
+
+    #[inline]
+    pub(crate) fn get(&self, op: Op, a: u32, b: u32, c: u32) -> Option<u32> {
+        let i = slot(op, a, b, c, self.mask);
+        let s1 = self.stamps[i].load(Ordering::Acquire);
+        if s1 != 0 && s1 & 1 == 0 {
+            let w0 = self.words[3 * i].load(Ordering::Relaxed);
+            let w1 = self.words[3 * i + 1].load(Ordering::Relaxed);
+            let w2 = self.words[3 * i + 2].load(Ordering::Relaxed);
+            fence(Ordering::Acquire);
+            let s2 = self.stamps[i].load(Ordering::Relaxed);
+            if s1 == s2
+                && w0 == (a as u64) | ((b as u64) << 32)
+                && w1 == (c as u64) | ((op.index() as u64) << 32)
+            {
+                self.hits[op.index()].fetch_add(1, Ordering::Relaxed);
+                return Some(w2 as u32);
+            }
+        }
+        self.misses[op.index()].fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    #[inline]
+    pub(crate) fn put(&self, op: Op, a: u32, b: u32, c: u32, result: u32) {
+        let i = slot(op, a, b, c, self.mask);
+        let s = self.stamps[i].load(Ordering::Relaxed);
+        if s & 1 != 0 {
+            return; // another writer owns the entry; drop this put
+        }
+        if self.stamps[i].compare_exchange(s, s + 1, Ordering::AcqRel, Ordering::Relaxed).is_err() {
+            return; // lost the claim race; drop this put
+        }
+        self.words[3 * i].store((a as u64) | ((b as u64) << 32), Ordering::Relaxed);
+        self.words[3 * i + 1].store((c as u64) | ((op.index() as u64) << 32), Ordering::Relaxed);
+        self.words[3 * i + 2].store(result as u64, Ordering::Relaxed);
+        self.stamps[i].store(s + 2, Ordering::Release);
+    }
+
+    /// Cumulative per-operation `(name, hits, misses)` rows.
+    pub(crate) fn stats_by_op(&self) -> [(&'static str, u64, u64); Op::COUNT] {
+        Op::all().map(|op| {
+            (
+                op.name(),
+                self.hits[op.index()].load(Ordering::Relaxed),
+                self.misses[op.index()].load(Ordering::Relaxed),
+            )
+        })
+    }
+
+    pub(crate) fn hits(&self) -> u64 {
+        self.hits.iter().map(|h| h.load(Ordering::Relaxed)).sum()
+    }
+
+    pub(crate) fn misses(&self) -> u64 {
+        self.misses.iter().map(|m| m.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Invalidates every entry and zeroes the counters by resetting the
+    /// stamps; the data words can stay stale because a zero stamp is an
+    /// unconditional miss. Quiescent callers only (pool recycling).
+    pub(crate) fn reset(&self) {
+        for s in self.stamps.iter() {
+            s.store(0, Ordering::Relaxed);
+        }
+        for h in &self.hits {
+            h.store(0, Ordering::Relaxed);
+        }
+        for m in &self.misses {
+            m.store(0, Ordering::Relaxed);
+        }
+        fence(Ordering::Release);
+    }
+}
+
+impl std::fmt::Debug for SharedCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedCache")
+            .field("capacity_bits", &self.capacity_bits())
+            .field("hits", &self.hits())
+            .field("misses", &self.misses())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn round_trips_and_distinguishes_ops() {
+        let c = SharedCache::with_capacity_bits(10);
+        assert_eq!(c.get(Op::And, 2, 3, 0), None);
+        c.put(Op::And, 2, 3, 0, 7);
+        assert_eq!(c.get(Op::And, 2, 3, 0), Some(7));
+        assert_eq!(c.get(Op::Xor, 2, 3, 0), None);
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 2);
+        c.reset();
+        assert_eq!(c.get(Op::And, 2, 3, 0), None);
+        assert_eq!((c.hits(), c.misses()), (0, 1));
+    }
+
+    /// Stress the seqlock: 8 threads write conflicting entries into a tiny
+    /// (64-slot) cache while reading back; every observed hit must be the
+    /// exact value some thread stored for that exact key — a torn entry
+    /// that survives key comparison would fail the `v == a + b` check.
+    #[test]
+    fn torn_reads_are_impossible() {
+        let iters = if std::env::var_os("BBEC_STRESS").is_some() { 30 } else { 6 };
+        for _ in 0..iters {
+            let c = Arc::new(SharedCache::with_capacity_bits(6));
+            std::thread::scope(|scope| {
+                for tid in 0..8u32 {
+                    let c = Arc::clone(&c);
+                    scope.spawn(move || {
+                        for k in 0..4000u32 {
+                            let a = (k * 7 + tid) % 97;
+                            let b = (k * 13) % 89;
+                            c.put(Op::And, a, b, 0, a + b);
+                            if let Some(v) = c.get(Op::And, b, a, 0) {
+                                assert_eq!(v, a + b, "torn or misfiled cache entry");
+                            }
+                            if let Some(v) = c.get(Op::And, a, b, 0) {
+                                assert_eq!(v, a + b, "torn or misfiled cache entry");
+                            }
+                        }
+                    });
+                }
+            });
+        }
+    }
+}

@@ -1,0 +1,1281 @@
+//! The shared-memory parallel BDD engine (Sylvan-style).
+//!
+//! A [`SharedManager`] owns one [`space::SharedSpace`] — a sharded
+//! CAS-insertion unique table ([`table::SharedTable`]), a lossy seqlock
+//! computed cache ([`cache::SharedCache`]) and an atomic budget governor —
+//! plus a pool of persistent worker threads driven by the work-stealing
+//! runtime in [`steal`]. Operations fork their second cofactor branch above
+//! a depth cutoff and recurse sequentially below it, so a single huge
+//! apply/ITE/quantification scales across cores instead of relying on
+//! cone-level sharding alone.
+//!
+//! # Differences from the sequential engine
+//!
+//! * **No reordering, no GC.** The shared table is insert-only: variable
+//!   `v` *is* level `v` forever, nodes are never freed, and `protect`/
+//!   `release` are no-ops. A stale computed-cache entry is therefore always
+//!   still correct, which is what lets the cache go lock-free without
+//!   generation tags. Memory is bounded by the fixed table capacity and the
+//!   node budget instead of by collection.
+//! * **Identical canonical form.** `mk` applies the same complement-edge
+//!   normalisation, and every recursion mirrors its sequential counterpart's
+//!   terminal rules and cache-key scheme, so the engine builds the same
+//!   canonical nodes the sequential engine would — verdicts and serialised
+//!   forests are bit-identical at every thread count.
+//! * **Budget slack.** Step charging is batched per participant (see
+//!   [`space`]), so a step cap trips within `threads * 64` steps of the
+//!   exact point. Node caps are exact: occupancy gates every insertion.
+
+pub(crate) mod cache;
+pub(crate) mod space;
+pub(crate) mod steal;
+pub(crate) mod table;
+
+use crate::analysis::SatAssignment;
+use crate::budget::{Budget, BudgetExceeded};
+use crate::cube::Cube;
+use crate::manager::{Bdd, BddManager, BddStats, BddVar, FALSE, TRUE};
+use bbec_trace::{OpTelemetry, Progress, Tracer};
+use space::{OpCtx, SharedSpace};
+use std::collections::HashMap;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// Upper bound on the shared computed cache's capacity exponent. Entries
+/// are 32 bytes (stamp + three words), double the sequential cache's, so
+/// the shared cap sits one bit under [`crate::MAX_CACHE_BITS`].
+pub(crate) const MAX_SHARED_CACHE_BITS: u32 = 21;
+
+/// Smallest and largest unique-table capacity exponents. The floor keeps
+/// every shard at a workable size (2^14 slots / 64 shards = 256 each); the
+/// ceiling bounds a manager at 2^24 * 16 bytes = 256 MiB of table.
+const MIN_TABLE_BITS: u32 = 14;
+const MAX_TABLE_BITS: u32 = 24;
+
+/// Table exponent used when no node budget bounds the sizing.
+const DEFAULT_TABLE_BITS: u32 = 22;
+
+/// Sizing of a [`SharedManager`]: thread count and the fixed capacities of
+/// its unique table and computed cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SharedConfig {
+    /// Total participants, including the entry thread; clamped to >= 1.
+    pub threads: usize,
+    /// Unique-table capacity exponent (2^bits slots of 16 bytes).
+    pub table_bits: u32,
+    /// Computed-cache capacity exponent (2^bits entries of 32 bytes).
+    pub cache_bits: u32,
+}
+
+impl SharedConfig {
+    /// Sizes a manager for a check: the table gets room for twice the node
+    /// budget (open addressing degrades past ~50% load), clamped to
+    /// `[2^14, 2^24]` slots, and the cache takes the check's configured
+    /// exponent capped at [`MAX_SHARED_CACHE_BITS`].
+    pub fn for_check(threads: usize, node_limit: Option<usize>, cache_bits: u32) -> SharedConfig {
+        let table_bits = match node_limit {
+            Some(limit) => {
+                let target = limit.saturating_mul(2).max(2);
+                (usize::BITS - (target - 1).leading_zeros()).clamp(MIN_TABLE_BITS, MAX_TABLE_BITS)
+            }
+            None => DEFAULT_TABLE_BITS,
+        };
+        SharedConfig {
+            threads: threads.max(1),
+            table_bits,
+            cache_bits: crate::cache::clamp_cache_bits(cache_bits).min(MAX_SHARED_CACHE_BITS),
+        }
+    }
+}
+
+impl Default for SharedConfig {
+    fn default() -> Self {
+        SharedConfig::for_check(1, None, crate::cache::DEFAULT_CACHE_BITS)
+    }
+}
+
+/// Owner handle of the shared-memory engine, mirroring the [`BddManager`]
+/// operation surface (minus reordering/GC, which the insert-only design
+/// makes no-ops).
+///
+/// The owner drives operations through `&mut self` like the sequential
+/// manager; parallelism happens *inside* each operation via the persistent
+/// workers. For driving the engine from multiple threads at once (each
+/// running its own sequential recursions over the shared table and cache),
+/// take [`SharedManager::handle`] clones.
+pub struct SharedManager {
+    space: Arc<SharedSpace>,
+    /// Work-stealing runtime; `None` when `threads == 1` (pure sequential
+    /// recursion over the concurrent structures, zero fork overhead).
+    rt: Option<Arc<steal::Runtime>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    config: SharedConfig,
+    /// Owner-side mirror of the caps installed in the space, so
+    /// [`SharedManager::budget`] can echo them back like the sequential
+    /// manager does.
+    budget: Option<Budget>,
+    tracer: Tracer,
+    progress: Progress,
+}
+
+impl std::fmt::Debug for SharedManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedManager")
+            .field("threads", &self.config.threads)
+            .field("table_bits", &self.config.table_bits)
+            .field("cache_bits", &self.config.cache_bits)
+            .field("live", &self.space.live())
+            .finish()
+    }
+}
+
+impl Drop for SharedManager {
+    fn drop(&mut self) {
+        if let Some(rt) = &self.rt {
+            rt.shutdown();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl SharedManager {
+    /// Creates a manager and spawns its `threads - 1` persistent workers.
+    pub fn new(config: SharedConfig) -> SharedManager {
+        let threads = config.threads.max(1);
+        let space = Arc::new(SharedSpace::new(config.table_bits, config.cache_bits));
+        let mut workers = Vec::new();
+        let rt = if threads >= 2 {
+            // Fork until roughly every participant has a few tasks to steal:
+            // ceil(log2(threads)) + 3 levels of forking yields 8x as many
+            // leaf tasks as participants.
+            let cutoff = usize::BITS - (threads - 1).leading_zeros() + 3;
+            let rt = Arc::new(steal::Runtime::new(threads, cutoff));
+            for me in 1..threads {
+                let space = Arc::clone(&space);
+                let rt = Arc::clone(&rt);
+                let handle = std::thread::Builder::new()
+                    .name(format!("bbec-bdd-{me}"))
+                    .spawn(move || steal::Runtime::worker_loop(&space, &rt, me))
+                    .expect("spawn BDD worker");
+                workers.push(handle);
+            }
+            Some(rt)
+        } else {
+            None
+        };
+        SharedManager {
+            space,
+            rt,
+            workers,
+            config: SharedConfig { threads, ..config },
+            budget: None,
+            tracer: Tracer::disabled(),
+            progress: Progress::disabled(),
+        }
+    }
+
+    /// The sizing this manager was built with.
+    pub fn config(&self) -> SharedConfig {
+        self.config
+    }
+
+    /// Total participants, including the entry thread.
+    pub fn threads(&self) -> usize {
+        self.config.threads
+    }
+
+    /// Lifetime count of forked subproblems, for scaling telemetry.
+    pub fn forks(&self) -> u64 {
+        self.rt.as_ref().map_or(0, |rt| rt.forks())
+    }
+
+    /// A cloneable `Sync` handle for driving this manager's table and cache
+    /// from other threads concurrently with each other (each handle op
+    /// recurses sequentially). Handles share the owner's budget caps; they
+    /// are intended for unbudgeted multi-driver use, where an abort raised
+    /// by one driver is observed by all.
+    pub fn handle(&self) -> SharedHandle {
+        SharedHandle { space: Arc::clone(&self.space) }
+    }
+
+    // ------------------------------------------------------------------
+    // Operation plumbing
+    // ------------------------------------------------------------------
+
+    /// Runs one budgeted operation: wakes the workers (if any), executes
+    /// `f` on the entry context, retires the op, and maps a poisoned result
+    /// to the first recorded abort reason.
+    fn run_op(
+        &mut self,
+        f: impl FnOnce(&mut OpCtx<'_>) -> Result<u32, BudgetExceeded>,
+    ) -> Result<Bdd, BudgetExceeded> {
+        // Poll the deadline once per operation: amortised polling only fires
+        // every 1024 cumulative steps, which a workload of tiny operations
+        // might never reach.
+        if let Err(e) = self.space.check_deadline() {
+            self.space.clear_abort();
+            return Err(e);
+        }
+        let raw = match &self.rt {
+            Some(rt) => {
+                rt.begin_op();
+                let mut ctx = OpCtx::new(&self.space, Some(rt.as_ref()), 0, Some(&self.progress));
+                let r = f(&mut ctx);
+                if let Err(e) = r {
+                    self.space.record_abort(e);
+                }
+                ctx.flush();
+                rt.end_op();
+                r
+            }
+            None => {
+                let mut ctx = OpCtx::new(&self.space, None, 0, Some(&self.progress));
+                let r = f(&mut ctx);
+                ctx.flush();
+                r
+            }
+        };
+        let out = match raw {
+            Ok(edge) => Ok(Bdd(edge)),
+            // The entry's local error may be a follow-on abort; report the
+            // first recorded reason so the verdict names the real cap.
+            Err(_) => Err(self.space.reason()),
+        };
+        self.space.clear_abort();
+        out
+    }
+
+    /// Runs `f` with the caps lifted, like the sequential `run_unbudgeted`:
+    /// steps keep accumulating, so restoring the caps resumes the same
+    /// accounting window.
+    fn run_unbudgeted(
+        &mut self,
+        f: impl FnOnce(&mut OpCtx<'_>) -> Result<u32, BudgetExceeded>,
+    ) -> Bdd {
+        let saved = self.budget;
+        self.space.set_limits(None, None, None);
+        let r = self.run_op(f);
+        let b = saved.unwrap_or_default();
+        self.space.set_limits(b.max_live_nodes, b.max_steps, b.deadline);
+        self.budget = saved;
+        r.expect("BDD operation without a budget cannot be aborted")
+    }
+
+    // ------------------------------------------------------------------
+    // Variables and constants
+    // ------------------------------------------------------------------
+
+    /// The constant `true` or `false` function.
+    pub fn constant(&self, value: bool) -> Bdd {
+        Bdd(if value { TRUE } else { FALSE })
+    }
+
+    /// Number of variables created so far.
+    pub fn var_count(&self) -> usize {
+        self.space.var_count.load(Ordering::Relaxed)
+    }
+
+    /// Creates the next variable. The shared engine never reorders, so the
+    /// variable's level is its creation index forever.
+    pub fn new_var(&mut self) -> BddVar {
+        let v = self.space.var_count.fetch_add(1, Ordering::Relaxed) as u32;
+        // Materialise the projection eagerly; `var` then always hits the
+        // idempotent get-or-insert below.
+        self.space.mk(v, FALSE, TRUE, usize::MAX).expect("projection nodes fit any table");
+        BddVar(v)
+    }
+
+    /// Creates `n` fresh variables.
+    pub fn new_vars(&mut self, n: usize) -> Vec<BddVar> {
+        (0..n).map(|_| self.new_var()).collect()
+    }
+
+    /// The projection function of `var`.
+    pub fn var(&self, var: BddVar) -> Bdd {
+        debug_assert!((var.0 as usize) < self.var_count(), "unknown variable");
+        Bdd(self.space.mk(var.0, FALSE, TRUE, usize::MAX).expect("projection nodes fit any table"))
+    }
+
+    /// The current level of `var` — its index, since levels never move.
+    pub fn level_of(&self, var: BddVar) -> u32 {
+        var.0
+    }
+
+    /// The variable at `level` — the identity map, since levels never move.
+    pub fn var_at_level(&self, level: u32) -> BddVar {
+        BddVar(level)
+    }
+
+    // ------------------------------------------------------------------
+    // Operator core (mirrors apply.rs / quant.rs)
+    // ------------------------------------------------------------------
+
+    /// Negation: a complement-bit flip, never a budget risk.
+    pub fn not(&mut self, f: Bdd) -> Bdd {
+        Bdd(f.0 ^ 1)
+    }
+
+    /// Budgeted [`SharedManager::not`] (infallible, for API symmetry).
+    pub fn try_not(&mut self, f: Bdd) -> Result<Bdd, BudgetExceeded> {
+        Ok(Bdd(f.0 ^ 1))
+    }
+
+    /// Conjunction.
+    pub fn and(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        self.run_unbudgeted(|ctx| space::and_rec(ctx, f.0, g.0, 0))
+    }
+
+    /// Budgeted [`SharedManager::and`].
+    pub fn try_and(&mut self, f: Bdd, g: Bdd) -> Result<Bdd, BudgetExceeded> {
+        self.run_op(|ctx| space::and_rec(ctx, f.0, g.0, 0))
+    }
+
+    /// Disjunction.
+    pub fn or(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        self.run_unbudgeted(|ctx| space::and_rec(ctx, f.0 ^ 1, g.0 ^ 1, 0).map(|r| r ^ 1))
+    }
+
+    /// Budgeted [`SharedManager::or`].
+    pub fn try_or(&mut self, f: Bdd, g: Bdd) -> Result<Bdd, BudgetExceeded> {
+        self.run_op(|ctx| space::and_rec(ctx, f.0 ^ 1, g.0 ^ 1, 0).map(|r| r ^ 1))
+    }
+
+    /// Exclusive or.
+    pub fn xor(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        self.run_unbudgeted(|ctx| space::xor_rec(ctx, f.0, g.0, 0))
+    }
+
+    /// Budgeted [`SharedManager::xor`].
+    pub fn try_xor(&mut self, f: Bdd, g: Bdd) -> Result<Bdd, BudgetExceeded> {
+        self.run_op(|ctx| space::xor_rec(ctx, f.0, g.0, 0))
+    }
+
+    /// Equivalence (`¬(f ⊕ g)`).
+    pub fn xnor(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        self.run_unbudgeted(|ctx| space::xor_rec(ctx, f.0, g.0, 0).map(|r| r ^ 1))
+    }
+
+    /// Budgeted [`SharedManager::xnor`].
+    pub fn try_xnor(&mut self, f: Bdd, g: Bdd) -> Result<Bdd, BudgetExceeded> {
+        self.run_op(|ctx| space::xor_rec(ctx, f.0, g.0, 0).map(|r| r ^ 1))
+    }
+
+    /// If-then-else.
+    pub fn ite(&mut self, f: Bdd, g: Bdd, h: Bdd) -> Bdd {
+        self.run_unbudgeted(|ctx| space::ite_rec(ctx, f.0, g.0, h.0, 0))
+    }
+
+    /// Budgeted [`SharedManager::ite`].
+    pub fn try_ite(&mut self, f: Bdd, g: Bdd, h: Bdd) -> Result<Bdd, BudgetExceeded> {
+        self.run_op(|ctx| space::ite_rec(ctx, f.0, g.0, h.0, 0))
+    }
+
+    /// Conjunction of all `fs`, with the sequential engine's early exit on
+    /// reaching `false`.
+    pub fn and_many(&mut self, fs: &[Bdd]) -> Bdd {
+        match self.try_and_many_impl(fs, false) {
+            Ok(r) => r,
+            Err(_) => unreachable!("unbudgeted and_many cannot be aborted"),
+        }
+    }
+
+    /// Budgeted [`SharedManager::and_many`].
+    pub fn try_and_many(&mut self, fs: &[Bdd]) -> Result<Bdd, BudgetExceeded> {
+        self.try_and_many_impl(fs, true)
+    }
+
+    fn try_and_many_impl(&mut self, fs: &[Bdd], budgeted: bool) -> Result<Bdd, BudgetExceeded> {
+        let mut acc = self.constant(true);
+        for &f in fs {
+            acc = if budgeted { self.try_and(acc, f)? } else { self.and(acc, f) };
+            if acc.0 == FALSE {
+                break;
+            }
+        }
+        Ok(acc)
+    }
+
+    /// Disjunction of all `fs`, with the early exit on reaching `true`.
+    pub fn or_many(&mut self, fs: &[Bdd]) -> Bdd {
+        match self.try_or_many_impl(fs, false) {
+            Ok(r) => r,
+            Err(_) => unreachable!("unbudgeted or_many cannot be aborted"),
+        }
+    }
+
+    /// Budgeted [`SharedManager::or_many`].
+    pub fn try_or_many(&mut self, fs: &[Bdd]) -> Result<Bdd, BudgetExceeded> {
+        self.try_or_many_impl(fs, true)
+    }
+
+    fn try_or_many_impl(&mut self, fs: &[Bdd], budgeted: bool) -> Result<Bdd, BudgetExceeded> {
+        let mut acc = self.constant(false);
+        for &f in fs {
+            acc = if budgeted { self.try_or(acc, f)? } else { self.or(acc, f) };
+            if acc.0 == TRUE {
+                break;
+            }
+        }
+        Ok(acc)
+    }
+
+    /// Parity of all `fs`.
+    pub fn xor_many(&mut self, fs: &[Bdd]) -> Bdd {
+        let mut acc = self.constant(false);
+        for &f in fs {
+            acc = self.xor(acc, f);
+        }
+        acc
+    }
+
+    /// Budgeted [`SharedManager::xor_many`].
+    pub fn try_xor_many(&mut self, fs: &[Bdd]) -> Result<Bdd, BudgetExceeded> {
+        let mut acc = self.constant(false);
+        for &f in fs {
+            acc = self.try_xor(acc, f)?;
+        }
+        Ok(acc)
+    }
+
+    /// Existential quantification of the cube's variables out of `f`.
+    pub fn exists(&mut self, f: Bdd, cube: Cube) -> Bdd {
+        self.run_unbudgeted(|ctx| space::exists_rec(ctx, f.0, cube.bdd.0, 0))
+    }
+
+    /// Budgeted [`SharedManager::exists`].
+    pub fn try_exists(&mut self, f: Bdd, cube: Cube) -> Result<Bdd, BudgetExceeded> {
+        self.run_op(|ctx| space::exists_rec(ctx, f.0, cube.bdd.0, 0))
+    }
+
+    /// Universal quantification (`¬∃.¬f`).
+    pub fn forall(&mut self, f: Bdd, cube: Cube) -> Bdd {
+        self.run_unbudgeted(|ctx| space::exists_rec(ctx, f.0 ^ 1, cube.bdd.0, 0).map(|r| r ^ 1))
+    }
+
+    /// Budgeted [`SharedManager::forall`].
+    pub fn try_forall(&mut self, f: Bdd, cube: Cube) -> Result<Bdd, BudgetExceeded> {
+        self.run_op(|ctx| space::exists_rec(ctx, f.0 ^ 1, cube.bdd.0, 0).map(|r| r ^ 1))
+    }
+
+    /// Fused `∃cube. f ∧ g` (the relational-product workhorse).
+    pub fn and_exists(&mut self, f: Bdd, g: Bdd, cube: Cube) -> Bdd {
+        self.run_unbudgeted(|ctx| space::and_exists_rec(ctx, f.0, g.0, cube.bdd.0, 0))
+    }
+
+    /// Budgeted [`SharedManager::and_exists`].
+    pub fn try_and_exists(&mut self, f: Bdd, g: Bdd, cube: Cube) -> Result<Bdd, BudgetExceeded> {
+        self.run_op(|ctx| space::and_exists_rec(ctx, f.0, g.0, cube.bdd.0, 0))
+    }
+
+    /// Substitutes `g` for `var` in `f`.
+    pub fn compose(&mut self, f: Bdd, var: BddVar, g: Bdd) -> Bdd {
+        let parity = f.0 & 1;
+        self.run_unbudgeted(|ctx| {
+            space::compose_rec(ctx, f.0 ^ parity, var.0, g.0, 0).map(|r| r ^ parity)
+        })
+    }
+
+    /// Budgeted [`SharedManager::compose`].
+    pub fn try_compose(&mut self, f: Bdd, var: BddVar, g: Bdd) -> Result<Bdd, BudgetExceeded> {
+        let parity = f.0 & 1;
+        self.run_op(|ctx| space::compose_rec(ctx, f.0 ^ parity, var.0, g.0, 0).map(|r| r ^ parity))
+    }
+
+    /// Builds the positive cube of `vars` (the [`Cube::try_from_vars`]
+    /// equivalent for the shared engine).
+    pub fn try_cube(&mut self, vars: &[BddVar]) -> Result<Cube, BudgetExceeded> {
+        let mut acc = self.constant(true);
+        for &v in vars {
+            let lit = self.var(v);
+            acc = self.try_and(acc, lit)?;
+        }
+        debug_assert_ne!(acc, self.constant(false));
+        Ok(Cube { bdd: acc })
+    }
+
+    // ------------------------------------------------------------------
+    // Analysis (mirrors analysis.rs, identity variable order)
+    // ------------------------------------------------------------------
+
+    /// Evaluates `f` under a total assignment indexed by variable.
+    pub fn eval(&self, f: Bdd, assignment: &[bool]) -> bool {
+        let mut cur = f.0;
+        loop {
+            let (level, lo, hi) = self.space.table.node(cur >> 1);
+            if level == table::TERMINAL_LEVEL {
+                return cur == TRUE;
+            }
+            let tag = cur & 1;
+            cur = if assignment[level as usize] { hi ^ tag } else { lo ^ tag };
+        }
+    }
+
+    /// The set of variables `f` depends on, in level order.
+    pub fn support(&self, f: Bdd) -> Vec<BddVar> {
+        let mut levels = Vec::new();
+        let mut visited = std::collections::HashSet::new();
+        let mut stack = vec![f.0 >> 1];
+        while let Some(idx) = stack.pop() {
+            if idx == 0 || !visited.insert(idx) {
+                continue;
+            }
+            let (level, lo, hi) = self.space.table.node(idx);
+            levels.push(level);
+            stack.push(lo >> 1);
+            stack.push(hi >> 1);
+        }
+        levels.sort_unstable();
+        levels.dedup();
+        levels.into_iter().map(BddVar).collect()
+    }
+
+    /// Number of nodes in the shared graph of `f`, including the terminal.
+    pub fn node_count(&self, f: Bdd) -> usize {
+        self.node_count_many(&[f])
+    }
+
+    /// Number of distinct nodes in the shared graph of all roots.
+    pub fn node_count_many(&self, roots: &[Bdd]) -> usize {
+        let mut visited = std::collections::HashSet::new();
+        let mut stack: Vec<u32> = roots.iter().map(|r| r.0 >> 1).collect();
+        while let Some(idx) = stack.pop() {
+            if !visited.insert(idx) {
+                continue;
+            }
+            if idx != 0 {
+                let (_, lo, hi) = self.space.table.node(idx);
+                stack.push(lo >> 1);
+                stack.push(hi >> 1);
+            }
+        }
+        visited.len()
+    }
+
+    /// Returns an assignment satisfying `f`, if one exists.
+    pub fn any_sat(&self, f: Bdd) -> Option<SatAssignment> {
+        if f.0 == FALSE {
+            return None;
+        }
+        let mut values = vec![None; self.var_count()];
+        let mut cur = f.0;
+        while cur != TRUE {
+            let (level, lo, hi) = self.space.table.node(cur >> 1);
+            let tag = cur & 1;
+            let (lo, hi) = (lo ^ tag, hi ^ tag);
+            // Prefer the hi branch, like the sequential walk.
+            if hi != FALSE {
+                values[level as usize] = Some(true);
+                cur = hi;
+            } else {
+                values[level as usize] = Some(false);
+                cur = lo;
+            }
+        }
+        Some(SatAssignment::from_values(values))
+    }
+
+    /// Returns an assignment falsifying `f`, if one exists.
+    pub fn any_unsat(&self, f: Bdd) -> Option<SatAssignment> {
+        if f.0 == TRUE {
+            return None;
+        }
+        let mut values = vec![None; self.var_count()];
+        let mut cur = f.0;
+        while cur != FALSE {
+            let (level, lo, hi) = self.space.table.node(cur >> 1);
+            let tag = cur & 1;
+            let (lo, hi) = (lo ^ tag, hi ^ tag);
+            if hi != TRUE {
+                values[level as usize] = Some(true);
+                cur = hi;
+            } else {
+                values[level as usize] = Some(false);
+                cur = lo;
+            }
+        }
+        Some(SatAssignment::from_values(values))
+    }
+
+    /// True iff `f` is the constant `true`.
+    pub fn is_tautology(&self, f: Bdd) -> bool {
+        f.0 == TRUE
+    }
+
+    /// True iff `f` is the constant `false`.
+    pub fn is_contradiction(&self, f: Bdd) -> bool {
+        f.0 == FALSE
+    }
+
+    /// Serialises the shared graph of `roots` in the [`crate::io`] forest
+    /// format, by rebuilding it inside a scratch sequential manager. The
+    /// output renumbers nodes by a deterministic traversal, so equal
+    /// functions serialise identically regardless of which engine (or
+    /// thread count) built them.
+    pub fn write_forest(&self, roots: &[Bdd]) -> String {
+        let (m, mapped) = self.rebuild_classic(roots);
+        m.write_forest(&mapped)
+    }
+
+    /// Rebuilds the shared graph of `roots` inside a fresh sequential
+    /// manager, returning it plus the translated root edges.
+    fn rebuild_classic(&self, roots: &[Bdd]) -> (BddManager, Vec<Bdd>) {
+        let mut m = BddManager::new();
+        m.new_vars(self.var_count());
+        // Shared node index -> classic *regular* edge. Stored hi edges are
+        // uncomplemented in both engines, so regular edges map to regular
+        // edges and complement tags transfer verbatim.
+        let mut map: HashMap<u32, u32> = HashMap::new();
+        map.insert(0, TRUE);
+        let mut stack: Vec<u32> = roots.iter().map(|r| r.0 >> 1).collect();
+        while let Some(&idx) = stack.last() {
+            if map.contains_key(&idx) {
+                stack.pop();
+                continue;
+            }
+            let (level, lo, hi) = self.space.table.node(idx);
+            let mut ready = true;
+            for child in [lo >> 1, hi >> 1] {
+                if !map.contains_key(&child) {
+                    stack.push(child);
+                    ready = false;
+                }
+            }
+            if !ready {
+                continue;
+            }
+            stack.pop();
+            let clo = map[&(lo >> 1)] ^ (lo & 1);
+            let chi = map[&(hi >> 1)] ^ (hi & 1);
+            let edge = m.mk(level, clo, chi);
+            debug_assert_eq!(edge.0 & 1, 0, "regular input edges rebuild regular");
+            map.insert(idx, edge.0);
+        }
+        let mapped = roots.iter().map(|r| Bdd(map[&(r.0 >> 1)] ^ (r.0 & 1))).collect();
+        (m, mapped)
+    }
+
+    // ------------------------------------------------------------------
+    // Budget, telemetry, observability
+    // ------------------------------------------------------------------
+
+    /// Installs (or clears) the resource budget and starts a fresh
+    /// step-accounting window, with [`BddManager::set_budget`] semantics.
+    pub fn set_budget(&mut self, budget: Option<Budget>) {
+        let b = budget.unwrap_or_default();
+        self.space.set_limits(b.max_live_nodes, b.max_steps, b.deadline);
+        self.space.reset_window();
+        self.budget = budget;
+    }
+
+    /// The currently installed budget, if any.
+    pub fn budget(&self) -> Option<Budget> {
+        self.budget
+    }
+
+    /// Usage statistics. The shared engine never frees nodes, so live,
+    /// peak and allocated coincide, and the GC/reorder counters stay zero.
+    pub fn stats(&self) -> BddStats {
+        let live = self.space.live();
+        BddStats {
+            live_nodes: live,
+            peak_live_nodes: live,
+            allocated_nodes: live,
+            reorderings: 0,
+            collected_nodes: 0,
+        }
+    }
+
+    /// Cumulative operation counters for telemetry.
+    pub fn telemetry(&self) -> OpTelemetry {
+        OpTelemetry {
+            apply_steps: self.space.steps.load(Ordering::Relaxed),
+            cache_hits: self.space.cache.hits(),
+            cache_misses: self.space.cache.misses(),
+            gc_passes: 0,
+            reorder_passes: 0,
+            peak_live_nodes: self.space.live(),
+        }
+    }
+
+    /// Per-operation computed-table `(name, hits, misses)` rows.
+    pub fn cache_stats_by_op(&self) -> Vec<(&'static str, u64, u64)> {
+        self.space.cache.stats_by_op().to_vec()
+    }
+
+    /// Installs the observability sink. The shared engine keeps no flight
+    /// recorder (its hot paths are lock-free and multi-threaded); the
+    /// tracer is retained for spans and counters of the surrounding check.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// The currently installed observability sink.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Installs the heartbeat engine, ticked every 1024 entry-thread steps.
+    pub fn set_progress(&mut self, progress: Progress) {
+        self.progress = progress;
+    }
+
+    /// No-op: the shared cache capacity is fixed at construction (resizing
+    /// a lock-free table safely would need a stop-the-world phase).
+    pub fn set_cache_capacity_bits(&mut self, _bits: u32) {}
+
+    /// No-op: the shared engine has no flight recorder.
+    pub fn dump_flight_recorder(&self, _reason: &str) {}
+
+    /// No-op: the insert-only table never reorders. Always `false`.
+    pub fn maybe_reorder(&mut self) -> bool {
+        false
+    }
+
+    /// No-op: reordering is unsupported; settings are accepted and ignored
+    /// so pooled call sites need no special-casing.
+    pub fn set_reorder_settings(&mut self, _settings: crate::ReorderSettings) {}
+
+    /// No-op: nodes are never freed, so handles never dangle.
+    pub fn protect(&mut self, f: Bdd) -> Bdd {
+        f
+    }
+
+    /// No-op counterpart of [`SharedManager::protect`].
+    pub fn release(&mut self, _f: Bdd) {}
+
+    /// No-op: the insert-only table has nothing to collect. Returns 0.
+    pub fn collect_garbage(&mut self) -> usize {
+        0
+    }
+
+    /// No-op: peak equals live in an insert-only table.
+    pub fn reset_peak(&mut self) {}
+
+    /// Restores the manager to its freshly constructed state while keeping
+    /// the table/cache allocations and the worker threads warm, mirroring
+    /// [`BddManager::reset`] for the warm pools. Callers must be quiescent:
+    /// no operation in flight, no live [`SharedHandle`] in use.
+    pub fn reset(&mut self) {
+        self.space.table.reset();
+        self.space.cache.reset();
+        self.space.var_count.store(0, Ordering::Relaxed);
+        self.space.steps.store(0, Ordering::Relaxed);
+        self.space.set_limits(None, None, None);
+        self.space.reset_window();
+        self.space.clear_abort();
+        self.budget = None;
+        self.tracer = Tracer::disabled();
+        self.progress = Progress::disabled();
+    }
+
+    /// Panics if any structural invariant is violated. Requires quiescence
+    /// (no insertion in flight). Asserts, for every stored node:
+    ///
+    /// * its level names a created variable,
+    /// * children sit strictly below it (ordered),
+    /// * children differ (reduced),
+    /// * the stored hi edge is regular (canonical complement form),
+    /// * both children are stored nodes or the terminal (closed),
+    ///
+    /// and that the occupancy counters agree with a full scan.
+    pub fn check_invariants(&self) {
+        let vars = self.var_count() as u32;
+        let mut nodes: HashMap<u32, (u32, u32, u32)> = HashMap::new();
+        self.space.table.for_each_node(|idx, level, lo, hi| {
+            nodes.insert(idx, (level, lo, hi));
+        });
+        for (&idx, &(level, lo, hi)) in &nodes {
+            assert!(level < vars, "node {idx} level {level} >= var count {vars}");
+            assert_ne!(lo, hi, "node {idx} is redundant");
+            assert_eq!(hi & 1, 0, "node {idx} stores a complemented hi edge");
+            for child in [lo, hi] {
+                let cidx = child >> 1;
+                assert!(
+                    cidx == 0 || nodes.contains_key(&cidx),
+                    "node {idx} has dangling child {cidx}"
+                );
+                let clevel = if cidx == 0 { table::TERMINAL_LEVEL } else { nodes[&cidx].0 };
+                assert!(clevel > level, "node {idx} child {cidx} not below");
+            }
+        }
+        assert_eq!(
+            self.space.table.occupancy(),
+            nodes.len() + 1,
+            "occupancy counters disagree with scan"
+        );
+    }
+}
+
+/// A cloneable `Sync` view of a [`SharedManager`]'s space, for driving BDD
+/// work from several threads at once. Each operation recurses sequentially
+/// (no forking) but shares the concurrent unique table and computed cache
+/// with every other handle and with the owner, so results are interned
+/// into — and cache-warm for — the one shared space.
+///
+/// Handle operations observe the owner's budget caps; an abort raised by
+/// any participant fails every in-flight operation fast.
+#[derive(Clone)]
+pub struct SharedHandle {
+    space: Arc<SharedSpace>,
+}
+
+impl std::fmt::Debug for SharedHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedHandle").field("live", &self.space.live()).finish()
+    }
+}
+
+impl SharedHandle {
+    fn run(
+        &self,
+        f: impl FnOnce(&mut OpCtx<'_>) -> Result<u32, BudgetExceeded>,
+    ) -> Result<Bdd, BudgetExceeded> {
+        let mut ctx = OpCtx::new(&self.space, None, 0, None);
+        let r = f(&mut ctx);
+        ctx.flush();
+        r.map(Bdd)
+    }
+
+    /// The constant `true` or `false` function.
+    pub fn constant(&self, value: bool) -> Bdd {
+        Bdd(if value { TRUE } else { FALSE })
+    }
+
+    /// The projection function of an already created variable.
+    pub fn var(&self, var: BddVar) -> Bdd {
+        Bdd(self.space.mk(var.0, FALSE, TRUE, usize::MAX).expect("projection nodes fit any table"))
+    }
+
+    /// Budgeted negation (a bit flip).
+    pub fn try_not(&self, f: Bdd) -> Result<Bdd, BudgetExceeded> {
+        Ok(Bdd(f.0 ^ 1))
+    }
+
+    /// Budgeted conjunction.
+    pub fn try_and(&self, f: Bdd, g: Bdd) -> Result<Bdd, BudgetExceeded> {
+        self.run(|ctx| space::and_rec(ctx, f.0, g.0, 0))
+    }
+
+    /// Budgeted disjunction.
+    pub fn try_or(&self, f: Bdd, g: Bdd) -> Result<Bdd, BudgetExceeded> {
+        self.run(|ctx| space::and_rec(ctx, f.0 ^ 1, g.0 ^ 1, 0).map(|r| r ^ 1))
+    }
+
+    /// Budgeted exclusive or.
+    pub fn try_xor(&self, f: Bdd, g: Bdd) -> Result<Bdd, BudgetExceeded> {
+        self.run(|ctx| space::xor_rec(ctx, f.0, g.0, 0))
+    }
+
+    /// Budgeted if-then-else.
+    pub fn try_ite(&self, f: Bdd, g: Bdd, h: Bdd) -> Result<Bdd, BudgetExceeded> {
+        self.run(|ctx| space::ite_rec(ctx, f.0, g.0, h.0, 0))
+    }
+
+    /// Evaluates `f` under a total assignment indexed by variable.
+    pub fn eval(&self, f: Bdd, assignment: &[bool]) -> bool {
+        let mut cur = f.0;
+        loop {
+            let (level, lo, hi) = self.space.table.node(cur >> 1);
+            if level == table::TERMINAL_LEVEL {
+                return cur == TRUE;
+            }
+            let tag = cur & 1;
+            cur = if assignment[level as usize] { hi ^ tag } else { lo ^ tag };
+        }
+    }
+}
+
+// The whole point: owners move across threads, handles are shared freely.
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    fn assert_sync<T: Sync>() {}
+    assert_send::<SharedManager>();
+    assert_send::<SharedHandle>();
+    assert_sync::<SharedHandle>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(threads: usize) -> SharedConfig {
+        SharedConfig::for_check(threads, Some(1 << 16), 14)
+    }
+
+    /// A deterministic little formula zoo over `n` variables, exercised
+    /// identically against any engine through these closures.
+    fn build_formulas<M>(
+        n: usize,
+        var: &mut impl FnMut(&mut M, usize) -> Bdd,
+        and: &mut impl FnMut(&mut M, Bdd, Bdd) -> Bdd,
+        xor: &mut impl FnMut(&mut M, Bdd, Bdd) -> Bdd,
+        ite: &mut impl FnMut(&mut M, Bdd, Bdd, Bdd) -> Bdd,
+        not: &mut impl FnMut(&mut M, Bdd) -> Bdd,
+        m: &mut M,
+    ) -> Vec<Bdd> {
+        let lits: Vec<Bdd> = (0..n).map(|i| var(m, i)).collect();
+        let mut out = Vec::new();
+        // Parity chain.
+        let mut parity = lits[0];
+        for &l in &lits[1..] {
+            parity = xor(m, parity, l);
+        }
+        out.push(parity);
+        // Majority-ish cascade of ITEs.
+        let mut maj = lits[0];
+        for w in lits.windows(3) {
+            let t = and(m, w[1], w[2]);
+            maj = ite(m, w[0], t, maj);
+        }
+        out.push(maj);
+        // Interleaved products with negations.
+        let mut prod = ite(m, lits[n - 1], parity, maj);
+        for (i, &l) in lits.iter().enumerate() {
+            let operand = if i % 3 == 0 { not(m, l) } else { l };
+            let alt = xor(m, prod, operand);
+            prod = and(m, prod, alt);
+            prod = ite(m, operand, prod, parity);
+        }
+        out.push(prod);
+        out
+    }
+
+    fn shared_formulas(m: &mut SharedManager, n: usize) -> Vec<Bdd> {
+        let vars = m.new_vars(n);
+        build_formulas(
+            n,
+            &mut |m: &mut SharedManager, i| m.var(vars[i]),
+            &mut |m, a, b| m.and(a, b),
+            &mut |m, a, b| m.xor(a, b),
+            &mut |m, a, b, c| m.ite(a, b, c),
+            &mut |m, a| m.not(a),
+            m,
+        )
+    }
+
+    fn classic_formulas(m: &mut BddManager, n: usize) -> Vec<Bdd> {
+        let vars = m.new_vars(n);
+        build_formulas(
+            n,
+            &mut |m: &mut BddManager, i| m.var(vars[i]),
+            &mut |m, a, b| m.and(a, b),
+            &mut |m, a, b| m.xor(a, b),
+            &mut |m, a, b, c| m.ite(a, b, c),
+            &mut |m, a| m.not(a),
+            m,
+        )
+    }
+
+    #[test]
+    fn matches_classic_engine_bit_for_bit() {
+        let n = 10;
+        let mut classic = BddManager::new();
+        let croots = classic_formulas(&mut classic, n);
+        let reference = classic.write_forest(&croots);
+        for threads in [1, 2, 4] {
+            let mut m = SharedManager::new(cfg(threads));
+            let roots = shared_formulas(&mut m, n);
+            assert_eq!(
+                m.write_forest(&roots),
+                reference,
+                "shared({threads}) built a different forest"
+            );
+            m.check_invariants();
+        }
+    }
+
+    #[test]
+    fn eval_und_witnesses_match_semantics() {
+        let n = 8;
+        let mut m = SharedManager::new(cfg(2));
+        let roots = shared_formulas(&mut m, n);
+        let mut classic = BddManager::new();
+        let croots = classic_formulas(&mut classic, n);
+        for bits in 0..(1u32 << n) {
+            let assign: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
+            for (s, c) in roots.iter().zip(&croots) {
+                assert_eq!(m.eval(*s, &assign), classic.eval(*c, &assign), "bits {bits:b}");
+            }
+        }
+        for (s, c) in roots.iter().zip(&croots) {
+            assert_eq!(m.node_count(*s), classic.node_count(*c));
+            assert_eq!(m.support(*s).len(), classic.support(*c).len());
+            if let Some(w) = m.any_sat(*s) {
+                assert!(m.eval(*s, &w.to_total(n)));
+            }
+            if let Some(w) = m.any_unsat(*s) {
+                assert!(!m.eval(*s, &w.to_total(n)));
+            }
+        }
+    }
+
+    #[test]
+    fn quantification_and_compose_match_classic() {
+        let n = 9;
+        for threads in [1, 4] {
+            let mut m = SharedManager::new(cfg(threads));
+            let vars = m.new_vars(n);
+            let roots = shared_formulas_on(&mut m, &vars);
+            let mut classic = BddManager::new();
+            let cvars = classic.new_vars(n);
+            let croots = classic_formulas_on(&mut classic, &cvars);
+
+            let scube = m.try_cube(&[vars[1], vars[4], vars[7]]).unwrap();
+            let ccube = Cube::from_vars(&mut classic, &[cvars[1], cvars[4], cvars[7]]);
+            for (s, c) in roots.iter().zip(&croots) {
+                let se = m.exists(*s, scube);
+                let ce = classic.exists(*c, ccube);
+                assert_eq!(m.write_forest(&[se]), classic.write_forest(&[ce]));
+                let sf = m.forall(*s, scube);
+                let cf = classic.forall(*c, ccube);
+                assert_eq!(m.write_forest(&[sf]), classic.write_forest(&[cf]));
+            }
+            let sae = m.and_exists(roots[0], roots[1], scube);
+            let cae = classic.and_exists(croots[0], croots[1], ccube);
+            assert_eq!(m.write_forest(&[sae]), classic.write_forest(&[cae]));
+
+            let sc = m.compose(roots[2], vars[3], roots[0]);
+            let cc = classic.compose(croots[2], cvars[3], croots[0]);
+            assert_eq!(m.write_forest(&[sc]), classic.write_forest(&[cc]));
+            m.check_invariants();
+        }
+    }
+
+    fn shared_formulas_on(m: &mut SharedManager, vars: &[BddVar]) -> Vec<Bdd> {
+        let vars = vars.to_vec();
+        build_formulas(
+            vars.len(),
+            &mut |m: &mut SharedManager, i| m.var(vars[i]),
+            &mut |m, a, b| m.and(a, b),
+            &mut |m, a, b| m.xor(a, b),
+            &mut |m, a, b, c| m.ite(a, b, c),
+            &mut |m, a| m.not(a),
+            m,
+        )
+    }
+
+    fn classic_formulas_on(m: &mut BddManager, vars: &[BddVar]) -> Vec<Bdd> {
+        let vars = vars.to_vec();
+        build_formulas(
+            vars.len(),
+            &mut |m: &mut BddManager, i| m.var(vars[i]),
+            &mut |m, a, b| m.and(a, b),
+            &mut |m, a, b| m.xor(a, b),
+            &mut |m, a, b, c| m.ite(a, b, c),
+            &mut |m, a| m.not(a),
+            m,
+        )
+    }
+
+    #[test]
+    fn node_budget_fires_and_leaves_manager_usable() {
+        let mut m = SharedManager::new(cfg(2));
+        let vars = m.new_vars(24);
+        m.set_budget(Some(Budget::nodes(64)));
+        let mut r = Ok(m.constant(true));
+        let mut acc = m.constant(false);
+        for w in vars.windows(2) {
+            let a = m.var(w[0]);
+            let b = m.var(w[1]);
+            r = (|| {
+                let t = m.try_and(a, b)?;
+                let x = m.try_xor(acc, t)?;
+                acc = m.try_ite(t, x, acc)?;
+                Ok(acc)
+            })();
+            if r.is_err() {
+                break;
+            }
+        }
+        assert!(matches!(r, Err(BudgetExceeded::Nodes { .. })), "got {r:?}");
+        // The space must stay usable after the abort is cleared.
+        m.set_budget(None);
+        let a = m.var(vars[0]);
+        let b = m.var(vars[1]);
+        let c = m.and(a, b);
+        assert!(m.eval(c, &{
+            let mut v = vec![false; 24];
+            v[0] = true;
+            v[1] = true;
+            v
+        }));
+        m.check_invariants();
+    }
+
+    #[test]
+    fn step_budget_fires() {
+        let mut m = SharedManager::new(cfg(1));
+        let vars = m.new_vars(20);
+        m.set_budget(Some(Budget::steps(8)));
+        let mut r = Ok(m.constant(false));
+        let mut acc = m.constant(false);
+        for chunk in vars.chunks(2) {
+            r = (|| {
+                let mut row = m.constant(true);
+                for &v in chunk {
+                    let lit = m.var(v);
+                    row = m.try_and(row, lit)?;
+                }
+                acc = m.try_xor(acc, row)?;
+                Ok(acc)
+            })();
+            if r.is_err() {
+                break;
+            }
+        }
+        assert!(matches!(r, Err(BudgetExceeded::Steps { .. })), "got {r:?}");
+    }
+
+    #[test]
+    fn deadline_budget_fires() {
+        let mut m = SharedManager::new(cfg(2));
+        let vars = m.new_vars(40);
+        m.set_budget(Some(Budget {
+            deadline: Some(std::time::Instant::now() - std::time::Duration::from_millis(1)),
+            ..Budget::default()
+        }));
+        // Enough work to pass the 1024-step deadline poll.
+        let mut acc = m.constant(false);
+        let mut r = Ok(acc);
+        for i in 0..vars.len() {
+            for j in (i + 1)..vars.len() {
+                let a = m.var(vars[i]);
+                let b = m.var(vars[j]);
+                r = (|| {
+                    let t = m.try_xor(a, b)?;
+                    acc = m.try_ite(t, acc, b)?;
+                    m.try_xor(acc, t)
+                })();
+                if r.is_err() {
+                    return; // fired, as expected
+                }
+            }
+        }
+        panic!("expired deadline never fired: {r:?}");
+    }
+
+    #[test]
+    fn infallible_ops_survive_installed_budget() {
+        let mut m = SharedManager::new(cfg(2));
+        let vars = m.new_vars(12);
+        m.set_budget(Some(Budget::steps(1)));
+        // Unbudgeted wrappers must lift the caps, not trip them.
+        let lits: Vec<Bdd> = vars.iter().map(|&v| m.var(v)).collect();
+        let f = m.xor_many(&lits);
+        let g = m.and_many(&lits);
+        let h = m.ite(f, g, lits[0]);
+        assert!(!m.is_contradiction(h) || m.is_contradiction(g));
+        assert_eq!(m.budget().unwrap().max_steps, Some(1));
+    }
+
+    #[test]
+    fn reset_restores_fresh_behaviour() {
+        let mut m = SharedManager::new(cfg(4));
+        let first = {
+            let roots = shared_formulas(&mut m, 9);
+            m.write_forest(&roots)
+        };
+        let steps_before = m.telemetry().apply_steps;
+        assert!(steps_before > 0);
+        m.reset();
+        assert_eq!(m.var_count(), 0);
+        assert_eq!(m.stats().live_nodes, 0);
+        assert_eq!(m.telemetry().apply_steps, 0);
+        assert_eq!(m.telemetry().cache_hits + m.telemetry().cache_misses, 0);
+        let second = {
+            let roots = shared_formulas(&mut m, 9);
+            m.write_forest(&roots)
+        };
+        assert_eq!(first, second, "recycled manager must behave bit-identically");
+        m.check_invariants();
+    }
+
+    #[test]
+    fn forest_round_trips_through_classic_reader() {
+        let mut m = SharedManager::new(cfg(2));
+        let roots = shared_formulas(&mut m, 8);
+        let text = m.write_forest(&roots);
+        let mut back = BddManager::new();
+        let parsed = back.read_forest(&text).expect("forest parses");
+        assert_eq!(parsed.len(), roots.len());
+        for bits in (0..256u32).step_by(7) {
+            let assign: Vec<bool> = (0..8).map(|i| bits >> i & 1 == 1).collect();
+            for (s, c) in roots.iter().zip(&parsed) {
+                assert_eq!(m.eval(*s, &assign), back.eval(*c, &assign));
+            }
+        }
+    }
+
+    /// Satellite: hammer one shared manager from 8 threads through handles
+    /// and hold it to `check_invariants` afterwards. Each thread builds a
+    /// rotated formula mix and verifies every result against direct
+    /// evaluation, so a lost insert, torn cache entry or broken canonical
+    /// form surfaces as a wrong verdict, not just a bent structure.
+    #[test]
+    fn handle_stress_eight_threads() {
+        let rounds = if std::env::var_os("BBEC_STRESS").is_some() { 20 } else { 4 };
+        let n = 12;
+        for _ in 0..rounds {
+            let mut m = SharedManager::new(cfg(1));
+            let vars = m.new_vars(n);
+            std::thread::scope(|scope| {
+                for tid in 0..8usize {
+                    let h = m.handle();
+                    let vars = vars.clone();
+                    scope.spawn(move || {
+                        let mut acc = h.constant(tid % 2 == 0);
+                        for step in 0..200 {
+                            let a = h.var(vars[(tid + step) % n]);
+                            let b = h.var(vars[(tid * 5 + step * 3) % n]);
+                            let t = h.try_and(a, b).unwrap();
+                            let x = h.try_xor(acc, t).unwrap();
+                            acc = h.try_ite(b, x, acc).unwrap();
+                            if step % 17 == 0 {
+                                acc = h.try_or(acc, a).unwrap();
+                            }
+                        }
+                        // Verify the accumulated function point-wise.
+                        for bits in (0..(1u32 << n)).step_by(127) {
+                            let assign: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
+                            let mut expect = tid % 2 == 0;
+                            for step in 0..200 {
+                                let a = assign[(tid + step) % n];
+                                let b = assign[(tid * 5 + step * 3) % n];
+                                let t = a && b;
+                                let x = expect ^ t;
+                                expect = if b { x } else { expect };
+                                if step % 17 == 0 {
+                                    expect = expect || a;
+                                }
+                            }
+                            assert_eq!(h.eval(acc, &assign), expect, "thread {tid} bits {bits:b}");
+                        }
+                    });
+                }
+            });
+            m.check_invariants();
+        }
+    }
+
+    #[test]
+    fn parallel_runs_actually_fork() {
+        let mut m = SharedManager::new(SharedConfig::for_check(4, Some(1 << 18), 16));
+        let _ = shared_formulas(&mut m, 16);
+        assert!(m.forks() > 0, "depth cutoff never forked on a 16-var workload");
+    }
+
+    #[test]
+    fn config_sizing_clamps() {
+        let c = SharedConfig::for_check(0, Some(10), 0);
+        assert_eq!(c.threads, 1);
+        assert_eq!(c.table_bits, MIN_TABLE_BITS);
+        let c = SharedConfig::for_check(4, Some(1 << 30), 40);
+        assert_eq!(c.table_bits, MAX_TABLE_BITS);
+        assert!(c.cache_bits <= MAX_SHARED_CACHE_BITS);
+        let c = SharedConfig::for_check(2, None, 18);
+        assert_eq!(c.table_bits, DEFAULT_TABLE_BITS);
+        assert_eq!(c.cache_bits, 18);
+    }
+}

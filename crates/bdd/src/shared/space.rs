@@ -1,0 +1,713 @@
+//! The `Sync` heart of the shared-memory engine: one [`SharedSpace`] holds
+//! the concurrent unique table, the lossy computed cache and the atomic
+//! budget governor; any number of participants (the entry thread plus the
+//! work-stealing workers) recurse over it simultaneously through per-thread
+//! [`OpCtx`] handles.
+//!
+//! The recursion functions here mirror the sequential operator core in
+//! `apply.rs`/`quant.rs` **exactly** — same terminal rules, same cache-key
+//! normalisation (commutative operand sort, XOR parity factoring, ITE
+//! standard triples), same `mk` canonicalisation — so a result computed by
+//! any interleaving of threads is the same canonical node the sequential
+//! engine would build. That structural fact is what makes verdicts
+//! bit-identical across thread counts: schedules change *when* nodes are
+//! built, never *which* function a root edge denotes.
+//!
+//! Step accounting is batched: each participant charges a thread-local
+//! counter and flushes it to the global atomic every [`STEP_BATCH`] steps,
+//! so a step limit trips within `threads * STEP_BATCH` steps of the exact
+//! point — documented slack in exchange for keeping the hot path free of
+//! contended `fetch_add`s. Node budgets need no such slack: occupancy is
+//! checked in the unique table before every claim.
+
+use super::cache::SharedCache;
+use super::steal::{Runtime, Task, TaskKind};
+use super::table::SharedTable;
+use crate::budget::BudgetExceeded;
+use crate::cache::Op;
+use crate::manager::{FALSE, TRUE};
+use bbec_trace::Progress;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
+
+/// Steps charged locally before flushing to the global counter.
+const STEP_BATCH: u32 = 64;
+
+pub(super) struct SharedSpace {
+    pub(super) table: SharedTable,
+    pub(super) cache: SharedCache,
+    /// Occupancy cap (terminal included); `usize::MAX` = unlimited.
+    node_limit: AtomicUsize,
+    /// Step cap for the current window; `u64::MAX` = unlimited.
+    max_steps: AtomicU64,
+    /// Cumulative apply steps over the space's lifetime.
+    pub(super) steps: AtomicU64,
+    /// `steps` value when the current budget window was armed.
+    window_start: AtomicU64,
+    deadline: RwLock<Option<Instant>>,
+    /// Cross-thread abort: set with the first budget error so every
+    /// participant fails fast instead of completing doomed subproblems.
+    abort: AtomicBool,
+    abort_reason: Mutex<Option<BudgetExceeded>>,
+    pub(super) var_count: AtomicUsize,
+}
+
+impl SharedSpace {
+    pub(super) fn new(table_bits: u32, cache_bits: u32) -> SharedSpace {
+        SharedSpace {
+            table: SharedTable::new(table_bits),
+            cache: SharedCache::with_capacity_bits(cache_bits),
+            node_limit: AtomicUsize::new(usize::MAX),
+            max_steps: AtomicU64::new(u64::MAX),
+            steps: AtomicU64::new(0),
+            window_start: AtomicU64::new(0),
+            deadline: RwLock::new(None),
+            abort: AtomicBool::new(false),
+            abort_reason: Mutex::new(None),
+            var_count: AtomicUsize::new(0),
+        }
+    }
+
+    /// Installs budget caps without touching the step window. Caller must
+    /// be quiescent (no op in flight). The infallible operation wrappers
+    /// use this to lift the caps temporarily — steps still accumulate, so
+    /// restoring the caps resumes the same accounting window, exactly like
+    /// the sequential `run_unbudgeted`.
+    pub(super) fn set_limits(
+        &self,
+        node_limit: Option<usize>,
+        max_steps: Option<u64>,
+        deadline: Option<Instant>,
+    ) {
+        // The table counts the terminal in its occupancy; the public limit
+        // counts live nodes excluding constants, like the classic manager.
+        self.node_limit
+            .store(node_limit.map_or(usize::MAX, |l| l.saturating_add(1)), Ordering::Relaxed);
+        self.max_steps.store(max_steps.unwrap_or(u64::MAX), Ordering::Relaxed);
+        *self.deadline.write().unwrap() = deadline;
+    }
+
+    /// Opens a fresh step-accounting window (the `set_budget` semantics).
+    pub(super) fn reset_window(&self) {
+        self.window_start.store(self.steps.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// One immediate deadline poll; entry threads run this per operation so
+    /// an expired deadline aborts even workloads of many tiny operations
+    /// (whose step counts never reach the amortised poll boundary).
+    pub(super) fn check_deadline(&self) -> Result<(), BudgetExceeded> {
+        if let Some(deadline) = *self.deadline.read().unwrap() {
+            if Instant::now() >= deadline {
+                let e = BudgetExceeded::Deadline;
+                self.record_abort(e);
+                return Err(e);
+            }
+        }
+        Ok(())
+    }
+
+    pub(super) fn node_limit(&self) -> usize {
+        self.node_limit.load(Ordering::Relaxed)
+    }
+
+    pub(super) fn record_abort(&self, e: BudgetExceeded) {
+        let mut reason = self.abort_reason.lock().unwrap();
+        if reason.is_none() {
+            *reason = Some(e);
+        }
+        self.abort.store(true, Ordering::Release);
+    }
+
+    #[inline]
+    pub(super) fn aborted(&self) -> bool {
+        self.abort.load(Ordering::Relaxed)
+    }
+
+    /// The first recorded abort reason. Only meaningful after an abort.
+    pub(super) fn reason(&self) -> BudgetExceeded {
+        self.abort_reason.lock().unwrap().unwrap_or(BudgetExceeded::Deadline)
+    }
+
+    pub(super) fn clear_abort(&self) {
+        *self.abort_reason.lock().unwrap() = None;
+        self.abort.store(false, Ordering::Release);
+    }
+
+    /// Live nodes (terminal excluded), matching [`crate::BddStats`] units.
+    pub(super) fn live(&self) -> usize {
+        self.table.occupancy().saturating_sub(1)
+    }
+
+    /// Hash-conses `(level, lo, hi)` into a tagged edge, applying the same
+    /// canonicalisation as the sequential `mk_checked`: equal children
+    /// collapse, and a complemented then-edge is flipped off both children
+    /// and returned on the result edge instead.
+    #[inline]
+    pub(super) fn mk(
+        &self,
+        level: u32,
+        lo: u32,
+        hi: u32,
+        node_limit: usize,
+    ) -> Result<u32, BudgetExceeded> {
+        if lo == hi {
+            return Ok(lo);
+        }
+        let flip = hi & 1;
+        let (lo, hi) = (lo ^ flip, hi ^ flip);
+        debug_assert!(
+            self.level_e(lo) > level && self.level_e(hi) > level,
+            "children must be below"
+        );
+        let idx = self.table.get_or_insert(level, lo, hi, node_limit)?;
+        Ok((idx << 1) | flip)
+    }
+
+    /// Level of the node a tagged edge points at.
+    #[inline]
+    pub(super) fn level_e(&self, edge: u32) -> u32 {
+        self.table.level(edge >> 1)
+    }
+
+    /// Cofactors of `f` at `level` (identity if `f` starts below).
+    #[inline]
+    pub(super) fn cofactors_at(&self, f: u32, level: u32) -> (u32, u32) {
+        let (l, lo, hi) = self.table.node(f >> 1);
+        if l == level {
+            let tag = f & 1;
+            (lo ^ tag, hi ^ tag)
+        } else {
+            (f, f)
+        }
+    }
+
+    /// Top level of `{a, b}` plus both cofactor pairs at that level.
+    #[inline]
+    fn cofactor_pair(&self, a: u32, b: u32) -> (u32, u32, u32, u32, u32) {
+        let level = self.level_e(a).min(self.level_e(b));
+        let (a0, a1) = self.cofactors_at(a, level);
+        let (b0, b1) = self.cofactors_at(b, level);
+        (level, a0, a1, b0, b1)
+    }
+
+    /// Fraction of the tightest budget dimension consumed, for progress.
+    fn budget_fraction(&self) -> Option<f64> {
+        let mut frac: Option<f64> = None;
+        let ms = self.max_steps.load(Ordering::Relaxed);
+        if ms != u64::MAX && ms > 0 {
+            let used = self
+                .steps
+                .load(Ordering::Relaxed)
+                .saturating_sub(self.window_start.load(Ordering::Relaxed));
+            frac = Some(used as f64 / ms as f64);
+        }
+        let nl = self.node_limit.load(Ordering::Relaxed);
+        if nl != usize::MAX && nl > 0 {
+            let f = self.table.occupancy() as f64 / nl as f64;
+            frac = Some(frac.map_or(f, |g| g.max(f)));
+        }
+        frac.map(|f| f.min(1.0))
+    }
+}
+
+/// One participant's view of an in-flight operation: the space, the
+/// work-stealing runtime (absent in single-thread mode), this thread's
+/// deque index, and the batched step accounting.
+pub(super) struct OpCtx<'a> {
+    pub(super) space: &'a SharedSpace,
+    rt: Option<&'a Runtime>,
+    me: usize,
+    cutoff: u32,
+    node_limit: usize,
+    /// Steps charged but not yet flushed to the global counter.
+    pending: u32,
+    /// Global step total as of this ctx's last flush; with `pending` it
+    /// gives a cheap local estimate of the window so tight step caps trip
+    /// without reading the contended counter on every charge.
+    flushed: u64,
+    /// Snapshots of the budget window, loaded once per operation (budgets
+    /// only change between operations).
+    max_steps: u64,
+    window_start: u64,
+    progress: Option<&'a Progress>,
+}
+
+impl<'a> OpCtx<'a> {
+    pub(super) fn new(
+        space: &'a SharedSpace,
+        rt: Option<&'a Runtime>,
+        me: usize,
+        progress: Option<&'a Progress>,
+    ) -> OpCtx<'a> {
+        OpCtx {
+            space,
+            rt,
+            me,
+            cutoff: rt.map_or(0, |r| r.cutoff),
+            node_limit: space.node_limit(),
+            pending: 0,
+            flushed: space.steps.load(Ordering::Relaxed),
+            max_steps: space.max_steps.load(Ordering::Relaxed),
+            window_start: space.window_start.load(Ordering::Relaxed),
+            progress,
+        }
+    }
+
+    /// Charges one apply step (the cache-miss recursion unit, identical to
+    /// the sequential `charge_step` call sites).
+    #[inline]
+    fn charge(&mut self) -> Result<(), BudgetExceeded> {
+        if self.space.aborted() {
+            return Err(self.space.reason());
+        }
+        self.pending += 1;
+        if self.pending == STEP_BATCH
+            || (self.max_steps != u64::MAX
+                && (self.flushed + u64::from(self.pending)).saturating_sub(self.window_start)
+                    > self.max_steps)
+        {
+            self.flush_batch()?;
+        }
+        Ok(())
+    }
+
+    /// Publishes the local step batch, checks the step cap, and fires the
+    /// amortised pulse whenever the global total crosses a 1024-step
+    /// boundary — cumulative across operations, like the sequential
+    /// manager's lifetime step phase, so even workloads of many small
+    /// operations keep polling the deadline.
+    fn flush_batch(&mut self) -> Result<(), BudgetExceeded> {
+        let batch = u64::from(self.pending);
+        self.pending = 0;
+        let total = self.space.steps.fetch_add(batch, Ordering::Relaxed) + batch;
+        self.flushed = total;
+        let limit = self.space.max_steps.load(Ordering::Relaxed);
+        if limit != u64::MAX && total.saturating_sub(self.window_start) > limit {
+            let e = BudgetExceeded::Steps { limit };
+            self.space.record_abort(e);
+            return Err(e);
+        }
+        if total >> 10 != (total - batch) >> 10 {
+            self.pulse()?;
+        }
+        Ok(())
+    }
+
+    /// Flushes any remainder at the end of an op so telemetry between ops
+    /// is exact. Crossing a pulse boundary here still records an abort (the
+    /// next budgeted charge observes it); the error itself has nowhere to
+    /// surface at op teardown.
+    pub(super) fn flush(&mut self) {
+        if self.pending > 0 {
+            let batch = u64::from(self.pending);
+            self.pending = 0;
+            let total = self.space.steps.fetch_add(batch, Ordering::Relaxed) + batch;
+            self.flushed = total;
+            if total >> 10 != (total - batch) >> 10 {
+                let _ = self.pulse();
+            }
+        }
+    }
+
+    /// Amortised slow path: deadline poll and heartbeat, every 1024 steps.
+    #[cold]
+    fn pulse(&mut self) -> Result<(), BudgetExceeded> {
+        if let Some(progress) = self.progress {
+            if progress.enabled() {
+                progress.tick(1024, self.space.live() as u64, self.space.budget_fraction());
+            }
+        }
+        if let Some(deadline) = *self.space.deadline.read().unwrap() {
+            if Instant::now() >= deadline {
+                let e = BudgetExceeded::Deadline;
+                self.space.record_abort(e);
+                return Err(e);
+            }
+        }
+        Ok(())
+    }
+
+    /// Budgeted `mk` that records an abort so sibling threads fail fast.
+    #[inline]
+    fn mk(&self, level: u32, lo: u32, hi: u32) -> Result<u32, BudgetExceeded> {
+        match self.space.mk(level, lo, hi, self.node_limit) {
+            Ok(r) => Ok(r),
+            Err(e) => {
+                self.space.record_abort(e);
+                Err(e)
+            }
+        }
+    }
+
+    /// Whether a recursion at `depth` should fork its second branch.
+    #[inline]
+    fn should_fork(&self, depth: u32) -> bool {
+        depth < self.cutoff && self.rt.is_some()
+    }
+
+    /// Pushes a forked subproblem onto this participant's deque.
+    fn spawn(&self, kind: TaskKind, depth: u32) -> Arc<Task> {
+        let task = Arc::new(Task::new(kind, depth));
+        self.rt.expect("spawn without runtime").push(self.me, Arc::clone(&task));
+        task
+    }
+
+    /// Waits for a forked task: claims and runs it inline if nobody stole
+    /// it (the common, allocation-only-overhead case), otherwise helps by
+    /// running other pending tasks until the thief publishes the result.
+    fn join(&mut self, task: &Arc<Task>) -> Result<u32, BudgetExceeded> {
+        if task.claim() {
+            let r = execute(self, task.kind, task.depth);
+            task.complete(r);
+            return r;
+        }
+        loop {
+            if let Some(done) = task.result_if_done() {
+                return done.map_err(|()| self.space.reason());
+            }
+            let stolen = self.rt.and_then(|rt| rt.pop_or_steal(self.me));
+            match stolen {
+                Some(t) => run_claimed(self, &t),
+                None => {
+                    std::hint::spin_loop();
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+}
+
+/// Runs a task already claimed by this participant and publishes the result.
+pub(super) fn run_claimed(ctx: &mut OpCtx<'_>, task: &Task) {
+    let r = execute(ctx, task.kind, task.depth);
+    if let Err(e) = r {
+        // Belt and braces: every error path records before propagating, but
+        // the task result only carries ok/poisoned, so make sure the reason
+        // is global before anyone reads the poison.
+        ctx.space.record_abort(e);
+    }
+    task.complete(r);
+}
+
+/// Dispatches a forked subproblem to its recursion.
+fn execute(ctx: &mut OpCtx<'_>, kind: TaskKind, depth: u32) -> Result<u32, BudgetExceeded> {
+    match kind {
+        TaskKind::And(f, g) => and_rec(ctx, f, g, depth),
+        TaskKind::Xor(f, g) => xor_rec(ctx, f, g, depth),
+        TaskKind::Ite(f, g, h) => ite_rec(ctx, f, g, h, depth),
+        TaskKind::Exists(f, cube) => exists_rec(ctx, f, cube, depth),
+        TaskKind::AndExists(f, g, cube) => and_exists_rec(ctx, f, g, cube, depth),
+    }
+}
+
+pub(super) fn and_rec(
+    ctx: &mut OpCtx<'_>,
+    f: u32,
+    g: u32,
+    depth: u32,
+) -> Result<u32, BudgetExceeded> {
+    if f == g {
+        return Ok(f);
+    }
+    if f == FALSE || g == FALSE || f == (g ^ 1) {
+        return Ok(FALSE);
+    }
+    if f == TRUE {
+        return Ok(g);
+    }
+    if g == TRUE {
+        return Ok(f);
+    }
+    let (a, b) = if f < g { (f, g) } else { (g, f) };
+    if let Some(r) = ctx.space.cache.get(Op::And, a, b, 0) {
+        return Ok(r);
+    }
+    ctx.charge()?;
+    let (level, fa, fb, ga, gb) = ctx.space.cofactor_pair(a, b);
+    let (lo, hi) = if ctx.should_fork(depth) {
+        let task = ctx.spawn(TaskKind::And(fb, gb), depth + 1);
+        let lo = and_rec(ctx, fa, ga, depth + 1);
+        let hi = ctx.join(&task);
+        (lo?, hi?)
+    } else {
+        (and_rec(ctx, fa, ga, depth + 1)?, and_rec(ctx, fb, gb, depth + 1)?)
+    };
+    let r = ctx.mk(level, lo, hi)?;
+    ctx.space.cache.put(Op::And, a, b, 0, r);
+    Ok(r)
+}
+
+pub(super) fn xor_rec(
+    ctx: &mut OpCtx<'_>,
+    f: u32,
+    g: u32,
+    depth: u32,
+) -> Result<u32, BudgetExceeded> {
+    // Complement parity factors out of XOR entirely, as in the sequential
+    // engine: all four tag variants share one cache entry.
+    let parity = (f ^ g) & 1;
+    let (f, g) = (f & !1, g & !1);
+    if f == g {
+        return Ok(FALSE ^ parity);
+    }
+    if f == TRUE {
+        return Ok(g ^ 1 ^ parity);
+    }
+    if g == TRUE {
+        return Ok(f ^ 1 ^ parity);
+    }
+    let (a, b) = if f < g { (f, g) } else { (g, f) };
+    let r = if let Some(r) = ctx.space.cache.get(Op::Xor, a, b, 0) {
+        r
+    } else {
+        ctx.charge()?;
+        let (level, fa, fb, ga, gb) = ctx.space.cofactor_pair(a, b);
+        let (lo, hi) = if ctx.should_fork(depth) {
+            let task = ctx.spawn(TaskKind::Xor(fb, gb), depth + 1);
+            let lo = xor_rec(ctx, fa, ga, depth + 1);
+            let hi = ctx.join(&task);
+            (lo?, hi?)
+        } else {
+            (xor_rec(ctx, fa, ga, depth + 1)?, xor_rec(ctx, fb, gb, depth + 1)?)
+        };
+        let r = ctx.mk(level, lo, hi)?;
+        ctx.space.cache.put(Op::Xor, a, b, 0, r);
+        r
+    };
+    Ok(r ^ parity)
+}
+
+pub(super) fn ite_rec(
+    ctx: &mut OpCtx<'_>,
+    f: u32,
+    g: u32,
+    h: u32,
+    depth: u32,
+) -> Result<u32, BudgetExceeded> {
+    if f == TRUE {
+        return Ok(g);
+    }
+    if f == FALSE {
+        return Ok(h);
+    }
+    // Standard-triple rewrites, identical to the sequential ite_rec.
+    let mut g = g;
+    let mut h = h;
+    if g == f {
+        g = TRUE;
+    } else if g == (f ^ 1) {
+        g = FALSE;
+    }
+    if h == f {
+        h = FALSE;
+    } else if h == (f ^ 1) {
+        h = TRUE;
+    }
+    if g == h {
+        return Ok(g);
+    }
+    if g == TRUE && h == FALSE {
+        return Ok(f);
+    }
+    if g == FALSE && h == TRUE {
+        return Ok(f ^ 1);
+    }
+    if g == TRUE {
+        return Ok(and_rec(ctx, f ^ 1, h ^ 1, depth)? ^ 1);
+    }
+    if g == FALSE {
+        return and_rec(ctx, f ^ 1, h, depth);
+    }
+    if h == FALSE {
+        return and_rec(ctx, f, g, depth);
+    }
+    if h == TRUE {
+        return Ok(and_rec(ctx, f, g ^ 1, depth)? ^ 1);
+    }
+    if h == (g ^ 1) {
+        return Ok(xor_rec(ctx, f, g, depth)? ^ 1);
+    }
+    // Normalise complement tags off the selector and the then-arm.
+    let mut f = f;
+    if f & 1 == 1 {
+        f ^= 1;
+        std::mem::swap(&mut g, &mut h);
+    }
+    let complement = g & 1 == 1;
+    if complement {
+        g ^= 1;
+        h ^= 1;
+    }
+    let r = if let Some(r) = ctx.space.cache.get(Op::Ite, f, g, h) {
+        r
+    } else {
+        ctx.charge()?;
+        let level = ctx.space.level_e(f).min(ctx.space.level_e(g)).min(ctx.space.level_e(h));
+        let (f0, f1) = ctx.space.cofactors_at(f, level);
+        let (g0, g1) = ctx.space.cofactors_at(g, level);
+        let (h0, h1) = ctx.space.cofactors_at(h, level);
+        let (lo, hi) = if ctx.should_fork(depth) {
+            let task = ctx.spawn(TaskKind::Ite(f1, g1, h1), depth + 1);
+            let lo = ite_rec(ctx, f0, g0, h0, depth + 1);
+            let hi = ctx.join(&task);
+            (lo?, hi?)
+        } else {
+            (ite_rec(ctx, f0, g0, h0, depth + 1)?, ite_rec(ctx, f1, g1, h1, depth + 1)?)
+        };
+        let r = ctx.mk(level, lo, hi)?;
+        ctx.space.cache.put(Op::Ite, f, g, h, r);
+        r
+    };
+    Ok(r ^ u32::from(complement))
+}
+
+pub(super) fn exists_rec(
+    ctx: &mut OpCtx<'_>,
+    f: u32,
+    cube: u32,
+    depth: u32,
+) -> Result<u32, BudgetExceeded> {
+    if f <= 1 || cube == TRUE {
+        return Ok(f);
+    }
+    // Skip quantified variables above the top variable of f. Cubes are
+    // positive conjunctions: their chain edges are always regular.
+    let flevel = ctx.space.level_e(f);
+    let mut c = cube;
+    while ctx.space.level_e(c) < flevel {
+        c = ctx.space.table.node(c >> 1).2;
+    }
+    if ctx.space.level_e(c) == super::table::TERMINAL_LEVEL {
+        return Ok(f);
+    }
+    let cube = c;
+    if let Some(r) = ctx.space.cache.get(Op::Exists, f, cube, 0) {
+        return Ok(r);
+    }
+    ctx.charge()?;
+    let (lo, hi) = ctx.space.cofactors_at(f, flevel);
+    let r = if ctx.space.level_e(cube) == flevel {
+        // Quantified level: the OR short-circuit makes this branch order
+        // dependent for *work* (never for the result), so it stays
+        // sequential; forking happens at the pass-through levels below.
+        let rest = ctx.space.table.node(cube >> 1).2;
+        let a = exists_rec(ctx, lo, rest, depth + 1)?;
+        if a == TRUE {
+            a
+        } else {
+            let b = exists_rec(ctx, hi, rest, depth + 1)?;
+            and_rec(ctx, a ^ 1, b ^ 1, depth)? ^ 1
+        }
+    } else if ctx.should_fork(depth) {
+        let task = ctx.spawn(TaskKind::Exists(hi, cube), depth + 1);
+        let a = exists_rec(ctx, lo, cube, depth + 1);
+        let b = ctx.join(&task);
+        ctx.mk(flevel, a?, b?)?
+    } else {
+        let a = exists_rec(ctx, lo, cube, depth + 1)?;
+        let b = exists_rec(ctx, hi, cube, depth + 1)?;
+        ctx.mk(flevel, a, b)?
+    };
+    ctx.space.cache.put(Op::Exists, f, cube, 0, r);
+    Ok(r)
+}
+
+pub(super) fn and_exists_rec(
+    ctx: &mut OpCtx<'_>,
+    f: u32,
+    g: u32,
+    cube: u32,
+    depth: u32,
+) -> Result<u32, BudgetExceeded> {
+    if f == FALSE || g == FALSE || f == (g ^ 1) {
+        return Ok(FALSE);
+    }
+    if cube == TRUE {
+        return and_rec(ctx, f, g, depth);
+    }
+    if f == TRUE {
+        return exists_rec(ctx, g, cube, depth);
+    }
+    if g == TRUE {
+        return exists_rec(ctx, f, cube, depth);
+    }
+    let (f, g) = if f <= g { (f, g) } else { (g, f) };
+    let top = ctx.space.level_e(f).min(ctx.space.level_e(g));
+    let mut c = cube;
+    while ctx.space.level_e(c) < top {
+        c = ctx.space.table.node(c >> 1).2;
+    }
+    if ctx.space.level_e(c) == super::table::TERMINAL_LEVEL {
+        return and_rec(ctx, f, g, depth);
+    }
+    let cube = c;
+    if let Some(r) = ctx.space.cache.get(Op::AndExists, f, g, cube) {
+        return Ok(r);
+    }
+    ctx.charge()?;
+    let (f0, f1) = ctx.space.cofactors_at(f, top);
+    let (g0, g1) = ctx.space.cofactors_at(g, top);
+    let r = if ctx.space.level_e(cube) == top {
+        let rest = ctx.space.table.node(cube >> 1).2;
+        let a = and_exists_rec(ctx, f0, g0, rest, depth + 1)?;
+        if a == TRUE {
+            a
+        } else {
+            let b = and_exists_rec(ctx, f1, g1, rest, depth + 1)?;
+            and_rec(ctx, a ^ 1, b ^ 1, depth)? ^ 1
+        }
+    } else if ctx.should_fork(depth) {
+        let task = ctx.spawn(TaskKind::AndExists(f1, g1, cube), depth + 1);
+        let a = and_exists_rec(ctx, f0, g0, cube, depth + 1);
+        let b = ctx.join(&task);
+        ctx.mk(top, a?, b?)?
+    } else {
+        let a = and_exists_rec(ctx, f0, g0, cube, depth + 1)?;
+        let b = and_exists_rec(ctx, f1, g1, cube, depth + 1)?;
+        ctx.mk(top, a, b)?
+    };
+    ctx.space.cache.put(Op::AndExists, f, g, cube, r);
+    Ok(r)
+}
+
+/// Composition runs on a regular (uncomplemented) `f` edge; the shared
+/// engine never reorders, so variable `var` *is* level `var` and the
+/// projection at a level is a plain `mk`.
+pub(super) fn compose_rec(
+    ctx: &mut OpCtx<'_>,
+    f: u32,
+    var: u32,
+    g: u32,
+    depth: u32,
+) -> Result<u32, BudgetExceeded> {
+    debug_assert_eq!(f & 1, 0);
+    if f <= 1 || ctx.space.level_e(f) > var {
+        return Ok(f);
+    }
+    if let Some(r) = ctx.space.cache.get(Op::Compose, f, g, var) {
+        return Ok(r);
+    }
+    ctx.charge()?;
+    let (level, lo, hi) = {
+        let (l, lo, hi) = ctx.space.table.node(f >> 1);
+        let tag = f & 1;
+        (l, lo ^ tag, hi ^ tag)
+    };
+    let r = if level == var {
+        ite_rec(ctx, g, hi, lo, depth)?
+    } else {
+        let rlo = {
+            let parity = lo & 1;
+            compose_rec(ctx, lo ^ parity, var, g, depth)? ^ parity
+        };
+        let rhi = {
+            let parity = hi & 1;
+            compose_rec(ctx, hi ^ parity, var, g, depth)? ^ parity
+        };
+        let proj = ctx.mk(level, FALSE, TRUE)?;
+        ite_rec(ctx, proj, rhi, rlo, depth)?
+    };
+    ctx.space.cache.put(Op::Compose, f, g, var, r);
+    Ok(r)
+}

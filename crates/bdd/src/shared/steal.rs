@@ -1,0 +1,208 @@
+//! The work-stealing recursion layer: persistent workers, per-participant
+//! deques, and fork/join over apply/ITE/quantification subproblems.
+//!
+//! A [`super::SharedManager`] built for `N` threads spawns `N-1` persistent
+//! workers up front — BDD operations arrive at per-gate frequency, so
+//! per-op thread spawning would dwarf the work. Workers sleep on a condvar
+//! between operations; [`Runtime::begin_op`] bumps an epoch and wakes them,
+//! [`Runtime::end_op`] drops the active flag and waits for every worker to
+//! park again before clearing the deques, so no task outlives its op.
+//!
+//! Forking uses the fork/join idiom of Sylvan's Lace runtime, simplified:
+//! a recursion above the depth cutoff pushes its second branch as a
+//! [`Task`] onto its own deque, computes the first branch, then *joins* —
+//! claiming and running the task inline if nobody stole it (the common
+//! case: one `Arc` allocation of overhead), or helping run other pending
+//! tasks until the thief publishes. The task dependency graph is a tree and
+//! every waiter helps, so some participant always holds a runnable leaf —
+//! no cycles, no deadlock. Task results are canonical node edges, so the
+//! final root is schedule-independent.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use crate::budget::BudgetExceeded;
+
+const PENDING: u8 = 0;
+const CLAIMED: u8 = 1;
+const DONE: u8 = 2;
+/// Result sentinel for a task that failed (the reason lives in the space's
+/// abort slot; edges are 32-bit so this can never collide).
+const POISONED: u64 = u64::MAX;
+
+/// A forked subproblem: the operands of one recursion frame.
+#[derive(Debug, Clone, Copy)]
+pub(super) enum TaskKind {
+    And(u32, u32),
+    Xor(u32, u32),
+    Ite(u32, u32, u32),
+    Exists(u32, u32),
+    AndExists(u32, u32, u32),
+}
+
+#[derive(Debug)]
+pub(super) struct Task {
+    pub(super) kind: TaskKind,
+    pub(super) depth: u32,
+    state: AtomicU8,
+    result: AtomicU64,
+}
+
+impl Task {
+    pub(super) fn new(kind: TaskKind, depth: u32) -> Task {
+        Task { kind, depth, state: AtomicU8::new(PENDING), result: AtomicU64::new(POISONED) }
+    }
+
+    /// Attempts to take ownership; exactly one caller ever wins.
+    pub(super) fn claim(&self) -> bool {
+        self.state.compare_exchange(PENDING, CLAIMED, Ordering::AcqRel, Ordering::Acquire).is_ok()
+    }
+
+    /// Publishes the outcome. Must only be called by the claimant.
+    pub(super) fn complete(&self, result: Result<u32, BudgetExceeded>) {
+        if let Ok(edge) = result {
+            self.result.store(u64::from(edge), Ordering::Relaxed);
+        }
+        self.state.store(DONE, Ordering::Release);
+    }
+
+    /// `Some` once the claimant has published; `Err(())` means poisoned
+    /// (read the shared abort reason for the cause).
+    pub(super) fn result_if_done(&self) -> Option<Result<u32, ()>> {
+        if self.state.load(Ordering::Acquire) != DONE {
+            return None;
+        }
+        let r = self.result.load(Ordering::Relaxed);
+        Some(if r == POISONED { Err(()) } else { Ok(r as u32) })
+    }
+}
+
+struct Epoch {
+    serial: u64,
+    shutdown: bool,
+}
+
+/// Shared state between the entry thread and the persistent workers.
+pub(super) struct Runtime {
+    /// One deque per participant; index 0 is the entry thread.
+    deques: Vec<Mutex<VecDeque<Arc<Task>>>>,
+    /// Recursions above this depth fork their second branch.
+    pub(super) cutoff: u32,
+    epoch: Mutex<Epoch>,
+    wake: Condvar,
+    op_active: AtomicBool,
+    /// Workers currently inside an op (used as the end-of-op barrier).
+    running: AtomicUsize,
+    /// Lifetime fork counter, for telemetry and the scaling bench.
+    forks: AtomicU64,
+}
+
+impl Runtime {
+    pub(super) fn new(participants: usize, cutoff: u32) -> Runtime {
+        Runtime {
+            deques: (0..participants).map(|_| Mutex::new(VecDeque::new())).collect(),
+            cutoff,
+            epoch: Mutex::new(Epoch { serial: 0, shutdown: false }),
+            wake: Condvar::new(),
+            op_active: AtomicBool::new(false),
+            running: AtomicUsize::new(0),
+            forks: AtomicU64::new(0),
+        }
+    }
+
+    pub(super) fn forks(&self) -> u64 {
+        self.forks.load(Ordering::Relaxed)
+    }
+
+    /// Wakes every worker for one operation.
+    pub(super) fn begin_op(&self) {
+        self.op_active.store(true, Ordering::Release);
+        let mut ep = self.epoch.lock().unwrap();
+        ep.serial += 1;
+        drop(ep);
+        self.wake.notify_all();
+    }
+
+    /// Retires the operation: stops the workers' steal loops, waits for
+    /// them to park, and drops any never-claimed tasks.
+    pub(super) fn end_op(&self) {
+        self.op_active.store(false, Ordering::Release);
+        while self.running.load(Ordering::Acquire) > 0 {
+            std::hint::spin_loop();
+            std::thread::yield_now();
+        }
+        for dq in &self.deques {
+            dq.lock().unwrap().clear();
+        }
+    }
+
+    pub(super) fn shutdown(&self) {
+        self.op_active.store(false, Ordering::Release);
+        let mut ep = self.epoch.lock().unwrap();
+        ep.shutdown = true;
+        drop(ep);
+        self.wake.notify_all();
+    }
+
+    pub(super) fn push(&self, me: usize, task: Arc<Task>) {
+        self.forks.fetch_add(1, Ordering::Relaxed);
+        self.deques[me].lock().unwrap().push_back(task);
+    }
+
+    /// Pops this participant's own newest task or steals another's oldest,
+    /// returning only tasks whose claim CAS was won (stale claimed/done
+    /// entries encountered along the way are discarded).
+    pub(super) fn pop_or_steal(&self, me: usize) -> Option<Arc<Task>> {
+        let n = self.deques.len();
+        for i in 0..n {
+            let victim = (me + i) % n;
+            let mut dq = self.deques[victim].lock().unwrap();
+            loop {
+                // Own deque LIFO (depth-first, cache-warm); victims FIFO
+                // (oldest = biggest subtree, the classic stealing heuristic).
+                let task = if victim == me { dq.pop_back() } else { dq.pop_front() };
+                match task {
+                    Some(t) if t.claim() => return Some(t),
+                    Some(_) => continue,
+                    None => break,
+                }
+            }
+        }
+        None
+    }
+
+    /// The body of one persistent worker thread.
+    pub(super) fn worker_loop(
+        space: &Arc<super::space::SharedSpace>,
+        rt: &Arc<Runtime>,
+        me: usize,
+    ) {
+        let mut seen = 0u64;
+        loop {
+            {
+                let mut ep = rt.epoch.lock().unwrap();
+                while ep.serial == seen && !ep.shutdown {
+                    ep = rt.wake.wait(ep).unwrap();
+                }
+                if ep.shutdown {
+                    return;
+                }
+                seen = ep.serial;
+            }
+            rt.running.fetch_add(1, Ordering::AcqRel);
+            let mut ctx = super::space::OpCtx::new(space, Some(rt.as_ref()), me, None);
+            while rt.op_active.load(Ordering::Acquire) {
+                match rt.pop_or_steal(me) {
+                    Some(task) => super::space::run_claimed(&mut ctx, &task),
+                    None => {
+                        std::hint::spin_loop();
+                        std::thread::yield_now();
+                    }
+                }
+            }
+            ctx.flush();
+            rt.running.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+}

@@ -1,0 +1,375 @@
+//! The concurrent unique table: sharded, fixed-capacity, open-addressed.
+//!
+//! Slot index **is** node index (Sylvan-style open-addressing-as-storage):
+//! a node's identity `(level, lo, hi)` lives in two atomic words per slot,
+//! and hash-consing is a CAS claim on the metadata word. Nodes are never
+//! moved or freed, so an index handed out once stays valid for the life of
+//! the table — which is exactly what lets the computed cache stay lossy and
+//! lock-free (a stale entry can only name nodes that still exist).
+//!
+//! Layout per slot (two `AtomicU64`s, 16 bytes):
+//!
+//! ```text
+//! meta:  [ level : 32 | OCCUPIED : 1 | DONE : 1 | unused : 30 ]
+//! lo_hi: [ lo edge : 32 | hi edge : 32 ]
+//! ```
+//!
+//! Insert protocol: probe linearly from the key's hash; on an empty slot,
+//! CAS `meta` from `0` to `OCCUPIED|level` (the claim), store `lo_hi`, then
+//! publish with a release store of `OCCUPIED|DONE|level`. Readers that see
+//! a claimed-but-unpublished slot spin until `DONE` — the window is two
+//! plain stores wide. Canonical form is the caller's job ([`super::space`]
+//! normalises complement edges exactly like the sequential `mk_checked`),
+//! so two racing inserts of the same function always carry the same key and
+//! the loser of the CAS finds the winner's node one probe later.
+//!
+//! The table is split into power-of-two **shards** addressed by the high
+//! hash bits; each shard is its own slot array with its own occupancy
+//! counter, so concurrent inserts to different shards never touch the same
+//! cache lines and the global live count is a cheap sum.
+
+use crate::budget::BudgetExceeded;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Shard-count exponent: 64 shards spreads insert traffic far beyond any
+/// realistic worker count while keeping the per-shard arrays large.
+const SHARD_BITS: u32 = 6;
+
+/// How many slots a probe may visit before the neighbourhood is declared
+/// full. Capacity is sized at 2x the node budget, so a run that exhausts a
+/// cluster this deep is out of its node budget in every practical sense.
+const PROBE_LIMIT: usize = 256;
+
+const OCCUPIED: u64 = 1 << 32;
+const DONE: u64 = 1 << 33;
+
+/// Terminal nodes live at index 0 with this level, mirroring the
+/// sequential manager's sentinel.
+pub(crate) const TERMINAL_LEVEL: u32 = u32::MAX;
+
+#[inline]
+fn mix(level: u32, lo: u32, hi: u32) -> u64 {
+    // An fxhash-style multiply-xor mix over all 96 key bits.
+    let mut h = (lo as u64) ^ ((hi as u64) << 32);
+    h ^= (level as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    h = h.wrapping_mul(0x2545_F491_4F6C_DD1D);
+    h ^ (h >> 32)
+}
+
+struct Shard {
+    meta: Box<[AtomicU64]>,
+    lo_hi: Box<[AtomicU64]>,
+    occupancy: AtomicUsize,
+}
+
+impl Shard {
+    fn new(slots: usize) -> Shard {
+        Shard {
+            meta: (0..slots).map(|_| AtomicU64::new(0)).collect(),
+            lo_hi: (0..slots).map(|_| AtomicU64::new(0)).collect(),
+            occupancy: AtomicUsize::new(0),
+        }
+    }
+}
+
+/// The sharded concurrent unique table.
+pub(crate) struct SharedTable {
+    shards: Box<[Shard]>,
+    /// Slots per shard (power of two).
+    slots_per_shard: usize,
+    /// log2 of `slots_per_shard`, for packing indices.
+    slot_bits: u32,
+}
+
+impl SharedTable {
+    /// Creates a table with `2^total_bits` slots spread over 64 shards and
+    /// installs the shared terminal node at index 0.
+    pub(crate) fn new(total_bits: u32) -> SharedTable {
+        let total_bits = total_bits.max(SHARD_BITS + 4);
+        let slot_bits = total_bits - SHARD_BITS;
+        let slots = 1usize << slot_bits;
+        let table = SharedTable {
+            shards: (0..1usize << SHARD_BITS).map(|_| Shard::new(slots)).collect(),
+            slots_per_shard: slots,
+            slot_bits,
+        };
+        // Index 0 is the terminal: occupied forever, never matched by a
+        // probe (inserted keys always have lo != hi; the terminal has 0/0).
+        table.shards[0].meta[0].store(OCCUPIED | DONE | TERMINAL_LEVEL as u64, Ordering::Release);
+        table.shards[0].occupancy.store(1, Ordering::Relaxed);
+        table
+    }
+
+    /// Total slot capacity.
+    pub(crate) fn capacity(&self) -> usize {
+        self.slots_per_shard << SHARD_BITS
+    }
+
+    /// Nodes currently stored, including the terminal.
+    pub(crate) fn occupancy(&self) -> usize {
+        self.shards.iter().map(|s| s.occupancy.load(Ordering::Relaxed)).sum()
+    }
+
+    #[inline]
+    fn index(&self, shard: usize, slot: usize) -> u32 {
+        ((shard << self.slot_bits) | slot) as u32
+    }
+
+    /// Reads a published node. `idx` must have been returned by
+    /// [`SharedTable::get_or_insert`] (or be 0, the terminal).
+    #[inline]
+    pub(crate) fn node(&self, idx: u32) -> (u32, u32, u32) {
+        let shard = &self.shards[(idx as usize) >> self.slot_bits];
+        let slot = (idx as usize) & (self.slots_per_shard - 1);
+        let meta = shard.meta[slot].load(Ordering::Acquire);
+        debug_assert_ne!(meta & DONE, 0, "read of an unpublished slot {idx}");
+        let w = shard.lo_hi[slot].load(Ordering::Relaxed);
+        ((meta & 0xFFFF_FFFF) as u32, w as u32, (w >> 32) as u32)
+    }
+
+    /// The level of node `idx` ([`TERMINAL_LEVEL`] for the terminal).
+    #[inline]
+    pub(crate) fn level(&self, idx: u32) -> u32 {
+        let shard = &self.shards[(idx as usize) >> self.slot_bits];
+        let slot = (idx as usize) & (self.slots_per_shard - 1);
+        (shard.meta[slot].load(Ordering::Acquire) & 0xFFFF_FFFF) as u32
+    }
+
+    /// Hash-conses `(level, lo, hi)` and returns its node index, inserting
+    /// on first sight. `node_limit` caps the total occupancy (the shared
+    /// engine's live-node budget: nothing is ever freed, so occupancy and
+    /// live count coincide).
+    ///
+    /// # Errors
+    ///
+    /// [`BudgetExceeded::Nodes`] when the limit (or, failing that, the
+    /// probe neighbourhood / physical capacity) is exhausted.
+    pub(crate) fn get_or_insert(
+        &self,
+        level: u32,
+        lo: u32,
+        hi: u32,
+        node_limit: usize,
+    ) -> Result<u32, BudgetExceeded> {
+        debug_assert_ne!(lo, hi, "redundant node reached the unique table");
+        debug_assert_eq!(hi & 1, 0, "complemented then-edge reached the unique table");
+        let h = mix(level, lo, hi);
+        let shard_i = (h >> (64 - SHARD_BITS)) as usize;
+        let shard = &self.shards[shard_i];
+        let mask = self.slots_per_shard - 1;
+        let start = (h as usize) & mask;
+        let key = (lo as u64) | ((hi as u64) << 32);
+        for p in 0..PROBE_LIMIT.min(self.slots_per_shard) {
+            let slot = (start + p) & mask;
+            if shard_i == 0 && slot == 0 {
+                continue; // the terminal's reserved slot
+            }
+            let mut meta = shard.meta[slot].load(Ordering::Acquire);
+            if meta == 0 {
+                if self.occupancy() >= node_limit {
+                    return Err(BudgetExceeded::Nodes { limit: node_limit });
+                }
+                match shard.meta[slot].compare_exchange(
+                    0,
+                    OCCUPIED | level as u64,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                ) {
+                    Ok(_) => {
+                        shard.lo_hi[slot].store(key, Ordering::Relaxed);
+                        shard.meta[slot].store(OCCUPIED | DONE | level as u64, Ordering::Release);
+                        shard.occupancy.fetch_add(1, Ordering::Relaxed);
+                        return Ok(self.index(shard_i, slot));
+                    }
+                    // Lost the race for this slot: it now holds somebody's
+                    // node — possibly ours. Fall through and compare.
+                    Err(current) => meta = current,
+                }
+            }
+            // Claimed but not yet published: the publish is two stores
+            // away, spin for it.
+            while meta & DONE == 0 {
+                std::hint::spin_loop();
+                meta = shard.meta[slot].load(Ordering::Acquire);
+            }
+            if (meta & 0xFFFF_FFFF) as u32 == level
+                && shard.lo_hi[slot].load(Ordering::Relaxed) == key
+            {
+                return Ok(self.index(shard_i, slot));
+            }
+        }
+        // The cluster is full: with capacity sized at 2x the node budget
+        // this is indistinguishable from running out of nodes.
+        Err(BudgetExceeded::Nodes { limit: node_limit.min(self.capacity()) })
+    }
+
+    /// Looks up `(level, lo, hi)` without inserting.
+    #[cfg(test)]
+    pub(crate) fn lookup(&self, level: u32, lo: u32, hi: u32) -> Option<u32> {
+        let h = mix(level, lo, hi);
+        let shard_i = (h >> (64 - SHARD_BITS)) as usize;
+        let shard = &self.shards[shard_i];
+        let mask = self.slots_per_shard - 1;
+        let start = (h as usize) & mask;
+        let key = (lo as u64) | ((hi as u64) << 32);
+        for p in 0..PROBE_LIMIT.min(self.slots_per_shard) {
+            let slot = (start + p) & mask;
+            if shard_i == 0 && slot == 0 {
+                continue;
+            }
+            let meta = shard.meta[slot].load(Ordering::Acquire);
+            if meta == 0 {
+                return None;
+            }
+            if meta & DONE != 0
+                && (meta & 0xFFFF_FFFF) as u32 == level
+                && shard.lo_hi[slot].load(Ordering::Relaxed) == key
+            {
+                return Some(self.index(shard_i, slot));
+            }
+        }
+        None
+    }
+
+    /// Visits every published node as `(index, level, lo, hi)`, terminal
+    /// excluded. Quiescent callers only (invariant checks, exports).
+    pub(crate) fn for_each_node(&self, mut f: impl FnMut(u32, u32, u32, u32)) {
+        for (si, shard) in self.shards.iter().enumerate() {
+            for slot in 0..self.slots_per_shard {
+                if si == 0 && slot == 0 {
+                    continue;
+                }
+                let meta = shard.meta[slot].load(Ordering::Acquire);
+                if meta & DONE != 0 {
+                    let w = shard.lo_hi[slot].load(Ordering::Relaxed);
+                    f(
+                        self.index(si, slot),
+                        (meta & 0xFFFF_FFFF) as u32,
+                        w as u32,
+                        (w >> 32) as u32,
+                    );
+                }
+            }
+        }
+    }
+
+    /// Returns the table to its just-constructed state (terminal only),
+    /// keeping the allocation. Quiescent callers only (pool recycling).
+    pub(crate) fn reset(&self) {
+        for (si, shard) in self.shards.iter().enumerate() {
+            for slot in 0..self.slots_per_shard {
+                if si == 0 && slot == 0 {
+                    continue;
+                }
+                shard.meta[slot].store(0, Ordering::Relaxed);
+            }
+            shard.occupancy.store(usize::from(si == 0), Ordering::Relaxed);
+        }
+        std::sync::atomic::fence(Ordering::Release);
+    }
+}
+
+impl std::fmt::Debug for SharedTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedTable")
+            .field("capacity", &self.capacity())
+            .field("occupancy", &self.occupancy())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn hash_consing_is_idempotent() {
+        let t = SharedTable::new(12);
+        let a = t.get_or_insert(3, 0, 2, usize::MAX).unwrap();
+        let b = t.get_or_insert(3, 0, 2, usize::MAX).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, 0);
+        assert_eq!(t.node(a), (3, 0, 2));
+        assert_eq!(t.occupancy(), 2); // terminal + one node
+        let c = t.get_or_insert(3, 1, 2, usize::MAX).unwrap();
+        assert_ne!(a, c);
+        assert_eq!(t.lookup(3, 1, 2), Some(c));
+        assert_eq!(t.lookup(4, 1, 2), None);
+    }
+
+    #[test]
+    fn node_limit_fires() {
+        let t = SharedTable::new(12);
+        t.get_or_insert(0, 0, 2, 3).unwrap();
+        t.get_or_insert(1, 0, 2, 3).unwrap();
+        // Occupancy is now 3 (terminal + 2): the next insert must fail.
+        let err = t.get_or_insert(2, 0, 2, 3).unwrap_err();
+        assert_eq!(err, BudgetExceeded::Nodes { limit: 3 });
+    }
+
+    #[test]
+    fn reset_restores_fresh_state() {
+        let t = SharedTable::new(12);
+        let a = t.get_or_insert(3, 0, 2, usize::MAX).unwrap();
+        t.reset();
+        assert_eq!(t.occupancy(), 1);
+        assert_eq!(t.lookup(3, 0, 2), None);
+        assert_eq!(t.level(0), TERMINAL_LEVEL);
+        let b = t.get_or_insert(3, 0, 2, usize::MAX).unwrap();
+        assert_eq!(a, b, "same insertion order lands on the same slot");
+    }
+
+    /// The model test for the CAS insert path: many threads race to insert
+    /// the *same* key set; every thread must observe the same index per
+    /// key, occupancy must equal the distinct-key count, and every key must
+    /// remain retrievable — the loom-style linearisation properties, driven
+    /// by real interleavings.
+    #[test]
+    fn concurrent_inserts_agree_on_indices() {
+        let iters = if std::env::var_os("BBEC_STRESS").is_some() { 40 } else { 8 };
+        for round in 0..iters {
+            let t = Arc::new(SharedTable::new(12));
+            let keys: Vec<(u32, u32, u32)> =
+                (0..200u32).map(|i| (i % 7, (i * 2) & !1, ((i * 2 + round) & !1) + 2)).collect();
+            let keys: Vec<(u32, u32, u32)> =
+                keys.into_iter().filter(|&(_, lo, hi)| lo != hi).collect();
+            let results: Vec<Vec<u32>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..8)
+                    .map(|tid| {
+                        let t = Arc::clone(&t);
+                        let keys = keys.clone();
+                        scope.spawn(move || {
+                            let mut out = Vec::with_capacity(keys.len());
+                            // Each thread walks the keys in a different
+                            // rotation so the races cover every key.
+                            let n = keys.len();
+                            for k in 0..n {
+                                let (lvl, lo, hi) = keys[(k + tid * 31) % n];
+                                out.push((
+                                    (k + tid * 31) % n,
+                                    t.get_or_insert(lvl, lo, hi, usize::MAX).unwrap(),
+                                ));
+                            }
+                            let mut by_key = vec![0u32; n];
+                            for (k, idx) in out {
+                                by_key[k] = idx;
+                            }
+                            by_key
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+            for r in &results[1..] {
+                assert_eq!(r, &results[0], "threads disagree on node indices");
+            }
+            let distinct: std::collections::HashSet<_> = keys.iter().collect();
+            assert_eq!(t.occupancy(), distinct.len() + 1, "occupancy != distinct keys + terminal");
+            for &(lvl, lo, hi) in &keys {
+                let idx = t.lookup(lvl, lo, hi).expect("inserted key must be retrievable");
+                assert_eq!(t.node(idx), (lvl, lo, hi));
+            }
+        }
+    }
+}

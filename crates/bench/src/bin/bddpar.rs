@@ -1,0 +1,143 @@
+//! Single-cone scaling benchmark for the shared-memory BDD engine: the
+//! same symbolic build executed at `--bdd-threads 1`, `2` and `4`.
+//!
+//! Where the `parallel` benchmark shards *across* output cones (and gains
+//! nothing on a circuit whose hardness is one big cone), this one measures
+//! parallelism *inside* a single BDD operation stream: an array-multiplier
+//! cone built through [`bbec_core::SymbolicContext`] (apply-heavy), then an
+//! ITE ladder folding the outputs (the work-stealing ITE recursion). The
+//! shard axis cannot help here — `ParallelChecker` would plan one shard —
+//! so any speedup comes from the concurrent unique table, the lock-free
+//! computed cache and work-stealing apply/ITE.
+//!
+//! ```text
+//! cargo run --release -p bbec-bench --bin bddpar -- [--quick] [--out FILE]
+//! ```
+//!
+//! `--quick` shrinks the circuit and repetition count for CI smoke runs;
+//! `--out` defaults to `BENCH_bddpar.json`.
+//!
+//! Every row records `host_parallelism` so archived numbers are honest
+//! about the machine they came from; the >= 2x speedup floor at 4 threads
+//! is asserted only in full (non-quick) mode on hosts with >= 4 cores.
+//! Serialised output forests are asserted bit-identical across thread
+//! counts unconditionally — the canonical-form guarantee the equivalence
+//! checks rely on.
+
+use bbec_core::{CheckSettings, SymbolicContext};
+use bbec_netlist::generators;
+use bbec_trace::{AttrValue, Tracer};
+use std::time::Instant;
+
+struct Row {
+    threads: usize,
+    millis: f64,
+    speedup: f64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_bddpar.json".to_string());
+
+    // One multiplier: every output shares the full input cone, so the
+    // shard planner would produce a single shard and the job axis is inert.
+    let (bits, reps) = if quick { (4, 1) } else { (9, 3) };
+    let spec = generators::array_multiplier(bits);
+    let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+
+    println!(
+        "{}: {} inputs, {} gates, one cone, host parallelism {}",
+        spec.name(),
+        spec.inputs().len(),
+        spec.gates().len(),
+        host
+    );
+    if host < 4 {
+        println!("note: host has {host} core(s); speedup needs a multi-core machine");
+    }
+
+    let mut rows: Vec<Row> = Vec::new();
+    let mut forests: Vec<String> = Vec::new();
+    for threads in [1usize, 2, 4] {
+        let settings = CheckSettings {
+            dynamic_reordering: false,
+            node_limit: Some(1 << 20),
+            bdd_threads: threads,
+            ..CheckSettings::default()
+        };
+        let mut best = f64::INFINITY;
+        let mut forest = String::new();
+        for _ in 0..reps {
+            let t = Instant::now();
+            let mut ctx = SymbolicContext::new(&spec, &settings);
+            // Apply-heavy phase: the whole multiplier cone.
+            let outputs = ctx.build_outputs(&spec).expect("benchmark build succeeds");
+            // ITE-heavy phase: fold the outputs through a selection ladder.
+            let mut acc = ctx.manager.constant(false);
+            for &o in &outputs {
+                let no = ctx.manager.not(acc);
+                acc = ctx.manager.ite(o, no, acc);
+            }
+            best = best.min(t.elapsed().as_secs_f64() * 1e3);
+            let mut roots = outputs;
+            roots.push(acc);
+            forest = ctx.manager.write_forest(&roots);
+        }
+        let baseline = rows.first().map(|r: &Row| r.millis).unwrap_or(best);
+        let speedup = baseline / best;
+        println!("  bdd-threads {threads}: {best:8.2} ms  ({speedup:.2}x vs 1 thread)");
+        rows.push(Row { threads, millis: best, speedup });
+        forests.push(forest);
+    }
+
+    for (i, f) in forests.iter().enumerate() {
+        assert_eq!(
+            f, &forests[0],
+            "thread count must never change the built functions (threads={})",
+            rows[i].threads
+        );
+    }
+
+    let four = rows.iter().find(|r| r.threads == 4).expect("4 threads measured");
+    if !quick && host >= 4 {
+        assert!(
+            four.speedup >= 2.0,
+            "single-cone speedup at 4 threads is {:.2}x on a {host}-core host (floor: 2.0x)",
+            four.speedup
+        );
+    }
+
+    let tracer = Tracer::new();
+    for r in &rows {
+        tracer.record_event(
+            "bddpar_bench",
+            vec![
+                ("circuit".to_string(), AttrValue::from(spec.name())),
+                ("inputs".to_string(), spec.inputs().len().into()),
+                ("gates".to_string(), spec.gates().len().into()),
+                ("host_parallelism".to_string(), host.into()),
+                ("bdd_threads".to_string(), r.threads.into()),
+                ("millis".to_string(), r.millis.into()),
+                ("speedup_vs_1thread".to_string(), r.speedup.into()),
+            ],
+        );
+    }
+    tracer.record_event(
+        "bddpar_bench_summary",
+        vec![
+            ("circuit".to_string(), AttrValue::from(spec.name())),
+            ("quick".to_string(), quick.into()),
+            ("host_parallelism".to_string(), host.into()),
+            ("speedup_4_threads".to_string(), four.speedup.into()),
+            ("identical_forests".to_string(), true.into()),
+        ],
+    );
+    std::fs::write(&out, tracer.finish().to_jsonl()).expect("write benchmark output");
+    println!("wrote {out}");
+}

@@ -1,0 +1,123 @@
+//! Thread-count invariance of the shared-memory BDD engine:
+//! `bdd_threads = 4` (shared table, work-stealing apply) and
+//! `bdd_threads = 1` (classic sequential manager) must produce identical
+//! ladder verdicts, rung outcomes and counterexamples — the engine and its
+//! thread count may only change wall-clock time.
+//!
+//! This holds structurally: both engines build canonical complement-edge
+//! BDDs with the same variable order, so every rung asks the same question
+//! of the same function and every witness walk takes the same path.
+//! Schedules change *when* nodes are built, never which function a root
+//! denotes. Step counts are *not* deterministic under parallelism, so the
+//! settings here use no step or time limits; the node limit is far above
+//! what these instances allocate.
+//!
+//! Driven by the netlist mutation generator over 100+ seeded circuits,
+//! mirroring `parallel_equivalence.rs` (job-count invariance).
+
+use bbec_core::checks::{CheckLadder, LadderReport, StageResult};
+use bbec_core::{CheckSettings, PartialCircuit, Verdict};
+use bbec_netlist::{generators, Circuit, Mutation};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn settings(bdd_threads: usize) -> CheckSettings {
+    CheckSettings {
+        dynamic_reordering: false,
+        random_patterns: 64,
+        node_limit: Some(1 << 16),
+        cache_bits: 14,
+        bdd_threads,
+        ..CheckSettings::default()
+    }
+}
+
+/// A seeded instance: a spec, and a mutated + black-boxed implementation.
+fn instance(spec: Circuit, seed: u64) -> Option<(Circuit, PartialCircuit)> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x7EAD);
+    let roots: Vec<_> = spec.outputs().iter().map(|&(_, s)| s).collect();
+    let cone = spec.fanin_cone_gates(&roots);
+    // Even seeds insert an error; odd seeds stay clean, so both verdict
+    // paths (early error exit and full-ladder fallthrough) are exercised.
+    let faulty = if seed.is_multiple_of(2) {
+        Mutation::random(&spec, &cone, &mut rng)?.apply(&spec).ok()?
+    } else {
+        spec.clone()
+    };
+    let partial =
+        PartialCircuit::random_black_boxes(&faulty, 0.15, 1 + (seed % 3) as usize, &mut rng)
+            .ok()?;
+    Some((spec, partial))
+}
+
+/// The comparable skeleton of a report: everything except timing/stats.
+fn skeleton(r: &LadderReport) -> Vec<String> {
+    r.stages
+        .iter()
+        .map(|s| match s {
+            StageResult::Finished(o) => {
+                format!("{}:{:?}:{:?}", o.method, o.verdict, o.counterexample)
+            }
+            StageResult::BudgetExceeded { method, reason, .. } => {
+                format!("{method}:budget:{reason}")
+            }
+        })
+        .collect()
+}
+
+fn assert_thread_invariant(spec: &Circuit, partial: &PartialCircuit, label: &str) {
+    let seq = CheckLadder::with_settings(settings(1)).run(spec, partial).unwrap();
+    let par = CheckLadder::with_settings(settings(4)).run(spec, partial).unwrap();
+    assert_eq!(seq.verdict(), par.verdict(), "verdict differs on {label}");
+    assert_eq!(seq.deciding_method(), par.deciding_method(), "deciding method differs on {label}");
+    assert_eq!(seq.counterexample(), par.counterexample(), "counterexample differs on {label}");
+    assert_eq!(skeleton(&seq), skeleton(&par), "rung skeleton differs on {label}");
+}
+
+/// 100+ seeded mutated circuits: full ladder reports at `bdd_threads = 1`
+/// and `bdd_threads = 4` are bit-identical.
+#[test]
+fn thread_count_invariant_on_random_logic() {
+    let mut checked = 0;
+    for seed in 0..110u64 {
+        let spec = generators::random_logic("te", 7, 40, 3, seed);
+        let Some((spec, partial)) = instance(spec, seed) else { continue };
+        assert_thread_invariant(&spec, &partial, &format!("random_logic seed {seed}"));
+        checked += 1;
+    }
+    assert!(checked >= 100, "only {checked} seeds produced instances");
+}
+
+/// Wider structured circuits (adders, comparators) agree too — deeper
+/// recursions, so the work-stealing layer actually forks.
+#[test]
+fn thread_count_invariant_on_structured_circuits() {
+    for (i, spec) in [
+        generators::ripple_carry_adder(5),
+        generators::magnitude_comparator(5),
+        generators::array_multiplier(3),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let Some((spec, partial)) = instance(spec, i as u64) else { continue };
+        assert_thread_invariant(&spec, &partial, &format!("structured #{i}"));
+    }
+}
+
+/// Inserted errors that the ladder can see are found at every thread
+/// count, and some instances in the sweep actually produce errors (the
+/// invariance sweep above must not be vacuous).
+#[test]
+fn error_instances_are_represented() {
+    let mut errors = 0;
+    for seed in (0..60u64).step_by(2) {
+        let spec = generators::random_logic("te", 7, 40, 3, seed);
+        let Some((spec, partial)) = instance(spec, seed) else { continue };
+        let report = CheckLadder::with_settings(settings(4)).run(&spec, &partial).unwrap();
+        if report.verdict() == Verdict::ErrorFound {
+            errors += 1;
+        }
+    }
+    assert!(errors >= 5, "only {errors} error instances in the sweep");
+}

@@ -199,6 +199,31 @@ pub fn compare(baseline: &str, current: &str, spec: &CompareSpec) -> Result<Comp
     Ok(CompareReport { rows, pass })
 }
 
+/// The `host_parallelism` a JSONL stream was recorded on: taken from the
+/// stream's `meta` line, falling back to the first record attribute of
+/// that name (bench binaries stamp it on every row). `None` when the
+/// stream carries no host information; unparseable lines are skipped —
+/// this is advisory metadata, not part of the gate.
+///
+/// Callers of [`compare`] should warn (not fail) when baseline and current
+/// disagree: wall-clock numbers measured on hosts with different core
+/// counts are not comparable for parallel-scaling benchmarks.
+pub fn host_parallelism(input: &str) -> Option<u64> {
+    for line in input.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let Ok(value) = parse(line) else { continue };
+        let direct = value.get("host_parallelism").and_then(Value::as_f64);
+        let in_attrs =
+            value.get("attrs").and_then(|a| a.get("host_parallelism")).and_then(Value::as_f64);
+        if let Some(n) = direct.or(in_attrs) {
+            return Some(n as u64);
+        }
+    }
+    None
+}
+
 /// Renders one comparison row in the `perfgate` line format.
 pub fn render_row(row: &KeyComparison, spec: &CompareSpec) -> String {
     match (row.baseline, row.current) {
@@ -241,6 +266,20 @@ mod tests {
             tolerance,
             baseline_filter: None,
         }
+    }
+
+    #[test]
+    fn host_parallelism_reads_meta_then_attrs() {
+        let with_meta = concat!(
+            r#"{"type":"meta","seq":0,"name":"trace","schema":2,"host_parallelism":8,"os":"linux","arch":"x86_64"}"#,
+            "\n",
+            r#"{"type":"record","seq":1,"name":"b","attrs":{"host_parallelism":4}}"#
+        );
+        assert_eq!(host_parallelism(with_meta), Some(8), "meta line wins");
+        let attrs_only = r#"{"type":"record","seq":1,"name":"b","attrs":{"host_parallelism":4}}"#;
+        assert_eq!(host_parallelism(attrs_only), Some(4));
+        assert_eq!(host_parallelism(r#"{"type":"record","seq":1,"name":"b","attrs":{}}"#), None);
+        assert_eq!(host_parallelism("not json\n"), None, "bad lines are skipped");
     }
 
     #[test]
