@@ -15,11 +15,15 @@
 //! A **writer** loads the stamp; if it is odd another writer owns the entry
 //! and this write is simply dropped (the cache is lossy — correctness never
 //! depends on a `put` landing). Otherwise it CASes `s -> s+1` (claim),
-//! stores the three words relaxed, and publishes with a release store of
-//! `s+2`. A **reader** loads the stamp (acquire), reads the words relaxed,
-//! fences, and re-reads the stamp: the hit counts only if both loads agree
-//! on an even nonzero value *and* the full key matches — a torn read can
-//! only produce a miss, never a wrong result. Collisions overwrite
+//! issues a release fence so the odd stamp becomes visible **before** any
+//! data word (the seqlock `smp_wmb`; without it a weakly-ordered machine
+//! may publish new key words under the old even stamp, and a racing reader
+//! would validate a new-key/stale-result entry), stores the three words
+//! relaxed, and publishes with a release store of `s+2`. A **reader** loads
+//! the stamp (acquire), reads the words relaxed, fences, and re-reads the
+//! stamp: the hit counts only if both loads agree on an even nonzero value
+//! *and* the full key matches — a torn read can only produce a miss, never
+//! a wrong result. Collisions overwrite
 //! (direct-mapped, newest wins), matching the sequential cache's
 //! drop-on-pressure spirit without its global eviction.
 //!
@@ -96,6 +100,10 @@ impl SharedCache {
         if self.stamps[i].compare_exchange(s, s + 1, Ordering::AcqRel, Ordering::Relaxed).is_err() {
             return; // lost the claim race; drop this put
         }
+        // Order the odd stamp before the data words (see the module doc):
+        // a reader that observes any new word must then observe a stamp
+        // change and retry, so it can never validate a half-written entry.
+        fence(Ordering::Release);
         self.words[3 * i].store((a as u64) | ((b as u64) << 32), Ordering::Relaxed);
         self.words[3 * i + 1].store((c as u64) | ((op.index() as u64) << 32), Ordering::Relaxed);
         self.words[3 * i + 2].store(result as u64, Ordering::Relaxed);

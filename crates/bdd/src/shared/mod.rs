@@ -24,7 +24,9 @@
 //!   forests are bit-identical at every thread count.
 //! * **Budget slack.** Step charging is batched per participant (see
 //!   [`space`]), so a step cap trips within `threads * 64` steps of the
-//!   exact point. Node caps are exact: occupancy gates every insertion.
+//!   exact point. Node caps are exact even under contention: the unique
+//!   table reserves a unit of the cap before each insertion's claim CAS
+//!   and rolls it back on failure, so racing threads can never overshoot.
 
 pub(crate) mod cache;
 pub(crate) mod space;
@@ -195,7 +197,10 @@ impl SharedManager {
     /// from other threads concurrently with each other (each handle op
     /// recurses sequentially). Handles share the owner's budget caps; they
     /// are intended for unbudgeted multi-driver use, where an abort raised
-    /// by one driver is observed by all.
+    /// by one driver is observed by every *budgeted* participant. The
+    /// owner's infallible wrappers are immune: they lift the caps for the
+    /// duration of their op and ignore cross-driver aborts, so a racing
+    /// handle tripping a budget fails that handle's own call only.
     pub fn handle(&self) -> SharedHandle {
         SharedHandle { space: Arc::clone(&self.space) }
     }
@@ -249,18 +254,26 @@ impl SharedManager {
 
     /// Runs `f` with the caps lifted, like the sequential `run_unbudgeted`:
     /// steps keep accumulating, so restoring the caps resumes the same
-    /// accounting window.
+    /// accounting window. The caps-lifted flag makes the op (and the
+    /// workers running its forked tasks) ignore the cross-thread abort
+    /// flag, so an abort raised by a racing budgeted [`SharedHandle`]
+    /// driver fails that driver only — it cannot fail this op and turn the
+    /// `expect` below into a panic. The one remaining failure mode is the
+    /// fixed-capacity table physically filling up, which no unbudgeted API
+    /// can report.
     fn run_unbudgeted(
         &mut self,
         f: impl FnOnce(&mut OpCtx<'_>) -> Result<u32, BudgetExceeded>,
     ) -> Bdd {
         let saved = self.budget;
         self.space.set_limits(None, None, None);
+        self.space.set_caps_lifted(true);
         let r = self.run_op(f);
+        self.space.set_caps_lifted(false);
         let b = saved.unwrap_or_default();
         self.space.set_limits(b.max_live_nodes, b.max_steps, b.deadline);
         self.budget = saved;
-        r.expect("BDD operation without a budget cannot be aborted")
+        r.expect("unbudgeted BDD operation failed: shared unique table is physically full")
     }
 
     // ------------------------------------------------------------------
@@ -815,7 +828,9 @@ impl SharedManager {
 /// into — and cache-warm for — the one shared space.
 ///
 /// Handle operations observe the owner's budget caps; an abort raised by
-/// any participant fails every in-flight operation fast.
+/// any participant fails every in-flight *budgeted* operation fast. The
+/// owner's infallible wrappers run abort-blind (see
+/// [`SharedManager::handle`]), so they cannot be failed from outside.
 #[derive(Clone)]
 pub struct SharedHandle {
     space: Arc<SharedSpace>,
@@ -1168,6 +1183,36 @@ mod tests {
         let h = m.ite(f, g, lits[0]);
         assert!(!m.is_contradiction(h) || m.is_contradiction(g));
         assert_eq!(m.budget().unwrap().max_steps, Some(1));
+    }
+
+    /// A budget abort raised by a handle driver fails that driver's call
+    /// only: the owner's infallible wrappers lift the caps and run
+    /// abort-blind, so a stale cross-driver abort can never turn them into
+    /// a panic.
+    #[test]
+    fn infallible_ops_ignore_handle_raised_aborts() {
+        let mut m = SharedManager::new(cfg(1));
+        let vars = m.new_vars(12);
+        m.set_budget(Some(Budget::steps(1)));
+        let h = m.handle();
+        let lits: Vec<Bdd> = vars.iter().map(|&v| h.var(v)).collect();
+        let mut acc = h.constant(true);
+        let mut r = Ok(acc);
+        for &l in &lits {
+            r = h.try_and(acc, l);
+            match r {
+                Ok(v) => acc = v,
+                Err(_) => break,
+            }
+        }
+        assert!(matches!(r, Err(BudgetExceeded::Steps { .. })), "got {r:?}");
+        // The handle's abort is still recorded space-wide at this point;
+        // the infallible owner ops below must ignore it, not panic.
+        let f = m.and(lits[0], lits[1]);
+        let g = m.xor(f, lits[2]);
+        let _ = m.ite(g, f, lits[3]);
+        assert_eq!(m.budget().unwrap().max_steps, Some(1));
+        m.check_invariants();
     }
 
     #[test]

@@ -17,8 +17,9 @@
 //! counter and flushes it to the global atomic every [`STEP_BATCH`] steps,
 //! so a step limit trips within `threads * STEP_BATCH` steps of the exact
 //! point — documented slack in exchange for keeping the hot path free of
-//! contended `fetch_add`s. Node budgets need no such slack: occupancy is
-//! checked in the unique table before every claim.
+//! contended `fetch_add`s. Node budgets have no slack at all: the unique
+//! table *reserves* a unit of the cap before each claim CAS and rolls the
+//! reservation back on failure, so the limit is exact under contention.
 
 use super::cache::SharedCache;
 use super::steal::{Runtime, Task, TaskKind};
@@ -49,6 +50,13 @@ pub(super) struct SharedSpace {
     /// Cross-thread abort: set with the first budget error so every
     /// participant fails fast instead of completing doomed subproblems.
     abort: AtomicBool,
+    /// While set, charge() ignores the cross-thread abort flag: the owner's
+    /// infallible wrappers lift the caps for one operation, and an abort
+    /// raised meanwhile by a still-budgeted [`super::SharedHandle`] driver
+    /// must fail *that driver*, not the owner's unbudgeted op (whose
+    /// infallibility the wrappers `expect`). Owner-exclusive: only
+    /// `run_unbudgeted` toggles it, and only one owner op runs at a time.
+    caps_lifted: AtomicBool,
     abort_reason: Mutex<Option<BudgetExceeded>>,
     pub(super) var_count: AtomicUsize,
 }
@@ -64,6 +72,7 @@ impl SharedSpace {
             window_start: AtomicU64::new(0),
             deadline: RwLock::new(None),
             abort: AtomicBool::new(false),
+            caps_lifted: AtomicBool::new(false),
             abort_reason: Mutex::new(None),
             var_count: AtomicUsize::new(0),
         }
@@ -109,6 +118,18 @@ impl SharedSpace {
 
     pub(super) fn node_limit(&self) -> usize {
         self.node_limit.load(Ordering::Relaxed)
+    }
+
+    /// See the `caps_lifted` field. Workers consult this live (not a ctx
+    /// snapshot) so the forked subproblems of an unbudgeted op are just as
+    /// abort-blind as its entry thread.
+    pub(super) fn set_caps_lifted(&self, lifted: bool) {
+        self.caps_lifted.store(lifted, Ordering::Release);
+    }
+
+    #[inline]
+    pub(super) fn caps_lifted(&self) -> bool {
+        self.caps_lifted.load(Ordering::Relaxed)
     }
 
     pub(super) fn record_abort(&self, e: BudgetExceeded) {
@@ -258,7 +279,7 @@ impl<'a> OpCtx<'a> {
     /// the sequential `charge_step` call sites).
     #[inline]
     fn charge(&mut self) -> Result<(), BudgetExceeded> {
-        if self.space.aborted() {
+        if self.space.aborted() && !self.space.caps_lifted() {
             return Err(self.space.reason());
         }
         self.pending += 1;
@@ -379,15 +400,33 @@ impl<'a> OpCtx<'a> {
 }
 
 /// Runs a task already claimed by this participant and publishes the result.
+///
+/// Execution is panic-isolated: a panic inside the recursion still records
+/// an abort and completes the task (poisoned) before re-raising, so joiners
+/// get [`BudgetExceeded::WorkerPanic`] instead of spinning forever on a
+/// result that will never arrive. The re-raised panic then unwinds this
+/// thread — a worker dies (its `running` guard fires, so `end_op` still
+/// completes) and the entry thread propagates it to the caller.
 pub(super) fn run_claimed(ctx: &mut OpCtx<'_>, task: &Task) {
-    let r = execute(ctx, task.kind, task.depth);
-    if let Err(e) = r {
-        // Belt and braces: every error path records before propagating, but
-        // the task result only carries ok/poisoned, so make sure the reason
-        // is global before anyone reads the poison.
-        ctx.space.record_abort(e);
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        execute(ctx, task.kind, task.depth)
+    })) {
+        Ok(r) => {
+            if let Err(e) = r {
+                // Belt and braces: every error path records before
+                // propagating, but the task result only carries
+                // ok/poisoned, so make sure the reason is global before
+                // anyone reads the poison.
+                ctx.space.record_abort(e);
+            }
+            task.complete(r);
+        }
+        Err(payload) => {
+            ctx.space.record_abort(BudgetExceeded::WorkerPanic);
+            task.complete(Err(BudgetExceeded::WorkerPanic));
+            std::panic::resume_unwind(payload);
+        }
     }
-    task.complete(r);
 }
 
 /// Dispatches a forked subproblem to its recursion.

@@ -191,6 +191,11 @@ impl Runtime {
                 seen = ep.serial;
             }
             rt.running.fetch_add(1, Ordering::AcqRel);
+            // Drop guard, not a trailing fetch_sub: if a task panics out of
+            // this worker (run_claimed poisons the task and re-raises), the
+            // unwind must still decrement `running`, or end_op()'s barrier
+            // would spin on a dead worker forever.
+            let _running = RunningGuard(&rt.running);
             let mut ctx = super::space::OpCtx::new(space, Some(rt.as_ref()), me, None);
             while rt.op_active.load(Ordering::Acquire) {
                 match rt.pop_or_steal(me) {
@@ -202,7 +207,16 @@ impl Runtime {
                 }
             }
             ctx.flush();
-            rt.running.fetch_sub(1, Ordering::AcqRel);
         }
+    }
+}
+
+/// Decrements the runtime's `running` count when dropped — on the normal
+/// end-of-op path and on a panic unwinding a worker alike.
+struct RunningGuard<'a>(&'a AtomicUsize);
+
+impl Drop for RunningGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::AcqRel);
     }
 }

@@ -24,9 +24,14 @@
 //! the loser of the CAS finds the winner's node one probe later.
 //!
 //! The table is split into power-of-two **shards** addressed by the high
-//! hash bits; each shard is its own slot array with its own occupancy
-//! counter, so concurrent inserts to different shards never touch the same
-//! cache lines and the global live count is a cheap sum.
+//! hash bits; each shard is its own slot array, so concurrent inserts to
+//! different shards never touch the same cache lines. The live count is a
+//! single global atomic, **reserved** (`fetch_add`) before the claim CAS
+//! and rolled back if the claim is lost or rejected — every stored node
+//! holds exactly one reservation, so the node cap is exact under any
+//! interleaving (no check-then-act window) and `occupancy()` is one load.
+//! The counter is touched once per *new* node, never on lookups, so it is
+//! not a hot-path contention point.
 
 use crate::budget::BudgetExceeded;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -59,7 +64,6 @@ fn mix(level: u32, lo: u32, hi: u32) -> u64 {
 struct Shard {
     meta: Box<[AtomicU64]>,
     lo_hi: Box<[AtomicU64]>,
-    occupancy: AtomicUsize,
 }
 
 impl Shard {
@@ -67,7 +71,6 @@ impl Shard {
         Shard {
             meta: (0..slots).map(|_| AtomicU64::new(0)).collect(),
             lo_hi: (0..slots).map(|_| AtomicU64::new(0)).collect(),
-            occupancy: AtomicUsize::new(0),
         }
     }
 }
@@ -79,6 +82,10 @@ pub(crate) struct SharedTable {
     slots_per_shard: usize,
     /// log2 of `slots_per_shard`, for packing indices.
     slot_bits: u32,
+    /// Nodes stored (terminal included), counting reservations in flight.
+    /// See the module doc: reserved before each claim CAS, rolled back on
+    /// a lost or rejected claim, so it never undercounts stored nodes.
+    live: AtomicUsize,
 }
 
 impl SharedTable {
@@ -92,11 +99,11 @@ impl SharedTable {
             shards: (0..1usize << SHARD_BITS).map(|_| Shard::new(slots)).collect(),
             slots_per_shard: slots,
             slot_bits,
+            live: AtomicUsize::new(1),
         };
         // Index 0 is the terminal: occupied forever, never matched by a
         // probe (inserted keys always have lo != hi; the terminal has 0/0).
         table.shards[0].meta[0].store(OCCUPIED | DONE | TERMINAL_LEVEL as u64, Ordering::Release);
-        table.shards[0].occupancy.store(1, Ordering::Relaxed);
         table
     }
 
@@ -107,7 +114,7 @@ impl SharedTable {
 
     /// Nodes currently stored, including the terminal.
     pub(crate) fn occupancy(&self) -> usize {
-        self.shards.iter().map(|s| s.occupancy.load(Ordering::Relaxed)).sum()
+        self.live.load(Ordering::Relaxed)
     }
 
     #[inline]
@@ -166,7 +173,12 @@ impl SharedTable {
             }
             let mut meta = shard.meta[slot].load(Ordering::Acquire);
             if meta == 0 {
-                if self.occupancy() >= node_limit {
+                // Reserve a unit of the node budget *before* claiming the
+                // slot, so the cap is exact under contention: T racing
+                // threads each hold their own reservation and at most
+                // `node_limit` can ever pass. Rolled back on a lost claim.
+                if self.live.fetch_add(1, Ordering::Relaxed) >= node_limit {
+                    self.live.fetch_sub(1, Ordering::Relaxed);
                     return Err(BudgetExceeded::Nodes { limit: node_limit });
                 }
                 match shard.meta[slot].compare_exchange(
@@ -178,12 +190,15 @@ impl SharedTable {
                     Ok(_) => {
                         shard.lo_hi[slot].store(key, Ordering::Relaxed);
                         shard.meta[slot].store(OCCUPIED | DONE | level as u64, Ordering::Release);
-                        shard.occupancy.fetch_add(1, Ordering::Relaxed);
                         return Ok(self.index(shard_i, slot));
                     }
                     // Lost the race for this slot: it now holds somebody's
-                    // node — possibly ours. Fall through and compare.
-                    Err(current) => meta = current,
+                    // node — possibly ours. Return the reservation, fall
+                    // through and compare.
+                    Err(current) => {
+                        self.live.fetch_sub(1, Ordering::Relaxed);
+                        meta = current;
+                    }
                 }
             }
             // Claimed but not yet published: the publish is two stores
@@ -263,8 +278,8 @@ impl SharedTable {
                 }
                 shard.meta[slot].store(0, Ordering::Relaxed);
             }
-            shard.occupancy.store(usize::from(si == 0), Ordering::Relaxed);
         }
+        self.live.store(1, Ordering::Relaxed);
         std::sync::atomic::fence(Ordering::Release);
     }
 }
@@ -306,6 +321,39 @@ mod tests {
         // Occupancy is now 3 (terminal + 2): the next insert must fail.
         let err = t.get_or_insert(2, 0, 2, 3).unwrap_err();
         assert_eq!(err, BudgetExceeded::Nodes { limit: 3 });
+    }
+
+    /// The node cap must be exact under contention: racing threads each
+    /// reserve their budget unit before the claim CAS, so the stored node
+    /// count can never overshoot the limit, no matter the interleaving.
+    #[test]
+    fn concurrent_node_cap_is_exact() {
+        let iters = if std::env::var_os("BBEC_STRESS").is_some() { 20 } else { 4 };
+        let limit = 33; // terminal + 32 nodes
+        for _ in 0..iters {
+            let t = Arc::new(SharedTable::new(12));
+            let mut any_rejected = false;
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..8u32)
+                    .map(|tid| {
+                        let t = Arc::clone(&t);
+                        scope.spawn(move || {
+                            let mut rejected = false;
+                            for k in 0..100u32 {
+                                let lo = (tid * 100 + k) * 2;
+                                rejected |= t.get_or_insert(k % 5, lo, lo + 2, limit).is_err();
+                            }
+                            rejected
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    any_rejected |= h.join().unwrap();
+                }
+            });
+            assert!(t.occupancy() <= limit, "cap overshot: {} > {limit}", t.occupancy());
+            assert!(any_rejected, "800 distinct keys against a 33-node cap must reject");
+        }
     }
 
     #[test]
